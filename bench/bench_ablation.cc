@@ -1,0 +1,80 @@
+/**
+ * Ablations on the design choices DESIGN.md calls out:
+ *  - delay-slot filling on/off (how much the scheduler matters);
+ *  - §6.2.1 check overlap (protected op in the squashing slots);
+ *  - the four tag schemes head to head at both checking settings.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/run.h"
+#include "programs/programs.h"
+#include "support/stats.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+namespace {
+
+double
+averageCycles(const CompilerOptions &base)
+{
+    double sum = 0;
+    for (const auto &p : benchmarkPrograms()) {
+        CompilerOptions o = base;
+        o.heapBytes = p.heapBytes;
+        auto r = compileAndRun(p.source, o, p.maxCycles);
+        sum += static_cast<double>(r.stats.total);
+    }
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablations (ten-program aggregate cycles, relative to "
+                "the baseline)\n\n");
+
+    for (Checking chk : {Checking::Off, Checking::Full}) {
+        const char *mode = chk == Checking::Full ? "checking" : "no-check";
+        double base = averageCycles(baselineOptions(chk));
+
+        auto rel = [&](CompilerOptions o) {
+            return 100.0 * (base - averageCycles(o)) / base;
+        };
+
+        TextTable t;
+        t.addRow({strcat("variant (", mode, ")"), "cycles saved"});
+
+        CompilerOptions noFill = baselineOptions(chk);
+        noFill.fillDelaySlots = false;
+        t.addRow({"no delay-slot filling", percent(rel(noFill))});
+
+        CompilerOptions overlap = baselineOptions(chk);
+        overlap.overlapChecks = true;
+        t.addRow({"6.2.1 check overlap", percent(rel(overlap))});
+
+        for (SchemeKind sk : {SchemeKind::High6, SchemeKind::Low2,
+                              SchemeKind::Low3}) {
+            CompilerOptions o = baselineOptions(chk);
+            o.scheme = sk;
+            t.addRow({strcat("scheme ", schemeKindName(sk)),
+                      percent(rel(o))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("notes:\n");
+    std::printf("  - negative numbers mean the variant is slower than "
+                "the baseline\n");
+    std::printf("  - the low-tag rows are the paper's 'software "
+                "schemes ... very attractive' result\n");
+    std::printf("  - check overlap approaches the hardware rows "
+                "without any hardware\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Reproduces Figure 1: percentage of time spent on each tag operation
+ * (insertion, removal, extraction, checking), with three bars per
+ * operation: without run-time checking, the component added by
+ * checking, and with checking. Also the §3.5 summary band (total tag
+ * cost 22%-32%, with its standard deviations).
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "support/stats.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+int
+main()
+{
+    std::printf("Figure 1: %% of time spent on tag handling operations\n");
+    std::printf("(ten-program average; paper bar heights in "
+                "parentheses)\n\n");
+
+    auto ms = measureAll(baselineOptions(Checking::Off));
+    auto avg = figure1Average(ms);
+
+    TextTable t;
+    t.addRow({"operation", "without rtc", "added by rtc", "with rtc",
+              "(paper w/o)", "(paper with)"});
+    for (int i = 0; i < fig1Ops; ++i) {
+        const auto &p = paper::figure1()[i];
+        t.addRow({fig1OpNames[i], percent(avg.withoutRtc[i]),
+                  percent(avg.addedByRtc[i]), percent(avg.withRtc[i]),
+                  strcat("(", percent(p.withoutRtc), ")"),
+                  strcat("(", percent(p.withRtc), ")")});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // §3.5 summary: total cost band and spread across programs.
+    std::vector<double> without, with;
+    for (const auto &m : ms) {
+        auto f = figure1Bars(m);
+        without.push_back(f.totalWithout);
+        with.push_back(f.totalWith);
+    }
+    std::printf("Summary (§3.5): total tag handling cost\n");
+    std::printf("  without checking: %s (stddev %s)   paper: ~%s "
+                "(stddev %s)\n",
+                percent(mean(without)).c_str(),
+                percent(stddev(without)).c_str(),
+                percent(paper::totalCostWithoutRtc).c_str(),
+                fixed(paper::stddevWithoutRtc).c_str());
+    std::printf("  with checking:    %s (stddev %s)   paper: ~%s "
+                "(stddev %s)\n",
+                percent(mean(with)).c_str(),
+                percent(stddev(with)).c_str(),
+                percent(paper::totalCostWithRtc).c_str(),
+                fixed(paper::stddevWithRtc).c_str());
+
+    std::printf("\nPer-program totals (without -> with checking):\n");
+    for (size_t i = 0; i < ms.size(); ++i) {
+        auto f = figure1Bars(ms[i]);
+        std::printf("  %-7s %6s -> %6s\n", ms[i].program.c_str(),
+                    percent(f.totalWithout).c_str(),
+                    percent(f.totalWith).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * Reproduces the §4.2 and §6.2.2 generic-arithmetic numbers:
+ *  - a generic add costs 10 cycles inline-biased, 4 with the §4.2
+ *    sum-check encoding;
+ *  - the time spent on generic arithmetic: ~2% (biased), 1.6%
+ *    (sum-check), 1.3% (hardware), and the highest cost on rat;
+ *  - the §6.2.2 bound: dispatching every arithmetic operation adds
+ *    ~2.7% on average.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "core/run.h"
+#include "programs/programs.h"
+#include "support/stats.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+namespace {
+
+/** % of execution time spent on arithmetic checking + dispatch. */
+double
+arithShare(const RunResult &r)
+{
+    uint64_t c = r.stats.byCat[static_cast<int>(CheckCat::Arith)][0] +
+                 r.stats.byCat[static_cast<int>(CheckCat::Arith)][1];
+    return 100.0 * static_cast<double>(c) /
+           static_cast<double>(r.stats.total);
+}
+
+double
+averageArithShare(const CompilerOptions &base, double *ratShare)
+{
+    std::vector<double> shares;
+    for (const auto &p : benchmarkPrograms()) {
+        CompilerOptions o = base;
+        o.heapBytes = p.heapBytes;
+        auto r = compileAndRun(p.source, o, p.maxCycles);
+        shares.push_back(arithShare(r));
+        if (ratShare && p.name == "rat")
+            *ratShare = shares.back();
+    }
+    return mean(shares);
+}
+
+/** Marginal cycles of one checked (+ x y) in a 100-iteration loop. */
+double
+genericAddCycles(const CompilerOptions &opts)
+{
+    const char *with = "(de f (x y) (+ x y))"
+                       "(let ((i 0)) (while (lessp i 1000)"
+                       " (f 3 4) (setq i (add1 i)))) (print 'done)";
+    const char *without = "(de f (x y) x)"
+                          "(let ((i 0)) (while (lessp i 1000)"
+                          " (f 3 4) (setq i (add1 i)))) (print 'done)";
+    auto a = compileAndRun(with, opts, 100'000'000);
+    auto b = compileAndRun(without, opts, 100'000'000);
+    // Subtract the one-cycle load of y that `without` also skips.
+    return (static_cast<double>(a.stats.total) -
+            static_cast<double>(b.stats.total)) / 1000.0 - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Generic arithmetic (sections 4.2 and 6.2.2)\n\n");
+
+    // --- cycle counts for one generic add -----------------------------
+    double biased = genericAddCycles(baselineOptions(Checking::Full));
+    double sumchk = genericAddCycles(sumCheckOptions(Checking::Full));
+    CompilerOptions hw = baselineOptions(Checking::Full);
+    hw.hw.genericArith = true;
+    double hwCycles = genericAddCycles(hw);
+    std::printf("cycles per generic integer add (+ load overheads):\n");
+    std::printf("  integer-biased inline : %4.1f   (paper: %d)\n",
+                biased, paper::genericAddCyclesBiased);
+    std::printf("  sum-check encoding    : %4.1f   (paper: %d)\n",
+                sumchk, paper::genericAddCyclesSumCheck);
+    std::printf("  trapping hardware     : %4.1f   (paper: ~1)\n\n",
+                hwCycles);
+
+    // --- share of execution time ---------------------------------------
+    double ratBiased = 0, ratSum = 0, dummy = 0;
+    double sBiased =
+        averageArithShare(baselineOptions(Checking::Full), &ratBiased);
+    double sSum =
+        averageArithShare(sumCheckOptions(Checking::Full), &ratSum);
+    double sHw = averageArithShare(hw, &dummy);
+    double sForce = averageArithShare(
+        forceDispatchOptions(Checking::Full), &dummy);
+
+    TextTable t;
+    t.addRow({"configuration", "avg arith share", "(paper)", "rat"});
+    t.addRow({"integer-biased (baseline)", percent(sBiased, 1),
+              strcat("(", percent(paper::genericArithCostBiased), ")"),
+              percent(ratBiased, 1)});
+    t.addRow({"sum-check tag encoding", percent(sSum, 1),
+              strcat("(", percent(paper::genericArithCostSumCheck), ")"),
+              percent(ratSum, 1)});
+    t.addRow({"trapping hardware", percent(sHw, 1),
+              strcat("(", percent(paper::genericArithCostHw), ")"), ""});
+    t.addRow({"forced dispatch (6.2.2)", percent(sForce, 1),
+              strcat("(+", percent(paper::forcedDispatchOverhead), ")"),
+              ""});
+    std::printf("%s\n", t.render().c_str());
+
+    // §6.2.2's bound: total slowdown when every arithmetic op takes
+    // the dispatch, vs the inline-biased baseline.
+    {
+        double baseCycles = 0, forceCycles = 0;
+        for (const auto &p : benchmarkPrograms()) {
+            CompilerOptions b = baselineOptions(Checking::Full);
+            b.heapBytes = p.heapBytes;
+            baseCycles += static_cast<double>(
+                compileAndRun(p.source, b, p.maxCycles).stats.total);
+            CompilerOptions fd = forceDispatchOptions(Checking::Full);
+            fd.heapBytes = p.heapBytes;
+            forceCycles += static_cast<double>(
+                compileAndRun(p.source, fd, p.maxCycles).stats.total);
+        }
+        std::printf("forced dispatch execution-time increase: %s "
+                    "(paper: +%s)\n\n",
+                    percent(100.0 * (forceCycles - baseCycles) /
+                            baseCycles).c_str(),
+                    percent(paper::forcedDispatchOverhead).c_str());
+    }
+
+    std::printf("shape checks:\n");
+    std::printf("  sum-check cheaper than biased ...... %s\n",
+                sumchk < biased ? "yes" : "NO");
+    std::printf("  hardware cheapest .................. %s\n",
+                hwCycles < sumchk ? "yes" : "NO");
+    std::printf("  rat is the arithmetic-heavy outlier  (paper: %s)\n",
+                percent(paper::ratGenericArithCost).c_str());
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * google-benchmark microbenchmarks of the substrate itself: simulator
+ * dispatch throughput, compilation speed, and GC cost. These are about
+ * mxlisp's own performance, not the paper's numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "core/run.h"
+#include "isa/assembler.h"
+
+using namespace mxl;
+
+namespace {
+
+void
+BM_SimulatorDispatch(benchmark::State &state)
+{
+    // A tight counted loop: ~6 cycles per iteration.
+    Program p = assemble(R"(
+        main:
+            li r2, 0
+            li r3, 100000
+        loop:
+            addi r2, r2, 1
+            blt r2, r3, loop
+            noop
+            noop
+            sys halt, r2
+    )");
+    for (auto _ : state) {
+        Machine m(p, Memory(4096), {}, nullptr);
+        m.run(p.symbol("main"));
+        benchmark::DoNotOptimize(m.exitValue());
+        state.counters["sim_cycles/s"] = benchmark::Counter(
+            static_cast<double>(m.stats().total),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_SimulatorDispatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileUnit(benchmark::State &state)
+{
+    const std::string src =
+        "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+        "(print (fib 10))";
+    for (auto _ : state) {
+        CompiledUnit u = compileUnit(src, baselineOptions(Checking::Full));
+        benchmark::DoNotOptimize(u.prog.code.size());
+    }
+}
+BENCHMARK(BM_CompileUnit)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunFib(benchmark::State &state)
+{
+    const std::string src =
+        "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+        "(print (fib 15))";
+    CompiledUnit u = compileUnit(
+        src, baselineOptions(static_cast<Checking>(state.range(0))));
+    for (auto _ : state) {
+        auto r = runUnit(u);
+        benchmark::DoNotOptimize(r.stats.total);
+    }
+}
+BENCHMARK(BM_RunFib)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_GarbageCollection(benchmark::State &state)
+{
+    const std::string src = R"(
+        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+        (let ((i 0)) (while (lessp i 200) (iota 40) (setq i (add1 i))))
+        (print 'done)
+    )";
+    CompilerOptions opts = baselineOptions(Checking::Off);
+    opts.heapBytes = static_cast<uint32_t>(state.range(0));
+    CompiledUnit u = compileUnit(src, opts);
+    for (auto _ : state) {
+        auto r = runUnit(u);
+        state.counters["collections"] =
+            static_cast<double>(r.gcCount);
+        benchmark::DoNotOptimize(r.stats.total);
+    }
+}
+BENCHMARK(BM_GarbageCollection)
+    ->Arg(8 << 10)
+    ->Arg(64 << 10)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

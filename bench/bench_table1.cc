@@ -1,0 +1,51 @@
+/**
+ * Reproduces Table 1: percentage increase in execution time when full
+ * run-time checking is added, per program, split into the arith /
+ * vector / list checking categories.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "support/stats.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+int
+main()
+{
+    std::printf("Table 1: %% increase in execution time when run-time "
+                "checking is added\n");
+    std::printf("(measured on mxlisp; paper values in parentheses)\n\n");
+
+    auto ms = measureAll(baselineOptions(Checking::Off));
+
+    TextTable t;
+    t.addRow({"program", "arith", "vector", "list", "total",
+              "(paper total)"});
+    std::vector<double> totals;
+    for (size_t i = 0; i < ms.size(); ++i) {
+        auto r = table1Row(ms[i]);
+        const auto &p = paper::table1()[i];
+        t.addRow({r.program, fixed(r.arith, 2), fixed(r.vector, 2),
+                  fixed(r.list, 2), fixed(r.total, 2),
+                  strcat("(", fixed(p.total, 2), ")")});
+        totals.push_back(r.total);
+    }
+    t.addRule();
+    t.addRow({"average", "", "", "", fixed(mean(totals), 2),
+              strcat("(", fixed(paper::table1Average, 2), ")")});
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("shape checks:\n");
+    std::printf("  checking slows every program ........ %s\n",
+                minOf(totals) > 0 ? "yes" : "NO");
+    std::printf("  list checks dominate most programs .. (see rows)\n");
+    std::printf("  opt & trav are the vector-heavy pair, rat the "
+                "arith-heavy one\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * Reproduces Table 2: percentage of cycles eliminated by each degree
+ * of hardware support, for programs with and without run-time
+ * checking, relative to the straightforward §2.1 implementation.
+ * Rows 5/6 are decomposed into their check/mask components as in the
+ * paper. Also prints the row-1 software-equivalent (LowTag3) and the
+ * SPUR-style combination the paper discusses in §7.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "core/run.h"
+#include "programs/programs.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+namespace {
+
+std::vector<RunResult>
+runAll(const CompilerOptions &base)
+{
+    std::vector<RunResult> out;
+    for (const auto &p : benchmarkPrograms()) {
+        CompilerOptions o = base;
+        o.heapBytes = p.heapBytes;
+        out.push_back(compileAndRun(p.source, o, p.maxCycles));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 2: speedup in percent for different degrees of "
+                "hardware support\n");
+    std::printf("(ten-program average vs the straightforward high-tag "
+                "implementation)\n\n");
+
+    auto baseOff = runAll(baselineOptions(Checking::Off));
+    auto baseFull = runAll(baselineOptions(Checking::Full));
+
+    TextTable t;
+    t.addRow({"row", "configuration", "no checking", "(paper)",
+              "checking", "(paper)"});
+    auto rows = table2Configs();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &cfg = rows[i];
+        auto cfgOff = runAll(cfg.withChecking(Checking::Off));
+        auto cfgFull = runAll(cfg.withChecking(Checking::Full));
+        auto off = table2Average(baseOff, cfgOff);
+        auto full = table2Average(baseFull, cfgFull);
+        const auto &p = paper::table2()[i];
+        t.addRow({cfg.id, cfg.label, percent(off.total),
+                  strcat("(", percent(p.noChecking), ")"),
+                  percent(full.total),
+                  strcat("(", percent(p.withChecking), ")")});
+        if (cfg.id == "row5" || cfg.id == "row6") {
+            t.addRow({"", "  - check component", "",
+                      "", percent(full.check), ""});
+            t.addRow({"", "  - mask component", "",
+                      "", percent(full.mask), ""});
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Row 1's software twin: a 3-bit low-tag scheme, no hardware.
+    auto lowOff = runAll(lowTagSoftwareOptions(Checking::Off));
+    auto lowFull = runAll(lowTagSoftwareOptions(Checking::Full));
+    std::printf("row1 software equivalent (LowTag3 scheme, no "
+                "hardware): %s / %s\n",
+                percent(table2Average(baseOff, lowOff).total).c_str(),
+                percent(table2Average(baseFull, lowFull).total).c_str());
+
+    // §7: the SPUR-style combination (row 7 but lists-only checking).
+    CompilerOptions spur = baselineOptions(Checking::Off);
+    spur.hw.ignoreTagOnMemory = true;
+    spur.hw.branchOnTag = true;
+    spur.hw.genericArith = true;
+    spur.hw.checkedMemory = CheckedMem::Lists;
+    auto spurOff = runAll(spur);
+    spur.checking = Checking::Full;
+    auto spurFull = runAll(spur);
+    std::printf("SPUR-like (row7 with lists-only checked loads): "
+                "%s / %s   (paper: 9%% / 21%%)\n",
+                percent(table2Average(baseOff, spurOff).total).c_str(),
+                percent(table2Average(baseFull, spurFull).total)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * Reproduces Table 3: static statistics of the ten programs —
+ * procedures, source lines (without comments), and object-code words.
+ * Absolute values differ from the paper (different dialect, library
+ * and code generator); what should match is the relative ordering:
+ * comp/opt/frl are the big programs, inter/trav/boyer the small ones.
+ */
+
+#include <cstdio>
+
+#include "compiler/unit.h"
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "programs/programs.h"
+#include "support/format.h"
+#include "support/table.h"
+
+using namespace mxl;
+
+int
+main()
+{
+    std::printf("Table 3: the ten test programs\n");
+    std::printf("(procedure counts include the runtime library "
+                "modules, as in the paper)\n\n");
+
+    TextTable t;
+    t.addRow({"program", "procs", "lines", "object words",
+              "(paper procs)", "(paper lines)", "(paper words)"});
+    for (size_t i = 0; i < benchmarkPrograms().size(); ++i) {
+        const auto &p = benchmarkPrograms()[i];
+        CompilerOptions opts = baselineOptions(Checking::Off);
+        opts.heapBytes = p.heapBytes;
+        CompiledUnit u = compileUnit(p.source, opts);
+        const auto &pp = paper::table3()[i];
+        t.addRow({p.name, strcat(u.procedures), strcat(u.sourceLines),
+                  strcat(u.objectWords), strcat("(", pp.procedures, ")"),
+                  strcat("(", pp.sourceLines, ")"),
+                  strcat("(", pp.objectWords, ")")});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

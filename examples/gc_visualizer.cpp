@@ -1,0 +1,85 @@
+/**
+ * gc_visualizer: drives the sys-Lisp copying collector with a
+ * configurable live-set / garbage ratio and draws semispace occupancy
+ * after each collection — the dedgc experiment made visible.
+ */
+
+#include <cstdio>
+
+#include "core/run.h"
+#include "support/format.h"
+
+using namespace mxl;
+
+namespace {
+
+std::string
+bar(double frac, int width = 40)
+{
+    int n = static_cast<int>(frac * width + 0.5);
+    std::string s(static_cast<size_t>(n), '#');
+    s += std::string(static_cast<size_t>(width - n), '.');
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Live set of `keep` lists, churning `junk` garbage per round.
+    const char *src = R"lisp(
+        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+        (de sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+        (setq *live* nil)
+        (let ((round 0))
+          (while (lessp round 40)
+            (setq *live* (cons (iota 40) *live*))
+            (if (greaterp (length *live*) 12)
+                (setq *live* (reverse (cdr (reverse *live*))))
+                nil)
+            (let ((j 0))
+              (while (lessp j 20) (iota 25) (setq j (add1 j))))
+            (setq round (add1 round))))
+        (let ((tot 0) (l *live*))
+          (while (pairp l)
+            (setq tot (+ tot (sum (car l))))
+            (setq l (cdr l)))
+          (print tot))
+    )lisp";
+
+    std::printf("Copying-collector visualizer (dedgc's mechanism)\n\n");
+    std::printf("%-10s %-10s %-8s %s\n", "semispace", "collections",
+                "GC share", "live occupancy after last GC");
+
+    CompilerOptions big;
+    big.heapBytes = 4u << 20;
+    RunResult base = compileAndRun(src, big, 800'000'000);
+
+    for (uint32_t kb : {128u, 64u, 32u, 16u, 8u, 6u}) {
+        CompilerOptions opts;
+        opts.heapBytes = kb << 10;
+        RunResult r = compileAndRun(src, opts, 800'000'000);
+        if (r.stop != StopReason::Halted) {
+            std::printf("%6u KiB  heap exhausted (error %lld)\n", kb,
+                        static_cast<long long>(r.errorCode));
+            continue;
+        }
+        double share = 100.0 *
+            (static_cast<double>(r.stats.total) -
+             static_cast<double>(base.stats.total)) /
+            static_cast<double>(r.stats.total);
+        double occupancy = static_cast<double>(r.heapUsed) /
+                           static_cast<double>(opts.heapBytes);
+        std::printf("%6u KiB  %8llu  %7s  |%s|\n", kb,
+                    static_cast<unsigned long long>(r.gcCount),
+                    percent(share).c_str(), bar(occupancy).c_str());
+        if (r.output != base.output)
+            std::printf("          !! output mismatch\n");
+    }
+
+    std::printf("\nSame program, same answers — only the collector "
+                "runs more often as the\nsemispaces shrink. The paper's "
+                "dedgc pins this share at ~50%%.\n");
+    return 0;
+}

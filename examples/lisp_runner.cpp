@@ -1,0 +1,157 @@
+/**
+ * lisp_runner: a command-line driver for the whole system. Runs an
+ * MX-Lisp file (or an inline expression) under a chosen tag scheme,
+ * checking mode, and hardware configuration, and reports the cycle
+ * breakdown.
+ *
+ * Usage:
+ *   lisp_runner [options] file.lsp
+ *   lisp_runner [options] -e '(print (+ 1 2))'
+ *
+ * Options:
+ *   --scheme high5|high6|low2|low3    tag scheme (default high5)
+ *   --check                           enable full run-time checking
+ *   --hw feature[,feature...]         ignoretag, btag, genarith,
+ *                                     ckmem-lists, ckmem-all
+ *   --heap BYTES                      semispace size (default 4 MiB)
+ *   --overlap                         §6.2.1 check overlap
+ *   --no-fill                         disable delay-slot filling
+ *   --disasm                          dump the compiled program
+ *   --benchmark NAME                  run a built-in benchmark program
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/run.h"
+#include "isa/assembler.h"
+#include "programs/programs.h"
+#include "support/panic.h"
+
+using namespace mxl;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lisp_runner [--scheme S] [--check] [--hw F,..] "
+                 "[--heap N]\n"
+                 "                   [--overlap] [--no-fill] [--disasm]\n"
+                 "                   (file.lsp | -e EXPR | --benchmark "
+                 "NAME)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompilerOptions opts;
+    std::string source;
+    bool haveSource = false;
+    bool disasm = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (a == "--scheme") {
+            std::string s = next();
+            if (s == "high5")
+                opts.scheme = SchemeKind::High5;
+            else if (s == "high6")
+                opts.scheme = SchemeKind::High6;
+            else if (s == "low2")
+                opts.scheme = SchemeKind::Low2;
+            else if (s == "low3")
+                opts.scheme = SchemeKind::Low3;
+            else
+                return usage();
+        } else if (a == "--check") {
+            opts.checking = Checking::Full;
+        } else if (a == "--hw") {
+            std::stringstream ss(next());
+            std::string f;
+            while (std::getline(ss, f, ',')) {
+                if (f == "ignoretag")
+                    opts.hw.ignoreTagOnMemory = true;
+                else if (f == "btag")
+                    opts.hw.branchOnTag = true;
+                else if (f == "genarith")
+                    opts.hw.genericArith = true;
+                else if (f == "ckmem-lists")
+                    opts.hw.checkedMemory = CheckedMem::Lists;
+                else if (f == "ckmem-all")
+                    opts.hw.checkedMemory = CheckedMem::All;
+                else
+                    return usage();
+            }
+        } else if (a == "--heap") {
+            opts.heapBytes = static_cast<uint32_t>(atoi(next()));
+        } else if (a == "--overlap") {
+            opts.overlapChecks = true;
+        } else if (a == "--no-fill") {
+            opts.fillDelaySlots = false;
+        } else if (a == "--disasm") {
+            disasm = true;
+        } else if (a == "-e") {
+            source = next();
+            haveSource = true;
+        } else if (a == "--benchmark") {
+            const auto &p = programByName(next());
+            source = p.source;
+            opts.heapBytes = p.heapBytes;
+            haveSource = true;
+        } else if (a[0] != '-') {
+            std::ifstream in(a);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", a.c_str());
+                return 1;
+            }
+            std::stringstream ss;
+            ss << in.rdbuf();
+            source = ss.str();
+            haveSource = true;
+        } else {
+            return usage();
+        }
+    }
+    if (!haveSource)
+        return usage();
+
+    try {
+        CompiledUnit unit = compileUnit(source, opts);
+        if (disasm)
+            std::printf("%s\n", disassemble(unit.prog).c_str());
+
+        RunResult r = runUnit(unit);
+        std::printf("%s", r.output.c_str());
+        std::printf("---\n");
+        std::printf("config: %s\n", opts.describe().c_str());
+        std::printf("status: %s",
+                    r.stop == StopReason::Halted   ? "halted\n"
+                    : r.stop == StopReason::Errored ? "ERROR "
+                                                     : "cycle limit\n");
+        if (r.stop == StopReason::Errored)
+            std::printf("(code %lld)\n",
+                        static_cast<long long>(r.errorCode));
+        std::printf("%s", r.stats.summary().c_str());
+        if (r.gcCount)
+            std::printf("collections: %llu (last live %llu bytes)\n",
+                        static_cast<unsigned long long>(r.gcCount),
+                        static_cast<unsigned long long>(r.heapUsed));
+        return r.stop == StopReason::Halted ? 0 : 1;
+    } catch (const MxlError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,31 @@
+;; Eight queens, for the lisp_runner example:
+;;
+;;   build/examples/lisp_runner examples/queens.lsp
+;;   build/examples/lisp_runner --scheme low3 --check examples/queens.lsp
+;;
+;; Boards are lists of column numbers, one per placed row.
+
+(de safe? (col placed dist)
+  (cond ((null placed) t)
+        ((eqn (car placed) col) nil)
+        ((eqn (abs (- (car placed) col)) dist) nil)
+        (t (safe? col (cdr placed) (add1 dist)))))
+
+(de place (n placed size)
+  (if (eqn n size)
+      1
+      (let ((col 0) (count 0))
+        (while (lessp col size)
+          (if (safe? col placed 1)
+              (setq count (+ count (place (add1 n)
+                                          (cons col placed)
+                                          size)))
+              nil)
+          (setq col (add1 col)))
+        count)))
+
+(de queens (size) (place 0 nil size))
+
+(print (queens 6))
+(print (queens 7))
+(print (queens 8))

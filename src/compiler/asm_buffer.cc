@@ -1,0 +1,233 @@
+#include "compiler/asm_buffer.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+int
+AsmBuffer::newLabel(const std::string &name)
+{
+    int id = static_cast<int>(names_.size());
+    names_.push_back(name);
+    exported_.push_back(false);
+    return id;
+}
+
+void
+AsmBuffer::placeLabel(int label)
+{
+    MXL_ASSERT(label >= 0 && label < numLabels(), "bad label id");
+    AsmEntry e;
+    e.isLabel = true;
+    e.labelId = label;
+    entries_.push_back(e);
+}
+
+int
+AsmBuffer::defineSymbol(const std::string &name)
+{
+    int id = newLabel(name);
+    exported_[id] = true;
+    placeLabel(id);
+    return id;
+}
+
+void
+AsmBuffer::emit(const Instruction &inst)
+{
+    AsmEntry e;
+    e.inst = inst;
+    entries_.push_back(e);
+}
+
+void
+AsmBuffer::op3(Opcode op, Reg rd, Reg rs, Reg rt, Annotation ann)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::opImm(Opcode op, Reg rd, Reg rs, int64_t imm, Annotation ann)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = imm;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::li(Reg rd, int64_t imm, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.imm = imm;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::mov(Reg rd, Reg rs, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.rd = rd;
+    i.rs = rs;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::ld(Reg rd, Reg base, int32_t off, Annotation ann)
+{
+    MXL_ASSERT(rd != base, "non-idempotent load (rd == base)");
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rd = rd;
+    i.rs = base;
+    i.imm = off;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::st(Reg val, Reg base, int32_t off, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rt = val;
+    i.rs = base;
+    i.imm = off;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::ldt(Reg rd, Reg base, int32_t off, uint32_t tag, Annotation ann)
+{
+    MXL_ASSERT(rd != base, "non-idempotent load (rd == base)");
+    Instruction i;
+    i.op = Opcode::Ldt;
+    i.rd = rd;
+    i.rs = base;
+    i.imm = off;
+    i.timm = tag;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::stt(Reg val, Reg base, int32_t off, uint32_t tag, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Stt;
+    i.rt = val;
+    i.rs = base;
+    i.imm = off;
+    i.timm = tag;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::branch(Opcode op, Reg rs, Reg rt, int label, Annotation ann,
+                  bool hintFall)
+{
+    MXL_ASSERT(isCondBranch(op), "branch() with non-branch opcode");
+    Instruction i;
+    i.op = op;
+    i.rs = rs;
+    i.rt = rt;
+    i.label = label;
+    i.ann = ann;
+    i.hintFall = hintFall;
+    emit(i);
+}
+
+void
+AsmBuffer::btag(Opcode op, Reg rs, uint32_t tag, int label, Annotation ann,
+                bool hintFall)
+{
+    MXL_ASSERT(op == Opcode::Btag || op == Opcode::Bntag, "btag opcode");
+    Instruction i;
+    i.op = op;
+    i.rs = rs;
+    i.timm = tag;
+    i.label = label;
+    i.ann = ann;
+    i.hintFall = hintFall;
+    emit(i);
+}
+
+void
+AsmBuffer::jump(int label, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    i.label = label;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::jal(Reg linkReg, int label, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Jal;
+    i.rd = linkReg;
+    i.label = label;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::jr(Reg rs, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Jr;
+    i.rs = rs;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::jalr(Reg linkReg, Reg rs, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Jalr;
+    i.rd = linkReg;
+    i.rs = rs;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::sys(SysCode code, Reg rs, Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Sys;
+    i.imm = static_cast<int64_t>(code);
+    i.rs = rs;
+    i.ann = ann;
+    emit(i);
+}
+
+void
+AsmBuffer::noop(Annotation ann)
+{
+    Instruction i;
+    i.op = Opcode::Noop;
+    i.ann = ann;
+    emit(i);
+}
+
+} // namespace mxl

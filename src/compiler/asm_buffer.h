@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The code-generation buffer: a stream of instructions and label
+ * placements, with convenience emitters. The delay-slot scheduler
+ * rewrites the stream; the linker flattens it into a Program.
+ */
+
+#ifndef MXLISP_COMPILER_ASM_BUFFER_H_
+#define MXLISP_COMPILER_ASM_BUFFER_H_
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace mxl {
+
+/** One element of the instruction stream. */
+struct AsmEntry
+{
+    bool isLabel = false;
+    int labelId = -1;       ///< when isLabel
+    Instruction inst;       ///< when !isLabel
+};
+
+class AsmBuffer
+{
+  public:
+    /** Create a label; @p name is kept for diagnostics/symbols. */
+    int newLabel(const std::string &name = "");
+
+    /** Place @p label at the current position. */
+    void placeLabel(int label);
+
+    /** Create and place a label, exporting it in Program.symbols. */
+    int defineSymbol(const std::string &name);
+
+    /** Export an existing label under its name in Program.symbols. */
+    void
+    exportLabel(int label)
+    {
+        exported_[static_cast<size_t>(label)] = true;
+    }
+
+    void emit(const Instruction &inst);
+
+    // Convenience emitters. All take the annotation last.
+    void op3(Opcode op, Reg rd, Reg rs, Reg rt, Annotation ann = {});
+    void opImm(Opcode op, Reg rd, Reg rs, int64_t imm, Annotation ann = {});
+    void li(Reg rd, int64_t imm, Annotation ann = {});
+    void mov(Reg rd, Reg rs, Annotation ann = {});
+    void ld(Reg rd, Reg base, int32_t off, Annotation ann = {});
+    void st(Reg val, Reg base, int32_t off, Annotation ann = {});
+    void ldt(Reg rd, Reg base, int32_t off, uint32_t tag,
+             Annotation ann = {});
+    void stt(Reg val, Reg base, int32_t off, uint32_t tag,
+             Annotation ann = {});
+    /** Conditional branch; @p hintFall marks rarely-taken checks. */
+    void branch(Opcode op, Reg rs, Reg rt, int label, Annotation ann = {},
+                bool hintFall = false);
+    void btag(Opcode op, Reg rs, uint32_t tag, int label,
+              Annotation ann = {}, bool hintFall = false);
+    void jump(int label, Annotation ann = {});
+    void jal(Reg linkReg, int label, Annotation ann = {});
+    void jr(Reg rs, Annotation ann = {});
+    void jalr(Reg linkReg, Reg rs, Annotation ann = {});
+    void sys(SysCode code, Reg rs, Annotation ann = {});
+    void noop(Annotation ann = {});
+
+    std::vector<AsmEntry> &entries() { return entries_; }
+    const std::vector<AsmEntry> &entries() const { return entries_; }
+    const std::vector<std::string> &labelNames() const { return names_; }
+    const std::vector<bool> &exported() const { return exported_; }
+    int numLabels() const { return static_cast<int>(names_.size()); }
+
+  private:
+    std::vector<AsmEntry> entries_;
+    std::vector<std::string> names_;
+    std::vector<bool> exported_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_COMPILER_ASM_BUFFER_H_

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * Tag-operation code generation: type checks, tagged memory access, and
+ * generic arithmetic. This file is the paper's §3–§6 turned into code —
+ * every emitted instruction carries the Purpose/CheckCat annotation that
+ * the machine's cycle accounting aggregates.
+ */
+
+#include "compiler/codegen.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/** Header subtype for a header-discriminated type. */
+unsigned
+subtypeOf(TypeId t)
+{
+    switch (t) {
+      case TypeId::Symbol: return SubtSymbol;
+      case TypeId::Vector: return SubtVector;
+      case TypeId::String: return SubtString;
+      default:
+        panic("subtypeOf: ", typeName(t));
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Tag tests
+// ---------------------------------------------------------------------
+
+void
+CodeGen::emitTagBranchNe(Reg x, TypeId t, int label, CheckCat cat,
+                         bool fromChecking, bool hintFall)
+{
+    const bool headered = scheme_.headerDiscriminated(t);
+    const uint32_t tag = scheme_.pointerTag(t);
+    int mark = tempMark();
+
+    if (opts_.hw.branchOnTag) {
+        // §6.1: compare the tag field without extracting it.
+        buf_.btag(Opcode::Bntag, x, tag, label,
+                  {Purpose::TagCheck, cat, fromChecking}, hintFall);
+    } else if (scheme_.placement() == TagPlacement::High) {
+        Reg tr = allocTemp();
+        buf_.opImm(Opcode::Srli, tr, x, 32 - highShift(),
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Bnei, tr, 0, label,
+                    {Purpose::TagCheck, cat, fromChecking}, hintFall);
+        // Patch the immediate (branch() has no imm parameter).
+        buf_.entries().back().inst.imm = tag;
+    } else {
+        Reg tr = allocTemp();
+        buf_.opImm(Opcode::Andi, tr, x,
+                   (1u << scheme_.tagBits()) - 1u,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Bnei, tr, 0, label,
+                    {Purpose::TagCheck, cat, fromChecking}, hintFall);
+        buf_.entries().back().inst.imm = tag;
+    }
+
+    if (headered) {
+        // LowTag2: several types share the heap tag; the object header
+        // completes the check.
+        Reg h = allocTemp();
+        int adj;
+        Reg b = prepareBase(x, t, adj, h);
+        buf_.ld(h, b, adj, {Purpose::OtherCheck, cat, fromChecking});
+        Reg s = allocTemp();
+        buf_.opImm(Opcode::Andi, s, h, 7,
+                   {Purpose::OtherCheck, cat, fromChecking});
+        buf_.branch(Opcode::Bnei, s, 0, label,
+                    {Purpose::OtherCheck, cat, fromChecking}, hintFall);
+        buf_.entries().back().inst.imm = subtypeOf(t);
+    }
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitTagBranchEq(Reg x, TypeId t, int label, CheckCat cat,
+                         bool fromChecking)
+{
+    const bool headered = scheme_.headerDiscriminated(t);
+    const uint32_t tag = scheme_.pointerTag(t);
+    int mark = tempMark();
+
+    if (!headered) {
+        if (opts_.hw.branchOnTag) {
+            buf_.btag(Opcode::Btag, x, tag, label,
+                      {Purpose::TagCheck, cat, fromChecking});
+        } else {
+            Reg tr = allocTemp();
+            if (scheme_.placement() == TagPlacement::High) {
+                buf_.opImm(Opcode::Srli, tr, x, 32 - highShift(),
+                           {Purpose::TagExtract, cat, fromChecking});
+            } else {
+                buf_.opImm(Opcode::Andi, tr, x,
+                           (1u << scheme_.tagBits()) - 1u,
+                           {Purpose::TagExtract, cat, fromChecking});
+            }
+            buf_.branch(Opcode::Beqi, tr, 0, label,
+                        {Purpose::TagCheck, cat, fromChecking});
+            buf_.entries().back().inst.imm = tag;
+        }
+        freeTempsAbove(mark);
+        return;
+    }
+
+    // Header-discriminated: both the tag and the subtype must match.
+    int lNo = buf_.newLabel();
+    if (opts_.hw.branchOnTag) {
+        buf_.btag(Opcode::Bntag, x, tag, lNo,
+                  {Purpose::TagCheck, cat, fromChecking});
+    } else {
+        Reg tr = allocTemp();
+        buf_.opImm(Opcode::Andi, tr, x, (1u << scheme_.tagBits()) - 1u,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Bnei, tr, 0, lNo,
+                    {Purpose::TagCheck, cat, fromChecking});
+        buf_.entries().back().inst.imm = tag;
+    }
+    Reg h = allocTemp();
+    int adj;
+    Reg b = prepareBase(x, t, adj, h);
+    buf_.ld(h, b, adj, {Purpose::OtherCheck, cat, fromChecking});
+    Reg s = allocTemp();
+    buf_.opImm(Opcode::Andi, s, h, 7,
+               {Purpose::OtherCheck, cat, fromChecking});
+    buf_.branch(Opcode::Beqi, s, 0, label,
+                {Purpose::OtherCheck, cat, fromChecking});
+    buf_.entries().back().inst.imm = subtypeOf(t);
+    buf_.placeLabel(lNo);
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitFixnumCheckBranch(Reg x, int label, CheckCat cat,
+                               bool fromChecking)
+{
+    int mark = tempMark();
+    if (scheme_.placement() == TagPlacement::High) {
+        // §4.1 method 2: sign-extend the data bits; an integer equals
+        // its own sign extension. Always 3 cycles.
+        Reg tr = allocTemp();
+        int k = highShift();
+        buf_.opImm(Opcode::Slli, tr, x, k,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.opImm(Opcode::Srai, tr, tr, k,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Bne, tr, x, label,
+                    {Purpose::TagCheck, cat, fromChecking},
+                    /*hintFall=*/true);
+    } else {
+        // Low tags: integers are the words with both low bits clear.
+        Reg tr = allocTemp();
+        buf_.opImm(Opcode::Andi, tr, x, 3,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Bnei, tr, 0, label,
+                    {Purpose::TagCheck, cat, fromChecking},
+                    /*hintFall=*/true);
+    }
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitFixnumBranchIf(Reg x, int label, CheckCat cat,
+                            bool fromChecking)
+{
+    int mark = tempMark();
+    if (scheme_.placement() == TagPlacement::High) {
+        Reg tr = allocTemp();
+        int k = highShift();
+        buf_.opImm(Opcode::Slli, tr, x, k,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.opImm(Opcode::Srai, tr, tr, k,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Beq, tr, x, label,
+                    {Purpose::TagCheck, cat, fromChecking});
+    } else {
+        Reg tr = allocTemp();
+        buf_.opImm(Opcode::Andi, tr, x, 3,
+                   {Purpose::TagExtract, cat, fromChecking});
+        buf_.branch(Opcode::Beqi, tr, 0, label,
+                    {Purpose::TagCheck, cat, fromChecking});
+    }
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitTypeCheck(Reg x, TypeId t, CheckCat cat)
+{
+    if (!checkingOn())
+        return;
+    if (t == TypeId::Fixnum) {
+        emitFixnumCheckBranch(x, rt_.error, cat, /*fromChecking=*/true);
+        return;
+    }
+    emitTagBranchNe(x, t, rt_.error, cat, /*fromChecking=*/true,
+                    /*hintFall=*/true);
+}
+
+// ---------------------------------------------------------------------
+// Tagged memory access
+// ---------------------------------------------------------------------
+
+Reg
+CodeGen::prepareBase(Reg base, TypeId t, int &adj, Reg avoid)
+{
+    if (scheme_.placement() == TagPlacement::High &&
+        !opts_.hw.ignoreTagOnMemory) {
+        // §3.2: mask the tag out with the mask kept in a register
+        // (one cycle). The mask target is a fresh temp, so loads from
+        // it are naturally idempotent.
+        Reg m = allocTemp();
+        buf_.op3(Opcode::And, m, base, abi::maskreg,
+                 {Purpose::TagRemove});
+        adj = 0;
+        return m;
+    }
+    // Low tags (or address hardware): the tag is absorbed by the
+    // word-addressed memory and the offset adjustment — no masking
+    // (§5.2). Loads must stay idempotent: copy when the target would
+    // overwrite the base (the Figure 2 `move` increase).
+    adj = opts_.hw.ignoreTagOnMemory ? 0 : scheme_.offsetAdjust(t);
+    if (base == avoid) {
+        Reg c = allocTemp();
+        buf_.mov(c, base, {Purpose::Useful});
+        return c;
+    }
+    return base;
+}
+
+void
+CodeGen::emitDetag(Reg target, Reg base, TypeId, Annotation ann)
+{
+    if (scheme_.placement() == TagPlacement::High) {
+        buf_.op3(Opcode::And, target, base, abi::maskreg, ann);
+    } else {
+        uint32_t mask = ~((1u << scheme_.tagBits()) - 1u);
+        buf_.opImm(Opcode::Andi, target, base, mask, ann);
+    }
+}
+
+void
+CodeGen::emitLoadField(Reg target, Reg base, TypeId t, int off,
+                       CheckCat cat, bool checked)
+{
+    bool hwChecked =
+        opts_.hw.checkedMemory == CheckedMem::All ||
+        (opts_.hw.checkedMemory == CheckedMem::Lists && t == TypeId::Pair);
+
+    if (checked && checkingOn() && hwChecked) {
+        // §6.2.1: the tag is checked during the address calculation and
+        // dropped by the hardware — a single useful cycle.
+        if (target == base) {
+            Reg c = allocTemp();
+            buf_.mov(c, base, {Purpose::Useful});
+            buf_.ldt(target, c, off, scheme_.pointerTag(t),
+                     {Purpose::Useful, cat});
+            freeTemp(c);
+        } else {
+            buf_.ldt(target, base, off, scheme_.pointerTag(t),
+                     {Purpose::Useful, cat});
+        }
+        return;
+    }
+
+    if (checked)
+        emitTypeCheck(base, t, cat);
+
+    int mark = tempMark();
+    int adj;
+    Reg b = prepareBase(base, t, adj, target);
+    buf_.ld(target, b, off + adj, {Purpose::Useful, cat});
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitStoreField(Reg value, Reg base, TypeId t, int off,
+                        CheckCat cat, bool checked)
+{
+    bool hwChecked =
+        opts_.hw.checkedMemory == CheckedMem::All ||
+        (opts_.hw.checkedMemory == CheckedMem::Lists && t == TypeId::Pair);
+
+    if (checked && checkingOn() && hwChecked) {
+        buf_.stt(value, base, off, scheme_.pointerTag(t),
+                 {Purpose::Useful, cat});
+        return;
+    }
+
+    if (checked)
+        emitTypeCheck(base, t, cat);
+
+    int mark = tempMark();
+    int adj;
+    Reg b = prepareBase(base, t, adj, /*avoid=*/0);
+    buf_.st(value, b, off + adj, {Purpose::Useful, cat});
+    freeTempsAbove(mark);
+}
+
+// ---------------------------------------------------------------------
+// Generic arithmetic (§2.2, §4.2, §6.2.2)
+// ---------------------------------------------------------------------
+
+void
+CodeGen::emitSlowBinop(int stubLabel, Reg a, Reg b, Reg target,
+                       int doneLabel, CheckCat cat)
+{
+    Annotation ann{Purpose::Dispatch, cat, true};
+    buf_.mov(abi::arg0, a, ann);
+    buf_.mov(static_cast<Reg>(abi::arg0 + 1), b, ann);
+    buf_.jal(abi::link, stubLabel, ann);
+    buf_.mov(target, abi::ret, ann);
+    buf_.jump(doneLabel, ann);
+}
+
+void
+CodeGen::emitArith(const std::string &op, Sx *a, Sx *b, Reg target)
+{
+    Opcode mcOp;
+    int stub;
+    bool hasOverflow = false; // overflow folds into the type check
+    if (op == "+") {
+        mcOp = Opcode::Add;
+        stub = rt_.genAdd;
+        hasOverflow = true;
+    } else if (op == "-") {
+        mcOp = Opcode::Sub;
+        stub = rt_.genSub;
+        hasOverflow = true;
+    } else if (op == "*") {
+        mcOp = Opcode::Mul;
+        stub = rt_.genMul;
+    } else if (op == "quotient") {
+        mcOp = Opcode::Div;
+        stub = rt_.genDiv;
+    } else if (op == "remainder") {
+        mcOp = Opcode::Rem;
+        stub = rt_.genRem;
+    } else {
+        panic("emitArith: ", op);
+    }
+
+    int mark = tempMark();
+    Reg ra, rb;
+    evalTwo(a, b, ra, rb);
+    const int scale = scheme_.fixnumScale();
+
+    // The machine operation itself (native on fixnum representations;
+    // §2.1: "integer arithmetic ... without any need for reformatting").
+    auto emitNativeOp = [&](Reg dst) {
+        switch (mcOp) {
+          case Opcode::Add:
+          case Opcode::Sub:
+            buf_.op3(mcOp, dst, ra, rb, {Purpose::Useful});
+            break;
+          case Opcode::Mul:
+            if (scale == 4) {
+                // (4a * 4b) needs a /4: pre-shift one operand.
+                Reg s = allocTemp();
+                buf_.opImm(Opcode::Srai, s, ra, 2, {Purpose::Useful});
+                buf_.op3(Opcode::Mul, dst, s, rb, {Purpose::Useful});
+                freeTemp(s);
+            } else {
+                buf_.op3(Opcode::Mul, dst, ra, rb, {Purpose::Useful});
+            }
+            break;
+          case Opcode::Div:
+            if (scale == 4) {
+                Reg s = allocTemp();
+                buf_.op3(Opcode::Div, s, ra, rb, {Purpose::Useful});
+                buf_.opImm(Opcode::Slli, dst, s, 2, {Purpose::Useful});
+                freeTemp(s);
+            } else {
+                buf_.op3(Opcode::Div, dst, ra, rb, {Purpose::Useful});
+            }
+            break;
+          case Opcode::Rem:
+            // (4a % 4b) == 4*(a % b): exact in either representation.
+            buf_.op3(Opcode::Rem, dst, ra, rb, {Purpose::Useful});
+            break;
+          default:
+            panic("emitNativeOp");
+        }
+    };
+
+    if (!checkingOn()) {
+        emitNativeOp(target);
+        freeTempsAbove(mark);
+        return;
+    }
+
+    // --- full run-time checking from here on ---
+    Annotation chk{Purpose::TagCheck, CheckCat::Arith, true};
+    ArithMode mode =
+        libArithInline_ ? ArithMode::InlineBiased : opts_.arithMode;
+
+    if (mode == ArithMode::ForceDispatch) {
+        // §6.2.2: "the inline test always fails" — every operation goes
+        // through the out-of-line dispatch.
+        Annotation ann{Purpose::Dispatch, CheckCat::Arith, true};
+        buf_.mov(abi::arg0, ra, ann);
+        buf_.mov(static_cast<Reg>(abi::arg0 + 1), rb, ann);
+        buf_.jal(abi::link, stub, ann);
+        if (target != abi::ret)
+            buf_.mov(target, abi::ret, ann);
+        freeTempsAbove(mark);
+        return;
+    }
+
+    if (opts_.hw.genericArith &&
+        (mcOp == Opcode::Add || mcOp == Opcode::Sub)) {
+        // §6.2.2 hardware: type and overflow checking in parallel with
+        // the add; non-integer operands trap to the dispatch handler.
+        // The result register is fixed at r1 so the trap handler knows
+        // where to deliver the slow-path result.
+        buf_.op3(mcOp == Opcode::Add ? Opcode::Addt : Opcode::Subt,
+                 abi::ret, ra, rb, {Purpose::Useful, CheckCat::Arith});
+        if (target != abi::ret)
+            buf_.mov(target, abi::ret, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return;
+    }
+
+    int lSlow = buf_.newLabel();
+    int lDone = buf_.newLabel();
+
+    // Result must not overwrite an operand (the slow path re-examines
+    // both), so route through a fresh temp when target aliases one.
+    bool aliases = target == ra || target == rb;
+    Reg rr = aliases ? allocTemp() : target;
+
+    if (mode == ArithMode::SumCheck && mcOp == Opcode::Add &&
+        scheme_.sumCheckSound()) {
+        // §4.2: add first; one integer test on the result covers both
+        // operand types and overflow.
+        emitNativeOp(rr);
+        Reg tr = allocTemp();
+        int k = highShift();
+        buf_.opImm(Opcode::Slli, tr, rr, k,
+                   {Purpose::TagExtract, CheckCat::Arith, true});
+        buf_.opImm(Opcode::Srai, tr, tr, k,
+                   {Purpose::TagExtract, CheckCat::Arith, true});
+        buf_.branch(Opcode::Bne, tr, rr, lSlow, chk, /*hintFall=*/true);
+        freeTemp(tr);
+    } else {
+        // §2.2 integer-biased inline sequence: test both operands, do
+        // the operation, and (for add/sub) detect overflow as a type
+        // check on the result. A generic add costs 10 cycles, 9 of
+        // them checking — exactly the paper's count. Checks on literal
+        // operands are elided (§3: "when the compiler can determine
+        // the type of an operand based on the program context ... the
+        // type checking operations can be removed").
+        if (!a->isInt())
+            emitFixnumCheckBranch(ra, lSlow, CheckCat::Arith, true);
+        if (!b->isInt())
+            emitFixnumCheckBranch(rb, lSlow, CheckCat::Arith, true);
+        emitNativeOp(rr);
+        if (hasOverflow) {
+            if (scheme_.placement() == TagPlacement::High) {
+                Reg tr = allocTemp();
+                int k = highShift();
+                buf_.opImm(Opcode::Slli, tr, rr, k,
+                           {Purpose::TagExtract, CheckCat::Arith, true});
+                buf_.opImm(Opcode::Srai, tr, tr, k,
+                           {Purpose::TagExtract, CheckCat::Arith, true});
+                buf_.branch(Opcode::Bne, tr, rr, lSlow, chk,
+                            /*hintFall=*/true);
+                freeTemp(tr);
+            } else {
+                // Sign rules: add overflows iff both operands have the
+                // sign opposite to the result; sub likewise with the
+                // subtrahend negated.
+                Annotation oc{Purpose::OtherCheck, CheckCat::Arith, true};
+                Reg t1 = allocTemp();
+                Reg t2 = allocTemp();
+                buf_.op3(Opcode::Xor, t1, ra, rr, oc);
+                if (mcOp == Opcode::Add)
+                    buf_.op3(Opcode::Xor, t2, rb, rr, oc);
+                else
+                    buf_.op3(Opcode::Xor, t2, ra, rb, oc);
+                buf_.op3(Opcode::And, t1, t1, t2, oc);
+                buf_.branch(Opcode::Blt, t1, abi::zero, lSlow, oc,
+                            /*hintFall=*/true);
+                freeTemp(t2);
+                freeTemp(t1);
+            }
+        }
+    }
+
+    if (aliases)
+        buf_.mov(target, rr, {Purpose::Useful});
+    buf_.placeLabel(lDone);
+    freeTempsAbove(mark);
+
+    addCold([this, stub, ra, rb, target, lSlow, lDone]() {
+        buf_.placeLabel(lSlow);
+        emitSlowBinop(stub, ra, rb, target, lDone, CheckCat::Arith);
+    });
+}
+
+void
+CodeGen::emitCompareBranchFalse(const std::string &op, Sx *a, Sx *b,
+                                int falseLabel)
+{
+    // Inline inverse branch for the all-fixnum fast path. Fixnum
+    // representations preserve signed order in every scheme.
+    Opcode inv;
+    if (op == "lessp")
+        inv = Opcode::Bge;
+    else if (op == "greaterp")
+        inv = Opcode::Ble;
+    else if (op == "leq")
+        inv = Opcode::Bgt;
+    else if (op == "geq")
+        inv = Opcode::Blt;
+    else if (op == "eqn")
+        inv = Opcode::Bne;
+    else if (op == "neqn")
+        inv = Opcode::Beq;
+    else
+        panic("emitCompareBranchFalse: ", op);
+
+    int mark = tempMark();
+    Reg ra, rb;
+    evalTwo(a, b, ra, rb);
+
+    if (!checkingOn()) {
+        buf_.branch(inv, ra, rb, falseLabel, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return;
+    }
+
+    int lSlow = buf_.newLabel();
+    int lCont = buf_.newLabel();
+    bool anyCheck = false;
+    if (!a->isInt()) {
+        emitFixnumCheckBranch(ra, lSlow, CheckCat::Arith, true);
+        anyCheck = true;
+    }
+    if (!b->isInt()) {
+        emitFixnumCheckBranch(rb, lSlow, CheckCat::Arith, true);
+        anyCheck = true;
+    }
+    buf_.branch(inv, ra, rb, falseLabel, {Purpose::Useful});
+    buf_.placeLabel(lCont);
+    freeTempsAbove(mark);
+
+    if (!anyCheck) {
+        // Both operands are literals: the slow path is unreachable,
+        // but the label must still be placed for the linker.
+        addCold([this, lSlow]() { buf_.placeLabel(lSlow); });
+        return;
+    }
+    addCold([this, op, ra, rb, lSlow, lCont, falseLabel]() {
+        buf_.placeLabel(lSlow);
+        Annotation ann{Purpose::Dispatch, CheckCat::Arith, true};
+        // Map to the two slow predicates: genLess(a,b) and genEqn(a,b).
+        bool swap = op == "greaterp" || op == "leq";
+        bool invert = op == "leq" || op == "geq" || op == "neqn";
+        int stub =
+            op == "eqn" || op == "neqn" ? rt_.genEqn : rt_.genLess;
+        buf_.mov(abi::arg0, swap ? rb : ra, ann);
+        buf_.mov(static_cast<Reg>(abi::arg0 + 1), swap ? ra : rb, ann);
+        buf_.jal(abi::link, stub, ann);
+        buf_.branch(invert ? Opcode::Bne : Opcode::Beq, abi::ret,
+                    abi::nilreg, falseLabel, ann);
+        buf_.jump(lCont, ann);
+    });
+}
+
+void
+CodeGen::emitCompare(const std::string &op, Sx *a, Sx *b, Reg target)
+{
+    int lFalse = buf_.newLabel();
+    int lEnd = buf_.newLabel();
+    emitCompareBranchFalse(op, a, b, lFalse);
+    buf_.mov(target, abi::treg);
+    buf_.jump(lEnd);
+    buf_.placeLabel(lFalse);
+    buf_.mov(target, abi::nilreg);
+    buf_.placeLabel(lEnd);
+}
+
+// ---------------------------------------------------------------------
+// Vector / string access
+// ---------------------------------------------------------------------
+
+void
+CodeGen::emitIndexedLoad(Sx *vec, Sx *idx, Reg target, TypeId t)
+{
+    int mark = tempMark();
+    Reg rv, ri;
+    evalTwo(vec, idx, rv, ri);
+
+    bool hwChecked = opts_.hw.checkedMemory == CheckedMem::All;
+    Annotation oc{Purpose::OtherCheck, CheckCat::Vector, true};
+
+    if (checkingOn()) {
+        // Full run-time checking: object tag, index type, and bounds
+        // ("vector accesses with full run-time checking will not only
+        // do bounds checking, but also check that the indexed object is
+        // a vector and that the indexing type is legal").
+        Reg h = allocTemp();
+        if (hwChecked) {
+            buf_.ldt(h, rv, 0, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            emitTypeCheck(rv, t, CheckCat::Vector);
+            int adj;
+            Reg b = prepareBase(rv, t, adj, h);
+            buf_.ld(h, b, adj, oc);
+        }
+        emitFixnumCheckBranch(ri, rt_.error, CheckCat::Vector, true);
+        buf_.opImm(Opcode::Srli, h, h, 3, oc); // header -> raw length
+        if (scheme_.fixnumScale() == 4)
+            buf_.opImm(Opcode::Slli, h, h, 2, oc); // scale to repr
+        buf_.branch(Opcode::Blt, ri, abi::zero, rt_.error, oc,
+                    /*hintFall=*/true);
+        buf_.branch(Opcode::Bge, ri, h, rt_.error, oc, /*hintFall=*/true);
+    }
+
+    // Element access: address = base + 4 + scaled-index.
+    Reg addr = allocTemp();
+    if (scheme_.placement() == TagPlacement::High) {
+        Reg s = allocTemp();
+        if (scheme_.fixnumScale() == 1)
+            buf_.opImm(Opcode::Slli, s, ri, 2, {Purpose::Useful});
+        else
+            buf_.mov(s, ri, {Purpose::Useful});
+        if (hwChecked && checkingOn()) {
+            buf_.op3(Opcode::Add, addr, rv, s, {Purpose::Useful});
+            buf_.ldt(target, addr, 4, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            int adj;
+            Reg b = prepareBase(rv, t, adj, addr);
+            buf_.op3(Opcode::Add, addr, b, s, {Purpose::Useful});
+            buf_.ld(target, addr, 4 + adj, {Purpose::Useful});
+        }
+    } else {
+        // Low tags: the fixnum representation is already the byte
+        // offset (§5.2: "indexing in word vectors will be fast").
+        buf_.op3(Opcode::Add, addr, rv, ri, {Purpose::Useful});
+        if (hwChecked && checkingOn()) {
+            buf_.ldt(target, addr, 4, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            buf_.ld(target, addr, 4 + scheme_.offsetAdjust(t),
+                    {Purpose::Useful});
+        }
+    }
+    if (t == TypeId::String && scheme_.fixnumScale() == 4) {
+        // Raw char code -> fixnum.
+        buf_.opImm(Opcode::Slli, target, target, 2, {Purpose::Useful});
+    }
+    freeTempsAbove(mark);
+}
+
+void
+CodeGen::emitIndexedStore(Sx *vec, Sx *idx, Sx *val, Reg target, TypeId t)
+{
+    int mark = tempMark();
+
+    // Evaluate all three left-to-right with call protection.
+    Reg rv, ri;
+    Reg rx = 0;
+    if (!containsCall(val)) {
+        evalTwo(vec, idx, rv, ri);
+        rx = allocTemp();
+        expr(val, rx);
+    } else {
+        expr(vec, abi::ret);
+        pushReg(abi::ret);
+        expr(idx, abi::ret);
+        pushReg(abi::ret);
+        rx = allocTemp();
+        expr(val, rx);
+        ri = allocTemp();
+        popTo(ri);
+        rv = allocTemp();
+        popTo(rv);
+    }
+
+    bool hwChecked = opts_.hw.checkedMemory == CheckedMem::All;
+    Annotation oc{Purpose::OtherCheck, CheckCat::Vector, true};
+
+    if (checkingOn()) {
+        Reg h = allocTemp();
+        if (hwChecked) {
+            buf_.ldt(h, rv, 0, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            emitTypeCheck(rv, t, CheckCat::Vector);
+            int adj;
+            Reg b = prepareBase(rv, t, adj, h);
+            buf_.ld(h, b, adj, oc);
+        }
+        emitFixnumCheckBranch(ri, rt_.error, CheckCat::Vector, true);
+        buf_.opImm(Opcode::Srli, h, h, 3, oc);
+        if (scheme_.fixnumScale() == 4)
+            buf_.opImm(Opcode::Slli, h, h, 2, oc);
+        buf_.branch(Opcode::Blt, ri, abi::zero, rt_.error, oc,
+                    /*hintFall=*/true);
+        buf_.branch(Opcode::Bge, ri, h, rt_.error, oc, /*hintFall=*/true);
+    }
+
+    Reg sval = rx;
+    if (t == TypeId::String && scheme_.fixnumScale() == 4) {
+        sval = allocTemp();
+        buf_.opImm(Opcode::Srai, sval, rx, 2, {Purpose::Useful});
+    }
+
+    Reg addr = allocTemp();
+    if (scheme_.placement() == TagPlacement::High) {
+        Reg s = allocTemp();
+        if (scheme_.fixnumScale() == 1)
+            buf_.opImm(Opcode::Slli, s, ri, 2, {Purpose::Useful});
+        else
+            buf_.mov(s, ri, {Purpose::Useful});
+        if (hwChecked && checkingOn()) {
+            buf_.op3(Opcode::Add, addr, rv, s, {Purpose::Useful});
+            buf_.stt(sval, addr, 4, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            int adj;
+            Reg b = prepareBase(rv, t, adj, /*avoid=*/0);
+            buf_.op3(Opcode::Add, addr, b, s, {Purpose::Useful});
+            buf_.st(sval, addr, 4 + adj, {Purpose::Useful});
+        }
+    } else {
+        buf_.op3(Opcode::Add, addr, rv, ri, {Purpose::Useful});
+        if (hwChecked && checkingOn()) {
+            buf_.stt(sval, addr, 4, scheme_.pointerTag(t),
+                     {Purpose::Useful, CheckCat::Vector});
+        } else {
+            buf_.st(sval, addr, 4 + scheme_.offsetAdjust(t),
+                    {Purpose::Useful});
+        }
+    }
+    if (target != rx)
+        buf_.mov(target, rx, {Purpose::Useful});
+    freeTempsAbove(mark);
+}
+
+} // namespace mxl

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Primitive operations of MX-Lisp: list cells, predicates, arithmetic,
+ * vectors/strings, symbol cells, I/O, and the sys-Lisp raw-memory layer
+ * the runtime (GC) is written in.
+ */
+
+#include "compiler/codegen.h"
+
+#include "runtime/layout.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+bool
+isArithOp(const std::string &n)
+{
+    return n == "+" || n == "-" || n == "*" || n == "quotient" ||
+           n == "remainder";
+}
+
+bool
+isCompareOp(const std::string &n)
+{
+    return n == "lessp" || n == "greaterp" || n == "leq" || n == "geq" ||
+           n == "eqn" || n == "neqn";
+}
+
+std::string
+negateCompare(const std::string &n)
+{
+    if (n == "lessp")
+        return "geq";
+    if (n == "greaterp")
+        return "leq";
+    if (n == "leq")
+        return "greaterp";
+    if (n == "geq")
+        return "lessp";
+    if (n == "eqn")
+        return "neqn";
+    if (n == "neqn")
+        return "eqn";
+    panic("negateCompare: ", n);
+}
+
+} // namespace
+
+bool
+CodeGen::isCxr(const std::string &name) const
+{
+    if (name.size() < 3 || name.front() != 'c' || name.back() != 'r')
+        return false;
+    for (size_t i = 1; i + 1 < name.size(); ++i) {
+        if (name[i] != 'a' && name[i] != 'd')
+            return false;
+    }
+    return true;
+}
+
+void
+CodeGen::compileCxr(const std::string &name, Sx *arg, Reg target)
+{
+    // Alternate between a temp and the target so each load reads from
+    // a different register than it writes — loads stay idempotent with
+    // no copy (the masked base would have provided this for free; see
+    // Figure 2's move/and trade-off).
+    int mark = tempMark();
+    size_t hops = name.size() - 2; // number of a/d letters
+    Reg other = allocTemp();
+    Reg cur = (hops % 2 == 0) ? target : other;
+    expr(arg, cur);
+    // Apply accessors right-to-left: (cadr x) = (car (cdr x)).
+    for (size_t i = name.size() - 2; i >= 1; --i) {
+        int off = name[i] == 'a' ? 0 : 4;
+        Reg dst = cur == target ? other : target;
+        emitLoadField(dst, cur, TypeId::Pair, off, CheckCat::List,
+                      /*checked=*/true);
+        cur = dst;
+    }
+    MXL_ASSERT(cur == target, "cxr parity");
+    freeTempsAbove(mark);
+}
+
+// ---------------------------------------------------------------------
+// Branch-form predicates
+// ---------------------------------------------------------------------
+
+bool
+CodeGen::primCondBranch(Sx *e, int label, bool branchIfTrue)
+{
+    // Constants.
+    if (!e->isPair()) {
+        if (e->isNil()) {
+            if (!branchIfTrue)
+                buf_.jump(label);
+            return true;
+        }
+        if (e->isInt() || e->isStr() || e->isSym("t")) {
+            if (branchIfTrue)
+                buf_.jump(label);
+            return true;
+        }
+        return false; // variable: generic evaluate-and-test
+    }
+
+    Sx *head = e->car;
+    if (!head->isSym())
+        return false;
+    const std::string &n = head->text;
+
+    if (n == "quote") {
+        bool truthy = !listNth(e, 1)->isNil();
+        if (truthy == branchIfTrue)
+            buf_.jump(label);
+        return true;
+    }
+    if (n == "not" || n == "null") {
+        Sx *arg = listNth(e, 1);
+        if (branchIfTrue)
+            condBranchFalse(arg, label);
+        else
+            condBranchTrue(arg, label);
+        return true;
+    }
+    if (n == "and" || n == "or") {
+        auto parts = listElems(e->cdr);
+        if (parts.empty())
+            return primCondBranch(n == "and" ? arena_.t() : arena_.nil(),
+                                  label, branchIfTrue);
+        bool isAnd = n == "and";
+        if (isAnd != branchIfTrue) {
+            // and+branchFalse / or+branchTrue: any part decides.
+            for (Sx *p : parts) {
+                if (isAnd)
+                    condBranchFalse(p, label);
+                else
+                    condBranchTrue(p, label);
+            }
+        } else {
+            int lOut = buf_.newLabel();
+            for (size_t i = 0; i + 1 < parts.size(); ++i) {
+                if (isAnd)
+                    condBranchFalse(parts[i], lOut);
+                else
+                    condBranchTrue(parts[i], lOut);
+            }
+            if (isAnd)
+                condBranchTrue(parts.back(), label);
+            else
+                condBranchFalse(parts.back(), label);
+            buf_.placeLabel(lOut);
+        }
+        return true;
+    }
+    if (n == "eq") {
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwo(listNth(e, 1), listNth(e, 2), ra, rb);
+        buf_.branch(branchIfTrue ? Opcode::Beq : Opcode::Bne, ra, rb,
+                    label, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "atom" || n == "pairp") {
+        int mark = tempMark();
+        Reg t = allocTemp();
+        expr(listNth(e, 1), t);
+        bool wantPair = (n == "pairp") == branchIfTrue;
+        if (wantPair)
+            emitTagBranchEq(t, TypeId::Pair, label, CheckCat::User, false);
+        else
+            emitTagBranchNe(t, TypeId::Pair, label, CheckCat::User, false,
+                            false);
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "symbolp" || n == "vectorp" || n == "stringp") {
+        TypeId ty = n == "symbolp"  ? TypeId::Symbol
+                    : n == "vectorp" ? TypeId::Vector
+                                     : TypeId::String;
+        int mark = tempMark();
+        Reg t = allocTemp();
+        expr(listNth(e, 1), t);
+        if (branchIfTrue)
+            emitTagBranchEq(t, ty, label, CheckCat::User, false);
+        else
+            emitTagBranchNe(t, ty, label, CheckCat::User, false, false);
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "fixp") {
+        int mark = tempMark();
+        Reg t = allocTemp();
+        expr(listNth(e, 1), t);
+        if (branchIfTrue)
+            emitFixnumBranchIf(t, label, CheckCat::User, false);
+        else
+            emitFixnumCheckBranch(t, label, CheckCat::User, false);
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "zerop" || n == "onep" || n == "minusp") {
+        int mark = tempMark();
+        Reg t = allocTemp();
+        expr(listNth(e, 1), t);
+        if (checkingOn())
+            emitFixnumCheckBranch(t, rt_.error, CheckCat::Arith, true);
+        if (n == "minusp") {
+            buf_.branch(branchIfTrue ? Opcode::Blt : Opcode::Bge, t,
+                        abi::zero, label, {Purpose::Useful});
+        } else {
+            int64_t v = n == "zerop" ? 0 : 1;
+            buf_.branch(branchIfTrue ? Opcode::Beqi : Opcode::Bnei, t, 0,
+                        label, {Purpose::Useful});
+            buf_.entries().back().inst.imm =
+                static_cast<int64_t>(scheme_.encodeFixnum(v));
+        }
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (isCompareOp(n)) {
+        Sx *a = listNth(e, 1);
+        Sx *b = listNth(e, 2);
+        if (branchIfTrue)
+            emitCompareBranchFalse(negateCompare(n), a, b, label);
+        else
+            emitCompareBranchFalse(n, a, b, label);
+        return true;
+    }
+    if (n == "sys<" || n == "sys<=" || n == "sys=") {
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwoSys(listNth(e, 1), listNth(e, 2), ra, rb);
+        Opcode bop;
+        if (n == "sys<")
+            bop = branchIfTrue ? Opcode::Blt : Opcode::Bge;
+        else if (n == "sys<=")
+            bop = branchIfTrue ? Opcode::Ble : Opcode::Bgt;
+        else
+            bop = branchIfTrue ? Opcode::Beq : Opcode::Bne;
+        buf_.branch(bop, ra, rb, label, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Value-form primitives
+// ---------------------------------------------------------------------
+
+bool
+CodeGen::compilePrimitive(const std::string &n,
+                          const std::vector<Sx *> &args, Reg target)
+{
+    auto need = [&](size_t k) {
+        if (args.size() != k)
+            fatal("primitive ", n, " expects ", k, " args, got ",
+                  args.size(), " in ", currentFunction_);
+    };
+
+    // Predicates (value position): branch + materialize t/nil.
+    if (n == "eq" || n == "null" || n == "not" || n == "atom" ||
+        n == "pairp" || n == "symbolp" || n == "vectorp" ||
+        n == "stringp" || n == "fixp" || n == "zerop" || n == "onep" ||
+        n == "minusp" || n == "sys<" || n == "sys<=" || n == "sys=") {
+        Sx *form = arena_.cons(arena_.sym(n), arena_.list(args));
+        int lTrue = buf_.newLabel();
+        condBranchTrue(form, lTrue);
+        materializeBool(lTrue, target);
+        return true;
+    }
+
+    if (isArithOp(n)) {
+        need(2);
+        emitArith(n, args[0], args[1], target);
+        return true;
+    }
+    if (n == "add1") {
+        need(1);
+        emitArith("+", args[0], arena_.num(1), target);
+        return true;
+    }
+    if (n == "sub1") {
+        need(1);
+        emitArith("-", args[0], arena_.num(1), target);
+        return true;
+    }
+    if (n == "minus") {
+        need(1);
+        emitArith("-", arena_.num(0), args[0], target);
+        return true;
+    }
+    if (isCompareOp(n)) {
+        need(2);
+        emitCompare(n, args[0], args[1], target);
+        return true;
+    }
+
+    if (n == "cons") {
+        need(2);
+        compileCallTo(rt_.cons, args, target);
+        return true;
+    }
+    if (n == "list") {
+        // (list a b c) -> (cons a (cons b (cons c nil)))
+        Sx *form = arena_.nil();
+        for (auto it = args.rbegin(); it != args.rend(); ++it) {
+            form = arena_.cons(arena_.sym("cons"),
+                               arena_.list({*it, form}));
+        }
+        expr(form, target);
+        return true;
+    }
+    if (n == "rplaca" || n == "rplacd") {
+        need(2);
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwo(args[0], args[1], ra, rb);
+        emitStoreField(rb, ra, TypeId::Pair, n == "rplaca" ? 0 : 4,
+                       CheckCat::List, /*checked=*/true);
+        if (target != ra)
+            buf_.mov(target, ra, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+
+    if (n == "mkvect") {
+        need(1);
+        compileCallTo(rt_.mkvect, args, target);
+        return true;
+    }
+    if (n == "mkstring") {
+        need(1);
+        compileCallTo(rt_.mkstring, args, target);
+        return true;
+    }
+    if (n == "getv") {
+        need(2);
+        emitIndexedLoad(args[0], args[1], target, TypeId::Vector);
+        return true;
+    }
+    if (n == "putv") {
+        need(3);
+        emitIndexedStore(args[0], args[1], args[2], target,
+                         TypeId::Vector);
+        return true;
+    }
+    if (n == "string-ref") {
+        need(2);
+        emitIndexedLoad(args[0], args[1], target, TypeId::String);
+        return true;
+    }
+    if (n == "string-set") {
+        need(3);
+        emitIndexedStore(args[0], args[1], args[2], target,
+                         TypeId::String);
+        return true;
+    }
+    if (n == "upbv" || n == "string-length") {
+        need(1);
+        TypeId ty = n == "upbv" ? TypeId::Vector : TypeId::String;
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[0], v);
+        if (checkingOn())
+            emitTypeCheck(v, ty, CheckCat::Vector);
+        Reg h = allocTemp();
+        int adj;
+        Reg b = prepareBase(v, ty, adj, h);
+        buf_.ld(h, b, adj, {Purpose::Useful});
+        buf_.opImm(Opcode::Srli, h, h, 3, {Purpose::Useful});
+        if (scheme_.fixnumScale() == 4)
+            buf_.opImm(Opcode::Slli, h, h, 2, {Purpose::Useful});
+        // upbv returns length-1 (the PSL upper bound); h holds the
+        // length in fixnum representation after the scaling above.
+        if (n == "upbv")
+            buf_.opImm(Opcode::Addi, target, h, -scheme_.fixnumScale(),
+                       {Purpose::Useful});
+        else
+            buf_.mov(target, h, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+
+    if (n == "plist" || n == "symbol-name") {
+        need(1);
+        int off = n == "plist" ? symoff::plist : symoff::name;
+        int mark = tempMark();
+        Reg s = allocTemp();
+        expr(args[0], s);
+        if (checkingOn())
+            emitTypeCheck(s, TypeId::Symbol, CheckCat::List);
+        emitLoadField(target, s, TypeId::Symbol, off, CheckCat::List,
+                      /*checked=*/false);
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "setplist") {
+        need(2);
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwo(args[0], args[1], ra, rb);
+        if (checkingOn())
+            emitTypeCheck(ra, TypeId::Symbol, CheckCat::List);
+        emitStoreField(rb, ra, TypeId::Symbol, symoff::plist,
+                       CheckCat::List, /*checked=*/false);
+        if (target != rb)
+            buf_.mov(target, rb, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "subtype") {
+        need(1);
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[0], v);
+        emitLoadField(target, v, TypeId::Vector, 0, CheckCat::None,
+                      /*checked=*/false);
+        buf_.opImm(Opcode::Andi, target, target, 7, {Purpose::Useful});
+        if (scheme_.fixnumScale() == 4)
+            buf_.opImm(Opcode::Slli, target, target, 2,
+                       {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+
+    if (n == "apply") {
+        need(2);
+        compileCallTo(rt_.apply, args, target);
+        return true;
+    }
+
+    if (n == "putfixnum") {
+        need(1);
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[0], v);
+        buf_.sys(SysCode::PutFix, v, {Purpose::Useful});
+        buf_.mov(target, v, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "putcharcode") {
+        need(1);
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[0], v);
+        if (scheme_.fixnumScale() == 4) {
+            Reg r = allocTemp();
+            buf_.opImm(Opcode::Srai, r, v, 2, {Purpose::Useful});
+            buf_.sys(SysCode::PutChar, r, {Purpose::Useful});
+        } else {
+            buf_.sys(SysCode::PutChar, v, {Purpose::Useful});
+        }
+        buf_.mov(target, v, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "error") {
+        need(1);
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[0], v);
+        if (scheme_.fixnumScale() == 4)
+            buf_.opImm(Opcode::Srai, v, v, 2, {Purpose::Useful});
+        buf_.sys(SysCode::Error, v, {Purpose::Useful});
+        buf_.mov(target, abi::nilreg);
+        freeTempsAbove(mark);
+        return true;
+    }
+
+    // ---- sys-Lisp layer ----
+    if (n == "sys-load") {
+        need(2);
+        MXL_ASSERT(args[1]->isInt(), "sys-load offset must be a literal");
+        int mark = tempMark();
+        Reg a = allocTemp();
+        exprSys(args[0], a);
+        buf_.ld(target, a, static_cast<int32_t>(args[1]->ival),
+                {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-store") {
+        need(3);
+        MXL_ASSERT(args[1]->isInt(), "sys-store offset must be a literal");
+        int mark = tempMark();
+        Reg ra, rv;
+        evalTwo(args[0], args[2], ra, rv);
+        buf_.st(rv, ra, static_cast<int32_t>(args[1]->ival),
+                {Purpose::Useful});
+        if (target != rv)
+            buf_.mov(target, rv, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys+" || n == "sys-") {
+        need(2);
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwoSys(args[0], args[1], ra, rb);
+        buf_.op3(n == "sys+" ? Opcode::Add : Opcode::Sub, target, ra, rb,
+                 {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-word") {
+        // A raw machine-word literal (the sys-Lisp escape from fixnum
+        // representation).
+        need(1);
+        MXL_ASSERT(args[0]->isInt(), "sys-word takes a literal");
+        buf_.li(target, args[0]->ival, {Purpose::Useful});
+        return true;
+    }
+    if (n == "sys-and" || n == "sys-xor") {
+        need(2);
+        int mark = tempMark();
+        Reg ra, rb;
+        evalTwoSys(args[0], args[1], ra, rb);
+        buf_.op3(n == "sys-and" ? Opcode::And : Opcode::Xor, target, ra,
+                 rb, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-sll" || n == "sys-srl") {
+        need(2);
+        MXL_ASSERT(args[1]->isInt(), "shift amount must be a literal");
+        int mark = tempMark();
+        Reg a = allocTemp();
+        exprSys(args[0], a);
+        buf_.opImm(n == "sys-sll" ? Opcode::Slli : Opcode::Srli, target,
+                   a, args[1]->ival, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-detag") {
+        need(1);
+        int mark = tempMark();
+        Reg a = allocTemp();
+        exprSys(args[0], a);
+        emitDetag(target, a, TypeId::Pair, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-cellref") {
+        need(1);
+        MXL_ASSERT(args[0]->isInt(), "cell index must be a literal");
+        uint32_t addr = image_.layout().cellAddr(
+            static_cast<Cell>(args[0]->ival));
+        buf_.ld(target, abi::zero, addr, {Purpose::Useful});
+        return true;
+    }
+    if (n == "sys-cellset") {
+        need(2);
+        MXL_ASSERT(args[0]->isInt(), "cell index must be a literal");
+        uint32_t addr = image_.layout().cellAddr(
+            static_cast<Cell>(args[0]->ival));
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[1], v);
+        buf_.st(v, abi::zero, addr, {Purpose::Useful});
+        if (target != v)
+            buf_.mov(target, v, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+    if (n == "sys-reg") {
+        need(1);
+        MXL_ASSERT(args[0]->isInt(), "register number must be a literal");
+        buf_.mov(target, static_cast<Reg>(args[0]->ival),
+                 {Purpose::Useful});
+        return true;
+    }
+    if (n == "sys-setreg") {
+        need(2);
+        MXL_ASSERT(args[0]->isInt(), "register number must be a literal");
+        int mark = tempMark();
+        Reg v = allocTemp();
+        expr(args[1], v);
+        buf_.mov(static_cast<Reg>(args[0]->ival), v, {Purpose::Useful});
+        if (target != v)
+            buf_.mov(target, v, {Purpose::Useful});
+        freeTempsAbove(mark);
+        return true;
+    }
+
+    return false;
+}
+
+} // namespace mxl

@@ -1,0 +1,47 @@
+#include "compiler/frame.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+void
+FrameEnv::pop(int n)
+{
+    MXL_ASSERT(depth_ >= n, "frame underflow");
+    depth_ -= n;
+    while (!bindings_.empty() && bindings_.back().depth > depth_)
+        bindings_.pop_back();
+}
+
+void
+FrameEnv::bind(Sx *sym)
+{
+    MXL_ASSERT(depth_ > 0, "bind with empty frame");
+    bindings_.push_back({sym, depth_});
+}
+
+void
+FrameEnv::bindAt(Sx *sym, int depth)
+{
+    MXL_ASSERT(depth > 0 && depth <= depth_, "bindAt out of range");
+    bindings_.push_back({sym, depth});
+}
+
+void
+FrameEnv::unbind(int n)
+{
+    MXL_ASSERT(static_cast<int>(bindings_.size()) >= n, "unbind underflow");
+    bindings_.resize(bindings_.size() - static_cast<size_t>(n));
+}
+
+int
+FrameEnv::offsetOf(const Sx *sym) const
+{
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+        if (it->sym == sym)
+            return 4 * (depth_ - it->depth);
+    }
+    return -1;
+}
+
+} // namespace mxl

@@ -1,0 +1,44 @@
+#include "compiler/linker.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+Program
+link(const AsmBuffer &buf)
+{
+    Program prog;
+    prog.labelNames = buf.labelNames();
+
+    std::vector<int> target(buf.numLabels(), -1);
+    for (const auto &e : buf.entries()) {
+        if (e.isLabel) {
+            MXL_ASSERT(target[e.labelId] == -1, "label placed twice: ",
+                       buf.labelNames()[e.labelId]);
+            target[e.labelId] = static_cast<int>(prog.code.size());
+        } else {
+            prog.code.push_back(e.inst);
+        }
+    }
+
+    for (auto &inst : prog.code) {
+        if (inst.label >= 0) {
+            int t = target[inst.label];
+            if (t < 0)
+                fatal("undefined label '", buf.labelNames()[inst.label],
+                      "'");
+            inst.target = t;
+        }
+    }
+
+    for (int id = 0; id < buf.numLabels(); ++id) {
+        if (buf.exported()[id]) {
+            MXL_ASSERT(target[id] >= 0, "exported label not placed: ",
+                       buf.labelNames()[id]);
+            prog.symbols[buf.labelNames()[id]] = target[id];
+        }
+    }
+    return prog;
+}
+
+} // namespace mxl

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Linker: flattens a scheduled AsmBuffer into an executable Program,
+ * resolving labels to absolute instruction indices.
+ */
+
+#ifndef MXLISP_COMPILER_LINKER_H_
+#define MXLISP_COMPILER_LINKER_H_
+
+#include "compiler/asm_buffer.h"
+#include "isa/instruction.h"
+
+namespace mxl {
+
+/** Link @p buf; throws on undefined labels. */
+Program link(const AsmBuffer &buf);
+
+} // namespace mxl
+
+#endif // MXLISP_COMPILER_LINKER_H_

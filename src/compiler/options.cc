@@ -1,0 +1,21 @@
+#include "compiler/options.h"
+
+#include "support/format.h"
+
+namespace mxl {
+
+std::string
+CompilerOptions::describe() const
+{
+    std::string arith;
+    switch (arithMode) {
+      case ArithMode::InlineBiased: arith = "inline-biased"; break;
+      case ArithMode::SumCheck:     arith = "sum-check"; break;
+      case ArithMode::ForceDispatch: arith = "force-dispatch"; break;
+    }
+    return strcat(schemeKindName(scheme), " checking=",
+                  checking == Checking::Full ? "full" : "off",
+                  " arith=", arith, " hw=[", hw.describe(), "]");
+}
+
+} // namespace mxl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compiler configuration: the independent variables of the study.
+ *
+ * A (scheme, checking, hardware) triple selects one cell of the paper's
+ * measurement space; Table 2's rows are specific triples (see
+ * core/experiment.h). The §4.2 and §6.2.2 arithmetic variants are extra
+ * knobs on top.
+ */
+
+#ifndef MXLISP_COMPILER_OPTIONS_H_
+#define MXLISP_COMPILER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "machine/machine.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** How much run-time type checking the compiler emits (§3). */
+enum class Checking
+{
+    Off,  ///< no checks: raw car/cdr, native fixnum arithmetic
+    Full, ///< list/vector checks and generic arithmetic everywhere
+};
+
+/** How generic arithmetic is compiled (§4.2 / §6.2.2). */
+enum class ArithMode
+{
+    /** Inline integer-biased tests, out-of-line fallback (§2.2). */
+    InlineBiased,
+    /** Add first, single type check on the result (§4.2; needs a
+     *  scheme with sumCheckSound()). */
+    SumCheck,
+    /** Always call the out-of-line dispatch routine (§6.2.2's
+     *  "the inline test always fails" bound). */
+    ForceDispatch,
+};
+
+struct CompilerOptions
+{
+    SchemeKind scheme = SchemeKind::High5;
+    Checking checking = Checking::Off;
+    ArithMode arithMode = ArithMode::InlineBiased;
+
+    /** Hardware features codegen may rely on (must match the Machine). */
+    HardwareConfig hw;
+
+    /** Fill branch delay slots (ablation knob; MIPS-X compilers did). */
+    bool fillDelaySlots = true;
+
+    /**
+     * §6.2.1 overlap: move protected operations into the squashing
+     * delay slots of their check branches, so "an operation and its
+     * tag check will happen concurrently". Off in the paper's baseline
+     * measurements; studied in bench_ablation.
+     */
+    bool overlapChecks = false;
+
+    /** Memory layout parameters (bytes). */
+    uint32_t memBytes = 32u << 20;
+    uint32_t staticBytes = 4u << 20;
+    uint32_t heapBytes = 4u << 20;   ///< per semispace
+
+    std::string describe() const;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_COMPILER_OPTIONS_H_

@@ -1,0 +1,153 @@
+#include "compiler/scheduler.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/** True if @p inst may be placed in a delay slot at all. */
+bool
+slotSafe(const Instruction &inst)
+{
+    if (isControl(inst.op))
+        return false;
+    switch (inst.op) {
+      case Opcode::Sys:
+        // Halt/error in a slot would be legal but confusing; keep out.
+        return false;
+      case Opcode::Ldt:
+      case Opcode::Stt:
+      case Opcode::Addt:
+      case Opcode::Subt:
+        // The machine does not support traps inside delay slots.
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsReg(const Instruction &inst, int r)
+{
+    Reg rr[3];
+    int n;
+    inst.readRegs(rr, n);
+    for (int i = 0; i < n; ++i) {
+        if (rr[i] == r)
+            return true;
+    }
+    return false;
+}
+
+/** May @p inst move from before @p xfer into its delay slots? */
+bool
+movableAcross(const Instruction &inst, const Instruction &xfer)
+{
+    if (!slotSafe(inst))
+        return false;
+    // Must not change the transfer's condition/target/link registers.
+    Reg xr[3];
+    int n;
+    xfer.readRegs(xr, n);
+    int w = inst.writeReg();
+    if (w > 0) {
+        for (int i = 0; i < n; ++i) {
+            if (xr[i] == w)
+                return false;
+        }
+    }
+    int linkw = xfer.writeReg(); // jal/jalr link register
+    if (linkw > 0) {
+        if (w == linkw)
+            return false;
+        if (readsReg(inst, linkw))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+scheduleDelaySlots(AsmBuffer &buf, bool fill, bool overlapChecks)
+{
+    const std::vector<AsmEntry> in = std::move(buf.entries());
+    std::vector<AsmEntry> out;
+    out.reserve(in.size() + in.size() / 4);
+
+    // Index into `out` of the first instruction of the current
+    // unbroken run (no labels, no control transfers) — instructions at
+    // or after this point are candidates for fill-from-above.
+    size_t blockStart = 0;
+
+    auto emitEntry = [&](const AsmEntry &e) { out.push_back(e); };
+
+    for (size_t i = 0; i < in.size(); ++i) {
+        const AsmEntry &e = in[i];
+        if (e.isLabel) {
+            emitEntry(e);
+            blockStart = out.size();
+            continue;
+        }
+        if (!isControl(e.inst.op)) {
+            emitEntry(e);
+            continue;
+        }
+
+        Instruction xfer = e.inst;
+        std::vector<AsmEntry> slots;
+
+        if (fill && overlapChecks && xfer.hintFall &&
+            isCondBranch(xfer.op)) {
+            // Rarely-taken check: pull from the fall-through path and
+            // squash on taken.
+            size_t j = i + 1;
+            while (slots.size() < 2 && j < in.size() &&
+                   !in[j].isLabel && slotSafe(in[j].inst) &&
+                   !isControl(in[j].inst.op)) {
+                slots.push_back(in[j]);
+                ++j;
+            }
+            if (!slots.empty()) {
+                xfer.annul = Annul::OnTaken;
+                i = j - 1; // consume the moved instructions
+            }
+        }
+
+        if (fill && slots.empty()) {
+            // Fill from the contiguous suffix of the preceding block.
+            size_t avail = out.size() - blockStart;
+            size_t take = 0;
+            while (take < 2 && take < avail) {
+                const AsmEntry &cand = out[out.size() - 1 - take];
+                if (cand.isLabel || !movableAcross(cand.inst, xfer))
+                    break;
+                ++take;
+            }
+            if (take > 0) {
+                slots.assign(out.end() - static_cast<long>(take),
+                             out.end());
+                out.erase(out.end() - static_cast<long>(take), out.end());
+            }
+        }
+
+        while (slots.size() < 2) {
+            AsmEntry pad;
+            pad.inst.op = Opcode::Noop;
+            pad.inst.ann = xfer.ann;
+            slots.push_back(pad);
+        }
+
+        AsmEntry xe;
+        xe.inst = xfer;
+        emitEntry(xe);
+        emitEntry(slots[0]);
+        emitEntry(slots[1]);
+        blockStart = out.size();
+    }
+
+    buf.entries() = std::move(out);
+}
+
+} // namespace mxl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Delay-slot scheduler.
+ *
+ * MX control transfers have two delay slots (MIPS-X). The scheduler
+ * makes the slots explicit and fills them:
+ *
+ *  - branches hinted rarely-taken (error checks) fill from the
+ *    fall-through path and become squashing (annul-on-taken) — this is
+ *    §6.2.1's "an operation and its tag check will happen concurrently
+ *    if the operation is moved in a delay slot of the branch";
+ *  - other transfers fill from the contiguous suffix of independent
+ *    instructions before them;
+ *  - remaining slots are padded with noops annotated with the branch's
+ *    purpose (the paper charges unused delay slots of a tag check to
+ *    tag checking).
+ *
+ * This pass is also what makes Figure 2 reproducible: removing tag
+ * masking removes exactly the ALU instructions that used to fill slots,
+ * so the noop count rises.
+ */
+
+#ifndef MXLISP_COMPILER_SCHEDULER_H_
+#define MXLISP_COMPILER_SCHEDULER_H_
+
+#include "compiler/asm_buffer.h"
+
+namespace mxl {
+
+/**
+ * Rewrite @p buf in place. @p fill enables slot filling at all;
+ * @p overlapChecks additionally allows rarely-taken check branches to
+ * pull the protected operations into squashing slots (§6.2.1's
+ * overlap, which makes checks almost free — the paper's baseline does
+ * not do this, so it is off by default and studied as an ablation).
+ */
+void scheduleDelaySlots(AsmBuffer &buf, bool fill, bool overlapChecks);
+
+} // namespace mxl
+
+#endif // MXLISP_COMPILER_SCHEDULER_H_

@@ -1,0 +1,133 @@
+#include "compiler/unit.h"
+
+#include <map>
+
+#include "compiler/asm_buffer.h"
+#include "compiler/codegen.h"
+#include "compiler/linker.h"
+#include "compiler/scheduler.h"
+#include "machine/machine.h"
+#include "runtime/image.h"
+#include "runtime/lisplib.h"
+#include "runtime/stubs.h"
+#include "runtime/syslisp.h"
+#include "sexpr/reader.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+int
+countSourceLines(const std::string &source)
+{
+    int lines = 0;
+    bool content = false;
+    bool inComment = false;
+    for (char c : source) {
+        if (c == '\n') {
+            if (content)
+                ++lines;
+            content = false;
+            inComment = false;
+        } else if (c == ';') {
+            inComment = true;
+        } else if (!inComment &&
+                   !std::isspace(static_cast<unsigned char>(c))) {
+            content = true;
+        }
+    }
+    if (content)
+        ++lines;
+    return lines;
+}
+
+CompiledUnit
+compileUnit(const std::string &userSource, const CompilerOptions &opts)
+{
+    CompiledUnit unit;
+    unit.opts = opts;
+    unit.scheme = makeScheme(opts.scheme);
+    unit.layout = RuntimeLayout::compute(opts);
+
+    SxArena arena;
+    ImageBuilder image(unit.layout, *unit.scheme);
+    AsmBuffer buf;
+    CodeGen cg(arena, image, buf, opts, *unit.scheme);
+
+    // Parse all three layers.
+    auto libForms = readAll(arena, lispLibSource());
+    auto gcForms = readAll(arena, gcSource());
+    auto arithForms = readAll(arena, genericArithSource());
+    auto userForms = readAll(arena, userSource);
+
+    // Later definitions override earlier ones (user over library).
+    std::map<const Sx *, Sx *> defOf;        // name -> winning def
+    std::map<const Sx *, bool> winnerIsLib;  // winner came from runtime
+    std::vector<Sx *> defOrder;              // first-appearance order
+    std::vector<Sx *> topForms;              // user program body
+
+    auto collect = [&](const std::vector<Sx *> &forms, bool isLib) {
+        for (Sx *f : forms) {
+            if (f->isPair() && f->car->isSym("de")) {
+                Sx *name = listNth(f, 1);
+                if (!defOf.count(name))
+                    defOrder.push_back(name);
+                defOf[name] = f;
+                winnerIsLib[name] = isLib;
+            } else {
+                if (isLib)
+                    fatal("library sources must contain only de forms");
+                topForms.push_back(f);
+            }
+        }
+    };
+    collect(libForms, true);
+    collect(gcForms, true);
+    collect(arithForms, true);
+    collect(userForms, false);
+
+    // Pass 1: declare everything (including main) so calls resolve.
+    for (Sx *name : defOrder) {
+        Sx *def = defOf[name];
+        cg.declareFunction(name, listLength(listNth(def, 2)));
+    }
+    cg.declareFunction(arena.sym("main"), 0);
+
+    // Stubs first: the undefined-function handler must be instruction 0.
+    StubSet stubs = emitStubs(cg, arena);
+    cg.setRuntimeLabels(stubs.labels);
+
+    // Pass 2: compile bodies. Runtime/library functions always compile
+    // generic arithmetic inline (see setLibArithInline).
+    for (Sx *name : defOrder) {
+        cg.setLibArithInline(winnerIsLib[name]);
+        cg.compileFunction(defOf[name]);
+    }
+    cg.setLibArithInline(false);
+    cg.compileMain(topForms);
+
+    scheduleDelaySlots(buf, opts.fillDelaySlots, opts.overlapChecks);
+    unit.prog = link(buf);
+
+    // Patch symbol function cells so `apply` can reach every compiled
+    // function through its symbol.
+    for (const auto &[sym, idx] : unit.prog.symbols) {
+        if (sym.rfind("fn_", 0) == 0) {
+            std::string name = sym.substr(3);
+            uint32_t addr = image.symbolAddr(name);
+            image.setWord(addr + symoff::fn, Machine::codeAddr(idx));
+        }
+    }
+
+    unit.memory = image.finalize();
+    unit.entry = unit.prog.symbol("rt_start");
+    unit.arithTrap = unit.prog.symbol("rt_arithtrap");
+    unit.tagTrap = unit.prog.symbol("rt_tagtrap");
+    MXL_ASSERT(unit.entry >= 0, "rt_start missing");
+
+    unit.procedures = cg.proceduresCompiled();
+    unit.objectWords = static_cast<int>(unit.prog.code.size());
+    unit.sourceLines = countSourceLines(userSource);
+    return unit;
+}
+
+} // namespace mxl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-program compilation: user source + standard library + sys-Lisp
+ * runtime -> an executable Program plus its initial memory image.
+ */
+
+#ifndef MXLISP_COMPILER_UNIT_H_
+#define MXLISP_COMPILER_UNIT_H_
+
+#include <memory>
+#include <string>
+
+#include "compiler/options.h"
+#include "isa/instruction.h"
+#include "machine/memory.h"
+#include "runtime/layout.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** A fully linked MX-Lisp program ready to run on a Machine. */
+struct CompiledUnit
+{
+    Program prog;
+    Memory memory;                      ///< pristine initial image
+    std::unique_ptr<TagScheme> scheme;
+    CompilerOptions opts;
+    RuntimeLayout layout;
+
+    int entry = -1;      ///< rt_start
+    int arithTrap = -1;  ///< Addt/Subt trap handler (instruction index)
+    int tagTrap = -1;    ///< Ldt/Stt trap handler
+
+    // Table 3 statistics.
+    int procedures = 0;
+    int objectWords = 0;
+    int sourceLines = 0;
+
+    CompiledUnit() : memory(0) {}
+};
+
+/**
+ * Compile @p userSource (MX-Lisp top-level forms; `de` defines a
+ * function, anything else runs in order as the program body).
+ */
+CompiledUnit compileUnit(const std::string &userSource,
+                         const CompilerOptions &opts);
+
+/** Count the non-blank, non-comment-only lines of Lisp source. */
+int countSourceLines(const std::string &source);
+
+} // namespace mxl
+
+#endif // MXLISP_COMPILER_UNIT_H_

@@ -1,0 +1,109 @@
+#include "core/experiment.h"
+
+namespace mxl {
+
+CompilerOptions
+baselineOptions(Checking checking)
+{
+    CompilerOptions o;
+    o.scheme = SchemeKind::High5;
+    o.checking = checking;
+    return o;
+}
+
+std::vector<Table2Config>
+table2Configs()
+{
+    std::vector<Table2Config> rows;
+
+    {
+        Table2Config c;
+        c.id = "row1";
+        c.label = "avoid tag masking (software)";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.ignoreTagOnMemory = true;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row2";
+        c.label = "avoid tag extraction";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.branchOnTag = true;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row3";
+        c.label = "avoid masking and extraction";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.ignoreTagOnMemory = true;
+        c.opts.hw.branchOnTag = true;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row4";
+        c.label = "support generic arithmetic";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.genericArith = true;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row5";
+        c.label = "avoid tag checking on list ops";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.checkedMemory = CheckedMem::Lists;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row6";
+        c.label = "avoid tag checking (lists+vectors)";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.checkedMemory = CheckedMem::All;
+        rows.push_back(c);
+    }
+    {
+        Table2Config c;
+        c.id = "row7";
+        c.label = "all of the above";
+        c.opts = baselineOptions(Checking::Off);
+        c.opts.hw.ignoreTagOnMemory = true;
+        c.opts.hw.branchOnTag = true;
+        c.opts.hw.genericArith = true;
+        c.opts.hw.checkedMemory = CheckedMem::All;
+        rows.push_back(c);
+    }
+    return rows;
+}
+
+CompilerOptions
+lowTagSoftwareOptions(Checking checking, SchemeKind scheme)
+{
+    CompilerOptions o;
+    o.scheme = scheme;
+    o.checking = checking;
+    return o;
+}
+
+CompilerOptions
+sumCheckOptions(Checking checking)
+{
+    CompilerOptions o;
+    o.scheme = SchemeKind::High6;
+    o.checking = checking;
+    o.arithMode = ArithMode::SumCheck;
+    return o;
+}
+
+CompilerOptions
+forceDispatchOptions(Checking checking)
+{
+    CompilerOptions o = baselineOptions(checking);
+    o.arithMode = ArithMode::ForceDispatch;
+    return o;
+}
+
+} // namespace mxl

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named experiment configurations: the measurement space of the paper.
+ *
+ * Table 2's rows are specific (scheme, hardware) combinations evaluated
+ * at both checking settings against the §2.1 baseline; §4.2 and §6.2.2
+ * add arithmetic-mode variants.
+ */
+
+#ifndef MXLISP_CORE_EXPERIMENT_H_
+#define MXLISP_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "compiler/options.h"
+
+namespace mxl {
+
+/** The straightforward §2.1 implementation: HighTag5, no hardware. */
+CompilerOptions baselineOptions(Checking checking);
+
+/** One row of Table 2. */
+struct Table2Config
+{
+    std::string id;      ///< "row1" ... "row7"
+    std::string label;   ///< the paper's row description
+    CompilerOptions opts; ///< checking field is overwritten per column
+
+    CompilerOptions
+    withChecking(Checking c) const
+    {
+        CompilerOptions o = opts;
+        o.checking = c;
+        return o;
+    }
+};
+
+/** The seven rows of Table 2 (baseline excluded). */
+std::vector<Table2Config> table2Configs();
+
+/**
+ * The software-only equivalent of row 1: a low-tag scheme instead of
+ * address-masking hardware ("the software schemes that place the tag in
+ * the bottom two or three bits are very attractive").
+ */
+CompilerOptions lowTagSoftwareOptions(Checking checking,
+                                      SchemeKind scheme = SchemeKind::Low3);
+
+/** §4.2: the arithmetic-friendly 6-bit tag encoding. */
+CompilerOptions sumCheckOptions(Checking checking);
+
+/** §6.2.2: every arithmetic operation goes through the dispatcher. */
+CompilerOptions forceDispatchOptions(Checking checking);
+
+} // namespace mxl
+
+#endif // MXLISP_CORE_EXPERIMENT_H_

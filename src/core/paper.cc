@@ -1,0 +1,89 @@
+#include "core/paper.h"
+
+namespace mxl {
+namespace paper {
+
+const std::vector<Table1Entry> &
+table1()
+{
+    static const std::vector<Table1Entry> rows = {
+        // program   arith  vector  list    total
+        {"inter",    0.63,  0.00,  19.04,  19.68},
+        {"deduce",   0.09,  0.00,  12.27,  12.36},
+        {"dedgc",    0.04,  0.00,   6.58,   6.62},
+        {"rat",      4.85,  0.00,  13.69,  18.54},
+        {"comp",     0.05,  0.00,  10.34,  10.39},
+        {"opt",      2.68, 11.76,  27.99,  42.43},
+        {"frl",      0.45,  0.00,   9.72,  10.17},
+        {"boyer",    0.00,  0.00,  17.50,  17.50},
+        {"brow",     0.03,  0.00,  19.91,  19.94},
+        {"trav",     3.09, 71.96,  13.19,  88.25},
+    };
+    return rows;
+}
+
+const std::vector<Figure1Entry> &
+figure1()
+{
+    // Bar heights read from Figure 1 (§3.1-§3.4 give the key values:
+    // insertion 1.5%, removal 8.7% -> 7%, extraction 4% -> ~10%,
+    // checking 11% -> ~24%).
+    static const std::vector<Figure1Entry> rows = {
+        {"insertion", 1.5, 1.2},
+        {"removal", 8.7, 7.0},
+        {"extraction", 4.0, 10.0},
+        {"checking", 11.0, 24.0},
+    };
+    return rows;
+}
+
+const std::vector<Figure2Entry> &
+figure2()
+{
+    // Read from Figure 2: 'and' falls by ~8% of cycles, moves rise
+    // slightly, wasted cycles (noops + squashed) rise, for a net 5.7%.
+    static const std::vector<Figure2Entry> rows = {
+        {"and", 8.3},
+        {"move", -1.1},
+        {"noop", -1.0},
+        {"squash", -0.5},
+        {"total", 5.7},
+    };
+    return rows;
+}
+
+const std::vector<Table2Entry> &
+table2()
+{
+    static const std::vector<Table2Entry> rows = {
+        {"row1", "avoid tag masking (software)", 5.7, 4.6},
+        {"row2", "avoid tag extraction", 3.6, 9.3},
+        {"row3", "avoid masking and extraction", 9.3, 13.9},
+        {"row4", "support generic arithmetic", 0.0, 0.7},
+        {"row5", "avoid tag checking on list ops", 0.0, 16.3},
+        {"row6", "avoid tag checking (lists+vectors)", 0.0, 18.2},
+        {"row7", "all of the above", 9.3, 22.1},
+    };
+    return rows;
+}
+
+const std::vector<Table3Entry> &
+table3()
+{
+    static const std::vector<Table3Entry> rows = {
+        {"inter", 64, 710, 1533},
+        {"deduce", 100, 900, 3419},
+        {"dedgc", 116, 1100, 4112},
+        {"rat", 148, 1900, 6315},
+        {"comp", 220, 2400, 9466},
+        {"opt", 226, 3500, 11121},
+        {"frl", 198, 2500, 11802},
+        {"boyer", 84, 1200, 1793},
+        {"brow", 91, 1000, 2296},
+        {"trav", 78, 810, 1673},
+    };
+    return rows;
+}
+
+} // namespace paper
+} // namespace mxl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's published numbers (Tables 1-3, Figures 1-2, §4.2 and
+ * §6.2.2), kept here so benchmark harnesses can print paper-vs-measured
+ * side by side and tests can assert that the reproduced *shape* holds.
+ */
+
+#ifndef MXLISP_CORE_PAPER_H_
+#define MXLISP_CORE_PAPER_H_
+
+#include <string>
+#include <vector>
+
+namespace mxl {
+namespace paper {
+
+/** Table 1: % increase in execution time with full run-time checking. */
+struct Table1Entry
+{
+    const char *program;
+    double arith;
+    double vector;
+    double list;
+    double total;
+};
+
+const std::vector<Table1Entry> &table1();
+
+inline constexpr double table1Average = 24.59;
+
+/** Figure 1 (approximate bar heights, % of execution time). */
+struct Figure1Entry
+{
+    const char *op;
+    double withoutRtc;
+    double withRtc;
+};
+
+const std::vector<Figure1Entry> &figure1();
+
+/** §3.5: total tag-handling cost band and standard deviations. */
+inline constexpr double totalCostWithoutRtc = 22.0;
+inline constexpr double totalCostWithRtc = 32.0;
+inline constexpr double stddevWithoutRtc = 5.6;
+inline constexpr double stddevWithRtc = 7.5;
+
+/** Figure 2 (approximate): reduction in frequencies, % of cycles. */
+struct Figure2Entry
+{
+    const char *category;
+    double reduction; ///< negative = increase
+};
+
+const std::vector<Figure2Entry> &figure2();
+
+inline constexpr double figure2TotalSpeedup = 5.7;
+
+/** Table 2: speedups (%) for the hardware ladder. */
+struct Table2Entry
+{
+    const char *id;
+    const char *label;
+    double noChecking;
+    double withChecking;
+};
+
+const std::vector<Table2Entry> &table2();
+
+/** Table 3: program statistics. */
+struct Table3Entry
+{
+    const char *program;
+    int procedures;
+    int sourceLines;
+    int objectWords;
+};
+
+const std::vector<Table3Entry> &table3();
+
+/** §4.2 and §6.2.2 generic-arithmetic numbers. */
+inline constexpr double genericArithCostBiased = 2.0;   ///< % of time
+inline constexpr double genericArithCostSumCheck = 1.6;
+inline constexpr double genericArithCostHw = 1.3;
+inline constexpr double forcedDispatchOverhead = 2.7;
+inline constexpr int genericAddCyclesBiased = 10;
+inline constexpr int genericAddCyclesSumCheck = 4;
+inline constexpr double ratGenericArithCost = 8.0;
+
+} // namespace paper
+} // namespace mxl
+
+#endif // MXLISP_CORE_PAPER_H_

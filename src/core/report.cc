@@ -1,0 +1,189 @@
+#include "core/report.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+const char *const fig1OpNames[fig1Ops] = {
+    "insertion", "removal", "extraction", "checking",
+};
+
+namespace {
+
+Purpose
+fig1Purpose(int i)
+{
+    switch (i) {
+      case 0: return Purpose::TagInsert;
+      case 1: return Purpose::TagRemove;
+      case 2: return Purpose::TagExtract;
+      case 3: return Purpose::TagCheck;
+    }
+    panic("fig1Purpose");
+}
+
+double
+pct(uint64_t part, uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole)
+                 : 0.0;
+}
+
+} // namespace
+
+ProgramMeasurement
+measureProgram(const BenchmarkProgram &prog, const CompilerOptions &base)
+{
+    ProgramMeasurement m;
+    m.program = prog.name;
+
+    CompilerOptions off = base;
+    off.checking = Checking::Off;
+    off.heapBytes = prog.heapBytes;
+    m.off = compileAndRun(prog.source, off, prog.maxCycles);
+
+    CompilerOptions full = base;
+    full.checking = Checking::Full;
+    full.heapBytes = prog.heapBytes;
+    m.full = compileAndRun(prog.source, full, prog.maxCycles);
+
+    if (!m.off.ok() || !m.full.ok())
+        fatal("benchmark ", prog.name, " did not halt cleanly");
+    if (m.off.output != m.full.output)
+        fatal("benchmark ", prog.name,
+              " output differs between checking modes");
+    return m;
+}
+
+std::vector<ProgramMeasurement>
+measureAll(const CompilerOptions &base)
+{
+    std::vector<ProgramMeasurement> out;
+    for (const auto &p : benchmarkPrograms())
+        out.push_back(measureProgram(p, base));
+    return out;
+}
+
+Table1Row
+table1Row(const ProgramMeasurement &m)
+{
+    Table1Row r;
+    r.program = m.program;
+    uint64_t offTotal = m.off.stats.total;
+    // The added cost of each checking category, relative to the
+    // unchecked execution time (Table 1's columns).
+    r.arith = pct(m.full.stats.catChecking(CheckCat::Arith), offTotal);
+    r.vector = pct(m.full.stats.catChecking(CheckCat::Vector), offTotal);
+    r.list = pct(m.full.stats.catChecking(CheckCat::List), offTotal);
+    r.total = pct(m.full.stats.total, offTotal) - 100.0;
+    return r;
+}
+
+Figure1Bars
+figure1Bars(const ProgramMeasurement &m)
+{
+    Figure1Bars f;
+    for (int i = 0; i < fig1Ops; ++i) {
+        Purpose p = fig1Purpose(i);
+        f.withoutRtc[i] = pct(m.off.stats.purposeTotal(p),
+                              m.off.stats.total);
+        int pi = static_cast<int>(p);
+        f.addedByRtc[i] = pct(m.full.stats.byPurpose[pi][1],
+                              m.full.stats.total);
+        f.withRtc[i] = pct(m.full.stats.purposeTotal(p),
+                           m.full.stats.total);
+        f.totalWithout += f.withoutRtc[i];
+        f.totalWith += f.withRtc[i];
+    }
+    return f;
+}
+
+Figure1Bars
+figure1Average(const std::vector<ProgramMeasurement> &ms)
+{
+    Figure1Bars avg;
+    if (ms.empty())
+        return avg;
+    for (const auto &m : ms) {
+        Figure1Bars f = figure1Bars(m);
+        for (int i = 0; i < fig1Ops; ++i) {
+            avg.withoutRtc[i] += f.withoutRtc[i];
+            avg.addedByRtc[i] += f.addedByRtc[i];
+            avg.withRtc[i] += f.withRtc[i];
+        }
+        avg.totalWithout += f.totalWithout;
+        avg.totalWith += f.totalWith;
+    }
+    double n = static_cast<double>(ms.size());
+    for (int i = 0; i < fig1Ops; ++i) {
+        avg.withoutRtc[i] /= n;
+        avg.addedByRtc[i] /= n;
+        avg.withRtc[i] /= n;
+    }
+    avg.totalWithout /= n;
+    avg.totalWith /= n;
+    return avg;
+}
+
+Figure2Data
+figure2Data(const RunResult &base, const RunResult &noMask)
+{
+    Figure2Data d;
+    uint64_t denom = base.stats.total;
+    auto delta = [&](uint64_t a, uint64_t b) {
+        return 100.0 * (static_cast<double>(a) - static_cast<double>(b)) /
+               static_cast<double>(denom ? denom : 1);
+    };
+    d.andOps = delta(base.stats.andOps, noMask.stats.andOps);
+    d.moveOps = delta(base.stats.moveOps, noMask.stats.moveOps);
+    d.noops = delta(base.stats.noops + base.stats.loadStalls,
+                    noMask.stats.noops + noMask.stats.loadStalls);
+    d.squashed = delta(base.stats.squashed, noMask.stats.squashed);
+    d.total = delta(base.stats.total, noMask.stats.total);
+    return d;
+}
+
+Table2Cell
+table2Cell(const RunResult &base, const RunResult &cfg)
+{
+    Table2Cell c;
+    uint64_t denom = base.stats.total;
+    auto delta = [&](uint64_t a, uint64_t b) {
+        return 100.0 * (static_cast<double>(a) - static_cast<double>(b)) /
+               static_cast<double>(denom ? denom : 1);
+    };
+    c.total = delta(base.stats.total, cfg.stats.total);
+    c.mask = delta(base.stats.purposeTotal(Purpose::TagRemove),
+                   cfg.stats.purposeTotal(Purpose::TagRemove));
+    uint64_t baseCheck = base.stats.purposeTotal(Purpose::TagExtract) +
+                         base.stats.purposeTotal(Purpose::TagCheck) +
+                         base.stats.purposeTotal(Purpose::OtherCheck);
+    uint64_t cfgCheck = cfg.stats.purposeTotal(Purpose::TagExtract) +
+                        cfg.stats.purposeTotal(Purpose::TagCheck) +
+                        cfg.stats.purposeTotal(Purpose::OtherCheck);
+    c.check = delta(baseCheck, cfgCheck);
+    return c;
+}
+
+Table2Cell
+table2Average(const std::vector<RunResult> &bases,
+              const std::vector<RunResult> &cfgs)
+{
+    MXL_ASSERT(bases.size() == cfgs.size() && !bases.empty(),
+               "mismatched measurement sets");
+    Table2Cell avg;
+    for (size_t i = 0; i < bases.size(); ++i) {
+        Table2Cell c = table2Cell(bases[i], cfgs[i]);
+        avg.total += c.total;
+        avg.check += c.check;
+        avg.mask += c.mask;
+    }
+    double n = static_cast<double>(bases.size());
+    avg.total /= n;
+    avg.check /= n;
+    avg.mask /= n;
+    return avg;
+}
+
+} // namespace mxl

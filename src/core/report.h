@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Aggregation of run measurements into the paper's tables and figures.
+ */
+
+#ifndef MXLISP_CORE_REPORT_H_
+#define MXLISP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/run.h"
+#include "programs/programs.h"
+
+namespace mxl {
+
+/** One program measured with checking off and on (same base config). */
+struct ProgramMeasurement
+{
+    std::string program;
+    RunResult off;
+    RunResult full;
+};
+
+/** Run @p prog both ways on top of @p base (its checking is ignored). */
+ProgramMeasurement measureProgram(const BenchmarkProgram &prog,
+                                  const CompilerOptions &base);
+
+/** Measure all ten programs. */
+std::vector<ProgramMeasurement>
+measureAll(const CompilerOptions &base);
+
+// ---- Table 1: % increase when run-time checking is added -------------
+
+struct Table1Row
+{
+    std::string program;
+    double arith;   ///< checking cycles in the arith category
+    double vector;  ///< ... vector category
+    double list;    ///< ... list category
+    double total;   ///< overall slowdown
+};
+
+Table1Row table1Row(const ProgramMeasurement &m);
+
+// ---- Figure 1: time per tag operation ---------------------------------
+
+/** Index order: insertion, removal, extraction, checking. */
+inline constexpr int fig1Ops = 4;
+extern const char *const fig1OpNames[fig1Ops];
+
+struct Figure1Bars
+{
+    double withoutRtc[fig1Ops] = {};  ///< % of the unchecked run
+    double addedByRtc[fig1Ops] = {};  ///< added component, % of checked run
+    double withRtc[fig1Ops] = {};     ///< % of the checked run
+    double totalWithout = 0;          ///< summary §3.5 (22%..32% band)
+    double totalWith = 0;
+};
+
+Figure1Bars figure1Bars(const ProgramMeasurement &m);
+Figure1Bars figure1Average(const std::vector<ProgramMeasurement> &ms);
+
+// ---- Figure 2: instruction-frequency reduction -------------------------
+
+/**
+ * Reduction in dynamic event frequencies when tag removal is
+ * eliminated, as a percentage of the baseline run's cycles (positive =
+ * fewer). `total` is the overall cycle reduction (§5.1: ~5.7%).
+ */
+struct Figure2Data
+{
+    double andOps = 0;
+    double moveOps = 0;   ///< negative: idempotent-load copies appear
+    double noops = 0;     ///< negative: fewer slot fillers available
+    double squashed = 0;
+    double total = 0;
+};
+
+Figure2Data figure2Data(const RunResult &base, const RunResult &noMask);
+
+// ---- Table 2: speedup per hardware configuration ------------------------
+
+struct Table2Cell
+{
+    double total = 0;  ///< % cycles eliminated vs baseline
+    double check = 0;  ///< component from checking-cycle reduction
+    double mask = 0;   ///< component from tag-removal reduction
+};
+
+Table2Cell table2Cell(const RunResult &base, const RunResult &cfg);
+
+/** Average of per-program speedups. */
+Table2Cell table2Average(const std::vector<RunResult> &bases,
+                         const std::vector<RunResult> &cfgs);
+
+} // namespace mxl
+
+#endif // MXLISP_CORE_REPORT_H_

@@ -1,0 +1,34 @@
+#include "core/run.h"
+
+namespace mxl {
+
+RunResult
+runUnit(const CompiledUnit &unit, uint64_t maxCycles)
+{
+    Machine m(unit.prog, unit.memory, unit.opts.hw, unit.scheme.get());
+    if (unit.opts.hw.genericArith && unit.arithTrap >= 0)
+        m.setTrapHandler(TrapKind::ArithFail, unit.arithTrap);
+    if (unit.opts.hw.checkedMemory != CheckedMem::None &&
+        unit.tagTrap >= 0)
+        m.setTrapHandler(TrapKind::TagMismatch, unit.tagTrap);
+
+    RunResult r;
+    r.stop = m.run(unit.entry, maxCycles);
+    r.stats = m.stats();
+    r.output = m.output();
+    r.errorCode = m.errorCode();
+    r.exitValue = m.exitValue();
+    r.gcCount = m.memory().load(unit.layout.cellAddr(Cell::GcCount));
+    r.heapUsed = m.memory().load(unit.layout.cellAddr(Cell::HeapUsed));
+    return r;
+}
+
+RunResult
+compileAndRun(const std::string &source, const CompilerOptions &opts,
+              uint64_t maxCycles)
+{
+    CompiledUnit unit = compileUnit(source, opts);
+    return runUnit(unit, maxCycles);
+}
+
+} // namespace mxl

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Running compiled units on the machine and collecting measurements.
+ */
+
+#ifndef MXLISP_CORE_RUN_H_
+#define MXLISP_CORE_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/unit.h"
+#include "machine/machine.h"
+
+namespace mxl {
+
+/** Outcome of one simulated execution. */
+struct RunResult
+{
+    CycleStats stats;
+    std::string output;
+    StopReason stop = StopReason::Running;
+    int64_t errorCode = 0;
+    uint32_t exitValue = 0;
+    uint64_t gcCount = 0;     ///< collections performed
+    uint64_t heapUsed = 0;    ///< bytes live after the last collection
+
+    bool ok() const { return stop == StopReason::Halted; }
+};
+
+/** Execute @p unit from its entry point. */
+RunResult runUnit(const CompiledUnit &unit,
+                  uint64_t maxCycles = 2'000'000'000);
+
+/**
+ * Convenience: compile @p source with @p opts and run it.
+ * Throws on compile errors; run errors are reported in the result.
+ */
+RunResult compileAndRun(const std::string &source,
+                        const CompilerOptions &opts,
+                        uint64_t maxCycles = 2'000'000'000);
+
+} // namespace mxl
+
+#endif // MXLISP_CORE_RUN_H_

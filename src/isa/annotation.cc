@@ -1,0 +1,33 @@
+#include "isa/annotation.h"
+
+namespace mxl {
+
+std::string
+purposeName(Purpose p)
+{
+    switch (p) {
+      case Purpose::Useful:     return "useful";
+      case Purpose::TagInsert:  return "insertion";
+      case Purpose::TagRemove:  return "removal";
+      case Purpose::TagExtract: return "extraction";
+      case Purpose::TagCheck:   return "checking";
+      case Purpose::Dispatch:   return "dispatch";
+      case Purpose::OtherCheck: return "other-check";
+    }
+    return "?";
+}
+
+std::string
+checkCatName(CheckCat c)
+{
+    switch (c) {
+      case CheckCat::None:   return "none";
+      case CheckCat::List:   return "list";
+      case CheckCat::Vector: return "vector";
+      case CheckCat::Arith:  return "arith";
+      case CheckCat::User:   return "user";
+    }
+    return "?";
+}
+
+} // namespace mxl

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction annotations: the measurement methodology of the paper made
+ * explicit. Every instruction the compiler emits is labeled with the tag
+ * operation it implements (§2.1's four operations, or "useful" work) and
+ * with the checking category it belongs to (Table 1's arith/vector/list
+ * split). The machine tallies executed cycles per annotation.
+ */
+
+#ifndef MXLISP_ISA_ANNOTATION_H_
+#define MXLISP_ISA_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mxl {
+
+/** What a cycle is spent on. */
+enum class Purpose : uint8_t
+{
+    Useful,      ///< real computation
+    TagInsert,   ///< constructing a tagged item (§3.1)
+    TagRemove,   ///< masking a tag to use the data part (§3.2)
+    TagExtract,  ///< isolating the tag for comparison (§3.3)
+    TagCheck,    ///< comparing/branching on a tag value (§3.4)
+    Dispatch,    ///< out-of-line generic-operation dispatch work (§6.2.2)
+    OtherCheck,  ///< non-tag checking work (vector bounds, headers)
+};
+
+/** Which kind of run-time check an instruction belongs to (Table 1). */
+enum class CheckCat : uint8_t
+{
+    None,    ///< not part of a check
+    List,    ///< car/cdr/rplaca/rplacd operand checks
+    Vector,  ///< vector tag + bounds + index-type checks
+    Arith,   ///< generic arithmetic type/overflow checks
+    User,    ///< type predicates written in the source program
+};
+
+/** Per-instruction annotation. */
+struct Annotation
+{
+    Purpose purpose = Purpose::Useful;
+    CheckCat cat = CheckCat::None;
+    /**
+     * True if this instruction exists only because full run-time
+     * checking is enabled (the dark-grey component of Figure 1).
+     */
+    bool fromChecking = false;
+
+    Annotation() = default;
+    Annotation(Purpose p, CheckCat c = CheckCat::None, bool f = false)
+        : purpose(p), cat(c), fromChecking(f)
+    {}
+};
+
+std::string purposeName(Purpose p);
+std::string checkCatName(CheckCat c);
+
+inline constexpr int numPurposes = 7;
+inline constexpr int numCheckCats = 5;
+
+} // namespace mxl
+
+#endif // MXLISP_ISA_ANNOTATION_H_

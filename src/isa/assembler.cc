@@ -1,0 +1,371 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "support/format.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/** Tokenizer for one assembly line: splits on spaces, commas, parens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+            c == '(' || c == ')') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+Reg
+parseReg(const std::string &t, int lineNo)
+{
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R'))
+        fatal("asm line ", lineNo, ": expected register, got '", t, "'");
+    int n = std::stoi(t.substr(1));
+    if (n < 0 || n > 31)
+        fatal("asm line ", lineNo, ": bad register '", t, "'");
+    return static_cast<Reg>(n);
+}
+
+int64_t
+parseImm(const std::string &t, int lineNo)
+{
+    try {
+        return std::stoll(t, nullptr, 0);
+    } catch (...) {
+        fatal("asm line ", lineNo, ": expected immediate, got '", t, "'");
+    }
+}
+
+struct OpSpec
+{
+    Opcode op;
+    Annul annul = Annul::Never;
+};
+
+std::optional<OpSpec>
+lookupOp(std::string mn)
+{
+    Annul annul = Annul::Never;
+    auto dot = mn.find('.');
+    if (dot != std::string::npos) {
+        std::string suffix = mn.substr(dot + 1);
+        mn = mn.substr(0, dot);
+        if (suffix == "t")
+            annul = Annul::OnTaken;
+        else if (suffix == "nt")
+            annul = Annul::OnNotTaken;
+        else
+            return std::nullopt;
+    }
+    static const std::map<std::string, Opcode> ops = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"and", Opcode::And},
+        {"or", Opcode::Or}, {"xor", Opcode::Xor}, {"sll", Opcode::Sll},
+        {"srl", Opcode::Srl}, {"sra", Opcode::Sra}, {"mul", Opcode::Mul},
+        {"div", Opcode::Div}, {"rem", Opcode::Rem},
+        {"addi", Opcode::Addi}, {"andi", Opcode::Andi},
+        {"ori", Opcode::Ori}, {"xori", Opcode::Xori},
+        {"slli", Opcode::Slli}, {"srli", Opcode::Srli},
+        {"srai", Opcode::Srai},
+        {"li", Opcode::Li}, {"mov", Opcode::Mov},
+        {"ld", Opcode::Ld}, {"st", Opcode::St},
+        {"ldt", Opcode::Ldt}, {"stt", Opcode::Stt},
+        {"beq", Opcode::Beq}, {"bne", Opcode::Bne},
+        {"blt", Opcode::Blt}, {"bge", Opcode::Bge},
+        {"ble", Opcode::Ble}, {"bgt", Opcode::Bgt},
+        {"beqi", Opcode::Beqi}, {"bnei", Opcode::Bnei},
+        {"btag", Opcode::Btag}, {"bntag", Opcode::Bntag},
+        {"j", Opcode::J}, {"jal", Opcode::Jal}, {"jr", Opcode::Jr},
+        {"jalr", Opcode::Jalr},
+        {"addt", Opcode::Addt}, {"subt", Opcode::Subt},
+        {"noop", Opcode::Noop}, {"sys", Opcode::Sys},
+    };
+    auto it = ops.find(mn);
+    if (it == ops.end())
+        return std::nullopt;
+    return OpSpec{it->second, annul};
+}
+
+int
+sysCodeOf(const std::string &t, int lineNo)
+{
+    if (t == "halt")
+        return static_cast<int>(SysCode::Halt);
+    if (t == "putchar")
+        return static_cast<int>(SysCode::PutChar);
+    if (t == "putfixraw")
+        return static_cast<int>(SysCode::PutFixRaw);
+    if (t == "putfix")
+        return static_cast<int>(SysCode::PutFix);
+    if (t == "error")
+        return static_cast<int>(SysCode::Error);
+    return static_cast<int>(parseImm(t, lineNo));
+}
+
+} // namespace
+
+Program
+assemble(const std::string &text)
+{
+    Program prog;
+    std::map<std::string, int> labelIds;   // name -> label id
+    std::vector<int> labelTarget;          // label id -> instr index (-1)
+
+    auto labelId = [&](const std::string &name) {
+        auto it = labelIds.find(name);
+        if (it != labelIds.end())
+            return it->second;
+        int id = static_cast<int>(labelTarget.size());
+        labelIds.emplace(name, id);
+        labelTarget.push_back(-1);
+        prog.labelNames.push_back(name);
+        return id;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        auto toks = tokenize(line);
+        if (toks.empty())
+            continue;
+
+        // Labels (possibly several) at the start of the line.
+        while (!toks.empty() && toks[0].back() == ':') {
+            std::string name = toks[0].substr(0, toks[0].size() - 1);
+            int id = labelId(name);
+            if (labelTarget[id] != -1)
+                fatal("asm line ", lineNo, ": duplicate label '", name,
+                      "'");
+            labelTarget[id] = static_cast<int>(prog.code.size());
+            prog.symbols[name] = static_cast<int>(prog.code.size());
+            toks.erase(toks.begin());
+        }
+        if (toks.empty())
+            continue;
+
+        auto spec = lookupOp(toks[0]);
+        if (!spec)
+            fatal("asm line ", lineNo, ": unknown mnemonic '", toks[0],
+                  "'");
+        Instruction inst;
+        inst.op = spec->op;
+        inst.annul = spec->annul;
+        auto arg = [&](size_t i) -> const std::string & {
+            if (i >= toks.size())
+                fatal("asm line ", lineNo, ": missing operand");
+            return toks[i];
+        };
+
+        switch (inst.op) {
+          case Opcode::Add: case Opcode::Sub: case Opcode::And:
+          case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+          case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+          case Opcode::Div: case Opcode::Rem:
+          case Opcode::Addt: case Opcode::Subt:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.rs = parseReg(arg(2), lineNo);
+            inst.rt = parseReg(arg(3), lineNo);
+            break;
+          case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+          case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+          case Opcode::Srai:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.rs = parseReg(arg(2), lineNo);
+            inst.imm = parseImm(arg(3), lineNo);
+            break;
+          case Opcode::Li:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.imm = parseImm(arg(2), lineNo);
+            break;
+          case Opcode::Mov:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.rs = parseReg(arg(2), lineNo);
+            break;
+          case Opcode::Ld:
+          case Opcode::Ldt:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.imm = parseImm(arg(2), lineNo);
+            inst.rs = parseReg(arg(3), lineNo);
+            if (inst.op == Opcode::Ldt)
+                inst.timm = static_cast<uint32_t>(parseImm(arg(4), lineNo));
+            break;
+          case Opcode::St:
+          case Opcode::Stt:
+            inst.rt = parseReg(arg(1), lineNo);
+            inst.imm = parseImm(arg(2), lineNo);
+            inst.rs = parseReg(arg(3), lineNo);
+            if (inst.op == Opcode::Stt)
+                inst.timm = static_cast<uint32_t>(parseImm(arg(4), lineNo));
+            break;
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+            inst.rs = parseReg(arg(1), lineNo);
+            inst.rt = parseReg(arg(2), lineNo);
+            inst.label = labelId(arg(3));
+            break;
+          case Opcode::Beqi:
+          case Opcode::Bnei:
+            inst.rs = parseReg(arg(1), lineNo);
+            inst.imm = parseImm(arg(2), lineNo);
+            inst.label = labelId(arg(3));
+            break;
+          case Opcode::Btag:
+          case Opcode::Bntag:
+            inst.rs = parseReg(arg(1), lineNo);
+            inst.timm = static_cast<uint32_t>(parseImm(arg(2), lineNo));
+            inst.label = labelId(arg(3));
+            break;
+          case Opcode::J:
+            inst.label = labelId(arg(1));
+            break;
+          case Opcode::Jal:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.label = labelId(arg(2));
+            break;
+          case Opcode::Jr:
+            inst.rs = parseReg(arg(1), lineNo);
+            break;
+          case Opcode::Jalr:
+            inst.rd = parseReg(arg(1), lineNo);
+            inst.rs = parseReg(arg(2), lineNo);
+            break;
+          case Opcode::Sys:
+            inst.imm = sysCodeOf(arg(1), lineNo);
+            if (toks.size() > 2)
+                inst.rs = parseReg(arg(2), lineNo);
+            break;
+          case Opcode::Noop:
+            break;
+        }
+        prog.code.push_back(inst);
+    }
+
+    // Resolve labels.
+    for (auto &inst : prog.code) {
+        if (inst.label >= 0) {
+            int t = labelTarget[inst.label];
+            if (t < 0)
+                fatal("asm: undefined label '",
+                      prog.labelNames[inst.label], "'");
+            inst.target = t;
+        }
+    }
+    return prog;
+}
+
+std::string
+disassemble(const Instruction &inst, const Program *prog)
+{
+    std::string annulSuffix;
+    if (inst.annul == Annul::OnTaken)
+        annulSuffix = ".t";
+    else if (inst.annul == Annul::OnNotTaken)
+        annulSuffix = ".nt";
+
+    auto lbl = [&]() -> std::string {
+        if (prog && inst.label >= 0 &&
+            inst.label < static_cast<int>(prog->labelNames.size()) &&
+            !prog->labelNames[inst.label].empty())
+            return prog->labelNames[inst.label];
+        return strcat("@", inst.target);
+    };
+    auto r = [](Reg x) { return strcat("r", int{x}); };
+
+    std::string name = opcodeName(inst.op) + annulSuffix;
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::Addt: case Opcode::Subt:
+        return strcat(name, " ", r(inst.rd), ", ", r(inst.rs), ", ",
+                      r(inst.rt));
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai:
+        return strcat(name, " ", r(inst.rd), ", ", r(inst.rs), ", ",
+                      inst.imm);
+      case Opcode::Li:
+        return strcat(name, " ", r(inst.rd), ", ", inst.imm);
+      case Opcode::Mov:
+        return strcat(name, " ", r(inst.rd), ", ", r(inst.rs));
+      case Opcode::Ld:
+        return strcat(name, " ", r(inst.rd), ", ", inst.imm, "(",
+                      r(inst.rs), ")");
+      case Opcode::Ldt:
+        return strcat(name, " ", r(inst.rd), ", ", inst.imm, "(",
+                      r(inst.rs), "), ", inst.timm);
+      case Opcode::St:
+        return strcat(name, " ", r(inst.rt), ", ", inst.imm, "(",
+                      r(inst.rs), ")");
+      case Opcode::Stt:
+        return strcat(name, " ", r(inst.rt), ", ", inst.imm, "(",
+                      r(inst.rs), "), ", inst.timm);
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+        return strcat(name, " ", r(inst.rs), ", ", r(inst.rt), ", ",
+                      lbl());
+      case Opcode::Beqi: case Opcode::Bnei:
+        return strcat(name, " ", r(inst.rs), ", ", inst.imm, ", ",
+                      lbl());
+      case Opcode::Btag: case Opcode::Bntag:
+        return strcat(name, " ", r(inst.rs), ", ", inst.timm, ", ",
+                      lbl());
+      case Opcode::J:
+        return strcat(name, " ", lbl());
+      case Opcode::Jal:
+        return strcat(name, " ", r(inst.rd), ", ", lbl());
+      case Opcode::Jr:
+        return strcat(name, " ", r(inst.rs));
+      case Opcode::Jalr:
+        return strcat(name, " ", r(inst.rd), ", ", r(inst.rs));
+      case Opcode::Sys:
+        return strcat(name, " ", inst.imm, ", ", r(inst.rs));
+      case Opcode::Noop:
+        return name;
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    // Invert the symbol table for labeling.
+    std::map<int, std::string> at;
+    for (const auto &[name, idx] : prog.symbols)
+        at[idx] = name;
+
+    std::ostringstream os;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        auto it = at.find(static_cast<int>(i));
+        if (it != at.end())
+            os << it->second << ":\n";
+        os << padLeft(strcat(i), 6) << "    "
+           << disassemble(prog.code[i], &prog) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace mxl

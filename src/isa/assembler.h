@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Textual MX assembler and disassembler.
+ *
+ * The assembler exists so machine-level tests and hand-written stubs can
+ * be expressed readably; the compiler builds Instructions directly. The
+ * disassembler is the debugging view of compiled code.
+ *
+ * Syntax (one instruction per line, ';' comments):
+ *
+ *     label:
+ *         li   r2, 42
+ *         add  r1, r2, r3
+ *         addi r1, r2, -4
+ *         ld   r3, 8(r2)
+ *         st   r3, 8(r2)        ; stores r3 (value) to r2+8
+ *         ldt  r3, 0(r2), 9     ; checked load, expected tag 9
+ *         beq  r1, r2, label    ; plain delayed branch
+ *         beq.t  r1, r2, label  ; squashing, annul on taken
+ *         beq.nt r1, r2, label  ; squashing, annul on not-taken
+ *         btag r2, 9, label
+ *         j    label
+ *         jal  r31, label
+ *         jr   r31
+ *         sys  halt, r1
+ *         noop
+ */
+
+#ifndef MXLISP_ISA_ASSEMBLER_H_
+#define MXLISP_ISA_ASSEMBLER_H_
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace mxl {
+
+/** Assemble MX source text into a linked Program. Throws on errors. */
+Program assemble(const std::string &text);
+
+/** Disassemble one instruction (label names resolved via @p prog). */
+std::string disassemble(const Instruction &inst,
+                        const Program *prog = nullptr);
+
+/** Disassemble a whole program with instruction indices. */
+std::string disassemble(const Program &prog);
+
+} // namespace mxl
+
+#endif // MXLISP_ISA_ASSEMBLER_H_

@@ -1,0 +1,62 @@
+#include "isa/instruction.h"
+
+namespace mxl {
+
+void
+Instruction::readRegs(Reg out[3], int &n) const
+{
+    n = 0;
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::Addt: case Opcode::Subt:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+        out[n++] = rs;
+        out[n++] = rt;
+        break;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Mov:
+      case Opcode::Ld: case Opcode::Ldt:
+      case Opcode::Beqi: case Opcode::Bnei:
+      case Opcode::Btag: case Opcode::Bntag:
+      case Opcode::Jr: case Opcode::Jalr:
+      case Opcode::Sys:
+        out[n++] = rs;
+        break;
+      case Opcode::St: case Opcode::Stt:
+        out[n++] = rs;
+        out[n++] = rt;
+        break;
+      case Opcode::Li: case Opcode::J: case Opcode::Jal:
+      case Opcode::Noop:
+        break;
+    }
+}
+
+int
+Instruction::writeReg() const
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Li: case Opcode::Mov:
+      case Opcode::Ld: case Opcode::Ldt:
+      case Opcode::Addt: case Opcode::Subt:
+      case Opcode::Jal: case Opcode::Jalr:
+        return rd;
+      default:
+        return -1;
+    }
+}
+
+} // namespace mxl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The MX instruction representation and the executable Program container.
+ *
+ * Instructions are kept in decoded form (this is an instruction-level
+ * simulator; no binary encoding is defined). Control transfers carry a
+ * resolved absolute instruction index in `target` once a program has
+ * been linked; before linking they refer to labels by id.
+ */
+
+#ifndef MXLISP_ISA_INSTRUCTION_H_
+#define MXLISP_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/annotation.h"
+#include "isa/opcode.h"
+
+namespace mxl {
+
+using Reg = uint8_t;
+
+/** Well-known registers of the MX-Lisp ABI. */
+namespace abi {
+inline constexpr Reg zero = 0;    ///< always 0
+inline constexpr Reg ret = 1;     ///< function result
+inline constexpr Reg arg0 = 2;    ///< first argument (args in r2..r9)
+inline constexpr Reg argLast = 9;
+inline constexpr Reg tmp0 = 10;   ///< expression temporaries r10..r19
+inline constexpr Reg tmpLast = 19;
+inline constexpr Reg trapRet = 20;  ///< return byte address after a trap
+inline constexpr Reg trapA = 21;    ///< trapping instruction operand 1
+inline constexpr Reg trapB = 22;    ///< trapping instruction operand 2
+inline constexpr Reg scratch = 23;  ///< assembler/stub scratch
+inline constexpr Reg treg = 24;     ///< the symbol t
+inline constexpr Reg nilreg = 25;   ///< the symbol nil
+inline constexpr Reg maskreg = 26;  ///< data-part mask (§3.2: one cycle)
+inline constexpr Reg hl = 27;       ///< heap limit
+inline constexpr Reg hp = 28;       ///< heap allocation pointer
+inline constexpr Reg sp = 29;       ///< stack pointer (grows down)
+inline constexpr Reg stkbase = 30;  ///< stack scan base (top of stack)
+inline constexpr Reg link = 31;     ///< return address from jal/jalr
+} // namespace abi
+
+/** Branch-squashing mode (MIPS-X squashed delayed branches, §6.2.1). */
+enum class Annul : uint8_t
+{
+    Never,       ///< plain delayed branch: slots always execute
+    OnTaken,     ///< slots annulled when the branch is taken
+    OnNotTaken,  ///< slots annulled when the branch falls through
+};
+
+/** One decoded MX instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Noop;
+    Reg rd = 0;
+    Reg rs = 0;
+    Reg rt = 0;
+    int64_t imm = 0;    ///< immediate / memory offset / sys code
+    uint32_t timm = 0;  ///< tag immediate for Ldt/Stt/Btag/Bntag
+    int32_t label = -1; ///< pre-link label id for control transfers
+    int32_t target = -1; ///< post-link absolute instruction index
+    Annul annul = Annul::Never;
+    /**
+     * Compiler hint: this conditional branch almost always falls
+     * through (error checks). The delay-slot scheduler then prefers
+     * filling the slots from the fall-through path with OnTaken
+     * squashing (§6.2.1: the protected operation runs concurrently
+     * with its tag check).
+     */
+    bool hintFall = false;
+    Annotation ann;
+
+    /** Registers this instruction reads (for the scheduler). */
+    void readRegs(Reg out[3], int &n) const;
+
+    /** Register this instruction writes, or -1. */
+    int writeReg() const;
+};
+
+/** A linked, executable MX program. */
+struct Program
+{
+    std::vector<Instruction> code;
+    /** Entry points and runtime stubs by name -> instruction index. */
+    std::unordered_map<std::string, int> symbols;
+    /** Optional label names by id (diagnostics). */
+    std::vector<std::string> labelNames;
+
+    int
+    symbol(const std::string &name) const
+    {
+        auto it = symbols.find(name);
+        return it == symbols.end() ? -1 : it->second;
+    }
+};
+
+} // namespace mxl
+
+#endif // MXLISP_ISA_INSTRUCTION_H_

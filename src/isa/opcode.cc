@@ -1,0 +1,130 @@
+#include "isa/opcode.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:  return "add";
+      case Opcode::Sub:  return "sub";
+      case Opcode::And:  return "and";
+      case Opcode::Or:   return "or";
+      case Opcode::Xor:  return "xor";
+      case Opcode::Sll:  return "sll";
+      case Opcode::Srl:  return "srl";
+      case Opcode::Sra:  return "sra";
+      case Opcode::Mul:  return "mul";
+      case Opcode::Div:  return "div";
+      case Opcode::Rem:  return "rem";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori:  return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Li:   return "li";
+      case Opcode::Mov:  return "mov";
+      case Opcode::Ld:   return "ld";
+      case Opcode::St:   return "st";
+      case Opcode::Ldt:  return "ldt";
+      case Opcode::Stt:  return "stt";
+      case Opcode::Beq:  return "beq";
+      case Opcode::Bne:  return "bne";
+      case Opcode::Blt:  return "blt";
+      case Opcode::Bge:  return "bge";
+      case Opcode::Ble:  return "ble";
+      case Opcode::Bgt:  return "bgt";
+      case Opcode::Beqi: return "beqi";
+      case Opcode::Bnei: return "bnei";
+      case Opcode::Btag: return "btag";
+      case Opcode::Bntag: return "bntag";
+      case Opcode::J:    return "j";
+      case Opcode::Jal:  return "jal";
+      case Opcode::Jr:   return "jr";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Addt: return "addt";
+      case Opcode::Subt: return "subt";
+      case Opcode::Noop: return "noop";
+      case Opcode::Sys:  return "sys";
+    }
+    return "?";
+}
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::Addt: case Opcode::Subt:
+        return OpClass::Alu;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai:
+        return OpClass::AluImm;
+      case Opcode::Li: case Opcode::Mov:
+        return OpClass::Move;
+      case Opcode::Ld: case Opcode::Ldt:
+        return OpClass::Load;
+      case Opcode::St: case Opcode::Stt:
+        return OpClass::Store;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+      case Opcode::Beqi: case Opcode::Bnei:
+      case Opcode::Btag: case Opcode::Bntag:
+        return OpClass::Branch;
+      case Opcode::J: case Opcode::Jal: case Opcode::Jr:
+      case Opcode::Jalr:
+        return OpClass::Jump;
+      case Opcode::Noop:
+        return OpClass::Noop;
+      case Opcode::Sys:
+        return OpClass::Sys;
+    }
+    panic("opClass: bad opcode");
+}
+
+int
+opCycles(Opcode op)
+{
+    // MIPS-X implemented multiplication/division with multiply/divide
+    // steps; we charge a fixed multi-cycle cost instead.
+    switch (op) {
+      case Opcode::Mul:
+        return 4;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+      case Opcode::Beqi: case Opcode::Bnei:
+      case Opcode::Btag: case Opcode::Bntag:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::J || op == Opcode::Jal ||
+           op == Opcode::Jr || op == Opcode::Jalr;
+}
+
+} // namespace mxl

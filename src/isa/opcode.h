@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The MX instruction set: a MIPS-X-like RISC ISA.
+ *
+ * MX preserves the properties of MIPS-X that the paper's measurements
+ * depend on: one cycle per (simple) instruction, two-delay-slot branches
+ * with optional squashing, a one-cycle load delay, and explicit tag
+ * manipulation via ordinary ALU operations. It also carries the optional
+ * tag-support instructions the paper evaluates: branch-on-tag-field
+ * (§6.1), checked loads/stores (§6.2.1), and trapping integer arithmetic
+ * (§6.2.2) — each only legal when the corresponding hardware feature is
+ * enabled on the machine.
+ */
+
+#ifndef MXLISP_ISA_OPCODE_H_
+#define MXLISP_ISA_OPCODE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mxl {
+
+enum class Opcode : uint8_t
+{
+    // ALU, register-register
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul, Div, Rem,
+    // ALU, register-immediate
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai,
+    // Register moves / constants
+    Li,       ///< rd <- 32-bit immediate
+    Mov,      ///< rd <- rs
+    // Memory
+    Ld,       ///< rd <- mem[rs + imm]
+    St,       ///< mem[rs + imm] <- rt
+    Ldt,      ///< checked load: trap unless tag(rs) == timm (hardware)
+    Stt,      ///< checked store (hardware)
+    // Control transfer (two delay slots each)
+    Beq, Bne, Blt, Bge, Ble, Bgt,   ///< compare rs, rt
+    Beqi, Bnei,                     ///< compare rs with a small immediate
+    Btag,     ///< branch if tag-field(rs) == timm (hardware, §6.1)
+    Bntag,    ///< branch if tag-field(rs) != timm (hardware, §6.1)
+    J,        ///< jump to label
+    Jal,      ///< rd <- return byte address; jump to label
+    Jr,       ///< jump to byte address in rs
+    Jalr,     ///< rd <- return byte address; jump to byte address in rs
+    // Trapping tagged arithmetic (hardware, §6.2.2)
+    Addt,     ///< rd <- rs + rt; trap unless both fixnums, no overflow
+    Subt,
+    // Misc
+    Noop,
+    Sys,      ///< system call; code in imm, argument in rs
+};
+
+/** Coarse opcode classes, used for the Figure 2 frequency counts. */
+enum class OpClass : uint8_t
+{
+    Alu, AluImm, Move, Load, Store, Branch, Jump, Noop, Sys,
+};
+
+/** System-call codes (the machine implements these natively). */
+enum class SysCode : int
+{
+    Halt = 0,       ///< stop execution; rs holds the result word
+    PutChar = 1,    ///< append raw char code in rs to the output stream
+    PutFixRaw = 2,  ///< append decimal of raw signed word in rs
+    Error = 3,      ///< runtime error; rs holds an error code; stops
+    PutFix = 4,     ///< append decimal of the fixnum in rs (scheme-decoded)
+};
+
+/** Printable mnemonic. */
+std::string opcodeName(Opcode op);
+
+/** Coarse class of an opcode. */
+OpClass opClass(Opcode op);
+
+/** Cycle cost (1 for everything except Mul/Div/Rem). */
+int opCycles(Opcode op);
+
+/** True for the conditional branches (incl. Btag/Bntag). */
+bool isCondBranch(Opcode op);
+
+/** True for any control transfer (branches and jumps). */
+bool isControl(Opcode op);
+
+} // namespace mxl
+
+#endif // MXLISP_ISA_OPCODE_H_

@@ -1,0 +1,435 @@
+#include "machine/machine.h"
+
+#include "support/format.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+std::string
+HardwareConfig::describe() const
+{
+    std::string s;
+    if (ignoreTagOnMemory)
+        s += "ignore-tag-on-memory ";
+    if (branchOnTag)
+        s += "branch-on-tag ";
+    if (genericArith)
+        s += "generic-arith ";
+    if (checkedMemory == CheckedMem::Lists)
+        s += "checked-mem(lists) ";
+    else if (checkedMemory == CheckedMem::All)
+        s += "checked-mem(all) ";
+    if (s.empty())
+        s = "none";
+    else
+        s.pop_back();
+    return s;
+}
+
+Machine::Machine(const Program &prog, Memory mem, HardwareConfig hw,
+                 const TagScheme *scheme)
+    : prog_(prog), mem_(std::move(mem)), hw_(hw), scheme_(scheme)
+{
+    if ((hw_.ignoreTagOnMemory || hw_.branchOnTag || hw_.genericArith ||
+         hw_.checkedMemory != CheckedMem::None) &&
+        !scheme_) {
+        panic("tag hardware enabled without a tag scheme");
+    }
+}
+
+void
+Machine::setTrapHandler(TrapKind kind, int target)
+{
+    trapHandler_[static_cast<int>(kind)] = target;
+}
+
+uint32_t
+Machine::effAddr(const Instruction &inst, bool checked) const
+{
+    uint32_t base = regs_[inst.rs];
+    if (checked)
+        base = scheme_->detagAddr(base);
+    uint32_t addr = base + static_cast<uint32_t>(inst.imm);
+    if (hw_.ignoreTagOnMemory)
+        addr = scheme_->detagAddr(addr);
+    return addr;
+}
+
+void
+Machine::chargeAndCount(const Instruction &inst)
+{
+    int cycles = opCycles(inst.op);
+    stats_.charge(inst.ann, cycles);
+    stats_.instructions++;
+    switch (inst.op) {
+      case Opcode::And:
+      case Opcode::Andi:
+        stats_.andOps++;
+        break;
+      case Opcode::Mov:
+        stats_.moveOps++;
+        break;
+      case Opcode::Noop:
+        stats_.noops++;
+        break;
+      case Opcode::Ld:
+      case Opcode::Ldt:
+        stats_.loads++;
+        break;
+      case Opcode::St:
+      case Opcode::Stt:
+        stats_.stores++;
+        break;
+      default:
+        if (isCondBranch(inst.op))
+            stats_.branches++;
+        break;
+    }
+}
+
+void
+Machine::trap(TrapKind kind, int idx)
+{
+    int handler = trapHandler_[static_cast<int>(kind)];
+    if (handler < 0) {
+        errorCode_ = 1000 + static_cast<int>(kind);
+        stop_ = StopReason::Errored;
+        return;
+    }
+    regs_[abi::trapRet] = codeAddr(idx + 1);
+    regs_[abi::scratch] = static_cast<uint32_t>(kind);
+    pc_ = handler;
+}
+
+void
+Machine::doSys(const Instruction &inst)
+{
+    switch (static_cast<SysCode>(inst.imm)) {
+      case SysCode::Halt:
+        exitValue_ = regs_[inst.rs];
+        stop_ = StopReason::Halted;
+        break;
+      case SysCode::PutChar:
+        out_ += static_cast<char>(regs_[inst.rs] & 0xff);
+        break;
+      case SysCode::PutFixRaw:
+        out_ += strcat(static_cast<int32_t>(regs_[inst.rs]));
+        break;
+      case SysCode::PutFix:
+        MXL_ASSERT(scheme_, "sys putfix needs a tag scheme");
+        out_ += strcat(scheme_->decodeFixnum(regs_[inst.rs]));
+        break;
+      case SysCode::Error:
+        errorCode_ = static_cast<int32_t>(regs_[inst.rs]);
+        stop_ = StopReason::Errored;
+        break;
+      default:
+        panic("unknown sys code ", inst.imm);
+    }
+}
+
+void
+Machine::execute(const Instruction &inst, int idx)
+{
+    if (traceHook)
+        traceHook(idx, inst);
+    // Load-delay interlock: one stall cycle when this instruction reads
+    // the register loaded by the immediately preceding load.
+    if (pendingLoadReg_ >= 0) {
+        Reg reads[3];
+        int n;
+        inst.readRegs(reads, n);
+        for (int i = 0; i < n; ++i) {
+            if (reads[i] == pendingLoadReg_) {
+                stats_.loadStalls++;
+                stats_.charge(inst.ann, 1);
+                break;
+            }
+        }
+        pendingLoadReg_ = -1;
+    }
+
+    chargeAndCount(inst);
+
+    auto rs = [&] { return regs_[inst.rs]; };
+    auto rt = [&] { return regs_[inst.rt]; };
+    auto srs = [&] { return static_cast<int32_t>(regs_[inst.rs]); };
+    auto srt = [&] { return static_cast<int32_t>(regs_[inst.rt]); };
+    auto wr = [&](uint32_t v) {
+        if (inst.rd)
+            regs_[inst.rd] = v;
+    };
+    uint32_t uimm = static_cast<uint32_t>(inst.imm);
+
+    switch (inst.op) {
+      case Opcode::Add:  wr(rs() + rt()); break;
+      case Opcode::Sub:  wr(rs() - rt()); break;
+      case Opcode::And:  wr(rs() & rt()); break;
+      case Opcode::Or:   wr(rs() | rt()); break;
+      case Opcode::Xor:  wr(rs() ^ rt()); break;
+      case Opcode::Sll:  wr(rs() << (rt() & 31)); break;
+      case Opcode::Srl:  wr(rs() >> (rt() & 31)); break;
+      case Opcode::Sra:
+        wr(static_cast<uint32_t>(srs() >> (rt() & 31)));
+        break;
+      case Opcode::Mul:
+        wr(static_cast<uint32_t>(srs() * static_cast<int64_t>(srt())));
+        break;
+      case Opcode::Div:
+        if (srt() == 0) {
+            errorCode_ = 2000; // division by zero
+            stop_ = StopReason::Errored;
+            return;
+        }
+        wr(static_cast<uint32_t>(srs() / srt()));
+        break;
+      case Opcode::Rem:
+        if (srt() == 0) {
+            errorCode_ = 2000;
+            stop_ = StopReason::Errored;
+            return;
+        }
+        wr(static_cast<uint32_t>(srs() % srt()));
+        break;
+      case Opcode::Addi: wr(rs() + uimm); break;
+      case Opcode::Andi: wr(rs() & uimm); break;
+      case Opcode::Ori:  wr(rs() | uimm); break;
+      case Opcode::Xori: wr(rs() ^ uimm); break;
+      case Opcode::Slli: wr(rs() << (inst.imm & 31)); break;
+      case Opcode::Srli: wr(rs() >> (inst.imm & 31)); break;
+      case Opcode::Srai:
+        wr(static_cast<uint32_t>(srs() >> (inst.imm & 31)));
+        break;
+      case Opcode::Li:   wr(uimm); break;
+      case Opcode::Mov:  wr(rs()); break;
+      case Opcode::Ld:
+        wr(mem_.load(effAddr(inst, false)));
+        pendingLoadReg_ = inst.rd;
+        break;
+      case Opcode::St:
+        mem_.store(effAddr(inst, false), rt());
+        break;
+      case Opcode::Ldt:
+        MXL_ASSERT(hw_.checkedMemory != CheckedMem::None,
+                   "ldt without checked-memory hardware");
+        if (scheme_->primaryTag(rs()) != inst.timm) {
+            regs_[abi::trapA] = rs();
+            regs_[abi::trapB] = inst.timm;
+            trap(TrapKind::TagMismatch, idx);
+            return;
+        }
+        wr(mem_.load(effAddr(inst, true)));
+        pendingLoadReg_ = inst.rd;
+        break;
+      case Opcode::Stt:
+        MXL_ASSERT(hw_.checkedMemory != CheckedMem::None,
+                   "stt without checked-memory hardware");
+        if (scheme_->primaryTag(rs()) != inst.timm) {
+            regs_[abi::trapA] = rs();
+            regs_[abi::trapB] = inst.timm;
+            trap(TrapKind::TagMismatch, idx);
+            return;
+        }
+        mem_.store(effAddr(inst, true), rt());
+        break;
+      case Opcode::Addt:
+      case Opcode::Subt: {
+        MXL_ASSERT(hw_.genericArith,
+                   "addt/subt without generic-arith hardware");
+        // On failure the hardware latches the operands (SPUR-style
+        // shadow registers, §6.2.2) and the op kind for the handler.
+        if (!scheme_->wordIsFixnum(rs()) || !scheme_->wordIsFixnum(rt())) {
+            regs_[abi::trapA] = rs();
+            regs_[abi::trapB] = rt();
+            trap(TrapKind::ArithFail, idx);
+            regs_[abi::scratch] = inst.op == Opcode::Addt ? 1 : 2;
+            return;
+        }
+        int64_t a = scheme_->decodeFixnum(rs());
+        int64_t b = scheme_->decodeFixnum(rt());
+        int64_t v = inst.op == Opcode::Addt ? a + b : a - b;
+        if (!scheme_->fixnumInRange(v)) {
+            regs_[abi::trapA] = rs();
+            regs_[abi::trapB] = rt();
+            trap(TrapKind::ArithFail, idx);
+            regs_[abi::scratch] = inst.op == Opcode::Addt ? 1 : 2;
+            return;
+        }
+        wr(scheme_->encodeFixnum(v));
+        break;
+      }
+      case Opcode::Sys:
+        doSys(inst);
+        break;
+      case Opcode::Noop:
+        break;
+      default:
+        panic("control opcode in execute(): ", opcodeName(inst.op));
+    }
+}
+
+StopReason
+Machine::run(int entry, uint64_t maxCycles)
+{
+    try {
+        return runLoop(entry, maxCycles);
+    } catch (const MxlError &e) {
+        // Re-raise with execution context for diagnosability.
+        std::string near;
+        for (const auto &[name, idx] : prog_.symbols) {
+            if (idx <= pc_ && (near.empty() ||
+                               idx > prog_.symbols.at(near)))
+                near = name;
+        }
+        throw MxlError(e.kind, strcat(e.what(), " [at pc=", pc_,
+                                      " near '", near, "', cycle ",
+                                      stats_.total, "]"));
+    }
+}
+
+StopReason
+Machine::runLoop(int entry, uint64_t maxCycles)
+{
+    MXL_ASSERT(entry >= 0 && entry < static_cast<int>(prog_.code.size()),
+               "bad entry point");
+    pc_ = entry;
+    stop_ = StopReason::Running;
+    pendingLoadReg_ = -1;
+
+    const auto &code = prog_.code;
+    const int n = static_cast<int>(code.size());
+
+    while (stop_ == StopReason::Running) {
+        if (stats_.total > maxCycles) {
+            stop_ = StopReason::CycleLimit;
+            break;
+        }
+        if (pc_ < 0 || pc_ >= n)
+            panic("pc out of range: ", pc_);
+        const Instruction &inst = code[pc_];
+
+        if (!isControl(inst.op)) {
+            int before = pc_;
+            execute(inst, pc_);
+            if (pc_ == before) // no trap redirect
+                pc_++;
+            continue;
+        }
+
+        // Control transfer with two delay slots.
+        int idx = pc_;
+        MXL_ASSERT(idx + 2 < n, "control transfer too close to code end");
+
+        // Interlock against a load immediately before the branch.
+        if (pendingLoadReg_ >= 0) {
+            Reg reads[3];
+            int cnt;
+            inst.readRegs(reads, cnt);
+            for (int i = 0; i < cnt; ++i) {
+                if (reads[i] == pendingLoadReg_) {
+                    stats_.loadStalls++;
+                    stats_.charge(inst.ann, 1);
+                    break;
+                }
+            }
+            pendingLoadReg_ = -1;
+        }
+
+        if (traceHook)
+            traceHook(idx, inst);
+        bool taken = false;
+        int target = inst.target;
+        switch (inst.op) {
+          case Opcode::Beq:
+            taken = regs_[inst.rs] == regs_[inst.rt];
+            break;
+          case Opcode::Bne:
+            taken = regs_[inst.rs] != regs_[inst.rt];
+            break;
+          case Opcode::Blt:
+            taken = static_cast<int32_t>(regs_[inst.rs]) <
+                    static_cast<int32_t>(regs_[inst.rt]);
+            break;
+          case Opcode::Bge:
+            taken = static_cast<int32_t>(regs_[inst.rs]) >=
+                    static_cast<int32_t>(regs_[inst.rt]);
+            break;
+          case Opcode::Ble:
+            taken = static_cast<int32_t>(regs_[inst.rs]) <=
+                    static_cast<int32_t>(regs_[inst.rt]);
+            break;
+          case Opcode::Bgt:
+            taken = static_cast<int32_t>(regs_[inst.rs]) >
+                    static_cast<int32_t>(regs_[inst.rt]);
+            break;
+          case Opcode::Beqi:
+            taken = static_cast<int32_t>(regs_[inst.rs]) == inst.imm;
+            break;
+          case Opcode::Bnei:
+            taken = static_cast<int32_t>(regs_[inst.rs]) != inst.imm;
+            break;
+          case Opcode::Btag:
+            MXL_ASSERT(hw_.branchOnTag, "btag without branch-on-tag hw");
+            taken = scheme_->primaryTag(regs_[inst.rs]) == inst.timm;
+            break;
+          case Opcode::Bntag:
+            MXL_ASSERT(hw_.branchOnTag, "bntag without branch-on-tag hw");
+            taken = scheme_->primaryTag(regs_[inst.rs]) != inst.timm;
+            break;
+          case Opcode::J:
+            taken = true;
+            break;
+          case Opcode::Jal:
+            taken = true;
+            if (inst.rd)
+                regs_[inst.rd] = codeAddr(idx + 3);
+            break;
+          case Opcode::Jr:
+            taken = true;
+            target = static_cast<int>(regs_[inst.rs] >> 2);
+            break;
+          case Opcode::Jalr:
+            taken = true;
+            target = static_cast<int>(regs_[inst.rs] >> 2);
+            if (inst.rd)
+                regs_[inst.rd] = codeAddr(idx + 3);
+            break;
+          default:
+            panic("unhandled control opcode");
+        }
+        chargeAndCount(inst);
+
+        bool annulSlots = (inst.annul == Annul::OnTaken && taken) ||
+                          (inst.annul == Annul::OnNotTaken && !taken);
+
+        for (int s = 1; s <= 2 && stop_ == StopReason::Running; ++s) {
+            const Instruction &slot = code[idx + s];
+            MXL_ASSERT(!isControl(slot.op),
+                       "control transfer in a delay slot at ", idx + s);
+            if (annulSlots) {
+                // A squashed cycle; charged to the branch's purpose.
+                stats_.squashed++;
+                stats_.charge(inst.ann, 1);
+                pendingLoadReg_ = -1;
+            } else {
+                int before = pc_;
+                execute(slot, idx + s);
+                // Traps inside delay slots are not supported; the
+                // compiler never schedules trapping ops there.
+                MXL_ASSERT(pc_ == before, "trap in a delay slot");
+            }
+        }
+        if (stop_ != StopReason::Running)
+            break;
+
+        if (taken) {
+            MXL_ASSERT(target >= 0 && target < n, "bad branch target");
+            pc_ = target;
+        } else {
+            pc_ = idx + 3;
+        }
+    }
+    return stop_;
+}
+
+} // namespace mxl

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The MX instruction-level simulator.
+ *
+ * Models the MIPS-X properties the paper's measurements rest on:
+ *  - one cycle per instruction (Mul/Div cost more, see opCycles());
+ *  - two delay slots after every control transfer, with optional
+ *    squashing (annulled slots still cost their cycles);
+ *  - a one-cycle load delay, interlocked (a stall cycle is counted when
+ *    the next instruction uses the loaded register);
+ *  - word-addressed memory: the bottom two bits of every effective
+ *    address are dropped (§5.2).
+ *
+ * Optional tag hardware (§5–§6) is enabled through HardwareConfig; the
+ * corresponding instructions are illegal when the feature is off.
+ */
+
+#ifndef MXLISP_MACHINE_MACHINE_H_
+#define MXLISP_MACHINE_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/instruction.h"
+#include "machine/cycle_stats.h"
+#include "machine/memory.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** Which memory accesses may be tag-checked in hardware (§6.2.1). */
+enum class CheckedMem { None, Lists, All };
+
+/** The tag-support features of Table 2. */
+struct HardwareConfig
+{
+    /** Row 1 (hardware variant): addresses lose their tag bits. */
+    bool ignoreTagOnMemory = false;
+    /** Row 2: Btag/Bntag compare the tag field without extraction. */
+    bool branchOnTag = false;
+    /** Row 4: Addt/Subt trap on non-integer operands or overflow. */
+    bool genericArith = false;
+    /** Rows 5/6: Ldt/Stt check the operand tag during the access. */
+    CheckedMem checkedMemory = CheckedMem::None;
+
+    std::string describe() const;
+};
+
+/** Why a trap was taken. */
+enum class TrapKind : int
+{
+    ArithFail = 1,   ///< Addt/Subt operands not fixnums, or overflow
+    TagMismatch = 2, ///< Ldt/Stt tag check failed
+};
+
+/** How a run ended. */
+enum class StopReason
+{
+    Running,
+    Halted,        ///< Sys halt
+    Errored,       ///< Sys error (Lisp-level runtime error)
+    CycleLimit,
+};
+
+class Machine
+{
+  public:
+    /**
+     * @param scheme the tag scheme "built into" the hardware; required
+     *        whenever any HardwareConfig feature is on.
+     */
+    Machine(const Program &prog, Memory mem, HardwareConfig hw,
+            const TagScheme *scheme);
+
+    /** Set the handler entry (instruction index) for a trap kind. */
+    void setTrapHandler(TrapKind kind, int target);
+
+    /** Run from instruction index @p entry until halt/error/limit. */
+    StopReason run(int entry, uint64_t maxCycles = 2'000'000'000);
+
+    uint32_t reg(Reg r) const { return regs_[r]; }
+    void setReg(Reg r, uint32_t v) { if (r) regs_[r] = v; }
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    const CycleStats &stats() const { return stats_; }
+    const std::string &output() const { return out_; }
+    uint32_t exitValue() const { return exitValue_; }
+    int64_t errorCode() const { return errorCode_; }
+    StopReason stopReason() const { return stop_; }
+
+    /** Byte address of instruction index @p i (code pointers/returns). */
+    static uint32_t
+    codeAddr(int i)
+    {
+        return static_cast<uint32_t>(i) << 2;
+    }
+
+    /**
+     * Debug hook: called before each executed instruction with its
+     * index. Slows simulation; intended for tests and debugging only.
+     */
+    std::function<void(int, const Instruction &)> traceHook;
+
+  private:
+    StopReason runLoop(int entry, uint64_t maxCycles);
+
+    /** Execute one non-control instruction; returns false on halt. */
+    void execute(const Instruction &inst, int idx);
+    void doSys(const Instruction &inst);
+    void trap(TrapKind kind, int idx);
+    uint32_t effAddr(const Instruction &inst, bool checked) const;
+    void chargeAndCount(const Instruction &inst);
+
+    const Program &prog_;
+    Memory mem_;
+    HardwareConfig hw_;
+    const TagScheme *scheme_;
+    uint32_t regs_[32] = {};
+    int pc_ = 0;
+    int trapHandler_[3] = {-1, -1, -1};
+    CycleStats stats_;
+    std::string out_;
+    uint32_t exitValue_ = 0;
+    int64_t errorCode_ = 0;
+    StopReason stop_ = StopReason::Running;
+    int pendingLoadReg_ = -1;  ///< load-delay interlock tracking
+};
+
+} // namespace mxl
+
+#endif // MXLISP_MACHINE_MACHINE_H_

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Simulated data memory: a flat, word-aligned 32-bit address space.
+ *
+ * Like MIPS-X, memory is word-addressed: the bottom two bits of every
+ * effective address are dropped before the access (this is what makes
+ * 2-bit low tags free, §5.2).
+ */
+
+#ifndef MXLISP_MACHINE_MEMORY_H_
+#define MXLISP_MACHINE_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mxl {
+
+class Memory
+{
+  public:
+    explicit Memory(uint32_t bytes);
+
+    /** Size in bytes. */
+    uint32_t size() const { return static_cast<uint32_t>(words_.size()) * 4; }
+
+    /** Load the word at byte address @p addr (bottom 2 bits dropped). */
+    uint32_t load(uint32_t addr) const;
+
+    /** Store @p w at byte address @p addr (bottom 2 bits dropped). */
+    void store(uint32_t addr, uint32_t w);
+
+    /** Direct word access for image building and tests. */
+    uint32_t &word(uint32_t index);
+    uint32_t word(uint32_t index) const;
+
+  private:
+    std::vector<uint32_t> words_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_MACHINE_MEMORY_H_

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Umbrella header: the full public API of mxlisp.
+ *
+ * Typical use:
+ *
+ *     #include "mxlisp/mxlisp.h"
+ *
+ *     mxl::CompilerOptions opts;            // scheme/checking/hardware
+ *     mxl::RunResult r = mxl::compileAndRun("(print (+ 1 2))", opts);
+ *
+ * Finer-grained layers, top to bottom:
+ *  - core/      experiment configurations, measurement, paper numbers
+ *  - programs/  the ten Appendix benchmark programs
+ *  - compiler/  MX-Lisp -> MX compilation (unit.h is the entry point)
+ *  - runtime/   memory image, layout, Lisp-level runtime sources
+ *  - machine/   the MX simulator and its cycle accounting
+ *  - isa/       instructions, annotations, assembler/disassembler
+ *  - tags/      the four tag schemes
+ *  - sexpr/     reader/printer
+ */
+
+#ifndef MXLISP_MXLISP_H_
+#define MXLISP_MXLISP_H_
+
+#include "compiler/options.h"
+#include "compiler/unit.h"
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+#include "core/run.h"
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+#include "machine/machine.h"
+#include "programs/programs.h"
+#include "runtime/layout.h"
+#include "sexpr/printer.h"
+#include "sexpr/reader.h"
+#include "support/format.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "tags/tag_scheme.h"
+
+#endif // MXLISP_MXLISP_H_

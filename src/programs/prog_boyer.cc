@@ -1,0 +1,168 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * boyer: "a rewrite-rule-based simplifier combined with a dumb
+ * tautology-checker" (Gabriel). This is the classic algorithm —
+ * lemmas on property lists, bottom-up rewriting driven by one-way
+ * unification, if-normalization, and the assumption-list tautology
+ * checker — with a reduced lemma set and test term so a simulated run
+ * stays in the millions of cycles.
+ */
+const std::string &
+progBoyer()
+{
+    static const std::string src = R"lisp(
+;; -- one-way unification ----------------------------------------------
+;; Pattern atoms are variables (classic Boyer convention).
+
+(de one-way-unify (term pat)
+  (setq *unify-subst* nil)
+  (one-way-unify1 term pat))
+
+(de one-way-unify1 (term pat)
+  (cond ((atom pat)
+         (let ((b (assq pat *unify-subst*)))
+           (cond (b (equal term (cdr b)))
+                 (t (progn
+                      (setq *unify-subst*
+                            (cons (cons pat term) *unify-subst*))
+                      t)))))
+        ((atom term) nil)
+        ((eq (car term) (car pat))
+         (one-way-unify-lst (cdr term) (cdr pat)))
+        (t nil)))
+
+(de one-way-unify-lst (terms pats)
+  (cond ((null pats) (null terms))
+        ((null terms) nil)
+        ((one-way-unify1 (car terms) (car pats))
+         (one-way-unify-lst (cdr terms) (cdr pats)))
+        (t nil)))
+
+(de apply-subst (alist term)
+  (cond ((atom term)
+         (let ((b (assq term alist)))
+           (if b (cdr b) term)))
+        (t (cons (car term) (apply-subst-lst alist (cdr term))))))
+
+(de apply-subst-lst (alist terms)
+  (if (null terms)
+      nil
+      (cons (apply-subst alist (car terms))
+            (apply-subst-lst alist (cdr terms)))))
+
+;; -- rewriting ----------------------------------------------------------
+
+(de rewrite (term)
+  (cond ((atom term) term)
+        (t (rewrite-with-lemmas
+            (cons (car term) (rewrite-args (cdr term)))
+            (get (car term) 'lemmas)))))
+
+(de rewrite-args (terms)
+  (if (null terms)
+      nil
+      (cons (rewrite (car terms)) (rewrite-args (cdr terms)))))
+
+(de rewrite-with-lemmas (term lemmas)
+  (cond ((null lemmas) term)
+        ((one-way-unify term (cadr (car lemmas)))
+         (rewrite (apply-subst *unify-subst* (caddr (car lemmas)))))
+        (t (rewrite-with-lemmas term (cdr lemmas)))))
+
+;; -- tautology checking ---------------------------------------------------
+
+(de truep (x lst) (or (equal x '(t)) (member x lst)))
+(de falsep (x lst) (or (equal x '(f)) (member x lst)))
+
+(de tautologyp (x true-lst false-lst)
+  (cond ((truep x true-lst) t)
+        ((falsep x false-lst) nil)
+        ((atom x) nil)
+        ((eq (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (t (and (tautologyp (caddr x)
+                                   (cons (cadr x) true-lst)
+                                   false-lst)
+                       (tautologyp (cadddr x)
+                                   true-lst
+                                   (cons (cadr x) false-lst))))))
+        (t nil)))
+
+(de tautp (x) (tautologyp (rewrite x) nil nil))
+
+;; -- lemma database ---------------------------------------------------------
+
+(de add-lemma (lemma)
+  ;; lemma = (equal lhs rhs); indexed under the lhs head symbol
+  (let ((head (car (cadr lemma))))
+    (put head 'lemmas (cons lemma (get head 'lemmas)))))
+
+(de boyer-setup ()
+  (put 'and 'lemmas nil) (put 'or 'lemmas nil) (put 'not 'lemmas nil)
+  (put 'implies 'lemmas nil) (put 'plus 'lemmas nil)
+  (put 'times 'lemmas nil) (put 'append 'lemmas nil)
+  (put 'reverse 'lemmas nil) (put 'difference 'lemmas nil)
+  (put 'equal 'lemmas nil) (put 'remainder 'lemmas nil)
+  (put 'if 'lemmas nil)
+  ;; if-distribution: flattens composite tests so the tautology
+  ;; checker's membership assumptions see atomic tests (this is what
+  ;; makes the classic instance come out true).
+  (add-lemma '(equal (if (if a b c) d e)
+                     (if a (if b d e) (if c d e))))
+  (add-lemma '(equal (and p q) (if p (if q (t) (f)) (f))))
+  (add-lemma '(equal (or p q) (if p (t) (if q (t) (f)))))
+  (add-lemma '(equal (not p) (if p (f) (t))))
+  (add-lemma '(equal (implies p q) (if p (if q (t) (f)) (t))))
+  (add-lemma '(equal (plus (plus x y) z) (plus x (plus y z))))
+  (add-lemma '(equal (equal (plus a b) (zero))
+                     (and (equal a (zero)) (equal b (zero)))))
+  (add-lemma '(equal (equal (plus a b) (plus a c)) (equal b c)))
+  (add-lemma '(equal (difference x x) (zero)))
+  (add-lemma '(equal (equal (difference x y) (difference z y))
+                     (equal x z)))
+  (add-lemma '(equal (append (append x y) z) (append x (append y z))))
+  (add-lemma '(equal (reverse (append a b))
+                     (append (reverse b) (reverse a))))
+  (add-lemma '(equal (times x (plus y z))
+                     (plus (times x y) (times x z))))
+  (add-lemma '(equal (times (times x y) z) (times x (times y z))))
+  (add-lemma '(equal (equal (times x y) (zero))
+                     (or (equal x (zero)) (equal y (zero)))))
+  (add-lemma '(equal (remainder x x) (zero)))
+  (add-lemma '(equal (remainder (times x y) x) (zero))))
+
+;; -- the classic test instance -----------------------------------------------
+
+(de boyer-subst ()
+  '((x . (f (plus (plus a b) (plus c (zero)))))
+    (y . (f (times (times a b) (plus c d))))
+    (z . (equal (plus a b) (difference x y)))
+    (w . (lessp (remainder a b) (enumerate a (length b))))))
+
+(de boyer-term ()
+  '(implies (and (implies x y)
+                 (and (implies y z) (implies z w)))
+            (implies x w)))
+
+(de boyer-main (rounds)
+  (boyer-setup)
+  (let ((term (apply-subst (boyer-subst) (boyer-term)))
+        (result t))
+    (while (greaterp rounds 0)
+      (setq result (and result (tautp term)))
+      (setq rounds (sub1 rounds)))
+    (print result)
+    (print (length (rewrite term)))
+    (print (rewrite '(equal (plus (plus a b) (zero))
+                            (difference q q))))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

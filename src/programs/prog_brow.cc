@@ -1,0 +1,106 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * brow: "a short version of the browse benchmark; creates and browses
+ * through an AI-like database of units" (Gabriel).
+ *
+ * Units are symbols carrying pattern data on their property lists; the
+ * browser matches query patterns (with `?` matching one element and
+ * `*` matching any span) against every unit's data, shuffling the
+ * database between passes like the original.
+ */
+const std::string &
+progBrow()
+{
+    static const std::string src = R"lisp(
+;; -- pattern matcher (? = one, * = segment) ----------------------------
+
+(de match (pat dat)
+  (cond ((null pat) (null dat))
+        ((eq (car pat) '*) (match-star (cdr pat) dat))
+        ((null dat) nil)
+        ((eq (car pat) '?) (match (cdr pat) (cdr dat)))
+        ((and (pairp (car pat)) (pairp (car dat)))
+         (and (match (car pat) (car dat))
+              (match (cdr pat) (cdr dat))))
+        ((eq (car pat) (car dat)) (match (cdr pat) (cdr dat)))
+        (t nil)))
+
+(de match-star (pat dat)
+  (cond ((match pat dat) t)
+        ((null dat) nil)
+        (t (match-star pat (cdr dat)))))
+
+;; -- the unit database ---------------------------------------------------
+
+(de init-units (names)
+  (setq *units* nil)
+  (let ((ns names) (i 0))
+    (while (pairp ns)
+      (let ((u (car ns)))
+        (put u 'pats (gen-pats i))
+        (setq *units* (cons u *units*)))
+      (setq i (add1 i))
+      (setq ns (cdr ns)))))
+
+(de gen-pats (i)
+  ;; four data patterns per unit, deterministic but varied
+  (list
+   (list 'a (remainder i 3) 'b (list 'c (remainder i 5)) 'd)
+   (list 'x (list 'y (remainder i 4)) 'z (remainder i 7))
+   (list 'p 'q (list 'r (remainder i 2) 's) (remainder i 6) 'v)
+   (list 'm (remainder i 5) (list 'n (remainder i 3)) 'o)))
+
+;; Move the first unit to a random position (the original's shuffle).
+(de shuffle ()
+  (let ((u (car *units*)) (rest (cdr *units*)))
+    (if (null rest)
+        nil
+        (let ((k (random (length rest))))
+          (setq *units* (shuffle-insert u rest k))))))
+
+(de shuffle-insert (u l k)
+  (if (zerop k)
+      (cons u l)
+      (cons (car l) (shuffle-insert u (cdr l) (sub1 k)))))
+
+(de browse-pattern (pat)
+  (let ((us *units*) (hits 0))
+    (while (pairp us)
+      (let ((ps (get (car us) 'pats)))
+        (while (pairp ps)
+          (if (match pat (car ps)) (setq hits (add1 hits)) nil)
+          (setq ps (cdr ps))))
+      (setq us (cdr us)))
+    hits))
+
+(de brow-main (rounds)
+  (seed-random 331)
+  (init-units '(u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12 u13 u14 u15
+                u16 u17 u18 u19 u20 u21 u22 u23 u24 u25))
+  (let ((patterns '((a ? b * d)
+                    (* (c 2) *)
+                    (x (y ?) z *)
+                    (p q (r ? s) * v)
+                    (m * (n 1) o)
+                    (* 3 *)
+                    (a 1 * d)
+                    (? ? (r 0 s) ? ?)))
+        (total 0))
+    (while (greaterp rounds 0)
+      (let ((ps patterns))
+        (while (pairp ps)
+          (setq total (+ total (browse-pattern (car ps))))
+          (setq ps (cdr ps))))
+      (shuffle)
+      (setq rounds (sub1 rounds)))
+    (print total)
+    (print (browse-pattern '(* (c 2) *)))
+    (print (match '(a ? b * d) '(a 1 b (c 1) d)))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,182 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * comp: "the first pass of the front-end of the PSL compiler".
+ *
+ * A realistic front-end pass over quoted source programs: expansion of
+ * derived forms (let -> lambda application, and/or/cond -> if chains),
+ * alpha-renaming with an environment (renamed variables are (sym . n)
+ * pairs, sidestepping runtime interning), constant folding of integer
+ * primitives, and a free-variable analysis. List- and assq-heavy, like
+ * a real compiler front end.
+ */
+const std::string &
+progComp()
+{
+    static const std::string src = R"lisp(
+;; -- derived-form expansion --------------------------------------------
+
+(de cexpand (x)
+  (cond ((atom x) x)
+        ((eq (car x) 'quote) x)
+        ((eq (car x) 'let) (cexpand-let x))
+        ((eq (car x) 'and) (cexpand-and (cdr x)))
+        ((eq (car x) 'or) (cexpand-or (cdr x)))
+        ((eq (car x) 'cond) (cexpand-cond (cdr x)))
+        (t (cexpand-list x))))
+
+(de cexpand-list (l)
+  (if (null l) nil (cons (cexpand (car l)) (cexpand-list (cdr l)))))
+
+(de cexpand-let (x)
+  ;; (let ((v e) ...) body) -> ((lambda (v ...) body) e ...)
+  (let ((binds (cadr x)) (body (caddr x)))
+    (cons (list 'lambda (cmap-car binds) (cexpand body))
+          (cexpand-list (cmap-cadr binds)))))
+
+(de cmap-car (l)
+  (if (null l) nil (cons (caar l) (cmap-car (cdr l)))))
+
+(de cmap-cadr (l)
+  (if (null l) nil (cons (cadar l) (cmap-cadr (cdr l)))))
+
+(de cexpand-and (l)
+  (cond ((null l) 1)
+        ((null (cdr l)) (cexpand (car l)))
+        (t (list 'if (cexpand (car l)) (cexpand-and (cdr l)) 0))))
+
+(de cexpand-or (l)
+  (cond ((null l) 0)
+        ((null (cdr l)) (cexpand (car l)))
+        (t (list 'if (cexpand (car l)) 1 (cexpand-or (cdr l))))))
+
+(de cexpand-cond (cls)
+  (cond ((null cls) 0)
+        ((eq (caar cls) 't) (cexpand (cadar cls)))
+        (t (list 'if (cexpand (caar cls))
+                 (cexpand (cadar cls))
+                 (cexpand-cond (cdr cls))))))
+
+;; -- alpha renaming ------------------------------------------------------
+
+(de crename (x env)
+  (cond ((fixp x) x)
+        ((symbolp x)
+         (let ((b (assq x env)))
+           (if b (cdr b) x)))
+        ((atom x) x)
+        ((eq (car x) 'quote) x)
+        ((eq (car x) 'lambda)
+         (let ((env2 (crename-params (cadr x) env)))
+           (list 'lambda
+                 (crename-list (cadr x) env2)
+                 (crename (caddr x) env2))))
+        (t (crename-list x env))))
+
+(de crename-params (params env)
+  (if (null params)
+      env
+      (progn
+        (setq *rename-counter* (add1 *rename-counter*))
+        (cons (cons (car params)
+                    (cons (car params) *rename-counter*))
+              (crename-params (cdr params) env)))))
+
+(de crename-list (l env)
+  (if (null l) nil (cons (crename (car l) env)
+                         (crename-list (cdr l) env))))
+
+;; -- constant folding -----------------------------------------------------
+
+(de cfold (x)
+  (cond ((atom x) x)
+        ((fixp (cdr x)) x)          ; renamed variable: (sym . n)
+        ((eq (car x) 'quote) x)
+        (t (let ((args (cfold-list (cdr x))))
+             (cond ((and (eq (car x) 'add)
+                         (cnum-args args))
+                    (+ (car args) (cadr args)))
+                   ((and (eq (car x) 'sub) (cnum-args args))
+                    (- (car args) (cadr args)))
+                   ((and (eq (car x) 'mul) (cnum-args args))
+                    (* (car args) (cadr args)))
+                   ((and (eq (car x) 'if) (fixp (car args)))
+                    (if (zerop (car args)) (caddr args) (cadr args)))
+                   (t (cons (car x) args)))))))
+
+(de cnum-args (args)
+  (and (pairp args) (fixp (car args))
+       (pairp (cdr args)) (fixp (cadr args))))
+
+(de cfold-list (l)
+  (if (null l) nil (cons (cfold (car l)) (cfold-list (cdr l)))))
+
+;; -- free variables --------------------------------------------------------
+
+(de cfree (x bound acc)
+  (cond ((fixp x) acc)
+        ((symbolp x)
+         (if (or (memq x bound) (memq x acc)) acc (cons x acc)))
+        ((atom x) acc)
+        ((fixp (cdr x)) acc)        ; renamed variable: always bound
+        ((eq (car x) 'quote) acc)
+        ((eq (car x) 'lambda)
+         (cfree (caddr x) (append (cadr x) bound) acc))
+        (t (cfree-list x bound acc))))
+
+(de cfree-list (l bound acc)
+  (if (null l) acc (cfree-list (cdr l) bound (cfree (car l) bound acc))))
+
+;; -- tree size (result checksum) -------------------------------------------
+
+(de csize (x)
+  (cond ((null x) 0)
+        ((atom x) 1)
+        (t (+ (csize (car x)) (csize (cdr x))))))
+
+(de comp-one (prog)
+  (let* ((e (cexpand prog))
+         (r (crename e nil))
+         (f (cfold r)))
+    (+ (csize f) (length (cfree f nil nil)))))
+
+(de comp-main (reps)
+  (let ((programs
+         '((let ((x (add 1 2)) (y (mul 3 4)))
+             (cond ((less x y) (add x y))
+                   (t (sub x y))))
+           (lambda (f g)
+             (let ((h (f (g 1 2) (g 3 4))))
+               (and (less h 10) (or (eq h 5) (eq h 6)) h)))
+           (let ((a 1) (b 2) (c 3))
+             (let ((d (add a (add b c))))
+               (mul d (sub d (add 2 3)))))
+           (cond ((eq kind 'leaf) (make-leaf val))
+                 ((eq kind 'node) (make-node (build left)
+                                             (build right)))
+                 (t (error)))
+           (lambda (n)
+             (cond ((less n 2) n)
+                   (t (add (fib (sub n 1)) (fib (sub n 2))))))
+           (let ((table (make-table 64)))
+             (and (insert table k1 (add 10 20))
+                  (insert table k2 (mul 5 5))
+                  (or (lookup table k1) (lookup table k2))))))
+        (total 0))
+    (setq *rename-counter* 0)
+    (while (greaterp reps 0)
+      (let ((ps programs))
+        (while (pairp ps)
+          (setq total (+ total (comp-one (car ps))))
+          (setq ps (cdr ps))))
+      (setq reps (sub1 reps)))
+    (print total)
+    (print (cfold (cexpand '(add (mul 2 3) (sub 10 (add 1 2))))))
+    (print (length (cfree (cexpand (car programs)) nil nil)))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,168 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * deduce: "a deductive information retriever for a database organized
+ * as a discrimination tree" (after Charniak, Riesbeck & McDermott).
+ *
+ * Facts are flat lists indexed in a discrimination tree (nested
+ * alists); queries contain variables (symbols starting with ? are
+ * pre-declared in *vars*), retrieval walks the tree, and a small
+ * matcher produces binding lists. A one-level backchainer derives new
+ * relations by joining stored facts.
+ *
+ * dedgc runs the same program with a heap small enough that the
+ * copying collector accounts for about half the execution time.
+ */
+const std::string &
+progDeduce()
+{
+    static const std::string src = R"lisp(
+;; -- discrimination tree ---------------------------------------------
+;; node = alist: key -> subtree; the key *end* holds the stored facts.
+
+(de dt-empty () (list nil))
+
+(de dt-insert (tree fact)
+  (dt-insert1 tree fact)
+  tree)
+
+(de dt-insert1 (node keys)
+  (if (null keys)
+      (let ((slot (assq '*end* (car node))))
+        (if slot
+            (rplacd slot (cons t (cdr slot)))
+            (rplaca node (cons (cons '*end* (list t)) (car node)))))
+      (let ((slot (assq (car keys) (car node))))
+        (if (null slot)
+            (progn
+              (setq slot (cons (car keys) (dt-empty)))
+              (rplaca node (cons slot (car node)))))
+        (dt-insert1 (cdr slot) (cdr keys)))))
+
+;; Retrieve every stored key-sequence matching a pattern; variables
+;; match any key. Results are lists of (var . value) binding alists.
+
+(de varp (x) (and (symbolp x) (memq x *vars*)))
+
+(de dt-fetch (node pat binds)
+  (cond ((null pat)
+         (if (assq '*end* (car node)) (list binds) nil))
+        ((varp (car pat))
+         (let ((b (assq (car pat) binds)))
+           (if b
+               (dt-fetch-key node (cdr b) pat binds)
+               (dt-fetch-all node pat binds))))
+        (t (dt-fetch-key node (car pat) pat binds))))
+
+(de dt-fetch-key (node key pat binds)
+  (let ((slot (assq key (car node))))
+    (if slot (dt-fetch (cdr slot) (cdr pat) binds) nil)))
+
+(de dt-fetch-all (node pat binds)
+  (let ((entries (car node)) (out nil))
+    (while (pairp entries)
+      (let ((slot (car entries)))
+        (cond ((eq (car slot) '*end*) nil)
+              (t (setq out
+                       (append (dt-fetch (cdr slot) (cdr pat)
+                                         (cons (cons (car pat)
+                                                     (car slot))
+                                               binds))
+                               out)))))
+      (setq entries (cdr entries)))
+    out))
+
+(de subst-binds (pat binds)
+  (cond ((null pat) nil)
+        ((varp (car pat))
+         (let ((b (assq (car pat) binds)))
+           (cons (if b (cdr b) (car pat))
+                 (subst-binds (cdr pat) binds))))
+        (t (cons (car pat) (subst-binds (cdr pat) binds)))))
+
+;; -- a family database ------------------------------------------------
+
+(de add-fact (f) (dt-insert *db* f))
+
+(de deduce-setup ()
+  (setq *vars* '(?x ?y ?z ?p ?c))
+  (setq *db* (dt-empty))
+  (add-fact '(parent adam cain))
+  (add-fact '(parent adam abel))
+  (add-fact '(parent adam seth))
+  (add-fact '(parent eve cain))
+  (add-fact '(parent eve abel))
+  (add-fact '(parent eve seth))
+  (add-fact '(parent cain enoch))
+  (add-fact '(parent seth enos))
+  (add-fact '(parent enos kenan))
+  (add-fact '(parent kenan mahalalel))
+  (add-fact '(parent mahalalel jared))
+  (add-fact '(parent jared henoch))
+  (add-fact '(parent henoch methuselah))
+  (add-fact '(parent methuselah lamech))
+  (add-fact '(parent lamech noah))
+  (add-fact '(parent noah shem))
+  (add-fact '(parent noah ham))
+  (add-fact '(parent noah japheth))
+  (add-fact '(male adam)) (add-fact '(male cain))
+  (add-fact '(male abel)) (add-fact '(male seth))
+  (add-fact '(male enoch)) (add-fact '(male enos))
+  (add-fact '(male noah)) (add-fact '(male shem))
+  (add-fact '(female eve)))
+
+;; Derive (grandparent g c) by joining parent facts.
+(de derive-grandparents ()
+  (let ((gps (dt-fetch *db* '(parent ?x ?y) nil)) (n 0))
+    (while (pairp gps)
+      (let* ((b (car gps))
+             (mid (cdr (assq '?y b)))
+             (kids (dt-fetch *db* (list 'parent mid '?z) nil)))
+        (while (pairp kids)
+          (add-fact (list 'grandparent
+                          (cdr (assq '?x b))
+                          (cdr (assq '?z (car kids)))))
+          (setq n (add1 n))
+          (setq kids (cdr kids))))
+      (setq gps (cdr gps)))
+    n))
+
+(de count-matches (pat)
+  (length (dt-fetch *db* pat nil)))
+
+(de deduce-round ()
+  (deduce-setup)
+  (let ((g (derive-grandparents)))
+    (+ (+ (count-matches '(parent ?p ?c))
+          (count-matches '(grandparent ?p ?c)))
+       (+ (count-matches '(parent noah ?c))
+          (+ (count-matches '(male ?x))
+          g)))))
+
+(de deduce-main (rounds)
+  (let ((total 0))
+    (while (greaterp rounds 0)
+      (setq total (+ total (deduce-round)))
+      (setq rounds (sub1 rounds)))
+    (print total)
+    (print (count-matches '(grandparent adam ?x)))
+    (print (subst-binds '(grandparent adam ?x)
+                        (car (dt-fetch *db* '(grandparent adam ?x)
+                                       nil))))))
+)lisp";
+    return src;
+}
+
+/** Extra driver: deduce proper runs a handful of rounds. */
+const std::string &
+progDedgcDriver()
+{
+    static const std::string src = R"lisp(
+(deduce-main 60)
+)lisp";
+    return src;
+}
+
+} // namespace mxl

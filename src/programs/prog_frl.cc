@@ -1,0 +1,153 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * frl: "a simple inventory system using the frame representation
+ * language".
+ *
+ * Frames are symbols; each frame's slots live on its property list as
+ * (slot . facet-alist) entries with `value` and `default` facets, and
+ * `ako` links give inheritance. The inventory builds a category
+ * hierarchy, instantiates items, and answers queries that walk the
+ * inheritance chain — the plist/assq-heavy profile of FRL programs.
+ */
+const std::string &
+progFrl()
+{
+    static const std::string src = R"lisp(
+;; -- FRL kernel -------------------------------------------------------
+
+(de fput (frame slot facet value)
+  (let ((s (assq slot (get frame 'slots))))
+    (if (null s)
+        (progn
+          (setq s (cons slot nil))
+          (put frame 'slots (cons s (get frame 'slots)))))
+    (let ((f (assq facet (cdr s))))
+      (if f
+          (rplacd f value)
+          (rplacd s (cons (cons facet value) (cdr s))))))
+  value)
+
+(de fget-local (frame slot facet)
+  (let ((s (assq slot (get frame 'slots))))
+    (if s
+        (let ((f (assq facet (cdr s))))
+          (if f (cdr f) nil))
+        nil)))
+
+;; value facet, else inherited value, else default, else inherited default
+(de fget (frame slot)
+  (or (fget-chain frame slot 'value)
+      (fget-chain frame slot 'default)))
+
+(de fget-chain (frame slot facet)
+  (if (null frame)
+      nil
+      (or (fget-local frame slot facet)
+          (fget-chain (fget-local frame 'ako 'value) slot facet))))
+
+(de fkindp (frame kind)
+  (cond ((null frame) nil)
+        ((eq frame kind) t)
+        (t (fkindp (fget-local frame 'ako 'value) kind))))
+
+;; -- the inventory -----------------------------------------------------
+
+(de make-kind (name parent)
+  (put name 'slots nil)
+  (if parent (fput name 'ako 'value parent) nil)
+  name)
+
+(de make-item (name kind price qty loc)
+  (put name 'slots nil)
+  (fput name 'ako 'value kind)
+  (fput name 'price 'value price)
+  (fput name 'qty 'value qty)
+  (fput name 'loc 'value loc)
+  (setq *inventory* (cons name *inventory*))
+  name)
+
+(de frl-setup ()
+  (setq *inventory* nil)
+  (make-kind 'thing nil)
+  (fput 'thing 'qty 'default 0)
+  (fput 'thing 'reorder 'default 10)
+  (make-kind 'tool 'thing)
+  (fput 'tool 'loc 'default 'shed)
+  (make-kind 'powertool 'tool)
+  (fput 'powertool 'voltage 'default 220)
+  (make-kind 'handtool 'tool)
+  (make-kind 'material 'thing)
+  (fput 'material 'loc 'default 'yard)
+  (make-kind 'fastener 'material)
+  (fput 'fastener 'reorder 'default 500)
+  (make-item 'hammer1 'handtool 12 4 'rack1)
+  (make-item 'hammer2 'handtool 15 2 'rack1)
+  (make-item 'saw1 'handtool 23 3 'rack2)
+  (make-item 'drill1 'powertool 89 1 'cab1)
+  (make-item 'drill2 'powertool 129 2 'cab1)
+  (make-item 'sander1 'powertool 75 1 'cab2)
+  (make-item 'plank1 'material 7 40 nil)
+  (make-item 'plank2 'material 9 25 nil)
+  (make-item 'nails1 'fastener 3 800 'bin1)
+  (make-item 'nails2 'fastener 4 350 'bin2)
+  (make-item 'screws1 'fastener 5 150 'bin3)
+  (make-item 'wrench1 'handtool 18 6 'rack3)
+  (make-item 'lathe1 'powertool 450 1 'floor)
+  (make-item 'glue1 'material 6 12 'shelf1)
+  (make-item 'bolts1 'fastener 7 90 'bin4))
+
+(de total-value (items)
+  (if (null items)
+      0
+      (+ (* (fget (car items) 'price) (fget (car items) 'qty))
+         (total-value (cdr items)))))
+
+(de count-kind (items kind)
+  (let ((n 0))
+    (while (pairp items)
+      (if (fkindp (car items) kind) (setq n (add1 n)) nil)
+      (setq items (cdr items)))
+    n))
+
+(de needs-reorder (items)
+  (let ((out nil))
+    (while (pairp items)
+      (if (lessp (fget (car items) 'qty)
+                 (fget (car items) 'reorder))
+          (setq out (cons (car items) out))
+          nil)
+      (setq items (cdr items)))
+    out))
+
+(de located-at (items where)
+  (let ((out nil))
+    (while (pairp items)
+      (if (eq (fget (car items) 'loc) where)
+          (setq out (cons (car items) out))
+          nil)
+      (setq items (cdr items)))
+    out))
+
+(de frl-main (rounds)
+  (let ((total 0))
+    (while (greaterp rounds 0)
+      (frl-setup)
+      (setq total (+ total (total-value *inventory*)))
+      (setq total (+ total (count-kind *inventory* 'tool)))
+      (setq total (+ total (length (needs-reorder *inventory*))))
+      (setq total (+ total (length (located-at *inventory* 'yard))))
+      (setq total (remainder total 999983))
+      (setq rounds (sub1 rounds)))
+    (print total)
+    (print (fget 'drill1 'voltage))
+    (print (fget 'plank1 'loc))
+    (print (reverse (needs-reorder *inventory*)))
+    (print (count-kind *inventory* 'material))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

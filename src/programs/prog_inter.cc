@@ -1,0 +1,115 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * inter: "a simple interpreter for a subset of LISP is used to
+ * calculate the Fibonacci number 10, and to sort a list of numbers"
+ * (after Winston & Horn's Lisp-in-Lisp).
+ *
+ * The interpreted language has numbers, variables, quote, if, lambda,
+ * and calls; environments are association lists; primitives bridge to
+ * the host through `apply`.
+ */
+const std::string &
+progInter()
+{
+    static const std::string src = R"lisp(
+;; -- the meta-circular evaluator ------------------------------------
+
+(de xeval (x env)
+  (cond ((fixp x) x)
+        ((null x) nil)
+        ((eq x 'true) t)
+        ((symbolp x) (xlookup x env))
+        ((eq (car x) 'quote) (cadr x))
+        ((eq (car x) 'if)
+         (if (xeval (cadr x) env)
+             (xeval (caddr x) env)
+             (xeval (cadddr x) env)))
+        ((eq (car x) 'lambda) (list 'closure x env))
+        (t (xapply (xeval (car x) env) (xevlis (cdr x) env)))))
+
+(de xlookup (v env)
+  (let ((b (assq v env)))
+    (if b (cdr b) (xglobal v))))
+
+(de xglobal (v)
+  (let ((b (assq v *xdefs*)))
+    (if b (cdr b) (error 7))))
+
+(de xevlis (l env)
+  (if (null l) nil (cons (xeval (car l) env) (xevlis (cdr l) env))))
+
+(de xapply (f args)
+  (cond ((eq (car f) 'prim) (apply (cadr f) args))
+        ((eq (car f) 'closure)
+         (let ((fn (cadr f)) (env (caddr f)))
+           (xeval (caddr fn) (xbind (cadr fn) args env))))
+        (t (error 8))))
+
+(de xbind (params args env)
+  (if (null params)
+      env
+      (cons (cons (car params) (car args))
+            (xbind (cdr params) (cdr args) env))))
+
+;; host primitives for the interpreted language
+(de xprim-add (a b) (+ a b))
+(de xprim-sub (a b) (- a b))
+(de xprim-less (a b) (lessp a b))
+(de xprim-cons (a b) (cons a b))
+(de xprim-car (a) (car a))
+(de xprim-cdr (a) (cdr a))
+(de xprim-null (a) (null a))
+
+(de xdefine (name val)
+  (setq *xdefs* (cons (cons name val) *xdefs*)))
+
+(de inter-setup ()
+  (setq *xdefs* nil)
+  (xdefine 'add (list 'prim 'xprim-add))
+  (xdefine 'sub (list 'prim 'xprim-sub))
+  (xdefine 'less (list 'prim 'xprim-less))
+  (xdefine 'kons (list 'prim 'xprim-cons))
+  (xdefine 'kar (list 'prim 'xprim-car))
+  (xdefine 'kdr (list 'prim 'xprim-cdr))
+  (xdefine 'nullp (list 'prim 'xprim-null))
+  ;; interpreted fib
+  (xdefine 'fib
+    (xeval '(lambda (n)
+              (if (less n 2)
+                  n
+                  (add (fib (sub n 1)) (fib (sub n 2)))))
+           nil))
+  ;; interpreted insertion sort
+  (xdefine 'insert
+    (xeval '(lambda (x l)
+              (if (nullp l)
+                  (kons x (quote ()))
+                  (if (less x (kar l))
+                      (kons x l)
+                      (kons (kar l) (insert x (kdr l))))))
+           nil))
+  (xdefine 'isort
+    (xeval '(lambda (l)
+              (if (nullp l)
+                  (quote ())
+                  (insert (kar l) (isort (kdr l)))))
+           nil)))
+
+(de inter-run ()
+  (print (xeval '(fib 10) nil))
+  (print (xeval '(isort (quote (9 3 7 1 8 2 6 4 5 0 19 13 17 11 18
+                                12 16 14 15 10)))
+                nil))
+  ;; a second round exercises the interpreter on list building
+  (print (xeval '(fib 12) nil)))
+
+(inter-setup)
+(inter-run)
+)lisp";
+    return src;
+}
+
+} // namespace mxl

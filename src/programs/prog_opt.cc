@@ -1,0 +1,190 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * opt: "the optimizer that was added to the compiler. It uses lists,
+ * and vectors."
+ *
+ * A local optimizer over straight-line three-address code: the code
+ * array and the analysis tables (known values, use counts) are
+ * vectors; the instructions themselves are lists (op dest src1 src2).
+ * Passes: constant propagation, algebraic simplification, dead-code
+ * elimination. The mix of vector tables and list instructions gives
+ * the list+vector checking profile of Table 1's `opt` row.
+ */
+const std::string &
+progOpt()
+{
+    static const std::string src = R"lisp(
+;; Instruction encoding: ops are small integers.
+;;   0 = li   dest <- src1 (constant)
+;;   1 = add  dest <- r[src1] + r[src2]
+;;   2 = sub  dest <- r[src1] - r[src2]
+;;   3 = mul  dest <- r[src1] * r[src2]
+;;   4 = mov  dest <- r[src1]
+;;   5 = out  emit r[src1]
+;;   9 = nop
+
+(de mkinstr (op dest s1 s2)
+  (list op dest s1 s2))
+
+(de iop (i) (car i))
+(de idest (i) (cadr i))
+(de is1 (i) (caddr i))
+(de is2 (i) (cadddr i))
+
+;; Build a pseudo-random but deterministic program of n instructions
+;; over nregs virtual registers.
+(de gen-program (n nregs)
+  (let ((code (mkvect n)) (i 0))
+    ;; make sure every register starts defined
+    (while (lessp i nregs)
+      (putv code i (mkinstr 0 i (add1 i) 0))
+      (setq i (add1 i)))
+    (while (lessp i n)
+      (let ((r (random 10)))
+        (cond ((lessp r 3)
+               (putv code i (mkinstr 0 (random nregs)
+                                     (random 50) 0)))
+              ((lessp r 5)
+               (putv code i (mkinstr 1 (random nregs)
+                                     (random nregs) (random nregs))))
+              ((lessp r 6)
+               (putv code i (mkinstr 2 (random nregs)
+                                     (random nregs) (random nregs))))
+              ((lessp r 7)
+               (putv code i (mkinstr 3 (random nregs)
+                                     (random nregs) (random nregs))))
+              ((lessp r 9)
+               (putv code i (mkinstr 4 (random nregs)
+                                     (random nregs) 0)))
+              (t
+               (putv code i (mkinstr 5 0 (random nregs) 0)))))
+      (setq i (add1 i)))
+    code))
+
+;; -- constant propagation -------------------------------------------------
+;; vals[r] holds the known constant for r, or -1 (unknown).
+
+(de const-prop (code n nregs)
+  (let ((vals (mkvect nregs)) (i 0) (changed 0))
+    (while (lessp i nregs)
+      (putv vals i -1)
+      (setq i (add1 i)))
+    (setq i 0)
+    (while (lessp i n)
+      (let* ((ins (getv code i)) (op (iop ins)))
+        (cond ((eq op 0)
+               (putv vals (idest ins) (is1 ins)))
+              ((eq op 4)
+               (let ((v (getv vals (is1 ins))))
+                 (cond ((geq v 0)
+                        (putv code i (mkinstr 0 (idest ins) v 0))
+                        (putv vals (idest ins) v)
+                        (setq changed (add1 changed)))
+                       (t (putv vals (idest ins) -1)))))
+              ((or (eq op 1) (eq op 2) (eq op 3))
+               (let ((a (getv vals (is1 ins)))
+                     (b (getv vals (is2 ins))))
+                 (cond ((and (geq a 0) (geq b 0))
+                        (let ((v (opt-apply op a b)))
+                          (cond ((and (geq v 0) (lessp v 100000))
+                                 (putv code i
+                                       (mkinstr 0 (idest ins) v 0))
+                                 (putv vals (idest ins) v)
+                                 (setq changed (add1 changed)))
+                                (t (putv vals (idest ins) -1)))))
+                       (t (putv vals (idest ins) -1)))))
+              (t nil)))
+      (setq i (add1 i)))
+    changed))
+
+(de opt-apply (op a b)
+  (cond ((eq op 1) (+ a b))
+        ((eq op 2) (- a b))
+        (t (remainder (* a b) 99991))))
+
+;; -- algebraic simplification ----------------------------------------------
+
+(de simplify (code n)
+  (let ((i 0) (changed 0))
+    (while (lessp i n)
+      (let* ((ins (getv code i)) (op (iop ins)))
+        ;; x + x -> 2*x kept; x - x -> 0; mul by self untouched
+        (cond ((and (eq op 2) (eq (is1 ins) (is2 ins)))
+               (putv code i (mkinstr 0 (idest ins) 0 0))
+               (setq changed (add1 changed)))
+              ((and (eq op 1) (eq (is1 ins) (is2 ins)))
+               ;; x + x -> mov then caught by later passes
+               (putv code i (mkinstr 4 (idest ins) (is1 ins) 0))
+               (setq changed (add1 changed)))
+              (t nil)))
+      (setq i (add1 i)))
+    changed))
+
+;; -- dead code elimination ---------------------------------------------------
+
+(de dead-code (code n nregs)
+  (let ((uses (mkvect nregs)) (i 0) (removed 0))
+    (while (lessp i nregs)
+      (putv uses i 0)
+      (setq i (add1 i)))
+    ;; count uses
+    (setq i 0)
+    (while (lessp i n)
+      (let* ((ins (getv code i)) (op (iop ins)))
+        (cond ((or (eq op 1) (eq op 2) (eq op 3))
+               (putv uses (is1 ins) (add1 (getv uses (is1 ins))))
+               (putv uses (is2 ins) (add1 (getv uses (is2 ins)))))
+              ((eq op 4)
+               (putv uses (is1 ins) (add1 (getv uses (is1 ins)))))
+              ((eq op 5)
+               (putv uses (is1 ins) (add1 (getv uses (is1 ins)))))
+              (t nil)))
+      (setq i (add1 i)))
+    ;; kill writes to registers nobody reads (scan backwards once)
+    (setq i (sub1 n))
+    (while (geq i 0)
+      (let* ((ins (getv code i)) (op (iop ins)))
+        (cond ((and (not (eq op 5)) (not (eq op 9))
+                    (eq (getv uses (idest ins)) 0))
+               (putv code i (mkinstr 9 0 0 0))
+               (setq removed (add1 removed)))
+              (t nil)))
+      (setq i (sub1 i)))
+    removed))
+
+(de checksum (code n)
+  (let ((i 0) (sum 0))
+    (while (lessp i n)
+      (let ((ins (getv code i)))
+        (setq sum (remainder (+ (* sum 31)
+                                (+ (iop ins)
+                                   (+ (idest ins)
+                                      (+ (is1 ins) (is2 ins)))))
+                             999983)))
+      (setq i (add1 i)))
+    sum))
+
+(de opt-main (rounds size nregs)
+  (seed-random 12345)
+  (let ((total 0))
+    (while (greaterp rounds 0)
+      (let ((code (gen-program size nregs)))
+        (let ((c1 (const-prop code size nregs))
+              (c2 (simplify code size)))
+          (let ((c3 (const-prop code size nregs))
+                (c4 (dead-code code size nregs)))
+            (setq total (remainder
+                         (+ total
+                            (+ (checksum code size)
+                               (+ c1 (+ c2 (+ c3 c4)))))
+                         999983)))))
+      (setq rounds (sub1 rounds)))
+    (print total)))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,183 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * rat: "a rational function evaluator that comes with the PSL system".
+ *
+ * Rational numbers are pairs (num . den), den > 0, reduced with gcd
+ * after every operation (which also keeps every intermediate inside
+ * the smallest fixnum range, so all tag schemes compute identical
+ * results). The workload evaluates rational polynomials by Horner's
+ * rule, their derivatives, and telescoping/harmonic-style series —
+ * the arithmetic-dominated profile of Table 1's `rat` row.
+ */
+const std::string &
+progRat()
+{
+    static const std::string src = R"lisp(
+;; -- rational arithmetic ----------------------------------------------
+
+(de rmake (n d)
+  (cond ((zerop d) (error 9))
+        ((minusp d) (rmake (minus n) (minus d)))
+        (t (let ((g (gcd n d)))
+             (if (zerop g)
+                 (cons 0 1)
+                 (cons (quotient n g) (quotient d g)))))))
+
+(de rnum (r) (car r))
+(de rden (r) (cdr r))
+
+(de radd (a b)
+  (rmake (+ (* (rnum a) (rden b)) (* (rnum b) (rden a)))
+         (* (rden a) (rden b))))
+
+(de rsub (a b)
+  (rmake (- (* (rnum a) (rden b)) (* (rnum b) (rden a)))
+         (* (rden a) (rden b))))
+
+(de rmul (a b)
+  (rmake (* (rnum a) (rnum b)) (* (rden a) (rden b))))
+
+(de rdiv (a b)
+  (if (zerop (rnum b))
+      (error 9)
+      (rmake (* (rnum a) (rden b)) (* (rden a) (rnum b)))))
+
+(de requal (a b)
+  (and (eqn (rnum a) (rnum b)) (eqn (rden a) (rden b))))
+
+(de rzero () (cons 0 1))
+(de rone () (cons 1 1))
+(de rfix (n) (cons n 1))
+
+;; -- integer polynomials (dense coefficient lists, low order first) ---
+;; Coefficients stay small by construction so every scheme computes the
+;; same fixnum results.
+
+(de ipadd (p q)
+  (cond ((null p) q)
+        ((null q) p)
+        (t (cons (+ (car p) (car q)) (ipadd (cdr p) (cdr q))))))
+
+(de ipscale (p k)
+  (if (null p) nil (cons (* k (car p)) (ipscale (cdr p) k))))
+
+(de ipmul (p q)
+  (if (null p)
+      nil
+      (ipadd (ipscale q (car p)) (cons 0 (ipmul (cdr p) q)))))
+
+(de ipderiv (p)
+  (let ((k 1) (out nil))
+    (setq p (cdr p))
+    (while (pairp p)
+      (setq out (cons (* k (car p)) out))
+      (setq k (add1 k))
+      (setq p (cdr p)))
+    (reverse out)))
+
+(de ipsum (p)
+  (if (null p) 0 (+ (car p) (ipsum (cdr p)))))
+
+;; Evaluate the rational function p(x)/q(x) at the rational point x.
+(de ratfun-eval (p q x)
+  (rdiv (ipoly-eval-rat p x) (ipoly-eval-rat q x)))
+
+(de ipoly-eval-rat (p x)
+  (let ((acc (rzero)) (rp (reverse p)))
+    (while (pairp rp)
+      (setq acc (radd (rmul acc x) (rfix (car rp))))
+      (setq rp (cdr rp)))
+    acc))
+
+;; -- rational-coefficient polynomials ----------------------------------
+
+(de poly-eval (p x)
+  (let ((acc (rzero)) (rp (reverse p)))
+    (while (pairp rp)
+      (setq acc (radd (rmul acc x) (car rp)))
+      (setq rp (cdr rp)))
+    acc))
+
+(de poly-deriv (p)
+  (let ((k 1) (out nil))
+    (setq p (cdr p))
+    (while (pairp p)
+      (setq out (cons (rmul (rfix k) (car p)) out))
+      (setq k (add1 k))
+      (setq p (cdr p)))
+    (reverse out)))
+
+(de poly-add (p q)
+  (cond ((null p) q)
+        ((null q) p)
+        (t (cons (radd (car p) (car q)) (poly-add (cdr p) (cdr q))))))
+
+;; -- series ------------------------------------------------------------
+
+;; sum of 1/(k(k+1)) for k = 1..n; telescopes to n/(n+1).
+(de telescope-sum (n)
+  (let ((acc (rzero)) (k 1))
+    (while (leq k n)
+      (setq acc (radd acc (rmake 1 (* k (add1 k)))))
+      (setq k (add1 k)))
+    acc))
+
+;; alternating unit-fraction sum with small denominators (kept to
+;; n <= 8 so the unreduced intermediate products stay within the
+;; smallest fixnum range of any scheme)
+(de alt-sum (n)
+  (let ((acc (rzero)) (k 1) (sign 1))
+    (while (leq k n)
+      (setq acc (radd acc (rmake sign (* k (add1 k)))))
+      (setq sign (minus sign))
+      (setq k (add1 k)))
+    acc))
+
+;; continued fraction [a; a, a, ...] of depth n
+(de cfrac (a n)
+  (if (zerop n)
+      (rfix a)
+      (radd (rfix a) (rdiv (rone) (cfrac a (sub1 n))))))
+
+(de rat-check (r)
+  (+ (abs (rnum r)) (abs (rden r))))
+
+(de rat-main (reps)
+  ;; The bulk of the work is symbolic: integer polynomial sums,
+  ;; products, and derivatives over coefficient lists, followed by
+  ;; rational-function evaluation at a few rational points. All
+  ;; coefficients stay far below the smallest fixnum range, so every
+  ;; scheme computes identical results.
+  (let ((p1 '(3 -2 5 1 -4 2))
+        (p2 '(1 4 -3 2))
+        (q1 '(2 1 1))
+        (total 0))
+    (while (greaterp reps 0)
+      (let* ((prod (ipmul p1 p2))
+             (dp (ipderiv prod))
+             (s (ipadd prod (ipadd dp (ipscale p1 3)))))
+        (setq total (+ total (ipsum s)))
+        ;; rational-function evaluation p(x)/q(x) on three points
+        (let ((i 1))
+          (while (leq i 3)
+            (setq total
+                  (+ total
+                     (rat-check (ratfun-eval s q1 (rmake i 4)))))
+            (setq i (add1 i)))))
+      (setq total (+ total (rat-check (telescope-sum 20))))
+      (setq total (+ total (rat-check (cfrac 1 10))))
+      (setq total (remainder total 999983))
+      (setq reps (sub1 reps)))
+    (print total))
+  (print (ipmul '(1 1) '(1 1)))
+  (print (telescope-sum 40))
+  (print (cfrac 1 14))
+  (print (requal (telescope-sum 24) (rmake 24 25))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,101 @@
+#include "programs/programs.h"
+
+namespace mxl {
+
+/*
+ * trav: "a short version of the traverse benchmark; creates and
+ * traverses a tree structure; uses structures which are implemented as
+ * vectors" (Gabriel).
+ *
+ * Nodes are 6-slot vectors [id mark visits children parents scratch];
+ * the builder wires a deterministic pseudo-random graph and the
+ * traverser repeatedly walks it flipping the mark sense, as in the
+ * original.
+ */
+const std::string &
+progTrav()
+{
+    static const std::string src = R"lisp(
+;; Structure slots (a vector, like the original's defstruct):
+;;   0 id, 1 mark, 2 visits, 3 sons, 4 parents, 5 entry1, 6 entry2
+(de node-id (n) (getv n 0))
+(de node-mark (n) (getv n 1))
+(de node-visits (n) (getv n 2))
+(de node-kids (n) (getv n 3))
+(de node-parents (n) (getv n 4))
+(de node-entry1 (n) (getv n 5))
+(de node-entry2 (n) (getv n 6))
+
+(de make-node (id)
+  (let ((n (mkvect 7)))
+    (putv n 0 id)
+    (putv n 1 nil)     ; mark
+    (putv n 2 0)       ; visits
+    (putv n 3 nil)     ; sons (list)
+    (putv n 4 nil)     ; parents (list)
+    (putv n 5 0)
+    (putv n 6 0)
+    n))
+
+(de add-edge (a b)
+  (putv a 3 (cons b (node-kids a)))
+  (putv b 4 (cons a (node-parents b))))
+
+;; Build n nodes in a vector: a spanning ring plus random chords.
+(de build-graph (n extra)
+  (let ((nodes (mkvect n)) (i 0))
+    (while (lessp i n)
+      (putv nodes i (make-node i))
+      (setq i (add1 i)))
+    (setq i 0)
+    (while (lessp i n)
+      (add-edge (getv nodes i)
+                (getv nodes (remainder (add1 i) n)))
+      (setq i (add1 i)))
+    (while (greaterp extra 0)
+      (let ((a (random n)) (b (random n)))
+        (add-edge (getv nodes a) (getv nodes b)))
+      (setq extra (sub1 extra)))
+    nodes))
+
+;; Depth-first traversal; `sense` flips every pass so no re-init is
+;; needed. Each visit touches several structure slots (the original
+;; traverse churns its struct fields the same way).
+(de traverse (node sense)
+  (if (eq (node-mark node) sense)
+      nil
+      (progn
+        (putv node 1 sense)
+        (putv node 2 (add1 (node-visits node)))
+        (putv node 5 (node-id node))
+        (putv node 6 (node-entry1 node))
+        (traverse-kids (node-kids node) sense))))
+
+(de traverse-kids (kids sense)
+  (while (pairp kids)
+    (traverse (car kids) sense)
+    (setq kids (cdr kids))))
+
+(de total-visits (nodes n)
+  (let ((i 0) (sum 0))
+    (while (lessp i n)
+      (setq sum (+ sum (node-visits (getv nodes i))))
+      (setq i (add1 i)))
+    sum))
+
+(de trav-main (nodes-n extra passes)
+  (seed-random 777)
+  (let ((nodes (build-graph nodes-n extra))
+        (sense t))
+    (while (greaterp passes 0)
+      (traverse (getv nodes (random nodes-n)) sense)
+      (setq sense (not sense))
+      (setq passes (sub1 passes)))
+    (print (total-visits nodes nodes-n))
+    (print (node-visits (getv nodes 0)))
+    (print (node-entry2 (getv nodes 5)))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,63 @@
+#include "programs/programs.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+const std::vector<BenchmarkProgram> &
+benchmarkPrograms()
+{
+    static const std::vector<BenchmarkProgram> progs = [] {
+        std::vector<BenchmarkProgram> v;
+        const uint32_t defaultHeap = 4u << 20;
+        const uint64_t guard = 800'000'000;
+
+        v.push_back({"inter",
+                     "Lisp-in-Lisp interpreter: fib(10) and a sort",
+                     progInter(), defaultHeap, guard});
+        v.push_back({"deduce",
+                     "deductive retriever over a discrimination tree",
+                     progDeduce() + "\n(deduce-main 25)\n", defaultHeap,
+                     guard});
+        // dedgc: same program, heap sized so the copying collector
+        // accounts for roughly half the execution time (Appendix says
+        // "about 50% of its time in the garbage collector"); 10 KiB
+        // semispaces measure at ~51%.
+        v.push_back({"dedgc",
+                     "deduce with a copying GC dominating (~50%)",
+                     progDeduce() + progDedgcDriver(), 10u << 10, guard});
+        v.push_back({"rat", "rational function evaluator",
+                     progRat() + "\n(rat-main 120)\n", defaultHeap, guard});
+        v.push_back({"comp", "compiler front-end first pass",
+                     progComp() + "\n(comp-main 60)\n", defaultHeap,
+                     guard});
+        v.push_back({"opt", "optimizer over vector-held code",
+                     progOpt() + "\n(opt-main 10 120 12)\n", defaultHeap,
+                     guard});
+        v.push_back({"frl", "frame-representation-language inventory",
+                     progFrl() + "\n(frl-main 80)\n", defaultHeap, guard});
+        v.push_back({"boyer", "rewrite-based tautology prover",
+                     progBoyer() + "\n(boyer-main 1)\n", defaultHeap,
+                     guard});
+        v.push_back({"brow", "browse an AI-like unit database",
+                     progBrow() + "\n(brow-main 40)\n", defaultHeap,
+                     guard});
+        v.push_back({"trav", "build and traverse a vector graph",
+                     progTrav() + "\n(trav-main 100 150 60)\n",
+                     defaultHeap, guard});
+        return v;
+    }();
+    return progs;
+}
+
+const BenchmarkProgram &
+programByName(const std::string &name)
+{
+    for (const auto &p : benchmarkPrograms()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark program '", name, "'");
+}
+
+} // namespace mxl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The ten benchmark programs (paper Appendix), rebuilt in MX-Lisp.
+ *
+ * The original PSL sources are not available; each program is
+ * reconstructed from its one-line description in the Appendix and the
+ * published Gabriel suite, sized so its operation mix matches its
+ * Table 1 profile (opt and trav vector-heavy, rat arithmetic-heavy,
+ * dedgc ~50% collector time, the rest list-dominated).
+ */
+
+#ifndef MXLISP_PROGRAMS_PROGRAMS_H_
+#define MXLISP_PROGRAMS_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mxl {
+
+struct BenchmarkProgram
+{
+    std::string name;
+    std::string description;
+    std::string source;         ///< MX-Lisp top-level forms
+    uint32_t heapBytes;         ///< per-semispace heap size
+    uint64_t maxCycles;         ///< runaway guard
+};
+
+/** All ten programs, in the paper's order. */
+const std::vector<BenchmarkProgram> &benchmarkPrograms();
+
+/** Look one up by name; fatal if unknown. */
+const BenchmarkProgram &programByName(const std::string &name);
+
+// Individual sources (one translation unit per program).
+const std::string &progInter();
+const std::string &progDeduce();
+const std::string &progDedgcDriver(); ///< extra churn appended to deduce
+const std::string &progRat();
+const std::string &progComp();
+const std::string &progOpt();
+const std::string &progFrl();
+const std::string &progBoyer();
+const std::string &progBrow();
+const std::string &progTrav();
+
+} // namespace mxl
+
+#endif // MXLISP_PROGRAMS_PROGRAMS_H_

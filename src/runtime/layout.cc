@@ -1,0 +1,35 @@
+#include "runtime/layout.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+RuntimeLayout
+RuntimeLayout::compute(const CompilerOptions &opts)
+{
+    RuntimeLayout l;
+    l.memBytes = opts.memBytes;
+    l.staticBase = 0x100;
+    l.cellBase = l.staticBase;
+    uint32_t cellsEnd =
+        l.cellBase + 4u * static_cast<uint32_t>(Cell::NumCells);
+    l.rootBase = (cellsEnd + 7u) & ~7u;
+    l.rootReserveWords = 64 * 1024; // up to 32k symbols' worth of roots
+    l.staticLimit = opts.staticBytes;
+    l.staticDataBase = l.rootBase + 4u * l.rootReserveWords;
+    MXL_ASSERT(l.staticDataBase < l.staticLimit, "static area too small");
+
+    l.heapBytes = opts.heapBytes;
+    l.heapABase = (l.staticLimit + 7u) & ~7u;
+    l.heapBBase = l.heapABase + l.heapBytes;
+    uint32_t heapEnd = l.heapBBase + l.heapBytes;
+
+    l.stackTop = opts.memBytes & ~7u;
+    l.stackLimit = heapEnd + 4096;
+    if (l.stackLimit >= l.stackTop)
+        fatal("memory layout does not fit: mem=", opts.memBytes,
+              " static=", opts.staticBytes, " heap=2x", opts.heapBytes);
+    return l;
+}
+
+} // namespace mxl

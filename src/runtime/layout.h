@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Simulated memory layout of an MX-Lisp image.
+ *
+ *   [0, staticBase)            unmapped guard (so no valid pointer is 0)
+ *   [staticBase, staticLimit)  static area: runtime cells, GC root list,
+ *                              symbol blocks, interned strings, quoted
+ *                              constants
+ *   [heapABase, heapALimit)    semispace A   (copying collector, §dedgc)
+ *   [heapBBase, heapBLimit)    semispace B
+ *   [..., stackTop)            control/value stack, grows down from
+ *                              stackTop; every slot holds a tagged value
+ *                              (return addresses are naturally fixnums)
+ *
+ * A handful of runtime cells at fixed addresses communicate layout
+ * facts to the sys-Lisp runtime (GC): semispace bounds, the stack scan
+ * bound, and the GC root list location. All cell values are raw byte
+ * addresses, which are valid fixnum representations in every scheme
+ * (word alignment), so the cells themselves are GC-inert.
+ */
+
+#ifndef MXLISP_RUNTIME_LAYOUT_H_
+#define MXLISP_RUNTIME_LAYOUT_H_
+
+#include <cstdint>
+
+#include "compiler/options.h"
+
+namespace mxl {
+
+/** Runtime communication cells (word-indexed from cellBase). */
+enum class Cell : int
+{
+    FromLo = 0,   ///< current from-space base (allocation space)
+    FromHi,       ///< current from-space limit
+    ToLo,         ///< current to-space base
+    ToHi,         ///< current to-space limit
+    StackTop,     ///< initial sp; GC scans [entry sp, StackTop)
+    RootBase,     ///< address of the GC root list
+    RootCount,    ///< number of root cells
+    GcCount,      ///< collections performed (raw counter)
+    HeapUsed,     ///< bytes copied by the last collection
+    NumCells,
+};
+
+/** Symbol block layout (bytes from the block base). */
+namespace symoff {
+inline constexpr int header = 0;
+inline constexpr int name = 4;
+inline constexpr int value = 8;
+inline constexpr int plist = 12;
+inline constexpr int fn = 16;
+inline constexpr int size = 20;
+} // namespace symoff
+
+struct RuntimeLayout
+{
+    uint32_t memBytes = 0;
+    uint32_t staticBase = 0;
+    uint32_t staticLimit = 0;
+    uint32_t cellBase = 0;      ///< runtime cells (within static area)
+    uint32_t rootBase = 0;      ///< root list reserve (within static)
+    uint32_t rootReserveWords = 0;
+    uint32_t staticDataBase = 0; ///< first allocatable static address
+    uint32_t heapABase = 0;
+    uint32_t heapBBase = 0;
+    uint32_t heapBytes = 0;     ///< per semispace
+    uint32_t stackTop = 0;
+    uint32_t stackLimit = 0;    ///< lowest legal sp
+
+    static RuntimeLayout compute(const CompilerOptions &opts);
+
+    uint32_t
+    cellAddr(Cell c) const
+    {
+        return cellBase + 4u * static_cast<uint32_t>(c);
+    }
+};
+
+} // namespace mxl
+
+#endif // MXLISP_RUNTIME_LAYOUT_H_

@@ -1,0 +1,201 @@
+#include "runtime/lisplib.h"
+
+namespace mxl {
+
+const std::string &
+lispLibSource()
+{
+    static const std::string src = R"lisp(
+;;; ------------------------------------------------------------------
+;;; Printing
+;;; ------------------------------------------------------------------
+
+(de terpri () (putcharcode 10))
+
+(de print (x) (progn (prin1 x) (terpri) x))
+
+(de prin1 (x)
+  (cond ((fixp x) (putfixnum x))
+        ((symbolp x) (print-str-body (symbol-name x)))
+        ((pairp x) (print-list x))
+        ((stringp x)
+         (progn (putcharcode 34)
+                (print-str-body x)
+                (putcharcode 34)))
+        ((vectorp x) (print-vector x))
+        (t (putcharcode 63))))
+
+(de print-str-body (s)
+  (let ((n (string-length s)) (i 0))
+    (while (lessp i n)
+      (putcharcode (string-ref s i))
+      (setq i (add1 i)))))
+
+(de print-list (x)
+  (putcharcode 40)
+  (prin1 (car x))
+  (setq x (cdr x))
+  (while (pairp x)
+    (putcharcode 32)
+    (prin1 (car x))
+    (setq x (cdr x)))
+  (cond ((null x) nil)
+        (t (progn (putcharcode 32)
+                  (putcharcode 46)
+                  (putcharcode 32)
+                  (prin1 x))))
+  (putcharcode 41))
+
+(de print-vector (v)
+  (putcharcode 91)
+  (let ((n (add1 (upbv v))) (i 0))
+    (while (lessp i n)
+      (cond ((zerop i) nil) (t (putcharcode 32)))
+      (prin1 (getv v i))
+      (setq i (add1 i))))
+  (putcharcode 93))
+
+;;; ------------------------------------------------------------------
+;;; Lists
+;;; ------------------------------------------------------------------
+
+(de length (l)
+  (let ((n 0))
+    (while (pairp l)
+      (setq n (add1 n))
+      (setq l (cdr l)))
+    n))
+
+(de append (a b)
+  (if (null a) b (cons (car a) (append (cdr a) b))))
+
+(de reverse (l)
+  (let ((r nil))
+    (while (pairp l)
+      (setq r (cons (car l) r))
+      (setq l (cdr l)))
+    r))
+
+(de nconc (a b)
+  (cond ((null a) b)
+        (t (let ((p a))
+             (while (pairp (cdr p)) (setq p (cdr p)))
+             (rplacd p b)
+             a))))
+
+(de memq (x l)
+  (while (and (pairp l) (not (eq (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(de member (x l)
+  (while (and (pairp l) (not (equal (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(de assq (x l)
+  (while (and (pairp l) (not (eq (caar l) x)))
+    (setq l (cdr l)))
+  (if (pairp l) (car l) nil))
+
+(de assoc (x l)
+  (while (and (pairp l) (not (equal (caar l) x)))
+    (setq l (cdr l)))
+  (if (pairp l) (car l) nil))
+
+(de nth (l n)
+  (while (greaterp n 0)
+    (setq l (cdr l))
+    (setq n (sub1 n)))
+  (car l))
+
+(de nthcdr (l n)
+  (while (greaterp n 0)
+    (setq l (cdr l))
+    (setq n (sub1 n)))
+  l)
+
+(de last (l)
+  (while (pairp (cdr l)) (setq l (cdr l)))
+  l)
+
+(de copy-list (l)
+  (if (pairp l) (cons (car l) (copy-list (cdr l))) l))
+
+(de equal (a b)
+  (cond ((eq a b) t)
+        ((and (fixp a) (fixp b)) (eqn a b))
+        ((and (pairp a) (pairp b))
+         (and (equal (car a) (car b)) (equal (cdr a) (cdr b))))
+        (t nil)))
+
+(de delq (x l)
+  (cond ((null l) nil)
+        ((eq (car l) x) (delq x (cdr l)))
+        (t (cons (car l) (delq x (cdr l))))))
+
+;;; ------------------------------------------------------------------
+;;; Property lists (alist of (prop . value) in the symbol's plist cell)
+;;; ------------------------------------------------------------------
+
+(de get (s p)
+  (let ((l (plist s)))
+    (while (and (pairp l) (not (eq (caar l) p)))
+      (setq l (cdr l)))
+    (if (pairp l) (cdar l) nil)))
+
+(de put (s p v)
+  (let ((l (plist s)))
+    (while (and (pairp l) (not (eq (caar l) p)))
+      (setq l (cdr l)))
+    (cond ((pairp l) (rplacd (car l) v))
+          (t (setplist s (cons (cons p v) (plist s)))))
+    v))
+
+(de remprop (s p)
+  (setplist s (rem-alist p (plist s))))
+
+(de rem-alist (p l)
+  (cond ((null l) nil)
+        ((eq (caar l) p) (cdr l))
+        (t (cons (car l) (rem-alist p (cdr l))))))
+
+;;; ------------------------------------------------------------------
+;;; Numbers
+;;; ------------------------------------------------------------------
+
+(de abs (x) (if (minusp x) (minus x) x))
+
+(de max2 (a b) (if (greaterp a b) a b))
+
+(de min2 (a b) (if (lessp a b) a b))
+
+(de gcd (a b)
+  (setq a (abs a))
+  (setq b (abs b))
+  (while (not (zerop b))
+    (let ((r (remainder a b)))
+      (setq a b)
+      (setq b r)))
+  a)
+
+(de expt (b n)
+  (let ((r 1))
+    (while (greaterp n 0)
+      (setq r (* r b))
+      (setq n (sub1 n)))
+    r))
+
+(de evenp (x) (zerop (remainder x 2)))
+
+;;; A small deterministic PRNG (Park-Miller-ish with small state so all
+;;; intermediates stay within fixnum range in every scheme).
+(de seed-random (s) (setq *rand-state* (add1 (remainder (abs s) 9973))))
+(de random (n)
+  (setq *rand-state* (remainder (+ (* *rand-state* 137) 187) 9973))
+  (remainder *rand-state* n))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The MX-Lisp standard library: printing, list utilities, property
+ * lists, and numeric helpers. Compiled into every image alongside the
+ * sys-Lisp runtime, like the "LISP system modules" the paper's object
+ * code counts include (Table 3).
+ */
+
+#ifndef MXLISP_RUNTIME_LISPLIB_H_
+#define MXLISP_RUNTIME_LISPLIB_H_
+
+#include <string>
+
+namespace mxl {
+
+/** MX-Lisp source of the standard library. */
+const std::string &lispLibSource();
+
+} // namespace mxl
+
+#endif // MXLISP_RUNTIME_LISPLIB_H_

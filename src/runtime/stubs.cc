@@ -1,0 +1,316 @@
+#include "runtime/stubs.h"
+
+#include "runtime/layout.h"
+#include "support/bits.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/** Emit the 1- or 2-cycle tag insertion of §3.1 into @p dst. */
+void
+emitTagInsert(AsmBuffer &buf, const TagScheme &scheme, Reg dst, Reg rawAddr,
+              TypeId t)
+{
+    Annotation ins{Purpose::TagInsert};
+    uint32_t tag = scheme.pointerTag(t);
+    if (scheme.placement() == TagPlacement::High) {
+        // The shifted tag does not fit an instruction immediate: one
+        // cycle to build it, one to or it in (§3.1: "two cycles: one to
+        // shift the tag ... and one to 'or'").
+        buf.li(dst, static_cast<int64_t>(tag) << scheme.tagShift(), ins);
+        buf.op3(Opcode::Or, dst, dst, rawAddr, ins);
+    } else {
+        buf.opImm(Opcode::Ori, dst, rawAddr, tag, ins);
+    }
+}
+
+/** Save link + the given registers below sp; returns the frame size. */
+int
+pushRegs(AsmBuffer &buf, const std::vector<Reg> &regs)
+{
+    int n = static_cast<int>(regs.size());
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * n);
+    for (int i = 0; i < n; ++i)
+        buf.st(regs[i], abi::sp, 4 * (n - 1 - i));
+    return n;
+}
+
+void
+popRegs(AsmBuffer &buf, const std::vector<Reg> &regs)
+{
+    int n = static_cast<int>(regs.size());
+    for (int i = 0; i < n; ++i)
+        buf.ld(regs[i], abi::sp, 4 * (n - 1 - i));
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n);
+}
+
+const std::vector<Reg> &
+tempRegs()
+{
+    static const std::vector<Reg> regs = [] {
+        std::vector<Reg> r;
+        for (Reg x = abi::tmp0; x <= abi::tmpLast; ++x)
+            r.push_back(x);
+        return r;
+    }();
+    return regs;
+}
+
+/** A wrapper around a Lisp binop that preserves the temp registers
+ *  (the generic-arithmetic slow path can run with live temps). */
+int
+emitPreservingWrapper(CodeGen &cg, SxArena &arena, const std::string &name,
+                      const std::string &lispFn, CheckCat cat)
+{
+    AsmBuffer &buf = cg.buf();
+    int label = buf.defineSymbol(name);
+    Annotation ann{Purpose::Dispatch, cat, true};
+
+    std::vector<Reg> saved = tempRegs();
+    saved.push_back(abi::link);
+    // pushRegs/popRegs emit plain Useful annotations; re-annotate by
+    // emitting manually here for correct attribution.
+    int n = static_cast<int>(saved.size());
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * n, ann);
+    for (int i = 0; i < n; ++i)
+        buf.st(saved[i], abi::sp, 4 * (n - 1 - i), ann);
+
+    buf.jal(abi::link, cg.functionLabel(arena.sym(lispFn), 2), ann);
+
+    for (int i = 0; i < n; ++i)
+        buf.ld(saved[i], abi::sp, 4 * (n - 1 - i), ann);
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n, ann);
+    buf.jr(abi::link, ann);
+    return label;
+}
+
+} // namespace
+
+StubSet
+emitStubs(CodeGen &cg, SxArena &arena)
+{
+    AsmBuffer &buf = cg.buf();
+    ImageBuilder &image = cg.image();
+    const TagScheme &scheme = cg.scheme();
+    const RuntimeLayout &layout = image.layout();
+    const CompilerOptions &opts = cg.options();
+    StubSet out;
+
+    MXL_ASSERT(buf.entries().empty(), "stubs must be emitted first");
+
+    // ---- undefined function (instruction index 0) ----
+    buf.defineSymbol("rt_undef");
+    buf.li(abi::scratch, 99);
+    buf.sys(SysCode::Error, abi::scratch);
+
+    // ---- type/bounds error ----
+    out.labels.error = buf.defineSymbol("rt_error");
+    buf.li(abi::scratch, 100);
+    buf.sys(SysCode::Error, abi::scratch);
+
+    // ---- hardware tag-mismatch trap: same as a type error ----
+    out.tagTrap = buf.defineSymbol("rt_tagtrap");
+    buf.li(abi::scratch, 101);
+    buf.sys(SysCode::Error, abi::scratch);
+
+    int gcFn = cg.functionLabel(arena.sym("gc-reclaim"), 0);
+
+    // ---- rt_cons: car in r2, cdr in r3 -> r1 ----
+    {
+        out.labels.cons = buf.defineSymbol("rt_cons");
+        int lGc = buf.newLabel("rt_cons_gc");
+        buf.opImm(Opcode::Addi, abi::scratch, abi::hp, 8);
+        buf.branch(Opcode::Bgt, abi::scratch, abi::hl, lGc, {},
+                   /*hintFall=*/true);
+        buf.st(abi::arg0, abi::hp, 0);
+        buf.st(abi::arg0 + 1, abi::hp, 4);
+        emitTagInsert(buf, scheme, abi::ret, abi::hp, TypeId::Pair);
+        buf.mov(abi::hp, abi::scratch);
+        buf.jr(abi::link);
+
+        buf.placeLabel(lGc);
+        pushRegs(buf, {abi::link, abi::arg0, abi::arg0 + 1});
+        buf.jal(abi::link, gcFn);
+        popRegs(buf, {abi::link, abi::arg0, abi::arg0 + 1});
+        buf.jump(out.labels.cons); // retry the allocation after the GC
+    }
+
+    // ---- rt_mkvect / rt_mkstring: length fixnum in r2 -> r1 ----
+    auto emitMaker = [&](const std::string &name, TypeId t,
+                         unsigned subtype, Reg fillValue) {
+        int label = buf.defineSymbol(name);
+        int lGc = buf.newLabel(name + "_gc");
+        int lFill = buf.newLabel(name + "_fill");
+        int lFillEnd = buf.newLabel(name + "_fill_end");
+
+        // Raw length into r23.
+        if (scheme.fixnumScale() == 4)
+            buf.opImm(Opcode::Srai, abi::scratch, abi::arg0, 2);
+        else
+            buf.mov(abi::scratch, abi::arg0);
+        // Length cap: keeps headers unmistakable for the collector
+        // (len*8 must stay below the heap base; see syslisp.cc).
+        buf.li(abi::trapA, 1 << 18);
+        buf.branch(Opcode::Bge, abi::scratch, abi::trapA,
+                   out.labels.error, {}, /*hintFall=*/true);
+        buf.branch(Opcode::Blt, abi::scratch, abi::zero,
+                   out.labels.error, {}, /*hintFall=*/true);
+
+        // Allocation size: ((len+1)*4 + 7) & ~7.
+        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 2);
+        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 11);
+        buf.opImm(Opcode::Andi, abi::trapA, abi::trapA, 0xFFFFFFF8u);
+        buf.op3(Opcode::Add, abi::trapB, abi::hp, abi::trapA);
+        buf.branch(Opcode::Bgt, abi::trapB, abi::hl, lGc, {},
+                   /*hintFall=*/true);
+
+        // Header: (len << 3) | subtype.
+        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 3);
+        buf.opImm(Opcode::Ori, abi::trapA, abi::trapA, subtype);
+        buf.st(abi::trapA, abi::hp, 0);
+
+        // Fill elements.
+        buf.opImm(Opcode::Addi, abi::trapA, abi::hp, 4);
+        buf.placeLabel(lFill);
+        buf.branch(Opcode::Bge, abi::trapA, abi::trapB, lFillEnd);
+        buf.st(fillValue, abi::trapA, 0);
+        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 4);
+        buf.jump(lFill);
+        buf.placeLabel(lFillEnd);
+
+        emitTagInsert(buf, scheme, abi::ret, abi::hp, t);
+        buf.mov(abi::hp, abi::trapB);
+        buf.jr(abi::link);
+
+        buf.placeLabel(lGc);
+        pushRegs(buf, {abi::link, abi::arg0});
+        buf.jal(abi::link, gcFn);
+        popRegs(buf, {abi::link, abi::arg0});
+        buf.jump(label); // retry
+        return label;
+    };
+    out.labels.mkvect =
+        emitMaker("rt_mkvect", TypeId::Vector, SubtVector, abi::nilreg);
+    out.labels.mkstring =
+        emitMaker("rt_mkstring", TypeId::String, SubtString, abi::zero);
+
+    // ---- generic-arithmetic and comparison slow paths ----
+    out.labels.genAdd =
+        emitPreservingWrapper(cg, arena, "rt_genadd", "generic-add",
+                              CheckCat::Arith);
+    out.labels.genSub =
+        emitPreservingWrapper(cg, arena, "rt_gensub", "generic-sub",
+                              CheckCat::Arith);
+    out.labels.genMul =
+        emitPreservingWrapper(cg, arena, "rt_genmul", "generic-mul",
+                              CheckCat::Arith);
+    out.labels.genDiv =
+        emitPreservingWrapper(cg, arena, "rt_gendiv", "generic-div",
+                              CheckCat::Arith);
+    out.labels.genRem =
+        emitPreservingWrapper(cg, arena, "rt_genrem", "generic-rem",
+                              CheckCat::Arith);
+    out.labels.genLess =
+        emitPreservingWrapper(cg, arena, "rt_genless", "generic-less",
+                              CheckCat::Arith);
+    out.labels.genEqn =
+        emitPreservingWrapper(cg, arena, "rt_geneqn", "generic-eqn",
+                              CheckCat::Arith);
+
+    // ---- hardware generic-arith trap handler (§6.2.2) ----
+    {
+        out.arithTrap = buf.defineSymbol("rt_arithtrap");
+        Annotation ann{Purpose::Dispatch, CheckCat::Arith, true};
+        std::vector<Reg> saved = tempRegs();
+        saved.push_back(abi::link);
+        saved.push_back(abi::trapRet);
+        int n = static_cast<int>(saved.size());
+        buf.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * n, ann);
+        for (int i = 0; i < n; ++i)
+            buf.st(saved[i], abi::sp, 4 * (n - 1 - i), ann);
+
+        // Operands were latched by the hardware into r21/r22; the op
+        // kind (1=add, 2=sub) is in r23.
+        int lSub = buf.newLabel("rt_arithtrap_sub");
+        int lJoin = buf.newLabel("rt_arithtrap_join");
+        buf.mov(abi::arg0, abi::trapA, ann);
+        buf.mov(abi::arg0 + 1, abi::trapB, ann);
+        buf.branch(Opcode::Beqi, abi::scratch, 0, lSub, ann);
+        buf.entries().back().inst.imm = 2;
+        buf.jal(abi::link, cg.functionLabel(arena.sym("generic-add"), 2),
+                ann);
+        buf.jump(lJoin, ann);
+        buf.placeLabel(lSub);
+        buf.jal(abi::link, cg.functionLabel(arena.sym("generic-sub"), 2),
+                ann);
+        buf.placeLabel(lJoin);
+
+        for (int i = 0; i < n; ++i)
+            buf.ld(saved[i], abi::sp, 4 * (n - 1 - i), ann);
+        buf.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n, ann);
+        // Result is in r1 (the compiler fixes addt/subt rd to r1);
+        // resume after the trapping instruction.
+        buf.jr(abi::trapRet, ann);
+    }
+
+    // ---- rt_apply: fn symbol in r2, argument list in r3 -> r1 ----
+    {
+        out.labels.apply = buf.defineSymbol("rt_apply");
+        pushRegs(buf, {abi::link});
+        // Function cell -> r23.
+        if (scheme.placement() == TagPlacement::High) {
+            buf.op3(Opcode::And, abi::trapB, abi::arg0, abi::maskreg,
+                    {Purpose::TagRemove});
+            buf.ld(abi::scratch, abi::trapB, symoff::fn);
+        } else {
+            buf.ld(abi::scratch, abi::arg0,
+                   symoff::fn + scheme.offsetAdjust(TypeId::Symbol));
+        }
+        // Walk up to 6 list elements into r2..r7. r21 tracks the list.
+        buf.mov(abi::trapA, abi::arg0 + 1);
+        int lCall = buf.newLabel("rt_apply_call");
+        for (int i = 0; i < 6; ++i) {
+            buf.branch(Opcode::Beq, abi::trapA, abi::nilreg, lCall);
+            if (scheme.placement() == TagPlacement::High) {
+                buf.op3(Opcode::And, abi::trapB, abi::trapA, abi::maskreg,
+                        {Purpose::TagRemove});
+                buf.ld(static_cast<Reg>(abi::arg0 + i), abi::trapB, 0);
+                buf.ld(abi::trapA, abi::trapB, 4);
+            } else {
+                int adj = scheme.offsetAdjust(TypeId::Pair);
+                buf.mov(abi::trapB, abi::trapA);
+                buf.ld(static_cast<Reg>(abi::arg0 + i), abi::trapB,
+                       0 + adj);
+                buf.ld(abi::trapA, abi::trapB, 4 + adj);
+            }
+        }
+        buf.placeLabel(lCall);
+        buf.jalr(abi::link, abi::scratch);
+        popRegs(buf, {abi::scratch});
+        buf.jr(abi::scratch);
+    }
+
+    // ---- rt_start: register setup, then main ----
+    {
+        out.start = buf.defineSymbol("rt_start");
+        uint32_t mask = scheme.placement() == TagPlacement::High
+            ? maskBits(0, scheme.dataBits())
+            : ~maskBits(0, scheme.tagBits());
+        buf.li(abi::maskreg, mask);
+        buf.li(abi::nilreg, image.symbolWord("nil"));
+        buf.li(abi::treg, image.symbolWord("t"));
+        buf.li(abi::hp, layout.heapABase);
+        buf.li(abi::hl, layout.heapABase + layout.heapBytes);
+        buf.li(abi::sp, layout.stackTop);
+        buf.li(abi::stkbase, layout.stackTop);
+        buf.jal(abi::link, cg.functionLabel(arena.sym("main"), 0));
+        // main halts; if it ever returns, stop cleanly.
+        buf.sys(SysCode::Halt, abi::ret);
+    }
+    (void)opts;
+    return out;
+}
+
+} // namespace mxl

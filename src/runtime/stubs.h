@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hand-built runtime stubs: program entry, error handling, the
+ * allocator (cons/mkvect/mkstring with GC retry), apply, the
+ * generic-arithmetic slow-path wrappers, and the hardware trap
+ * handlers. Everything else in the runtime is Lisp code (see
+ * syslisp.h) compiled through the normal pipeline.
+ */
+
+#ifndef MXLISP_RUNTIME_STUBS_H_
+#define MXLISP_RUNTIME_STUBS_H_
+
+#include "compiler/codegen.h"
+
+namespace mxl {
+
+struct StubSet
+{
+    RuntimeLabels labels;
+    int start = -1;      ///< rt_start label id
+    int arithTrap = -1;  ///< Addt/Subt failure handler label id
+    int tagTrap = -1;    ///< Ldt/Stt mismatch handler label id
+};
+
+/**
+ * Emit the stubs into @p cg's buffer. Must be called before any Lisp
+ * function bodies are emitted (the undefined-function stub must sit at
+ * instruction index 0, where empty function cells point), and after
+ * all Lisp functions are declared (stubs call gc-reclaim and the
+ * generic-* functions).
+ */
+StubSet emitStubs(CodeGen &cg, SxArena &arena);
+
+} // namespace mxl
+
+#endif // MXLISP_RUNTIME_STUBS_H_

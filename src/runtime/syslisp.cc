@@ -1,0 +1,308 @@
+#include "runtime/syslisp.h"
+
+namespace mxl {
+
+/*
+ * Runtime cell indices (keep in sync with runtime/layout.h):
+ *   0 FromLo   1 FromHi   2 ToLo   3 ToHi
+ *   4 StackTop 5 RootBase 6 RootCount
+ *   7 GcCount  8 HeapUsed
+ *
+ * sys-Lisp conventions: integer literals inside sys-* forms are raw
+ * machine words; addresses are raw byte addresses, which are valid
+ * fixnum representations (word alignment), so the collector's own
+ * globals and stack slots are GC-inert.
+ */
+
+const std::string &
+gcSource()
+{
+    static const std::string src = R"lisp(
+;;; Two-space copying collector (Cheney scan).
+;;;
+;;; Invariants relied on:
+;;;  - every word in [sp-at-entry, StackTop) is a tagged value
+;;;    (return addresses are fixnum-coded code byte-addresses);
+;;;  - registers are dead at allocation points except the arguments the
+;;;    allocator stubs save on the stack before calling gc-reclaim;
+;;;  - static data never points into the heap except through the root
+;;;    cells listed in the root list (symbol value/plist cells);
+;;;  - object headers can never masquerade as from-space pointers
+;;;    (lengths are capped so len*8 < heap base, and the GC's own
+;;;    frames lie below the scanned stack range).
+
+(de gc-reclaim ()
+  (let ((mutsp (sys-reg 29)))
+    (setq *gc-fromlo* (sys-cellref 0))
+    (setq *gc-fromhi* (sys-cellref 1))
+    (setq *gc-tolo* (sys-cellref 2))
+    (setq *gc-tohi* (sys-cellref 3))
+    (setq *gc-free* *gc-tolo*)
+    ;; Roots: the registered static cells (symbol values and plists).
+    (let ((rb (sys-cellref 5)))
+      (gc-scan-roots rb (sys+ rb (sys-sll (sys-cellref 6) 2))))
+    ;; Roots: the mutator stack (everything above our entry sp).
+    (gc-scan-range mutsp (sys-cellref 4))
+    ;; Cheney scan of the copied objects. The free pointer advances as
+    ;; the scan evacuates children, so re-read it every iteration.
+    (let ((scan *gc-tolo*))
+      (while (sys< scan *gc-free*)
+        (sys-store scan 0 (gc-evacuate (sys-load scan 0)))
+        (setq scan (sys+ scan 4))))
+    ;; Flip the semispaces.
+    (sys-cellset 0 *gc-tolo*)
+    (sys-cellset 1 *gc-tohi*)
+    (sys-cellset 2 *gc-fromlo*)
+    (sys-cellset 3 *gc-fromhi*)
+    (sys-setreg 28 *gc-free*)
+    (sys-setreg 27 (sys-cellref 1))
+    (sys-cellset 7 (sys+ (sys-cellref 7) 1))
+    (sys-cellset 8 (sys- *gc-free* *gc-tolo*))
+    (if (sys< (sys- (sys-cellref 1) *gc-free*) 64)
+        (error 42)                      ; heap exhausted
+        nil)))
+
+;; Scan a range of words in place, evacuating what they reference.
+(de gc-scan-range (lo hi)
+  (while (sys< lo hi)
+    (sys-store lo 0 (gc-evacuate (sys-load lo 0)))
+    (setq lo (sys+ lo 4))))
+
+;; The root list holds ADDRESSES of root cells; scan indirectly.
+(de gc-scan-roots (p end)
+  (while (sys< p end)
+    (let ((cp (sys-load p 0)))
+      (sys-store cp 0 (gc-evacuate (sys-load cp 0))))
+    (setq p (sys+ p 4))))
+
+;; Evacuate one word: fixnums and non-heap references pass through;
+;; from-space objects are copied (once — a forwarding pointer replaces
+;; the first word, recognizable because it points into to-space, which
+;; nothing else can).
+(de gc-evacuate (w)
+  (cond
+    ((fixp w) w)
+    (t (let ((a (sys-detag w)))
+         (cond
+           ((sys< a *gc-fromlo*) w)      ; static data, symbols, chars
+           ((sys< a *gc-fromhi*)
+            (let ((first (sys-load a 0)))
+              (cond
+                ((and (not (fixp first))
+                      (sys<= *gc-tolo* (sys-detag first))
+                      (sys< (sys-detag first) *gc-tohi*))
+                 first)                  ; already forwarded
+                (t (gc-copy w a)))))
+           (t w))))))                    ; beyond the heap (code, stack)
+
+(de gc-copy (w a)
+  (let ((size (gc-objsize w a))
+        (new *gc-free*))
+    (gc-copy-words a new size)
+    (setq *gc-free* (sys+ new size))
+    (let ((fw (sys+ new (sys- w a))))    ; re-apply the original tag bits
+      (sys-store a 0 fw)
+      fw)))
+
+;; Object size in bytes, rounded to the 8-byte allocation grain.
+;; Pairs are two words; everything else carries a header whose upper
+;; bits hold the length in words (excluding the header).
+(de gc-objsize (w a)
+  (cond ((pairp w) (sys-word 8))
+        (t (sys-and (sys+ (sys-sll (sys-srl (sys-load a 0) 3) 2) 11)
+                    -8))))
+
+(de gc-copy-words (src dst bytes)
+  (let ((i 0))
+    (while (sys< i bytes)
+      (sys-store (sys+ dst i) 0 (sys-load (sys+ src i) 0))
+      (setq i (sys+ i 4)))))
+)lisp";
+    return src;
+}
+
+const std::string &
+genericArithSource()
+{
+    static const std::string src = R"lisp(
+;;; Generic arithmetic: the out-of-line continuation of the inline
+;;; integer-biased sequence (§2.2). Reached when an operand is not a
+;;; fixnum, when a fixnum add/sub overflows, or on every operation in
+;;; the ForceDispatch experiment (§6.2.2).
+;;;
+;;; Bignums are ordinary lists: (*bignum* sign d0 d1 ...) with digits
+;;; in base 1000, little-endian, no leading zero digit. Base 1000 keeps
+;;; every intermediate product below the smallest fixnum range, so the
+;;; bignum code itself never re-enters the slow path.
+
+;; Overflow-safe fixnum add/sub using raw machine ops: high-tag schemes
+;; reveal overflow as a non-integer result (the §2.1 trick); low-tag
+;; schemes wrap, caught by the sign rule. Returns nil on overflow.
+(de fix-add-safe (x y)
+  (let ((r (sys+ x y)))
+    (cond ((not (fixp r)) nil)
+          ((sys< (sys-and (sys-xor x r) (sys-xor y r)) 0) nil)
+          (t r))))
+
+(de fix-sub-safe (x y)
+  (let ((r (sys- x y)))
+    (cond ((not (fixp r)) nil)
+          ((sys< (sys-and (sys-xor x y) (sys-xor x r)) 0) nil)
+          (t r))))
+
+(de bigp (x) (and (pairp x) (eq (car x) '*bignum*)))
+(de numberp (x) (or (fixp x) (bigp x)))
+
+(de generic-add (x y)
+  (cond ((and (fixp x) (fixp y))
+         (let ((r (fix-add-safe x y)))
+           (if r r (big-result (big-add (big-of x) (big-of y))))))
+        ((and (numberp x) (numberp y))
+         (big-result (big-add (big-of x) (big-of y))))
+        (t (error 40))))
+
+(de generic-sub (x y)
+  (cond ((and (fixp x) (fixp y))
+         (let ((r (fix-sub-safe x y)))
+           (if r r (big-result (big-add (big-of x) (big-neg (big-of y)))))))
+        ((and (numberp x) (numberp y))
+         (big-result (big-add (big-of x) (big-neg (big-of y)))))
+        (t (error 40))))
+
+(de generic-mul (x y)
+  (cond ((and (numberp x) (numberp y))
+         (big-result (big-mul (big-of x) (big-of y))))
+        (t (error 40))))
+
+(de generic-div (x y)
+  (cond ((and (fixp x) (fixp y)) (quotient x y))
+        (t (error 43))))                ; bignum division unsupported
+
+(de generic-rem (x y)
+  (cond ((and (fixp x) (fixp y)) (remainder x y))
+        (t (error 43))))
+
+(de generic-less (x y)
+  (cond ((and (fixp x) (fixp y)) (lessp x y))
+        ((and (numberp x) (numberp y))
+         (big-lessp (big-of x) (big-of y)))
+        (t (error 40))))
+
+(de generic-eqn (x y)
+  (cond ((and (fixp x) (fixp y)) (eqn x y))
+        ((and (numberp x) (numberp y))
+         (big-eqnp (big-of x) (big-of y)))
+        (t (error 40))))
+
+;;; Working representation: (sign . digits), sign 1 or -1, digits
+;;; little-endian base 1000, no trailing zeros (zero => empty digits).
+
+(de big-of (x)
+  (cond ((bigp x) (cons (cadr x) (cddr x)))
+        ((fixp x)
+         (cond ((lessp x 0) (cons -1 (big-digits-of (minus x))))
+               (t (cons 1 (big-digits-of x)))))
+        (t (error 40))))
+
+(de big-digits-of (m)
+  (if (zerop m)
+      nil
+      (cons (remainder m 1000) (big-digits-of (quotient m 1000)))))
+
+(de big-neg (a) (cons (minus (car a)) (cdr a)))
+
+(de big-result (a)
+  (let ((digs (cdr a)))
+    (cond ((null digs) 0)
+          ((null (cdr digs))
+           (if (lessp (car a) 0) (minus (car digs)) (car digs)))
+          ((null (cddr digs))
+           (let ((v (+ (* (cadr digs) 1000) (car digs))))
+             (if (lessp (car a) 0) (minus v) v)))
+          ;; Three digits fit every scheme's fixnum range only while
+          ;; the value stays below 2^25 (the high6 bound): d2 <= 32.
+          ((and (null (cdddr digs)) (lessp (caddr digs) 33))
+           (let ((v (+ (* (caddr digs) 1000000)
+                       (+ (* (cadr digs) 1000) (car digs)))))
+             (if (lessp (car a) 0) (minus v) v)))
+          (t (cons '*bignum* a)))))
+
+(de big-add (a b)
+  (cond ((eqn (car a) (car b))
+         (cons (car a) (big-addmag (cdr a) (cdr b) 0)))
+        (t (let ((c (big-cmpmag (cdr a) (cdr b))))
+             (cond ((zerop c) (cons 1 nil))
+                   ((greaterp c 0)
+                    (cons (car a) (big-submag (cdr a) (cdr b) 0)))
+                   (t (cons (car b) (big-submag (cdr b) (cdr a) 0))))))))
+
+(de big-addmag (da db carry)
+  (cond ((and (null da) (null db))
+         (if (zerop carry) nil (cons carry nil)))
+        (t (let ((s (+ (+ (if (pairp da) (car da) 0)
+                          (if (pairp db) (car db) 0))
+                       carry)))
+             (cons (remainder s 1000)
+                   (big-addmag (if (pairp da) (cdr da) nil)
+                               (if (pairp db) (cdr db) nil)
+                               (quotient s 1000)))))))
+
+;; da >= db in magnitude.
+(de big-submag (da db borrow)
+  (cond ((null da) nil)
+        (t (let ((d (- (- (car da) (if (pairp db) (car db) 0)) borrow)))
+             (big-trim
+              (cons (if (lessp d 0) (+ d 1000) d)
+                    (big-submag (cdr da)
+                                (if (pairp db) (cdr db) nil)
+                                (if (lessp d 0) 1 0))))))))
+
+(de big-trim (digs)
+  (if (and (pairp digs) (null (cdr digs)) (zerop (car digs)))
+      nil
+      digs))
+
+;; Compare magnitudes: 1, 0, -1.
+(de big-cmpmag (da db)
+  (let ((la (length da)) (lb (length db)))
+    (cond ((greaterp la lb) 1)
+          ((lessp la lb) -1)
+          (t (big-cmpmag-rev (reverse da) (reverse db))))))
+
+(de big-cmpmag-rev (ra rb)
+  (cond ((null ra) 0)
+        ((greaterp (car ra) (car rb)) 1)
+        ((lessp (car ra) (car rb)) -1)
+        (t (big-cmpmag-rev (cdr ra) (cdr rb)))))
+
+(de big-mul (a b)
+  (cons (* (car a) (car b)) (big-mulmag (cdr a) (cdr b))))
+
+(de big-mulmag (da db)
+  (cond ((null da) nil)
+        (t (big-addmag (big-mulone (car da) db)
+                       (cons 0 (big-mulmag (cdr da) db))
+                       0))))
+
+(de big-mulone (d db)
+  (big-mulone-carry d db 0))
+
+(de big-mulone-carry (d db carry)
+  (cond ((null db) (if (zerop carry) nil (cons carry nil)))
+        (t (let ((p (+ (* d (car db)) carry)))
+             (cons (remainder p 1000)
+                   (big-mulone-carry d (cdr db) (quotient p 1000)))))))
+
+(de big-lessp (a b)
+  (cond ((lessp (car a) (car b)) t)
+        ((greaterp (car a) (car b)) nil)
+        ((greaterp (car a) 0) (lessp (big-cmpmag (cdr a) (cdr b)) 0))
+        (t (greaterp (big-cmpmag (cdr a) (cdr b)) 0))))
+
+(de big-eqnp (a b)
+  (and (eqn (car a) (car b)) (zerop (big-cmpmag (cdr a) (cdr b)))))
+)lisp";
+    return src;
+}
+
+} // namespace mxl

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The sys-Lisp runtime sources: the copying garbage collector and the
+ * generic-arithmetic dispatch/bignum routines. Like PSL's SYSLISP
+ * kernel, these are Lisp programs compiled through the normal pipeline,
+ * so every runtime cycle — including GC cycles (the dedgc benchmark) —
+ * is measured exactly like user code.
+ */
+
+#ifndef MXLISP_RUNTIME_SYSLISP_H_
+#define MXLISP_RUNTIME_SYSLISP_H_
+
+#include <string>
+
+namespace mxl {
+
+/** MX-Lisp source of the garbage collector. */
+const std::string &gcSource();
+
+/** MX-Lisp source of generic arithmetic (dispatch + bignums). */
+const std::string &genericArithSource();
+
+} // namespace mxl
+
+#endif // MXLISP_RUNTIME_SYSLISP_H_

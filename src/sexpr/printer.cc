@@ -1,0 +1,53 @@
+#include "sexpr/printer.h"
+
+#include <sstream>
+
+namespace mxl {
+
+namespace {
+
+void
+printTo(std::ostringstream &os, const Sx *form)
+{
+    switch (form->kind) {
+      case SxKind::Int:
+        os << form->ival;
+        break;
+      case SxKind::Sym:
+        os << form->text;
+        break;
+      case SxKind::Str:
+        os << '"' << form->text << '"';
+        break;
+      case SxKind::Pair: {
+        os << '(';
+        const Sx *p = form;
+        bool first = true;
+        while (p->isPair()) {
+            if (!first)
+                os << ' ';
+            first = false;
+            printTo(os, p->car);
+            p = p->cdr;
+        }
+        if (!p->isNil()) {
+            os << " . ";
+            printTo(os, p);
+        }
+        os << ')';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+printSx(const Sx *form)
+{
+    std::ostringstream os;
+    printTo(os, form);
+    return os.str();
+}
+
+} // namespace mxl

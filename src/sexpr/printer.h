@@ -1,0 +1,20 @@
+/**
+ * @file
+ * S-expression printer (diagnostics and expected-output generation).
+ */
+
+#ifndef MXLISP_SEXPR_PRINTER_H_
+#define MXLISP_SEXPR_PRINTER_H_
+
+#include <string>
+
+#include "sexpr/sexpr.h"
+
+namespace mxl {
+
+/** Render @p form in standard list notation. */
+std::string printSx(const Sx *form);
+
+} // namespace mxl
+
+#endif // MXLISP_SEXPR_PRINTER_H_

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MX-Lisp reader: text -> S-expressions.
+ *
+ * Supports integers, symbols, strings, lists, dotted pairs, quote ('x),
+ * and ';' comments. Symbol names are case-sensitive and lower-case by
+ * convention.
+ */
+
+#ifndef MXLISP_SEXPR_READER_H_
+#define MXLISP_SEXPR_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "sexpr/sexpr.h"
+
+namespace mxl {
+
+/** Parse every top-level form in @p text. Throws fatal() on errors. */
+std::vector<Sx *> readAll(SxArena &arena, const std::string &text);
+
+/** Parse exactly one form; fatal if none or trailing garbage. */
+Sx *readOne(SxArena &arena, const std::string &text);
+
+} // namespace mxl
+
+#endif // MXLISP_SEXPR_READER_H_

@@ -1,0 +1,100 @@
+#include "sexpr/sexpr.h"
+
+#include "support/panic.h"
+
+namespace mxl {
+
+SxArena::SxArena()
+{
+    nil_ = sym("nil");
+    t_ = sym("t");
+}
+
+Sx *
+SxArena::sym(const std::string &name)
+{
+    auto it = symbols_.find(name);
+    if (it != symbols_.end())
+        return it->second;
+    Sx &n = nodes_.emplace_back();
+    n.kind = SxKind::Sym;
+    n.text = name;
+    symbols_.emplace(name, &n);
+    return &n;
+}
+
+Sx *
+SxArena::num(int64_t v)
+{
+    Sx &n = nodes_.emplace_back();
+    n.kind = SxKind::Int;
+    n.ival = v;
+    return &n;
+}
+
+Sx *
+SxArena::str(std::string s)
+{
+    Sx &n = nodes_.emplace_back();
+    n.kind = SxKind::Str;
+    n.text = std::move(s);
+    return &n;
+}
+
+Sx *
+SxArena::cons(Sx *car, Sx *cdr)
+{
+    Sx &n = nodes_.emplace_back();
+    n.kind = SxKind::Pair;
+    n.car = car;
+    n.cdr = cdr;
+    return &n;
+}
+
+Sx *
+SxArena::list(const std::vector<Sx *> &elems)
+{
+    Sx *l = nil_;
+    for (auto it = elems.rbegin(); it != elems.rend(); ++it)
+        l = cons(*it, l);
+    return l;
+}
+
+int
+listLength(const Sx *l)
+{
+    int n = 0;
+    while (l->isPair()) {
+        ++n;
+        l = l->cdr;
+    }
+    if (!l->isNil())
+        fatal("improper list where proper list expected");
+    return n;
+}
+
+Sx *
+listNth(Sx *l, int n)
+{
+    while (n-- > 0) {
+        MXL_ASSERT(l->isPair(), "list too short");
+        l = l->cdr;
+    }
+    MXL_ASSERT(l->isPair(), "list too short");
+    return l->car;
+}
+
+std::vector<Sx *>
+listElems(Sx *l)
+{
+    std::vector<Sx *> out;
+    while (l->isPair()) {
+        out.push_back(l->car);
+        l = l->cdr;
+    }
+    if (!l->isNil())
+        fatal("improper list where proper list expected");
+    return out;
+}
+
+} // namespace mxl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Host-side S-expression object model.
+ *
+ * These objects exist only inside the compiler (parsing MX-Lisp source
+ * and representing quoted constants); they are not the simulated runtime
+ * representation — that is defined by the tag scheme and built into the
+ * memory image by the runtime image builder.
+ *
+ * Nodes are owned by an SxArena and referenced by raw pointer; symbols
+ * are interned per arena, so symbol identity is pointer identity.
+ */
+
+#ifndef MXLISP_SEXPR_SEXPR_H_
+#define MXLISP_SEXPR_SEXPR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mxl {
+
+enum class SxKind : uint8_t { Int, Sym, Str, Pair };
+
+/** One S-expression node. */
+struct Sx
+{
+    SxKind kind;
+    int64_t ival = 0;    ///< Int
+    std::string text;    ///< Sym name / Str contents
+    Sx *car = nullptr;   ///< Pair
+    Sx *cdr = nullptr;   ///< Pair
+
+    bool isInt() const { return kind == SxKind::Int; }
+    bool isSym() const { return kind == SxKind::Sym; }
+    bool isStr() const { return kind == SxKind::Str; }
+    bool isPair() const { return kind == SxKind::Pair; }
+    /** True for the interned symbol `nil`. */
+    bool isNil() const { return isSym() && text == "nil"; }
+    bool isSym(const char *name) const { return isSym() && text == name; }
+};
+
+/** Arena owning Sx nodes; symbols are interned. */
+class SxArena
+{
+  public:
+    SxArena();
+
+    /** The interned symbol with @p name. */
+    Sx *sym(const std::string &name);
+
+    Sx *num(int64_t v);
+    Sx *str(std::string s);
+    Sx *cons(Sx *car, Sx *cdr);
+
+    Sx *nil() { return nil_; }
+    Sx *t() { return t_; }
+
+    /** Build a proper list from @p elems. */
+    Sx *list(const std::vector<Sx *> &elems);
+
+  private:
+    std::deque<Sx> nodes_;
+    std::unordered_map<std::string, Sx *> symbols_;
+    Sx *nil_;
+    Sx *t_;
+};
+
+/** Length of a proper list (nil == 0); fatal on improper lists. */
+int listLength(const Sx *l);
+
+/** The @p n-th element (0-based) of a proper list; fatal if too short. */
+Sx *listNth(Sx *l, int n);
+
+/** Collect the elements of a proper list. */
+std::vector<Sx *> listElems(Sx *l);
+
+} // namespace mxl
+
+#endif // MXLISP_SEXPR_SEXPR_H_

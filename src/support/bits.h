@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared by the tag schemes and the machine.
+ */
+
+#ifndef MXLISP_SUPPORT_BITS_H_
+#define MXLISP_SUPPORT_BITS_H_
+
+#include <cstdint>
+
+namespace mxl {
+
+/** Extract bits [lo, lo+width) of @p v (width < 32). */
+constexpr uint32_t
+bitsOf(uint32_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((1u << width) - 1u);
+}
+
+/** A mask with bits [lo, lo+width) set. */
+constexpr uint32_t
+maskBits(unsigned lo, unsigned width)
+{
+    return ((width >= 32 ? 0xffffffffu : ((1u << width) - 1u))) << lo;
+}
+
+/** Sign-extend the low @p width bits of @p v to a signed 32-bit value. */
+constexpr int32_t
+signExtend(uint32_t v, unsigned width)
+{
+    uint32_t m = 1u << (width - 1);
+    uint32_t low = v & ((width >= 32) ? 0xffffffffu : ((1u << width) - 1u));
+    return static_cast<int32_t>((low ^ m) - m);
+}
+
+/** True if @p v fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(int64_t v, unsigned width)
+{
+    int64_t lim = int64_t{1} << (width - 1);
+    return v >= -lim && v < lim;
+}
+
+} // namespace mxl
+
+#endif // MXLISP_SUPPORT_BITS_H_

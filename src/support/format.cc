@@ -1,0 +1,45 @@
+#include "support/format.h"
+
+#include <cstdio>
+
+namespace mxl {
+
+std::string
+fixed(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+percent(double v, int prec)
+{
+    return fixed(v, prec) + "%";
+}
+
+std::string
+hex32(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+std::string
+padLeft(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+} // namespace mxl

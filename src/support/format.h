@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string-formatting helpers (GCC 12 lacks std::format).
+ */
+
+#ifndef MXLISP_SUPPORT_FORMAT_H_
+#define MXLISP_SUPPORT_FORMAT_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace mxl {
+
+/** Concatenate the stream representations of all arguments. */
+template <typename... Args>
+std::string
+strcat(const Args &...args)
+{
+    std::ostringstream os;
+    ((os << args), ...);
+    return os.str();
+}
+
+/** Format @p v with @p prec digits after the decimal point. */
+std::string fixed(double v, int prec = 1);
+
+/** Format @p v as a percentage string, e.g. "24.6%". */
+std::string percent(double v, int prec = 1);
+
+/** Format a 32-bit word as 0x%08x. */
+std::string hex32(uint32_t v);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, size_t w);
+
+} // namespace mxl
+
+#endif // MXLISP_SUPPORT_FORMAT_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting primitives, in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in mxlisp itself).
+ * fatal()  — the simulation cannot continue because of user input (bad
+ *            Lisp source, malformed configuration, ...).
+ *
+ * Both throw exceptions rather than aborting so that the library can be
+ * exercised from tests; `MxlError::kind` distinguishes the two.
+ */
+
+#ifndef MXLISP_SUPPORT_PANIC_H_
+#define MXLISP_SUPPORT_PANIC_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "support/format.h"
+
+namespace mxl {
+
+/** Exception carrying an mxlisp diagnostic. */
+class MxlError : public std::runtime_error
+{
+  public:
+    enum class Kind { Panic, Fatal };
+
+    MxlError(Kind kind, std::string msg)
+        : std::runtime_error(std::move(msg)), kind(kind)
+    {}
+
+    const Kind kind;
+};
+
+/** Raise an internal-invariant violation. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw MxlError(MxlError::Kind::Panic,
+                   std::string("panic: ") + strcat(args...));
+}
+
+/** Raise a user-input error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw MxlError(MxlError::Kind::Fatal,
+                   std::string("fatal: ") + strcat(args...));
+}
+
+} // namespace mxl
+
+/** Assert an internal invariant with a message. */
+#define MXL_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mxl::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                         ":", __LINE__, ": ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+#endif // MXLISP_SUPPORT_PANIC_H_

@@ -1,0 +1,43 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mxl {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0;
+    double m = mean(xs);
+    double s = 0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0 : *std::max_element(xs.begin(), xs.end());
+}
+
+} // namespace mxl

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Summary statistics over small samples (the paper reports means and
+ * standard deviations across its ten programs).
+ */
+
+#ifndef MXLISP_SUPPORT_STATS_H_
+#define MXLISP_SUPPORT_STATS_H_
+
+#include <vector>
+
+namespace mxl {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for samples of size < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum; 0 for an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+} // namespace mxl
+
+#endif // MXLISP_SUPPORT_STATS_H_

@@ -1,0 +1,74 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/format.h"
+
+namespace mxl {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    if (!rows_.empty())
+        ruleAfter_.push_back(rows_.size() - 1);
+}
+
+bool
+TextTable::looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'x')
+            return false;
+    }
+    return true;
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = 0;
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+
+    std::ostringstream os;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const auto &r = rows_[i];
+        for (size_t c = 0; c < r.size(); ++c) {
+            const std::string &cell = r[c];
+            // First column left-aligns (row labels); numbers right-align.
+            if (c > 0 && looksNumeric(cell))
+                os << padLeft(cell, width[c]);
+            else
+                os << padRight(cell, width[c]);
+            if (c + 1 < r.size())
+                os << "  ";
+        }
+        os << '\n';
+        if (i == 0 || std::count(ruleAfter_.begin(), ruleAfter_.end(), i))
+            os << std::string(total, '-') << '\n';
+    }
+    return os.str();
+}
+
+} // namespace mxl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A plain-text table printer used by the benchmark harnesses to render
+ * the paper's tables next to measured values.
+ */
+
+#ifndef MXLISP_SUPPORT_TABLE_H_
+#define MXLISP_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mxl {
+
+/**
+ * Column-aligned text table. Cells are strings; the first row added is
+ * treated as the header and underlined when rendered.
+ */
+class TextTable
+{
+  public:
+    /** Append a row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render with two-space gutters; numeric-looking cells right-align. */
+    std::string render() const;
+
+  private:
+    static bool looksNumeric(const std::string &s);
+
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> ruleAfter_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_SUPPORT_TABLE_H_

@@ -1,0 +1,108 @@
+#include "tags/high_tag.h"
+
+#include "support/bits.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+bool
+HighTagScheme::fixnumInRange(int64_t v) const
+{
+    return fitsSigned(v, dataBits());
+}
+
+uint32_t
+HighTagScheme::encodeFixnum(int64_t v) const
+{
+    MXL_ASSERT(fixnumInRange(v), "fixnum out of range: ", v);
+    // Two's complement: the tag field becomes the sign extension (0 for
+    // positive, all-ones for negative), which is exactly the integer tag
+    // assignment of §2.1.
+    return static_cast<uint32_t>(static_cast<int64_t>(v) & 0xffffffff);
+}
+
+int64_t
+HighTagScheme::decodeFixnum(uint32_t w) const
+{
+    return signExtend(w, dataBits());
+}
+
+bool
+HighTagScheme::wordIsFixnum(uint32_t w) const
+{
+    // §4.1 method 2: sign-extend the data part and compare with the
+    // original word.
+    return static_cast<uint32_t>(signExtend(w, dataBits())) == w;
+}
+
+bool
+HighTagScheme::headerDiscriminated(TypeId) const
+{
+    return false;
+}
+
+uint32_t
+HighTagScheme::encodePointer(TypeId t, uint32_t addr) const
+{
+    MXL_ASSERT((addr >> dataBits()) == 0, "address too large: ", addr);
+    return (pointerTag(t) << tagShift()) | addr;
+}
+
+uint32_t
+HighTagScheme::detagAddr(uint32_t w) const
+{
+    return w & maskBits(0, dataBits());
+}
+
+int32_t
+HighTagScheme::offsetAdjust(TypeId) const
+{
+    return 0; // high tags must be masked, never folded into the offset
+}
+
+uint32_t
+HighTagScheme::alignment(TypeId) const
+{
+    return 4;
+}
+
+uint32_t
+HighTagScheme::encodeChar(uint32_t code) const
+{
+    return (charTag() << tagShift()) | (code & 0xff);
+}
+
+uint32_t
+HighTagScheme::charCode(uint32_t w) const
+{
+    return w & 0xff;
+}
+
+uint32_t
+HighTag5::pointerTag(TypeId t) const
+{
+    switch (t) {
+      case TypeId::Pair:    return 9;
+      case TypeId::Symbol:  return 5;
+      case TypeId::Vector:  return 13;
+      case TypeId::String:  return 17;
+      default:
+        panic("pointerTag: not a pointer type: ", typeName(t));
+    }
+}
+
+uint32_t
+HighTag6::pointerTag(TypeId t) const
+{
+    // All non-integer tags must lie in [8, 23] for sumCheckSound().
+    switch (t) {
+      case TypeId::Pair:    return 9;
+      case TypeId::Symbol:  return 10;
+      case TypeId::Vector:  return 13;
+      case TypeId::String:  return 17;
+      default:
+        panic("pointerTag: not a pointer type: ", typeName(t));
+    }
+}
+
+} // namespace mxl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * High-tag schemes: the tag occupies the most significant bits.
+ *
+ * HighTag5 is the paper's baseline (§2.1): 5 tag bits, 27 data bits,
+ * positive integers tag 0 and negative integers tag 31, so a fixnum is
+ * its own two's-complement machine representation.
+ *
+ * HighTag6 is the §4.2 variant: 6 tag bits chosen so that a generic add
+ * can be implemented as a plain add followed by a single integer test on
+ * the result (sumCheckSound() is true).
+ */
+
+#ifndef MXLISP_TAGS_HIGH_TAG_H_
+#define MXLISP_TAGS_HIGH_TAG_H_
+
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** Common implementation for high-placed tags of parametric width. */
+class HighTagScheme : public TagScheme
+{
+  public:
+    TagPlacement placement() const override { return TagPlacement::High; }
+    int fixnumScale() const override { return 1; }
+
+    bool fixnumInRange(int64_t v) const override;
+    uint32_t encodeFixnum(int64_t v) const override;
+    int64_t decodeFixnum(uint32_t w) const override;
+    bool wordIsFixnum(uint32_t w) const override;
+
+    bool headerDiscriminated(TypeId t) const override;
+    uint32_t encodePointer(TypeId t, uint32_t addr) const override;
+    uint32_t detagAddr(uint32_t w) const override;
+    int32_t offsetAdjust(TypeId t) const override;
+    uint32_t alignment(TypeId t) const override;
+
+    uint32_t encodeChar(uint32_t code) const override;
+    uint32_t charCode(uint32_t w) const override;
+};
+
+/** The §2.1 baseline scheme. */
+class HighTag5 : public HighTagScheme
+{
+  public:
+    std::string name() const override { return "high5"; }
+    unsigned tagBits() const override { return 5; }
+    uint32_t pointerTag(TypeId t) const override;
+    uint32_t charTag() const override { return 3; }
+    bool sumCheckSound() const override { return false; }
+};
+
+/**
+ * The §4.2 scheme: 6 tag bits; all non-integer tags lie in [8, 23], so
+ * tag1 + tag2 (+ carry from the data part) can never equal an integer
+ * tag (0 or 63) unless both operands were integers and no overflow
+ * occurred.
+ */
+class HighTag6 : public HighTagScheme
+{
+  public:
+    std::string name() const override { return "high6"; }
+    unsigned tagBits() const override { return 6; }
+    uint32_t pointerTag(TypeId t) const override;
+    uint32_t charTag() const override { return 11; }
+    bool sumCheckSound() const override { return true; }
+};
+
+} // namespace mxl
+
+#endif // MXLISP_TAGS_HIGH_TAG_H_

@@ -1,0 +1,124 @@
+#include "tags/low_tag.h"
+
+#include "support/bits.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+bool
+LowTagScheme::fixnumInRange(int64_t v) const
+{
+    return fitsSigned(v, 30);
+}
+
+uint32_t
+LowTagScheme::encodeFixnum(int64_t v) const
+{
+    MXL_ASSERT(fixnumInRange(v), "fixnum out of range: ", v);
+    return static_cast<uint32_t>(v) << 2;
+}
+
+int64_t
+LowTagScheme::decodeFixnum(uint32_t w) const
+{
+    return static_cast<int32_t>(w) >> 2;
+}
+
+uint32_t
+LowTagScheme::encodePointer(TypeId t, uint32_t addr) const
+{
+    MXL_ASSERT(addr % alignment(t) == 0,
+               "misaligned ", typeName(t), " at ", addr);
+    return addr | pointerTag(t);
+}
+
+uint32_t
+LowTagScheme::detagAddr(uint32_t w) const
+{
+    return w & ~maskBits(0, tagBits());
+}
+
+int32_t
+LowTagScheme::offsetAdjust(TypeId t) const
+{
+    // Memory is word-addressed: the bottom two bits of every effective
+    // address are dropped by the machine (§5.2), so only tag bits above
+    // bit 1 must be compensated in the offset (LowTag3 tags with bit 2
+    // set; as in the T system and Lucid CL).
+    return -static_cast<int32_t>(pointerTag(t) & ~3u);
+}
+
+uint32_t
+LowTagScheme::encodeChar(uint32_t code) const
+{
+    return (code << 8) | charTag();
+}
+
+uint32_t
+LowTagScheme::charCode(uint32_t w) const
+{
+    return (w >> 8) & 0xff;
+}
+
+uint32_t
+LowTag2::pointerTag(TypeId t) const
+{
+    switch (t) {
+      case TypeId::Pair:
+        return 1;
+      case TypeId::Symbol:
+      case TypeId::Vector:
+      case TypeId::String:
+        return 2; // shared heap-object tag; header discriminates
+      default:
+        panic("pointerTag: not a pointer type: ", typeName(t));
+    }
+}
+
+bool
+LowTag2::headerDiscriminated(TypeId t) const
+{
+    return t == TypeId::Symbol || t == TypeId::Vector ||
+           t == TypeId::String;
+}
+
+uint32_t
+LowTag2::alignment(TypeId) const
+{
+    return 4;
+}
+
+uint32_t
+LowTag3::pointerTag(TypeId t) const
+{
+    switch (t) {
+      case TypeId::Pair:    return 1;
+      case TypeId::Symbol:  return 2;
+      case TypeId::Vector:  return 5;
+      case TypeId::String:  return 6;
+      default:
+        panic("pointerTag: not a pointer type: ", typeName(t));
+    }
+}
+
+bool
+LowTag3::headerDiscriminated(TypeId) const
+{
+    return false;
+}
+
+uint32_t
+LowTag3::alignment(TypeId t) const
+{
+    switch (t) {
+      case TypeId::Pair:
+      case TypeId::Symbol:
+      case TypeId::Vector:
+      case TypeId::String:
+        return 8;
+      default:
+        return 4;
+    }
+}
+
+} // namespace mxl

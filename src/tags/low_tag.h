@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Low-tag schemes (§5.2): the tag lives in the bottom bits of the word,
+ * where word alignment makes it free for memory accesses — the tag is
+ * absorbed by adjusting the access offset, so no masking is ever needed
+ * and the full 32-bit address space remains usable.
+ */
+
+#ifndef MXLISP_TAGS_LOW_TAG_H_
+#define MXLISP_TAGS_LOW_TAG_H_
+
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** Common implementation for low-placed tags. */
+class LowTagScheme : public TagScheme
+{
+  public:
+    TagPlacement placement() const override { return TagPlacement::Low; }
+    int fixnumScale() const override { return 4; }
+
+    bool fixnumInRange(int64_t v) const override;
+    uint32_t encodeFixnum(int64_t v) const override;
+    int64_t decodeFixnum(uint32_t w) const override;
+
+    uint32_t encodePointer(TypeId t, uint32_t addr) const override;
+    uint32_t detagAddr(uint32_t w) const override;
+    int32_t offsetAdjust(TypeId t) const override;
+
+    uint32_t encodeChar(uint32_t code) const override;
+    uint32_t charCode(uint32_t w) const override;
+};
+
+/**
+ * Two-bit tags: 00 fixnum, 01 pair, 10 heap object with a header word
+ * (symbol/vector/string/bignum), 11 escape/immediate. The most frequent
+ * types (fixnum, pair) get direct tags; everything else pays a header
+ * load on type checks — the trade the paper describes for 2-bit tags.
+ */
+class LowTag2 : public LowTagScheme
+{
+  public:
+    std::string name() const override { return "low2"; }
+    unsigned tagBits() const override { return 2; }
+    bool wordIsFixnum(uint32_t w) const override { return (w & 3u) == 0; }
+    uint32_t pointerTag(TypeId t) const override;
+    bool headerDiscriminated(TypeId t) const override;
+    uint32_t alignment(TypeId t) const override;
+    uint32_t charTag() const override { return 3; }
+    bool sumCheckSound() const override { return false; }
+};
+
+/**
+ * Three-bit tags: even/odd fixnums 000/100 (so the representation is
+ * value*4 and arithmetic plus word indexing stay native), pair 001,
+ * symbol 010, vector 101, string 110, escapes x11. Objects with 3-bit
+ * tags are aligned on 8-byte boundaries (§5.2: "wasting a word to ensure
+ * the alignment is relatively cheap").
+ */
+class LowTag3 : public LowTagScheme
+{
+  public:
+    std::string name() const override { return "low3"; }
+    unsigned tagBits() const override { return 3; }
+    bool wordIsFixnum(uint32_t w) const override { return (w & 3u) == 0; }
+    uint32_t pointerTag(TypeId t) const override;
+    bool headerDiscriminated(TypeId t) const override;
+    uint32_t alignment(TypeId t) const override;
+    uint32_t charTag() const override { return 3; }
+    bool sumCheckSound() const override { return false; }
+};
+
+} // namespace mxl
+
+#endif // MXLISP_TAGS_LOW_TAG_H_

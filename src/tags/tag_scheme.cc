@@ -1,0 +1,47 @@
+#include "tags/tag_scheme.h"
+
+#include "support/panic.h"
+#include "tags/high_tag.h"
+#include "tags/low_tag.h"
+
+namespace mxl {
+
+std::string
+typeName(TypeId t)
+{
+    switch (t) {
+      case TypeId::Fixnum: return "fixnum";
+      case TypeId::Pair:   return "pair";
+      case TypeId::Symbol: return "symbol";
+      case TypeId::Vector: return "vector";
+      case TypeId::String: return "string";
+      case TypeId::Char:   return "char";
+    }
+    return "?";
+}
+
+std::unique_ptr<TagScheme>
+makeScheme(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::High5: return std::make_unique<HighTag5>();
+      case SchemeKind::High6: return std::make_unique<HighTag6>();
+      case SchemeKind::Low2:  return std::make_unique<LowTag2>();
+      case SchemeKind::Low3:  return std::make_unique<LowTag3>();
+    }
+    panic("unknown scheme kind");
+}
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::High5: return "high5";
+      case SchemeKind::High6: return "high6";
+      case SchemeKind::Low2:  return "low2";
+      case SchemeKind::Low3:  return "low3";
+    }
+    return "?";
+}
+
+} // namespace mxl

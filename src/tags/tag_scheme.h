@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The tag-scheme abstraction: where tags live in a 32-bit word, what the
+ * tag values are, and how fixnums/pointers/immediates are encoded.
+ *
+ * This is the independent variable of the paper. Four concrete schemes
+ * are provided:
+ *   - HighTag5: the PSL/MIPS-X baseline of §2.1 (5-bit high tags,
+ *     positive integers tag 0, negative integers tag 31);
+ *   - HighTag6: the §4.2 arithmetic-friendly 6-bit encoding;
+ *   - LowTag2:  §5.2, tag in the bottom 2 bits of word-aligned pointers;
+ *   - LowTag3:  §5.2, bottom 3 bits, even/odd fixnums 000/100.
+ *
+ * The scheme is consulted both by the compiler (code generation) and by
+ * the machine (hardware tag support is "built into the architecture",
+ * §6.1), and by the runtime image builder (static data encoding).
+ */
+
+#ifndef MXLISP_TAGS_TAG_SCHEME_H_
+#define MXLISP_TAGS_TAG_SCHEME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tags/type_id.h"
+
+namespace mxl {
+
+/** Where in the word the tag field lives. */
+enum class TagPlacement { High, Low };
+
+/**
+ * Abstract tag scheme.
+ *
+ * Address-bearing words ("pointers") carry byte addresses; the data part
+ * of a code pointer is the byte address of an instruction, which in every
+ * scheme is naturally a fixnum (word alignment makes the low bits zero,
+ * and code addresses are small enough for high-tag schemes), so return
+ * addresses and function cells need no separate code tag and are GC-inert.
+ */
+class TagScheme
+{
+  public:
+    virtual ~TagScheme() = default;
+
+    /** Short scheme name, e.g. "high5". */
+    virtual std::string name() const = 0;
+
+    virtual TagPlacement placement() const = 0;
+
+    /** Width of the tag field in bits. */
+    virtual unsigned tagBits() const = 0;
+
+    /** Bit position of the low end of the tag field. */
+    unsigned
+    tagShift() const
+    {
+        return placement() == TagPlacement::High ? 32 - tagBits() : 0;
+    }
+
+    /** Raw tag-field value of a word. */
+    uint32_t
+    primaryTag(uint32_t w) const
+    {
+        return (w >> tagShift()) & ((1u << tagBits()) - 1u);
+    }
+
+    /** Number of bits available for the data part. */
+    unsigned
+    dataBits() const
+    {
+        return 32 - tagBits();
+    }
+
+    // --- fixnums --------------------------------------------------------
+
+    /**
+     * Multiplier between a fixnum's value and its machine representation.
+     * 1 for high-tag schemes (LISP integer == two's-complement machine
+     * integer, §2.1); 4 for low-tag schemes (value << 2), which is what
+     * makes word-vector indexing free there (§5.2).
+     */
+    virtual int fixnumScale() const = 0;
+
+    virtual bool fixnumInRange(int64_t v) const = 0;
+
+    /** Encode an in-range fixnum. */
+    virtual uint32_t encodeFixnum(int64_t v) const = 0;
+
+    virtual int64_t decodeFixnum(uint32_t w) const = 0;
+
+    /** True if the word is a fixnum (what integer-test hardware checks). */
+    virtual bool wordIsFixnum(uint32_t w) const = 0;
+
+    // --- pointers -------------------------------------------------------
+
+    /**
+     * The tag value used for pointers of type @p t. For schemes with too
+     * few tags (LowTag2), several types share a tag and are further
+     * discriminated by an object header; see headerDiscriminated().
+     * @p t must be a pointer type (Pair/Symbol/Vector/String).
+     */
+    virtual uint32_t pointerTag(TypeId t) const = 0;
+
+    /** True if a type check on @p t must also inspect the object header. */
+    virtual bool headerDiscriminated(TypeId t) const = 0;
+
+    /** Encode a pointer to byte address @p addr with type @p t. */
+    virtual uint32_t encodePointer(TypeId t, uint32_t addr) const = 0;
+
+    /** Strip the tag field, yielding a byte address. */
+    virtual uint32_t detagAddr(uint32_t w) const = 0;
+
+    /**
+     * Constant to add to a memory-access offset so that the tag of a
+     * pointer of type @p t is absorbed without masking. Always 0 for
+     * high-tag schemes (they must mask); -tag for low-tag schemes.
+     */
+    virtual int32_t offsetAdjust(TypeId t) const = 0;
+
+    /**
+     * Required address alignment (bytes) for objects of type @p t, so
+     * that low-tag bits are zero in the raw address.
+     */
+    virtual uint32_t alignment(TypeId t) const = 0;
+
+    // --- immediates -----------------------------------------------------
+
+    virtual uint32_t encodeChar(uint32_t code) const = 0;
+    virtual uint32_t charCode(uint32_t w) const = 0;
+    virtual uint32_t charTag() const = 0;
+
+    // --- generic arithmetic (§4.2) ---------------------------------------
+
+    /**
+     * True if adding two tagged words and type-checking only the result
+     * is a sound generic-add implementation (the §4.2 property: the sum
+     * of two non-integer tags can never be an integer tag, and integer
+     * overflow always perturbs the tag).
+     */
+    virtual bool sumCheckSound() const = 0;
+};
+
+/** Identifiers for the built-in schemes. */
+enum class SchemeKind { High5, High6, Low2, Low3 };
+
+/** Construct one of the built-in schemes. */
+std::unique_ptr<TagScheme> makeScheme(SchemeKind kind);
+
+/** All built-in scheme kinds (for parameterized tests/benches). */
+const char *schemeKindName(SchemeKind kind);
+
+} // namespace mxl
+
+#endif // MXLISP_TAGS_TAG_SCHEME_H_

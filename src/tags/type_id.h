@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The runtime data types of MX-Lisp.
+ *
+ * These are the types the paper's programs exercise (§2.2: "numbers,
+ * symbols, lists, or vectors", with strings/structures layered on top).
+ * Bignums — the generic-arithmetic fallback representation — are vectors
+ * at the tag level, discriminated by the object header.
+ */
+
+#ifndef MXLISP_TAGS_TYPE_ID_H_
+#define MXLISP_TAGS_TYPE_ID_H_
+
+#include <string>
+
+namespace mxl {
+
+/** Primary runtime types, as seen by the tag system. */
+enum class TypeId
+{
+    Fixnum,  ///< immediate integer
+    Pair,    ///< cons cell (two words)
+    Symbol,  ///< pointer to a 5-word symbol block
+    Vector,  ///< pointer to header + elements (also bignums)
+    String,  ///< pointer to header + one char per word
+    Char,    ///< immediate character
+};
+
+/** Printable name of a TypeId. */
+std::string typeName(TypeId t);
+
+/** Object-header subtypes for header-discriminated schemes and the GC. */
+enum HeaderSubtype : unsigned
+{
+    SubtVector = 1,
+    SubtString = 2,
+    SubtBignum = 3,
+    SubtSymbol = 4,
+};
+
+} // namespace mxl
+
+#endif // MXLISP_TAGS_TYPE_ID_H_

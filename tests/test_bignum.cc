@@ -1,0 +1,176 @@
+/**
+ * Generic arithmetic fallback tests: the out-of-line dispatch and the
+ * list-backed bignums it promotes overflowing fixnums into (§2.2's
+ * "expensive general sequence").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+std::string
+bigRun(const std::string &src, SchemeKind scheme = SchemeKind::High5,
+       ArithMode mode = ArithMode::InlineBiased,
+       bool genericArithHw = false)
+{
+    CompilerOptions opts;
+    opts.scheme = scheme;
+    opts.checking = Checking::Full;
+    opts.arithMode = mode;
+    opts.hw.genericArith = genericArithHw;
+    auto r = compileAndRun(src, opts, 100'000'000);
+    EXPECT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    return r.output;
+}
+
+TEST(Bignum, OverflowPromotes)
+{
+    // 2*2*40,000,000 exceeds the high5 fixnum range (2^26 = 67,108,864).
+    EXPECT_EQ(bigRun("(print (+ 40000000 40000000))"),
+              "(*bignum* 1 0 0 80)\n");
+}
+
+TEST(Bignum, SubtractionUnderflowPromotes)
+{
+    EXPECT_EQ(bigRun("(print (- -40000000 40000000))"),
+              "(*bignum* -1 0 0 80)\n");
+}
+
+TEST(Bignum, RoundTripBackToFixnum)
+{
+    // A bignum intermediate whose final value fits becomes a fixnum.
+    EXPECT_EQ(bigRun(R"(
+        (let ((big (+ 40000000 40000000)))
+          (print (- big (+ 40000000 40000000)))
+          (print (fixp (- big (+ 39000000 40000000)))))
+    )"), "0\nt\n");
+}
+
+TEST(Bignum, AddBignums)
+{
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000)))
+          (print (+ a a)))
+    )"), "(*bignum* 1 0 0 160)\n");
+}
+
+TEST(Bignum, MulPromotesViaDispatch)
+{
+    // Bignum * fixnum goes through generic-mul.
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000)))
+          (print (* a 10)))
+    )"), "(*bignum* 1 0 0 800)\n");
+}
+
+TEST(Bignum, Comparisons)
+{
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000))
+              (b (+ 40000000 41000000)))
+          (print (lessp a b))
+          (print (lessp b a))
+          (print (eqn a a))
+          (print (eqn a b))
+          (print (lessp 5 a))
+          (print (greaterp a 5)))
+    )"), "t\nnil\nt\nnil\nt\nt\n");
+}
+
+TEST(Bignum, NegativeArithmetic)
+{
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000)))
+          (print (- 0 a))
+          (print (+ (- 0 a) a)))
+    )"), "(*bignum* -1 0 0 80)\n0\n");
+}
+
+TEST(Bignum, MixedMagnitudes)
+{
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000)))
+          (print (- a 1))
+          (print (fixp (- a 1))))
+    )"), "(*bignum* 1 999 999 79)\nnil\n");
+}
+
+TEST(Bignum, NumberpSeesBignums)
+{
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 40000000 40000000)))
+          (print (numberp a))
+          (print (numberp 5))
+          (print (numberp 'a))
+          (print (bigp a))
+          (print (bigp 5)))
+    )"), "t\nt\nnil\nt\nnil\n");
+}
+
+TEST(Bignum, DivisionUnsupportedErrors)
+{
+    CompilerOptions opts;
+    opts.checking = Checking::Full;
+    auto r = compileAndRun(
+        "(quotient (+ 40000000 40000000) 2)", opts, 50'000'000);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+    EXPECT_EQ(r.errorCode, 43);
+}
+
+TEST(Bignum, WorksUnderLowTags)
+{
+    // Low schemes have a wider fixnum range; force the overflow with
+    // values near 2^29.
+    EXPECT_EQ(bigRun(R"(
+        (let ((a (+ 500000000 500000000)))
+          (print (fixp a))
+          (print (- a (+ 500000000 500000000))))
+    )", SchemeKind::Low3), "nil\n0\n");
+}
+
+TEST(Bignum, ForceDispatchStillCorrect)
+{
+    // §6.2.2: every arithmetic op routed through the dispatcher.
+    EXPECT_EQ(bigRun(R"(
+        (de fact (n) (if (zerop n) 1 (* n (fact (sub1 n)))))
+        (print (fact 8))
+        (print (+ 40000000 40000000))
+    )", SchemeKind::High5, ArithMode::ForceDispatch),
+              "40320\n(*bignum* 1 0 0 80)\n");
+}
+
+TEST(Bignum, HardwareTrapPathCorrect)
+{
+    // With addt/subt hardware, overflow traps to the dispatch handler
+    // and must produce the same bignum.
+    EXPECT_EQ(bigRun(R"(
+        (print (+ 40000000 40000000))
+        (print (- -40000000 40000000))
+        (print (+ 1 2))
+    )", SchemeKind::High5, ArithMode::InlineBiased, true),
+              "(*bignum* 1 0 0 80)\n(*bignum* -1 0 0 80)\n3\n");
+}
+
+TEST(Bignum, SumCheckSchemeCorrect)
+{
+    // §4.2 encoding: add first, one check on the result.
+    CompilerOptions opts;
+    opts.scheme = SchemeKind::High6;
+    opts.checking = Checking::Full;
+    opts.arithMode = ArithMode::SumCheck;
+    auto r = compileAndRun(R"(
+        (print (+ 17000000 17000000))
+        (print (+ 1 2))
+        (print (+ -5 -6))
+        (print (+ 'a? 0))
+    )", opts, 50'000'000);
+    // The last form errors (symbol operand); everything before prints.
+    EXPECT_EQ(r.stop, StopReason::Errored);
+    EXPECT_EQ(r.output, "(*bignum* 1 0 0 34)\n3\n-11\n");
+}
+
+} // namespace
+} // namespace mxl

@@ -1,0 +1,165 @@
+/**
+ * Run-time checking semantics (§3): with Checking::Full, ill-typed
+ * operations stop with a Lisp-level error; with Checking::Off the same
+ * programs run unchecked (and well-typed programs behave identically
+ * in both modes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+RunResult
+runWith(const std::string &src, Checking chk,
+        SchemeKind scheme = SchemeKind::High5)
+{
+    CompilerOptions opts;
+    opts.scheme = scheme;
+    opts.checking = chk;
+    return compileAndRun(src, opts, 50'000'000);
+}
+
+TEST(Checking, CarOfNonPairErrors)
+{
+    auto r = runWith("(print (car 5))", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, CdrOfSymbolErrors)
+{
+    auto r = runWith("(print (cdr 'sym))", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, RplacaOfNonPairErrors)
+{
+    auto r = runWith("(rplaca 5 1)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, GetvOnNonVectorErrors)
+{
+    auto r = runWith("(getv '(1 2) 0)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, VectorBounds)
+{
+    EXPECT_EQ(runWith("(getv (mkvect 3) 3)", Checking::Full).stop,
+              StopReason::Errored);
+    EXPECT_EQ(runWith("(getv (mkvect 3) -1)", Checking::Full).stop,
+              StopReason::Errored);
+    EXPECT_EQ(runWith("(print (getv (mkvect 3) 2))", Checking::Full).stop,
+              StopReason::Halted);
+    EXPECT_EQ(runWith("(putv (mkvect 3) 7 1)", Checking::Full).stop,
+              StopReason::Errored);
+}
+
+TEST(Checking, VectorIndexTypeChecked)
+{
+    // "the indexing type is legal" — a symbol index is an error.
+    auto r = runWith("(getv (mkvect 3) 'a)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, StringBounds)
+{
+    EXPECT_EQ(runWith("(string-ref \"ab\" 2)", Checking::Full).stop,
+              StopReason::Errored);
+    EXPECT_EQ(runWith("(string-ref 'sym 0)", Checking::Full).stop,
+              StopReason::Errored);
+}
+
+TEST(Checking, ArithmeticOnSymbolErrors)
+{
+    // Non-numeric operands reach the generic dispatcher, which raises
+    // a Lisp-level error (code 40).
+    auto r = runWith("(+ 'a 1)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+    EXPECT_EQ(r.errorCode, 40);
+}
+
+TEST(Checking, ComparisonOnListErrors)
+{
+    auto r = runWith("(lessp '(1) 2)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, ZeropOnSymbolErrors)
+{
+    auto r = runWith("(zerop 'a)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, PlistOfNonSymbolErrors)
+{
+    auto r = runWith("(plist 5)", Checking::Full);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Checking, OffModeDoesNotTrap)
+{
+    // Unchecked car of a fixnum is undefined but must not raise a
+    // checked type error (it reads some word of memory).
+    auto r = runWith("(car 256) (print 'done)", Checking::Off);
+    EXPECT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(r.output, "done\n");
+}
+
+TEST(Checking, WellTypedProgramsAgree)
+{
+    const char *src = R"(
+        (de tree (n) (if (zerop n) 'leaf (cons (tree (sub1 n)) (tree (sub1 n)))))
+        (de count (x) (if (atom x) 1 (+ (count (car x)) (count (cdr x)))))
+        (print (count (tree 6)))
+    )";
+    auto off = runWith(src, Checking::Off);
+    auto full = runWith(src, Checking::Full);
+    EXPECT_EQ(off.stop, StopReason::Halted);
+    EXPECT_EQ(full.stop, StopReason::Halted);
+    EXPECT_EQ(off.output, full.output);
+    // And checking costs cycles (§3: 25% average slowdown).
+    EXPECT_GT(full.stats.total, off.stats.total);
+}
+
+TEST(Checking, CheckedCyclesAreAttributed)
+{
+    const char *src = R"(
+        (de walk (l) (if (null l) 0 (add1 (walk (cdr l)))))
+        (print (walk '(1 2 3 4 5 6 7 8)))
+    )";
+    auto full = runWith(src, Checking::Full);
+    // List checking must appear in the list category, marked as
+    // added-by-checking.
+    EXPECT_GT(full.stats.catChecking(CheckCat::List), 0u);
+    auto off = runWith(src, Checking::Off);
+    EXPECT_EQ(off.stats.catChecking(CheckCat::List), 0u);
+}
+
+TEST(Checking, GenericAddCostsTenCycles)
+{
+    // §2.2/§4.2: "A generic integer add takes 10 cycles: 9 cycles for
+    // type and overflow checking, and 1 for adding."
+    // Measure the marginal cost of one checked (+ x y) against the
+    // same program with the add replaced by a constant reference.
+    const char *with = "(de f (x y) (+ x y)) (setq r 0)"
+                       "(let ((i 0)) (while (lessp i 100)"
+                       " (setq r (f 3 4)) (setq i (add1 i))))";
+    const char *without = "(de f (x y) x) (setq r 0)"
+                          "(let ((i 0)) (while (lessp i 100)"
+                          " (setq r (f 3 4)) (setq i (add1 i))))";
+    auto a = runWith(with, Checking::Full);
+    auto b = runWith(without, Checking::Full);
+    double perIter =
+        (static_cast<double>(a.stats.total) -
+         static_cast<double>(b.stats.total)) / 100.0;
+    // ld of y + the 10-cycle generic add, give or take slot effects.
+    EXPECT_GE(perIter, 9.0);
+    EXPECT_LE(perIter, 18.0);
+}
+
+} // namespace
+} // namespace mxl

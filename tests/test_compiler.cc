@@ -1,0 +1,369 @@
+/**
+ * Compiler tests: every language construct compiled and executed on
+ * the machine, checked by program output / exit value. A subset runs
+ * parameterized across all four tag schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+std::string
+runOut(const std::string &src,
+       SchemeKind scheme = SchemeKind::High5,
+       Checking checking = Checking::Off)
+{
+    CompilerOptions opts;
+    opts.scheme = scheme;
+    opts.checking = checking;
+    RunResult r = compileAndRun(src, opts, 100'000'000);
+    EXPECT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    return r.output;
+}
+
+TEST(Compiler, IntegerLiteral)
+{
+    EXPECT_EQ(runOut("(print 42)"), "42\n");
+    EXPECT_EQ(runOut("(print -17)"), "-17\n");
+    EXPECT_EQ(runOut("(print 0)"), "0\n");
+}
+
+TEST(Compiler, Arithmetic)
+{
+    EXPECT_EQ(runOut("(print (+ 2 3))"), "5\n");
+    EXPECT_EQ(runOut("(print (- 2 5))"), "-3\n");
+    EXPECT_EQ(runOut("(print (* 6 7))"), "42\n");
+    EXPECT_EQ(runOut("(print (quotient 17 5))"), "3\n");
+    EXPECT_EQ(runOut("(print (remainder 17 5))"), "2\n");
+    EXPECT_EQ(runOut("(print (add1 9))"), "10\n");
+    EXPECT_EQ(runOut("(print (sub1 0))"), "-1\n");
+    EXPECT_EQ(runOut("(print (minus 5))"), "-5\n");
+    EXPECT_EQ(runOut("(print (+ (* 3 4) (- 10 2)))"), "20\n");
+}
+
+TEST(Compiler, Comparisons)
+{
+    EXPECT_EQ(runOut("(print (lessp 1 2))"), "t\n");
+    EXPECT_EQ(runOut("(print (lessp 2 1))"), "nil\n");
+    EXPECT_EQ(runOut("(print (greaterp 2 1))"), "t\n");
+    EXPECT_EQ(runOut("(print (leq 2 2))"), "t\n");
+    EXPECT_EQ(runOut("(print (geq 1 2))"), "nil\n");
+    EXPECT_EQ(runOut("(print (eqn 3 3))"), "t\n");
+    EXPECT_EQ(runOut("(print (eqn 3 4))"), "nil\n");
+}
+
+TEST(Compiler, Predicates)
+{
+    EXPECT_EQ(runOut("(print (null nil))"), "t\n");
+    EXPECT_EQ(runOut("(print (null 5))"), "nil\n");
+    EXPECT_EQ(runOut("(print (atom 5))"), "t\n");
+    EXPECT_EQ(runOut("(print (atom '(1)))"), "nil\n");
+    EXPECT_EQ(runOut("(print (pairp '(1)))"), "t\n");
+    EXPECT_EQ(runOut("(print (symbolp 'a))"), "t\n");
+    EXPECT_EQ(runOut("(print (symbolp 4))"), "nil\n");
+    EXPECT_EQ(runOut("(print (fixp 4))"), "t\n");
+    EXPECT_EQ(runOut("(print (fixp 'a))"), "nil\n");
+    EXPECT_EQ(runOut("(print (vectorp (mkvect 3)))"), "t\n");
+    EXPECT_EQ(runOut("(print (stringp \"s\"))"), "t\n");
+    EXPECT_EQ(runOut("(print (zerop 0))"), "t\n");
+    EXPECT_EQ(runOut("(print (onep 1))"), "t\n");
+    EXPECT_EQ(runOut("(print (minusp -3))"), "t\n");
+    EXPECT_EQ(runOut("(print (minusp 3))"), "nil\n");
+}
+
+TEST(Compiler, EqIdentity)
+{
+    EXPECT_EQ(runOut("(print (eq 'a 'a))"), "t\n");
+    EXPECT_EQ(runOut("(print (eq 'a 'b))"), "nil\n");
+    EXPECT_EQ(runOut("(print (eq 7 7))"), "t\n");
+    EXPECT_EQ(runOut("(print (eq (cons 1 2) (cons 1 2)))"), "nil\n");
+}
+
+TEST(Compiler, ListPrimitives)
+{
+    EXPECT_EQ(runOut("(print (car '(1 2)))"), "1\n");
+    EXPECT_EQ(runOut("(print (cdr '(1 2)))"), "(2)\n");
+    EXPECT_EQ(runOut("(print (cons 1 2))"), "(1 . 2)\n");
+    EXPECT_EQ(runOut("(print (cadr '(1 2 3)))"), "2\n");
+    EXPECT_EQ(runOut("(print (caddr '(1 2 3)))"), "3\n");
+    EXPECT_EQ(runOut("(print (cddr '(1 2 3)))"), "(3)\n");
+    EXPECT_EQ(runOut("(print (caar '((9))))"), "9\n");
+    EXPECT_EQ(runOut("(print (list 1 2 3))"), "(1 2 3)\n");
+    EXPECT_EQ(runOut("(print (list))"), "nil\n");
+}
+
+TEST(Compiler, Rplac)
+{
+    EXPECT_EQ(runOut("(let ((p (cons 1 2))) (rplaca p 9) (print p))"),
+              "(9 . 2)\n");
+    EXPECT_EQ(runOut("(let ((p (cons 1 2))) (rplacd p 9) (print p))"),
+              "(1 . 9)\n");
+}
+
+TEST(Compiler, QuoteConstants)
+{
+    EXPECT_EQ(runOut("(print '(a (b 2) \"s\"))"), "(a (b 2) \"s\")\n");
+    EXPECT_EQ(runOut("(print 'sym)"), "sym\n");
+}
+
+TEST(Compiler, IfAndCond)
+{
+    EXPECT_EQ(runOut("(print (if t 1 2))"), "1\n");
+    EXPECT_EQ(runOut("(print (if nil 1 2))"), "2\n");
+    EXPECT_EQ(runOut("(print (if nil 1))"), "nil\n");
+    EXPECT_EQ(runOut("(print (if 0 1 2))"), "1\n"); // 0 is true in Lisp
+    EXPECT_EQ(runOut(
+        "(print (cond ((eq 1 2) 'a) ((eq 3 3) 'b) (t 'c)))"), "b\n");
+    EXPECT_EQ(runOut("(print (cond (nil 1)))"), "nil\n");
+    EXPECT_EQ(runOut("(print (cond (5)))"), "5\n"); // test-only clause
+}
+
+TEST(Compiler, AndOr)
+{
+    EXPECT_EQ(runOut("(print (and 1 2 3))"), "3\n");
+    EXPECT_EQ(runOut("(print (and 1 nil 3))"), "nil\n");
+    EXPECT_EQ(runOut("(print (or nil nil 7))"), "7\n");
+    EXPECT_EQ(runOut("(print (or nil nil))"), "nil\n");
+    EXPECT_EQ(runOut("(print (and))"), "t\n");
+    EXPECT_EQ(runOut("(print (or))"), "nil\n");
+    // short-circuit: the error must never run
+    EXPECT_EQ(runOut("(print (and nil (error 1)))"), "nil\n");
+    EXPECT_EQ(runOut("(print (or 5 (error 1)))"), "5\n");
+}
+
+TEST(Compiler, LetAndScoping)
+{
+    EXPECT_EQ(runOut("(print (let ((x 3) (y 4)) (+ x y)))"), "7\n");
+    EXPECT_EQ(runOut("(let ((x 1)) (let ((x 2)) (print x)) (print x))"),
+              "2\n1\n");
+    // parallel let: inits see the outer binding
+    EXPECT_EQ(runOut("(let ((x 1)) (let ((x 2) (y x)) (print y)))"),
+              "1\n");
+    // let*: sequential
+    EXPECT_EQ(runOut("(print (let* ((x 2) (y (* x x))) y))"), "4\n");
+    EXPECT_EQ(runOut("(print (let ((x)) x))"), "nil\n"); // default init
+}
+
+TEST(Compiler, SetqLocalAndGlobal)
+{
+    EXPECT_EQ(runOut("(let ((x 1)) (setq x 5) (print x))"), "5\n");
+    EXPECT_EQ(runOut("(setq g 11) (print g)"), "11\n");
+    EXPECT_EQ(runOut("(print (setq q 3))"), "3\n"); // value of setq
+    EXPECT_EQ(runOut("(print unbound-global)"), "nil\n");
+}
+
+TEST(Compiler, WhileLoop)
+{
+    EXPECT_EQ(runOut(R"(
+        (let ((i 0) (sum 0))
+          (while (lessp i 5)
+            (setq sum (+ sum i))
+            (setq i (add1 i)))
+          (print sum))
+    )"), "10\n");
+    EXPECT_EQ(runOut("(print (while nil 1))"), "nil\n");
+}
+
+TEST(Compiler, Progn)
+{
+    EXPECT_EQ(runOut("(print (progn 1 2 3))"), "3\n");
+    EXPECT_EQ(runOut("(print (progn))"), "nil\n");
+}
+
+TEST(Compiler, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runOut(R"(
+        (de fact (n) (if (zerop n) 1 (* n (fact (sub1 n)))))
+        (print (fact 10))
+    )"), "3628800\n");
+    EXPECT_EQ(runOut(R"(
+        (de even? (n) (if (zerop n) t (odd? (sub1 n))))
+        (de odd? (n) (if (zerop n) nil (even? (sub1 n))))
+        (print (even? 10))
+    )"), "t\n");
+}
+
+TEST(Compiler, ManyParameters)
+{
+    EXPECT_EQ(runOut(R"(
+        (de f8 (a b c d e f g h) (+ a (+ b (+ c (+ d (+ e (+ f (+ g h))))))))
+        (print (f8 1 2 3 4 5 6 7 8))
+    )"), "36\n");
+}
+
+TEST(Compiler, ComplexArgumentsEvaluatedInOrder)
+{
+    EXPECT_EQ(runOut(R"(
+        (de tick () (setq n (add1 n)) n)
+        (de three (a b c) (list a b c))
+        (setq n 0)
+        (print (three (tick) (tick) (tick)))
+    )"), "(1 2 3)\n");
+}
+
+TEST(Compiler, Vectors)
+{
+    EXPECT_EQ(runOut(R"(
+        (let ((v (mkvect 4)))
+          (putv v 0 'a) (putv v 3 42)
+          (print (getv v 0))
+          (print (getv v 1))
+          (print (getv v 3))
+          (print (upbv v)))
+    )"), "a\nnil\n42\n3\n");
+}
+
+TEST(Compiler, Strings)
+{
+    EXPECT_EQ(runOut("(print (string-length \"hello\"))"), "5\n");
+    EXPECT_EQ(runOut("(print (string-ref \"A\" 0))"), "65\n");
+    EXPECT_EQ(runOut(R"(
+        (let ((s (mkstring 2)))
+          (string-set s 0 72) (string-set s 1 105)
+          (print s))
+    )"), "\"Hi\"\n");
+}
+
+TEST(Compiler, SymbolPrimitives)
+{
+    EXPECT_EQ(runOut("(print (symbol-name 'abc))"), "\"abc\"\n");
+    EXPECT_EQ(runOut("(setplist 'x '((a . 1))) (print (plist 'x))"),
+              "((a . 1))\n");
+}
+
+TEST(Compiler, PropertyLists)
+{
+    EXPECT_EQ(runOut(R"(
+        (put 'obj 'color 'red)
+        (put 'obj 'size 3)
+        (print (get 'obj 'color))
+        (put 'obj 'color 'blue)
+        (print (get 'obj 'color))
+        (print (get 'obj 'missing))
+        (remprop 'obj 'color)
+        (print (get 'obj 'color))
+    )"), "red\nblue\nnil\nnil\n");
+}
+
+TEST(Compiler, Apply)
+{
+    EXPECT_EQ(runOut(R"(
+        (de addmul (a b c) (+ a (* b c)))
+        (print (apply 'addmul '(1 2 3)))
+    )"), "7\n");
+    EXPECT_EQ(runOut(R"(
+        (de noargs () 9)
+        (print (apply 'noargs nil))
+    )"), "9\n");
+}
+
+TEST(Compiler, LibraryFunctions)
+{
+    EXPECT_EQ(runOut("(print (length '(a b c)))"), "3\n");
+    EXPECT_EQ(runOut("(print (append '(1) '(2 3)))"), "(1 2 3)\n");
+    EXPECT_EQ(runOut("(print (reverse '(1 2 3)))"), "(3 2 1)\n");
+    EXPECT_EQ(runOut("(print (memq 'b '(a b c)))"), "(b c)\n");
+    EXPECT_EQ(runOut("(print (assq 'b '((a . 1) (b . 2))))"),
+              "(b . 2)\n");
+    EXPECT_EQ(runOut("(print (assoc '(1) '(((1) . x))))"), "((1) . x)\n");
+    EXPECT_EQ(runOut("(print (equal '(1 (2)) '(1 (2))))"), "t\n");
+    EXPECT_EQ(runOut("(print (equal '(1 2) '(1 3)))"), "nil\n");
+    EXPECT_EQ(runOut("(print (nth '(a b c) 1))"), "b\n");
+    EXPECT_EQ(runOut("(print (last '(a b c)))"), "(c)\n");
+    EXPECT_EQ(runOut("(print (nconc (list 1 2) (list 3)))"), "(1 2 3)\n");
+    EXPECT_EQ(runOut("(print (gcd 12 18))"), "6\n");
+    EXPECT_EQ(runOut("(print (abs -5))"), "5\n");
+    EXPECT_EQ(runOut("(print (expt 2 10))"), "1024\n");
+    EXPECT_EQ(runOut("(print (max2 3 7))"), "7\n");
+    EXPECT_EQ(runOut("(print (min2 3 7))"), "3\n");
+}
+
+TEST(Compiler, UserOverridesLibrary)
+{
+    EXPECT_EQ(runOut(R"(
+        (de length (l) 999)
+        (print (length '(a b)))
+    )"), "999\n");
+}
+
+TEST(Compiler, DeepExpressionsNeedNoExtraTemps)
+{
+    // This once exhausted the ten temp registers; nested operands now
+    // spill to the stack.
+    EXPECT_EQ(runOut(R"(
+        (print (+ 1 (+ 2 (+ 3 (+ 4 (+ 5 (+ 6 (+ 7 (+ 8 (+ 9 10))))))))))
+    )"), "55\n");
+    EXPECT_EQ(runOut(R"(
+        (print (list (list 1 (list 2 (list 3 (list 4 5))))
+                     (list 6 (list 7 8))))
+    )"), "((1 (2 (3 (4 5)))) (6 (7 8)))\n");
+}
+
+TEST(Compiler, CompileErrors)
+{
+    CompilerOptions opts;
+    EXPECT_THROW(compileAndRun("(undefined-fn 1)", opts), MxlError);
+    EXPECT_THROW(compileAndRun("(de f (a) a) (f 1 2)", opts), MxlError);
+    EXPECT_THROW(compileAndRun(
+        "(de g (a b c d e f g h i) a) (g 1 2 3 4 5 6 7 8 9)", opts),
+        MxlError);
+    EXPECT_THROW(compileAndRun("(car '(1) 'extra)", opts), MxlError);
+    EXPECT_THROW(compileAndRun("(print (+ 1 100000000000))", opts),
+                 MxlError); // literal out of fixnum range
+}
+
+TEST(Compiler, Table3Statistics)
+{
+    CompilerOptions opts;
+    CompiledUnit u = compileUnit("(de f (x) x)\n(print (f 1))\n", opts);
+    EXPECT_GT(u.procedures, 30);      // includes the runtime library
+    EXPECT_GT(u.objectWords, 1000);
+    EXPECT_EQ(u.sourceLines, 2);
+}
+
+// ---- cross-scheme subset ------------------------------------------------
+
+class CompilerSchemeTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, Checking>>
+{
+};
+
+TEST_P(CompilerSchemeTest, CoreLanguageAgrees)
+{
+    auto [scheme, chk] = GetParam();
+    const char *src = R"(
+        (de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+        (de rev-sum (l acc) (if (null l) acc (rev-sum (cdr l) (+ acc (car l)))))
+        (print (fib 10))
+        (print (rev-sum '(1 2 3 4 5) 0))
+        (let ((v (mkvect 3)))
+          (putv v 1 'mid)
+          (print (getv v 1)))
+        (print (append '(a) '(b c)))
+        (put 'k 'p 77)
+        (print (get 'k 'p))
+        (print (string-length "four"))
+    )";
+    EXPECT_EQ(runOut(src, scheme, chk),
+              "55\n15\nmid\n(a b c)\n77\n4\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, CompilerSchemeTest,
+    ::testing::Combine(::testing::Values(SchemeKind::High5,
+                                         SchemeKind::High6,
+                                         SchemeKind::Low2,
+                                         SchemeKind::Low3),
+                       ::testing::Values(Checking::Off, Checking::Full)),
+    [](const auto &info) {
+        return std::string(schemeKindName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) == Checking::Full ? "_full"
+                                                          : "_off");
+    });
+
+} // namespace
+} // namespace mxl

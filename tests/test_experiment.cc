@@ -1,0 +1,169 @@
+/**
+ * Tests for the measurement framework (core/): experiment configs,
+ * report math, and the paper's published-number tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+
+namespace mxl {
+namespace {
+
+TEST(Experiment, BaselineIsHigh5NoHardware)
+{
+    CompilerOptions o = baselineOptions(Checking::Full);
+    EXPECT_EQ(o.scheme, SchemeKind::High5);
+    EXPECT_EQ(o.checking, Checking::Full);
+    EXPECT_FALSE(o.hw.ignoreTagOnMemory);
+    EXPECT_FALSE(o.hw.branchOnTag);
+    EXPECT_FALSE(o.hw.genericArith);
+    EXPECT_EQ(o.hw.checkedMemory, CheckedMem::None);
+}
+
+TEST(Experiment, Table2RowsMatchThePaper)
+{
+    auto rows = table2Configs();
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_TRUE(rows[0].opts.hw.ignoreTagOnMemory);  // row1
+    EXPECT_TRUE(rows[1].opts.hw.branchOnTag);        // row2
+    EXPECT_TRUE(rows[2].opts.hw.ignoreTagOnMemory && // row3
+                rows[2].opts.hw.branchOnTag);
+    EXPECT_TRUE(rows[3].opts.hw.genericArith);       // row4
+    EXPECT_EQ(rows[4].opts.hw.checkedMemory, CheckedMem::Lists);
+    EXPECT_EQ(rows[5].opts.hw.checkedMemory, CheckedMem::All);
+    EXPECT_TRUE(rows[6].opts.hw.ignoreTagOnMemory && // row7
+                rows[6].opts.hw.branchOnTag &&
+                rows[6].opts.hw.genericArith &&
+                rows[6].opts.hw.checkedMemory == CheckedMem::All);
+}
+
+TEST(Experiment, VariantOptionBuilders)
+{
+    EXPECT_EQ(lowTagSoftwareOptions(Checking::Off).scheme,
+              SchemeKind::Low3);
+    EXPECT_EQ(sumCheckOptions(Checking::Full).arithMode,
+              ArithMode::SumCheck);
+    EXPECT_EQ(sumCheckOptions(Checking::Full).scheme, SchemeKind::High6);
+    EXPECT_EQ(forceDispatchOptions(Checking::Full).arithMode,
+              ArithMode::ForceDispatch);
+}
+
+TEST(Report, MeasureProgramProducesBothModes)
+{
+    BenchmarkProgram tiny{
+        "tiny", "test",
+        "(de f (n) (if (zerop n) 0 (+ n (f (sub1 n))))) (print (f 20))",
+        1u << 20, 50'000'000};
+    auto m = measureProgram(tiny, baselineOptions(Checking::Off));
+    EXPECT_EQ(m.off.output, "210\n");
+    EXPECT_EQ(m.full.output, "210\n");
+    EXPECT_GT(m.full.stats.total, m.off.stats.total);
+
+    auto row = table1Row(m);
+    EXPECT_GT(row.total, 0);
+    EXPECT_GT(row.arith, 0);
+    EXPECT_NEAR(row.total,
+                100.0 * (static_cast<double>(m.full.stats.total) /
+                             static_cast<double>(m.off.stats.total) -
+                         1.0),
+                1e-9);
+}
+
+TEST(Report, Figure1BarsConsistent)
+{
+    BenchmarkProgram tiny{
+        "tiny", "test",
+        "(de w (l) (if (null l) 0 (add1 (w (cdr l)))))"
+        "(print (w '(1 2 3 4 5 6 7 8)))",
+        1u << 20, 50'000'000};
+    auto m = measureProgram(tiny, baselineOptions(Checking::Off));
+    auto f = figure1Bars(m);
+    for (int i = 0; i < fig1Ops; ++i) {
+        EXPECT_GE(f.withoutRtc[i], 0.0);
+        EXPECT_LE(f.withoutRtc[i], 100.0);
+        // The added component can never exceed the full bar.
+        EXPECT_LE(f.addedByRtc[i], f.withRtc[i] + 1e-9);
+    }
+    // A list walk with checking must show checking time.
+    EXPECT_GT(f.withRtc[3], f.withoutRtc[3]);
+    EXPECT_GT(f.totalWith, 0.0);
+}
+
+TEST(Report, Figure1AverageIsMeanOfBars)
+{
+    BenchmarkProgram tiny{
+        "tiny", "t", "(print (car '(1)))", 1u << 20, 10'000'000};
+    auto m = measureProgram(tiny, baselineOptions(Checking::Off));
+    auto one = figure1Bars(m);
+    auto avg = figure1Average({m, m});
+    for (int i = 0; i < fig1Ops; ++i)
+        EXPECT_NEAR(avg.withRtc[i], one.withRtc[i], 1e-9);
+}
+
+TEST(Report, Table2CellMath)
+{
+    RunResult base;
+    base.stats.total = 1000;
+    base.stats.byPurpose[static_cast<int>(Purpose::TagRemove)][0] = 80;
+    RunResult cfg;
+    cfg.stats.total = 920;
+    cfg.stats.byPurpose[static_cast<int>(Purpose::TagRemove)][0] = 0;
+    auto cell = table2Cell(base, cfg);
+    EXPECT_NEAR(cell.total, 8.0, 1e-9);
+    EXPECT_NEAR(cell.mask, 8.0, 1e-9);
+    auto avg = table2Average({base, base}, {cfg, cfg});
+    EXPECT_NEAR(avg.total, 8.0, 1e-9);
+}
+
+TEST(Report, Figure2Math)
+{
+    RunResult base;
+    base.stats.total = 1000;
+    base.stats.andOps = 90;
+    base.stats.moveOps = 10;
+    base.stats.noops = 50;
+    RunResult noMask;
+    noMask.stats.total = 943;
+    noMask.stats.andOps = 5;
+    noMask.stats.moveOps = 22;
+    noMask.stats.noops = 60;
+    auto d = figure2Data(base, noMask);
+    EXPECT_NEAR(d.andOps, 8.5, 1e-9);
+    EXPECT_NEAR(d.moveOps, -1.2, 1e-9);
+    EXPECT_NEAR(d.noops, -1.0, 1e-9);
+    EXPECT_NEAR(d.total, 5.7, 1e-9);
+}
+
+TEST(Paper, TablesWellFormed)
+{
+    EXPECT_EQ(paper::table1().size(), 10u);
+    EXPECT_EQ(paper::table2().size(), 7u);
+    EXPECT_EQ(paper::table3().size(), 10u);
+    EXPECT_EQ(paper::figure1().size(), 4u);
+    EXPECT_EQ(paper::figure2().size(), 5u);
+
+    // Table 1's published average.
+    double sum = 0;
+    for (const auto &row : paper::table1())
+        sum += row.total;
+    EXPECT_NEAR(sum / 10.0, paper::table1Average, 0.05);
+
+    // Table 2 row 7 dominates rows 1-6 in the checking column.
+    for (size_t i = 0; i + 1 < paper::table2().size(); ++i) {
+        EXPECT_LE(paper::table2()[i].withChecking,
+                  paper::table2().back().withChecking);
+    }
+}
+
+TEST(Paper, KeyConstants)
+{
+    EXPECT_EQ(paper::genericAddCyclesBiased, 10);
+    EXPECT_EQ(paper::genericAddCyclesSumCheck, 4);
+    EXPECT_NEAR(paper::figure2TotalSpeedup, 5.7, 1e-9);
+}
+
+} // namespace
+} // namespace mxl

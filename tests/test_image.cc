@@ -1,0 +1,163 @@
+/**
+ * Runtime layout and memory-image builder tests: symbol blocks,
+ * interning, quoted constants, the GC root list, and the runtime cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/image.h"
+#include "sexpr/reader.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+class ImageTest : public ::testing::TestWithParam<SchemeKind>
+{
+  protected:
+    ImageTest()
+        : opts(), layout(RuntimeLayout::compute(opts)),
+          scheme(makeScheme(GetParam())), image(layout, *scheme)
+    {
+    }
+
+    CompilerOptions opts;
+    RuntimeLayout layout;
+    std::unique_ptr<TagScheme> scheme;
+    ImageBuilder image;
+    SxArena arena;
+};
+
+TEST_P(ImageTest, LayoutIsSane)
+{
+    EXPECT_LT(layout.staticBase, layout.staticLimit);
+    EXPECT_LE(layout.staticLimit, layout.heapABase);
+    EXPECT_EQ(layout.heapABase % 8, 0u);
+    EXPECT_EQ(layout.heapBBase, layout.heapABase + layout.heapBytes);
+    EXPECT_LT(layout.heapBBase + layout.heapBytes, layout.stackTop);
+    EXPECT_EQ(layout.stackTop % 8, 0u);
+}
+
+TEST_P(ImageTest, NilAndTExistWithSelfValues)
+{
+    uint32_t nilAddr = image.symbolAddr("nil");
+    uint32_t nilWord = image.symbolWord("nil");
+    EXPECT_EQ(scheme->detagAddr(nilWord), nilAddr);
+    EXPECT_EQ(image.getWord(nilAddr + symoff::value), nilWord);
+    uint32_t tWord = image.symbolWord("t");
+    EXPECT_EQ(image.getWord(scheme->detagAddr(tWord) + symoff::value),
+              tWord);
+}
+
+TEST_P(ImageTest, SymbolsInternOnce)
+{
+    uint32_t a1 = image.symbolAddr("foo");
+    uint32_t a2 = image.symbolAddr("foo");
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(image.symbolAddr("bar"), a1);
+    EXPECT_EQ(a1 % scheme->alignment(TypeId::Symbol), 0u);
+}
+
+TEST_P(ImageTest, SymbolBlockLayout)
+{
+    uint32_t a = image.symbolAddr("widget");
+    // header: length 5 block, symbol subtype
+    EXPECT_EQ(image.getWord(a + symoff::header), (5u << 3) | SubtSymbol);
+    // name: a string whose chars spell the name
+    uint32_t nameWord = image.getWord(a + symoff::name);
+    uint32_t nameAddr = scheme->detagAddr(nameWord);
+    EXPECT_EQ(image.getWord(nameAddr), (6u << 3) | SubtString);
+    EXPECT_EQ(image.getWord(nameAddr + 4), uint32_t{'w'});
+    EXPECT_EQ(image.getWord(nameAddr + 24), uint32_t{'t'});
+    // fresh symbol: value/plist nil, function cell -> instruction 0
+    EXPECT_EQ(image.getWord(a + symoff::value), image.symbolWord("nil"));
+    EXPECT_EQ(image.getWord(a + symoff::fn), 0u);
+}
+
+TEST_P(ImageTest, StringsInternByContent)
+{
+    EXPECT_EQ(image.stringWord("abc"), image.stringWord("abc"));
+    EXPECT_NE(image.stringWord("abc"), image.stringWord("abd"));
+}
+
+TEST_P(ImageTest, QuotedConstantsBuildStructure)
+{
+    Sx *form = readOne(arena, "(1 (two) . 3)");
+    uint32_t w = image.constWord(form);
+    uint32_t addr = scheme->detagAddr(w);
+    EXPECT_EQ(scheme->primaryTag(w), scheme->pointerTag(TypeId::Pair));
+    // car = fixnum 1
+    EXPECT_EQ(image.getWord(addr), scheme->encodeFixnum(1));
+    // cdr = ((two) . 3)
+    uint32_t cdr = image.getWord(addr + 4);
+    uint32_t cdrAddr = scheme->detagAddr(cdr);
+    uint32_t cadr = image.getWord(cdrAddr);
+    EXPECT_EQ(image.getWord(scheme->detagAddr(cadr)),
+              image.symbolWord("two"));
+    EXPECT_EQ(image.getWord(cdrAddr + 4), scheme->encodeFixnum(3));
+}
+
+TEST_P(ImageTest, ConstantsMemoizedByNode)
+{
+    Sx *form = readOne(arena, "(a b)");
+    EXPECT_EQ(image.constWord(form), image.constWord(form));
+}
+
+TEST_P(ImageTest, FinalizeWritesCellsAndRoots)
+{
+    image.symbolAddr("extra1");
+    image.symbolAddr("extra2");
+    int syms = image.numSymbols();
+    Memory mem = image.finalize();
+
+    EXPECT_EQ(mem.load(layout.cellAddr(Cell::FromLo)), layout.heapABase);
+    EXPECT_EQ(mem.load(layout.cellAddr(Cell::FromHi)),
+              layout.heapABase + layout.heapBytes);
+    EXPECT_EQ(mem.load(layout.cellAddr(Cell::ToLo)), layout.heapBBase);
+    EXPECT_EQ(mem.load(layout.cellAddr(Cell::StackTop)), layout.stackTop);
+    EXPECT_EQ(mem.load(layout.cellAddr(Cell::GcCount)), 0u);
+
+    // Two root cells (value + plist) per symbol.
+    uint32_t count = mem.load(layout.cellAddr(Cell::RootCount));
+    EXPECT_EQ(count, static_cast<uint32_t>(2 * syms));
+    uint32_t rootBase = mem.load(layout.cellAddr(Cell::RootBase));
+    EXPECT_EQ(rootBase, layout.rootBase);
+    // Every listed root must be a static cell address.
+    for (uint32_t i = 0; i < count; ++i) {
+        uint32_t cell = mem.load(rootBase + 4 * i);
+        EXPECT_GE(cell, layout.staticBase);
+        EXPECT_LT(cell, layout.staticLimit);
+    }
+}
+
+TEST_P(ImageTest, StaticExhaustionIsFatal)
+{
+    EXPECT_THROW(image.allocStatic(1u << 30, 8), MxlError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ImageTest,
+    ::testing::Values(SchemeKind::High5, SchemeKind::High6,
+                      SchemeKind::Low2, SchemeKind::Low3),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return schemeKindName(info.param);
+    });
+
+TEST(Layout, RejectsImpossibleConfigurations)
+{
+    CompilerOptions opts;
+    opts.memBytes = 1u << 20;  // 1 MiB total
+    opts.heapBytes = 4u << 20; // but 4 MiB semispaces
+    EXPECT_THROW(RuntimeLayout::compute(opts), MxlError);
+}
+
+TEST(Layout, CellAddressesAreDistinct)
+{
+    CompilerOptions opts;
+    RuntimeLayout l = RuntimeLayout::compute(opts);
+    EXPECT_EQ(l.cellAddr(Cell::FromLo) + 4, l.cellAddr(Cell::FromHi));
+    EXPECT_LT(l.cellAddr(Cell::HeapUsed), l.rootBase);
+}
+
+} // namespace
+} // namespace mxl

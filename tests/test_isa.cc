@@ -1,0 +1,234 @@
+/** Tests for the MX ISA: opcode metadata, assembler, disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+#include "isa/opcode.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+TEST(Opcode, Names)
+{
+    EXPECT_EQ(opcodeName(Opcode::Add), "add");
+    EXPECT_EQ(opcodeName(Opcode::Ldt), "ldt");
+    EXPECT_EQ(opcodeName(Opcode::Bntag), "bntag");
+    EXPECT_EQ(opcodeName(Opcode::Beqi), "beqi");
+    EXPECT_EQ(opcodeName(Opcode::Sys), "sys");
+}
+
+TEST(Opcode, Classes)
+{
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::Alu);
+    EXPECT_EQ(opClass(Opcode::Addi), OpClass::AluImm);
+    EXPECT_EQ(opClass(Opcode::Mov), OpClass::Move);
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::Stt), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opClass(Opcode::Jal), OpClass::Jump);
+    EXPECT_EQ(opClass(Opcode::Noop), OpClass::Noop);
+}
+
+TEST(Opcode, Cycles)
+{
+    EXPECT_EQ(opCycles(Opcode::Add), 1);
+    EXPECT_EQ(opCycles(Opcode::Mul), 4);
+    EXPECT_EQ(opCycles(Opcode::Div), 12);
+    EXPECT_EQ(opCycles(Opcode::Rem), 12);
+    EXPECT_EQ(opCycles(Opcode::Ld), 1);
+}
+
+TEST(Opcode, BranchPredicates)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_TRUE(isCondBranch(Opcode::Btag));
+    EXPECT_TRUE(isCondBranch(Opcode::Beqi));
+    EXPECT_FALSE(isCondBranch(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::Jalr));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_FALSE(isControl(Opcode::Sys));
+}
+
+TEST(Instruction, ReadWriteRegs)
+{
+    Instruction i;
+    i.op = Opcode::Add;
+    i.rd = 1;
+    i.rs = 2;
+    i.rt = 3;
+    Reg r[3];
+    int n;
+    i.readRegs(r, n);
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[1], 3);
+    EXPECT_EQ(i.writeReg(), 1);
+
+    i.op = Opcode::St;
+    i.readRegs(r, n);
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(i.writeReg(), -1);
+
+    i.op = Opcode::Beq;
+    EXPECT_EQ(i.writeReg(), -1);
+
+    i.op = Opcode::Jal;
+    EXPECT_EQ(i.writeReg(), 1);
+    i.readRegs(r, n);
+    EXPECT_EQ(n, 0);
+}
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        main:
+            li r2, 42
+            addi r1, r2, -2
+            sys halt, r1
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.symbol("main"), 0);
+    EXPECT_EQ(p.code[0].op, Opcode::Li);
+    EXPECT_EQ(p.code[0].imm, 42);
+    EXPECT_EQ(p.code[1].imm, -2);
+}
+
+TEST(Assembler, LabelsResolve)
+{
+    Program p = assemble(R"(
+        start:
+            beq r1, r2, done
+            noop
+            noop
+        done:
+            sys halt, r0
+    )");
+    EXPECT_EQ(p.code[0].target, 3);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Program p = assemble(R"(
+        top:
+            bne r1, r0, top
+            noop
+            noop
+            j fwd
+            noop
+            noop
+        fwd:
+            sys halt, r0
+    )");
+    EXPECT_EQ(p.code[0].target, 0);
+    EXPECT_EQ(p.code[3].target, 6);
+}
+
+TEST(Assembler, AnnulSuffixes)
+{
+    Program p = assemble(R"(
+        l:  beq.t r1, r2, l
+            noop
+            noop
+            beq.nt r1, r2, l
+            noop
+            noop
+    )");
+    EXPECT_EQ(p.code[0].annul, Annul::OnTaken);
+    EXPECT_EQ(p.code[3].annul, Annul::OnNotTaken);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble("ld r3, 8(r2)\nst r3, -4(r5)\n");
+    EXPECT_EQ(p.code[0].op, Opcode::Ld);
+    EXPECT_EQ(p.code[0].rd, 3);
+    EXPECT_EQ(p.code[0].rs, 2);
+    EXPECT_EQ(p.code[0].imm, 8);
+    EXPECT_EQ(p.code[1].rt, 3);
+    EXPECT_EQ(p.code[1].rs, 5);
+    EXPECT_EQ(p.code[1].imm, -4);
+}
+
+TEST(Assembler, CheckedMemory)
+{
+    Program p = assemble("ldt r3, 0(r2), 9\nstt r3, 4(r2), 13\n");
+    EXPECT_EQ(p.code[0].timm, 9u);
+    EXPECT_EQ(p.code[1].timm, 13u);
+}
+
+TEST(Assembler, TagBranches)
+{
+    Program p = assemble("l: btag r2, 9, l\nnoop\nnoop\n");
+    EXPECT_EQ(p.code[0].op, Opcode::Btag);
+    EXPECT_EQ(p.code[0].timm, 9u);
+}
+
+TEST(Assembler, SysMnemonics)
+{
+    Program p = assemble(
+        "sys halt, r1\nsys putchar, r2\nsys putfixraw, r3\n"
+        "sys putfix, r4\nsys error, r5\n");
+    EXPECT_EQ(p.code[0].imm, static_cast<int>(SysCode::Halt));
+    EXPECT_EQ(p.code[1].imm, static_cast<int>(SysCode::PutChar));
+    EXPECT_EQ(p.code[2].imm, static_cast<int>(SysCode::PutFixRaw));
+    EXPECT_EQ(p.code[3].imm, static_cast<int>(SysCode::PutFix));
+    EXPECT_EQ(p.code[4].imm, static_cast<int>(SysCode::Error));
+}
+
+TEST(Assembler, Comments)
+{
+    Program p = assemble("; full line\nadd r1, r2, r3 ; trailing\n");
+    EXPECT_EQ(p.code.size(), 1u);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("frobnicate r1, r2"), MxlError);
+    EXPECT_THROW(assemble("add r1, r2"), MxlError);       // missing op
+    EXPECT_THROW(assemble("add r1, r2, r99"), MxlError);  // bad reg
+    EXPECT_THROW(assemble("l: noop\nl: noop"), MxlError); // dup label
+    EXPECT_THROW(assemble("j nowhere"), MxlError);        // undefined
+}
+
+TEST(Disassembler, RoundTripText)
+{
+    const char *src = R"(
+        f:
+            li r2, 7
+            add r1, r2, r2
+            ld r3, 4(r1)
+            beq r3, r0, f
+            noop
+            noop
+            jal r31, f
+            noop
+            noop
+            jr r31
+            noop
+            noop
+            sys halt, r1
+    )";
+    Program p1 = assemble(src);
+    std::string text = disassemble(p1);
+    EXPECT_NE(text.find("add r1, r2, r2"), std::string::npos);
+    EXPECT_NE(text.find("ld r3, 4(r1)"), std::string::npos);
+    EXPECT_NE(text.find("jal r31, f"), std::string::npos);
+}
+
+TEST(Disassembler, SingleInstruction)
+{
+    Instruction i;
+    i.op = Opcode::Andi;
+    i.rd = 5;
+    i.rs = 6;
+    i.imm = 7;
+    EXPECT_EQ(disassemble(i), "andi r5, r6, 7");
+    i.op = Opcode::Mov;
+    EXPECT_EQ(disassemble(i), "mov r5, r6");
+}
+
+} // namespace
+} // namespace mxl

@@ -1,0 +1,141 @@
+/**
+ * Standard-library behaviour (src/runtime/lisplib.cc): the Lisp-level
+ * utilities every benchmark leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+std::string
+lib(const std::string &src, Checking chk = Checking::Off)
+{
+    CompilerOptions opts;
+    opts.checking = chk;
+    auto r = compileAndRun(src, opts, 100'000'000);
+    EXPECT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    return r.output;
+}
+
+TEST(LispLib, PrintForms)
+{
+    EXPECT_EQ(lib("(print nil)"), "nil\n");
+    EXPECT_EQ(lib("(print '(1 . 2))"), "(1 . 2)\n");
+    EXPECT_EQ(lib("(print '(1 2 . 3))"), "(1 2 . 3)\n");
+    EXPECT_EQ(lib("(print \"str\")"), "\"str\"\n");
+    EXPECT_EQ(lib("(let ((v (mkvect 3))) (putv v 1 'x) (print v))"),
+              "[nil x nil]\n");
+    EXPECT_EQ(lib("(print '())"), "nil\n");
+    // print returns its argument
+    EXPECT_EQ(lib("(print (print 5))"), "5\n5\n");
+}
+
+TEST(LispLib, Terpri)
+{
+    EXPECT_EQ(lib("(putfixnum 1) (terpri) (putfixnum 2)"), "1\n2");
+}
+
+TEST(LispLib, ListFunctions)
+{
+    EXPECT_EQ(lib("(print (length nil))"), "0\n");
+    EXPECT_EQ(lib("(print (append nil '(1)))"), "(1)\n");
+    EXPECT_EQ(lib("(print (append '(1) nil))"), "(1)\n");
+    EXPECT_EQ(lib("(print (reverse nil))"), "nil\n");
+    EXPECT_EQ(lib("(print (memq 'z '(a b)))"), "nil\n");
+    EXPECT_EQ(lib("(print (member '(1) '((0) (1) (2))))"),
+              "((1) (2))\n");
+    EXPECT_EQ(lib("(print (assq 'z '((a . 1))))"), "nil\n");
+    EXPECT_EQ(lib("(print (nthcdr '(a b c d) 2))"), "(c d)\n");
+    EXPECT_EQ(lib("(print (copy-list '(1 2 3)))"), "(1 2 3)\n");
+    EXPECT_EQ(lib("(print (delq 'b '(a b c b)))"), "(a c)\n");
+}
+
+TEST(LispLib, CopyListIsFresh)
+{
+    EXPECT_EQ(lib(R"(
+        (let* ((orig '(1 2 3)) (copy (copy-list orig)))
+          (print (eq orig copy))
+          (print (equal orig copy)))
+    )"), "nil\nt\n");
+}
+
+TEST(LispLib, NconcMutates)
+{
+    EXPECT_EQ(lib(R"(
+        (let ((a (list 1 2)))
+          (nconc a (list 3))
+          (print a))
+    )"), "(1 2 3)\n");
+    EXPECT_EQ(lib("(print (nconc nil (list 1)))"), "(1)\n");
+}
+
+TEST(LispLib, EqualSemantics)
+{
+    EXPECT_EQ(lib("(print (equal \"a\" \"a\"))"), "t\n"); // interned
+    EXPECT_EQ(lib("(print (equal 5 '(5)))"), "nil\n");
+    EXPECT_EQ(lib("(print (equal nil nil))"), "t\n");
+}
+
+TEST(LispLib, NumericHelpers)
+{
+    EXPECT_EQ(lib("(print (gcd 0 5))"), "5\n");
+    EXPECT_EQ(lib("(print (gcd -12 18))"), "6\n");
+    EXPECT_EQ(lib("(print (expt 3 0))"), "1\n");
+    EXPECT_EQ(lib("(print (evenp 4))"), "t\n");
+    EXPECT_EQ(lib("(print (evenp 7))"), "nil\n");
+    EXPECT_EQ(lib("(print (abs 0))"), "0\n");
+}
+
+TEST(LispLib, RandomIsDeterministicAndBounded)
+{
+    std::string out = lib(R"(
+        (seed-random 42)
+        (let ((i 0) (ok t))
+          (while (lessp i 200)
+            (let ((r (random 10)))
+              (if (or (minusp r) (geq r 10)) (setq ok nil) nil))
+            (setq i (add1 i)))
+          (print ok))
+        (seed-random 42)
+        (print (random 1000))
+        (seed-random 42)
+        (print (random 1000))
+    )");
+    // Bounded, and identical for identical seeds.
+    auto firstNl = out.find('\n');
+    EXPECT_EQ(out.substr(0, firstNl), "t");
+    auto rest = out.substr(firstNl + 1);
+    auto mid = rest.find('\n');
+    EXPECT_EQ(rest.substr(0, mid), rest.substr(mid + 1, mid));
+}
+
+TEST(LispLib, PropertyListEdgeCases)
+{
+    EXPECT_EQ(lib(R"(
+        (put 'p 'a 1) (put 'p 'b 2) (put 'p 'c 3)
+        (remprop 'p 'b)
+        (print (get 'p 'a))
+        (print (get 'p 'b))
+        (print (get 'p 'c))
+        (print (length (plist 'p)))
+    )"), "1\nnil\n3\n2\n");
+    // put returns the value; get of missing prop is nil.
+    EXPECT_EQ(lib("(print (put 'q 'k 9))"), "9\n");
+    EXPECT_EQ(lib("(print (get 'fresh-symbol 'anything))"), "nil\n");
+}
+
+TEST(LispLib, LibraryWorksUnderFullChecking)
+{
+    EXPECT_EQ(lib(R"(
+        (print (append (reverse '(3 2 1)) '(4)))
+        (print (gcd 48 36))
+        (print (assoc 2 '((1 . a) (2 . b))))
+    )", Checking::Full),
+              "(1 2 3 4)\n12\n(2 . b)\n");
+}
+
+} // namespace
+} // namespace mxl

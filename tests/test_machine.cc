@@ -1,0 +1,447 @@
+/**
+ * Tests for the MX machine: instruction semantics, delay slots,
+ * squashing, the load interlock, traps, and cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "machine/machine.h"
+#include "support/panic.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+namespace {
+
+/** Assemble and run; returns the machine for inspection. */
+struct MRun
+{
+    Program prog;
+    Machine m;
+
+    MRun(const std::string &src, HardwareConfig hw = {},
+        const TagScheme *scheme = nullptr, uint32_t memBytes = 1 << 16)
+        : prog(assemble(src)), m(prog, Memory(memBytes), hw, scheme)
+    {
+    }
+
+    StopReason go(const char *entry = "main") { return m.run(prog.symbol(entry)); }
+};
+
+TEST(Machine, AluOps)
+{
+    MRun r(R"(
+        main:
+            li r2, 21
+            li r3, 4
+            add r4, r2, r3
+            sub r5, r2, r3
+            and r6, r2, r3
+            or r7, r2, r3
+            xor r8, r2, r3
+            mul r9, r2, r3
+            div r10, r2, r3
+            rem r11, r2, r3
+            sys halt, r0
+    )");
+    EXPECT_EQ(r.go(), StopReason::Halted);
+    EXPECT_EQ(r.m.reg(4), 25u);
+    EXPECT_EQ(r.m.reg(5), 17u);
+    EXPECT_EQ(r.m.reg(6), 4u);
+    EXPECT_EQ(r.m.reg(7), 21u); // 10101 | 00100 == 10101
+    EXPECT_EQ(r.m.reg(8), 17u);
+    EXPECT_EQ(r.m.reg(9), 84u);
+    EXPECT_EQ(r.m.reg(10), 5u);
+    EXPECT_EQ(r.m.reg(11), 1u);
+}
+
+TEST(Machine, ShiftOps)
+{
+    MRun r(R"(
+        main:
+            li r2, -8
+            slli r3, r2, 1
+            srli r4, r2, 1
+            srai r5, r2, 1
+            li r6, 2
+            sll r7, r2, r6
+            sra r8, r2, r6
+            sys halt, r0
+    )");
+    r.go();
+    EXPECT_EQ(static_cast<int32_t>(r.m.reg(3)), -16);
+    EXPECT_EQ(r.m.reg(4), 0x7ffffffcu);
+    EXPECT_EQ(static_cast<int32_t>(r.m.reg(5)), -4);
+    EXPECT_EQ(static_cast<int32_t>(r.m.reg(7)), -32);
+    EXPECT_EQ(static_cast<int32_t>(r.m.reg(8)), -2);
+}
+
+TEST(Machine, DivByZeroErrors)
+{
+    MRun r("main:\n li r2, 1\n div r3, r2, r0\n sys halt, r0\n");
+    EXPECT_EQ(r.go(), StopReason::Errored);
+    EXPECT_EQ(r.m.errorCode(), 2000);
+}
+
+TEST(Machine, LoadStore)
+{
+    MRun r(R"(
+        main:
+            li r2, 0x100
+            li r3, 1234
+            st r3, 8(r2)
+            ld r4, 8(r2)
+            sys halt, r4
+    )");
+    EXPECT_EQ(r.go(), StopReason::Halted);
+    EXPECT_EQ(r.m.exitValue(), 1234u);
+}
+
+TEST(Machine, WordAddressedMemoryDropsLowBits)
+{
+    // The bottom two bits of every effective address are ignored.
+    MRun r(R"(
+        main:
+            li r2, 0x102
+            li r3, 77
+            st r3, 0(r2)
+            ld r4, -2(r2)
+            sys halt, r4
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 77u);
+}
+
+TEST(Machine, BranchTakenSkips)
+{
+    MRun r(R"(
+        main:
+            li r2, 5
+            li r3, 5
+            beq r2, r3, eq
+            noop
+            noop
+            li r1, 1
+            sys halt, r1
+        eq:
+            li r1, 2
+            sys halt, r1
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 2u);
+}
+
+TEST(Machine, DelaySlotsAlwaysExecuteWhenNotSquashing)
+{
+    MRun r(R"(
+        main:
+            li r2, 1
+            beq r0, r0, over    ; taken
+            li r2, 42           ; delay slot: executes anyway
+            noop
+        over:
+            sys halt, r2
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 42u);
+}
+
+TEST(Machine, SquashOnTakenAnnulsSlots)
+{
+    MRun r(R"(
+        main:
+            li r2, 1
+            beq.t r0, r0, over  ; taken -> slots annulled
+            li r2, 42
+            noop
+        over:
+            sys halt, r2
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 1u);
+    EXPECT_EQ(r.m.stats().squashed, 2u);
+}
+
+TEST(Machine, SquashOnNotTakenAnnulsSlots)
+{
+    MRun r(R"(
+        main:
+            li r2, 1
+            li r3, 2
+            beq.nt r2, r3, nowhere  ; not taken -> slots annulled
+            li r2, 42
+            noop
+            sys halt, r2
+        nowhere:
+            sys halt, r0
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 1u);
+    EXPECT_EQ(r.m.stats().squashed, 2u);
+}
+
+TEST(Machine, CompareImmediateBranches)
+{
+    MRun r(R"(
+        main:
+            li r2, 9
+            beqi r2, 9, yes
+            noop
+            noop
+            sys halt, r0
+        yes:
+            bnei r2, 5, done
+            noop
+            noop
+            sys halt, r0
+        done:
+            li r1, 3
+            sys halt, r1
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 3u);
+}
+
+TEST(Machine, JalAndJrLinkProperly)
+{
+    MRun r(R"(
+        main:
+            jal r31, sub
+            noop
+            noop
+            sys halt, r1        ; after return
+        sub:
+            li r1, 99
+            jr r31
+            noop
+            noop
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 99u);
+}
+
+TEST(Machine, JalrThroughRegister)
+{
+    MRun r(R"(
+        main:
+            li r5, 28           ; byte address of instruction 7 (sub)
+            jalr r31, r5
+            noop
+            noop
+            sys halt, r1
+            noop
+            noop
+        sub:
+            li r1, 7
+            jr r31
+            noop
+            noop
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 7u);
+}
+
+TEST(Machine, LoadDelayStallCounted)
+{
+    MRun r(R"(
+        main:
+            li r2, 0x100
+            li r3, 5
+            st r3, 0(r2)
+            ld r4, 0(r2)
+            add r5, r4, r4      ; uses r4 right away: one stall
+            sys halt, r5
+    )");
+    r.go();
+    EXPECT_EQ(r.m.exitValue(), 10u);
+    EXPECT_EQ(r.m.stats().loadStalls, 1u);
+}
+
+TEST(Machine, NoStallWithScheduledGap)
+{
+    MRun r(R"(
+        main:
+            li r2, 0x100
+            ld r4, 0(r2)
+            li r3, 5            ; fills the load delay
+            add r5, r4, r3
+            sys halt, r5
+    )");
+    r.go();
+    EXPECT_EQ(r.m.stats().loadStalls, 0u);
+}
+
+TEST(Machine, CycleAccountingSums)
+{
+    MRun r(R"(
+        main:
+            li r2, 3
+            li r3, 4
+            mul r4, r2, r3      ; multi-cycle
+            sys halt, r4
+    )");
+    r.go();
+    // li + li + mul(4) + sys = 1+1+4+1
+    EXPECT_EQ(r.m.stats().total, 7u);
+    EXPECT_EQ(r.m.stats().instructions, 4u);
+}
+
+TEST(Machine, OutputSyscalls)
+{
+    MRun r(R"(
+        main:
+            li r2, 72
+            sys putchar, r2
+            li r2, 105
+            sys putchar, r2
+            li r2, -42
+            sys putfixraw, r2
+            sys halt, r0
+    )");
+    r.go();
+    EXPECT_EQ(r.m.output(), "Hi-42");
+}
+
+TEST(Machine, PutFixDecodesThroughScheme)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    Program p = assemble(R"(
+        main:
+            li r2, -40          ; low-tag representation of -10
+            sys putfix, r2
+            sys halt, r0
+    )");
+    Machine m(p, Memory(4096), {}, scheme.get());
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.output(), "-10");
+}
+
+TEST(Machine, HardwareGatingPanics)
+{
+    // ldt without checked-memory hardware is an illegal program.
+    auto scheme = makeScheme(SchemeKind::High5);
+    Program p = assemble("main:\n ldt r3, 0(r2), 9\n sys halt, r0\n");
+    Machine m(p, Memory(4096), {}, scheme.get());
+    EXPECT_THROW(m.run(p.symbol("main")), MxlError);
+}
+
+TEST(Machine, HardwareWithoutSchemePanics)
+{
+    Program p = assemble("main:\n sys halt, r0\n");
+    HardwareConfig hw;
+    hw.branchOnTag = true;
+    EXPECT_THROW(Machine(p, Memory(4096), hw, nullptr), MxlError);
+}
+
+TEST(Machine, BtagComparesTagField)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.branchOnTag = true;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            btag r2, 9, ispair
+            noop
+            noop
+            sys halt, r0
+        ispair:
+            li r1, 1
+            sys halt, r1
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.exitValue(), 1u);
+}
+
+TEST(Machine, CheckedLoadTrapsOnWrongTag)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.checkedMemory = CheckedMem::All;
+    uint32_t vecWord = scheme->encodePointer(TypeId::Vector, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", vecWord, R"(
+            ldt r3, 0(r2), 9     ; expects a pair: traps
+            sys halt, r0
+        handler:
+            li r1, 55
+            sys halt, r1
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.setTrapHandler(TrapKind::TagMismatch, p.symbol("handler"));
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.exitValue(), 55u);
+    // Operand details latched for the handler.
+    EXPECT_EQ(m.reg(abi::trapA), vecWord);
+    EXPECT_EQ(m.reg(abi::trapB), 9u);
+}
+
+TEST(Machine, AddtComputesAndTraps)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.genericArith = true;
+    Program p = assemble(R"(
+        main:
+            li r2, 20
+            li r3, 22
+            addt r1, r2, r3
+            sys halt, r1
+    )");
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.exitValue(), 42u);
+
+    // Overflow traps with no handler -> error stop.
+    Program p2 = assemble(strcat(R"(
+        main:
+            li r2, )", (1 << 26) - 1, R"(
+            addt r1, r2, r2
+            sys halt, r1
+    )"));
+    Machine m2(p2, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m2.run(p2.symbol("main")), StopReason::Errored);
+}
+
+TEST(Machine, IgnoreTagOnMemoryMasksAddresses)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.ignoreTagOnMemory = true;
+    uint32_t tagged = scheme->encodePointer(TypeId::Pair, 0x100);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, 77
+            li r3, )", tagged, R"(
+            st r2, 0(r3)        ; tag dropped by hardware
+            ld r4, 0(r3)
+            sys halt, r4
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.exitValue(), 77u);
+}
+
+TEST(Machine, CycleLimitStops)
+{
+    MRun r("main:\n j main\n noop\n noop\n");
+    EXPECT_EQ(r.m.run(r.prog.symbol("main"), 100), StopReason::CycleLimit);
+}
+
+TEST(Machine, ErrorContextInPanics)
+{
+    MRun r("main:\n li r2, -64\n ld r3, 0(r2)\n sys halt, r0\n");
+    try {
+        r.go();
+        FAIL() << "expected out-of-bounds";
+    } catch (const MxlError &e) {
+        EXPECT_NE(std::string(e.what()).find("near 'main'"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mxl

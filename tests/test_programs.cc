@@ -1,0 +1,149 @@
+/**
+ * The ten benchmark programs: golden outputs, determinism, and
+ * checking-mode agreement. These are the paper's workload (Appendix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/run.h"
+#include "programs/programs.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+const std::map<std::string, std::string> &
+goldenOutputs()
+{
+    static const std::map<std::string, std::string> golden = {
+        {"inter",
+         "55\n(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19)\n"
+         "144\n"},
+        {"deduce", "1425\n2\n(grandparent adam enoch)\n"},
+        {"dedgc", "3420\n2\n(grandparent adam enoch)\n"},
+        {"comp", "11760\n13\n5\n"},
+        {"opt", "851469\n"},
+        {"frl",
+         "552400\n220\nyard\n(bolts1 lathe1 wrench1 screws1 nails2 "
+         "sander1 drill2 drill1 saw1 hammer2 hammer1)\n7\n"},
+        {"boyer",
+         "t\n4\n(if (equal a (zero)) (if (equal b (zero)) (if (equal "
+         "(zero) (zero)) (if (t) (t) (f)) (if (f) (t) (f))) (if (f) "
+         "(t) (f))) (f))\n"},
+        {"brow", "4880\n5\nt\n"},
+        {"trav", "6000\n60\n5\n"},
+    };
+    return golden;
+}
+
+class ProgramTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchmarkProgram &prog() { return programByName(GetParam()); }
+};
+
+TEST_P(ProgramTest, RunsAndMatchesGolden)
+{
+    const auto &p = prog();
+    CompilerOptions opts;
+    opts.heapBytes = p.heapBytes;
+    auto r = compileAndRun(p.source, opts, p.maxCycles);
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    auto it = goldenOutputs().find(p.name);
+    if (it != goldenOutputs().end())
+        EXPECT_EQ(r.output, it->second);
+    else
+        EXPECT_FALSE(r.output.empty());
+}
+
+TEST_P(ProgramTest, CheckingModeAgrees)
+{
+    const auto &p = prog();
+    CompilerOptions off;
+    off.heapBytes = p.heapBytes;
+    CompilerOptions full = off;
+    full.checking = Checking::Full;
+    auto ro = compileAndRun(p.source, off, p.maxCycles);
+    auto rf = compileAndRun(p.source, full, p.maxCycles);
+    ASSERT_EQ(ro.stop, StopReason::Halted);
+    ASSERT_EQ(rf.stop, StopReason::Halted);
+    EXPECT_EQ(ro.output, rf.output);
+    EXPECT_GT(rf.stats.total, ro.stats.total)
+        << "checking must cost cycles";
+}
+
+TEST_P(ProgramTest, DeterministicAcrossRuns)
+{
+    const auto &p = prog();
+    CompilerOptions opts;
+    opts.heapBytes = p.heapBytes;
+    auto a = compileAndRun(p.source, opts, p.maxCycles);
+    auto b = compileAndRun(p.source, opts, p.maxCycles);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.stats.total, b.stats.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTen, ProgramTest,
+    ::testing::Values("inter", "deduce", "dedgc", "rat", "comp", "opt",
+                      "frl", "boyer", "brow", "trav"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Programs, RegistryComplete)
+{
+    const auto &all = benchmarkPrograms();
+    ASSERT_EQ(all.size(), 10u);
+    EXPECT_EQ(all[0].name, "inter");
+    EXPECT_EQ(all[9].name, "trav");
+    EXPECT_THROW(programByName("nope"), MxlError);
+}
+
+TEST(Programs, DedgcSpendsHalfItsTimeInTheCollector)
+{
+    // Appendix: "The program spends about 50% of its time in the
+    // garbage collector." Estimate GC share by comparing against the
+    // same program with a heap big enough to never collect.
+    const auto &dedgc = programByName("dedgc");
+    CompilerOptions small;
+    small.heapBytes = dedgc.heapBytes;
+    auto rs = compileAndRun(dedgc.source, small, dedgc.maxCycles);
+    CompilerOptions big;
+    big.heapBytes = 8u << 20;
+    auto rb = compileAndRun(dedgc.source, big, dedgc.maxCycles);
+    ASSERT_GT(rs.gcCount, 10u);
+    EXPECT_EQ(rb.gcCount, 0u);
+    double share = 100.0 *
+        (static_cast<double>(rs.stats.total) -
+         static_cast<double>(rb.stats.total)) /
+        static_cast<double>(rs.stats.total);
+    EXPECT_GT(share, 35.0);
+    EXPECT_LT(share, 65.0);
+}
+
+TEST(Programs, RatOutputStable)
+{
+    const auto &rat = programByName("rat");
+    CompilerOptions opts;
+    auto r = compileAndRun(rat.source, opts, rat.maxCycles);
+    ASSERT_EQ(r.stop, StopReason::Halted);
+    // Spot checks: telescoping sum and golden-ratio convergent.
+    EXPECT_NE(r.output.find("(40 . 41)"), std::string::npos);
+    EXPECT_NE(r.output.find("(987 . 610)"), std::string::npos);
+    EXPECT_NE(r.output.find("t\n"), std::string::npos);
+}
+
+TEST(Programs, BoyerProvesTheTautology)
+{
+    const auto &boyer = programByName("boyer");
+    CompilerOptions opts;
+    auto r = compileAndRun(boyer.source, opts, boyer.maxCycles);
+    ASSERT_EQ(r.stop, StopReason::Halted);
+    EXPECT_EQ(r.output.substr(0, 2), "t\n");
+}
+
+} // namespace
+} // namespace mxl

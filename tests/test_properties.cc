@@ -1,0 +1,210 @@
+/**
+ * Property suites: invariants that must hold across the whole
+ * measurement space (cycle accounting consistency, encode/decode
+ * sweeps, cross-configuration output equality).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/experiment.h"
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+// ---- tag scheme sweeps ---------------------------------------------------
+
+class SchemeSweep : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeSweep, FixnumRoundTripRandomSweep)
+{
+    auto scheme = makeScheme(GetParam());
+    std::mt19937 rng(12345);
+    // Low schemes have the wider range; sweep within the narrowest so
+    // the same values work for all.
+    std::uniform_int_distribution<int64_t> dist(-(1 << 24), (1 << 24));
+    for (int i = 0; i < 20000; ++i) {
+        int64_t v = dist(rng);
+        uint32_t w = scheme->encodeFixnum(v);
+        ASSERT_EQ(scheme->decodeFixnum(w), v);
+        ASSERT_TRUE(scheme->wordIsFixnum(w));
+    }
+}
+
+TEST_P(SchemeSweep, PointerRoundTripSweep)
+{
+    auto scheme = makeScheme(GetParam());
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<uint32_t> dist(1, 1u << 20);
+    for (TypeId t : {TypeId::Pair, TypeId::Symbol, TypeId::Vector,
+                     TypeId::String}) {
+        uint32_t align = scheme->alignment(t);
+        for (int i = 0; i < 2000; ++i) {
+            uint32_t addr = (dist(rng) * align) & ~(align - 1);
+            uint32_t w = scheme->encodePointer(t, addr);
+            ASSERT_EQ(scheme->detagAddr(w), addr);
+            ASSERT_FALSE(scheme->wordIsFixnum(w));
+        }
+    }
+}
+
+TEST_P(SchemeSweep, RepresentationAdditionMatchesValueAddition)
+{
+    auto scheme = makeScheme(GetParam());
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int64_t> dist(-(1 << 22), (1 << 22));
+    for (int i = 0; i < 20000; ++i) {
+        int64_t a = dist(rng);
+        int64_t b = dist(rng);
+        ASSERT_EQ(scheme->encodeFixnum(a) + scheme->encodeFixnum(b),
+                  scheme->encodeFixnum(a + b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSweep,
+    ::testing::Values(SchemeKind::High5, SchemeKind::High6,
+                      SchemeKind::Low2, SchemeKind::Low3),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return schemeKindName(info.param);
+    });
+
+// ---- cycle accounting ------------------------------------------------------
+
+TEST(Accounting, PurposeAndCategoryCyclesSumToTotal)
+{
+    const char *src = R"(
+        (de f (l) (if (null l) 0 (+ (car l) (f (cdr l)))))
+        (print (f '(1 2 3 4 5)))
+        (let ((v (mkvect 3))) (putv v 0 9) (print (getv v 0)))
+    )";
+    for (Checking chk : {Checking::Off, Checking::Full}) {
+        CompilerOptions opts = baselineOptions(chk);
+        auto r = compileAndRun(src, opts, 50'000'000);
+        ASSERT_EQ(r.stop, StopReason::Halted);
+        uint64_t byPurpose = 0;
+        for (int p = 0; p < numPurposes; ++p)
+            byPurpose += r.stats.byPurpose[p][0] + r.stats.byPurpose[p][1];
+        EXPECT_EQ(byPurpose, r.stats.total);
+        uint64_t byCat = 0;
+        for (int c = 0; c < numCheckCats; ++c)
+            byCat += r.stats.byCat[c][0] + r.stats.byCat[c][1];
+        EXPECT_EQ(byCat, r.stats.total);
+    }
+}
+
+TEST(Accounting, NoCheckingCyclesWhenCheckingOff)
+{
+    CompilerOptions opts = baselineOptions(Checking::Off);
+    auto r = compileAndRun("(print (car '(1 2)))", opts);
+    ASSERT_EQ(r.stop, StopReason::Halted);
+    for (int p = 0; p < numPurposes; ++p)
+        EXPECT_EQ(r.stats.byPurpose[p][1], 0u) << p;
+}
+
+TEST(Accounting, InstructionsNeverExceedCycles)
+{
+    CompilerOptions opts = baselineOptions(Checking::Full);
+    auto r = compileAndRun(
+        "(de f (n) (if (zerop n) 0 (+ n (f (sub1 n))))) (print (f 40))",
+        opts);
+    EXPECT_LE(r.stats.instructions, r.stats.total);
+    EXPECT_GT(r.stats.instructions, 0u);
+}
+
+// ---- cross-configuration equality -------------------------------------------
+
+TEST(CrossConfig, OutputInvariantEverywhere)
+{
+    const char *src = R"(
+        (de flat (x acc)
+          (cond ((null x) acc)
+                ((atom x) (cons x acc))
+                (t (flat (car x) (flat (cdr x) acc)))))
+        (print (flat '((1 (2)) (3 (4 (5)))) nil))
+        (print (+ (* 11 13) (quotient 100 7)))
+    )";
+    std::string expected;
+    int configs = 0;
+    auto tryOne = [&](CompilerOptions opts) {
+        auto r = compileAndRun(src, opts, 50'000'000);
+        ASSERT_EQ(r.stop, StopReason::Halted)
+            << opts.describe() << " err=" << r.errorCode;
+        if (expected.empty())
+            expected = r.output;
+        EXPECT_EQ(r.output, expected) << opts.describe();
+        ++configs;
+    };
+    for (Checking chk : {Checking::Off, Checking::Full}) {
+        tryOne(baselineOptions(chk));
+        for (const auto &cfg : table2Configs())
+            tryOne(cfg.withChecking(chk));
+        for (SchemeKind sk : {SchemeKind::High6, SchemeKind::Low2,
+                              SchemeKind::Low3})
+            tryOne(lowTagSoftwareOptions(chk, sk));
+        tryOne(forceDispatchOptions(chk));
+        if (chk == Checking::Full)
+            tryOne(sumCheckOptions(chk));
+    }
+    EXPECT_GE(configs, 25);
+}
+
+TEST(CrossConfig, HardwareNeverChangesCheckedSemantics)
+{
+    // A program that *does* raise a checked error must error under
+    // every hardware config too (trap vs software check).
+    for (const auto &cfg : table2Configs()) {
+        CompilerOptions opts = cfg.withChecking(Checking::Full);
+        auto r = compileAndRun("(car 5)", opts, 10'000'000);
+        EXPECT_EQ(r.stop, StopReason::Errored) << cfg.id;
+    }
+}
+
+// ---- stack/GC safety under stress -------------------------------------------
+
+TEST(Stress, DeepRecursionAndGc)
+{
+    const char *src = R"(
+        (de build (n) (if (zerop n) nil (cons n (build (sub1 n)))))
+        (de sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+        (let ((i 0) (total 0))
+          (while (lessp i 100)
+            (setq total (+ total (sum (build 100))))
+            (setq i (add1 i)))
+          (print total))
+    )";
+    CompilerOptions opts;
+    opts.heapBytes = 6u << 10;
+    auto r = compileAndRun(src, opts, 400'000'000);
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "505000\n");
+    EXPECT_GT(r.gcCount, 5u);
+}
+
+TEST(Stress, GcDuringArgumentEvaluation)
+{
+    // Arguments parked on the stack across allocating calls must be
+    // GC roots (the push/pop discipline).
+    const char *src = R"(
+        (de mk (n) (cons n n))
+        (de three (a b c) (list a b c))
+        (let ((i 0))
+          (while (lessp i 500)
+            (three (mk 1) (mk 2) (mk 3))
+            (setq i (add1 i))))
+        (print (three (mk 7) (mk 8) (mk 9)))
+    )";
+    CompilerOptions opts;
+    opts.heapBytes = 4u << 10;
+    auto r = compileAndRun(src, opts, 200'000'000);
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "((7 . 7) (8 . 8) (9 . 9))\n");
+    EXPECT_GT(r.gcCount, 0u);
+}
+
+} // namespace
+} // namespace mxl

@@ -1,0 +1,182 @@
+/**
+ * Garbage collector tests: the copying collector (written in sys-Lisp
+ * and compiled through the normal pipeline) must preserve the live
+ * object graph across arbitrary churn, under every tag scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+RunResult
+gcRun(const std::string &src, SchemeKind scheme,
+      uint32_t heapBytes = 8u << 10, Checking chk = Checking::Off)
+{
+    CompilerOptions opts;
+    opts.scheme = scheme;
+    opts.checking = chk;
+    opts.heapBytes = heapBytes;
+    return compileAndRun(src, opts, 400'000'000);
+}
+
+class GcTest : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(GcTest, LiveListSurvivesChurn)
+{
+    const char *src = R"(
+        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+        (de sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+        (let ((keep (iota 50)) (i 0))
+          (while (lessp i 400)
+            (iota 30)                ; garbage
+            (setq i (add1 i)))
+          (print (sum keep))
+          (print (length keep)))
+    )";
+    auto r = gcRun(src, GetParam());
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "1275\n50\n");
+    EXPECT_GT(r.gcCount, 0u) << "heap too large for the test to bite";
+}
+
+TEST_P(GcTest, NestedStructuresSurvive)
+{
+    const char *src = R"(
+        (de tree (n) (if (zerop n) 0 (cons (tree (sub1 n)) (tree (sub1 n)))))
+        (de weigh (x) (if (fixp x) 1 (+ (weigh (car x)) (weigh (cdr x)))))
+        (let ((keep (tree 7)) (i 0))
+          (while (lessp i 300)
+            (tree 5)
+            (setq i (add1 i)))
+          (print (weigh keep)))
+    )";
+    auto r = gcRun(src, GetParam());
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "128\n");
+    EXPECT_GT(r.gcCount, 0u);
+}
+
+TEST_P(GcTest, VectorsAndStringsSurvive)
+{
+    const char *src = R"(
+        (de churn (k) (while (greaterp k 0) (mkvect 6) (setq k (sub1 k))))
+        (let ((v (mkvect 5)) (s (mkstring 3)))
+          (putv v 0 'kept)
+          (putv v 1 (cons 1 2))
+          (string-set s 0 79) (string-set s 1 75) (string-set s 2 33)
+          (churn 600)
+          (print (getv v 0))
+          (print (getv v 1))
+          (print s))
+    )";
+    auto r = gcRun(src, GetParam());
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "kept\n(1 . 2)\n\"OK!\"\n");
+    EXPECT_GT(r.gcCount, 0u);
+}
+
+TEST_P(GcTest, GlobalRootsSurvive)
+{
+    const char *src = R"(
+        (de churn (k) (while (greaterp k 0) (cons k k) (setq k (sub1 k))))
+        (setq *keep* (list 'a 'b (list 'c 4)))
+        (put 'anchor 'stash (cons 'x 'y))
+        (churn 3000)
+        (print *keep*)
+        (print (get 'anchor 'stash))
+    )";
+    auto r = gcRun(src, GetParam());
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "(a b (c 4))\n(x . y)\n");
+    EXPECT_GT(r.gcCount, 0u);
+}
+
+TEST_P(GcTest, SharingPreserved)
+{
+    // The same cell referenced twice must stay one cell (forwarding).
+    const char *src = R"(
+        (de churn (k) (while (greaterp k 0) (cons k k) (setq k (sub1 k))))
+        (let ((shared (cons 1 2)))
+          (let ((a (cons shared shared)))
+            (churn 2000)
+            (rplaca (car a) 99)
+            (print (car (cdr a)))
+            (print (eq (car a) (cdr a)))))
+    )";
+    auto r = gcRun(src, GetParam());
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "99\nt\n");
+}
+
+TEST_P(GcTest, WorksUnderFullChecking)
+{
+    const char *src = R"(
+        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+        (let ((keep (iota 30)) (i 0))
+          (while (lessp i 300) (iota 20) (setq i (add1 i)))
+          (print (length keep)))
+    )";
+    auto r = gcRun(src, GetParam(), 8u << 10, Checking::Full);
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, "30\n");
+    EXPECT_GT(r.gcCount, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, GcTest,
+    ::testing::Values(SchemeKind::High5, SchemeKind::High6,
+                      SchemeKind::Low2, SchemeKind::Low3),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return schemeKindName(info.param);
+    });
+
+TEST(Gc, HeapExhaustionReportsError)
+{
+    // A live set that cannot fit raises error 42 rather than looping.
+    const char *src = R"(
+        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+        (setq *keep* nil)
+        (let ((i 0))
+          (while (lessp i 10000)
+            (setq *keep* (cons (iota 50) *keep*))
+            (setq i (add1 i))))
+    )";
+    CompilerOptions opts;
+    opts.heapBytes = 8u << 10;
+    auto r = compileAndRun(src, opts, 400'000'000);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+    EXPECT_EQ(r.errorCode, 42);
+}
+
+TEST(Gc, CollectionCountAndHeapUsedReported)
+{
+    const char *src = R"(
+        (de churn (k) (while (greaterp k 0) (cons k k) (setq k (sub1 k))))
+        (setq *keep* (list 1 2 3))
+        (churn 5000)
+        (print 'ok)
+    )";
+    CompilerOptions opts;
+    opts.heapBytes = 4u << 10;
+    auto r = compileAndRun(src, opts, 400'000'000);
+    ASSERT_EQ(r.stop, StopReason::Halted);
+    EXPECT_GT(r.gcCount, 3u);
+    EXPECT_GT(r.heapUsed, 0u);
+    EXPECT_LT(r.heapUsed, 4u << 10);
+}
+
+TEST(Gc, NoGcWithLargeHeap)
+{
+    CompilerOptions opts;
+    opts.heapBytes = 4u << 20;
+    auto r = compileAndRun("(print (length (list 1 2 3)))", opts);
+    EXPECT_EQ(r.gcCount, 0u);
+}
+
+} // namespace
+} // namespace mxl

@@ -1,0 +1,201 @@
+/**
+ * Delay-slot scheduler unit tests: slot insertion, fill-from-above
+ * legality, the §6.2.1 overlap mode, and label preservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/asm_buffer.h"
+#include "compiler/linker.h"
+#include "compiler/scheduler.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+/** Count instructions by opcode after scheduling+linking. */
+int
+countOp(const Program &p, Opcode op)
+{
+    int n = 0;
+    for (const auto &i : p.code) {
+        if (i.op == op)
+            ++n;
+    }
+    return n;
+}
+
+TEST(Scheduler, InsertsTwoSlotsAfterEveryTransfer)
+{
+    AsmBuffer buf;
+    int l = buf.defineSymbol("top");
+    buf.jump(l);
+    scheduleDelaySlots(buf, /*fill=*/false, /*overlap=*/false);
+    Program p = link(buf);
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Opcode::J);
+    EXPECT_EQ(p.code[1].op, Opcode::Noop);
+    EXPECT_EQ(p.code[2].op, Opcode::Noop);
+}
+
+TEST(Scheduler, FillsFromAboveWhenIndependent)
+{
+    AsmBuffer buf;
+    int l = buf.defineSymbol("top");
+    buf.op3(Opcode::Add, 5, 6, 7);    // independent of the branch
+    buf.op3(Opcode::Add, 8, 6, 7);
+    buf.branch(Opcode::Beq, 2, 3, l);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    // Both adds move into the slots: branch first.
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Opcode::Beq);
+    EXPECT_EQ(p.code[1].op, Opcode::Add);
+    EXPECT_EQ(p.code[1].rd, 5);
+    EXPECT_EQ(p.code[2].rd, 8);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 0);
+}
+
+TEST(Scheduler, WillNotMoveConditionFeeders)
+{
+    AsmBuffer buf;
+    int l = buf.defineSymbol("top");
+    buf.op3(Opcode::Add, 2, 6, 7);    // writes the branch source r2
+    buf.branch(Opcode::Beq, 2, 3, l);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    // The add must stay put; slots are noops.
+    EXPECT_EQ(p.code[0].op, Opcode::Add);
+    EXPECT_EQ(p.code[1].op, Opcode::Beq);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 2);
+}
+
+TEST(Scheduler, WillNotCrossLabels)
+{
+    AsmBuffer buf;
+    buf.defineSymbol("entry");
+    buf.op3(Opcode::Add, 5, 6, 7);
+    int mid = buf.defineSymbol("mid"); // label between add and branch
+    buf.branch(Opcode::Beq, 2, 3, mid);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    // The add is before the label (a possible join point): not movable.
+    EXPECT_EQ(p.code[0].op, Opcode::Add);
+    EXPECT_EQ(p.code[1].op, Opcode::Beq);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 2);
+    EXPECT_EQ(p.symbol("mid"), 1);
+}
+
+TEST(Scheduler, JalLinkRegisterConstraints)
+{
+    AsmBuffer buf;
+    int f = buf.defineSymbol("f");
+    // This instruction reads r31, which jal writes: not movable.
+    buf.op3(Opcode::Add, 5, 31, 7);
+    buf.jal(31, f);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    EXPECT_EQ(p.code[0].op, Opcode::Add);
+    EXPECT_EQ(p.code[1].op, Opcode::Jal);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 2);
+}
+
+TEST(Scheduler, OverlapFillsFromBelowAndSquashes)
+{
+    AsmBuffer buf;
+    int err = buf.defineSymbol("err");
+    buf.branch(Opcode::Bnei, 4, 0, err, {}, /*hintFall=*/true);
+    buf.op3(Opcode::Add, 5, 6, 7); // the protected operation
+    buf.op3(Opcode::Add, 8, 6, 7);
+    buf.sys(SysCode::Halt, 1);
+
+    AsmBuffer overlap = buf;
+    scheduleDelaySlots(overlap, true, /*overlap=*/true);
+    Program po = link(overlap);
+    EXPECT_EQ(po.code[0].op, Opcode::Bnei);
+    EXPECT_EQ(po.code[0].annul, Annul::OnTaken);
+    EXPECT_EQ(po.code[1].op, Opcode::Add);
+    EXPECT_EQ(po.code[2].op, Opcode::Add);
+
+    AsmBuffer plain = buf;
+    scheduleDelaySlots(plain, true, /*overlap=*/false);
+    Program pp = link(plain);
+    // Without overlap the hinted branch cannot take from below; no
+    // instructions precede it, so the slots are padding.
+    EXPECT_EQ(pp.code[1].op, Opcode::Noop);
+    EXPECT_EQ(pp.code[2].op, Opcode::Noop);
+}
+
+TEST(Scheduler, PaddingInheritsBranchAnnotation)
+{
+    AsmBuffer buf;
+    int err = buf.defineSymbol("err");
+    buf.branch(Opcode::Bnei, 4, 0, err,
+               {Purpose::TagCheck, CheckCat::List, true}, true);
+    buf.sys(SysCode::Halt, 1);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    // The paper charges unused delay slots of a tag check to checking.
+    EXPECT_EQ(p.code[1].op, Opcode::Noop);
+    EXPECT_EQ(p.code[1].ann.purpose, Purpose::TagCheck);
+    EXPECT_EQ(p.code[1].ann.cat, CheckCat::List);
+    EXPECT_TRUE(p.code[1].ann.fromChecking);
+}
+
+TEST(Scheduler, TrappingOpsStayOutOfSlots)
+{
+    AsmBuffer buf;
+    int l = buf.defineSymbol("top");
+    buf.op3(Opcode::Addt, 1, 6, 7); // may trap: not slot-safe
+    buf.branch(Opcode::Beq, 2, 3, l);
+    scheduleDelaySlots(buf, true, false);
+    Program p = link(buf);
+    EXPECT_EQ(p.code[0].op, Opcode::Addt);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 2);
+}
+
+TEST(Scheduler, NoFillModePadsEverything)
+{
+    AsmBuffer buf;
+    int l = buf.defineSymbol("top");
+    buf.op3(Opcode::Add, 5, 6, 7);
+    buf.op3(Opcode::Add, 8, 6, 7);
+    buf.branch(Opcode::Beq, 2, 3, l);
+    scheduleDelaySlots(buf, false, false);
+    Program p = link(buf);
+    ASSERT_EQ(p.code.size(), 5u);
+    EXPECT_EQ(countOp(p, Opcode::Noop), 2);
+    EXPECT_EQ(p.code[2].op, Opcode::Beq);
+}
+
+TEST(Linker, ResolvesAndExports)
+{
+    AsmBuffer buf;
+    int a = buf.defineSymbol("a");
+    buf.jump(a);
+    buf.noop();
+    buf.noop();
+    int b = buf.newLabel("b_internal");
+    buf.placeLabel(b);
+    buf.jump(b);
+    buf.noop();
+    buf.noop();
+    Program p = link(buf);
+    EXPECT_EQ(p.symbol("a"), 0);
+    EXPECT_EQ(p.symbol("b_internal"), -1); // not exported
+    EXPECT_EQ(p.code[0].target, 0);
+    EXPECT_EQ(p.code[3].target, 3);
+}
+
+TEST(Linker, UndefinedLabelFatal)
+{
+    AsmBuffer buf;
+    int l = buf.newLabel("missing");
+    buf.jump(l);
+    buf.noop();
+    buf.noop();
+    EXPECT_THROW(link(buf), MxlError);
+}
+
+} // namespace
+} // namespace mxl

@@ -1,0 +1,141 @@
+/**
+ * Cross-scheme behavioural equivalence: a program's observable output
+ * is independent of the tag scheme, the checking mode, and every
+ * hardware configuration — only the cycle counts move. This is the
+ * load-bearing property behind all of the paper's comparisons.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/run.h"
+
+namespace mxl {
+namespace {
+
+const char *kWorkout = R"(
+    (de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+    (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
+    (de sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+    (de twice (l) (if (null l) nil (cons (* 2 (car l)) (twice (cdr l)))))
+    (print (fib 11))
+    (print (sum (twice (iota 25))))
+    (let ((v (mkvect 8)) (i 0))
+      (while (lessp i 8) (putv v i (* i i)) (setq i (add1 i)))
+      (print (getv v 5))
+      (print (upbv v)))
+    (put 'cfg 'mode 'fast)
+    (print (get 'cfg 'mode))
+    (print (assoc 'b '((a . 1) (b . 2) (c . 3))))
+    (print (reverse (append (iota 3) (iota 2))))
+    (print (string-length "scheme-independent"))
+    (print (apply 'fib '(9)))
+)";
+
+const char *kExpected = "89\n650\n25\n7\nfast\n(b . 2)\n(1 2 1 2 3)\n18\n34\n";
+
+class SchemeMatrixTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, Checking>>
+{
+};
+
+TEST_P(SchemeMatrixTest, OutputInvariant)
+{
+    auto [scheme, chk] = GetParam();
+    CompilerOptions opts;
+    opts.scheme = scheme;
+    opts.checking = chk;
+    opts.heapBytes = 24u << 10; // force some collections too
+    auto r = compileAndRun(kWorkout, opts, 100'000'000);
+    ASSERT_EQ(r.stop, StopReason::Halted) << "err=" << r.errorCode;
+    EXPECT_EQ(r.output, kExpected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemeMatrixTest,
+    ::testing::Combine(::testing::Values(SchemeKind::High5,
+                                         SchemeKind::High6,
+                                         SchemeKind::Low2,
+                                         SchemeKind::Low3),
+                       ::testing::Values(Checking::Off, Checking::Full)),
+    [](const auto &info) {
+        return std::string(schemeKindName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) == Checking::Full ? "_full"
+                                                          : "_off");
+    });
+
+TEST(SchemeCosts, LowTagsAvoidMasking)
+{
+    // §5.2: low-tag schemes spend no cycles removing tags.
+    CompilerOptions high = baselineOptions(Checking::Off);
+    CompilerOptions low = lowTagSoftwareOptions(Checking::Off);
+    auto rh = compileAndRun(kWorkout, high, 100'000'000);
+    auto rl = compileAndRun(kWorkout, low, 100'000'000);
+    EXPECT_GT(rh.stats.purposeTotal(Purpose::TagRemove), 0u);
+    EXPECT_EQ(rl.stats.purposeTotal(Purpose::TagRemove), 0u);
+    EXPECT_EQ(rh.output, rl.output);
+}
+
+TEST(SchemeCosts, LowTagSchemeIsFasterWithoutChecking)
+{
+    // The ~5.7% masking saving of Table 2 row 1, software variant.
+    CompilerOptions high = baselineOptions(Checking::Off);
+    CompilerOptions low = lowTagSoftwareOptions(Checking::Off);
+    auto rh = compileAndRun(kWorkout, high, 100'000'000);
+    auto rl = compileAndRun(kWorkout, low, 100'000'000);
+    EXPECT_LT(rl.stats.total, rh.stats.total);
+}
+
+TEST(SchemeCosts, Low2HeaderCheckCostsMore)
+{
+    // LowTag2 discriminates symbols/vectors/strings through headers,
+    // so those predicates cost extra memory traffic vs LowTag3.
+    const char *pred = R"(
+        (de count-syms (l n)
+          (if (null l) n
+              (count-syms (cdr l) (if (symbolp (car l)) (add1 n) n))))
+        (setq *l* '(a 1 b 2 c 3 d 4 e 5))
+        (let ((i 0))
+          (while (lessp i 200)
+            (count-syms *l* 0)
+            (setq i (add1 i))))
+        (print (count-syms *l* 0))
+    )";
+    CompilerOptions two = lowTagSoftwareOptions(Checking::Off,
+                                                SchemeKind::Low2);
+    CompilerOptions three = lowTagSoftwareOptions(Checking::Off,
+                                                  SchemeKind::Low3);
+    auto r2 = compileAndRun(pred, two, 100'000'000);
+    auto r3 = compileAndRun(pred, three, 100'000'000);
+    EXPECT_EQ(r2.output, r3.output);
+    EXPECT_GT(r2.stats.total, r3.stats.total);
+}
+
+TEST(SchemeCosts, High6PaysAddressBit)
+{
+    // The §4.2 encoding gives up an address bit: its fixnum range is
+    // half of high5's, but behaviour on in-range programs matches.
+    auto h5 = makeScheme(SchemeKind::High5);
+    auto h6 = makeScheme(SchemeKind::High6);
+    EXPECT_TRUE(h5->fixnumInRange(1 << 25));
+    EXPECT_FALSE(h6->fixnumInRange(1 << 25));
+}
+
+TEST(SchemeCosts, CheckingSlowdownInPaperBallpark)
+{
+    // §3: full checking slows the ten-program suite by ~25% on
+    // average; a small list workout should land in a generous band.
+    CompilerOptions off = baselineOptions(Checking::Off);
+    CompilerOptions full = baselineOptions(Checking::Full);
+    auto ro = compileAndRun(kWorkout, off, 100'000'000);
+    auto rf = compileAndRun(kWorkout, full, 100'000'000);
+    double slowdown = 100.0 *
+        (static_cast<double>(rf.stats.total) /
+             static_cast<double>(ro.stats.total) -
+         1.0);
+    EXPECT_GT(slowdown, 5.0);
+    EXPECT_LT(slowdown, 90.0);
+}
+
+} // namespace
+} // namespace mxl

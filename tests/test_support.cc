@@ -1,0 +1,150 @@
+/** Tests for the support layer: formatting, bits, stats, tables. */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/format.h"
+#include "support/panic.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace mxl {
+namespace {
+
+TEST(Format, Strcat)
+{
+    EXPECT_EQ(strcat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(strcat(), "");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(percent(24.59, 2), "24.59%");
+    EXPECT_EQ(percent(5.7), "5.7%");
+}
+
+TEST(Format, Hex32)
+{
+    EXPECT_EQ(hex32(0), "0x00000000");
+    EXPECT_EQ(hex32(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Format, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+    EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xabcd1234, 0, 4), 0x4u);
+    EXPECT_EQ(bitsOf(0xabcd1234, 28, 4), 0xau);
+    EXPECT_EQ(bitsOf(0xffffffff, 5, 3), 7u);
+}
+
+TEST(Bits, MaskBits)
+{
+    EXPECT_EQ(maskBits(0, 5), 0x1fu);
+    EXPECT_EQ(maskBits(27, 5), 0xf8000000u);
+    EXPECT_EQ(maskBits(0, 32), 0xffffffffu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x7ffffff, 27), -1);
+    EXPECT_EQ(signExtend(0x4000000, 27), -(1 << 26));
+    EXPECT_EQ(signExtend(0x3ffffff, 27), (1 << 26) - 1);
+    EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(0, 27));
+    EXPECT_TRUE(fitsSigned((1 << 26) - 1, 27));
+    EXPECT_FALSE(fitsSigned(1 << 26, 27));
+    EXPECT_TRUE(fitsSigned(-(1 << 26), 27));
+    EXPECT_FALSE(fitsSigned(-(1 << 26) - 1, 27));
+}
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0);
+    EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5}), 0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1);
+    EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3);
+    EXPECT_DOUBLE_EQ(minOf({}), 0);
+}
+
+TEST(Table, RendersAligned)
+{
+    TextTable t;
+    t.addRow({"name", "value"});
+    t.addRow({"x", "1.5%"});
+    t.addRow({"longer", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("1.5%"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumericRightAlign)
+{
+    TextTable t;
+    t.addRow({"h", "num"});
+    t.addRow({"a", "7"});
+    std::string s = t.render();
+    // "num" is 3 wide; the 7 should be right-aligned under it.
+    EXPECT_NE(s.find("  7"), std::string::npos);
+}
+
+TEST(Panic, PanicThrows)
+{
+    try {
+        panic("boom ", 42);
+        FAIL() << "did not throw";
+    } catch (const MxlError &e) {
+        EXPECT_EQ(e.kind, MxlError::Kind::Panic);
+        EXPECT_NE(std::string(e.what()).find("boom 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Panic, FatalThrows)
+{
+    try {
+        fatal("user error");
+        FAIL() << "did not throw";
+    } catch (const MxlError &e) {
+        EXPECT_EQ(e.kind, MxlError::Kind::Fatal);
+    }
+}
+
+TEST(Panic, AssertMacro)
+{
+    EXPECT_NO_THROW(MXL_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(MXL_ASSERT(1 == 2, "bad"), MxlError);
+}
+
+} // namespace
+} // namespace mxl

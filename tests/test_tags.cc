@@ -1,0 +1,255 @@
+/**
+ * Tests for the tag schemes, mostly parameterized across all four so
+ * every property is checked uniformly (TEST_P sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/panic.h"
+#include "tags/high_tag.h"
+#include "tags/low_tag.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+namespace {
+
+class SchemeTest : public ::testing::TestWithParam<SchemeKind>
+{
+  protected:
+    void SetUp() override { scheme = makeScheme(GetParam()); }
+    std::unique_ptr<TagScheme> scheme;
+};
+
+TEST_P(SchemeTest, FixnumRoundTrip)
+{
+    for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                      int64_t{-1000}, int64_t{123456}, int64_t{-123456},
+                      int64_t{(1 << 24)}, int64_t{-(1 << 24)}}) {
+        ASSERT_TRUE(scheme->fixnumInRange(v)) << v;
+        uint32_t w = scheme->encodeFixnum(v);
+        EXPECT_EQ(scheme->decodeFixnum(w), v) << v;
+        EXPECT_TRUE(scheme->wordIsFixnum(w)) << v;
+    }
+}
+
+TEST_P(SchemeTest, FixnumBoundary)
+{
+    // Find the extreme in-range values for this scheme.
+    int64_t hi = 1;
+    while (scheme->fixnumInRange(hi * 2))
+        hi *= 2;
+    // hi is a power of two in range; hi*2 is out. Check neighbors.
+    EXPECT_TRUE(scheme->fixnumInRange(hi));
+    EXPECT_FALSE(scheme->fixnumInRange(hi * 2));
+    EXPECT_EQ(scheme->decodeFixnum(scheme->encodeFixnum(hi)), hi);
+    EXPECT_TRUE(scheme->fixnumInRange(-hi * 2 + 1));
+    EXPECT_EQ(scheme->decodeFixnum(scheme->encodeFixnum(-hi * 2 + 1)),
+              -hi * 2 + 1);
+}
+
+TEST_P(SchemeTest, FixnumScaleMatchesRepresentation)
+{
+    // repr(v) == v * scale mod 2^32 — this is what lets compiled code
+    // add fixnums with the plain machine add.
+    int scale = scheme->fixnumScale();
+    for (int64_t v : {int64_t{1}, int64_t{7}, int64_t{-3}}) {
+        EXPECT_EQ(scheme->encodeFixnum(v),
+                  static_cast<uint32_t>(v * scale));
+    }
+}
+
+TEST_P(SchemeTest, NativeAddOnRepresentations)
+{
+    // add of representations == representation of add (no overflow).
+    uint32_t a = scheme->encodeFixnum(1234);
+    uint32_t b = scheme->encodeFixnum(-234);
+    EXPECT_EQ(a + b, scheme->encodeFixnum(1000));
+}
+
+TEST_P(SchemeTest, SignedOrderPreserved)
+{
+    // blt on representations must order fixnums correctly.
+    auto lt = [&](int64_t x, int64_t y) {
+        return static_cast<int32_t>(scheme->encodeFixnum(x)) <
+               static_cast<int32_t>(scheme->encodeFixnum(y));
+    };
+    EXPECT_TRUE(lt(-5, 3));
+    EXPECT_TRUE(lt(2, 1000));
+    EXPECT_FALSE(lt(7, 7));
+    EXPECT_FALSE(lt(3, -5));
+}
+
+TEST_P(SchemeTest, PointerRoundTrip)
+{
+    for (TypeId t : {TypeId::Pair, TypeId::Symbol, TypeId::Vector,
+                     TypeId::String}) {
+        uint32_t align = scheme->alignment(t);
+        uint32_t addr = 0x1000 + align * 7;
+        ASSERT_EQ(addr % align, 0u);
+        uint32_t w = scheme->encodePointer(t, addr);
+        EXPECT_EQ(scheme->detagAddr(w), addr) << typeName(t);
+        EXPECT_FALSE(scheme->wordIsFixnum(w)) << typeName(t);
+        EXPECT_EQ(scheme->primaryTag(w), scheme->pointerTag(t))
+            << typeName(t);
+    }
+}
+
+TEST_P(SchemeTest, CharRoundTrip)
+{
+    for (uint32_t c : {0u, 65u, 255u}) {
+        uint32_t w = scheme->encodeChar(c);
+        EXPECT_EQ(scheme->charCode(w), c);
+        EXPECT_FALSE(scheme->wordIsFixnum(w));
+    }
+}
+
+TEST_P(SchemeTest, PointerTagsDistinguishUnlessHeadered)
+{
+    // Two types either have different tags or are both
+    // header-discriminated.
+    TypeId types[] = {TypeId::Pair, TypeId::Symbol, TypeId::Vector,
+                      TypeId::String};
+    for (TypeId a : types) {
+        for (TypeId b : types) {
+            if (a == b)
+                continue;
+            if (scheme->pointerTag(a) == scheme->pointerTag(b)) {
+                bool bothHeadered = scheme->headerDiscriminated(a) &&
+                                    scheme->headerDiscriminated(b);
+                EXPECT_TRUE(bothHeadered)
+                    << typeName(a) << " vs " << typeName(b);
+            }
+        }
+    }
+}
+
+TEST_P(SchemeTest, OffsetAdjustAbsorbsTag)
+{
+    // For low-tag schemes: (tagged + adjusted offset) with the bottom
+    // two address bits dropped must hit the object's first word.
+    if (scheme->placement() != TagPlacement::Low)
+        return;
+    for (TypeId t : {TypeId::Pair, TypeId::Symbol, TypeId::Vector,
+                     TypeId::String}) {
+        uint32_t addr = 0x2000; // aligned for every type
+        uint32_t w = scheme->encodePointer(t, addr);
+        uint32_t eff = (w + static_cast<uint32_t>(
+                                scheme->offsetAdjust(t))) &
+                       ~3u;
+        EXPECT_EQ(eff, addr) << typeName(t);
+    }
+}
+
+TEST_P(SchemeTest, FixnumsNeverLookLikePointers)
+{
+    for (int64_t v : {int64_t{0}, int64_t{100}, int64_t{-100}}) {
+        uint32_t w = scheme->encodeFixnum(v);
+        for (TypeId t : {TypeId::Pair, TypeId::Vector}) {
+            if (!scheme->headerDiscriminated(t)) {
+                EXPECT_NE(scheme->primaryTag(w), scheme->pointerTag(t));
+            }
+        }
+        EXPECT_TRUE(scheme->wordIsFixnum(w));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeTest,
+    ::testing::Values(SchemeKind::High5, SchemeKind::High6,
+                      SchemeKind::Low2, SchemeKind::Low3),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return schemeKindName(info.param);
+    });
+
+TEST(HighTag5, IntegerTagsAreSignExtension)
+{
+    HighTag5 s;
+    EXPECT_EQ(s.primaryTag(s.encodeFixnum(5)), 0u);
+    EXPECT_EQ(s.primaryTag(s.encodeFixnum(-5)), 31u);
+}
+
+TEST(HighTag6, SumCheckProperty)
+{
+    // §4.2: the sum of two tag values (with any carry from the data
+    // part) can never be an integer tag unless both operands were
+    // integers. Verify exhaustively over the used tag values.
+    HighTag6 s;
+    std::vector<uint32_t> nonIntTags = {
+        s.pointerTag(TypeId::Pair), s.pointerTag(TypeId::Symbol),
+        s.pointerTag(TypeId::Vector), s.pointerTag(TypeId::String),
+        s.charTag(),
+    };
+    ASSERT_TRUE(s.sumCheckSound());
+    for (uint32_t t1 : nonIntTags) {
+        EXPECT_GE(t1, 8u);
+        EXPECT_LE(t1, 23u);
+        // non-integer + any tag value (integer or not), any carry
+        std::vector<uint32_t> allTags = nonIntTags;
+        allTags.push_back(0);
+        allTags.push_back(63);
+        for (uint32_t t2 : allTags) {
+            for (uint32_t carry : {0u, 1u}) {
+                uint32_t sum = (t1 + t2 + carry) & 63u;
+                EXPECT_NE(sum, 0u) << t1 << "+" << t2 << "+" << carry;
+                EXPECT_NE(sum, 63u) << t1 << "+" << t2 << "+" << carry;
+            }
+        }
+    }
+}
+
+TEST(HighTag6, OverflowPerturbsTag)
+{
+    // Adding two positive fixnums that overflow must yield a word that
+    // fails the integer test.
+    HighTag6 s;
+    int64_t big = (1 << 24);
+    uint32_t a = s.encodeFixnum(big);
+    uint32_t sum = a + a; // 2^25: out of range
+    EXPECT_FALSE(s.wordIsFixnum(sum));
+    // And for negatives.
+    uint32_t n = s.encodeFixnum(-big);
+    uint32_t nsum = n + n + n; // -3*2^24 < -2^25
+    EXPECT_FALSE(s.wordIsFixnum(nsum));
+}
+
+TEST(LowTag3, EvenOddFixnumTags)
+{
+    LowTag3 s;
+    EXPECT_EQ(s.primaryTag(s.encodeFixnum(2)), 0u);  // even: 000
+    EXPECT_EQ(s.primaryTag(s.encodeFixnum(3)), 4u);  // odd: 100
+    EXPECT_TRUE(s.wordIsFixnum(s.encodeFixnum(2)));
+    EXPECT_TRUE(s.wordIsFixnum(s.encodeFixnum(3)));
+}
+
+TEST(LowTag2, HeapTypesShareTag)
+{
+    LowTag2 s;
+    EXPECT_EQ(s.pointerTag(TypeId::Symbol), s.pointerTag(TypeId::Vector));
+    EXPECT_TRUE(s.headerDiscriminated(TypeId::Symbol));
+    EXPECT_FALSE(s.headerDiscriminated(TypeId::Pair));
+}
+
+TEST(Schemes, FactoryNames)
+{
+    EXPECT_EQ(makeScheme(SchemeKind::High5)->name(), "high5");
+    EXPECT_EQ(makeScheme(SchemeKind::High6)->name(), "high6");
+    EXPECT_EQ(makeScheme(SchemeKind::Low2)->name(), "low2");
+    EXPECT_EQ(makeScheme(SchemeKind::Low3)->name(), "low3");
+}
+
+TEST(Schemes, MisalignedPointerPanics)
+{
+    LowTag3 s;
+    EXPECT_THROW(s.encodePointer(TypeId::Pair, 0x1004), MxlError);
+}
+
+TEST(Schemes, OutOfRangeFixnumPanics)
+{
+    HighTag5 s;
+    EXPECT_THROW(s.encodeFixnum(int64_t{1} << 40), MxlError);
+}
+
+} // namespace
+} // namespace mxl
