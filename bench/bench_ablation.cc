@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/run.h"
@@ -20,15 +21,11 @@ using namespace mxl;
 namespace {
 
 double
-averageCycles(const CompilerOptions &base)
+averageCycles(Engine &eng, const CompilerOptions &base)
 {
     double sum = 0;
-    for (const auto &p : benchmarkPrograms()) {
-        CompilerOptions o = base;
-        o.heapBytes = p.heapBytes;
-        auto r = compileAndRun(p.source, o, p.maxCycles);
+    for (const auto &r : runPrograms(eng, base))
         sum += static_cast<double>(r.stats.total);
-    }
     return sum;
 }
 
@@ -40,12 +37,13 @@ main()
     std::printf("Ablations (ten-program aggregate cycles, relative to "
                 "the baseline)\n\n");
 
+    Engine eng;
     for (Checking chk : {Checking::Off, Checking::Full}) {
         const char *mode = chk == Checking::Full ? "checking" : "no-check";
-        double base = averageCycles(baselineOptions(chk));
+        double base = averageCycles(eng, baselineOptions(chk));
 
         auto rel = [&](CompilerOptions o) {
-            return 100.0 * (base - averageCycles(o)) / base;
+            return 100.0 * (base - averageCycles(eng, o)) / base;
         };
 
         TextTable t;

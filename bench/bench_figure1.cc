@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"
@@ -24,7 +25,8 @@ main()
     std::printf("(ten-program average; paper bar heights in "
                 "parentheses)\n\n");
 
-    auto ms = measureAll(baselineOptions(Checking::Off));
+    Engine eng;
+    auto ms = measureAll(eng, baselineOptions(Checking::Off));
     auto avg = figure1Average(ms);
 
     TextTable t;

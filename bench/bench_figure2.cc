@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"
@@ -32,16 +33,21 @@ main()
     CompilerOptions noMask = base;
     noMask.hw.ignoreTagOnMemory = true;
 
+    // Both configurations' ten-program sub-grids in one engine fan-out.
+    Engine eng;
+    std::vector<RunRequest> grid = programGrid(base);
+    auto noMaskGrid = programGrid(noMask);
+    grid.insert(grid.end(), noMaskGrid.begin(), noMaskGrid.end());
+    auto results = unwrapReports(eng.runGrid(grid));
+    size_t stride = benchmarkPrograms().size();
+
     std::vector<double> andV, movV, noopV, sqV, totV;
     TextTable t;
     t.addRow({"program", "and", "move", "noop", "squash", "total"});
-    for (const auto &p : benchmarkPrograms()) {
-        CompilerOptions b = base;
-        b.heapBytes = p.heapBytes;
-        CompilerOptions n = noMask;
-        n.heapBytes = p.heapBytes;
-        auto rb = compileAndRun(p.source, b, p.maxCycles);
-        auto rn = compileAndRun(p.source, n, p.maxCycles);
+    for (size_t i = 0; i < stride; ++i) {
+        const auto &p = benchmarkPrograms()[i];
+        const auto &rb = results[i];
+        const auto &rn = results[i + stride];
         auto d = figure2Data(rb, rn);
         t.addRow({p.name, fixed(d.andOps, 2), fixed(d.moveOps, 2),
                   fixed(d.noops, 2), fixed(d.squashed, 2),

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"
@@ -34,15 +35,14 @@ arithShare(const RunResult &r)
 }
 
 double
-averageArithShare(const CompilerOptions &base, double *ratShare)
+averageArithShare(Engine &eng, const CompilerOptions &base,
+                  double *ratShare)
 {
     std::vector<double> shares;
-    for (const auto &p : benchmarkPrograms()) {
-        CompilerOptions o = base;
-        o.heapBytes = p.heapBytes;
-        auto r = compileAndRun(p.source, o, p.maxCycles);
-        shares.push_back(arithShare(r));
-        if (ratShare && p.name == "rat")
+    auto results = runPrograms(eng, base);
+    for (size_t i = 0; i < results.size(); ++i) {
+        shares.push_back(arithShare(results[i]));
+        if (ratShare && benchmarkPrograms()[i].name == "rat")
             *ratShare = shares.back();
     }
     return mean(shares);
@@ -50,19 +50,22 @@ averageArithShare(const CompilerOptions &base, double *ratShare)
 
 /** Marginal cycles of one checked (+ x y) in a 100-iteration loop. */
 double
-genericAddCycles(const CompilerOptions &opts)
+genericAddCycles(Engine &eng, const CompilerOptions &opts)
 {
-    const char *with = "(de f (x y) (+ x y))"
-                       "(let ((i 0)) (while (lessp i 1000)"
-                       " (f 3 4) (setq i (add1 i)))) (print 'done)";
-    const char *without = "(de f (x y) x)"
-                          "(let ((i 0)) (while (lessp i 1000)"
-                          " (f 3 4) (setq i (add1 i)))) (print 'done)";
-    auto a = compileAndRun(with, opts, 100'000'000);
-    auto b = compileAndRun(without, opts, 100'000'000);
+    RunRequest with;
+    with.source = "(de f (x y) (+ x y))"
+                  "(let ((i 0)) (while (lessp i 1000)"
+                  " (f 3 4) (setq i (add1 i)))) (print 'done)";
+    with.opts = opts;
+    with.maxCycles = 100'000'000;
+    RunRequest without = with;
+    without.source = "(de f (x y) x)"
+                     "(let ((i 0)) (while (lessp i 1000)"
+                     " (f 3 4) (setq i (add1 i)))) (print 'done)";
+    auto pair = unwrapReports(eng.runGrid({with, without}));
     // Subtract the one-cycle load of y that `without` also skips.
-    return (static_cast<double>(a.stats.total) -
-            static_cast<double>(b.stats.total)) / 1000.0 - 1.0;
+    return (static_cast<double>(pair[0].stats.total) -
+            static_cast<double>(pair[1].stats.total)) / 1000.0 - 1.0;
 }
 
 } // namespace
@@ -72,12 +75,14 @@ main()
 {
     std::printf("Generic arithmetic (sections 4.2 and 6.2.2)\n\n");
 
+    Engine eng;
+
     // --- cycle counts for one generic add -----------------------------
-    double biased = genericAddCycles(baselineOptions(Checking::Full));
-    double sumchk = genericAddCycles(sumCheckOptions(Checking::Full));
+    double biased = genericAddCycles(eng, baselineOptions(Checking::Full));
+    double sumchk = genericAddCycles(eng, sumCheckOptions(Checking::Full));
     CompilerOptions hw = baselineOptions(Checking::Full);
     hw.hw.genericArith = true;
-    double hwCycles = genericAddCycles(hw);
+    double hwCycles = genericAddCycles(eng, hw);
     std::printf("cycles per generic integer add (+ load overheads):\n");
     std::printf("  integer-biased inline : %4.1f   (paper: %d)\n",
                 biased, paper::genericAddCyclesBiased);
@@ -88,13 +93,13 @@ main()
 
     // --- share of execution time ---------------------------------------
     double ratBiased = 0, ratSum = 0, dummy = 0;
-    double sBiased =
-        averageArithShare(baselineOptions(Checking::Full), &ratBiased);
+    double sBiased = averageArithShare(
+        eng, baselineOptions(Checking::Full), &ratBiased);
     double sSum =
-        averageArithShare(sumCheckOptions(Checking::Full), &ratSum);
-    double sHw = averageArithShare(hw, &dummy);
+        averageArithShare(eng, sumCheckOptions(Checking::Full), &ratSum);
+    double sHw = averageArithShare(eng, hw, &dummy);
     double sForce = averageArithShare(
-        forceDispatchOptions(Checking::Full), &dummy);
+        eng, forceDispatchOptions(Checking::Full), &dummy);
 
     TextTable t;
     t.addRow({"configuration", "avg arith share", "(paper)", "rat"});
@@ -114,17 +119,15 @@ main()
     // §6.2.2's bound: total slowdown when every arithmetic op takes
     // the dispatch, vs the inline-biased baseline.
     {
+        // These two grids repeat configurations measured above, so the
+        // engine serves every cell from its compiled-unit cache.
         double baseCycles = 0, forceCycles = 0;
-        for (const auto &p : benchmarkPrograms()) {
-            CompilerOptions b = baselineOptions(Checking::Full);
-            b.heapBytes = p.heapBytes;
-            baseCycles += static_cast<double>(
-                compileAndRun(p.source, b, p.maxCycles).stats.total);
-            CompilerOptions fd = forceDispatchOptions(Checking::Full);
-            fd.heapBytes = p.heapBytes;
-            forceCycles += static_cast<double>(
-                compileAndRun(p.source, fd, p.maxCycles).stats.total);
-        }
+        for (const auto &r :
+             runPrograms(eng, baselineOptions(Checking::Full)))
+            baseCycles += static_cast<double>(r.stats.total);
+        for (const auto &r :
+             runPrograms(eng, forceDispatchOptions(Checking::Full)))
+            forceCycles += static_cast<double>(r.stats.total);
         std::printf("forced dispatch execution-time increase: %s "
                     "(paper: +%s)\n\n",
                     percent(100.0 * (forceCycles - baseCycles) /
@@ -139,5 +142,10 @@ main()
                 hwCycles < sumchk ? "yes" : "NO");
     std::printf("  rat is the arithmetic-heavy outlier  (paper: %s)\n",
                 percent(paper::ratGenericArithCost).c_str());
+    auto cs = eng.cacheStats();
+    std::printf("  engine cache ....................... %llu hits / "
+                "%llu misses\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses));
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"
@@ -22,7 +23,8 @@ main()
                 "checking is added\n");
     std::printf("(measured on mxlisp; paper values in parentheses)\n\n");
 
-    auto ms = measureAll(baselineOptions(Checking::Off));
+    Engine eng;
+    auto ms = measureAll(eng, baselineOptions(Checking::Off));
 
     TextTable t;
     t.addRow({"program", "arith", "vector", "list", "total",

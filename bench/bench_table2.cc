@@ -5,10 +5,17 @@
  * Rows 5/6 are decomposed into their check/mask components as in the
  * paper. Also prints the row-1 software-equivalent (LowTag3) and the
  * SPUR-style combination the paper discusses in §7.
+ *
+ * The whole measurement space — (2 baselines + 7 rows × 2 + 2 low-tag
+ * + 2 SPUR) × 10 programs — is submitted to mxl::Engine as one grid
+ * and fanned out across the worker pool; results come back in request
+ * order, so the table is assembled by slicing.
  */
 
+#include <chrono>
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"
@@ -19,22 +26,6 @@
 
 using namespace mxl;
 
-namespace {
-
-std::vector<RunResult>
-runAll(const CompilerOptions &base)
-{
-    std::vector<RunResult> out;
-    for (const auto &p : benchmarkPrograms()) {
-        CompilerOptions o = base;
-        o.heapBytes = p.heapBytes;
-        out.push_back(compileAndRun(p.source, o, p.maxCycles));
-    }
-    return out;
-}
-
-} // namespace
-
 int
 main()
 {
@@ -43,19 +34,58 @@ main()
     std::printf("(ten-program average vs the straightforward high-tag "
                 "implementation)\n\n");
 
-    auto baseOff = runAll(baselineOptions(Checking::Off));
-    auto baseFull = runAll(baselineOptions(Checking::Full));
+    Engine eng;
+
+    // Assemble every configuration's ten-program sub-grid into one
+    // request list; remember where each slice starts.
+    std::vector<RunRequest> all;
+    std::vector<size_t> begin;
+    size_t stride = benchmarkPrograms().size();
+    auto add = [&](const CompilerOptions &base) {
+        begin.push_back(all.size());
+        auto g = programGrid(base);
+        all.insert(all.end(), g.begin(), g.end());
+    };
+
+    add(baselineOptions(Checking::Off));   // slice 0
+    add(baselineOptions(Checking::Full));  // slice 1
+    auto rows = table2Configs();
+    for (const auto &cfg : rows) {         // slices 2 .. 2+2n-1
+        add(cfg.withChecking(Checking::Off));
+        add(cfg.withChecking(Checking::Full));
+    }
+    add(lowTagSoftwareOptions(Checking::Off));
+    add(lowTagSoftwareOptions(Checking::Full));
+    CompilerOptions spur = baselineOptions(Checking::Off);
+    spur.hw.ignoreTagOnMemory = true;
+    spur.hw.branchOnTag = true;
+    spur.hw.genericArith = true;
+    spur.hw.checkedMemory = CheckedMem::Lists;
+    add(spur);
+    spur.checking = Checking::Full;
+    add(spur);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = unwrapReports(eng.runGrid(all));
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    auto slice = [&](size_t i) {
+        return std::vector<RunResult>(results.begin() + begin[i],
+                                      results.begin() + begin[i] + stride);
+    };
+
+    auto baseOff = slice(0);
+    auto baseFull = slice(1);
 
     TextTable t;
     t.addRow({"row", "configuration", "no checking", "(paper)",
               "checking", "(paper)"});
-    auto rows = table2Configs();
     for (size_t i = 0; i < rows.size(); ++i) {
         const auto &cfg = rows[i];
-        auto cfgOff = runAll(cfg.withChecking(Checking::Off));
-        auto cfgFull = runAll(cfg.withChecking(Checking::Full));
-        auto off = table2Average(baseOff, cfgOff);
-        auto full = table2Average(baseFull, cfgFull);
+        auto off = table2Average(baseOff, slice(2 + 2 * i));
+        auto full = table2Average(baseFull, slice(3 + 2 * i));
         const auto &p = paper::table2()[i];
         t.addRow({cfg.id, cfg.label, percent(off.total),
                   strcat("(", percent(p.noChecking), ")"),
@@ -70,27 +100,28 @@ main()
     }
     std::printf("%s\n", t.render().c_str());
 
+    size_t next = 2 + 2 * rows.size();
+
     // Row 1's software twin: a 3-bit low-tag scheme, no hardware.
-    auto lowOff = runAll(lowTagSoftwareOptions(Checking::Off));
-    auto lowFull = runAll(lowTagSoftwareOptions(Checking::Full));
     std::printf("row1 software equivalent (LowTag3 scheme, no "
                 "hardware): %s / %s\n",
-                percent(table2Average(baseOff, lowOff).total).c_str(),
-                percent(table2Average(baseFull, lowFull).total).c_str());
+                percent(table2Average(baseOff, slice(next)).total).c_str(),
+                percent(table2Average(baseFull, slice(next + 1)).total)
+                    .c_str());
 
     // §7: the SPUR-style combination (row 7 but lists-only checking).
-    CompilerOptions spur = baselineOptions(Checking::Off);
-    spur.hw.ignoreTagOnMemory = true;
-    spur.hw.branchOnTag = true;
-    spur.hw.genericArith = true;
-    spur.hw.checkedMemory = CheckedMem::Lists;
-    auto spurOff = runAll(spur);
-    spur.checking = Checking::Full;
-    auto spurFull = runAll(spur);
     std::printf("SPUR-like (row7 with lists-only checked loads): "
                 "%s / %s   (paper: 9%% / 21%%)\n",
-                percent(table2Average(baseOff, spurOff).total).c_str(),
-                percent(table2Average(baseFull, spurFull).total)
+                percent(table2Average(baseOff, slice(next + 2)).total)
+                    .c_str(),
+                percent(table2Average(baseFull, slice(next + 3)).total)
                     .c_str());
+
+    auto cs = eng.cacheStats();
+    std::printf("\nengine: %u worker(s), %zu cells in %.1fs, cache "
+                "%llu hit / %llu miss\n",
+                eng.threadCount(), all.size(), wall,
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses));
     return 0;
 }

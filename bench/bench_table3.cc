@@ -9,10 +9,12 @@
 #include <cstdio>
 
 #include "compiler/unit.h"
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "programs/programs.h"
 #include "support/format.h"
+#include "support/panic.h"
 #include "support/table.h"
 
 using namespace mxl;
@@ -27,11 +29,15 @@ main()
     TextTable t;
     t.addRow({"program", "procs", "lines", "object words",
               "(paper procs)", "(paper lines)", "(paper words)"});
+    Engine eng;
     for (size_t i = 0; i < benchmarkPrograms().size(); ++i) {
         const auto &p = benchmarkPrograms()[i];
         CompilerOptions opts = baselineOptions(Checking::Off);
         opts.heapBytes = p.heapBytes;
-        CompiledUnit u = compileUnit(p.source, opts);
+        auto c = eng.compile(p.source, opts);
+        if (!c.status.ok())
+            fatal("compiling ", p.name, ": ", c.status.message);
+        const auto &u = *c.unit;
         const auto &pp = paper::table3()[i];
         t.addRow({p.name, strcat(u.procedures), strcat(u.sourceLines),
                   strcat(u.objectWords), strcat("(", pp.procedures, ")"),

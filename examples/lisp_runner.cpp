@@ -25,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/engine.h"
 #include "core/run.h"
 #include "isa/assembler.h"
 #include "programs/programs.h"
@@ -107,9 +108,14 @@ main(int argc, char **argv)
             source = next();
             haveSource = true;
         } else if (a == "--benchmark") {
-            const auto &p = programByName(next());
-            source = p.source;
-            opts.heapBytes = p.heapBytes;
+            try {
+                const auto &p = programByName(next());
+                source = p.source;
+                opts.heapBytes = p.heapBytes;
+            } catch (const MxlError &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return 1;
+            }
             haveSource = true;
         } else if (a[0] != '-') {
             std::ifstream in(a);
@@ -129,11 +135,25 @@ main(int argc, char **argv)
         return usage();
 
     try {
-        CompiledUnit unit = compileUnit(source, opts);
-        if (disasm)
-            std::printf("%s\n", disassemble(unit.prog).c_str());
+        Engine eng;
+        RunRequest req;
+        req.source = source;
+        req.opts = opts;
+        if (disasm) {
+            auto c = eng.compile(source, opts);
+            if (!c.status.ok()) {
+                std::fprintf(stderr, "%s\n", c.status.message.c_str());
+                return 1;
+            }
+            std::printf("%s\n", disassemble(c.unit->prog).c_str());
+        }
 
-        RunResult r = runUnit(unit);
+        RunReport rep = eng.run(req); // disasm path: a cache hit
+        if (!rep.status.ok()) {
+            std::fprintf(stderr, "%s\n", rep.status.message.c_str());
+            return 1;
+        }
+        const RunResult &r = rep.result;
         std::printf("%s", r.output.c_str());
         std::printf("---\n");
         std::printf("config: %s\n", opts.describe().c_str());

@@ -1,0 +1,262 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/**
+ * A pristine image is almost entirely zeros (the heap and stack start
+ * empty; only the static area is populated), so cached units keep just
+ * the prefix up to the last nonzero word.
+ */
+Memory
+trimToLivePrefix(const Memory &full)
+{
+    uint32_t words = full.size() / 4;
+    uint32_t live = words;
+    while (live > 0 && full.word(live - 1) == 0)
+        --live;
+    Memory t(live * 4);
+    for (uint32_t i = 0; i < live; ++i)
+        t.word(i) = full.word(i);
+    return t;
+}
+
+/** Rebuild the full-size pristine image from a trimmed cached unit. */
+Memory
+expandImage(const CompiledUnit &unit)
+{
+    Memory full(unit.layout.memBytes);
+    uint32_t live = unit.memory.size() / 4;
+    for (uint32_t i = 0; i < live; ++i)
+        full.word(i) = unit.memory.word(i);
+    return full;
+}
+
+} // namespace
+
+Engine::Engine(unsigned threads, size_t cacheCapacity)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())),
+      cacheCapacity_(std::max<size_t>(1, cacheCapacity))
+{
+}
+
+Engine::~Engine()
+{
+    {
+        std::lock_guard<std::mutex> lk(poolMu_);
+        stopping_ = true;
+    }
+    poolCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::string
+Engine::cacheKey(const std::string &source, const CompilerOptions &o)
+{
+    // Fixed field order; every independent variable of the compilation
+    // participates. maxCycles is a run parameter, not a compile one.
+    std::string k;
+    k += schemeKindName(o.scheme);
+    k += '|';
+    k += o.checking == Checking::Full ? 'F' : 'O';
+    k += static_cast<char>('0' + static_cast<int>(o.arithMode));
+    k += o.hw.ignoreTagOnMemory ? '1' : '0';
+    k += o.hw.branchOnTag ? '1' : '0';
+    k += o.hw.genericArith ? '1' : '0';
+    k += static_cast<char>('0' + static_cast<int>(o.hw.checkedMemory));
+    k += o.fillDelaySlots ? '1' : '0';
+    k += o.overlapChecks ? '1' : '0';
+    k += '|';
+    k += std::to_string(o.memBytes);
+    k += ',';
+    k += std::to_string(o.staticBytes);
+    k += ',';
+    k += std::to_string(o.heapBytes);
+    k += '\n';
+    k += source;
+    return k;
+}
+
+Engine::Compiled
+Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
+                     bool *cacheHit)
+{
+    const std::string key = cacheKey(source, opts);
+    std::shared_future<Compiled> fut;
+    std::promise<Compiled> prom;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++hits_;
+            *cacheHit = true;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            fut = it->second->future;
+        } else {
+            ++misses_;
+            *cacheHit = false;
+            owner = true;
+            fut = prom.get_future().share();
+            lru_.push_front(CacheEntry{key, fut});
+            cache_[key] = lru_.begin();
+            while (lru_.size() > cacheCapacity_) {
+                cache_.erase(lru_.back().key);
+                lru_.pop_back();
+            }
+        }
+    }
+    if (!owner)
+        return fut.get();
+
+    // Compile outside the cache lock; waiters block on the future.
+    Compiled c;
+    try {
+        auto unit = std::make_shared<CompiledUnit>(compileUnit(source, opts));
+        unit->memory = trimToLivePrefix(unit->memory);
+        c.unit = std::move(unit);
+    } catch (const MxlError &e) {
+        c.status.code = e.kind == MxlError::Kind::Fatal
+                            ? RunStatus::Code::CompileError
+                            : RunStatus::Code::InternalError;
+        c.status.message = e.what();
+    } catch (const std::exception &e) {
+        c.status.code = RunStatus::Code::InternalError;
+        c.status.message = e.what();
+    }
+    prom.set_value(c);
+    return c;
+}
+
+Engine::CompileOutcome
+Engine::compile(const std::string &source, const CompilerOptions &opts)
+{
+    CompileOutcome out;
+    Compiled c = getOrCompile(source, opts, &out.cacheHit);
+    out.unit = c.unit;
+    out.status = c.status;
+    return out;
+}
+
+RunReport
+Engine::execute(const RunRequest &req)
+{
+    RunReport rep;
+    rep.label = req.label;
+    auto t0 = std::chrono::steady_clock::now();
+
+    Compiled c = getOrCompile(req.source, req.opts, &rep.cacheHit);
+    rep.status = c.status;
+    if (c.status.ok()) {
+        try {
+            rep.result =
+                runUnitOn(*c.unit, expandImage(*c.unit), req.maxCycles);
+        } catch (const MxlError &e) {
+            rep.status.code = RunStatus::Code::InternalError;
+            rep.status.message = e.what();
+        }
+    }
+
+    rep.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return rep;
+}
+
+RunReport
+Engine::run(const RunRequest &req)
+{
+    return execute(req);
+}
+
+std::vector<RunReport>
+Engine::runGrid(const std::vector<RunRequest> &reqs)
+{
+    ensureWorkers();
+
+    std::vector<std::future<RunReport>> futs;
+    futs.reserve(reqs.size());
+    {
+        std::lock_guard<std::mutex> lk(poolMu_);
+        for (const RunRequest &req : reqs) {
+            auto task = std::make_shared<std::packaged_task<RunReport()>>(
+                [this, req] { return execute(req); });
+            futs.push_back(task->get_future());
+            queue_.push_back([task] { (*task)(); });
+        }
+    }
+    poolCv_.notify_all();
+
+    // Collect in request order: results are deterministic regardless of
+    // which worker ran which cell.
+    std::vector<RunReport> out;
+    out.reserve(reqs.size());
+    for (auto &f : futs)
+        out.push_back(f.get());
+    return out;
+}
+
+void
+Engine::ensureWorkers()
+{
+    std::lock_guard<std::mutex> lk(poolMu_);
+    if (!workers_.empty() || stopping_)
+        return;
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+Engine::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(poolMu_);
+            poolCv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+Engine::CacheStats
+Engine::cacheStats() const
+{
+    std::lock_guard<std::mutex> lk(cacheMu_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = cache_.size();
+    return s;
+}
+
+void
+Engine::clearCache()
+{
+    std::lock_guard<std::mutex> lk(cacheMu_);
+    cache_.clear();
+    lru_.clear();
+}
+
+Engine &
+Engine::defaultEngine()
+{
+    static Engine engine;
+    return engine;
+}
+
+} // namespace mxl

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * mxl::Engine — the batch execution API over the (program × options)
+ * measurement grid.
+ *
+ * The paper's experiments, and every bench harness in this repo, walk a
+ * grid of (benchmark program, compiler configuration) cells. The Engine
+ * turns that walk into a first-class operation:
+ *
+ *  - a compiled-unit cache keyed by (source, canonicalized
+ *    CompilerOptions), so a configuration that appears in several
+ *    tables is compiled once;
+ *  - a worker thread pool: runGrid() fans requests out across N threads
+ *    (simulations share no mutable state, so they are embarrassingly
+ *    parallel) and returns reports in deterministic request order with
+ *    cycle counts identical to serial execution;
+ *  - Status-style error reporting: compile failures come back in
+ *    RunReport::status instead of being thrown, so one bad cell does
+ *    not abort a 140-cell sweep.
+ *
+ * Typical use:
+ *
+ *     mxl::Engine eng;                       // hardware_concurrency workers
+ *     std::vector<mxl::RunRequest> grid = ...;
+ *     for (const mxl::RunReport &rep : eng.runGrid(grid))
+ *         if (rep.ok()) consume(rep.result);
+ *
+ * The legacy free functions compileAndRun()/runUnit() in core/run.h
+ * remain as thin wrappers over Engine::defaultEngine().
+ */
+
+#ifndef MXLISP_CORE_ENGINE_H_
+#define MXLISP_CORE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/options.h"
+#include "compiler/unit.h"
+#include "core/run.h"
+
+namespace mxl {
+
+/** Outcome classification of an Engine request (before run semantics). */
+struct RunStatus
+{
+    enum class Code
+    {
+        Ok,            ///< compiled and simulated; see RunResult::stop
+        CompileError,  ///< fatal(): bad Lisp source or configuration
+        InternalError, ///< panic(): a bug inside mxlisp itself
+    };
+
+    Code code = Code::Ok;
+    std::string message; ///< diagnostic text when code != Ok
+
+    bool ok() const { return code == Code::Ok; }
+};
+
+/** One cell of the measurement grid. */
+struct RunRequest
+{
+    std::string source;       ///< MX-Lisp top-level forms
+    CompilerOptions opts;
+    uint64_t maxCycles = kDefaultMaxCycles;
+    std::string label;        ///< free-form tag, echoed in the report
+};
+
+/** Everything the engine knows about one executed request. */
+struct RunReport
+{
+    std::string label;       ///< RunRequest::label, echoed back
+    RunStatus status;        ///< compile/internal outcome
+    RunResult result;        ///< meaningful only when status.ok()
+    double wallSeconds = 0;  ///< compile (on miss) + simulation wall time
+    bool cacheHit = false;   ///< compiled unit came from the cache
+
+    /** Compiled, ran, and halted cleanly. */
+    bool ok() const { return status.ok() && result.ok(); }
+};
+
+class Engine
+{
+  public:
+    /**
+     * @param threads worker count for runGrid(); 0 means
+     *        std::thread::hardware_concurrency(). Workers are started
+     *        lazily on the first runGrid() call, so an engine used only
+     *        through run() never spawns a thread.
+     * @param cacheCapacity maximum number of compiled units kept
+     *        (least-recently-used eviction). Cached units hold only the
+     *        live prefix of their pristine memory image, so an entry
+     *        costs roughly the program's static-data footprint, not the
+     *        full simulated address space.
+     */
+    explicit Engine(unsigned threads = 0, size_t cacheCapacity = 256);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Compile (through the cache) and simulate one request, inline on
+     *  the calling thread. Never throws for bad Lisp source; see
+     *  RunReport::status. */
+    RunReport run(const RunRequest &req);
+
+    /**
+     * Fan @p reqs out across the worker pool. Reports come back in
+     * request order, and each cell's CycleStats is identical to what a
+     * serial run() of the same request produces (simulations are
+     * per-run state; nothing mutable is shared). Must not be called
+     * from inside an engine worker (it would deadlock waiting on its
+     * own pool).
+     */
+    std::vector<RunReport> runGrid(const std::vector<RunRequest> &reqs);
+
+    /** Result of a cache-mediated compilation. */
+    struct CompileOutcome
+    {
+        /**
+         * The cached unit; null when !status.ok(). Its `memory` member
+         * is trimmed to the live image prefix — use Engine::run (which
+         * re-expands it) to execute, not runUnit().
+         */
+        std::shared_ptr<const CompiledUnit> unit;
+        RunStatus status;
+        bool cacheHit = false;
+    };
+
+    /** Compile @p source under @p opts through the cache (no run). */
+    CompileOutcome compile(const std::string &source,
+                           const CompilerOptions &opts);
+
+    struct CacheStats
+    {
+        uint64_t hits = 0;    ///< lookups served from the cache
+        uint64_t misses = 0;  ///< lookups that triggered a compile
+        uint64_t entries = 0; ///< units currently cached
+    };
+    CacheStats cacheStats() const;
+    void clearCache();
+
+    /** Worker count runGrid() uses. */
+    unsigned threadCount() const { return threads_; }
+
+    /**
+     * Canonical cache key for (source, options): every CompilerOptions
+     * field is serialized in a fixed order, so two option structs that
+     * compare field-wise equal always map to the same key.
+     */
+    static std::string cacheKey(const std::string &source,
+                                const CompilerOptions &opts);
+
+    /** The process-wide engine behind compileAndRun(). */
+    static Engine &defaultEngine();
+
+  private:
+    struct Compiled
+    {
+        std::shared_ptr<const CompiledUnit> unit; ///< trimmed image
+        RunStatus status;
+    };
+
+    struct CacheEntry
+    {
+        std::string key;
+        std::shared_future<Compiled> future;
+    };
+
+    Compiled getOrCompile(const std::string &source,
+                          const CompilerOptions &opts, bool *cacheHit);
+    RunReport execute(const RunRequest &req);
+    void ensureWorkers();
+    void workerLoop();
+
+    const unsigned threads_;
+    const size_t cacheCapacity_;
+
+    // Compiled-unit cache: LRU list front = most recent.
+    mutable std::mutex cacheMu_;
+    std::list<CacheEntry> lru_;
+    std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+
+    // Worker pool.
+    std::mutex poolMu_;
+    std::condition_variable poolCv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_CORE_ENGINE_H_

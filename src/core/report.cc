@@ -57,11 +57,74 @@ measureProgram(const BenchmarkProgram &prog, const CompilerOptions &base)
 }
 
 std::vector<ProgramMeasurement>
+measureAll(Engine &eng, const CompilerOptions &base)
+{
+    // One grid of 2×10 cells: all off-runs, then all full-runs.
+    CompilerOptions off = base;
+    off.checking = Checking::Off;
+    CompilerOptions full = base;
+    full.checking = Checking::Full;
+    std::vector<RunRequest> grid = programGrid(off);
+    std::vector<RunRequest> fullGrid = programGrid(full);
+    grid.insert(grid.end(), fullGrid.begin(), fullGrid.end());
+
+    auto results = unwrapReports(eng.runGrid(grid));
+    const auto &progs = benchmarkPrograms();
+    std::vector<ProgramMeasurement> out;
+    for (size_t i = 0; i < progs.size(); ++i) {
+        ProgramMeasurement m;
+        m.program = progs[i].name;
+        m.off = results[i];
+        m.full = results[i + progs.size()];
+        if (!m.off.ok() || !m.full.ok())
+            fatal("benchmark ", m.program, " did not halt cleanly");
+        if (m.off.output != m.full.output)
+            fatal("benchmark ", m.program,
+                  " output differs between checking modes");
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::vector<ProgramMeasurement>
 measureAll(const CompilerOptions &base)
 {
-    std::vector<ProgramMeasurement> out;
-    for (const auto &p : benchmarkPrograms())
-        out.push_back(measureProgram(p, base));
+    return measureAll(Engine::defaultEngine(), base);
+}
+
+std::vector<RunRequest>
+programGrid(const CompilerOptions &base)
+{
+    std::vector<RunRequest> grid;
+    for (const auto &p : benchmarkPrograms()) {
+        RunRequest req;
+        req.source = p.source;
+        req.opts = base;
+        req.opts.heapBytes = p.heapBytes;
+        req.maxCycles = p.maxCycles;
+        req.label = p.name;
+        grid.push_back(std::move(req));
+    }
+    return grid;
+}
+
+std::vector<RunResult>
+runPrograms(Engine &eng, const CompilerOptions &base)
+{
+    return unwrapReports(eng.runGrid(programGrid(base)));
+}
+
+std::vector<RunResult>
+unwrapReports(const std::vector<RunReport> &reports)
+{
+    std::vector<RunResult> out;
+    out.reserve(reports.size());
+    for (const auto &rep : reports) {
+        if (!rep.status.ok())
+            fatal("grid cell '", rep.label, "' failed: ",
+                  rep.status.message);
+        out.push_back(rep.result);
+    }
     return out;
 }
 

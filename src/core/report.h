@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/run.h"
 #include "programs/programs.h"
 
@@ -26,9 +27,30 @@ struct ProgramMeasurement
 ProgramMeasurement measureProgram(const BenchmarkProgram &prog,
                                   const CompilerOptions &base);
 
-/** Measure all ten programs. */
+/** Measure all ten programs through @p eng (one parallel grid). */
+std::vector<ProgramMeasurement>
+measureAll(Engine &eng, const CompilerOptions &base);
+
+/** Measure all ten programs on the process-wide default engine. */
 std::vector<ProgramMeasurement>
 measureAll(const CompilerOptions &base);
+
+/**
+ * One RunRequest per benchmark program on top of @p base, with each
+ * program's heap size and cycle guard applied and its name as label.
+ */
+std::vector<RunRequest> programGrid(const CompilerOptions &base);
+
+/**
+ * Fan programGrid(base) out on @p eng and unwrap; fatal() if any cell
+ * failed to compile.
+ */
+std::vector<RunResult> runPrograms(Engine &eng,
+                                   const CompilerOptions &base);
+
+/** Unwrap reports into results; fatal() on any non-ok status. */
+std::vector<RunResult>
+unwrapReports(const std::vector<RunReport> &reports);
 
 // ---- Table 1: % increase when run-time checking is added -------------
 

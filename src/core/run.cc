@@ -1,11 +1,17 @@
 #include "core/run.h"
 
+#include <utility>
+
+#include "core/engine.h"
+#include "support/panic.h"
+
 namespace mxl {
 
 RunResult
-runUnit(const CompiledUnit &unit, uint64_t maxCycles)
+runUnitOn(const CompiledUnit &unit, Memory image, uint64_t maxCycles)
 {
-    Machine m(unit.prog, unit.memory, unit.opts.hw, unit.scheme.get());
+    Machine m(unit.prog, std::move(image), unit.opts.hw,
+              unit.scheme.get());
     if (unit.opts.hw.genericArith && unit.arithTrap >= 0)
         m.setTrapHandler(TrapKind::ArithFail, unit.arithTrap);
     if (unit.opts.hw.checkedMemory != CheckedMem::None &&
@@ -24,11 +30,27 @@ runUnit(const CompiledUnit &unit, uint64_t maxCycles)
 }
 
 RunResult
+runUnit(const CompiledUnit &unit, uint64_t maxCycles)
+{
+    return runUnitOn(unit, unit.memory, maxCycles);
+}
+
+RunResult
 compileAndRun(const std::string &source, const CompilerOptions &opts,
               uint64_t maxCycles)
 {
-    CompiledUnit unit = compileUnit(source, opts);
-    return runUnit(unit, maxCycles);
+    RunRequest req;
+    req.source = source;
+    req.opts = opts;
+    req.maxCycles = maxCycles;
+    RunReport rep = Engine::defaultEngine().run(req);
+    // Legacy contract: compile/internal failures throw, run errors are
+    // encoded in the result (see run.h).
+    if (rep.status.code == RunStatus::Code::CompileError)
+        throw MxlError(MxlError::Kind::Fatal, rep.status.message);
+    if (rep.status.code == RunStatus::Code::InternalError)
+        throw MxlError(MxlError::Kind::Panic, rep.status.message);
+    return rep.result;
 }
 
 } // namespace mxl

@@ -1,6 +1,21 @@
 /**
  * @file
  * Running compiled units on the machine and collecting measurements.
+ *
+ * These free functions are the legacy single-shot interface; new code
+ * should prefer mxl::Engine (core/engine.h), which adds a compiled-unit
+ * cache, parallel grid execution, and non-throwing error reporting.
+ * compileAndRun() is kept as a thin wrapper over the process-wide
+ * default engine so existing callers keep working (and now share its
+ * cache).
+ *
+ * Error contract: the engine reports every failure — compile-time and
+ * run-time — through RunReport's status/result fields and never throws
+ * for bad Lisp input. The legacy wrappers translate back to the
+ * historical split: compileAndRun() throws MxlError on compile errors
+ * (fatal: bad source/config) and internal errors (panic), while
+ * run-time errors (Lisp `error`, cycle-limit) are encoded in the
+ * returned RunResult's `stop`/`errorCode` fields.
  */
 
 #ifndef MXLISP_CORE_RUN_H_
@@ -28,17 +43,28 @@ struct RunResult
     bool ok() const { return stop == StopReason::Halted; }
 };
 
-/** Execute @p unit from its entry point. */
+/** Execute @p unit from its entry point (copies its pristine image). */
 RunResult runUnit(const CompiledUnit &unit,
-                  uint64_t maxCycles = 2'000'000'000);
+                  uint64_t maxCycles = kDefaultMaxCycles);
 
 /**
- * Convenience: compile @p source with @p opts and run it.
- * Throws on compile errors; run errors are reported in the result.
+ * Execute @p unit on a caller-supplied initial memory image. This is
+ * the primitive the Engine's cache path uses: cached units keep only
+ * the live prefix of their image, and the engine re-expands it to
+ * @p unit.layout.memBytes before each run.
+ */
+RunResult runUnitOn(const CompiledUnit &unit, Memory image,
+                    uint64_t maxCycles = kDefaultMaxCycles);
+
+/**
+ * Convenience: compile @p source with @p opts and run it, through
+ * Engine::defaultEngine()'s compiled-unit cache.
+ * Throws MxlError on compile errors; run errors are reported in the
+ * result (see the error contract above).
  */
 RunResult compileAndRun(const std::string &source,
                         const CompilerOptions &opts,
-                        uint64_t maxCycles = 2'000'000'000);
+                        uint64_t maxCycles = kDefaultMaxCycles);
 
 } // namespace mxl
 

@@ -47,6 +47,13 @@ struct HardwareConfig
     std::string describe() const;
 };
 
+/**
+ * Default runaway guard for simulated executions, in cycles. The single
+ * definition behind every `maxCycles` default in the stack (Machine::run,
+ * core/run.h, core/engine.h).
+ */
+inline constexpr uint64_t kDefaultMaxCycles = 2'000'000'000;
+
 /** Why a trap was taken. */
 enum class TrapKind : int
 {
@@ -77,7 +84,7 @@ class Machine
     void setTrapHandler(TrapKind kind, int target);
 
     /** Run from instruction index @p entry until halt/error/limit. */
-    StopReason run(int entry, uint64_t maxCycles = 2'000'000'000);
+    StopReason run(int entry, uint64_t maxCycles = kDefaultMaxCycles);
 
     uint32_t reg(Reg r) const { return regs_[r]; }
     void setReg(Reg r, uint32_t v) { if (r) regs_[r] = v; }

@@ -2,15 +2,24 @@
  * @file
  * Umbrella header: the full public API of mxlisp.
  *
- * Typical use:
+ * Typical use (see docs/API.md):
  *
  *     #include "mxlisp/mxlisp.h"
  *
- *     mxl::CompilerOptions opts;            // scheme/checking/hardware
- *     mxl::RunResult r = mxl::compileAndRun("(print (+ 1 2))", opts);
+ *     mxl::Engine eng;                      // cache + worker pool
+ *     mxl::RunRequest req;
+ *     req.source = "(print (+ 1 2))";
+ *     req.opts = mxl::CompilerOptions{};    // scheme/checking/hardware
+ *     mxl::RunReport rep = eng.run(req);    // rep.status / rep.result
+ *
+ *     // Grids fan out across the pool, results in request order:
+ *     std::vector<mxl::RunReport> reps = eng.runGrid(requests);
+ *
+ * The one-shot free function compileAndRun() in core/run.h remains as
+ * a thin wrapper over Engine::defaultEngine().
  *
  * Finer-grained layers, top to bottom:
- *  - core/      experiment configurations, measurement, paper numbers
+ *  - core/      the Engine, experiment configs, measurement, paper numbers
  *  - programs/  the ten Appendix benchmark programs
  *  - compiler/  MX-Lisp -> MX compilation (unit.h is the entry point)
  *  - runtime/   memory image, layout, Lisp-level runtime sources
@@ -25,6 +34,7 @@
 
 #include "compiler/options.h"
 #include "compiler/unit.h"
+#include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
 #include "core/report.h"

@@ -1,0 +1,258 @@
+/**
+ * mxl::Engine: compiled-unit cache accounting, deterministic parallel
+ * grids (byte-identical CycleStats vs the serial path), non-throwing
+ * compile-error reporting, LRU eviction, and a concurrent stress test
+ * written to be clean under ThreadSanitizer (-DMXL_SANITIZE=thread).
+ */
+
+#include <cstring>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/run.h"
+#include "support/panic.h"
+
+using namespace mxl;
+
+namespace {
+
+const char *const kLoop =
+    "(de tri (n) (if (lessp n 1) 0 (+ n (tri (sub1 n)))))"
+    "(print (tri 40))";
+
+const char *const kLists =
+    "(de build (n) (if (lessp n 1) nil (cons n (build (sub1 n)))))"
+    "(print (length (build 50)))";
+
+RunRequest
+request(const char *source, Checking checking,
+        SchemeKind scheme = SchemeKind::High5)
+{
+    RunRequest req;
+    req.source = source;
+    req.opts = baselineOptions(checking);
+    req.opts.scheme = scheme;
+    return req;
+}
+
+static_assert(std::is_trivially_copyable_v<CycleStats>,
+              "CycleStats must stay memcmp-comparable");
+
+bool
+sameStats(const CycleStats &a, const CycleStats &b)
+{
+    return std::memcmp(&a, &b, sizeof(CycleStats)) == 0;
+}
+
+} // namespace
+
+TEST(Engine, RunProducesSameResultAsDirectPath)
+{
+    Engine eng(2);
+    RunRequest req = request(kLoop, Checking::Full);
+    RunReport rep = eng.run(req);
+    ASSERT_TRUE(rep.ok()) << rep.status.message;
+
+    CompiledUnit unit = compileUnit(req.source, req.opts);
+    RunResult direct = runUnit(unit);
+    EXPECT_TRUE(sameStats(rep.result.stats, direct.stats));
+    EXPECT_EQ(rep.result.output, direct.output);
+    EXPECT_EQ(rep.result.output, "820\n");
+}
+
+TEST(Engine, CacheHitAndMissAccounting)
+{
+    Engine eng(2);
+    RunRequest req = request(kLoop, Checking::Off);
+
+    RunReport first = eng.run(req);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(first.cacheHit);
+
+    RunReport second = eng.run(req);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_TRUE(sameStats(first.result.stats, second.result.stats));
+
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(cs.hits, 1u);
+    EXPECT_EQ(cs.misses, 1u);
+    EXPECT_EQ(cs.entries, 1u);
+
+    // A different configuration of the same source is a distinct unit.
+    RunReport other = eng.run(request(kLoop, Checking::Full));
+    ASSERT_TRUE(other.ok());
+    EXPECT_FALSE(other.cacheHit);
+    EXPECT_EQ(eng.cacheStats().entries, 2u);
+}
+
+TEST(Engine, EveryRepeatedPairHitsTheCache)
+{
+    Engine eng(2);
+    std::vector<RunRequest> grid;
+    for (Checking chk : {Checking::Off, Checking::Full})
+        for (const char *src : {kLoop, kLists})
+            grid.push_back(request(src, chk));
+    std::vector<RunRequest> twice = grid;
+    twice.insert(twice.end(), grid.begin(), grid.end());
+
+    auto reports = eng.runGrid(twice);
+    ASSERT_EQ(reports.size(), twice.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(reports[i + grid.size()].ok());
+        EXPECT_TRUE(sameStats(reports[i].result.stats,
+                              reports[i + grid.size()].result.stats));
+    }
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(cs.misses, grid.size());
+    EXPECT_GE(cs.hits, grid.size()); // ≥1 observed hit per repeated pair
+}
+
+TEST(Engine, GridIsDeterministicAndOrdered)
+{
+    // Serial baseline via the direct (non-engine) path.
+    std::vector<RunRequest> grid;
+    grid.push_back(request(kLoop, Checking::Off));
+    grid.push_back(request(kLoop, Checking::Full));
+    grid.push_back(request(kLists, Checking::Off, SchemeKind::Low3));
+    grid.push_back(request(kLists, Checking::Full, SchemeKind::Low2));
+    for (size_t i = 0; i < grid.size(); ++i)
+        grid[i].label = "cell" + std::to_string(i);
+
+    std::vector<RunResult> serial;
+    for (const auto &req : grid)
+        serial.push_back(runUnit(compileUnit(req.source, req.opts),
+                                 req.maxCycles));
+
+    Engine eng(4);
+    auto reports = eng.runGrid(grid);
+    ASSERT_EQ(reports.size(), grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(reports[i].label, "cell" + std::to_string(i));
+        ASSERT_TRUE(reports[i].ok()) << reports[i].status.message;
+        EXPECT_TRUE(sameStats(reports[i].result.stats, serial[i].stats))
+            << "cell " << i << " diverged from serial execution";
+        EXPECT_EQ(reports[i].result.output, serial[i].output);
+    }
+}
+
+TEST(Engine, ConcurrentGridSharesNoMutableState)
+{
+    // Two workers hammer two shared cached units from many grid cells;
+    // run under -DMXL_SANITIZE=thread to let TSan check the claim.
+    Engine eng(2);
+    std::vector<RunRequest> grid;
+    for (int i = 0; i < 8; ++i)
+        grid.push_back(request(i % 2 ? kLoop : kLists, Checking::Full));
+
+    auto first = eng.runGrid(grid);
+    auto second = eng.runGrid(grid);
+    ASSERT_EQ(first.size(), grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(first[i].ok());
+        ASSERT_TRUE(second[i].ok());
+        EXPECT_TRUE(sameStats(first[i].result.stats,
+                              second[i].result.stats));
+    }
+    // 2 distinct units; every other cell is a hit.
+    EXPECT_EQ(eng.cacheStats().entries, 2u);
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+}
+
+TEST(Engine, CompileErrorsAreReportedNotThrown)
+{
+    Engine eng(2);
+    RunRequest bad = request("(undefined-fn 1)", Checking::Off);
+    RunReport rep;
+    EXPECT_NO_THROW(rep = eng.run(bad));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_EQ(rep.status.code, RunStatus::Code::CompileError);
+    EXPECT_NE(rep.status.message.find("undefined-fn"), std::string::npos);
+    // The failed compile is cached too: same diagnostic, now a hit.
+    RunReport again = eng.run(bad);
+    EXPECT_TRUE(again.cacheHit);
+    EXPECT_EQ(again.status.code, RunStatus::Code::CompileError);
+    EXPECT_EQ(again.status.message, rep.status.message);
+}
+
+TEST(Engine, GridSurvivesMixedGoodAndBadCells)
+{
+    Engine eng(2);
+    std::vector<RunRequest> grid;
+    grid.push_back(request(kLoop, Checking::Off));
+    grid.push_back(request("(de f (a) a) (f 1 2)", Checking::Off));
+    grid.push_back(request(kLists, Checking::Off));
+    auto reports = eng.runGrid(grid);
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_TRUE(reports[0].ok());
+    EXPECT_EQ(reports[1].status.code, RunStatus::Code::CompileError);
+    EXPECT_TRUE(reports[2].ok());
+}
+
+TEST(Engine, RunErrorsLandInResultNotStatus)
+{
+    Engine eng(1);
+    RunReport rep = eng.run(request("(car 5)", Checking::Full));
+    EXPECT_TRUE(rep.status.ok());            // compiled fine
+    EXPECT_EQ(rep.result.stop, StopReason::Errored);
+
+    RunRequest limited = request(kLoop, Checking::Off);
+    limited.maxCycles = 100;
+    rep = eng.run(limited);
+    EXPECT_TRUE(rep.status.ok());
+    EXPECT_EQ(rep.result.stop, StopReason::CycleLimit);
+}
+
+TEST(Engine, LegacyWrapperTranslatesErrorsBack)
+{
+    // compileAndRun throws on compile errors (historical contract)...
+    EXPECT_THROW(compileAndRun("(undefined-fn 1)",
+                               baselineOptions(Checking::Off)),
+                 MxlError);
+    // ...but encodes run errors in the result.
+    auto r = compileAndRun("(car 5)", baselineOptions(Checking::Full),
+                           10'000'000);
+    EXPECT_EQ(r.stop, StopReason::Errored);
+}
+
+TEST(Engine, LruEvictionRespectsCapacity)
+{
+    Engine eng(1, /*cacheCapacity=*/1);
+    eng.run(request(kLoop, Checking::Off));
+    eng.run(request(kLists, Checking::Off)); // evicts kLoop
+    eng.run(request(kLoop, Checking::Off));  // miss again
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(cs.entries, 1u);
+    EXPECT_EQ(cs.misses, 3u);
+    EXPECT_EQ(cs.hits, 0u);
+}
+
+TEST(Engine, CompileOutcomeExposesCachedUnit)
+{
+    Engine eng(1);
+    auto opts = baselineOptions(Checking::Off);
+    auto c = eng.compile(kLoop, opts);
+    ASSERT_TRUE(c.status.ok()) << c.status.message;
+    ASSERT_NE(c.unit, nullptr);
+    EXPECT_FALSE(c.cacheHit);
+    EXPECT_GT(c.unit->procedures, 0);
+    EXPECT_GT(c.unit->objectWords, 0);
+    // The cached image is trimmed well below the full address space.
+    EXPECT_LT(c.unit->memory.size(), c.unit->layout.memBytes);
+
+    // A run of the same cell reuses the compilation.
+    RunReport rep = eng.run(request(kLoop, Checking::Off));
+    EXPECT_TRUE(rep.cacheHit);
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(Engine, WallTimeAndThreadCountAreReported)
+{
+    Engine eng(3);
+    EXPECT_EQ(eng.threadCount(), 3u);
+    RunReport rep = eng.run(request(kLoop, Checking::Off));
+    EXPECT_GT(rep.wallSeconds, 0.0);
+}
