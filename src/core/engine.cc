@@ -39,6 +39,13 @@ expandImage(const CompiledUnit &unit)
     return full;
 }
 
+/**
+ * The engine whose worker pool is executing the current thread, if any.
+ * Set once per worker in workerLoop(); runGrid() consults it to refuse
+ * re-entrant grids instead of self-deadlocking.
+ */
+thread_local const Engine *tlsWorkerOwner = nullptr;
+
 } // namespace
 
 Engine::Engine(unsigned threads, size_t cacheCapacity)
@@ -158,8 +165,22 @@ Engine::execute(const RunRequest &req)
     rep.status = c.status;
     if (c.status.ok()) {
         try {
-            rep.result =
-                runUnitOn(*c.unit, expandImage(*c.unit), req.maxCycles);
+            Memory image = expandImage(*c.unit);
+            if (req.imageMutator)
+                req.imageMutator(image, *c.unit);
+            RunControls controls;
+            controls.maxCycles = req.maxCycles;
+            controls.deadlineSeconds = req.deadlineSeconds;
+            controls.installUnitTrapHandlers = req.installTrapHandlers;
+            controls.machineSetup = req.machineSetup;
+            rep.result = runUnitOn(*c.unit, std::move(image), controls);
+            if (rep.result.timedOut) {
+                rep.status.code = RunStatus::Code::Timeout;
+                rep.status.message =
+                    strcat("deadline of ", req.deadlineSeconds,
+                           "s exceeded after ", rep.result.stats.total,
+                           " cycles");
+            }
         } catch (const MxlError &e) {
             rep.status.code = RunStatus::Code::InternalError;
             rep.status.message = e.what();
@@ -179,17 +200,39 @@ Engine::run(const RunRequest &req)
 }
 
 std::vector<RunReport>
-Engine::runGrid(const std::vector<RunRequest> &reqs)
+Engine::runGrid(const std::vector<RunRequest> &reqs,
+                const GridProgress &progress)
 {
+    if (tlsWorkerOwner == this) {
+        // Re-entrant call from one of our own workers: blocking on the
+        // pool here would deadlock (the calling worker can never drain
+        // its own queue). Refuse deterministically instead.
+        std::vector<RunReport> out(reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            out[i].label = reqs[i].label;
+            out[i].status.code = RunStatus::Code::InternalError;
+            out[i].status.message =
+                "runGrid() called from an engine worker thread; "
+                "use a separate Engine for nested grids";
+        }
+        return out;
+    }
+
     ensureWorkers();
 
     std::vector<std::future<RunReport>> futs;
     futs.reserve(reqs.size());
     {
         std::lock_guard<std::mutex> lk(poolMu_);
-        for (const RunRequest &req : reqs) {
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const RunRequest &req = reqs[i];
             auto task = std::make_shared<std::packaged_task<RunReport()>>(
-                [this, req] { return execute(req); });
+                [this, req, i, progress] {
+                    RunReport rep = execute(req);
+                    if (progress)
+                        progress(i, rep);
+                    return rep;
+                });
             futs.push_back(task->get_future());
             queue_.push_back([task] { (*task)(); });
         }
@@ -219,6 +262,7 @@ Engine::ensureWorkers()
 void
 Engine::workerLoop()
 {
+    tlsWorkerOwner = this;
     for (;;) {
         std::function<void()> job;
         {

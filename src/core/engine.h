@@ -59,6 +59,7 @@ struct RunStatus
         Ok,            ///< compiled and simulated; see RunResult::stop
         CompileError,  ///< fatal(): bad Lisp source or configuration
         InternalError, ///< panic(): a bug inside mxlisp itself
+        Timeout,       ///< RunRequest::deadlineSeconds expired mid-run
     };
 
     Code code = Code::Ok;
@@ -74,6 +75,36 @@ struct RunRequest
     CompilerOptions opts;
     uint64_t maxCycles = kDefaultMaxCycles;
     std::string label;        ///< free-form tag, echoed in the report
+
+    /**
+     * Per-request wall-clock deadline in seconds; 0 means none. The
+     * simulation runs in cycle chunks (RunControls::deadlineSeconds)
+     * and a cell that overruns comes back with
+     * `status.code == Timeout` — one pathological cell cannot stall a
+     * campaign. Runs that finish in time are cycle-identical to
+     * deadline-free runs.
+     */
+    double deadlineSeconds = 0;
+
+    /**
+     * Install the unit's compiled software fallback trap handlers
+     * (rt_arithtrap / rt_tagtrap). Campaigns set this false to measure
+     * the bare unhandled-trap semantics (machine/machine.h).
+     */
+    bool installTrapHandlers = true;
+
+    /**
+     * Applied to the freshly expanded pristine image before execution
+     * (the cached compiled unit is never touched). This is the
+     * fault-injection seam (src/faults/): memory perturbations happen
+     * on the per-run copy, so cache hits stay sound. Not part of the
+     * compiled-unit cache key — requests that differ only in hooks
+     * share a compilation.
+     */
+    std::function<void(Memory &, const CompiledUnit &)> imageMutator;
+
+    /** Forwarded to RunControls::machineSetup (register/hook faults). */
+    std::function<void(Machine &, const CompiledUnit &)> machineSetup;
 };
 
 /** Everything the engine knows about one executed request. */
@@ -114,15 +145,26 @@ class Engine
      *  RunReport::status. */
     RunReport run(const RunRequest &req);
 
+    /** Per-cell completion callback; see runGrid. */
+    using GridProgress =
+        std::function<void(size_t index, const RunReport &report)>;
+
     /**
      * Fan @p reqs out across the worker pool. Reports come back in
      * request order, and each cell's CycleStats is identical to what a
      * serial run() of the same request produces (simulations are
-     * per-run state; nothing mutable is shared). Must not be called
-     * from inside an engine worker (it would deadlock waiting on its
-     * own pool).
+     * per-run state; nothing mutable is shared).
+     *
+     * A call from inside one of this engine's own workers is detected
+     * and returns one InternalError report per request instead of
+     * self-deadlocking on the pool.
+     *
+     * @p progress, when set, is invoked once per cell as it completes,
+     * on the worker thread that ran it (completion order, not request
+     * order) — the observability hook for long sweeps.
      */
-    std::vector<RunReport> runGrid(const std::vector<RunRequest> &reqs);
+    std::vector<RunReport> runGrid(const std::vector<RunRequest> &reqs,
+                                   const GridProgress &progress = {});
 
     /** Result of a cache-mediated compilation. */
     struct CompileOutcome

@@ -120,6 +120,10 @@ unwrapReports(const std::vector<RunReport> &reports)
     std::vector<RunResult> out;
     out.reserve(reports.size());
     for (const auto &rep : reports) {
+        if (rep.status.code == RunStatus::Code::Timeout)
+            fatal("grid cell '", rep.label, "' exceeded its deadline: ",
+                  rep.status.message,
+                  " (raise RunRequest::deadlineSeconds or drop it)");
         if (!rep.status.ok())
             fatal("grid cell '", rep.label, "' failed: ",
                   rep.status.message);

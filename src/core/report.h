@@ -48,7 +48,8 @@ std::vector<RunRequest> programGrid(const CompilerOptions &base);
 std::vector<RunResult> runPrograms(Engine &eng,
                                    const CompilerOptions &base);
 
-/** Unwrap reports into results; fatal() on any non-ok status. */
+/** Unwrap reports into results; fatal() on any non-ok status
+ *  (Timeout cells get a dedicated deadline diagnostic). */
 std::vector<RunResult>
 unwrapReports(const std::vector<RunReport> &reports);
 

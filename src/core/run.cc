@@ -1,5 +1,7 @@
 #include "core/run.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/engine.h"
@@ -7,26 +9,73 @@
 
 namespace mxl {
 
+namespace {
+
+/**
+ * Cycle granularity of the wall-clock deadline check: small enough that
+ * sub-second deadlines are honored promptly, large enough that the
+ * pause/resume bookkeeping is invisible in the simulation rate.
+ */
+constexpr uint64_t kDeadlineChunkCycles = 1'000'000;
+
+} // namespace
+
 RunResult
-runUnitOn(const CompiledUnit &unit, Memory image, uint64_t maxCycles)
+runUnitOn(const CompiledUnit &unit, Memory image,
+          const RunControls &controls)
 {
     Machine m(unit.prog, std::move(image), unit.opts.hw,
               unit.scheme.get());
-    if (unit.opts.hw.genericArith && unit.arithTrap >= 0)
-        m.setTrapHandler(TrapKind::ArithFail, unit.arithTrap);
-    if (unit.opts.hw.checkedMemory != CheckedMem::None &&
-        unit.tagTrap >= 0)
-        m.setTrapHandler(TrapKind::TagMismatch, unit.tagTrap);
+    if (controls.installUnitTrapHandlers) {
+        if (unit.opts.hw.genericArith && unit.arithTrap >= 0)
+            m.setTrapHandler(TrapKind::ArithFail, unit.arithTrap);
+        if (unit.opts.hw.checkedMemory != CheckedMem::None &&
+            unit.tagTrap >= 0)
+            m.setTrapHandler(TrapKind::TagMismatch, unit.tagTrap);
+    }
+    if (controls.machineSetup)
+        controls.machineSetup(m, unit);
 
     RunResult r;
-    r.stop = m.run(unit.entry, maxCycles);
+    if (controls.deadlineSeconds > 0) {
+        auto start = std::chrono::steady_clock::now();
+        auto expired = [&] {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count() >= controls.deadlineSeconds;
+        };
+        uint64_t budget = std::min(controls.maxCycles,
+                                   kDeadlineChunkCycles);
+        r.stop = m.run(unit.entry, budget);
+        while (r.stop == StopReason::CycleLimit &&
+               budget < controls.maxCycles) {
+            if (expired()) {
+                r.timedOut = true;
+                break;
+            }
+            budget = std::min(controls.maxCycles,
+                              budget + kDeadlineChunkCycles);
+            r.stop = m.resume(budget);
+        }
+    } else {
+        r.stop = m.run(unit.entry, controls.maxCycles);
+    }
     r.stats = m.stats();
     r.output = m.output();
     r.errorCode = m.errorCode();
     r.exitValue = m.exitValue();
+    r.faultIndex = m.faultIndex();
     r.gcCount = m.memory().load(unit.layout.cellAddr(Cell::GcCount));
     r.heapUsed = m.memory().load(unit.layout.cellAddr(Cell::HeapUsed));
     return r;
+}
+
+RunResult
+runUnitOn(const CompiledUnit &unit, Memory image, uint64_t maxCycles)
+{
+    RunControls controls;
+    controls.maxCycles = maxCycles;
+    return runUnitOn(unit, std::move(image), controls);
 }
 
 RunResult

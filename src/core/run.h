@@ -22,6 +22,7 @@
 #define MXLISP_CORE_RUN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "compiler/unit.h"
@@ -39,8 +40,46 @@ struct RunResult
     uint32_t exitValue = 0;
     uint64_t gcCount = 0;     ///< collections performed
     uint64_t heapUsed = 0;    ///< bytes live after the last collection
+    bool timedOut = false;    ///< RunControls::deadlineSeconds expired
+    int faultIndex = -1;      ///< Machine::faultIndex() (traps/wild access)
 
     bool ok() const { return stop == StopReason::Halted; }
+};
+
+/**
+ * Execution knobs beyond the cycle guard. The defaults reproduce the
+ * historical runUnitOn(unit, image, maxCycles) behavior exactly.
+ */
+struct RunControls
+{
+    uint64_t maxCycles = kDefaultMaxCycles;
+
+    /**
+     * Wall-clock budget in seconds; 0 means unlimited. Enforced by
+     * running the machine in fixed cycle chunks (Machine::resume), so a
+     * run that finishes within the deadline has CycleStats identical to
+     * an unchunked run. On expiry the result carries
+     * `stop == CycleLimit` and `timedOut == true`; the engine surfaces
+     * this as RunStatus::Code::Timeout.
+     */
+    double deadlineSeconds = 0;
+
+    /**
+     * Install the unit's compiled software fallback handlers
+     * (rt_arithtrap / rt_tagtrap) for the hardware trap kinds the
+     * configuration enables, so e.g. genericArith degrades to the
+     * out-of-line software path (§6.2.2). When false, a trap stops the
+     * run with the documented unhandled-trap error encoding
+     * (machine/machine.h).
+     */
+    bool installUnitTrapHandlers = true;
+
+    /**
+     * Called after machine construction (and handler installation),
+     * before execution — the seam fault-injection campaigns use to
+     * install trace hooks or perturb registers (src/faults/).
+     */
+    std::function<void(Machine &, const CompiledUnit &)> machineSetup;
 };
 
 /** Execute @p unit from its entry point (copies its pristine image). */
@@ -55,6 +94,10 @@ RunResult runUnit(const CompiledUnit &unit,
  */
 RunResult runUnitOn(const CompiledUnit &unit, Memory image,
                     uint64_t maxCycles = kDefaultMaxCycles);
+
+/** As above, with the full set of execution knobs. */
+RunResult runUnitOn(const CompiledUnit &unit, Memory image,
+                    const RunControls &controls);
 
 /**
  * Convenience: compile @p source with @p opts and run it, through

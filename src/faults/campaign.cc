@@ -1,0 +1,270 @@
+#include "faults/campaign.h"
+
+#include <utility>
+
+#include "runtime/stubs.h"
+#include "support/format.h"
+#include "support/panic.h"
+#include "support/table.h"
+
+namespace mxl {
+
+namespace {
+
+/**
+ * Per-trial fault seed. Mixed from the campaign seed and the trial's
+ * (program, class, trial) coordinates only — configurations share the
+ * fault population (see campaign.h).
+ */
+uint64_t
+trialSeed(const Campaign &c, int prog, int cls, int trial)
+{
+    uint64_t key = (static_cast<uint64_t>(prog) * c.classes.size() +
+                    static_cast<uint64_t>(cls)) *
+                       static_cast<uint64_t>(c.trials) +
+                   static_cast<uint64_t>(trial);
+    return FaultRng::mix(c.seed, key + 1);
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Detected:
+        return "detected";
+      case Outcome::SilentWrongAnswer:
+        return "silent-wrong";
+      case Outcome::CrashIllegalAccess:
+        return "crash";
+      case Outcome::CycleLimit:
+        return "cycle-limit";
+      case Outcome::Masked:
+        return "masked";
+      case Outcome::NumOutcomes:
+        break;
+    }
+    return "?";
+}
+
+const char *
+detectChannelName(DetectChannel c)
+{
+    switch (c) {
+      case DetectChannel::None:
+        return "none";
+      case DetectChannel::SoftwareCheck:
+        return "software";
+      case DetectChannel::HardwareTrap:
+        return "hw-trap";
+    }
+    return "?";
+}
+
+Outcome
+classifyOutcome(const RunReport &faulted, const RunReport &golden,
+                DetectChannel *channel)
+{
+    DetectChannel ch = DetectChannel::None;
+    Outcome out;
+
+    switch (faulted.status.code) {
+      case RunStatus::Code::Timeout:
+        out = Outcome::CycleLimit;
+        break;
+      case RunStatus::Code::CompileError:
+      case RunStatus::Code::InternalError:
+        // Faults are injected after compilation, so this is the
+        // simulator losing control of the run (e.g. a wild sp taking
+        // the runtime's own bookkeeping out of range).
+        out = Outcome::CrashIllegalAccess;
+        break;
+      case RunStatus::Code::Ok:
+        switch (faulted.result.stop) {
+          case StopReason::Halted:
+            out = (faulted.result.output == golden.result.output &&
+                   faulted.result.exitValue == golden.result.exitValue)
+                      ? Outcome::Masked
+                      : Outcome::SilentWrongAnswer;
+            break;
+          case StopReason::Errored: {
+            int64_t code = faulted.result.errorCode;
+            if (isUnhandledTrapCode(code) || code == rtcode::tagTrap) {
+                // Raw hardware trap, or the software fallback handler a
+                // hardware trap vectored into.
+                out = Outcome::Detected;
+                ch = DetectChannel::HardwareTrap;
+            } else if (code == kDivideByZeroCode) {
+                out = Outcome::CrashIllegalAccess;
+            } else {
+                // Compiled type checks (rt_error), calls through
+                // corrupted function cells (rt_undef), and Lisp-level
+                // `error` are all software-side detection.
+                out = Outcome::Detected;
+                ch = DetectChannel::SoftwareCheck;
+            }
+            break;
+          }
+          case StopReason::IllegalAccess:
+            out = Outcome::CrashIllegalAccess;
+            break;
+          case StopReason::CycleLimit:
+          case StopReason::Running:
+            out = Outcome::CycleLimit;
+            break;
+          default:
+            out = Outcome::CrashIllegalAccess;
+            break;
+        }
+        break;
+      default:
+        out = Outcome::CrashIllegalAccess;
+        break;
+    }
+
+    if (channel)
+        *channel = out == Outcome::Detected ? ch : DetectChannel::None;
+    return out;
+}
+
+std::string
+CampaignResult::renderMatrix() const
+{
+    TextTable t;
+    std::vector<std::string> head;
+    head.push_back("config");
+    for (const std::string &cls : classLabels) {
+        head.push_back(cls + " det");
+        head.push_back("silent");
+        head.push_back("crash");
+        head.push_back("limit");
+        head.push_back("masked");
+    }
+    head.push_back("hw-traps");
+    head.push_back("sw-checks");
+    t.addRow(std::move(head));
+    for (size_t c = 0; c < configCount; ++c) {
+        std::vector<std::string> row;
+        row.push_back(configLabels[c]);
+        int hw = 0, sw = 0;
+        for (size_t k = 0; k < classCount; ++k) {
+            const CampaignCell &cell = this->cell(c, k);
+            row.push_back(std::to_string(cell.detected()));
+            row.push_back(
+                std::to_string(cell.count(Outcome::SilentWrongAnswer)));
+            row.push_back(
+                std::to_string(cell.count(Outcome::CrashIllegalAccess)));
+            row.push_back(std::to_string(cell.count(Outcome::CycleLimit)));
+            row.push_back(std::to_string(cell.count(Outcome::Masked)));
+            hw += cell.hardwareTraps;
+            sw += cell.softwareChecks;
+        }
+        row.push_back(std::to_string(hw));
+        row.push_back(std::to_string(sw));
+        t.addRow(std::move(row));
+    }
+    return t.render();
+}
+
+CampaignResult
+runCampaign(Engine &engine, const Campaign &campaign)
+{
+    const size_t nProg = campaign.programs.size();
+    const size_t nCfg = campaign.configs.size();
+    const size_t nCls = campaign.classes.size();
+    MXL_ASSERT(nProg && nCfg && nCls && campaign.trials > 0,
+               "empty campaign");
+
+    // ---- goldens: one clean run per (program, config) ----
+    std::vector<RunRequest> goldenReqs;
+    goldenReqs.reserve(nProg * nCfg);
+    for (size_t p = 0; p < nProg; ++p)
+        for (size_t c = 0; c < nCfg; ++c) {
+            RunRequest req;
+            req.source = campaign.programs[p].source;
+            req.opts = campaign.configs[c].opts;
+            req.maxCycles = campaign.programs[p].maxCycles;
+            req.label = strcat("golden/", campaign.programs[p].name, "/",
+                               campaign.configs[c].label);
+            goldenReqs.push_back(std::move(req));
+        }
+    std::vector<RunReport> goldens = engine.runGrid(goldenReqs);
+    for (const RunReport &g : goldens)
+        if (!g.ok())
+            fatal(strcat("campaign golden run failed: ", g.label, ": ",
+                         g.status.message.empty()
+                             ? strcat("stop=",
+                                      static_cast<int>(g.result.stop),
+                                      " errorCode=", g.result.errorCode)
+                             : g.status.message));
+
+    // ---- faulted trials, one grid batch ----
+    std::vector<RunRequest> reqs;
+    std::vector<TrialRecord> records;
+    reqs.reserve(nProg * nCfg * nCls * campaign.trials);
+    records.reserve(reqs.capacity());
+    for (size_t p = 0; p < nProg; ++p)
+        for (size_t c = 0; c < nCfg; ++c)
+            for (size_t k = 0; k < nCls; ++k)
+                for (int t = 0; t < campaign.trials; ++t) {
+                    TrialRecord rec;
+                    rec.program = static_cast<int>(p);
+                    rec.config = static_cast<int>(c);
+                    rec.cls = static_cast<int>(k);
+                    rec.trial = t;
+                    rec.faultSeed = trialSeed(campaign, static_cast<int>(p),
+                                              static_cast<int>(k), t);
+
+                    FaultSpec spec;
+                    spec.cls = campaign.classes[k];
+                    spec.seed = rec.faultSeed;
+
+                    RunRequest req;
+                    req.source = campaign.programs[p].source;
+                    req.opts = campaign.configs[c].opts;
+                    req.maxCycles = campaign.programs[p].maxCycles;
+                    req.deadlineSeconds = campaign.deadlineSeconds;
+                    req.label =
+                        strcat(campaign.programs[p].name, "/",
+                               campaign.configs[c].label, "/",
+                               spec.describe(), "/t", t);
+                    armFault(req, spec);
+
+                    reqs.push_back(std::move(req));
+                    records.push_back(rec);
+                }
+    std::vector<RunReport> reports = engine.runGrid(reqs);
+
+    // ---- classify ----
+    CampaignResult result;
+    result.configCount = nCfg;
+    result.classCount = nCls;
+    for (const CampaignConfigEntry &c : campaign.configs)
+        result.configLabels.push_back(c.label);
+    for (FaultClass cls : campaign.classes)
+        result.classLabels.push_back(faultClassName(cls));
+    result.cells.assign(nCfg * nCls, CampaignCell());
+
+    for (size_t i = 0; i < reports.size(); ++i) {
+        TrialRecord &rec = records[i];
+        const RunReport &golden =
+            goldens[static_cast<size_t>(rec.program) * nCfg +
+                    static_cast<size_t>(rec.config)];
+        rec.outcome = classifyOutcome(reports[i], golden, &rec.channel);
+        rec.errorCode = reports[i].result.errorCode;
+        rec.faultIndex = reports[i].result.faultIndex;
+
+        CampaignCell &cell = result.cell(static_cast<size_t>(rec.config),
+                                         static_cast<size_t>(rec.cls));
+        ++cell.byOutcome[static_cast<int>(rec.outcome)];
+        if (rec.channel == DetectChannel::HardwareTrap)
+            ++cell.hardwareTraps;
+        else if (rec.channel == DetectChannel::SoftwareCheck)
+            ++cell.softwareChecks;
+    }
+    result.trials = std::move(records);
+    return result;
+}
+
+} // namespace mxl

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fault-injection campaigns: the detection-coverage counterpart of the
+ * paper's cost tables.
+ *
+ * A Campaign names a grid of (program × hardware/compiler configuration
+ * × fault class) cells and a trial count; runCampaign() first computes
+ * one fault-free golden run per (program, configuration), then fans
+ * every faulted trial through Engine::runGrid and classifies each
+ * outcome against its golden:
+ *
+ *   Detected           the run stopped with an error the checking
+ *                      machinery raised (software check, software trap
+ *                      fallback, or an unhandled hardware trap);
+ *   SilentWrongAnswer  the run halted "cleanly" but its output or exit
+ *                      value differs from the golden — the outcome tag
+ *                      checking exists to prevent;
+ *   CrashIllegalAccess the run went wild (load/store outside the image,
+ *                      division by zero, or a simulator-internal error);
+ *   CycleLimit         the run neither halted nor erred within its
+ *                      cycle budget or wall-clock deadline;
+ *   Masked             the run halted with output identical to the
+ *                      golden — the fault was absorbed.
+ *
+ * Every trial's fault is derived deterministically from Campaign::seed
+ * and the trial's (program, class, trial) coordinates — deliberately
+ * NOT from the configuration, so all configurations face the same fault
+ * population and detection rates are directly comparable across rows.
+ */
+
+#ifndef MXLISP_FAULTS_CAMPAIGN_H_
+#define MXLISP_FAULTS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "faults/fault_injector.h"
+
+namespace mxl {
+
+/** How a Detected outcome was detected. */
+enum class DetectChannel
+{
+    None,          ///< outcome is not Detected
+    SoftwareCheck, ///< compiled inline check or runtime `error`
+    HardwareTrap,  ///< Addt/Subt or Ldt/Stt trap (handled or not)
+};
+
+/** Classified outcome of one faulted trial (see file comment). */
+enum class Outcome
+{
+    Detected,
+    SilentWrongAnswer,
+    CrashIllegalAccess,
+    CycleLimit,
+    Masked,
+    NumOutcomes,
+};
+
+const char *outcomeName(Outcome o);
+const char *detectChannelName(DetectChannel c);
+
+/** One benchmark program of a campaign. */
+struct CampaignProgram
+{
+    std::string name;
+    std::string source;
+    uint64_t maxCycles = 50'000'000;
+};
+
+/** One hardware/compiler configuration (a Table-2-style ladder rung). */
+struct CampaignConfigEntry
+{
+    std::string label;
+    CompilerOptions opts;
+};
+
+/** The full campaign grid. */
+struct Campaign
+{
+    std::vector<CampaignProgram> programs;
+    std::vector<CampaignConfigEntry> configs;
+    std::vector<FaultClass> classes;
+    int trials = 20;           ///< faulted trials per (prog, config, class)
+    uint64_t seed = 1;         ///< root of every per-trial fault seed
+    double deadlineSeconds = 0; ///< per-trial wall-clock guard (0 = none)
+};
+
+/** One classified trial. */
+struct TrialRecord
+{
+    int program = 0; ///< index into Campaign::programs
+    int config = 0;  ///< index into Campaign::configs
+    int cls = 0;     ///< index into Campaign::classes
+    int trial = 0;
+    uint64_t faultSeed = 0;
+    Outcome outcome = Outcome::Masked;
+    DetectChannel channel = DetectChannel::None;
+    int64_t errorCode = 0;  ///< RunResult::errorCode of the faulted run
+    int faultIndex = -1;    ///< faulting instruction index, when known
+};
+
+/** Aggregated counts for one (config, class) matrix cell. */
+struct CampaignCell
+{
+    int byOutcome[static_cast<int>(Outcome::NumOutcomes)] = {};
+    int hardwareTraps = 0;  ///< Detected via DetectChannel::HardwareTrap
+    int softwareChecks = 0; ///< Detected via DetectChannel::SoftwareCheck
+
+    int count(Outcome o) const { return byOutcome[static_cast<int>(o)]; }
+    int detected() const { return count(Outcome::Detected); }
+    int
+    total() const
+    {
+        int t = 0;
+        for (int n : byOutcome)
+            t += n;
+        return t;
+    }
+};
+
+/** Everything runCampaign() measures. */
+struct CampaignResult
+{
+    size_t configCount = 0;
+    size_t classCount = 0;
+    std::vector<std::string> configLabels;
+    std::vector<std::string> classLabels;
+    /** configs × classes, row-major by config. */
+    std::vector<CampaignCell> cells;
+    std::vector<TrialRecord> trials;
+
+    const CampaignCell &
+    cell(size_t config, size_t cls) const
+    {
+        return cells[config * classCount + cls];
+    }
+    CampaignCell &
+    cell(size_t config, size_t cls)
+    {
+        return cells[config * classCount + cls];
+    }
+
+    /**
+     * Render the detection-coverage matrix: one row per configuration,
+     * one column group per fault class with detected/silent/crash/
+     * limit/masked counts, plus the hardware-vs-software detection
+     * split.
+     */
+    std::string renderMatrix() const;
+};
+
+/**
+ * Classify one faulted run against its fault-free golden. Exposed for
+ * unit tests; @p channel (optional) receives the detection channel.
+ * @p golden must be a clean (ok()) run of the same (program, config).
+ */
+Outcome classifyOutcome(const RunReport &faulted, const RunReport &golden,
+                        DetectChannel *channel = nullptr);
+
+/**
+ * Run the whole campaign through @p engine: goldens first (fatal() if
+ * any program fails to run cleanly under some configuration — campaign
+ * programs must be correct), then every faulted trial in one
+ * Engine::runGrid batch. Deterministic: same campaign, same result.
+ */
+CampaignResult runCampaign(Engine &engine, const Campaign &campaign);
+
+} // namespace mxl
+
+#endif // MXLISP_FAULTS_CAMPAIGN_H_

@@ -1,0 +1,172 @@
+#include "faults/fault_injector.h"
+
+#include <memory>
+#include <vector>
+
+#include "support/format.h"
+
+namespace mxl {
+
+namespace {
+
+/**
+ * The CallArgType injector corrupts an argument at the N-th executed
+ * call, with N drawn from [0, kCallWindow). A small window keeps the
+ * fault early enough that most trials actually reach it (trials where
+ * the program performs fewer calls are classified Masked — the fault
+ * never fired, which is itself a data point).
+ */
+constexpr uint64_t kCallWindow = 16;
+
+/** Word indices of the static data area of @p unit's layout. */
+void
+staticDataRange(const CompiledUnit &unit, uint32_t *lo, uint32_t *hi)
+{
+    *lo = unit.layout.staticDataBase / 4;
+    *hi = unit.layout.staticLimit / 4;
+}
+
+/**
+ * Candidate words for TagCorrupt: static-area words carrying a
+ * pair-typed pointer back into the static area — the cells of quoted
+ * list structure. Corrupting one models exactly the fault tag checking
+ * exists to catch: a list cell whose type field no longer matches its
+ * contents.
+ */
+std::vector<uint32_t>
+pairPointerWords(const Memory &image, const CompiledUnit &unit)
+{
+    const TagScheme &s = *unit.scheme;
+    uint32_t lo, hi;
+    staticDataRange(unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi && i < image.size() / 4; ++i) {
+        uint32_t w = image.word(i);
+        if (w == 0 || s.primaryTag(w) != s.pointerTag(TypeId::Pair))
+            continue;
+        uint32_t a = s.detagAddr(w);
+        if (a >= unit.layout.staticBase && a < unit.layout.staticLimit)
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** All nonzero static-data words (BitFlip targets, TagCorrupt fallback). */
+std::vector<uint32_t>
+nonzeroWords(const Memory &image, const CompiledUnit &unit)
+{
+    uint32_t lo, hi;
+    staticDataRange(unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi && i < image.size() / 4; ++i)
+        if (image.word(i) != 0)
+            out.push_back(i);
+    return out;
+}
+
+void
+injectTagCorrupt(Memory &image, const CompiledUnit &unit, uint64_t seed)
+{
+    FaultRng rng(seed);
+    const TagScheme &s = *unit.scheme;
+    std::vector<uint32_t> sites = pairPointerWords(image, unit);
+    if (sites.empty())
+        sites = nonzeroWords(image, unit);
+    if (sites.empty())
+        return; // nothing to corrupt; the trial will classify as Masked
+    uint32_t idx = sites[rng.below(sites.size())];
+    // XOR a nonzero delta into the tag field: the word keeps its data
+    // part (address) but claims a different type.
+    uint32_t tagMask = (1u << s.tagBits()) - 1u;
+    uint32_t delta = 1u + static_cast<uint32_t>(rng.below(tagMask));
+    image.word(idx) ^= delta << s.tagShift();
+}
+
+void
+injectBitFlip(Memory &image, const CompiledUnit &unit, uint64_t seed)
+{
+    FaultRng rng(seed);
+    std::vector<uint32_t> sites = nonzeroWords(image, unit);
+    if (sites.empty())
+        return;
+    uint32_t idx = sites[rng.below(sites.size())];
+    image.word(idx) ^= 1u << rng.below(32);
+}
+
+void
+installCallArgFault(Machine &m, const CompiledUnit &unit, uint64_t seed)
+{
+    FaultRng rng(seed);
+    uint64_t targetCall = rng.below(kCallWindow);
+    Reg argReg = static_cast<Reg>(abi::arg0 + rng.below(2));
+    const TagScheme *s = unit.scheme.get();
+
+    // Precompute both replacement words: an ill-typed value is one whose
+    // type differs from what the register held when the call fired.
+    uint32_t align = s->alignment(TypeId::Pair);
+    uint32_t pairAddr = (unit.layout.heapABase + align - 1) & ~(align - 1);
+    uint32_t pairWord = s->encodePointer(TypeId::Pair, pairAddr);
+    uint32_t fixWord =
+        s->encodeFixnum(static_cast<int64_t>(1 + rng.below(1000)));
+
+    auto calls = std::make_shared<uint64_t>(0);
+    Machine *mp = &m;
+    m.traceHook = [calls, targetCall, argReg, s, pairWord, fixWord,
+                   mp](int, const Instruction &inst) {
+        if (inst.op != Opcode::Jal && inst.op != Opcode::Jalr)
+            return;
+        if ((*calls)++ != targetCall)
+            return;
+        uint32_t cur = mp->reg(argReg);
+        mp->setReg(argReg, s->wordIsFixnum(cur) ? pairWord : fixWord);
+    };
+}
+
+} // namespace
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::TagCorrupt:
+        return "tag-corrupt";
+      case FaultClass::BitFlip:
+        return "bit-flip";
+      case FaultClass::CallArgType:
+        return "call-arg-type";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    return strcat(faultClassName(cls), "(seed=", seed, ")");
+}
+
+void
+armFault(RunRequest &req, const FaultSpec &spec)
+{
+    switch (spec.cls) {
+      case FaultClass::TagCorrupt:
+        req.imageMutator = [seed = spec.seed](Memory &image,
+                                              const CompiledUnit &unit) {
+            injectTagCorrupt(image, unit, seed);
+        };
+        break;
+      case FaultClass::BitFlip:
+        req.imageMutator = [seed = spec.seed](Memory &image,
+                                              const CompiledUnit &unit) {
+            injectBitFlip(image, unit, seed);
+        };
+        break;
+      case FaultClass::CallArgType:
+        req.machineSetup = [seed = spec.seed](Machine &m,
+                                              const CompiledUnit &unit) {
+            installCallArgFault(m, unit, seed);
+        };
+        break;
+    }
+}
+
+} // namespace mxl

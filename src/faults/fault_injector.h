@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection on compiled units.
+ *
+ * The paper sells run-time tag checking as a safety net but only ever
+ * measures its cost; this subsystem measures the detection side (the
+ * axis Serebryany et al. make the headline metric for memory tagging).
+ * A FaultSpec names one perturbation of a program run:
+ *
+ *  - TagCorrupt: flip the tag field of a pointer-tagged word in the
+ *    pristine image's static data (a corrupted cell in a reachable
+ *    list structure) — the fault class tag checking is built to catch;
+ *  - BitFlip: flip one bit of a live word in the pristine image — the
+ *    classic memory-corruption model, which tag checking catches only
+ *    when the flip lands in (or perturbs) a tag;
+ *  - CallArgType: substitute an ill-typed value into an argument
+ *    register at the N-th executed call — the "wrong type reaches a
+ *    procedure" model of §3's checking discussion.
+ *
+ * Everything is derived from FaultSpec::seed with a splitmix64 stream:
+ * the same (spec, compiled unit) pair always yields the same injected
+ * fault, so campaigns are replayable cell by cell. Faults are applied
+ * through RunRequest's imageMutator/machineSetup hooks, i.e. to the
+ * per-run expanded image and machine — never to the engine's cached
+ * compiled unit.
+ */
+
+#ifndef MXLISP_FAULTS_FAULT_INJECTOR_H_
+#define MXLISP_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+
+namespace mxl {
+
+/** The injectable fault classes. */
+enum class FaultClass
+{
+    TagCorrupt, ///< corrupt the tag field of a static pointer word
+    BitFlip,    ///< flip one data bit in the pristine image
+    CallArgType ///< ill-typed argument substitution at a call boundary
+};
+
+const char *faultClassName(FaultClass cls);
+
+/** One fully specified fault: class plus the seed that selects the
+ *  injection site. */
+struct FaultSpec
+{
+    FaultClass cls = FaultClass::BitFlip;
+    uint64_t seed = 0;
+
+    std::string describe() const;
+};
+
+/**
+ * Deterministic splitmix64 generator — the only randomness source in
+ * the fault subsystem, so a campaign is a pure function of its seed.
+ */
+class FaultRng
+{
+  public:
+    explicit FaultRng(uint64_t seed) : x_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (x_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, n); n must be nonzero. */
+    uint64_t below(uint64_t n) { return next() % n; }
+
+    /** Derive an independent stream for subkey @p k (campaign cells). */
+    static uint64_t
+    mix(uint64_t seed, uint64_t k)
+    {
+        FaultRng r(seed ^ (k * 0xD6E8FEB86659FD93ull));
+        return r.next();
+    }
+
+  private:
+    uint64_t x_;
+};
+
+/**
+ * Attach @p spec to @p req: installs the imageMutator (TagCorrupt,
+ * BitFlip) or machineSetup hook (CallArgType) that applies the fault to
+ * each run of the request. The request's other fields are untouched;
+ * in particular the compiled-unit cache key is unchanged, so all trials
+ * of one grid cell share a single compilation.
+ */
+void armFault(RunRequest &req, const FaultSpec &spec);
+
+} // namespace mxl
+
+#endif // MXLISP_FAULTS_FAULT_INJECTOR_H_

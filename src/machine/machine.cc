@@ -92,13 +92,26 @@ Machine::trap(TrapKind kind, int idx)
 {
     int handler = trapHandler_[static_cast<int>(kind)];
     if (handler < 0) {
-        errorCode_ = 1000 + static_cast<int>(kind);
+        // No handler installed: the defined semantics are a clean error
+        // stop whose code identifies the trap kind and the faulting
+        // instruction (never undefined behavior, never a silent
+        // continue).
+        errorCode_ = encodeUnhandledTrap(kind, idx);
+        faultIndex_ = idx;
         stop_ = StopReason::Errored;
         return;
     }
     regs_[abi::trapRet] = codeAddr(idx + 1);
     regs_[abi::scratch] = static_cast<uint32_t>(kind);
     pc_ = handler;
+}
+
+void
+Machine::illegalAccess(uint32_t addr, int idx)
+{
+    errorCode_ = static_cast<int64_t>(addr);
+    faultIndex_ = idx;
+    stop_ = StopReason::IllegalAccess;
 }
 
 void
@@ -177,7 +190,7 @@ Machine::execute(const Instruction &inst, int idx)
         break;
       case Opcode::Div:
         if (srt() == 0) {
-            errorCode_ = 2000; // division by zero
+            errorCode_ = kDivideByZeroCode;
             stop_ = StopReason::Errored;
             return;
         }
@@ -185,7 +198,7 @@ Machine::execute(const Instruction &inst, int idx)
         break;
       case Opcode::Rem:
         if (srt() == 0) {
-            errorCode_ = 2000;
+            errorCode_ = kDivideByZeroCode;
             stop_ = StopReason::Errored;
             return;
         }
@@ -202,14 +215,26 @@ Machine::execute(const Instruction &inst, int idx)
         break;
       case Opcode::Li:   wr(uimm); break;
       case Opcode::Mov:  wr(rs()); break;
-      case Opcode::Ld:
-        wr(mem_.load(effAddr(inst, false)));
+      case Opcode::Ld: {
+        uint32_t a = effAddr(inst, false);
+        if (!mem_.inBounds(a)) {
+            illegalAccess(a, idx);
+            return;
+        }
+        wr(mem_.load(a));
         pendingLoadReg_ = inst.rd;
         break;
-      case Opcode::St:
-        mem_.store(effAddr(inst, false), rt());
+      }
+      case Opcode::St: {
+        uint32_t a = effAddr(inst, false);
+        if (!mem_.inBounds(a)) {
+            illegalAccess(a, idx);
+            return;
+        }
+        mem_.store(a, rt());
         break;
-      case Opcode::Ldt:
+      }
+      case Opcode::Ldt: {
         MXL_ASSERT(hw_.checkedMemory != CheckedMem::None,
                    "ldt without checked-memory hardware");
         if (scheme_->primaryTag(rs()) != inst.timm) {
@@ -218,10 +243,16 @@ Machine::execute(const Instruction &inst, int idx)
             trap(TrapKind::TagMismatch, idx);
             return;
         }
-        wr(mem_.load(effAddr(inst, true)));
+        uint32_t a = effAddr(inst, true);
+        if (!mem_.inBounds(a)) {
+            illegalAccess(a, idx);
+            return;
+        }
+        wr(mem_.load(a));
         pendingLoadReg_ = inst.rd;
         break;
-      case Opcode::Stt:
+      }
+      case Opcode::Stt: {
         MXL_ASSERT(hw_.checkedMemory != CheckedMem::None,
                    "stt without checked-memory hardware");
         if (scheme_->primaryTag(rs()) != inst.timm) {
@@ -230,8 +261,14 @@ Machine::execute(const Instruction &inst, int idx)
             trap(TrapKind::TagMismatch, idx);
             return;
         }
-        mem_.store(effAddr(inst, true), rt());
+        uint32_t a = effAddr(inst, true);
+        if (!mem_.inBounds(a)) {
+            illegalAccess(a, idx);
+            return;
+        }
+        mem_.store(a, rt());
         break;
+      }
       case Opcode::Addt:
       case Opcode::Subt: {
         MXL_ASSERT(hw_.genericArith,
@@ -271,8 +308,28 @@ Machine::execute(const Instruction &inst, int idx)
 StopReason
 Machine::run(int entry, uint64_t maxCycles)
 {
+    MXL_ASSERT(entry >= 0 && entry < static_cast<int>(prog_.code.size()),
+               "bad entry point");
+    pc_ = entry;
+    stop_ = StopReason::Running;
+    pendingLoadReg_ = -1;
+    return runGuarded(maxCycles);
+}
+
+StopReason
+Machine::resume(uint64_t maxCycles)
+{
+    MXL_ASSERT(stop_ == StopReason::CycleLimit,
+               "resume() requires a CycleLimit-paused machine");
+    stop_ = StopReason::Running;
+    return runGuarded(maxCycles);
+}
+
+StopReason
+Machine::runGuarded(uint64_t maxCycles)
+{
     try {
-        return runLoop(entry, maxCycles);
+        return runLoop(maxCycles);
     } catch (const MxlError &e) {
         // Re-raise with execution context for diagnosability.
         std::string near;
@@ -288,14 +345,8 @@ Machine::run(int entry, uint64_t maxCycles)
 }
 
 StopReason
-Machine::runLoop(int entry, uint64_t maxCycles)
+Machine::runLoop(uint64_t maxCycles)
 {
-    MXL_ASSERT(entry >= 0 && entry < static_cast<int>(prog_.code.size()),
-               "bad entry point");
-    pc_ = entry;
-    stop_ = StopReason::Running;
-    pendingLoadReg_ = -1;
-
     const auto &code = prog_.code;
     const int n = static_cast<int>(code.size());
 

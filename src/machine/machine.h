@@ -66,9 +66,53 @@ enum class StopReason
 {
     Running,
     Halted,        ///< Sys halt
-    Errored,       ///< Sys error (Lisp-level runtime error)
+    Errored,       ///< Sys error (Lisp-level runtime error) or a trap
+                   ///< with no handler installed (see encodeUnhandledTrap)
     CycleLimit,
+    IllegalAccess, ///< load/store outside the memory image
 };
+
+/** errorCode() for Div/Rem by zero (StopReason::Errored). */
+inline constexpr int64_t kDivideByZeroCode = 2000;
+
+/**
+ * errorCode() encoding for a trap taken with no handler installed:
+ * the run stops with StopReason::Errored and
+ * `errorCode == kUnhandledTrapBase + kind * kUnhandledTrapStride + index`,
+ * where `index` is the faulting instruction index. The stride leaves
+ * room for any realistic code size, and the base keeps the range
+ * disjoint from every Lisp-level and machine-level error code.
+ */
+inline constexpr int64_t kUnhandledTrapBase = 1'000'000'000;
+inline constexpr int64_t kUnhandledTrapStride = 100'000'000;
+
+inline int64_t
+encodeUnhandledTrap(TrapKind kind, int index)
+{
+    return kUnhandledTrapBase +
+           static_cast<int64_t>(kind) * kUnhandledTrapStride + index;
+}
+
+inline bool
+isUnhandledTrapCode(int64_t code)
+{
+    return code >= kUnhandledTrapBase + kUnhandledTrapStride &&
+           code < kUnhandledTrapBase + 3 * kUnhandledTrapStride;
+}
+
+inline TrapKind
+unhandledTrapKind(int64_t code)
+{
+    return static_cast<TrapKind>((code - kUnhandledTrapBase) /
+                                 kUnhandledTrapStride);
+}
+
+inline int
+unhandledTrapIndex(int64_t code)
+{
+    return static_cast<int>((code - kUnhandledTrapBase) %
+                            kUnhandledTrapStride);
+}
 
 class Machine
 {
@@ -86,6 +130,15 @@ class Machine
     /** Run from instruction index @p entry until halt/error/limit. */
     StopReason run(int entry, uint64_t maxCycles = kDefaultMaxCycles);
 
+    /**
+     * Continue a run paused by StopReason::CycleLimit until the *total*
+     * cycle count reaches @p maxCycles. Pausing and resuming is
+     * invisible to the simulation: a run chopped into chunks produces
+     * the same CycleStats, output, and stop as one uninterrupted run
+     * (this is what wall-clock deadlines are built on; core/run.h).
+     */
+    StopReason resume(uint64_t maxCycles);
+
     uint32_t reg(Reg r) const { return regs_[r]; }
     void setReg(Reg r, uint32_t v) { if (r) regs_[r] = v; }
 
@@ -97,6 +150,13 @@ class Machine
     uint32_t exitValue() const { return exitValue_; }
     int64_t errorCode() const { return errorCode_; }
     StopReason stopReason() const { return stop_; }
+
+    /**
+     * Instruction index of the access that stopped the run with
+     * IllegalAccess or an unhandled trap; -1 otherwise. For
+     * IllegalAccess, errorCode() holds the wild byte address.
+     */
+    int faultIndex() const { return faultIndex_; }
 
     /** Byte address of instruction index @p i (code pointers/returns). */
     static uint32_t
@@ -112,12 +172,14 @@ class Machine
     std::function<void(int, const Instruction &)> traceHook;
 
   private:
-    StopReason runLoop(int entry, uint64_t maxCycles);
+    StopReason runGuarded(uint64_t maxCycles);
+    StopReason runLoop(uint64_t maxCycles);
 
     /** Execute one non-control instruction; returns false on halt. */
     void execute(const Instruction &inst, int idx);
     void doSys(const Instruction &inst);
     void trap(TrapKind kind, int idx);
+    void illegalAccess(uint32_t addr, int idx);
     uint32_t effAddr(const Instruction &inst, bool checked) const;
     void chargeAndCount(const Instruction &inst);
 
@@ -133,6 +195,7 @@ class Machine
     uint32_t exitValue_ = 0;
     int64_t errorCode_ = 0;
     StopReason stop_ = StopReason::Running;
+    int faultIndex_ = -1;
     int pendingLoadReg_ = -1;  ///< load-delay interlock tracking
 };
 

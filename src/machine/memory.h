@@ -5,6 +5,11 @@
  * Like MIPS-X, memory is word-addressed: the bottom two bits of every
  * effective address are dropped before the access (this is what makes
  * 2-bit low tags free, §5.2).
+ *
+ * Out-of-range accesses are deterministic, never UB: load()/store()
+ * beyond the image raise fatal() (an MxlError), and callers that need a
+ * non-throwing path — the Machine turns a wild access into a
+ * StopReason::IllegalAccess stop — probe with inBounds() first.
  */
 
 #ifndef MXLISP_MACHINE_MEMORY_H_
@@ -23,10 +28,19 @@ class Memory
     /** Size in bytes. */
     uint32_t size() const { return static_cast<uint32_t>(words_.size()) * 4; }
 
-    /** Load the word at byte address @p addr (bottom 2 bits dropped). */
+    /** True if byte address @p addr falls inside the image. */
+    bool
+    inBounds(uint32_t addr) const
+    {
+        return (addr >> 2) < words_.size();
+    }
+
+    /** Load the word at byte address @p addr (bottom 2 bits dropped).
+     *  fatal() when out of range. */
     uint32_t load(uint32_t addr) const;
 
-    /** Store @p w at byte address @p addr (bottom 2 bits dropped). */
+    /** Store @p w at byte address @p addr (bottom 2 bits dropped).
+     *  fatal() when out of range. */
     void store(uint32_t addr, uint32_t w);
 
     /** Direct word access for image building and tests. */

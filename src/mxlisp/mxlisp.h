@@ -19,6 +19,7 @@
  * a thin wrapper over Engine::defaultEngine().
  *
  * Finer-grained layers, top to bottom:
+ *  - faults/    fault injection + detection-coverage campaigns (FAULTS.md)
  *  - core/      the Engine, experiment configs, measurement, paper numbers
  *  - programs/  the ten Appendix benchmark programs
  *  - compiler/  MX-Lisp -> MX compilation (unit.h is the entry point)
@@ -39,6 +40,8 @@
 #include "core/paper.h"
 #include "core/report.h"
 #include "core/run.h"
+#include "faults/campaign.h"
+#include "faults/fault_injector.h"
 #include "isa/assembler.h"
 #include "isa/instruction.h"
 #include "machine/machine.h"

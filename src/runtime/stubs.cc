@@ -102,17 +102,17 @@ emitStubs(CodeGen &cg, SxArena &arena)
 
     // ---- undefined function (instruction index 0) ----
     buf.defineSymbol("rt_undef");
-    buf.li(abi::scratch, 99);
+    buf.li(abi::scratch, rtcode::undefinedFunction);
     buf.sys(SysCode::Error, abi::scratch);
 
     // ---- type/bounds error ----
     out.labels.error = buf.defineSymbol("rt_error");
-    buf.li(abi::scratch, 100);
+    buf.li(abi::scratch, rtcode::typeError);
     buf.sys(SysCode::Error, abi::scratch);
 
     // ---- hardware tag-mismatch trap: same as a type error ----
     out.tagTrap = buf.defineSymbol("rt_tagtrap");
-    buf.li(abi::scratch, 101);
+    buf.li(abi::scratch, rtcode::tagTrap);
     buf.sys(SysCode::Error, abi::scratch);
 
     int gcFn = cg.functionLabel(arena.sym("gc-reclaim"), 0);

@@ -14,6 +14,18 @@
 
 namespace mxl {
 
+/**
+ * SysCode::Error codes raised by the stubs, surfaced as
+ * RunResult::errorCode on a StopReason::Errored run. Fault-injection
+ * campaigns (src/faults/) classify on these, so they are named here
+ * rather than repeated as magic numbers.
+ */
+namespace rtcode {
+inline constexpr int undefinedFunction = 99; ///< call through an empty fn cell
+inline constexpr int typeError = 100;        ///< compiled software type check
+inline constexpr int tagTrap = 101;          ///< Ldt/Stt software fallback
+} // namespace rtcode
+
 struct StubSet
 {
     RuntimeLabels labels;

@@ -5,7 +5,9 @@
  * written to be clean under ThreadSanitizer (-DMXL_SANITIZE=thread).
  */
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <type_traits>
 
 #include <gtest/gtest.h>
@@ -255,4 +257,116 @@ TEST(Engine, WallTimeAndThreadCountAreReported)
     EXPECT_EQ(eng.threadCount(), 3u);
     RunReport rep = eng.run(request(kLoop, Checking::Off));
     EXPECT_GT(rep.wallSeconds, 0.0);
+}
+
+TEST(Engine, DeadlineSurfacesTimeout)
+{
+    Engine eng(1);
+    RunRequest spin =
+        request("(setq i 0) (while t (setq i (add1 i)))", Checking::Off);
+    spin.deadlineSeconds = 0.2;
+    RunReport rep = eng.run(spin);
+    EXPECT_EQ(rep.status.code, RunStatus::Code::Timeout);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.result.timedOut);
+    EXPECT_EQ(rep.result.stop, StopReason::CycleLimit);
+    EXPECT_NE(rep.status.message.find("deadline"), std::string::npos);
+}
+
+TEST(Engine, DeadlineRunThatFinishesIsCycleIdentical)
+{
+    // The deadline machinery chunks execution through Machine::resume;
+    // a run that beats its deadline must be indistinguishable from a
+    // deadline-free run.
+    Engine eng(1);
+    RunReport plain = eng.run(request(kLoop, Checking::Full));
+    RunRequest limited = request(kLoop, Checking::Full);
+    limited.deadlineSeconds = 30;
+    RunReport rep = eng.run(limited);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(rep.ok());
+    EXPECT_FALSE(rep.result.timedOut);
+    EXPECT_TRUE(sameStats(plain.result.stats, rep.result.stats));
+    EXPECT_EQ(plain.result.output, rep.result.output);
+}
+
+TEST(Engine, NestedRunGridFromWorkerIsRefused)
+{
+    // runGrid() from one of the engine's own workers (reachable through
+    // the progress callback, which runs on the worker that completed
+    // the cell) must fail fast instead of self-deadlocking. Run under
+    // -DMXL_SANITIZE=thread to check the guard's publication too.
+    Engine eng(2);
+    std::vector<RunRequest> outer;
+    outer.push_back(request(kLoop, Checking::Off));
+    std::vector<RunRequest> inner;
+    inner.push_back(request(kLists, Checking::Off));
+    inner[0].label = "nested";
+
+    std::vector<RunReport> nested;
+    auto reports = eng.runGrid(outer, [&](size_t, const RunReport &) {
+        nested = eng.runGrid(inner);
+    });
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].ok());
+    ASSERT_EQ(nested.size(), 1u);
+    EXPECT_EQ(nested[0].status.code, RunStatus::Code::InternalError);
+    EXPECT_EQ(nested[0].label, "nested");
+    EXPECT_NE(nested[0].status.message.find("worker"), std::string::npos);
+
+    // A separate engine is the documented escape hatch.
+    Engine other(1);
+    auto viaOther = other.runGrid(inner);
+    ASSERT_EQ(viaOther.size(), 1u);
+    EXPECT_TRUE(viaOther[0].ok()) << viaOther[0].status.message;
+}
+
+TEST(Engine, ProgressReportsEveryCell)
+{
+    Engine eng(2);
+    std::vector<RunRequest> grid;
+    for (int i = 0; i < 6; ++i)
+        grid.push_back(request(i % 2 ? kLoop : kLists, Checking::Off));
+
+    std::mutex mu;
+    std::vector<size_t> seen;
+    auto reports = eng.runGrid(grid, [&](size_t i, const RunReport &rep) {
+        std::lock_guard<std::mutex> lk(mu);
+        EXPECT_TRUE(rep.status.ok());
+        seen.push_back(i);
+    });
+    ASSERT_EQ(reports.size(), grid.size());
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), grid.size());
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(Engine, TrapHandlerInstallationIsControllable)
+{
+    // (+ 1 'a) under genericArith hardware traps in addt. With the
+    // unit's software fallback installed (default) the trap vectors to
+    // the generic-arithmetic slow path, which raises a Lisp-level type
+    // error; without it, the run stops with the documented
+    // unhandled-trap encoding.
+    RunRequest req = request("(print (+ 1 (quote a)))", Checking::Full);
+    req.opts.hw.genericArith = true;
+
+    Engine eng(1);
+    RunReport handled = eng.run(req);
+    ASSERT_TRUE(handled.status.ok()) << handled.status.message;
+    EXPECT_EQ(handled.result.stop, StopReason::Errored);
+    EXPECT_FALSE(isUnhandledTrapCode(handled.result.errorCode));
+
+    req.installTrapHandlers = false;
+    RunReport bare = eng.run(req);
+    ASSERT_TRUE(bare.status.ok()) << bare.status.message;
+    EXPECT_EQ(bare.result.stop, StopReason::Errored);
+    ASSERT_TRUE(isUnhandledTrapCode(bare.result.errorCode));
+    EXPECT_EQ(unhandledTrapKind(bare.result.errorCode),
+              TrapKind::ArithFail);
+    EXPECT_EQ(unhandledTrapIndex(bare.result.errorCode),
+              bare.result.faultIndex);
+    // Same compiled unit served both runs (hooks are not cache keys).
+    EXPECT_TRUE(bare.cacheHit);
 }

@@ -1,0 +1,370 @@
+/**
+ * Fault-injection subsystem tests: deterministic seeding, injector
+ * behavior on real compiled images, outcome classification, and
+ * campaign invariants (replayability, count conservation, and the
+ * detection differential between checked and unchecked configurations).
+ * Run under -DMXL_SANITIZE=address to check the injectors stay inside
+ * the simulated image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/unit.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "faults/campaign.h"
+#include "faults/fault_injector.h"
+#include "runtime/stubs.h"
+
+using namespace mxl;
+
+namespace {
+
+const char *const kSumList =
+    "(de sumlist (l) (if (null l) 0 (+ (car l) (sumlist (cdr l)))))"
+    "(print (sumlist (quote (1 2 3 4 5 6 7 8 9 10))))";
+
+const char *const kRev =
+    "(de rev (l acc) (if (null l) acc (rev (cdr l) (cons (car l) acc))))"
+    "(print (length (rev (quote (a b c d e f g h)) nil)))";
+
+CompilerOptions
+uncheckedOpts()
+{
+    return baselineOptions(Checking::Off);
+}
+
+CompilerOptions
+checkedAllOpts()
+{
+    CompilerOptions o = baselineOptions(Checking::Full);
+    o.hw.branchOnTag = true;
+    o.hw.genericArith = true;
+    o.hw.checkedMemory = CheckedMem::All;
+    return o;
+}
+
+/** A golden-shaped report: clean halt with the given output. */
+RunReport
+goldenReport(const std::string &output = "55\n", uint32_t exitValue = 0)
+{
+    RunReport rep;
+    rep.result.stop = StopReason::Halted;
+    rep.result.output = output;
+    rep.result.exitValue = exitValue;
+    return rep;
+}
+
+} // namespace
+
+// ---- seeding ----------------------------------------------------------
+
+TEST(FaultRng, DeterministicStreams)
+{
+    FaultRng a(42), b(42), c(43);
+    for (int i = 0; i < 16; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        EXPECT_NE(va, c.next()); // astronomically unlikely to collide
+    }
+    FaultRng d(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(d.below(13), 13u);
+    EXPECT_EQ(FaultRng::mix(1, 2), FaultRng::mix(1, 2));
+    EXPECT_NE(FaultRng::mix(1, 2), FaultRng::mix(1, 3));
+    EXPECT_NE(FaultRng::mix(1, 2), FaultRng::mix(2, 2));
+}
+
+TEST(FaultSpec, DescribeNamesClassAndSeed)
+{
+    FaultSpec spec;
+    spec.cls = FaultClass::TagCorrupt;
+    spec.seed = 99;
+    EXPECT_EQ(spec.describe(), "tag-corrupt(seed=99)");
+    EXPECT_STREQ(faultClassName(FaultClass::BitFlip), "bit-flip");
+    EXPECT_STREQ(faultClassName(FaultClass::CallArgType), "call-arg-type");
+}
+
+// ---- injectors on a real compiled image -------------------------------
+
+TEST(FaultInjector, TagCorruptIsDeterministicAndTagConfined)
+{
+    CompiledUnit unit = compileUnit(kSumList, uncheckedOpts());
+    RunRequest req;
+    FaultSpec spec;
+    spec.cls = FaultClass::TagCorrupt;
+    spec.seed = 5;
+    armFault(req, spec);
+    ASSERT_TRUE(static_cast<bool>(req.imageMutator));
+    ASSERT_FALSE(static_cast<bool>(req.machineSetup));
+
+    Memory a = unit.memory;
+    Memory b = unit.memory;
+    req.imageMutator(a, unit);
+    req.imageMutator(b, unit);
+
+    const TagScheme &s = *unit.scheme;
+    int diffs = 0;
+    for (uint32_t i = 0; i < a.size() / 4; ++i) {
+        uint32_t before = unit.memory.word(i);
+        uint32_t after = a.word(i);
+        EXPECT_EQ(after, b.word(i)) << "same seed, different image";
+        if (before == after)
+            continue;
+        ++diffs;
+        uint32_t delta = before ^ after;
+        // Only the tag field changed; the data part is intact.
+        EXPECT_NE(s.primaryTag(before), s.primaryTag(after));
+        EXPECT_EQ(delta & ~(((1u << s.tagBits()) - 1u) << s.tagShift()),
+                  0u);
+    }
+    EXPECT_EQ(diffs, 1);
+}
+
+TEST(FaultInjector, DistinctSeedsCoverDistinctSites)
+{
+    CompiledUnit unit = compileUnit(kSumList, uncheckedOpts());
+    // Across many seeds, the injector must not collapse onto one site.
+    int distinctWords = 0;
+    std::vector<uint32_t> firstDiff;
+    for (uint64_t seed = 0; seed < 24; ++seed) {
+        RunRequest req;
+        FaultSpec spec;
+        spec.cls = FaultClass::TagCorrupt;
+        spec.seed = FaultRng::mix(1, seed);
+        armFault(req, spec);
+        Memory img = unit.memory;
+        req.imageMutator(img, unit);
+        for (uint32_t i = 0; i < img.size() / 4; ++i)
+            if (img.word(i) != unit.memory.word(i)) {
+                bool seen = false;
+                for (uint32_t w : firstDiff)
+                    seen |= w == i;
+                if (!seen) {
+                    firstDiff.push_back(i);
+                    ++distinctWords;
+                }
+                break;
+            }
+    }
+    EXPECT_GE(distinctWords, 3);
+}
+
+TEST(FaultInjector, BitFlipFlipsExactlyOneBit)
+{
+    CompiledUnit unit = compileUnit(kRev, uncheckedOpts());
+    RunRequest req;
+    FaultSpec spec;
+    spec.cls = FaultClass::BitFlip;
+    spec.seed = 11;
+    armFault(req, spec);
+    Memory img = unit.memory;
+    req.imageMutator(img, unit);
+
+    int flippedBits = 0;
+    for (uint32_t i = 0; i < img.size() / 4; ++i) {
+        uint32_t delta = img.word(i) ^ unit.memory.word(i);
+        while (delta) {
+            flippedBits += delta & 1u;
+            delta >>= 1;
+        }
+    }
+    EXPECT_EQ(flippedBits, 1);
+}
+
+TEST(FaultInjector, CallArgTypeInstallsMachineHook)
+{
+    RunRequest req;
+    FaultSpec spec;
+    spec.cls = FaultClass::CallArgType;
+    spec.seed = 3;
+    armFault(req, spec);
+    EXPECT_FALSE(static_cast<bool>(req.imageMutator));
+    EXPECT_TRUE(static_cast<bool>(req.machineSetup));
+}
+
+// ---- classification ---------------------------------------------------
+
+TEST(Classify, MaskedVsSilentWrongAnswer)
+{
+    RunReport golden = goldenReport();
+    DetectChannel ch;
+    EXPECT_EQ(classifyOutcome(goldenReport(), golden, &ch),
+              Outcome::Masked);
+    EXPECT_EQ(ch, DetectChannel::None);
+    EXPECT_EQ(classifyOutcome(goldenReport("54\n"), golden, nullptr),
+              Outcome::SilentWrongAnswer);
+    EXPECT_EQ(classifyOutcome(goldenReport("55\n", 1), golden, nullptr),
+              Outcome::SilentWrongAnswer);
+}
+
+TEST(Classify, DetectionChannels)
+{
+    RunReport golden = goldenReport();
+    DetectChannel ch;
+
+    RunReport swCheck = goldenReport();
+    swCheck.result.stop = StopReason::Errored;
+    swCheck.result.errorCode = rtcode::typeError;
+    EXPECT_EQ(classifyOutcome(swCheck, golden, &ch), Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::SoftwareCheck);
+
+    swCheck.result.errorCode = rtcode::undefinedFunction;
+    EXPECT_EQ(classifyOutcome(swCheck, golden, &ch), Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::SoftwareCheck);
+
+    RunReport hwHandled = goldenReport();
+    hwHandled.result.stop = StopReason::Errored;
+    hwHandled.result.errorCode = rtcode::tagTrap;
+    EXPECT_EQ(classifyOutcome(hwHandled, golden, &ch), Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::HardwareTrap);
+
+    RunReport hwBare = goldenReport();
+    hwBare.result.stop = StopReason::Errored;
+    hwBare.result.errorCode =
+        encodeUnhandledTrap(TrapKind::TagMismatch, 123);
+    EXPECT_EQ(classifyOutcome(hwBare, golden, &ch), Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::HardwareTrap);
+}
+
+TEST(Classify, CrashesLimitsAndTimeouts)
+{
+    RunReport golden = goldenReport();
+
+    RunReport wild = goldenReport();
+    wild.result.stop = StopReason::IllegalAccess;
+    wild.result.errorCode = 0xdead0000;
+    EXPECT_EQ(classifyOutcome(wild, golden, nullptr),
+              Outcome::CrashIllegalAccess);
+
+    RunReport div0 = goldenReport();
+    div0.result.stop = StopReason::Errored;
+    div0.result.errorCode = kDivideByZeroCode;
+    EXPECT_EQ(classifyOutcome(div0, golden, nullptr),
+              Outcome::CrashIllegalAccess);
+
+    RunReport internal = goldenReport();
+    internal.status.code = RunStatus::Code::InternalError;
+    EXPECT_EQ(classifyOutcome(internal, golden, nullptr),
+              Outcome::CrashIllegalAccess);
+
+    RunReport limit = goldenReport();
+    limit.result.stop = StopReason::CycleLimit;
+    EXPECT_EQ(classifyOutcome(limit, golden, nullptr),
+              Outcome::CycleLimit);
+
+    RunReport timeout = goldenReport();
+    timeout.status.code = RunStatus::Code::Timeout;
+    timeout.result.stop = StopReason::CycleLimit;
+    timeout.result.timedOut = true;
+    EXPECT_EQ(classifyOutcome(timeout, golden, nullptr),
+              Outcome::CycleLimit);
+}
+
+// ---- campaigns --------------------------------------------------------
+
+namespace {
+
+Campaign
+smallCampaign()
+{
+    Campaign c;
+    c.programs.push_back({"sumlist", kSumList, 5'000'000});
+    c.programs.push_back({"rev", kRev, 5'000'000});
+    c.configs.push_back({"unchecked", uncheckedOpts()});
+    c.configs.push_back({"checked-all", checkedAllOpts()});
+    c.classes = {FaultClass::TagCorrupt, FaultClass::BitFlip,
+                 FaultClass::CallArgType};
+    c.trials = 10;
+    c.seed = 2026;
+    c.deadlineSeconds = 10;
+    return c;
+}
+
+} // namespace
+
+TEST(Campaign, CountsAreConserved)
+{
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    CampaignResult r = runCampaign(eng, c);
+
+    ASSERT_EQ(r.configCount, c.configs.size());
+    ASSERT_EQ(r.classCount, c.classes.size());
+    ASSERT_EQ(r.cells.size(), r.configCount * r.classCount);
+    ASSERT_EQ(r.trials.size(), c.programs.size() * c.configs.size() *
+                                   c.classes.size() *
+                                   static_cast<size_t>(c.trials));
+    const int perCell = static_cast<int>(c.programs.size()) * c.trials;
+    for (size_t cfg = 0; cfg < r.configCount; ++cfg)
+        for (size_t cls = 0; cls < r.classCount; ++cls) {
+            const CampaignCell &cell = r.cell(cfg, cls);
+            EXPECT_EQ(cell.total(), perCell);
+            EXPECT_EQ(cell.hardwareTraps + cell.softwareChecks,
+                      cell.detected());
+        }
+}
+
+TEST(Campaign, ReplayIsIdentical)
+{
+    Campaign c = smallCampaign();
+    Engine eng1(2), eng2(3); // thread count must not matter
+    CampaignResult a = runCampaign(eng1, c);
+    CampaignResult b = runCampaign(eng2, c);
+
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    for (size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].faultSeed, b.trials[i].faultSeed);
+        EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << i;
+        EXPECT_EQ(a.trials[i].channel, b.trials[i].channel) << i;
+        EXPECT_EQ(a.trials[i].errorCode, b.trials[i].errorCode) << i;
+    }
+    EXPECT_EQ(a.renderMatrix(), b.renderMatrix());
+}
+
+TEST(Campaign, SharedFaultPopulationAcrossConfigs)
+{
+    // The fault seed depends on (program, class, trial) but NOT the
+    // configuration, so detection rates compare the same fault set.
+    Campaign c = smallCampaign();
+    Engine eng(2);
+    CampaignResult r = runCampaign(eng, c);
+    for (const TrialRecord &t : r.trials)
+        for (const TrialRecord &u : r.trials)
+            if (t.program == u.program && t.cls == u.cls &&
+                t.trial == u.trial)
+                EXPECT_EQ(t.faultSeed, u.faultSeed);
+}
+
+TEST(Campaign, CheckedHardwareDetectsMoreTagCorruptions)
+{
+    // The acceptance differential: full checked-memory hardware must
+    // detect strictly more injected tag corruptions than the unchecked
+    // baseline (which masks tags off addresses and computes on).
+    Campaign c = smallCampaign();
+    c.trials = 15;
+    Engine eng;
+    CampaignResult r = runCampaign(eng, c);
+
+    const size_t tagCls = 0; // TagCorrupt is first in smallCampaign()
+    int unchecked = r.cell(0, tagCls).detected();
+    int checked = r.cell(1, tagCls).detected();
+    EXPECT_GT(checked, unchecked)
+        << "\n" << r.renderMatrix();
+    // And the checked config's detections include hardware traps.
+    EXPECT_GT(r.cell(1, tagCls).hardwareTraps, 0);
+}
+
+TEST(Campaign, MatrixRendersEveryConfigAndClass)
+{
+    Campaign c = smallCampaign();
+    c.trials = 4;
+    Engine eng(2);
+    CampaignResult r = runCampaign(eng, c);
+    std::string matrix = r.renderMatrix();
+    EXPECT_NE(matrix.find("unchecked"), std::string::npos);
+    EXPECT_NE(matrix.find("checked-all"), std::string::npos);
+    EXPECT_NE(matrix.find("tag-corrupt"), std::string::npos);
+    EXPECT_NE(matrix.find("bit-flip"), std::string::npos);
+    EXPECT_NE(matrix.find("call-arg-type"), std::string::npos);
+}

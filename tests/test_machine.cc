@@ -433,14 +433,164 @@ TEST(Machine, CycleLimitStops)
 
 TEST(Machine, ErrorContextInPanics)
 {
-    MRun r("main:\n li r2, -64\n ld r3, 0(r2)\n sys halt, r0\n");
+    // An illegal instruction for the configured hardware (ldt without
+    // checked memory) panics, and the panic carries execution context.
+    MRun r("main:\n ldt r3, 0(r2), 9\n sys halt, r0\n");
     try {
         r.go();
-        FAIL() << "expected out-of-bounds";
+        FAIL() << "expected a hardware-gating panic";
     } catch (const MxlError &e) {
         EXPECT_NE(std::string(e.what()).find("near 'main'"),
                   std::string::npos);
     }
+}
+
+// ---- no-handler trap semantics (machine/machine.h encoding) ----------
+
+TEST(Machine, UnhandledTagTrapEncodesKindAndIndex)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.checkedMemory = CheckedMem::All;
+    uint32_t vecWord = scheme->encodePointer(TypeId::Vector, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", vecWord, R"(
+            ldt r3, 0(r2), 9
+            sys halt, r0
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::Errored);
+    ASSERT_TRUE(isUnhandledTrapCode(m.errorCode()));
+    EXPECT_EQ(unhandledTrapKind(m.errorCode()), TrapKind::TagMismatch);
+    // The ldt is the second instruction (index 1).
+    EXPECT_EQ(unhandledTrapIndex(m.errorCode()), 1);
+    EXPECT_EQ(m.faultIndex(), 1);
+}
+
+TEST(Machine, UnhandledArithTrapEncodesKindAndIndex)
+{
+    auto scheme = makeScheme(SchemeKind::High5);
+    HardwareConfig hw;
+    hw.genericArith = true;
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", (1 << 26) - 1, R"(
+            addt r1, r2, r2
+            sys halt, r1
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::Errored);
+    ASSERT_TRUE(isUnhandledTrapCode(m.errorCode()));
+    EXPECT_EQ(unhandledTrapKind(m.errorCode()), TrapKind::ArithFail);
+    EXPECT_EQ(unhandledTrapIndex(m.errorCode()), 1);
+}
+
+TEST(Machine, UnhandledTrapCodeRangeIsDisjoint)
+{
+    // The encoding must never collide with Lisp-level or machine-level
+    // error codes.
+    EXPECT_FALSE(isUnhandledTrapCode(0));
+    EXPECT_FALSE(isUnhandledTrapCode(kDivideByZeroCode));
+    EXPECT_FALSE(isUnhandledTrapCode(101));
+    int64_t code = encodeUnhandledTrap(TrapKind::ArithFail, 7);
+    ASSERT_TRUE(isUnhandledTrapCode(code));
+    EXPECT_EQ(unhandledTrapKind(code), TrapKind::ArithFail);
+    EXPECT_EQ(unhandledTrapIndex(code), 7);
+}
+
+// ---- wild memory accesses (satellite: deterministic, never UB) -------
+
+TEST(Machine, WildLoadStopsWithIllegalAccess)
+{
+    MRun r("main:\n li r2, -64\n ld r3, 0(r2)\n sys halt, r0\n");
+    EXPECT_EQ(r.go(), StopReason::IllegalAccess);
+    // errorCode holds the wild byte address; faultIndex the load.
+    EXPECT_EQ(r.m.errorCode(),
+              static_cast<int64_t>(static_cast<uint32_t>(-64)));
+    EXPECT_EQ(r.m.faultIndex(), 1);
+}
+
+TEST(Machine, WildStoreStopsWithIllegalAccess)
+{
+    MRun r(R"(
+        main:
+            li r2, 0x7fffff00
+            li r3, 1
+            st r3, 0(r2)
+            sys halt, r0
+    )");
+    EXPECT_EQ(r.go(), StopReason::IllegalAccess);
+    EXPECT_EQ(r.m.errorCode(), 0x7fffff00);
+    EXPECT_EQ(r.m.faultIndex(), 2);
+}
+
+TEST(Machine, WildCheckedLoadStopsWithIllegalAccess)
+{
+    // A correctly tagged pointer whose address is out of range: the tag
+    // check passes, then the access itself goes wild.
+    auto scheme = makeScheme(SchemeKind::Low2);
+    HardwareConfig hw;
+    hw.checkedMemory = CheckedMem::All;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x40000);
+    uint32_t tag = scheme->pointerTag(TypeId::Pair);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            ldt r3, 0(r2), )", tag, R"(
+            sys halt, r0
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::IllegalAccess);
+    EXPECT_EQ(m.faultIndex(), 1);
+}
+
+TEST(Memory, InBoundsAndDeterministicOutOfRange)
+{
+    Memory mem(64); // 16 words
+    EXPECT_TRUE(mem.inBounds(0));
+    EXPECT_TRUE(mem.inBounds(63));   // word index 15
+    EXPECT_FALSE(mem.inBounds(64));
+    EXPECT_FALSE(mem.inBounds(0xffffffffu));
+    // Direct load()/store() out of range raise MxlError, never UB.
+    EXPECT_THROW(mem.load(64), MxlError);
+    EXPECT_THROW(mem.store(64, 1), MxlError);
+}
+
+// ---- resume(): chunked execution is invisible (core of deadlines) ----
+
+TEST(Machine, ResumeChunkedRunMatchesSingleRun)
+{
+    const char *src = R"(
+        main:
+            li r2, 200
+            li r3, 0
+        loop:
+            add r3, r3, r2
+            addi r2, r2, -1
+            bne r2, r0, loop
+            noop
+            noop
+            sys putfixraw, r3
+            sys halt, r3
+    )";
+    MRun whole(src);
+    EXPECT_EQ(whole.go(), StopReason::Halted);
+
+    MRun chunked(src);
+    uint64_t budget = 7;
+    StopReason stop =
+        chunked.m.run(chunked.prog.symbol("main"), budget);
+    while (stop == StopReason::CycleLimit) {
+        budget += 7;
+        stop = chunked.m.resume(budget);
+    }
+    EXPECT_EQ(stop, StopReason::Halted);
+    EXPECT_EQ(chunked.m.stats().total, whole.m.stats().total);
+    EXPECT_EQ(chunked.m.stats().loads, whole.m.stats().loads);
+    EXPECT_EQ(chunked.m.stats().branches, whole.m.stats().branches);
+    EXPECT_EQ(chunked.m.output(), whole.m.output());
+    EXPECT_EQ(chunked.m.exitValue(), whole.m.exitValue());
 }
 
 } // namespace
