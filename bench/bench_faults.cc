@@ -3,11 +3,13 @@
  * support actually catch?
  *
  * The paper (and bench_table2) measures what checking costs; this
- * harness measures what it buys. A fixed-seed campaign injects three
+ * harness measures what it buys. A fixed-seed campaign injects five
  * fault classes — static tag-field corruption, single-bit flips in the
- * pristine image, and ill-typed call arguments — into three kernels,
- * and runs every (config × class × trial) cell through mxl::Engine
- * under a Table-2-style hardware ladder:
+ * pristine image, ill-typed call arguments, and the two heap-resident
+ * variants (tag corruption / bit flip applied to the *live* heap of a
+ * run paused mid-execution via MachineSnapshot) — into the full
+ * ten-program benchmark suite, and runs every (config × class × trial)
+ * cell through mxl::Engine under a Table-2-style hardware ladder:
  *
  *   unchecked      the §2.1 high-tag implementation, no checking;
  *   software       the same, with full compiled software checks;
@@ -16,89 +18,163 @@
  *                  checked-memory(All) hardware (Table 2 row 7 flavor);
  *   spur-like      the §7 combination: lists-only checked loads.
  *
+ * Per-program cycle budgets are derived from a fault-free pre-pass
+ * (golden cycles × margin), so a runaway faulted run is cut off a few
+ * golden-run-lengths in rather than at the global 800M-cycle guard.
+ *
+ * The campaign is durable: every classified trial is appended to a
+ * JSONL journal (default BENCH_faults.jsonl). Kill the process at any
+ * point and rerun with `--resume <journal>` — already-journaled trials
+ * are skipped and the campaign converges on the identical coverage
+ * matrix. The machine-readable outputs land in BENCH_faults.json
+ * (golden grid in core/report.h's JSON schema + the coverage matrix).
+ *
  * Output is the detection-coverage matrix (campaign.h's taxonomy) plus
- * acceptance checks: the run is deterministic (fixed seed), the full
- * checked-memory configuration detects strictly more injected tag
- * corruptions than the unchecked baseline, and no fault ever escapes
- * the simulator (zero host-process crashes — every outcome is a
- * classified RunReport).
+ * acceptance checks: the run is deterministic, the full checked-memory
+ * configuration detects strictly more injected tag corruptions than the
+ * unchecked baseline (for both the static and the heap-resident class),
+ * a journal truncated mid-campaign resumes to a byte-identical matrix,
+ * and no fault ever escapes the simulator.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "core/engine.h"
 #include "core/experiment.h"
+#include "core/report.h"
 #include "faults/campaign.h"
+#include "programs/programs.h"
 #include "support/format.h"
+#include "support/json.h"
 
 using namespace mxl;
 
 namespace {
 
-const char *const kSumList =
-    "(de sumlist (l) (if (null l) 0 (+ (car l) (sumlist (cdr l)))))"
-    "(print (sumlist (quote (1 2 3 4 5 6 7 8 9 10 11 12))))";
-
-const char *const kRev =
-    "(de rev (l acc) (if (null l) acc (rev (cdr l) (cons (car l) acc))))"
-    "(de len (l) (if (null l) 0 (add1 (len (cdr l)))))"
-    "(print (len (rev (quote (a b c d e f g h i j)) nil)))";
-
-const char *const kFib =
-    "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
-    "(print (fib 13))";
-
-Campaign
-buildCampaign()
+std::vector<CampaignConfigEntry>
+configLadder()
 {
-    Campaign c;
-    c.programs.push_back({"sumlist", kSumList, 5'000'000});
-    c.programs.push_back({"rev", kRev, 5'000'000});
-    c.programs.push_back({"fib", kFib, 5'000'000});
-
-    c.configs.push_back({"unchecked", baselineOptions(Checking::Off)});
-    c.configs.push_back({"software", baselineOptions(Checking::Full)});
-    c.configs.push_back(
-        {"lowtag-sw", lowTagSoftwareOptions(Checking::Full)});
+    std::vector<CampaignConfigEntry> configs;
+    configs.push_back({"unchecked", baselineOptions(Checking::Off)});
+    configs.push_back({"software", baselineOptions(Checking::Full)});
+    configs.push_back({"lowtag-sw", lowTagSoftwareOptions(Checking::Full)});
 
     CompilerOptions hwTraps = baselineOptions(Checking::Full);
     hwTraps.hw.branchOnTag = true;
     hwTraps.hw.genericArith = true;
     hwTraps.hw.checkedMemory = CheckedMem::All;
-    c.configs.push_back({"hw-traps", hwTraps});
+    configs.push_back({"hw-traps", hwTraps});
 
     CompilerOptions spur = baselineOptions(Checking::Full);
     spur.hw.ignoreTagOnMemory = true;
     spur.hw.branchOnTag = true;
     spur.hw.genericArith = true;
     spur.hw.checkedMemory = CheckedMem::Lists;
-    c.configs.push_back({"spur-like", spur});
+    configs.push_back({"spur-like", spur});
+    return configs;
+}
 
+/**
+ * Per-program cycle budgets from a fault-free pre-pass: the unchecked
+ * golden's cycle count times a margin that covers the slower checked
+ * configurations plus runaway headroom. Compilations are shared with
+ * the campaign's own goldens through the engine cache.
+ */
+std::vector<uint64_t>
+measureBudgets(Engine &eng)
+{
+    std::vector<RunResult> results =
+        runPrograms(eng, baselineOptions(Checking::Off));
+    const auto &progs = benchmarkPrograms();
+    std::vector<uint64_t> budgets;
+    for (size_t i = 0; i < results.size(); ++i) {
+        uint64_t golden = results[i].stats.total;
+        uint64_t budget = golden * 6;
+        if (budget < 2'000'000)
+            budget = 2'000'000;
+        budgets.push_back(budget);
+        std::printf("  %-8s golden %10llu cycles, budget %11llu\n",
+                    progs[i].name.c_str(),
+                    static_cast<unsigned long long>(golden),
+                    static_cast<unsigned long long>(budget));
+    }
+    return budgets;
+}
+
+Campaign
+buildCampaign(const std::vector<uint64_t> &budgets)
+{
+    Campaign c;
+    const auto &progs = benchmarkPrograms();
+    for (size_t i = 0; i < progs.size(); ++i)
+        c.programs.push_back({progs[i].name, progs[i].source, budgets[i],
+                              progs[i].heapBytes});
+    c.configs = configLadder();
     c.classes = {FaultClass::TagCorrupt, FaultClass::BitFlip,
-                 FaultClass::CallArgType};
-    c.trials = 25;
+                 FaultClass::CallArgType, FaultClass::HeapTagCorrupt,
+                 FaultClass::HeapBitFlip};
+    c.trials = 3;
     c.seed = 19870401; // fixed: the matrix below is reproducible
-    c.deadlineSeconds = 20;
+    c.deadlineSeconds = 30;
     return c;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Fault-injection campaign: detection coverage by degree "
-                "of tag-checking support\n");
+    std::string journalPath = "BENCH_faults.jsonl";
+    bool resume = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+            journalPath = argv[++i];
+            resume = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--resume <journal.jsonl>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
 
-    Campaign campaign = buildCampaign();
-    std::printf("(%zu programs x %zu configs x %zu fault classes x %d "
-                "trials, seed %llu)\n\n",
+    std::printf("Fault-injection campaign: detection coverage by degree "
+                "of tag-checking support\n\n");
+
+    Engine eng;
+    std::printf("per-program cycle budgets (golden x 6, floor 2M):\n");
+    std::vector<uint64_t> budgets = measureBudgets(eng);
+
+    Campaign campaign = buildCampaign(budgets);
+    std::printf("\n(%zu programs x %zu configs x %zu fault classes x %d "
+                "trials, seed %llu)\n",
                 campaign.programs.size(), campaign.configs.size(),
                 campaign.classes.size(), campaign.trials,
                 static_cast<unsigned long long>(campaign.seed));
+    std::printf("journal: %s%s\n\n", journalPath.c_str(),
+                resume ? " (resuming)" : "");
 
-    Engine eng;
-    CampaignResult r = runCampaign(eng, campaign);
+    CampaignRunOptions options;
+    options.journalPath = journalPath;
+    options.resume = resume;
+    size_t completed = 0;
+    const size_t total = campaign.programs.size() *
+                         campaign.configs.size() *
+                         campaign.classes.size() *
+                         static_cast<size_t>(campaign.trials);
+    options.onTrial = [&](const TrialRecord &) {
+        ++completed;
+        if (completed % 100 == 0) {
+            std::printf("  ... %zu trials classified\n", completed);
+            std::fflush(stdout);
+        }
+    };
+    CampaignResult r = runCampaign(eng, campaign, options);
+    std::printf("%zu trials run, %zu restored from journal (of %zu)\n\n",
+                completed, r.journaled, total);
     std::printf("%s\n", r.renderMatrix().c_str());
     std::printf("per cell: %zu programs x %d trials = %d faults; "
                 "det = detected, hw-traps/sw-checks split the detected "
@@ -106,6 +182,47 @@ main()
                 campaign.programs.size(), campaign.trials,
                 static_cast<int>(campaign.programs.size()) *
                     campaign.trials);
+
+    // ---- machine-readable export ----
+    {
+        // The golden grid in report.h's JSON schema (compiles are cache
+        // hits by now), plus the coverage matrix.
+        std::vector<RunRequest> goldenReqs;
+        for (size_t p = 0; p < campaign.programs.size(); ++p)
+            for (size_t c = 0; c < campaign.configs.size(); ++c) {
+                RunRequest req;
+                req.source = campaign.programs[p].source;
+                req.opts = campaign.configs[c].opts;
+                req.maxCycles = campaign.programs[p].maxCycles;
+                req.label = strcat("golden/", campaign.programs[p].name,
+                                   "/", campaign.configs[c].label);
+                goldenReqs.push_back(std::move(req));
+            }
+        Json matrix = Json::array();
+        for (size_t c = 0; c < r.configCount; ++c)
+            for (size_t k = 0; k < r.classCount; ++k) {
+                const CampaignCell &cell = r.cell(c, k);
+                Json jc = Json::object();
+                jc.set("config", r.configLabels[c]);
+                jc.set("class", r.classLabels[k]);
+                for (int o = 0; o < static_cast<int>(Outcome::NumOutcomes);
+                     ++o)
+                    jc.set(outcomeName(static_cast<Outcome>(o)),
+                           static_cast<int64_t>(cell.byOutcome[o]));
+                jc.set("hardwareTraps",
+                       static_cast<int64_t>(cell.hardwareTraps));
+                jc.set("softwareChecks",
+                       static_cast<int64_t>(cell.softwareChecks));
+                matrix.push(std::move(jc));
+            }
+        Json doc = Json::object();
+        doc.set("campaign", strcat("bench_faults seed ", campaign.seed));
+        doc.set("goldens", gridJson(goldenReqs, r.goldens));
+        doc.set("matrix", std::move(matrix));
+        std::ofstream out("BENCH_faults.json");
+        out << doc.dump(2) << "\n";
+        std::printf("wrote BENCH_faults.json (golden grid + matrix)\n");
+    }
 
     // ---- acceptance checks ----
     int failures = 0;
@@ -115,7 +232,9 @@ main()
             ++failures;
     };
 
-    // TagCorrupt is class 0; unchecked is config 0, hw-traps config 3.
+    // Class order: TagCorrupt=0, BitFlip=1, CallArgType=2,
+    // HeapTagCorrupt=3, HeapBitFlip=4. unchecked is config 0,
+    // hw-traps config 3.
     int uncheckedDet = r.cell(0, 0).detected();
     int hwDet = r.cell(3, 0).detected();
     check(hwDet > uncheckedDet,
@@ -128,26 +247,52 @@ main()
     check(r.cell(1, 0).detected() > uncheckedDet,
           strcat("software checking also beats unchecked (",
                  r.cell(1, 0).detected(), " > ", uncheckedDet, ")"));
+    int uncheckedHeapDet = r.cell(0, 3).detected();
+    int hwHeapDet = r.cell(3, 3).detected();
+    check(hwHeapDet > uncheckedHeapDet,
+          strcat("live-heap tag corruption: checked hardware beats "
+                 "unchecked (",
+                 hwHeapDet, " > ", uncheckedHeapDet, ")"));
 
     // Zero host crashes: every trial came back classified.
-    size_t expected = campaign.programs.size() * campaign.configs.size() *
-                      campaign.classes.size() *
-                      static_cast<size_t>(campaign.trials);
-    check(r.trials.size() == expected,
+    check(r.trials.size() == total,
           strcat("every fault classified, none escaped the simulator (",
-                 r.trials.size(), "/", expected, ")"));
+                 r.trials.size(), "/", total, ")"));
 
-    // Determinism: replay the campaign and compare the whole matrix.
-    Engine eng2(2);
-    CampaignResult again = runCampaign(eng2, campaign);
-    check(again.renderMatrix() == r.renderMatrix(),
-          "fixed-seed campaign replays to an identical matrix");
+    // Durability: truncate the journal to half its trial lines and
+    // resume — the matrix must come back byte-identical.
+    {
+        std::ifstream in(journalPath);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+        in.close();
+        const std::string halfPath = journalPath + ".half";
+        std::ofstream half(halfPath, std::ios::trunc);
+        for (size_t i = 0; i < 1 + (lines.size() - 1) / 2; ++i)
+            half << lines[i] << "\n";
+        half.close();
+        Engine eng2(2);
+        CampaignResult resumed = resumeCampaign(eng2, campaign, halfPath);
+        check(resumed.journaled == (lines.size() - 1) / 2,
+              strcat("resume restored the journaled half (",
+                     resumed.journaled, " trials)"));
+        check(resumed.renderMatrix() == r.renderMatrix(),
+              "half-journal resume converges to a byte-identical "
+              "coverage matrix");
+        std::remove(halfPath.c_str());
+    }
 
     auto cs = eng.cacheStats();
-    std::printf("\nengine: %u worker(s), cache %llu hit / %llu miss "
-                "(one compile per (program, config))\n",
+    std::printf("\nengine: %u worker(s), cache %llu hit / %llu miss, "
+                "%llu/%llu bytes, %llu evictions\n",
                 eng.threadCount(),
                 static_cast<unsigned long long>(cs.hits),
-                static_cast<unsigned long long>(cs.misses));
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.bytes),
+                static_cast<unsigned long long>(cs.byteLimit),
+                static_cast<unsigned long long>(cs.evictions));
     return failures == 0 ? 0 : 1;
 }

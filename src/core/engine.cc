@@ -48,10 +48,11 @@ thread_local const Engine *tlsWorkerOwner = nullptr;
 
 } // namespace
 
-Engine::Engine(unsigned threads, size_t cacheCapacity)
+Engine::Engine(unsigned threads, size_t cacheCapacity, size_t cacheMaxBytes)
     : threads_(threads != 0 ? threads
                             : std::max(1u, std::thread::hardware_concurrency())),
-      cacheCapacity_(std::max<size_t>(1, cacheCapacity))
+      cacheCapacity_(std::max<size_t>(1, cacheCapacity)),
+      cacheMaxBytes_(cacheMaxBytes)
 {
 }
 
@@ -114,12 +115,9 @@ Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
             *cacheHit = false;
             owner = true;
             fut = prom.get_future().share();
-            lru_.push_front(CacheEntry{key, fut});
+            lru_.push_front(CacheEntry{key, fut, 0});
             cache_[key] = lru_.begin();
-            while (lru_.size() > cacheCapacity_) {
-                cache_.erase(lru_.back().key);
-                lru_.pop_back();
-            }
+            evictOverLimits();
         }
     }
     if (!owner)
@@ -141,7 +139,36 @@ Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
         c.status.message = e.what();
     }
     prom.set_value(c);
+
+    // Account the entry's bytes now that the unit's size is known, and
+    // re-check the byte bound (the entry may already be evicted).
+    if (c.unit) {
+        std::lock_guard<std::mutex> lk(cacheMu_);
+        auto it = cache_.find(key);
+        // bytes == 0 guards the evicted-and-reinserted race: only the
+        // first finisher for a key accounts the entry.
+        if (it != cache_.end() && it->second->bytes == 0) {
+            it->second->bytes = c.unit->memory.size();
+            cacheBytes_ += it->second->bytes;
+            evictOverLimits();
+        }
+    }
     return c;
+}
+
+void
+Engine::evictOverLimits()
+{
+    // LRU back first; the front (most recent) entry always survives, so
+    // a unit larger than the whole byte budget is still cached once.
+    while (lru_.size() > 1 &&
+           (lru_.size() > cacheCapacity_ ||
+            (cacheMaxBytes_ > 0 && cacheBytes_ > cacheMaxBytes_))) {
+        cacheBytes_ -= lru_.back().bytes;
+        cache_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
 }
 
 Engine::CompileOutcome
@@ -173,6 +200,8 @@ Engine::execute(const RunRequest &req)
             controls.deadlineSeconds = req.deadlineSeconds;
             controls.installUnitTrapHandlers = req.installTrapHandlers;
             controls.machineSetup = req.machineSetup;
+            controls.pauseAtCycle = req.pauseAtCycle;
+            controls.snapshotHook = req.snapshotHook;
             rep.result = runUnitOn(*c.unit, std::move(image), controls);
             if (rep.result.timedOut) {
                 rep.status.code = RunStatus::Code::Timeout;
@@ -285,6 +314,9 @@ Engine::cacheStats() const
     s.hits = hits_;
     s.misses = misses_;
     s.entries = cache_.size();
+    s.bytes = cacheBytes_;
+    s.byteLimit = cacheMaxBytes_;
+    s.evictions = evictions_;
     return s;
 }
 
@@ -294,6 +326,7 @@ Engine::clearCache()
     std::lock_guard<std::mutex> lk(cacheMu_);
     cache_.clear();
     lru_.clear();
+    cacheBytes_ = 0;
 }
 
 Engine &

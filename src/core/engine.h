@@ -105,6 +105,22 @@ struct RunRequest
 
     /** Forwarded to RunControls::machineSetup (register/hook faults). */
     std::function<void(Machine &, const CompiledUnit &)> machineSetup;
+
+    /**
+     * Pause the run once its cycle count first exceeds this value and
+     * hand a MachineSnapshot of the live state (registers, run-time
+     * heap, pipeline state) to @p snapshotHook, which may mutate it;
+     * the run then resumes from the (mutated) snapshot. 0, or a missing
+     * hook, disables the pause. This is the heap-resident fault seam
+     * (src/faults/): unlike imageMutator, the hook sees state the
+     * program built at run time, not the pristine image. Not part of
+     * the cache key. See RunControls::pauseAtCycle.
+     */
+    uint64_t pauseAtCycle = 0;
+
+    /** Forwarded to RunControls::snapshotHook. */
+    std::function<void(MachineSnapshot &, const CompiledUnit &)>
+        snapshotHook;
 };
 
 /** Everything the engine knows about one executed request. */
@@ -123,6 +139,9 @@ struct RunReport
 class Engine
 {
   public:
+    /** Default compiled-unit cache byte budget (trimmed image bytes). */
+    static constexpr size_t kDefaultCacheBytes = 256u << 20;
+
     /**
      * @param threads worker count for runGrid(); 0 means
      *        std::thread::hardware_concurrency(). Workers are started
@@ -133,8 +152,13 @@ class Engine
      *        live prefix of their pristine memory image, so an entry
      *        costs roughly the program's static-data footprint, not the
      *        full simulated address space.
+     * @param cacheMaxBytes cap on the *sum of trimmed image bytes* the
+     *        cache may hold; eviction is LRU and runs when either bound
+     *        is exceeded (the most recent entry always survives, so one
+     *        oversized unit still caches). 0 means entry-bounded only.
      */
-    explicit Engine(unsigned threads = 0, size_t cacheCapacity = 256);
+    explicit Engine(unsigned threads = 0, size_t cacheCapacity = 256,
+                    size_t cacheMaxBytes = kDefaultCacheBytes);
     ~Engine();
 
     Engine(const Engine &) = delete;
@@ -188,6 +212,9 @@ class Engine
         uint64_t hits = 0;    ///< lookups served from the cache
         uint64_t misses = 0;  ///< lookups that triggered a compile
         uint64_t entries = 0; ///< units currently cached
+        uint64_t bytes = 0;   ///< sum of cached trimmed image bytes
+        uint64_t byteLimit = 0;  ///< configured cap (0 = unbounded)
+        uint64_t evictions = 0;  ///< entries evicted over either bound
     };
     CacheStats cacheStats() const;
     void clearCache();
@@ -217,16 +244,19 @@ class Engine
     {
         std::string key;
         std::shared_future<Compiled> future;
+        size_t bytes = 0; ///< trimmed image bytes; 0 until compiled
     };
 
     Compiled getOrCompile(const std::string &source,
                           const CompilerOptions &opts, bool *cacheHit);
     RunReport execute(const RunRequest &req);
+    void evictOverLimits(); ///< caller holds cacheMu_
     void ensureWorkers();
     void workerLoop();
 
     const unsigned threads_;
     const size_t cacheCapacity_;
+    const size_t cacheMaxBytes_;
 
     // Compiled-unit cache: LRU list front = most recent.
     mutable std::mutex cacheMu_;
@@ -234,6 +264,8 @@ class Engine
     std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t cacheBytes_ = 0;
+    uint64_t evictions_ = 0;
 
     // Worker pool.
     std::mutex poolMu_;

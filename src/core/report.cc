@@ -233,6 +233,94 @@ table2Cell(const RunResult &base, const RunResult &cfg)
     return c;
 }
 
+Json
+cycleStatsJson(const CycleStats &s)
+{
+    Json j = Json::object();
+    j.set("total", s.total);
+    j.set("instructions", s.instructions);
+    Json purposes = Json::object();
+    for (int p = 0; p < numPurposes; ++p) {
+        if (s.byPurpose[p][0] == 0 && s.byPurpose[p][1] == 0)
+            continue;
+        Json split = Json::object();
+        split.set("base", s.byPurpose[p][0]);
+        split.set("checking", s.byPurpose[p][1]);
+        purposes.set(purposeName(static_cast<Purpose>(p)),
+                     std::move(split));
+    }
+    j.set("byPurpose", std::move(purposes));
+    Json cats = Json::object();
+    for (int c = 0; c < numCheckCats; ++c) {
+        if (s.byCat[c][0] == 0 && s.byCat[c][1] == 0)
+            continue;
+        Json split = Json::object();
+        split.set("base", s.byCat[c][0]);
+        split.set("checking", s.byCat[c][1]);
+        cats.set(checkCatName(static_cast<CheckCat>(c)),
+                 std::move(split));
+    }
+    j.set("byCat", std::move(cats));
+    j.set("andOps", s.andOps);
+    j.set("moveOps", s.moveOps);
+    j.set("noops", s.noops);
+    j.set("squashed", s.squashed);
+    j.set("loadStalls", s.loadStalls);
+    j.set("loads", s.loads);
+    j.set("stores", s.stores);
+    j.set("branches", s.branches);
+    return j;
+}
+
+Json
+compilerOptionsJson(const CompilerOptions &o)
+{
+    Json j = Json::object();
+    j.set("scheme", schemeKindName(o.scheme));
+    j.set("checking", o.checking == Checking::Full ? "full" : "off");
+    j.set("arithMode", static_cast<int64_t>(o.arithMode));
+    j.set("ignoreTagOnMemory", o.hw.ignoreTagOnMemory);
+    j.set("branchOnTag", o.hw.branchOnTag);
+    j.set("genericArith", o.hw.genericArith);
+    j.set("checkedMemory", static_cast<int64_t>(o.hw.checkedMemory));
+    j.set("fillDelaySlots", o.fillDelaySlots);
+    j.set("overlapChecks", o.overlapChecks);
+    j.set("memBytes", o.memBytes);
+    j.set("staticBytes", o.staticBytes);
+    j.set("heapBytes", o.heapBytes);
+    return j;
+}
+
+Json
+runReportJson(const RunRequest &req, const RunReport &rep)
+{
+    Json j = Json::object();
+    j.set("label", rep.label);
+    j.set("options", compilerOptionsJson(req.opts));
+    j.set("statusOk", rep.status.ok());
+    if (!rep.status.ok())
+        j.set("statusMessage", rep.status.message);
+    j.set("stop", static_cast<int64_t>(rep.result.stop));
+    j.set("errorCode", rep.result.errorCode);
+    j.set("exitValue", rep.result.exitValue);
+    j.set("stats", cycleStatsJson(rep.result.stats));
+    j.set("wallSeconds", rep.wallSeconds);
+    j.set("cacheHit", rep.cacheHit);
+    return j;
+}
+
+Json
+gridJson(const std::vector<RunRequest> &reqs,
+         const std::vector<RunReport> &reports)
+{
+    MXL_ASSERT(reqs.size() == reports.size(),
+               "gridJson: requests and reports must pair up");
+    Json arr = Json::array();
+    for (size_t i = 0; i < reqs.size(); ++i)
+        arr.push(runReportJson(reqs[i], reports[i]));
+    return arr;
+}
+
 Table2Cell
 table2Average(const std::vector<RunResult> &bases,
               const std::vector<RunResult> &cfgs)

@@ -12,6 +12,7 @@
 #include "core/engine.h"
 #include "core/run.h"
 #include "programs/programs.h"
+#include "support/json.h"
 
 namespace mxl {
 
@@ -116,6 +117,27 @@ Table2Cell table2Cell(const RunResult &base, const RunResult &cfg);
 /** Average of per-program speedups. */
 Table2Cell table2Average(const std::vector<RunResult> &bases,
                          const std::vector<RunResult> &cfgs);
+
+// ---- JSON export -------------------------------------------------------
+
+/** All counters of one CycleStats, purpose/category split included. */
+Json cycleStatsJson(const CycleStats &s);
+
+/** The independent variables of a run (every CompilerOptions field). */
+Json compilerOptionsJson(const CompilerOptions &o);
+
+/**
+ * One executed grid cell: label, options, outcome, CycleStats, wall
+ * time, cache hit. @p req must be the request that produced @p rep.
+ */
+Json runReportJson(const RunRequest &req, const RunReport &rep);
+
+/**
+ * A whole (requests, reports) grid as a JSON array in request order —
+ * the machine-readable counterpart of the bench harnesses' tables.
+ */
+Json gridJson(const std::vector<RunRequest> &reqs,
+              const std::vector<RunReport> &reports);
 
 } // namespace mxl
 

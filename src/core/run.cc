@@ -37,29 +37,50 @@ runUnitOn(const CompiledUnit &unit, Memory image,
         controls.machineSetup(m, unit);
 
     RunResult r;
-    if (controls.deadlineSeconds > 0) {
-        auto start = std::chrono::steady_clock::now();
-        auto expired = [&] {
-            return std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
+    auto start = std::chrono::steady_clock::now();
+    auto expired = [&] {
+        return controls.deadlineSeconds > 0 &&
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
                        .count() >= controls.deadlineSeconds;
-        };
-        uint64_t budget = std::min(controls.maxCycles,
-                                   kDeadlineChunkCycles);
-        r.stop = m.run(unit.entry, budget);
-        while (r.stop == StopReason::CycleLimit &&
-               budget < controls.maxCycles) {
+    };
+    // Run until the total cycle count exceeds @p target, honoring the
+    // wall-clock deadline by chunking through Machine::resume (which is
+    // cycle-invisible). Multiple calls continue the same run.
+    bool started = false;
+    auto runTo = [&](uint64_t target) {
+        uint64_t budget = controls.deadlineSeconds > 0
+                              ? std::min(target, (started ? m.stats().total
+                                                          : uint64_t{0}) +
+                                                     kDeadlineChunkCycles)
+                              : target;
+        r.stop = started ? m.resume(budget) : m.run(unit.entry, budget);
+        started = true;
+        while (r.stop == StopReason::CycleLimit && budget < target) {
             if (expired()) {
                 r.timedOut = true;
-                break;
+                return;
             }
-            budget = std::min(controls.maxCycles,
-                              budget + kDeadlineChunkCycles);
+            budget = std::min(target, budget + kDeadlineChunkCycles);
             r.stop = m.resume(budget);
         }
-    } else {
-        r.stop = m.run(unit.entry, controls.maxCycles);
+    };
+
+    if (controls.snapshotHook && controls.pauseAtCycle > 0 &&
+        controls.pauseAtCycle < controls.maxCycles) {
+        runTo(controls.pauseAtCycle);
+        if (r.stop == StopReason::CycleLimit && !r.timedOut) {
+            // Paused at the requested cycle: expose the live state.
+            MachineSnapshot snap = m.snapshot();
+            controls.snapshotHook(snap, unit);
+            // The hook may perturb state, but the run stays paused.
+            snap.stop = StopReason::CycleLimit;
+            m.restore(snap);
+            r.snapshotTaken = true;
+        }
     }
+    if (!r.timedOut && (!started || r.stop == StopReason::CycleLimit))
+        runTo(controls.maxCycles);
     r.stats = m.stats();
     r.output = m.output();
     r.errorCode = m.errorCode();

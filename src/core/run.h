@@ -27,6 +27,7 @@
 
 #include "compiler/unit.h"
 #include "machine/machine.h"
+#include "machine/snapshot.h"
 
 namespace mxl {
 
@@ -42,6 +43,7 @@ struct RunResult
     uint64_t heapUsed = 0;    ///< bytes live after the last collection
     bool timedOut = false;    ///< RunControls::deadlineSeconds expired
     int faultIndex = -1;      ///< Machine::faultIndex() (traps/wild access)
+    bool snapshotTaken = false; ///< RunControls::snapshotHook was invoked
 
     bool ok() const { return stop == StopReason::Halted; }
 };
@@ -80,6 +82,24 @@ struct RunControls
      * install trace hooks or perturb registers (src/faults/).
      */
     std::function<void(Machine &, const CompiledUnit &)> machineSetup;
+
+    /**
+     * Pause the run once its cycle count first exceeds this value
+     * (0 = never). At the pause the machine is snapshotted, the
+     * snapshot handed to @p snapshotHook, and the (possibly mutated)
+     * snapshot restored and resumed to maxCycles — the seam heap-
+     * resident fault injection rides (src/faults/): the hook sees the
+     * *live* state at cycle N, registers and run-time heap included,
+     * not the pristine image. A run that halts before the pause point
+     * never invokes the hook. Without a hook the pause is skipped
+     * entirely; with one, a completed run is cycle-identical to an
+     * unpaused run of the same request (tests/test_snapshots.cc).
+     */
+    uint64_t pauseAtCycle = 0;
+
+    /** Invoked once at the pauseAtCycle pause; may mutate the snapshot. */
+    std::function<void(MachineSnapshot &, const CompiledUnit &)>
+        snapshotHook;
 };
 
 /** Execute @p unit from its entry point (copies its pristine image). */

@@ -1,9 +1,12 @@
 #include "faults/campaign.h"
 
+#include <fstream>
+#include <mutex>
 #include <utility>
 
 #include "runtime/stubs.h"
 #include "support/format.h"
+#include "support/json.h"
 #include "support/panic.h"
 #include "support/table.h"
 
@@ -26,6 +29,84 @@ trialSeed(const Campaign &c, int prog, int cls, int trial)
     return FaultRng::mix(c.seed, key + 1);
 }
 
+/**
+ * Pause cycle for a heap-resident trial: a seed-derived fraction in
+ * [5%, 95%) of the configuration's golden run length. The *fraction*
+ * comes from the configuration-independent fault seed (shared fault
+ * population in spirit); the absolute cycle necessarily scales with
+ * each configuration's own execution time.
+ */
+uint64_t
+heapPauseCycle(uint64_t faultSeed, uint64_t goldenTotal)
+{
+    uint64_t f = FaultRng::mix(faultSeed, 0x4845'4150ull); // "HEAP"
+    double frac = 0.05 + 0.90 * static_cast<double>(f % 8192) / 8192.0;
+    uint64_t pause =
+        static_cast<uint64_t>(static_cast<double>(goldenTotal) * frac);
+    return pause > 0 ? pause : 1;
+}
+
+/** Linear trial index in record order (p, then c, then k, then t). */
+size_t
+trialIndex(const Campaign &c, size_t p, size_t cfg, size_t k, size_t t)
+{
+    return ((p * c.configs.size() + cfg) * c.classes.size() + k) *
+               static_cast<size_t>(c.trials) +
+           t;
+}
+
+/** The journal's identity line: the campaign's structure, not its
+ *  tuning (deadlines may legitimately change between resumes). */
+Json
+campaignHeader(const Campaign &c)
+{
+    Json programs = Json::array();
+    for (const CampaignProgram &p : c.programs)
+        programs.push(p.name);
+    Json configs = Json::array();
+    for (const CampaignConfigEntry &cfg : c.configs)
+        configs.push(cfg.label);
+    Json classes = Json::array();
+    for (FaultClass cls : c.classes)
+        classes.push(faultClassName(cls));
+    Json h = Json::object();
+    h.set("mxl-campaign", uint64_t{1});
+    h.set("seed", c.seed);
+    h.set("trials", static_cast<int64_t>(c.trials));
+    h.set("programs", std::move(programs));
+    h.set("configs", std::move(configs));
+    h.set("classes", std::move(classes));
+    return h;
+}
+
+/** One journal line per classified trial. */
+Json
+trialLine(const TrialRecord &r)
+{
+    Json j = Json::object();
+    j.set("p", static_cast<int64_t>(r.program));
+    j.set("c", static_cast<int64_t>(r.config));
+    j.set("k", static_cast<int64_t>(r.cls));
+    j.set("t", static_cast<int64_t>(r.trial));
+    j.set("seed", r.faultSeed);
+    j.set("pause", r.pauseCycle);
+    j.set("outcome", outcomeName(r.outcome));
+    j.set("channel", detectChannelName(r.channel));
+    j.set("error", r.errorCode);
+    j.set("fault", static_cast<int64_t>(r.faultIndex));
+    return j;
+}
+
+/** Required integer field of a journal line; fatal() when absent. */
+int64_t
+lineInt(const Json &j, const char *key, const std::string &line)
+{
+    const Json *v = j.find(key);
+    if (!v || !v->isNumber())
+        fatal("campaign journal line missing '", key, "': ", line);
+    return v->asInt();
+}
+
 } // namespace
 
 const char *
@@ -42,10 +123,35 @@ outcomeName(Outcome o)
         return "cycle-limit";
       case Outcome::Masked:
         return "masked";
+      case Outcome::Skipped:
+        return "skipped";
       case Outcome::NumOutcomes:
         break;
     }
     return "?";
+}
+
+bool
+outcomeFromName(const std::string &name, Outcome *out)
+{
+    for (int i = 0; i < static_cast<int>(Outcome::NumOutcomes); ++i)
+        if (name == outcomeName(static_cast<Outcome>(i))) {
+            *out = static_cast<Outcome>(i);
+            return true;
+        }
+    return false;
+}
+
+bool
+detectChannelFromName(const std::string &name, DetectChannel *out)
+{
+    for (DetectChannel c : {DetectChannel::None, DetectChannel::SoftwareCheck,
+                            DetectChannel::HardwareTrap})
+        if (name == detectChannelName(c)) {
+            *out = c;
+            return true;
+        }
+    return false;
 }
 
 const char *
@@ -140,6 +246,7 @@ CampaignResult::renderMatrix() const
         head.push_back("crash");
         head.push_back("limit");
         head.push_back("masked");
+        head.push_back("skip");
     }
     head.push_back("hw-traps");
     head.push_back("sw-checks");
@@ -157,6 +264,7 @@ CampaignResult::renderMatrix() const
                 std::to_string(cell.count(Outcome::CrashIllegalAccess)));
             row.push_back(std::to_string(cell.count(Outcome::CycleLimit)));
             row.push_back(std::to_string(cell.count(Outcome::Masked)));
+            row.push_back(std::to_string(cell.count(Outcome::Skipped)));
             hw += cell.hardwareTraps;
             sw += cell.softwareChecks;
         }
@@ -168,15 +276,18 @@ CampaignResult::renderMatrix() const
 }
 
 CampaignResult
-runCampaign(Engine &engine, const Campaign &campaign)
+runCampaign(Engine &engine, const Campaign &campaign,
+            const CampaignRunOptions &options)
 {
     const size_t nProg = campaign.programs.size();
     const size_t nCfg = campaign.configs.size();
     const size_t nCls = campaign.classes.size();
     MXL_ASSERT(nProg && nCfg && nCls && campaign.trials > 0,
                "empty campaign");
+    const size_t nTrials =
+        nProg * nCfg * nCls * static_cast<size_t>(campaign.trials);
 
-    // ---- goldens: one clean run per (program, config) ----
+    // ---- goldens: one reference run per (program, config) ----
     std::vector<RunRequest> goldenReqs;
     goldenReqs.reserve(nProg * nCfg);
     for (size_t p = 0; p < nProg; ++p)
@@ -184,26 +295,19 @@ runCampaign(Engine &engine, const Campaign &campaign)
             RunRequest req;
             req.source = campaign.programs[p].source;
             req.opts = campaign.configs[c].opts;
+            if (campaign.programs[p].heapBytes)
+                req.opts.heapBytes = campaign.programs[p].heapBytes;
             req.maxCycles = campaign.programs[p].maxCycles;
+            req.deadlineSeconds = campaign.deadlineSeconds;
             req.label = strcat("golden/", campaign.programs[p].name, "/",
                                campaign.configs[c].label);
             goldenReqs.push_back(std::move(req));
         }
     std::vector<RunReport> goldens = engine.runGrid(goldenReqs);
-    for (const RunReport &g : goldens)
-        if (!g.ok())
-            fatal(strcat("campaign golden run failed: ", g.label, ": ",
-                         g.status.message.empty()
-                             ? strcat("stop=",
-                                      static_cast<int>(g.result.stop),
-                                      " errorCode=", g.result.errorCode)
-                             : g.status.message));
 
-    // ---- faulted trials, one grid batch ----
-    std::vector<RunRequest> reqs;
+    // ---- every trial record, deterministic order ----
     std::vector<TrialRecord> records;
-    reqs.reserve(nProg * nCfg * nCls * campaign.trials);
-    records.reserve(reqs.capacity());
+    records.reserve(nTrials);
     for (size_t p = 0; p < nProg; ++p)
         for (size_t c = 0; c < nCfg; ++c)
             for (size_t k = 0; k < nCls; ++k)
@@ -215,46 +319,170 @@ runCampaign(Engine &engine, const Campaign &campaign)
                     rec.trial = t;
                     rec.faultSeed = trialSeed(campaign, static_cast<int>(p),
                                               static_cast<int>(k), t);
-
-                    FaultSpec spec;
-                    spec.cls = campaign.classes[k];
-                    spec.seed = rec.faultSeed;
-
-                    RunRequest req;
-                    req.source = campaign.programs[p].source;
-                    req.opts = campaign.configs[c].opts;
-                    req.maxCycles = campaign.programs[p].maxCycles;
-                    req.deadlineSeconds = campaign.deadlineSeconds;
-                    req.label =
-                        strcat(campaign.programs[p].name, "/",
-                               campaign.configs[c].label, "/",
-                               spec.describe(), "/t", t);
-                    armFault(req, spec);
-
-                    reqs.push_back(std::move(req));
+                    const RunReport &g = goldens[p * nCfg + c];
+                    if (faultClassIsHeap(campaign.classes[k]) && g.ok())
+                        rec.pauseCycle = heapPauseCycle(
+                            rec.faultSeed, g.result.stats.total);
                     records.push_back(rec);
                 }
-    std::vector<RunReport> reports = engine.runGrid(reqs);
 
-    // ---- classify ----
+    // ---- journal: load already-classified trials, open for append ----
+    const std::string headerLine = campaignHeader(campaign).dump();
+    std::vector<char> done(nTrials, 0);
+    size_t journaled = 0;
+    bool journalHasHeader = false;
+    if (!options.journalPath.empty() && options.resume) {
+        std::ifstream in(options.journalPath);
+        std::string line;
+        bool first = true;
+        while (in && std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Json j;
+            if (!Json::parse(line, &j) || !j.isObject())
+                fatal("malformed campaign journal line: ", line);
+            if (first) {
+                first = false;
+                journalHasHeader = true;
+                if (j.dump() != headerLine)
+                    fatal("campaign journal ", options.journalPath,
+                          " was written by a different campaign\n",
+                          "  journal:  ", j.dump(), "\n",
+                          "  campaign: ", headerLine);
+                continue;
+            }
+            int64_t p = lineInt(j, "p", line);
+            int64_t c = lineInt(j, "c", line);
+            int64_t k = lineInt(j, "k", line);
+            int64_t t = lineInt(j, "t", line);
+            if (p < 0 || static_cast<size_t>(p) >= nProg || c < 0 ||
+                static_cast<size_t>(c) >= nCfg || k < 0 ||
+                static_cast<size_t>(k) >= nCls || t < 0 ||
+                t >= campaign.trials)
+                fatal("campaign journal trial out of range: ", line);
+            size_t idx = trialIndex(campaign, static_cast<size_t>(p),
+                                    static_cast<size_t>(c),
+                                    static_cast<size_t>(k),
+                                    static_cast<size_t>(t));
+            if (done[idx])
+                continue; // duplicate line (e.g. crash between flushes)
+            TrialRecord &rec = records[idx];
+            const Json *outcome = j.find("outcome");
+            const Json *channel = j.find("channel");
+            if (!outcome || !outcome->isString() ||
+                !outcomeFromName(outcome->str(), &rec.outcome) ||
+                !channel || !channel->isString() ||
+                !detectChannelFromName(channel->str(), &rec.channel))
+                fatal("campaign journal line with unknown outcome: ",
+                      line);
+            rec.errorCode = lineInt(j, "error", line);
+            rec.faultIndex = static_cast<int>(lineInt(j, "fault", line));
+            done[idx] = 1;
+            ++journaled;
+        }
+    }
+    std::ofstream journal;
+    if (!options.journalPath.empty()) {
+        journal.open(options.journalPath,
+                     journalHasHeader ? std::ios::app : std::ios::trunc);
+        if (!journal)
+            fatal("cannot open campaign journal ", options.journalPath);
+        if (!journalHasHeader)
+            journal << headerLine << "\n" << std::flush;
+    }
+
+    std::mutex journalMu;
+    auto emitTrial = [&](const TrialRecord &rec) {
+        std::lock_guard<std::mutex> lk(journalMu);
+        if (journal.is_open())
+            journal << trialLine(rec).dump() << "\n" << std::flush;
+        if (options.onTrial)
+            options.onTrial(rec);
+    };
+
+    // ---- skip-and-classify trials whose golden failed ----
+    for (size_t idx = 0; idx < nTrials; ++idx) {
+        if (done[idx])
+            continue;
+        TrialRecord &rec = records[idx];
+        if (goldens[static_cast<size_t>(rec.program) * nCfg +
+                    static_cast<size_t>(rec.config)]
+                .ok())
+            continue;
+        rec.outcome = Outcome::Skipped;
+        rec.channel = DetectChannel::None;
+        done[idx] = 1;
+        emitTrial(rec);
+    }
+
+    // ---- pending faulted trials, one grid batch ----
+    std::vector<RunRequest> reqs;
+    std::vector<size_t> reqRecord; ///< request index -> record index
+    for (size_t idx = 0; idx < nTrials; ++idx) {
+        if (done[idx])
+            continue;
+        const TrialRecord &rec = records[idx];
+        size_t p = static_cast<size_t>(rec.program);
+        size_t c = static_cast<size_t>(rec.config);
+        size_t k = static_cast<size_t>(rec.cls);
+
+        FaultSpec spec;
+        spec.cls = campaign.classes[k];
+        spec.seed = rec.faultSeed;
+        spec.pauseCycle = rec.pauseCycle;
+
+        RunRequest req;
+        req.source = campaign.programs[p].source;
+        req.opts = campaign.configs[c].opts;
+        if (campaign.programs[p].heapBytes)
+            req.opts.heapBytes = campaign.programs[p].heapBytes;
+        req.maxCycles = campaign.programs[p].maxCycles;
+        req.deadlineSeconds = campaign.deadlineSeconds;
+        req.label = strcat(campaign.programs[p].name, "/",
+                           campaign.configs[c].label, "/",
+                           spec.describe(), "/t", rec.trial);
+        armFault(req, spec);
+
+        reqs.push_back(std::move(req));
+        reqRecord.push_back(idx);
+    }
+
+    // Classification happens in the per-cell completion callback so the
+    // journal always reflects exactly the finished trials: a campaign
+    // killed mid-grid resumes from the last flushed line.
+    auto onCell = [&](size_t i, const RunReport &finished) {
+        const RunReport *rep = &finished;
+        RunReport retried;
+        for (int r = options.timeoutRetries;
+             r > 0 && rep->status.code == RunStatus::Code::Timeout; --r) {
+            // Inline re-run on this worker (engine.run() is safe from
+            // workers; only nested grids are refused).
+            retried = engine.run(reqs[i]);
+            rep = &retried;
+        }
+        TrialRecord &rec = records[reqRecord[i]];
+        const RunReport &golden =
+            goldens[static_cast<size_t>(rec.program) * nCfg +
+                    static_cast<size_t>(rec.config)];
+        rec.outcome = classifyOutcome(*rep, golden, &rec.channel);
+        rec.errorCode = rep->result.errorCode;
+        rec.faultIndex = rep->result.faultIndex;
+        emitTrial(rec);
+    };
+    engine.runGrid(reqs, onCell);
+
+    // ---- aggregate ----
     CampaignResult result;
     result.configCount = nCfg;
     result.classCount = nCls;
+    for (const CampaignProgram &p : campaign.programs)
+        result.programLabels.push_back(p.name);
     for (const CampaignConfigEntry &c : campaign.configs)
         result.configLabels.push_back(c.label);
     for (FaultClass cls : campaign.classes)
         result.classLabels.push_back(faultClassName(cls));
     result.cells.assign(nCfg * nCls, CampaignCell());
-
-    for (size_t i = 0; i < reports.size(); ++i) {
-        TrialRecord &rec = records[i];
-        const RunReport &golden =
-            goldens[static_cast<size_t>(rec.program) * nCfg +
-                    static_cast<size_t>(rec.config)];
-        rec.outcome = classifyOutcome(reports[i], golden, &rec.channel);
-        rec.errorCode = reports[i].result.errorCode;
-        rec.faultIndex = reports[i].result.faultIndex;
-
+    for (const TrialRecord &rec : records) {
         CampaignCell &cell = result.cell(static_cast<size_t>(rec.config),
                                          static_cast<size_t>(rec.cls));
         ++cell.byOutcome[static_cast<int>(rec.outcome)];
@@ -264,7 +492,25 @@ runCampaign(Engine &engine, const Campaign &campaign)
             ++cell.softwareChecks;
     }
     result.trials = std::move(records);
+    result.goldens = std::move(goldens);
+    result.journaled = journaled;
     return result;
+}
+
+CampaignResult
+runCampaign(Engine &engine, const Campaign &campaign)
+{
+    return runCampaign(engine, campaign, CampaignRunOptions{});
+}
+
+CampaignResult
+resumeCampaign(Engine &engine, const Campaign &campaign,
+               const std::string &journalPath)
+{
+    CampaignRunOptions options;
+    options.journalPath = journalPath;
+    options.resume = true;
+    return runCampaign(engine, campaign, options);
 }
 
 } // namespace mxl

@@ -20,12 +20,27 @@
  *   CycleLimit         the run neither halted nor erred within its
  *                      cycle budget or wall-clock deadline;
  *   Masked             the run halted with output identical to the
- *                      golden — the fault was absorbed.
+ *                      golden — the fault was absorbed;
+ *   Skipped            the (program, configuration) pair's golden run
+ *                      itself failed, so its trials were not run —
+ *                      one broken cell degrades to a labeled hole in
+ *                      the matrix instead of aborting the campaign.
  *
  * Every trial's fault is derived deterministically from Campaign::seed
  * and the trial's (program, class, trial) coordinates — deliberately
  * NOT from the configuration, so all configurations face the same fault
  * population and detection rates are directly comparable across rows.
+ * (Heap-resident classes add a pause cycle scaled to each
+ * configuration's golden run length; the site-selection seed is still
+ * configuration-independent.)
+ *
+ * Campaigns are durable: give CampaignRunOptions a journalPath and
+ * every trial is appended to a JSONL journal the moment it classifies
+ * (header line = campaign identity, then one flat object per trial).
+ * A killed campaign restarted with resume=true (or resumeCampaign())
+ * loads the journal, skips every already-journaled trial, and runs
+ * only the remainder — converging on the same coverage matrix as an
+ * uninterrupted run.
  */
 
 #ifndef MXLISP_FAULTS_CAMPAIGN_H_
@@ -56,11 +71,17 @@ enum class Outcome
     CrashIllegalAccess,
     CycleLimit,
     Masked,
+    Skipped,
     NumOutcomes,
 };
 
 const char *outcomeName(Outcome o);
 const char *detectChannelName(DetectChannel c);
+
+/** Inverse of outcomeName/detectChannelName; false on unknown names
+ *  (journal parsing). */
+bool outcomeFromName(const std::string &name, Outcome *out);
+bool detectChannelFromName(const std::string &name, DetectChannel *out);
 
 /** One benchmark program of a campaign. */
 struct CampaignProgram
@@ -68,6 +89,7 @@ struct CampaignProgram
     std::string name;
     std::string source;
     uint64_t maxCycles = 50'000'000;
+    uint32_t heapBytes = 0; ///< per-semispace override; 0 = config's
 };
 
 /** One hardware/compiler configuration (a Table-2-style ladder rung). */
@@ -96,6 +118,7 @@ struct TrialRecord
     int cls = 0;     ///< index into Campaign::classes
     int trial = 0;
     uint64_t faultSeed = 0;
+    uint64_t pauseCycle = 0; ///< heap classes: FaultSpec::pauseCycle
     Outcome outcome = Outcome::Masked;
     DetectChannel channel = DetectChannel::None;
     int64_t errorCode = 0;  ///< RunResult::errorCode of the faulted run
@@ -126,11 +149,25 @@ struct CampaignResult
 {
     size_t configCount = 0;
     size_t classCount = 0;
+    std::vector<std::string> programLabels;
     std::vector<std::string> configLabels;
     std::vector<std::string> classLabels;
     /** configs × classes, row-major by config. */
     std::vector<CampaignCell> cells;
     std::vector<TrialRecord> trials;
+
+    /** Fault-free reference runs, programs × configs row-major by
+     *  program. A non-ok() golden means its trials are Skipped. */
+    std::vector<RunReport> goldens;
+
+    /** Trials restored from the resume journal instead of re-run. */
+    size_t journaled = 0;
+
+    const RunReport &
+    golden(size_t program, size_t config) const
+    {
+        return goldens[program * configCount + config];
+    }
 
     const CampaignCell &
     cell(size_t config, size_t cls) const
@@ -160,13 +197,59 @@ struct CampaignResult
 Outcome classifyOutcome(const RunReport &faulted, const RunReport &golden,
                         DetectChannel *channel = nullptr);
 
+/** Durability and observability knobs for runCampaign(). */
+struct CampaignRunOptions
+{
+    /**
+     * JSONL trial journal, appended as trials classify (first line is
+     * the campaign identity). Empty disables journaling. The write is
+     * flushed per trial, so a killed campaign loses at most the trials
+     * still in flight.
+     */
+    std::string journalPath;
+
+    /**
+     * Load @p journalPath first and skip every trial it already
+     * records. The journal's identity line must match this campaign's
+     * structure (seed, trial count, program/config/class lists);
+     * fatal() on mismatch. A missing or empty journal file is treated
+     * as a fresh start.
+     */
+    bool resume = false;
+
+    /**
+     * Re-run a trial whose wall-clock deadline expired this many times
+     * before classifying it CycleLimit — a loaded host must not turn
+     * scheduling jitter into coverage noise. Retries run inline on the
+     * worker that observed the timeout.
+     */
+    int timeoutRetries = 1;
+
+    /**
+     * Invoked once per classified trial, on the worker thread that ran
+     * it (completion order), under the journal lock — the campaign's
+     * progress hook. Also invoked for Skipped trials.
+     */
+    std::function<void(const TrialRecord &)> onTrial;
+};
+
 /**
- * Run the whole campaign through @p engine: goldens first (fatal() if
- * any program fails to run cleanly under some configuration — campaign
- * programs must be correct), then every faulted trial in one
- * Engine::runGrid batch. Deterministic: same campaign, same result.
+ * Run the whole campaign through @p engine: goldens first (a (program,
+ * configuration) pair whose golden fails has its trials classified
+ * Skipped — one broken cell cannot abort the campaign), then every
+ * pending faulted trial in one Engine::runGrid batch. Deterministic:
+ * same campaign, same coverage matrix, regardless of thread count,
+ * journaling, or how many times the campaign was killed and resumed.
  */
+CampaignResult runCampaign(Engine &engine, const Campaign &campaign,
+                           const CampaignRunOptions &options);
+
+/** runCampaign() with default options (no journal). */
 CampaignResult runCampaign(Engine &engine, const Campaign &campaign);
+
+/** Restart a journaled campaign: runCampaign() with resume=true. */
+CampaignResult resumeCampaign(Engine &engine, const Campaign &campaign,
+                              const std::string &journalPath);
 
 } // namespace mxl
 

@@ -1,9 +1,11 @@
 #include "faults/fault_injector.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "support/format.h"
+#include "support/panic.h"
 
 namespace mxl {
 
@@ -93,6 +95,91 @@ injectBitFlip(Memory &image, const CompiledUnit &unit, uint64_t seed)
     image.word(idx) ^= 1u << rng.below(32);
 }
 
+/**
+ * The live heap of a paused run, as word indices into the snapshot's
+ * memory: [from-space base, heap allocation pointer). Everything in
+ * this range was allocated by the program itself since startup (or
+ * survived its last collection).
+ */
+void
+liveHeapRange(const MachineSnapshot &snap, const CompiledUnit &unit,
+              uint32_t *lo, uint32_t *hi)
+{
+    uint32_t fromLo =
+        snap.memory[unit.layout.cellAddr(Cell::FromLo) / 4];
+    uint32_t hp = snap.regs[abi::hp];
+    uint32_t words = static_cast<uint32_t>(snap.memory.size());
+    *lo = std::min(fromLo / 4, words);
+    *hi = std::min(hp / 4, words);
+    if (*hi < *lo)
+        *hi = *lo;
+}
+
+/**
+ * Candidate words for HeapTagCorrupt: live-heap words carrying a
+ * pair-typed pointer back into the live heap — the cons cells of
+ * structure the program built at run time.
+ */
+std::vector<uint32_t>
+heapPairPointerWords(const MachineSnapshot &snap, const CompiledUnit &unit)
+{
+    const TagScheme &s = *unit.scheme;
+    uint32_t lo, hi;
+    liveHeapRange(snap, unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi; ++i) {
+        uint32_t w = snap.memory[i];
+        if (w == 0 || s.primaryTag(w) != s.pointerTag(TypeId::Pair))
+            continue;
+        uint32_t a = s.detagAddr(w);
+        if (a / 4 >= lo && a / 4 < hi)
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** All nonzero live-heap words (HeapBitFlip targets, fallback sites). */
+std::vector<uint32_t>
+heapNonzeroWords(const MachineSnapshot &snap, const CompiledUnit &unit)
+{
+    uint32_t lo, hi;
+    liveHeapRange(snap, unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi; ++i)
+        if (snap.memory[i] != 0)
+            out.push_back(i);
+    return out;
+}
+
+void
+injectHeapTagCorrupt(MachineSnapshot &snap, const CompiledUnit &unit,
+                     uint64_t seed)
+{
+    FaultRng rng(seed);
+    const TagScheme &s = *unit.scheme;
+    std::vector<uint32_t> sites = heapPairPointerWords(snap, unit);
+    if (sites.empty())
+        sites = heapNonzeroWords(snap, unit);
+    if (sites.empty())
+        return; // empty heap at the pause point: trial classifies Masked
+    uint32_t idx = sites[rng.below(sites.size())];
+    uint32_t tagMask = (1u << s.tagBits()) - 1u;
+    uint32_t delta = 1u + static_cast<uint32_t>(rng.below(tagMask));
+    snap.memory[idx] ^= delta << s.tagShift();
+}
+
+void
+injectHeapBitFlip(MachineSnapshot &snap, const CompiledUnit &unit,
+                  uint64_t seed)
+{
+    FaultRng rng(seed);
+    std::vector<uint32_t> sites = heapNonzeroWords(snap, unit);
+    if (sites.empty())
+        return;
+    uint32_t idx = sites[rng.below(sites.size())];
+    snap.memory[idx] ^= 1u << rng.below(32);
+}
+
 void
 installCallArgFault(Machine &m, const CompiledUnit &unit, uint64_t seed)
 {
@@ -134,13 +221,27 @@ faultClassName(FaultClass cls)
         return "bit-flip";
       case FaultClass::CallArgType:
         return "call-arg-type";
+      case FaultClass::HeapTagCorrupt:
+        return "heap-tag-corrupt";
+      case FaultClass::HeapBitFlip:
+        return "heap-bit-flip";
     }
     return "?";
+}
+
+bool
+faultClassIsHeap(FaultClass cls)
+{
+    return cls == FaultClass::HeapTagCorrupt ||
+           cls == FaultClass::HeapBitFlip;
 }
 
 std::string
 FaultSpec::describe() const
 {
+    if (faultClassIsHeap(cls))
+        return strcat(faultClassName(cls), "(seed=", seed,
+                      ",pause=", pauseCycle, ")");
     return strcat(faultClassName(cls), "(seed=", seed, ")");
 }
 
@@ -164,6 +265,24 @@ armFault(RunRequest &req, const FaultSpec &spec)
         req.machineSetup = [seed = spec.seed](Machine &m,
                                               const CompiledUnit &unit) {
             installCallArgFault(m, unit, seed);
+        };
+        break;
+      case FaultClass::HeapTagCorrupt:
+        MXL_ASSERT(spec.pauseCycle > 0,
+                   "heap-resident faults need FaultSpec::pauseCycle");
+        req.pauseAtCycle = spec.pauseCycle;
+        req.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+                                              const CompiledUnit &unit) {
+            injectHeapTagCorrupt(snap, unit, seed);
+        };
+        break;
+      case FaultClass::HeapBitFlip:
+        MXL_ASSERT(spec.pauseCycle > 0,
+                   "heap-resident faults need FaultSpec::pauseCycle");
+        req.pauseAtCycle = spec.pauseCycle;
+        req.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+                                              const CompiledUnit &unit) {
+            injectHeapBitFlip(snap, unit, seed);
         };
         break;
     }

@@ -16,6 +16,13 @@
  *  - CallArgType: substitute an ill-typed value into an argument
  *    register at the N-th executed call — the "wrong type reaches a
  *    procedure" model of §3's checking discussion.
+ *  - HeapTagCorrupt / HeapBitFlip: the same two memory-corruption
+ *    models applied to the *live run-time heap* instead of the static
+ *    image. The run is paused mid-execution (RunRequest::pauseAtCycle),
+ *    a MachineSnapshot of the live state is scanned for tagged words
+ *    between the from-space base and the heap allocation pointer, one
+ *    is perturbed, and the run resumes — corruption of data the program
+ *    built itself, the case static-image injection cannot model.
  *
  * Everything is derived from FaultSpec::seed with a splitmix64 stream:
  * the same (spec, compiled unit) pair always yields the same injected
@@ -38,12 +45,17 @@ namespace mxl {
 /** The injectable fault classes. */
 enum class FaultClass
 {
-    TagCorrupt, ///< corrupt the tag field of a static pointer word
-    BitFlip,    ///< flip one data bit in the pristine image
-    CallArgType ///< ill-typed argument substitution at a call boundary
+    TagCorrupt,     ///< corrupt the tag field of a static pointer word
+    BitFlip,        ///< flip one data bit in the pristine image
+    CallArgType,    ///< ill-typed argument substitution at a call boundary
+    HeapTagCorrupt, ///< corrupt the tag of a live heap word mid-run
+    HeapBitFlip     ///< flip one bit of a live heap word mid-run
 };
 
 const char *faultClassName(FaultClass cls);
+
+/** True for the classes injected into a paused run's live heap. */
+bool faultClassIsHeap(FaultClass cls);
 
 /** One fully specified fault: class plus the seed that selects the
  *  injection site. */
@@ -51,6 +63,14 @@ struct FaultSpec
 {
     FaultClass cls = FaultClass::BitFlip;
     uint64_t seed = 0;
+
+    /**
+     * Cycle at which heap-resident faults pause the run and inject
+     * (RunRequest::pauseAtCycle). Required nonzero for the Heap*
+     * classes — campaigns derive it from the golden run's cycle count
+     * so the pause lands mid-execution; ignored by the static classes.
+     */
+    uint64_t pauseCycle = 0;
 
     std::string describe() const;
 };

@@ -45,6 +45,8 @@ struct CycleStats
     uint64_t stores = 0;
     uint64_t branches = 0;
 
+    bool operator==(const CycleStats &) const = default;
+
     /** Charge @p cycles for an executed instruction. */
     void
     charge(const Annotation &ann, int cycles)

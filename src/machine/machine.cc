@@ -1,5 +1,8 @@
 #include "machine/machine.h"
 
+#include <algorithm>
+
+#include "machine/snapshot.h"
 #include "support/format.h"
 #include "support/panic.h"
 
@@ -313,6 +316,11 @@ Machine::run(int entry, uint64_t maxCycles)
     pc_ = entry;
     stop_ = StopReason::Running;
     pendingLoadReg_ = -1;
+    slotsRemaining_ = 0;
+    branchTaken_ = false;
+    annulSlots_ = false;
+    branchTarget_ = -1;
+    branchIdx_ = -1;
     return runGuarded(maxCycles);
 }
 
@@ -321,8 +329,58 @@ Machine::resume(uint64_t maxCycles)
 {
     MXL_ASSERT(stop_ == StopReason::CycleLimit,
                "resume() requires a CycleLimit-paused machine");
+    // Everything a paused instruction group needs — pendingLoadReg_ and
+    // the in-flight branch fields — is machine state, so resuming here
+    // (even from a pause between a branch and its delay slots) is
+    // cycle-identical to never having paused.
     stop_ = StopReason::Running;
     return runGuarded(maxCycles);
+}
+
+MachineSnapshot
+Machine::snapshot() const
+{
+    MachineSnapshot s;
+    std::copy(std::begin(regs_), std::end(regs_), std::begin(s.regs));
+    s.pc = pc_;
+    std::copy(std::begin(trapHandler_), std::end(trapHandler_),
+              std::begin(s.trapHandler));
+    s.memory = mem_.words();
+    s.pendingLoadReg = pendingLoadReg_;
+    s.slotsRemaining = slotsRemaining_;
+    s.branchTaken = branchTaken_;
+    s.annulSlots = annulSlots_;
+    s.branchTarget = branchTarget_;
+    s.branchIdx = branchIdx_;
+    s.stats = stats_;
+    s.output = out_;
+    s.exitValue = exitValue_;
+    s.errorCode = errorCode_;
+    s.stop = stop_;
+    s.faultIndex = faultIndex_;
+    return s;
+}
+
+void
+Machine::restore(const MachineSnapshot &s)
+{
+    std::copy(std::begin(s.regs), std::end(s.regs), std::begin(regs_));
+    pc_ = s.pc;
+    std::copy(std::begin(s.trapHandler), std::end(s.trapHandler),
+              std::begin(trapHandler_));
+    mem_.setWords(s.memory);
+    pendingLoadReg_ = s.pendingLoadReg;
+    slotsRemaining_ = s.slotsRemaining;
+    branchTaken_ = s.branchTaken;
+    annulSlots_ = s.annulSlots;
+    branchTarget_ = s.branchTarget;
+    branchIdx_ = s.branchIdx;
+    stats_ = s.stats;
+    out_ = s.output;
+    exitValue_ = s.exitValue;
+    errorCode_ = s.errorCode;
+    stop_ = s.stop;
+    faultIndex_ = s.faultIndex;
 }
 
 StopReason
@@ -359,6 +417,38 @@ Machine::runLoop(uint64_t maxCycles)
             panic("pc out of range: ", pc_);
         const Instruction &inst = code[pc_];
 
+        if (slotsRemaining_ > 0) {
+            // Inside the delay slots of the in-flight branch; pc_ points
+            // at the slot instruction. Each slot is its own loop step so
+            // the cycle guard above can pause (and a snapshot can be
+            // taken) between a branch and its slots.
+            MXL_ASSERT(!isControl(inst.op),
+                       "control transfer in a delay slot at ", pc_);
+            if (annulSlots_) {
+                // A squashed cycle; charged to the branch's purpose.
+                stats_.squashed++;
+                stats_.charge(code[branchIdx_].ann, 1);
+                pendingLoadReg_ = -1;
+            } else {
+                int before = pc_;
+                execute(inst, pc_);
+                // Traps inside delay slots are not supported; the
+                // compiler never schedules trapping ops there.
+                MXL_ASSERT(pc_ == before, "trap in a delay slot");
+            }
+            --slotsRemaining_;
+            if (stop_ != StopReason::Running)
+                break;
+            if (slotsRemaining_ == 0 && branchTaken_) {
+                MXL_ASSERT(branchTarget_ >= 0 && branchTarget_ < n,
+                           "bad branch target");
+                pc_ = branchTarget_;
+            } else {
+                pc_++;
+            }
+            continue;
+        }
+
         if (!isControl(inst.op)) {
             int before = pc_;
             execute(inst, pc_);
@@ -367,7 +457,8 @@ Machine::runLoop(uint64_t maxCycles)
             continue;
         }
 
-        // Control transfer with two delay slots.
+        // Control transfer: resolve it now, then execute its two delay
+        // slots as separate loop steps (see above).
         int idx = pc_;
         MXL_ASSERT(idx + 2 < n, "control transfer too close to code end");
 
@@ -450,35 +541,13 @@ Machine::runLoop(uint64_t maxCycles)
         }
         chargeAndCount(inst);
 
-        bool annulSlots = (inst.annul == Annul::OnTaken && taken) ||
-                          (inst.annul == Annul::OnNotTaken && !taken);
-
-        for (int s = 1; s <= 2 && stop_ == StopReason::Running; ++s) {
-            const Instruction &slot = code[idx + s];
-            MXL_ASSERT(!isControl(slot.op),
-                       "control transfer in a delay slot at ", idx + s);
-            if (annulSlots) {
-                // A squashed cycle; charged to the branch's purpose.
-                stats_.squashed++;
-                stats_.charge(inst.ann, 1);
-                pendingLoadReg_ = -1;
-            } else {
-                int before = pc_;
-                execute(slot, idx + s);
-                // Traps inside delay slots are not supported; the
-                // compiler never schedules trapping ops there.
-                MXL_ASSERT(pc_ == before, "trap in a delay slot");
-            }
-        }
-        if (stop_ != StopReason::Running)
-            break;
-
-        if (taken) {
-            MXL_ASSERT(target >= 0 && target < n, "bad branch target");
-            pc_ = target;
-        } else {
-            pc_ = idx + 3;
-        }
+        branchTaken_ = taken;
+        branchTarget_ = target;
+        branchIdx_ = idx;
+        annulSlots_ = (inst.annul == Annul::OnTaken && taken) ||
+                      (inst.annul == Annul::OnNotTaken && !taken);
+        slotsRemaining_ = 2;
+        pc_ = idx + 1;
     }
     return stop_;
 }

@@ -114,6 +114,8 @@ unhandledTrapIndex(int64_t code)
                             kUnhandledTrapStride);
 }
 
+struct MachineSnapshot;
+
 class Machine
 {
   public:
@@ -134,10 +136,27 @@ class Machine
      * Continue a run paused by StopReason::CycleLimit until the *total*
      * cycle count reaches @p maxCycles. Pausing and resuming is
      * invisible to the simulation: a run chopped into chunks produces
-     * the same CycleStats, output, and stop as one uninterrupted run
-     * (this is what wall-clock deadlines are built on; core/run.h).
+     * the same CycleStats, output, and stop as one uninterrupted run,
+     * even when the pause lands between a branch and its delay slots or
+     * on a pending load delay — all pipeline state is machine state
+     * (this is what wall-clock deadlines and snapshots are built on;
+     * core/run.h, machine/snapshot.h).
      */
     StopReason resume(uint64_t maxCycles);
+
+    /**
+     * Capture the complete execution state: registers, memory image,
+     * cycle/stall accounting, output, trap-handler installs, and the
+     * pipeline state (pending load delay, in-flight branch and its
+     * remaining delay slots). A snapshot taken from a CycleLimit pause
+     * can be restore()d — into this machine or any machine built on the
+     * same Program and configuration — and resume()d, and the continued
+     * run is cycle-identical to one that was never interrupted.
+     */
+    MachineSnapshot snapshot() const;
+
+    /** Adopt @p snap wholesale (memory sizes must match). */
+    void restore(const MachineSnapshot &snap);
 
     uint32_t reg(Reg r) const { return regs_[r]; }
     void setReg(Reg r, uint32_t v) { if (r) regs_[r] = v; }
@@ -197,6 +216,16 @@ class Machine
     StopReason stop_ = StopReason::Running;
     int faultIndex_ = -1;
     int pendingLoadReg_ = -1;  ///< load-delay interlock tracking
+
+    // In-flight branch state. Delay slots execute as separate loop
+    // steps, so a cycle-limit pause (and therefore a snapshot) can land
+    // between a control transfer and its slots; these fields carry the
+    // branch across that boundary.
+    int slotsRemaining_ = 0;   ///< delay slots left to execute (0..2)
+    bool branchTaken_ = false; ///< condition result of the branch
+    bool annulSlots_ = false;  ///< slots are squashed, not executed
+    int branchTarget_ = -1;    ///< resolved target instruction index
+    int branchIdx_ = -1;       ///< index of the branch (squash charging)
 };
 
 } // namespace mxl

@@ -47,6 +47,12 @@ class Memory
     uint32_t &word(uint32_t index);
     uint32_t word(uint32_t index) const;
 
+    /** The whole image, word-indexed (snapshot capture/restore). */
+    const std::vector<uint32_t> &words() const { return words_; }
+
+    /** Replace the image contents; @p w must match the current size. */
+    void setWords(const std::vector<uint32_t> &w);
+
   private:
     std::vector<uint32_t> words_;
 };

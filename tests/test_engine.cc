@@ -232,6 +232,64 @@ TEST(Engine, LruEvictionRespectsCapacity)
     EXPECT_EQ(cs.hits, 0u);
 }
 
+TEST(Engine, ByteBoundEvictsWhenImagesOutgrowTheLimit)
+{
+    // A byte limit far below two compiled images: the second compile
+    // must evict the first even though the entry-count capacity (256)
+    // is nowhere near exhausted.
+    Engine eng(1, /*cacheCapacity=*/256, /*cacheMaxBytes=*/1);
+    eng.run(request(kLoop, Checking::Off));
+    auto one = eng.cacheStats();
+    // The most recent unit always survives, even oversized — otherwise
+    // a large image could never be cached at all.
+    EXPECT_EQ(one.entries, 1u);
+    EXPECT_GT(one.bytes, one.byteLimit);
+    EXPECT_EQ(one.byteLimit, 1u);
+    EXPECT_EQ(one.evictions, 0u);
+
+    eng.run(request(kLists, Checking::Off));
+    auto two = eng.cacheStats();
+    EXPECT_EQ(two.entries, 1u);
+    EXPECT_EQ(two.evictions, 1u);
+
+    // kLoop was evicted: rerunning it is a miss, not a hit.
+    eng.run(request(kLoop, Checking::Off));
+    auto three = eng.cacheStats();
+    EXPECT_EQ(three.hits, 0u);
+    EXPECT_EQ(three.misses, 3u);
+    EXPECT_EQ(three.evictions, 2u);
+}
+
+TEST(Engine, GenerousByteBoundKeepsBothEntries)
+{
+    Engine eng(1, /*cacheCapacity=*/256,
+               /*cacheMaxBytes=*/Engine::kDefaultCacheBytes);
+    eng.run(request(kLoop, Checking::Off));
+    eng.run(request(kLists, Checking::Off));
+    eng.run(request(kLoop, Checking::Off)); // hit
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(cs.entries, 2u);
+    EXPECT_EQ(cs.hits, 1u);
+    EXPECT_EQ(cs.misses, 2u);
+    EXPECT_EQ(cs.evictions, 0u);
+    EXPECT_GT(cs.bytes, 0u);
+    EXPECT_LE(cs.bytes, cs.byteLimit);
+}
+
+TEST(Engine, ClearCacheResetsByteAccounting)
+{
+    Engine eng(1);
+    eng.run(request(kLoop, Checking::Off));
+    ASSERT_GT(eng.cacheStats().bytes, 0u);
+    eng.clearCache();
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(cs.entries, 0u);
+    EXPECT_EQ(cs.bytes, 0u);
+    // Re-populating after a clear accounts bytes afresh.
+    eng.run(request(kLoop, Checking::Off));
+    EXPECT_GT(eng.cacheStats().bytes, 0u);
+}
+
 TEST(Engine, CompileOutcomeExposesCachedUnit)
 {
     Engine eng(1);

@@ -7,6 +7,10 @@
  * the simulated image.
  */
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "compiler/unit.h"
@@ -15,6 +19,8 @@
 #include "faults/campaign.h"
 #include "faults/fault_injector.h"
 #include "runtime/stubs.h"
+#include "support/json.h"
+#include "support/panic.h"
 
 using namespace mxl;
 
@@ -83,6 +89,24 @@ TEST(FaultSpec, DescribeNamesClassAndSeed)
     EXPECT_EQ(spec.describe(), "tag-corrupt(seed=99)");
     EXPECT_STREQ(faultClassName(FaultClass::BitFlip), "bit-flip");
     EXPECT_STREQ(faultClassName(FaultClass::CallArgType), "call-arg-type");
+    EXPECT_STREQ(faultClassName(FaultClass::HeapTagCorrupt),
+                 "heap-tag-corrupt");
+    EXPECT_STREQ(faultClassName(FaultClass::HeapBitFlip), "heap-bit-flip");
+}
+
+TEST(FaultSpec, HeapClassesArePauseBased)
+{
+    EXPECT_FALSE(faultClassIsHeap(FaultClass::TagCorrupt));
+    EXPECT_FALSE(faultClassIsHeap(FaultClass::BitFlip));
+    EXPECT_FALSE(faultClassIsHeap(FaultClass::CallArgType));
+    EXPECT_TRUE(faultClassIsHeap(FaultClass::HeapTagCorrupt));
+    EXPECT_TRUE(faultClassIsHeap(FaultClass::HeapBitFlip));
+
+    FaultSpec spec;
+    spec.cls = FaultClass::HeapBitFlip;
+    spec.seed = 7;
+    spec.pauseCycle = 1234;
+    EXPECT_EQ(spec.describe(), "heap-bit-flip(seed=7,pause=1234)");
 }
 
 // ---- injectors on a real compiled image -------------------------------
@@ -367,4 +391,289 @@ TEST(Campaign, MatrixRendersEveryConfigAndClass)
     EXPECT_NE(matrix.find("tag-corrupt"), std::string::npos);
     EXPECT_NE(matrix.find("bit-flip"), std::string::npos);
     EXPECT_NE(matrix.find("call-arg-type"), std::string::npos);
+}
+
+// ---- heap-resident fault classes --------------------------------------
+
+TEST(FaultInjector, HeapClassesArmThePauseSeamNotTheImage)
+{
+    RunRequest req;
+    FaultSpec spec;
+    spec.cls = FaultClass::HeapTagCorrupt;
+    spec.seed = 17;
+    spec.pauseCycle = 5000;
+    armFault(req, spec);
+    EXPECT_FALSE(static_cast<bool>(req.imageMutator));
+    EXPECT_FALSE(static_cast<bool>(req.machineSetup));
+    EXPECT_TRUE(static_cast<bool>(req.snapshotHook));
+    EXPECT_EQ(req.pauseAtCycle, 5000u);
+
+    RunRequest flip;
+    spec.cls = FaultClass::HeapBitFlip;
+    armFault(flip, spec);
+    EXPECT_TRUE(static_cast<bool>(flip.snapshotHook));
+    EXPECT_EQ(flip.pauseAtCycle, 5000u);
+}
+
+TEST(FaultInjector, HeapInjectionIsDeterministicThroughTheEngine)
+{
+    // The same heap fault spec applied to the same (program, config)
+    // must classify identically across runs and engines — the property
+    // journal-based resume depends on.
+    Engine eng(2);
+    RunRequest golden;
+    golden.source = kRev;
+    golden.opts = checkedAllOpts();
+    RunReport goldenRep = eng.run(golden);
+    ASSERT_TRUE(goldenRep.ok()) << goldenRep.status.message;
+    ASSERT_GT(goldenRep.result.stats.total, 100u);
+
+    FaultSpec spec;
+    spec.cls = FaultClass::HeapTagCorrupt;
+    spec.seed = FaultRng::mix(2026, 5);
+    spec.pauseCycle = goldenRep.result.stats.total / 2;
+
+    RunRequest a = golden, b = golden;
+    armFault(a, spec);
+    armFault(b, spec);
+    RunReport ra = eng.run(a);
+    Engine eng2(1);
+    RunReport rb = eng2.run(b);
+    ASSERT_TRUE(ra.ok()) << ra.status.message;
+    EXPECT_TRUE(ra.result.snapshotTaken);
+    EXPECT_TRUE(rb.result.snapshotTaken);
+    EXPECT_EQ(ra.result.stop, rb.result.stop);
+    EXPECT_EQ(ra.result.output, rb.result.output);
+    EXPECT_EQ(ra.result.errorCode, rb.result.errorCode);
+    EXPECT_EQ(ra.result.stats.total, rb.result.stats.total);
+    EXPECT_EQ(classifyOutcome(ra, goldenRep),
+              classifyOutcome(rb, goldenRep));
+}
+
+namespace {
+
+Campaign
+heapCampaign()
+{
+    Campaign c = smallCampaign();
+    c.classes = {FaultClass::TagCorrupt, FaultClass::HeapTagCorrupt,
+                 FaultClass::HeapBitFlip};
+    c.trials = 5;
+    return c;
+}
+
+} // namespace
+
+TEST(Campaign, HeapClassesGetMidRunPauseCycles)
+{
+    Engine eng(2);
+    Campaign c = heapCampaign();
+    CampaignResult r = runCampaign(eng, c);
+
+    ASSERT_EQ(r.trials.size(), c.programs.size() * c.configs.size() *
+                                   c.classes.size() *
+                                   static_cast<size_t>(c.trials));
+    for (const TrialRecord &t : r.trials) {
+        const RunReport &g = r.golden(t.program, t.config);
+        ASSERT_TRUE(g.ok());
+        if (faultClassIsHeap(c.classes[t.cls])) {
+            // Pause lands strictly inside the golden run: the fault
+            // perturbs live state, not the initial or final image.
+            EXPECT_GT(t.pauseCycle, 0u) << t.program << "/" << t.config;
+            EXPECT_LT(t.pauseCycle, g.result.stats.total);
+        } else {
+            EXPECT_EQ(t.pauseCycle, 0u);
+        }
+    }
+    // Counts are conserved for the heap classes like any other.
+    const int perCell = static_cast<int>(c.programs.size()) * c.trials;
+    for (size_t cfg = 0; cfg < r.configCount; ++cfg)
+        for (size_t cls = 0; cls < r.classCount; ++cls)
+            EXPECT_EQ(r.cell(cfg, cls).total(), perCell);
+}
+
+TEST(Campaign, HeapPauseCyclesShareSitesAcrossConfigs)
+{
+    // The site-selection seed is configuration-independent (shared
+    // fault population), while the pause cycle scales with each
+    // configuration's own golden length.
+    Engine eng(2);
+    Campaign c = heapCampaign();
+    CampaignResult r = runCampaign(eng, c);
+    for (const TrialRecord &t : r.trials)
+        for (const TrialRecord &u : r.trials)
+            if (t.program == u.program && t.cls == u.cls &&
+                t.trial == u.trial)
+                EXPECT_EQ(t.faultSeed, u.faultSeed);
+}
+
+// ---- durability: journal, resume, skip --------------------------------
+
+namespace {
+
+std::string
+tempJournal(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+TEST(Campaign, JournalRecordsHeaderAndEveryTrial)
+{
+    const std::string path = tempJournal("journal_full.jsonl");
+    std::remove(path.c_str());
+
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 3;
+    CampaignRunOptions options;
+    options.journalPath = path;
+    size_t hookCalls = 0;
+    options.onTrial = [&](const TrialRecord &) { ++hookCalls; };
+    CampaignResult r = runCampaign(eng, c, options);
+
+    EXPECT_EQ(r.journaled, 0u);
+    EXPECT_EQ(hookCalls, r.trials.size());
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1 + r.trials.size());
+    EXPECT_NE(lines[0].find("mxl-campaign"), std::string::npos);
+    Json trial;
+    ASSERT_TRUE(Json::parse(lines[1], &trial));
+    EXPECT_TRUE(trial.find("outcome") != nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeFromTruncatedJournalConvergesToSameMatrix)
+{
+    const std::string path = tempJournal("journal_resume.jsonl");
+    std::remove(path.c_str());
+
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 3;
+    CampaignRunOptions options;
+    options.journalPath = path;
+    CampaignResult full = runCampaign(eng, c, options);
+
+    // Simulate a kill: keep the header plus the first half of the
+    // trial lines, then resume from the truncated journal.
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GT(lines.size(), 3u);
+    const size_t keep = (lines.size() - 1) / 2;
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (size_t i = 0; i <= keep; ++i)
+            out << lines[i] << "\n";
+    }
+    Engine eng2(3); // thread count must not matter
+    CampaignResult resumed = resumeCampaign(eng2, c, path);
+    EXPECT_EQ(resumed.journaled, keep);
+    EXPECT_EQ(resumed.renderMatrix(), full.renderMatrix());
+    ASSERT_EQ(resumed.trials.size(), full.trials.size());
+    for (size_t i = 0; i < full.trials.size(); ++i) {
+        EXPECT_EQ(resumed.trials[i].outcome, full.trials[i].outcome) << i;
+        EXPECT_EQ(resumed.trials[i].channel, full.trials[i].channel) << i;
+    }
+    // The resumed run re-journals the remainder: the journal now covers
+    // the full campaign again.
+    EXPECT_EQ(readLines(path).size(), 1 + full.trials.size());
+
+    // Resuming a complete journal runs nothing at all.
+    Engine eng3(1);
+    CampaignResult replay = resumeCampaign(eng3, c, path);
+    EXPECT_EQ(replay.journaled, full.trials.size());
+    EXPECT_EQ(replay.renderMatrix(), full.renderMatrix());
+    EXPECT_EQ(eng3.cacheStats().misses + eng3.cacheStats().hits,
+              c.programs.size() * c.configs.size())
+        << "a fully journaled campaign should only re-run goldens";
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeRejectsJournalFromDifferentCampaign)
+{
+    const std::string path = tempJournal("journal_mismatch.jsonl");
+    std::remove(path.c_str());
+
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 2;
+    CampaignRunOptions options;
+    options.journalPath = path;
+    runCampaign(eng, c, options);
+
+    Campaign other = c;
+    other.seed = c.seed + 1; // different fault population
+    EXPECT_THROW(resumeCampaign(eng, other, path), MxlError);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, BrokenGoldenSkipsItsTrialsInsteadOfAborting)
+{
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 3;
+    // An unparsable program: its goldens fail in every configuration,
+    // so its trials must come back Skipped while the healthy programs'
+    // trials classify normally.
+    c.programs.push_back({"broken", "(print (car 1)", 5'000'000});
+    CampaignResult r = runCampaign(eng, c);
+
+    ASSERT_EQ(r.trials.size(), c.programs.size() * c.configs.size() *
+                                   c.classes.size() *
+                                   static_cast<size_t>(c.trials));
+    const int brokenIdx = static_cast<int>(c.programs.size()) - 1;
+    for (size_t cfg = 0; cfg < c.configs.size(); ++cfg)
+        EXPECT_FALSE(r.golden(brokenIdx, cfg).ok());
+    int skipped = 0;
+    for (const TrialRecord &t : r.trials) {
+        if (t.program == brokenIdx) {
+            EXPECT_EQ(t.outcome, Outcome::Skipped);
+            ++skipped;
+        } else {
+            EXPECT_NE(t.outcome, Outcome::Skipped);
+        }
+    }
+    EXPECT_EQ(skipped, static_cast<int>(c.configs.size() *
+                                        c.classes.size()) *
+                           c.trials);
+    // The matrix accounts for the hole explicitly.
+    for (size_t cfg = 0; cfg < r.configCount; ++cfg)
+        for (size_t cls = 0; cls < r.classCount; ++cls)
+            EXPECT_EQ(r.cell(cfg, cls).count(Outcome::Skipped), c.trials);
+    EXPECT_NE(r.renderMatrix().find("skip"), std::string::npos);
+}
+
+TEST(Campaign, OutcomeNamesRoundTrip)
+{
+    for (int o = 0; o < static_cast<int>(Outcome::NumOutcomes); ++o) {
+        Outcome parsed;
+        ASSERT_TRUE(
+            outcomeFromName(outcomeName(static_cast<Outcome>(o)), &parsed));
+        EXPECT_EQ(parsed, static_cast<Outcome>(o));
+    }
+    Outcome junk;
+    EXPECT_FALSE(outcomeFromName("not-an-outcome", &junk));
+
+    for (DetectChannel ch : {DetectChannel::None, DetectChannel::SoftwareCheck,
+                             DetectChannel::HardwareTrap}) {
+        DetectChannel parsed;
+        ASSERT_TRUE(
+            detectChannelFromName(detectChannelName(ch), &parsed));
+        EXPECT_EQ(parsed, ch);
+    }
+    DetectChannel junkCh;
+    EXPECT_FALSE(detectChannelFromName("not-a-channel", &junkCh));
 }

@@ -593,5 +593,60 @@ TEST(Machine, ResumeChunkedRunMatchesSingleRun)
     EXPECT_EQ(chunked.m.exitValue(), whole.m.exitValue());
 }
 
+TEST(Machine, ResumeInsideDelaySlotPreservesSquashAndLoadDelay)
+{
+    // A cycle-limit pause can land between a branch and its delay
+    // slots, or between the two slots. The in-flight branch state
+    // (target, annulment, remaining slots) and a pending load delay
+    // must survive the pause: resume at EVERY possible cycle and
+    // require the end state to match the uninterrupted run.
+    const char *src = R"(
+        main:
+            li r2, 6
+            li r3, 0
+            li r4, 0x200
+        loop:
+            st r2, 0(r4)
+            ld r5, 0(r4)        ; load feeding the add: delay shadow
+            add r3, r3, r5
+            addi r2, r2, -1
+            bne.t r2, r0, loop  ; annul-on-taken: squashed slots
+            addi r3, r3, 1      ; annulled while looping, runs at exit
+            addi r3, r3, 2
+            beq.nt r2, r2, done ; taken + annul-on-not-taken: slots run
+            ld r6, 0(r4)
+            add r3, r3, r6      ; uses r6 right after its load
+        done:
+            sys putfixraw, r3
+            sys halt, r3
+    )";
+    MRun whole(src);
+    ASSERT_EQ(whole.go(), StopReason::Halted);
+    const uint64_t total = whole.m.stats().total;
+    ASSERT_GT(whole.m.stats().squashed, 0u);
+    ASSERT_GT(whole.m.stats().loadStalls, 0u);
+
+    for (uint64_t pause = 1; pause < total; ++pause) {
+        MRun split(src);
+        StopReason stop = split.m.run(split.prog.symbol("main"), pause);
+        if (stop == StopReason::Halted) {
+            ASSERT_EQ(split.m.stats().total, total) << pause;
+            continue;
+        }
+        ASSERT_EQ(stop, StopReason::CycleLimit) << pause;
+        ASSERT_EQ(split.m.resume(kDefaultMaxCycles), StopReason::Halted)
+            << pause;
+        ASSERT_EQ(split.m.stats().total, total)
+            << "cycle count diverged after pause at " << pause;
+        ASSERT_EQ(split.m.stats().squashed, whole.m.stats().squashed)
+            << pause;
+        ASSERT_EQ(split.m.stats().loadStalls,
+                  whole.m.stats().loadStalls)
+            << pause;
+        ASSERT_EQ(split.m.output(), whole.m.output()) << pause;
+        ASSERT_EQ(split.m.exitValue(), whole.m.exitValue()) << pause;
+    }
+}
+
 } // namespace
 } // namespace mxl

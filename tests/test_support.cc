@@ -4,6 +4,7 @@
 
 #include "support/bits.h"
 #include "support/format.h"
+#include "support/json.h"
 #include "support/panic.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -144,6 +145,66 @@ TEST(Panic, AssertMacro)
 {
     EXPECT_NO_THROW(MXL_ASSERT(1 + 1 == 2, "fine"));
     EXPECT_THROW(MXL_ASSERT(1 == 2, "bad"), MxlError);
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndDumpDeterministically)
+{
+    Json j = Json::object();
+    j.set("zeta", 1).set("alpha", "two").set("flag", true);
+    j.set("inner", Json::array().push(1).push(Json()).push(-3));
+    EXPECT_EQ(j.dump(),
+              "{\"zeta\": 1, \"alpha\": \"two\", \"flag\": true, "
+              "\"inner\": [1, null, -3]}");
+    // Equal construction sequences give byte-identical text.
+    Json k = Json::object();
+    k.set("zeta", 1).set("alpha", "two").set("flag", true);
+    k.set("inner", Json::array().push(1).push(Json()).push(-3));
+    EXPECT_EQ(j.dump(), k.dump());
+    EXPECT_NE(j.dump(2).find("\n"), std::string::npos);
+}
+
+TEST(Json, Uint64RoundTripsExactly)
+{
+    // Fault seeds are full-width splitmix64 values: they must survive
+    // dump/parse without passing through double.
+    const uint64_t seed = 0xDEADBEEFCAFEF00Dull;
+    Json j = Json::object();
+    j.set("seed", seed).set("neg", static_cast<int64_t>(-42));
+    Json back;
+    ASSERT_TRUE(Json::parse(j.dump(), &back));
+    ASSERT_NE(back.find("seed"), nullptr);
+    EXPECT_EQ(back.find("seed")->asUint(), seed);
+    EXPECT_EQ(back.find("neg")->asInt(), -42);
+    EXPECT_EQ(back.dump(), j.dump());
+}
+
+TEST(Json, ParseAcceptsValidRejectsMalformed)
+{
+    Json v;
+    ASSERT_TRUE(Json::parse("  {\"a\": [1, 2.5, \"x\\n\", false]} ", &v));
+    ASSERT_TRUE(v.isObject());
+    const Json *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 4u);
+    EXPECT_EQ(a->at(0).asUint(), 1u);
+    EXPECT_EQ(a->at(1).asReal(), 2.5);
+    EXPECT_EQ(a->at(2).str(), "x\n");
+    EXPECT_FALSE(a->at(3).asBool(true));
+
+    EXPECT_FALSE(Json::parse("", &v));
+    EXPECT_FALSE(Json::parse("{", &v));
+    EXPECT_FALSE(Json::parse("{\"a\": }", &v));
+    EXPECT_FALSE(Json::parse("[1,]", &v));
+    EXPECT_FALSE(Json::parse("1 2", &v)); // trailing content
+    EXPECT_FALSE(Json::parse("nul", &v));
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    Json j("quote \" backslash \\ tab \t newline \n ctrl \x01");
+    Json back;
+    ASSERT_TRUE(Json::parse(j.dump(), &back));
+    EXPECT_EQ(back.str(), j.str());
 }
 
 } // namespace
