@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/report.h"
@@ -20,12 +21,27 @@ using namespace mxl;
 
 namespace {
 
-double
-averageCycles(Engine &eng, const CompilerOptions &base)
+/** Every measured cell across all variants, for the JSON export. */
+struct GridCollector
 {
+    std::vector<RunRequest> reqs;
+    std::vector<RunReport> reports;
+};
+
+double
+averageCycles(Engine &eng, const CompilerOptions &base,
+              const std::string &tag, GridCollector &coll)
+{
+    std::vector<RunRequest> grid = programGrid(base);
+    for (RunRequest &req : grid)
+        req.label = tag + "/" + req.label;
+    std::vector<RunReport> reports = eng.runGrid(grid);
     double sum = 0;
-    for (const auto &r : runPrograms(eng, base))
+    for (const auto &r : unwrapReports(reports))
         sum += static_cast<double>(r.stats.total);
+    coll.reqs.insert(coll.reqs.end(), grid.begin(), grid.end());
+    coll.reports.insert(coll.reports.end(), reports.begin(),
+                        reports.end());
     return sum;
 }
 
@@ -38,12 +54,17 @@ main()
                 "the baseline)\n\n");
 
     Engine eng;
+    GridCollector coll;
     for (Checking chk : {Checking::Off, Checking::Full}) {
         const char *mode = chk == Checking::Full ? "checking" : "no-check";
-        double base = averageCycles(eng, baselineOptions(chk));
+        double base = averageCycles(eng, baselineOptions(chk),
+                                    strcat(mode, "/baseline"), coll);
 
-        auto rel = [&](CompilerOptions o) {
-            return 100.0 * (base - averageCycles(eng, o)) / base;
+        auto rel = [&](CompilerOptions o, const std::string &tag) {
+            return 100.0 *
+                   (base - averageCycles(eng, o, strcat(mode, "/", tag),
+                                         coll)) /
+                   base;
         };
 
         TextTable t;
@@ -51,18 +72,20 @@ main()
 
         CompilerOptions noFill = baselineOptions(chk);
         noFill.fillDelaySlots = false;
-        t.addRow({"no delay-slot filling", percent(rel(noFill))});
+        t.addRow({"no delay-slot filling",
+                  percent(rel(noFill, "no-fill"))});
 
         CompilerOptions overlap = baselineOptions(chk);
         overlap.overlapChecks = true;
-        t.addRow({"6.2.1 check overlap", percent(rel(overlap))});
+        t.addRow({"6.2.1 check overlap",
+                  percent(rel(overlap, "overlap"))});
 
         for (SchemeKind sk : {SchemeKind::High6, SchemeKind::Low2,
                               SchemeKind::Low3}) {
             CompilerOptions o = baselineOptions(chk);
             o.scheme = sk;
             t.addRow({strcat("scheme ", schemeKindName(sk)),
-                      percent(rel(o))});
+                      percent(rel(o, schemeKindName(sk)))});
         }
         std::printf("%s\n", t.render().c_str());
     }
@@ -73,6 +96,12 @@ main()
     std::printf("  - the low-tag rows are the paper's 'software "
                 "schemes ... very attractive' result\n");
     std::printf("  - check overlap approaches the hardware rows "
-                "without any hardware\n");
-    return 0;
+                "without any hardware\n\n");
+
+    return writeBenchJson("ablation",
+                          benchDoc("ablation",
+                                   gridJson(coll.reqs, coll.reports),
+                                   &eng))
+               ? 0
+               : 1;
 }

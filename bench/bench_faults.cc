@@ -42,6 +42,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/report.h"
@@ -145,6 +146,8 @@ main(int argc, char **argv)
                 "of tag-checking support\n\n");
 
     Engine eng;
+    TraceRecorder trace;
+    eng.setTrace(&trace);
     std::printf("per-program cycle budgets (golden x 6, floor 2M):\n");
     std::vector<uint64_t> budgets = measureBudgets(eng);
 
@@ -184,6 +187,7 @@ main(int argc, char **argv)
                     campaign.trials);
 
     // ---- machine-readable export ----
+    Json faultsDoc;
     {
         // The golden grid in report.h's JSON schema (compiles are cache
         // hits by now), plus the coverage matrix.
@@ -215,13 +219,11 @@ main(int argc, char **argv)
                        static_cast<int64_t>(cell.softwareChecks));
                 matrix.push(std::move(jc));
             }
-        Json doc = Json::object();
-        doc.set("campaign", strcat("bench_faults seed ", campaign.seed));
-        doc.set("goldens", gridJson(goldenReqs, r.goldens));
-        doc.set("matrix", std::move(matrix));
-        std::ofstream out("BENCH_faults.json");
-        out << doc.dump(2) << "\n";
-        std::printf("wrote BENCH_faults.json (golden grid + matrix)\n");
+        faultsDoc = Json::object();
+        faultsDoc.set("campaign",
+                      strcat("bench_faults seed ", campaign.seed));
+        faultsDoc.set("goldens", gridJson(goldenReqs, r.goldens));
+        faultsDoc.set("matrix", std::move(matrix));
     }
 
     // ---- acceptance checks ----
@@ -284,6 +286,31 @@ main(int argc, char **argv)
               "coverage matrix");
         std::remove(halfPath.c_str());
     }
+
+    // The registry's per-outcome trial counters must agree with the
+    // aggregated matrix (campaign.cc bumps them as trials classify).
+    {
+        uint64_t counted = 0;
+        for (int o = 0; o < static_cast<int>(Outcome::NumOutcomes); ++o)
+            counted += eng.metrics()
+                           .counter(strcat("faults.outcome.",
+                                           outcomeName(
+                                               static_cast<Outcome>(o))))
+                           .value();
+        // Journal-restored trials never re-classify, so they are not
+        // counted (relevant under --resume).
+        check(counted == total - r.journaled,
+              strcat("metrics registry counted every classified trial (",
+                     counted, "/", total - r.journaled, ")"));
+    }
+
+    // ---- observability artifacts ----
+    faultsDoc.set("metrics", eng.metrics().snapshot());
+    if (!writeBenchJson("faults", faultsDoc))
+        ++failures;
+    eng.setTrace(nullptr);
+    if (!writeBenchTrace("faults", trace))
+        ++failures;
 
     auto cs = eng.cacheStats();
     std::printf("\nengine: %u worker(s), cache %llu hit / %llu miss, "

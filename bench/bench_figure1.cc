@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
@@ -26,7 +27,10 @@ main()
                 "parentheses)\n\n");
 
     Engine eng;
-    auto ms = measureAll(eng, baselineOptions(Checking::Off));
+    std::vector<RunRequest> reqs;
+    std::vector<RunReport> reports;
+    auto ms = measureAll(eng, baselineOptions(Checking::Off), &reqs,
+                         &reports);
     auto avg = figure1Average(ms);
 
     TextTable t;
@@ -69,5 +73,11 @@ main()
                     percent(f.totalWithout).c_str(),
                     percent(f.totalWith).c_str());
     }
-    return 0;
+
+    std::printf("\n");
+    return writeBenchJson("figure1", benchDoc("figure1",
+                                              gridJson(reqs, reports),
+                                              &eng))
+               ? 0
+               : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
@@ -37,8 +38,11 @@ main()
     Engine eng;
     std::vector<RunRequest> grid = programGrid(base);
     auto noMaskGrid = programGrid(noMask);
+    for (RunRequest &req : noMaskGrid)
+        req.label = "nomask/" + req.label;
     grid.insert(grid.end(), noMaskGrid.begin(), noMaskGrid.end());
-    auto results = unwrapReports(eng.runGrid(grid));
+    std::vector<RunReport> reports = eng.runGrid(grid);
+    auto results = unwrapReports(reports);
     size_t stride = benchmarkPrograms().size();
 
     std::vector<double> andV, movV, noopV, sqV, totV;
@@ -76,8 +80,13 @@ main()
                 "dependent; see EXPERIMENTS.md)\n",
                 mean(movV) < 0.0 ? "yes" : "no");
     std::printf("  net speedup ~5%% .............. measured %s "
-                "(paper %s)\n",
+                "(paper %s)\n\n",
                 percent(mean(totV)).c_str(),
                 percent(paper::figure2TotalSpeedup).c_str());
-    return 0;
+
+    return writeBenchJson("figure2", benchDoc("figure2",
+                                              gridJson(grid, reports),
+                                              &eng))
+               ? 0
+               : 1;
 }

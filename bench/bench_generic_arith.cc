@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
@@ -34,12 +35,32 @@ arithShare(const RunResult &r)
            static_cast<double>(r.stats.total);
 }
 
+/** Every measured cell across all configurations, for the export. */
+struct GridCollector
+{
+    std::vector<RunRequest> reqs;
+    std::vector<RunReport> reports;
+
+    std::vector<RunResult>
+    run(Engine &eng, std::vector<RunRequest> grid, const std::string &tag)
+    {
+        for (RunRequest &req : grid)
+            req.label = tag + "/" + req.label;
+        std::vector<RunReport> reps = eng.runGrid(grid);
+        auto results = unwrapReports(reps);
+        reqs.insert(reqs.end(), grid.begin(), grid.end());
+        reports.insert(reports.end(), reps.begin(), reps.end());
+        return results;
+    }
+};
+
 double
 averageArithShare(Engine &eng, const CompilerOptions &base,
-                  double *ratShare)
+                  double *ratShare, const std::string &tag,
+                  GridCollector &coll)
 {
     std::vector<double> shares;
-    auto results = runPrograms(eng, base);
+    auto results = coll.run(eng, programGrid(base), tag);
     for (size_t i = 0; i < results.size(); ++i) {
         shares.push_back(arithShare(results[i]));
         if (ratShare && benchmarkPrograms()[i].name == "rat")
@@ -50,7 +71,8 @@ averageArithShare(Engine &eng, const CompilerOptions &base,
 
 /** Marginal cycles of one checked (+ x y) in a 100-iteration loop. */
 double
-genericAddCycles(Engine &eng, const CompilerOptions &opts)
+genericAddCycles(Engine &eng, const CompilerOptions &opts,
+                 const std::string &tag, GridCollector &coll)
 {
     RunRequest with;
     with.source = "(de f (x y) (+ x y))"
@@ -58,11 +80,13 @@ genericAddCycles(Engine &eng, const CompilerOptions &opts)
                   " (f 3 4) (setq i (add1 i)))) (print 'done)";
     with.opts = opts;
     with.maxCycles = 100'000'000;
+    with.label = "add";
     RunRequest without = with;
     without.source = "(de f (x y) x)"
                      "(let ((i 0)) (while (lessp i 1000)"
                      " (f 3 4) (setq i (add1 i)))) (print 'done)";
-    auto pair = unwrapReports(eng.runGrid({with, without}));
+    without.label = "noadd";
+    auto pair = coll.run(eng, {with, without}, tag);
     // Subtract the one-cycle load of y that `without` also skips.
     return (static_cast<double>(pair[0].stats.total) -
             static_cast<double>(pair[1].stats.total)) / 1000.0 - 1.0;
@@ -76,13 +100,16 @@ main()
     std::printf("Generic arithmetic (sections 4.2 and 6.2.2)\n\n");
 
     Engine eng;
+    GridCollector coll;
 
     // --- cycle counts for one generic add -----------------------------
-    double biased = genericAddCycles(eng, baselineOptions(Checking::Full));
-    double sumchk = genericAddCycles(eng, sumCheckOptions(Checking::Full));
+    double biased = genericAddCycles(eng, baselineOptions(Checking::Full),
+                                     "add-biased", coll);
+    double sumchk = genericAddCycles(eng, sumCheckOptions(Checking::Full),
+                                     "add-sumcheck", coll);
     CompilerOptions hw = baselineOptions(Checking::Full);
     hw.hw.genericArith = true;
-    double hwCycles = genericAddCycles(eng, hw);
+    double hwCycles = genericAddCycles(eng, hw, "add-hw", coll);
     std::printf("cycles per generic integer add (+ load overheads):\n");
     std::printf("  integer-biased inline : %4.1f   (paper: %d)\n",
                 biased, paper::genericAddCyclesBiased);
@@ -94,12 +121,13 @@ main()
     // --- share of execution time ---------------------------------------
     double ratBiased = 0, ratSum = 0, dummy = 0;
     double sBiased = averageArithShare(
-        eng, baselineOptions(Checking::Full), &ratBiased);
-    double sSum =
-        averageArithShare(eng, sumCheckOptions(Checking::Full), &ratSum);
-    double sHw = averageArithShare(eng, hw, &dummy);
-    double sForce = averageArithShare(
-        eng, forceDispatchOptions(Checking::Full), &dummy);
+        eng, baselineOptions(Checking::Full), &ratBiased, "biased", coll);
+    double sSum = averageArithShare(eng, sumCheckOptions(Checking::Full),
+                                    &ratSum, "sumcheck", coll);
+    double sHw = averageArithShare(eng, hw, &dummy, "hw", coll);
+    double sForce =
+        averageArithShare(eng, forceDispatchOptions(Checking::Full),
+                          &dummy, "force-dispatch", coll);
 
     TextTable t;
     t.addRow({"configuration", "avg arith share", "(paper)", "rat"});
@@ -144,8 +172,14 @@ main()
                 percent(paper::ratGenericArithCost).c_str());
     auto cs = eng.cacheStats();
     std::printf("  engine cache ....................... %llu hits / "
-                "%llu misses\n",
+                "%llu misses\n\n",
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses));
-    return 0;
+
+    return writeBenchJson("generic_arith",
+                          benchDoc("generic_arith",
+                                   gridJson(coll.reqs, coll.reports),
+                                   &eng))
+               ? 0
+               : 1;
 }

@@ -8,10 +8,12 @@
 
 #include <cstdio>
 
+#include "bench_export.h"
 #include "compiler/unit.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/paper.h"
+#include "core/report.h"
 #include "programs/programs.h"
 #include "support/format.h"
 #include "support/panic.h"
@@ -45,5 +47,27 @@ main()
                   strcat("(", pp.objectWords, ")")});
     }
     std::printf("%s\n", t.render().c_str());
-    return 0;
+
+    // Machine-readable export: the static statistics above plus one
+    // measured baseline run per program (compilations above are cache
+    // hits for this grid), so table3's artifact carries comparable
+    // cycle cells like every other BENCH_*.json.
+    std::vector<RunRequest> grid =
+        programGrid(baselineOptions(Checking::Off));
+    std::vector<RunReport> reports = eng.runGrid(grid);
+    Json statics = Json::array();
+    for (const auto &p : benchmarkPrograms()) {
+        CompilerOptions opts = baselineOptions(Checking::Off);
+        opts.heapBytes = p.heapBytes;
+        const auto &u = *eng.compile(p.source, opts).unit;
+        Json row = Json::object();
+        row.set("program", p.name);
+        row.set("procedures", static_cast<uint64_t>(u.procedures));
+        row.set("sourceLines", static_cast<uint64_t>(u.sourceLines));
+        row.set("objectWords", static_cast<uint64_t>(u.objectWords));
+        statics.push(std::move(row));
+    }
+    Json doc = benchDoc("table3", gridJson(grid, reports), &eng);
+    doc.set("statics", std::move(statics));
+    return writeBenchJson("table3", doc) ? 0 : 1;
 }

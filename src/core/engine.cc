@@ -46,6 +46,18 @@ expandImage(const CompiledUnit &unit)
  */
 thread_local const Engine *tlsWorkerOwner = nullptr;
 
+/** Trace track id: 1..N on a worker, 0 on any other thread. */
+thread_local int tlsWorkerId = 0;
+
+uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
 } // namespace
 
 Engine::Engine(unsigned threads, size_t cacheCapacity, size_t cacheMaxBytes)
@@ -107,11 +119,13 @@ Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
         auto it = cache_.find(key);
         if (it != cache_.end()) {
             ++hits_;
+            mCacheHits_.inc();
             *cacheHit = true;
             lru_.splice(lru_.begin(), lru_, it->second);
             fut = it->second->future;
         } else {
             ++misses_;
+            mCacheMisses_.inc();
             *cacheHit = false;
             owner = true;
             fut = prom.get_future().share();
@@ -168,6 +182,7 @@ Engine::evictOverLimits()
         cache_.erase(lru_.back().key);
         lru_.pop_back();
         ++evictions_;
+        mCacheEvictions_.inc();
     }
 }
 
@@ -186,9 +201,17 @@ Engine::execute(const RunRequest &req)
 {
     RunReport rep;
     rep.label = req.label;
+    TraceRecorder *tr = trace();
+    const int tid = tlsWorkerId;
     auto t0 = std::chrono::steady_clock::now();
+    uint64_t trT0 = tr ? tr->nowMicros() : 0;
 
     Compiled c = getOrCompile(req.source, req.opts, &rep.cacheHit);
+    uint64_t compileUs = microsSince(t0);
+    mCompileMicros_.inc(compileUs);
+    if (tr && !rep.cacheHit)
+        tr->complete("compile", "engine", tid, trT0,
+                     tr->nowMicros() - trT0, req.label);
     rep.status = c.status;
     if (c.status.ok()) {
         try {
@@ -202,7 +225,25 @@ Engine::execute(const RunRequest &req)
             controls.machineSetup = req.machineSetup;
             controls.pauseAtCycle = req.pauseAtCycle;
             controls.snapshotHook = req.snapshotHook;
+            controls.collectProfile = req.collectProfile;
+            if (tr && req.snapshotHook) {
+                // Mark the pauseAtCycle pause on this worker's track.
+                auto inner = req.snapshotHook;
+                std::string label = req.label;
+                controls.snapshotHook =
+                    [tr, tid, inner, label](MachineSnapshot &snap,
+                                            const CompiledUnit &unit) {
+                        tr->instant("snapshot", "engine", tid, label);
+                        inner(snap, unit);
+                    };
+            }
+            auto tRun = std::chrono::steady_clock::now();
+            uint64_t trR0 = tr ? tr->nowMicros() : 0;
             rep.result = runUnitOn(*c.unit, std::move(image), controls);
+            mRunMicros_.inc(microsSince(tRun));
+            if (tr)
+                tr->complete("run", "engine", tid, trR0,
+                             tr->nowMicros() - trR0, req.label);
             if (rep.result.timedOut) {
                 rep.status.code = RunStatus::Code::Timeout;
                 rep.status.message =
@@ -216,6 +257,8 @@ Engine::execute(const RunRequest &req)
         }
     }
 
+    mRuns_.inc();
+    mCellMicros_.observe(microsSince(t0));
     rep.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -253,10 +296,12 @@ Engine::runGrid(const std::vector<RunRequest> &reqs,
     futs.reserve(reqs.size());
     {
         std::lock_guard<std::mutex> lk(poolMu_);
+        auto enqueued = std::chrono::steady_clock::now();
         for (size_t i = 0; i < reqs.size(); ++i) {
             const RunRequest &req = reqs[i];
             auto task = std::make_shared<std::packaged_task<RunReport()>>(
-                [this, req, i, progress] {
+                [this, req, i, progress, enqueued] {
+                    mQueueWait_.observe(microsSince(enqueued));
                     RunReport rep = execute(req);
                     if (progress)
                         progress(i, rep);
@@ -285,13 +330,16 @@ Engine::ensureWorkers()
         return;
     workers_.reserve(threads_);
     for (unsigned i = 0; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
-Engine::workerLoop()
+Engine::workerLoop(unsigned id)
 {
     tlsWorkerOwner = this;
+    tlsWorkerId = static_cast<int>(id) + 1;
+    Counter &busy =
+        metrics_.counter(strcat("engine.worker.", id + 1, ".busy_micros"));
     for (;;) {
         std::function<void()> job;
         {
@@ -302,8 +350,16 @@ Engine::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        auto t0 = std::chrono::steady_clock::now();
         job();
+        busy.inc(microsSince(t0));
     }
+}
+
+int
+Engine::currentWorkerId()
+{
+    return tlsWorkerId;
 }
 
 Engine::CacheStats

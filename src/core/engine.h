@@ -32,6 +32,7 @@
 #ifndef MXLISP_CORE_ENGINE_H_
 #define MXLISP_CORE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,8 @@
 #include "compiler/options.h"
 #include "compiler/unit.h"
 #include "core/run.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mxl {
 
@@ -121,6 +124,14 @@ struct RunRequest
     /** Forwarded to RunControls::snapshotHook. */
     std::function<void(MachineSnapshot &, const CompiledUnit &)>
         snapshotHook;
+
+    /**
+     * Collect the per-PC instruction profile for this cell
+     * (RunControls::collectProfile); the histogram comes back in
+     * RunReport::result.profile. Not part of the cache key — profiled
+     * and unprofiled requests share a compilation.
+     */
+    bool collectProfile = false;
 };
 
 /** Everything the engine knows about one executed request. */
@@ -223,6 +234,44 @@ class Engine
     unsigned threadCount() const { return threads_; }
 
     /**
+     * This engine's metrics registry (obs/metrics.h). The engine itself
+     * maintains: engine.cache.{hits,misses,evictions} and
+     * engine.{compile,run}_micros counters, engine.runs,
+     * engine.queue_wait_micros and engine.cell_micros histograms, and
+     * one engine.worker.<n>.busy_micros counter per started worker
+     * (utilization = busy_micros / grid wall time). Callers (bench
+     * harnesses, campaigns) hang their own metrics off the same
+     * registry; snapshot() is the export point.
+     */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach (or detach, with nullptr) a Chrome-trace recorder
+     * (obs/trace.h). While attached, every executed request emits a
+     * "compile" span (cache misses only) and a "run" span on its
+     * worker's track, plus a "snapshot" instant at a pauseAtCycle
+     * pause. The recorder must outlive all runs made while attached;
+     * the pointer itself is read atomically, so attaching around a
+     * runGrid() call from the calling thread is safe.
+     */
+    void setTrace(TraceRecorder *t)
+    {
+        trace_.store(t, std::memory_order_release);
+    }
+    TraceRecorder *trace() const
+    {
+        return trace_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Trace track id for the calling thread: 1..N on an engine worker,
+     * 0 anywhere else (the inline/run() path). Campaign code uses this
+     * to put per-trial instants on the worker that ran the trial.
+     */
+    static int currentWorkerId();
+
+    /**
      * Canonical cache key for (source, options): every CompilerOptions
      * field is serialized in a fixed order, so two option structs that
      * compare field-wise equal always map to the same key.
@@ -252,11 +301,26 @@ class Engine
     RunReport execute(const RunRequest &req);
     void evictOverLimits(); ///< caller holds cacheMu_
     void ensureWorkers();
-    void workerLoop();
+    void workerLoop(unsigned id);
 
     const unsigned threads_;
     const size_t cacheCapacity_;
     const size_t cacheMaxBytes_;
+
+    // Observability. The hot-path counters are resolved once here so
+    // execute() never takes the registry lock; metrics_ must be
+    // declared before the references it seeds.
+    MetricsRegistry metrics_;
+    Counter &mCacheHits_ = metrics_.counter("engine.cache.hits");
+    Counter &mCacheMisses_ = metrics_.counter("engine.cache.misses");
+    Counter &mCacheEvictions_ = metrics_.counter("engine.cache.evictions");
+    Counter &mCompileMicros_ = metrics_.counter("engine.compile_micros");
+    Counter &mRunMicros_ = metrics_.counter("engine.run_micros");
+    Counter &mRuns_ = metrics_.counter("engine.runs");
+    Histogram &mQueueWait_ =
+        metrics_.histogram("engine.queue_wait_micros");
+    Histogram &mCellMicros_ = metrics_.histogram("engine.cell_micros");
+    std::atomic<TraceRecorder *> trace_{nullptr};
 
     // Compiled-unit cache: LRU list front = most recent.
     mutable std::mutex cacheMu_;

@@ -59,6 +59,14 @@ measureProgram(const BenchmarkProgram &prog, const CompilerOptions &base)
 std::vector<ProgramMeasurement>
 measureAll(Engine &eng, const CompilerOptions &base)
 {
+    return measureAll(eng, base, nullptr, nullptr);
+}
+
+std::vector<ProgramMeasurement>
+measureAll(Engine &eng, const CompilerOptions &base,
+           std::vector<RunRequest> *reqsOut,
+           std::vector<RunReport> *reportsOut, bool collectProfile)
+{
     // One grid of 2×10 cells: all off-runs, then all full-runs.
     CompilerOptions off = base;
     off.checking = Checking::Off;
@@ -67,8 +75,21 @@ measureAll(Engine &eng, const CompilerOptions &base)
     std::vector<RunRequest> grid = programGrid(off);
     std::vector<RunRequest> fullGrid = programGrid(full);
     grid.insert(grid.end(), fullGrid.begin(), fullGrid.end());
+    // Unique labels per cell, so exported grids pair up by label in
+    // tools/bench_diff.
+    for (size_t i = 0; i < grid.size(); ++i)
+        grid[i].label = (i < grid.size() / 2 ? "off/" : "full/") +
+                        grid[i].label;
+    if (collectProfile)
+        for (RunRequest &req : grid)
+            req.collectProfile = true;
 
-    auto results = unwrapReports(eng.runGrid(grid));
+    std::vector<RunReport> reports = eng.runGrid(grid);
+    auto results = unwrapReports(reports);
+    if (reqsOut)
+        *reqsOut = grid;
+    if (reportsOut)
+        *reportsOut = std::move(reports);
     const auto &progs = benchmarkPrograms();
     std::vector<ProgramMeasurement> out;
     for (size_t i = 0; i < progs.size(); ++i) {

@@ -32,6 +32,19 @@ ProgramMeasurement measureProgram(const BenchmarkProgram &prog,
 std::vector<ProgramMeasurement>
 measureAll(Engine &eng, const CompilerOptions &base);
 
+/**
+ * As above, also exposing the grid itself: @p reqsOut / @p reportsOut
+ * (either may be null) receive the 20 cells — ten checking-off then
+ * ten checking-full, request order — ready for gridJson(). With
+ * @p collectProfile every cell carries its per-PC instruction profile
+ * (RunResult::profile) for symbolized attribution (obs/profiler.h).
+ */
+std::vector<ProgramMeasurement>
+measureAll(Engine &eng, const CompilerOptions &base,
+           std::vector<RunRequest> *reqsOut,
+           std::vector<RunReport> *reportsOut,
+           bool collectProfile = false);
+
 /** Measure all ten programs on the process-wide default engine. */
 std::vector<ProgramMeasurement>
 measureAll(const CompilerOptions &base);

@@ -36,6 +36,13 @@ runUnitOn(const CompiledUnit &unit, Memory image,
     if (controls.machineSetup)
         controls.machineSetup(m, unit);
 
+    std::shared_ptr<PcProfile> prof;
+    if (controls.collectProfile) {
+        prof = std::make_shared<PcProfile>();
+        prof->resize(unit.prog.code.size());
+        m.attachProfile(prof->execCount.data(), prof->cycles.data());
+    }
+
     RunResult r;
     auto start = std::chrono::steady_clock::now();
     auto expired = [&] {
@@ -88,6 +95,7 @@ runUnitOn(const CompiledUnit &unit, Memory image,
     r.faultIndex = m.faultIndex();
     r.gcCount = m.memory().load(unit.layout.cellAddr(Cell::GcCount));
     r.heapUsed = m.memory().load(unit.layout.cellAddr(Cell::HeapUsed));
+    r.profile = std::move(prof);
     return r;
 }
 

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "compiler/unit.h"
 #include "machine/machine.h"
 #include "machine/snapshot.h"
+#include "obs/profiler.h"
 
 namespace mxl {
 
@@ -44,6 +46,15 @@ struct RunResult
     bool timedOut = false;    ///< RunControls::deadlineSeconds expired
     int faultIndex = -1;      ///< Machine::faultIndex() (traps/wild access)
     bool snapshotTaken = false; ///< RunControls::snapshotHook was invoked
+
+    /**
+     * Per-PC execution/cycle histogram, present only when the run was
+     * made with RunControls::collectProfile. Indexed by instruction
+     * index of the unit's Program; symbolize() (obs/profiler.h) folds
+     * it into per-function attribution. Shared, not copied: RunResult
+     * stays cheap to move through the engine's report plumbing.
+     */
+    std::shared_ptr<const PcProfile> profile;
 
     bool ok() const { return stop == StopReason::Halted; }
 };
@@ -100,6 +111,16 @@ struct RunControls
     /** Invoked once at the pauseAtCycle pause; may mutate the snapshot. */
     std::function<void(MachineSnapshot &, const CompiledUnit &)>
         snapshotHook;
+
+    /**
+     * Collect the per-PC instruction profile (RunResult::profile). This
+     * is the fast counting path — two uint64 increments per issued
+     * instruction on the machine's hot loop, no std::function involved
+     * (Machine::traceHook remains the *debugging* hook). The histogram
+     * is exact: its cycle total equals CycleStats::total and its issue
+     * total equals CycleStats::instructions for every run.
+     */
+    bool collectProfile = false;
 };
 
 /** Execute @p unit from its entry point (copies its pristine image). */

@@ -391,8 +391,23 @@ runCampaign(Engine &engine, const Campaign &campaign,
             journal << headerLine << "\n" << std::flush;
     }
 
+    // Per-outcome trial counters live in the engine's registry, so a
+    // campaign's coverage tallies export alongside the engine's own
+    // cache/utilization metrics in one snapshot. Resolved up front:
+    // emitTrial runs on workers and must not take the registry lock.
+    Counter *outcomeCounters[static_cast<int>(Outcome::NumOutcomes)];
+    for (int i = 0; i < static_cast<int>(Outcome::NumOutcomes); ++i)
+        outcomeCounters[i] = &engine.metrics().counter(
+            strcat("faults.outcome.", outcomeName(static_cast<Outcome>(i))));
+    if (journaled > 0)
+        engine.metrics().counter("faults.trials.resumed").inc(journaled);
+
     std::mutex journalMu;
     auto emitTrial = [&](const TrialRecord &rec) {
+        outcomeCounters[static_cast<int>(rec.outcome)]->inc();
+        if (TraceRecorder *tr = engine.trace())
+            tr->instant("trial", "faults", Engine::currentWorkerId(),
+                        outcomeName(rec.outcome));
         std::lock_guard<std::mutex> lk(journalMu);
         if (journal.is_open())
             journal << trialLine(rec).dump() << "\n" << std::flush;

@@ -1,6 +1,26 @@
 #include "isa/instruction.h"
 
+#include <algorithm>
+
 namespace mxl {
+
+std::vector<std::pair<int, std::string>>
+sortedSymbols(const Program &prog)
+{
+    std::vector<std::pair<int, std::string>> out;
+    out.reserve(prog.symbols.size());
+    for (const auto &[name, idx] : prog.symbols)
+        out.emplace_back(idx, name);
+    std::sort(out.begin(), out.end());
+    // Drop aliases: one name per instruction index (the first after the
+    // sort, so the choice is deterministic).
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const auto &a, const auto &b) {
+                              return a.first == b.first;
+                          }),
+              out.end());
+    return out;
+}
 
 void
 Instruction::readRegs(Reg out[3], int &n) const

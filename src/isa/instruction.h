@@ -99,6 +99,16 @@ struct Program
     }
 };
 
+/**
+ * The label table in address order: (instruction index, name) pairs
+ * sorted ascending by index (name breaks ties; the first name at an
+ * index wins, aliases are dropped). This is the symbolizer's view of a
+ * program — consecutive entries bound each function's PC range
+ * (obs/profiler.h) — and is also handy for diagnostics.
+ */
+std::vector<std::pair<int, std::string>>
+sortedSymbols(const Program &prog);
+
 } // namespace mxl
 
 #endif // MXLISP_ISA_INSTRUCTION_H_

@@ -59,10 +59,11 @@ Machine::effAddr(const Instruction &inst, bool checked) const
 }
 
 void
-Machine::chargeAndCount(const Instruction &inst)
+Machine::chargeAndCount(const Instruction &inst, int idx)
 {
     int cycles = opCycles(inst.op);
     stats_.charge(inst.ann, cycles);
+    profCharge(idx, cycles);
     stats_.instructions++;
     switch (inst.op) {
       case Opcode::And:
@@ -147,8 +148,7 @@ Machine::doSys(const Instruction &inst)
 void
 Machine::execute(const Instruction &inst, int idx)
 {
-    if (traceHook)
-        traceHook(idx, inst);
+    observeIssue(idx, inst);
     // Load-delay interlock: one stall cycle when this instruction reads
     // the register loaded by the immediately preceding load.
     if (pendingLoadReg_ >= 0) {
@@ -159,13 +159,14 @@ Machine::execute(const Instruction &inst, int idx)
             if (reads[i] == pendingLoadReg_) {
                 stats_.loadStalls++;
                 stats_.charge(inst.ann, 1);
+                profCharge(idx, 1);
                 break;
             }
         }
         pendingLoadReg_ = -1;
     }
 
-    chargeAndCount(inst);
+    chargeAndCount(inst, idx);
 
     auto rs = [&] { return regs_[inst.rs]; };
     auto rt = [&] { return regs_[inst.rt]; };
@@ -425,9 +426,11 @@ Machine::runLoop(uint64_t maxCycles)
             MXL_ASSERT(!isControl(inst.op),
                        "control transfer in a delay slot at ", pc_);
             if (annulSlots_) {
-                // A squashed cycle; charged to the branch's purpose.
+                // A squashed cycle; charged to the branch's purpose
+                // (and, in the profile, to the branch's PC).
                 stats_.squashed++;
                 stats_.charge(code[branchIdx_].ann, 1);
+                profCharge(branchIdx_, 1);
                 pendingLoadReg_ = -1;
             } else {
                 int before = pc_;
@@ -462,6 +465,8 @@ Machine::runLoop(uint64_t maxCycles)
         int idx = pc_;
         MXL_ASSERT(idx + 2 < n, "control transfer too close to code end");
 
+        observeIssue(idx, inst);
+
         // Interlock against a load immediately before the branch.
         if (pendingLoadReg_ >= 0) {
             Reg reads[3];
@@ -471,14 +476,13 @@ Machine::runLoop(uint64_t maxCycles)
                 if (reads[i] == pendingLoadReg_) {
                     stats_.loadStalls++;
                     stats_.charge(inst.ann, 1);
+                    profCharge(idx, 1);
                     break;
                 }
             }
             pendingLoadReg_ = -1;
         }
 
-        if (traceHook)
-            traceHook(idx, inst);
         bool taken = false;
         int target = inst.target;
         switch (inst.op) {
@@ -539,7 +543,7 @@ Machine::runLoop(uint64_t maxCycles)
           default:
             panic("unhandled control opcode");
         }
-        chargeAndCount(inst);
+        chargeAndCount(inst, idx);
 
         branchTaken_ = taken;
         branchTarget_ = target;

@@ -187,8 +187,34 @@ class Machine
     /**
      * Debug hook: called before each executed instruction with its
      * index. Slows simulation; intended for tests and debugging only.
+     * Both issue paths (the straight-line path and the delay-slot /
+     * control path) funnel through one observation point, so the hook
+     * sees every executed instruction exactly once, in issue order;
+     * annulled delay slots do not fire it (they are charged cycles but
+     * never execute). For measurement, prefer attachProfile(): the
+     * counting path costs two array increments per instruction instead
+     * of a std::function call.
      */
     std::function<void(int, const Instruction &)> traceHook;
+
+    /**
+     * Attach per-PC profile buffers (the obs/ instruction profiler's
+     * fast counting path; obs/profiler.h owns the vectors). Both arrays
+     * must have one slot per instruction of the program. While
+     * attached, `execCounts[i]` accumulates how often instruction i
+     * issued and `cycleCounts[i]` every cycle the run charged to it —
+     * including its load-interlock stalls and, for a squashing branch,
+     * its annulled slot cycles — so the cycle histogram sums exactly to
+     * the CycleStats charged while attached. Pass nullptrs to detach.
+     * Buffers are per-run accessories, not machine state: snapshots do
+     * not carry them.
+     */
+    void
+    attachProfile(uint64_t *execCounts, uint64_t *cycleCounts)
+    {
+        profExec_ = execCounts;
+        profCycles_ = cycleCounts;
+    }
 
   private:
     StopReason runGuarded(uint64_t maxCycles);
@@ -200,7 +226,30 @@ class Machine
     void trap(TrapKind kind, int idx);
     void illegalAccess(uint32_t addr, int idx);
     uint32_t effAddr(const Instruction &inst, bool checked) const;
-    void chargeAndCount(const Instruction &inst);
+    void chargeAndCount(const Instruction &inst, int idx);
+
+    /**
+     * The single pre-issue observation point: every executed
+     * instruction — straight-line, delay-slot, or control — passes
+     * through here exactly once, so traceHook and the profiler see
+     * identical streams regardless of path.
+     */
+    void
+    observeIssue(int idx, const Instruction &inst)
+    {
+        if (profExec_)
+            profExec_[idx]++;
+        if (traceHook)
+            traceHook(idx, inst);
+    }
+
+    /** Profiler counterpart of CycleStats::charge for instruction @p idx. */
+    void
+    profCharge(int idx, int cycles)
+    {
+        if (profCycles_)
+            profCycles_[idx] += static_cast<uint64_t>(cycles);
+    }
 
     const Program &prog_;
     Memory mem_;
@@ -216,6 +265,8 @@ class Machine
     StopReason stop_ = StopReason::Running;
     int faultIndex_ = -1;
     int pendingLoadReg_ = -1;  ///< load-delay interlock tracking
+    uint64_t *profExec_ = nullptr;   ///< attachProfile issue counts
+    uint64_t *profCycles_ = nullptr; ///< attachProfile cycle counts
 
     // In-flight branch state. Delay slots execute as separate loop
     // steps, so a cycle-limit pause (and therefore a snapshot) can land

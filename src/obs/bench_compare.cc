@@ -1,0 +1,148 @@
+#include "obs/bench_compare.h"
+
+#include <map>
+
+#include "support/format.h"
+#include "support/table.h"
+
+namespace mxl {
+
+namespace {
+
+/** The grid array inside a bench document, or nullptr. */
+const Json *
+findGrid(const Json &doc)
+{
+    if (doc.isArray())
+        return &doc;
+    if (!doc.isObject())
+        return nullptr;
+    for (const char *key : {"grid", "goldens"}) {
+        const Json *g = doc.find(key);
+        if (g && g->isArray())
+            return g;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+double
+BenchDelta::pct() const
+{
+    if (before == 0)
+        return after == 0 ? 0.0 : 100.0;
+    return 100.0 *
+           (static_cast<double>(after) - static_cast<double>(before)) /
+           static_cast<double>(before);
+}
+
+bool
+extractBenchCells(const Json &doc, std::vector<BenchDelta> *cells)
+{
+    const Json *grid = findGrid(doc);
+    if (!grid)
+        return false;
+    for (size_t i = 0; i < grid->size(); ++i) {
+        const Json &cell = grid->at(i);
+        if (!cell.isObject())
+            continue;
+        const Json *label = cell.find("label");
+        const Json *ok = cell.find("statusOk");
+        const Json *stats = cell.find("stats");
+        if (!label || !label->isString() || !stats || !stats->isObject())
+            continue;
+        if (ok && !ok->asBool())
+            continue;
+        const Json *total = stats->find("total");
+        if (!total || !total->isNumber())
+            continue;
+        BenchDelta d;
+        d.label = label->str();
+        d.before = total->asUint();
+        cells->push_back(std::move(d));
+    }
+    return true;
+}
+
+BenchComparison
+compareBenchJson(const Json &before, const Json &after)
+{
+    std::vector<BenchDelta> a, b;
+    extractBenchCells(before, &a);
+    extractBenchCells(after, &b);
+
+    // First occurrence of a label wins (grids are label-unique in
+    // practice; duplicates would otherwise pair ambiguously).
+    std::map<std::string, uint64_t> afterCells;
+    for (const BenchDelta &d : b)
+        afterCells.emplace(d.label, d.before);
+
+    BenchComparison cmp;
+    std::map<std::string, bool> seen;
+    for (BenchDelta &d : a) {
+        if (seen.count(d.label))
+            continue;
+        seen[d.label] = true;
+        auto it = afterCells.find(d.label);
+        if (it == afterCells.end()) {
+            cmp.onlyBefore.push_back(d.label);
+            continue;
+        }
+        d.after = it->second;
+        afterCells.erase(it);
+        cmp.deltas.push_back(std::move(d));
+    }
+    for (const BenchDelta &d : b)
+        if (afterCells.count(d.label)) {
+            cmp.onlyAfter.push_back(d.label);
+            afterCells.erase(d.label);
+        }
+    return cmp;
+}
+
+std::vector<BenchDelta>
+BenchComparison::regressions(double thresholdPct) const
+{
+    std::vector<BenchDelta> out;
+    for (const BenchDelta &d : deltas)
+        if (d.pct() > thresholdPct)
+            out.push_back(d);
+    return out;
+}
+
+std::string
+renderComparison(const BenchComparison &cmp, double thresholdPct,
+                 bool *failed)
+{
+    TextTable t;
+    t.addRow({"cell", "before", "after", "delta"});
+    for (const BenchDelta &d : cmp.deltas) {
+        double p = d.pct();
+        std::string delta = p == 0.0 ? "=" : strcat(p > 0 ? "+" : "",
+                                                    fixed(p, 3), "%");
+        t.addRow({d.label, strcat(d.before), strcat(d.after), delta});
+    }
+    std::string out = t.render();
+    for (const std::string &l : cmp.onlyBefore)
+        out += strcat("  only in before: ", l, "\n");
+    for (const std::string &l : cmp.onlyAfter)
+        out += strcat("  only in after:  ", l, "\n");
+
+    auto regs = cmp.regressions(thresholdPct);
+    if (failed)
+        *failed = !regs.empty();
+    if (regs.empty()) {
+        out += strcat("no regression beyond ", fixed(thresholdPct, 2),
+                      "% across ", cmp.deltas.size(), " cell(s)\n");
+    } else {
+        out += strcat(regs.size(), " regression(s) beyond ",
+                      fixed(thresholdPct, 2), "%:\n");
+        for (const BenchDelta &d : regs)
+            out += strcat("  ", d.label, "  +", fixed(d.pct(), 3), "% (",
+                          d.before, " -> ", d.after, ")\n");
+    }
+    return out;
+}
+
+} // namespace mxl

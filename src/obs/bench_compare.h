@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Comparison of two BENCH_*.json exports: per-cell cycle deltas with a
+ * regression threshold, so benchmark trajectories are checkable in CI
+ * (tools/bench_diff is the CLI wrapper).
+ *
+ * A bench document is either a bare grid (the JSON array gridJson
+ * produces, one runReportJson object per cell) or an object wrapping
+ * one under a "grid" or "goldens" key (the shapes the bench harnesses
+ * write). Cells pair up by label; the comparison is on
+ * stats.total — the simulated cycle count, which is deterministic per
+ * commit, unlike wall time.
+ */
+
+#ifndef MXLISP_OBS_BENCH_COMPARE_H_
+#define MXLISP_OBS_BENCH_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace mxl {
+
+/** One label's before/after cycle counts. */
+struct BenchDelta
+{
+    std::string label;
+    uint64_t before = 0;
+    uint64_t after = 0;
+
+    /** Signed percentage change; positive = slower (a regression). */
+    double pct() const;
+};
+
+/** Everything compareBenchJson() finds. */
+struct BenchComparison
+{
+    std::vector<BenchDelta> deltas;     ///< labels present in both
+    std::vector<std::string> onlyBefore; ///< labels dropped in `after`
+    std::vector<std::string> onlyAfter;  ///< labels new in `after`
+
+    /** Cells whose pct() exceeds @p thresholdPct. */
+    std::vector<BenchDelta> regressions(double thresholdPct) const;
+};
+
+/**
+ * Extract label -> stats.total cells from a bench document (see file
+ * comment for accepted shapes). Cells with statusOk == false are
+ * skipped (they carry no meaningful cycle count). False when @p doc
+ * contains no grid at all.
+ */
+bool extractBenchCells(const Json &doc, std::vector<BenchDelta> *cells);
+
+/** Pair up two bench documents by label (first occurrence wins). */
+BenchComparison compareBenchJson(const Json &before, const Json &after);
+
+/**
+ * Render the comparison: every delta row (cycle counts, signed %),
+ * then missing/new labels, then a verdict line against
+ * @p thresholdPct. @p failed (optional) receives whether any
+ * regression exceeded the threshold.
+ */
+std::string renderComparison(const BenchComparison &cmp,
+                             double thresholdPct, bool *failed = nullptr);
+
+} // namespace mxl
+
+#endif // MXLISP_OBS_BENCH_COMPARE_H_

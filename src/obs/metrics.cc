@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "support/panic.h"
+
+namespace mxl {
+
+void
+Histogram::observe(uint64_t v)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed))
+        ;
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+Json
+Histogram::toJson() const
+{
+    Json j = Json::object();
+    j.set("count", count());
+    j.set("sum", sum());
+    j.set("max", max());
+    j.set("mean", mean());
+    Json b = Json::object();
+    for (int i = 0; i < kBuckets; ++i) {
+        uint64_t n = bucket(i);
+        if (n == 0)
+            continue;
+        // Key each bucket by its lower bound: bit width i covers
+        // [2^(i-1), 2^i); width 0 is the value 0.
+        uint64_t lo = i == 0 ? 0 : uint64_t{1} << (i - 1);
+        b.set(std::to_string(lo), n);
+    }
+    j.set("buckets", std::move(b));
+    return j;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::resolve(const std::string &name, Kind kind)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Entry e;
+        e.kind = kind;
+        switch (kind) {
+          case Kind::Counter:
+            e.counter = std::make_unique<Counter>();
+            break;
+          case Kind::Gauge:
+            e.gauge = std::make_unique<Gauge>();
+            break;
+          case Kind::Histogram:
+            e.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = metrics_.emplace(name, std::move(e)).first;
+    } else if (it->second.kind != kind) {
+        panic("metric '", name, "' registered as a different kind");
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *resolve(name, Kind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *resolve(name, Kind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *resolve(name, Kind::Histogram).histogram;
+}
+
+Json
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Json counters = Json::object();
+    Json gauges = Json::object();
+    Json histograms = Json::object();
+    for (const auto &[name, e] : metrics_) {
+        switch (e.kind) {
+          case Kind::Counter:
+            counters.set(name, e.counter->value());
+            break;
+          case Kind::Gauge:
+            gauges.set(name, e.gauge->value());
+            break;
+          case Kind::Histogram:
+            histograms.set(name, e.histogram->toJson());
+            break;
+        }
+    }
+    Json j = Json::object();
+    j.set("counters", std::move(counters));
+    j.set("gauges", std::move(gauges));
+    j.set("histograms", std::move(histograms));
+    return j;
+}
+
+} // namespace mxl

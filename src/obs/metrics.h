@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The engine metrics registry: named counters, gauges, and histograms
+ * that are safe to bump from every worker of Engine::runGrid.
+ *
+ * Design constraints, in order:
+ *  - the hot path (Counter::inc on a resolved handle) must be one
+ *    relaxed atomic add — workers bump cache and utilization counters
+ *    once per grid cell, and the registry must stay invisible in the
+ *    simulation rate and clean under -DMXL_SANITIZE=thread;
+ *  - handles are stable: counter()/gauge()/histogram() return
+ *    references that live as long as the registry, so callers resolve
+ *    a name once (registry lookup takes the registry mutex) and bump
+ *    lock-free afterwards;
+ *  - snapshots are deterministic: snapshot() serializes every metric
+ *    through support/json.h with names in sorted order, so equal
+ *    metric populations produce byte-identical JSON.
+ *
+ * Histograms use power-of-two buckets (bucket i counts values v with
+ * bit_width(v) == i, i.e. 0, 1, 2-3, 4-7, ...): coarse, but cheap
+ * enough for the hot path and sufficient for latency distributions
+ * whose interesting structure spans decades (queue waits from
+ * microseconds to seconds).
+ */
+
+#ifndef MXLISP_OBS_METRICS_H_
+#define MXLISP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/json.h"
+
+namespace mxl {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Point-in-time signed value (e.g. queue depth). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+    void
+    add(int64_t d)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Power-of-two-bucketed distribution of uint64 observations. */
+class Histogram
+{
+  public:
+    /** Bucket i counts observations whose bit width is i (0..64). */
+    static constexpr int kBuckets = 65;
+
+    void observe(uint64_t v);
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    double mean() const;
+
+    uint64_t
+    bucket(int i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** {count, sum, max, mean, buckets:{"<lo>": n, ...}} with empty
+     *  buckets omitted; bucket keys are the range's lower bound. */
+    Json toJson() const;
+
+  private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/**
+ * A named family of metrics. Lookup registers on first use; the
+ * returned reference stays valid for the registry's lifetime. A name
+ * identifies exactly one kind — asking for an existing name as a
+ * different kind panics (it is a bug, not a runtime condition).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Serialize every registered metric:
+     * {"counters":{...},"gauges":{...},"histograms":{...}}, names
+     * sorted. Concurrent bumps during a snapshot are safe (each value
+     * is read atomically); the snapshot is a consistent-enough view
+     * for reporting, not a linearizable cut.
+     */
+    Json snapshot() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &resolve(const std::string &name, Kind kind);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> metrics_; ///< sorted => snapshot order
+};
+
+} // namespace mxl
+
+#endif // MXLISP_OBS_METRICS_H_

@@ -1,0 +1,143 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+#include "support/panic.h"
+#include "support/table.h"
+
+namespace mxl {
+
+uint64_t
+PcProfile::totalCycles() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : cycles)
+        t += c;
+    return t;
+}
+
+uint64_t
+PcProfile::totalExecuted() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : execCount)
+        t += c;
+    return t;
+}
+
+std::vector<FunctionProfile>
+symbolize(const Program &prog, const PcProfile &profile)
+{
+    const size_t n = prog.code.size();
+    MXL_ASSERT(profile.cycles.size() == n && profile.execCount.size() == n,
+               "profile sized for a different program (", n,
+               " instructions vs ", profile.cycles.size(), ")");
+
+    // Region boundaries from the label table, in address order.
+    std::vector<std::pair<int, std::string>> labels = sortedSymbols(prog);
+    std::vector<FunctionProfile> out;
+    auto addRegion = [&](const std::string &name, int begin, int end) {
+        FunctionProfile f;
+        f.name = name;
+        f.begin = begin;
+        f.end = end;
+        for (int pc = begin; pc < end; ++pc) {
+            uint64_t c = profile.cycles[static_cast<size_t>(pc)];
+            f.cycles += c;
+            f.executed += profile.execCount[static_cast<size_t>(pc)];
+            const Annotation &ann = prog.code[static_cast<size_t>(pc)].ann;
+            f.byPurpose[static_cast<int>(ann.purpose)] += c;
+            if (ann.fromChecking)
+                f.checkingCycles += c;
+        }
+        if (f.cycles != 0 || f.executed != 0)
+            out.push_back(std::move(f));
+    };
+
+    int cursor = 0;
+    if (!labels.empty() && labels.front().first > 0)
+        addRegion("(unlabeled)", 0, labels.front().first);
+    if (labels.empty()) {
+        addRegion("(unlabeled)", 0, static_cast<int>(n));
+        return out;
+    }
+    for (size_t i = 0; i < labels.size(); ++i) {
+        cursor = labels[i].first;
+        int end = i + 1 < labels.size() ? labels[i + 1].first
+                                        : static_cast<int>(n);
+        addRegion(labels[i].second, cursor, end);
+    }
+    return out;
+}
+
+Json
+functionProfileJson(const std::vector<FunctionProfile> &funcs)
+{
+    std::vector<const FunctionProfile *> sorted;
+    sorted.reserve(funcs.size());
+    for (const FunctionProfile &f : funcs)
+        sorted.push_back(&f);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const FunctionProfile *a, const FunctionProfile *b) {
+                         return a->cycles > b->cycles;
+                     });
+
+    Json arr = Json::array();
+    for (const FunctionProfile *f : sorted) {
+        Json j = Json::object();
+        j.set("name", f->name);
+        j.set("begin", static_cast<int64_t>(f->begin));
+        j.set("end", static_cast<int64_t>(f->end));
+        j.set("cycles", f->cycles);
+        j.set("executed", f->executed);
+        j.set("checkingCycles", f->checkingCycles);
+        Json purposes = Json::object();
+        for (int p = 0; p < numPurposes; ++p) {
+            if (f->byPurpose[p] == 0)
+                continue;
+            purposes.set(purposeName(static_cast<Purpose>(p)),
+                         f->byPurpose[p]);
+        }
+        j.set("byPurpose", std::move(purposes));
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+std::string
+renderCheckingTax(const std::vector<FunctionProfile> &funcs, size_t top)
+{
+    std::vector<const FunctionProfile *> sorted;
+    uint64_t totalCycles = 0;
+    for (const FunctionProfile &f : funcs) {
+        sorted.push_back(&f);
+        totalCycles += f.cycles;
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const FunctionProfile *a, const FunctionProfile *b) {
+                         if (a->checkingCycles != b->checkingCycles)
+                             return a->checkingCycles > b->checkingCycles;
+                         return a->cycles > b->cycles;
+                     });
+    if (sorted.size() > top)
+        sorted.resize(top);
+
+    TextTable t;
+    t.addRow({"function", "cycles", "% of run", "checking", "% of fn"});
+    for (const FunctionProfile *f : sorted) {
+        double ofRun = totalCycles
+                           ? 100.0 * static_cast<double>(f->cycles) /
+                                 static_cast<double>(totalCycles)
+                           : 0.0;
+        double ofFn = f->cycles
+                          ? 100.0 * static_cast<double>(f->checkingCycles) /
+                                static_cast<double>(f->cycles)
+                          : 0.0;
+        t.addRow({f->name, strcat(f->cycles), percent(ofRun),
+                  strcat(f->checkingCycles), percent(ofFn)});
+    }
+    return t.render();
+}
+
+} // namespace mxl

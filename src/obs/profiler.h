@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The instruction profiler: per-PC cycle attribution and its
+ * symbolization into per-function (and per-purpose-per-function) cost.
+ *
+ * The paper's whole methodology is deciding which cycles belong to
+ * which tag operation (Tables 1-3); this layer extends that attribution
+ * from whole-run aggregates down to *where in the program* the cycles
+ * land. A PcProfile is a pair of PC-indexed histograms the Machine
+ * fills through its fast counting path (Machine::attachProfile — two
+ * array increments per executed instruction, cheap enough to leave on
+ * for benchmark runs, unlike the std::function traceHook which stays a
+ * debugging tool). symbolize() folds the histograms over the program's
+ * label table (isa/instruction.h's sortedSymbols) into one
+ * FunctionProfile per labeled region: total cycles, issue counts, the
+ * Purpose split, and the cycles that exist only because run-time
+ * checking is on — i.e. which runtime routines pay the tag-checking
+ * tax, a finer-grained Table 3.
+ *
+ * Invariants (tests/test_obs.cc enforces them on every benchmark
+ * program):
+ *  - sum(PcProfile::cycles) == the CycleStats total charged while the
+ *    profile was attached (stalls and squashed slots included);
+ *  - sum over FunctionProfiles of `cycles` equals the same total, and
+ *    each function's byPurpose[] row sums to its `cycles`;
+ *  - sum(PcProfile::execCount) == CycleStats::instructions.
+ */
+
+#ifndef MXLISP_OBS_PROFILER_H_
+#define MXLISP_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/annotation.h"
+#include "isa/instruction.h"
+#include "support/json.h"
+
+namespace mxl {
+
+/** PC-indexed issue/cycle histograms (Machine::attachProfile target). */
+struct PcProfile
+{
+    std::vector<uint64_t> execCount; ///< issues of instruction i
+    std::vector<uint64_t> cycles;    ///< cycles charged to instruction i
+
+    /** Size both histograms for an @p instructions-long program. */
+    void
+    resize(size_t instructions)
+    {
+        execCount.assign(instructions, 0);
+        cycles.assign(instructions, 0);
+    }
+
+    uint64_t totalCycles() const;
+    uint64_t totalExecuted() const;
+};
+
+/** One labeled region's share of a profiled run. */
+struct FunctionProfile
+{
+    std::string name; ///< label, or "(unlabeled)" before the first one
+    int begin = 0;    ///< first instruction index of the region
+    int end = 0;      ///< one past the last instruction index
+    uint64_t cycles = 0;   ///< all cycles charged to PCs in the region
+    uint64_t executed = 0; ///< instructions issued in the region
+
+    /** `cycles` split by the charged instruction's Purpose. */
+    uint64_t byPurpose[numPurposes] = {};
+
+    /** Cycles on instructions that exist only because checking is on —
+     *  this function's share of the tag-checking tax. */
+    uint64_t checkingCycles = 0;
+};
+
+/**
+ * Fold @p profile over @p prog's label table: one FunctionProfile per
+ * labeled region, in address order, zero-cycle regions dropped. PCs
+ * before the first label land in a synthetic "(unlabeled)" entry.
+ */
+std::vector<FunctionProfile> symbolize(const Program &prog,
+                                       const PcProfile &profile);
+
+/**
+ * The symbolized profile as a JSON array (one object per function,
+ * cycle-descending), ready for the BENCH_*.json export path. Purposes
+ * with zero cycles are omitted from each function's `byPurpose`.
+ */
+Json functionProfileJson(const std::vector<FunctionProfile> &funcs);
+
+/**
+ * Render the @p top functions by `checkingCycles` (ties broken by total
+ * cycles) as a text table — the "who pays the tag-checking tax" view.
+ */
+std::string renderCheckingTax(const std::vector<FunctionProfile> &funcs,
+                              size_t top);
+
+} // namespace mxl
+
+#endif // MXLISP_OBS_PROFILER_H_

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace mxl {
+
+uint64_t
+TraceRecorder::nowMicros() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+TraceRecorder::complete(const std::string &name, const std::string &cat,
+                        int tid, uint64_t tsMicros, uint64_t durMicros,
+                        const std::string &arg)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(
+        Event{name, cat, 'X', tid, tsMicros, durMicros, arg});
+}
+
+void
+TraceRecorder::instant(const std::string &name, const std::string &cat,
+                       int tid, const std::string &arg)
+{
+    uint64_t ts = nowMicros();
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(Event{name, cat, 'i', tid, ts, 0, arg});
+}
+
+size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+Json
+TraceRecorder::toJson() const
+{
+    std::vector<Event> sorted;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        sorted = events_;
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.tid < b.tid;
+                     });
+
+    Json arr = Json::array();
+    for (const Event &e : sorted) {
+        Json j = Json::object();
+        j.set("name", e.name);
+        j.set("cat", e.cat);
+        j.set("ph", std::string(1, e.ph));
+        j.set("ts", e.ts);
+        if (e.ph == 'X')
+            j.set("dur", e.dur);
+        j.set("pid", uint64_t{1});
+        j.set("tid", static_cast<int64_t>(e.tid));
+        if (e.ph == 'i')
+            j.set("s", "t"); // instant scope: thread
+        if (!e.arg.empty()) {
+            Json args = Json::object();
+            args.set("label", e.arg);
+            j.set("args", std::move(args));
+        }
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson().dump(1) << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace mxl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Chrome trace-event export: per-worker spans of an engine grid or
+ * fault campaign, loadable in chrome://tracing or Perfetto.
+ *
+ * The recorder collects complete ('X') and instant ('i') events with
+ * microsecond timestamps relative to its own epoch and serializes them
+ * as the trace-event JSON array format — each event an object with at
+ * least {name, ph, ts, pid, tid} — through support/json.h, so the file
+ * both loads in the standard viewers and round-trips through our own
+ * parser (the bench harnesses' acceptance path relies on this).
+ *
+ * Threading: record from any thread; a mutex guards the event vector.
+ * Events are sorted by timestamp at serialization time, so completion-
+ * order recording from a worker pool still yields a monotone trace.
+ * Recording costs a steady_clock read plus a short critical section —
+ * fine at grid-cell granularity (events per cell, not per simulated
+ * instruction).
+ *
+ * Attach a recorder to an engine with Engine::setTrace(); see
+ * docs/OBSERVABILITY.md for the span vocabulary (compile / run /
+ * snapshot / trial) and how to open a trace in Perfetto.
+ */
+
+#ifndef MXLISP_OBS_TRACE_H_
+#define MXLISP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace mxl {
+
+class TraceRecorder
+{
+  public:
+    TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+    /** Microseconds since this recorder's construction. */
+    uint64_t nowMicros() const;
+
+    /**
+     * A complete ('X') event: a span of @p durMicros starting at
+     * @p tsMicros on track @p tid (0 = the calling/inline thread,
+     * 1..N = engine workers). @p arg, when nonempty, lands in
+     * args.label — the grid cell or trial the span belongs to.
+     */
+    void complete(const std::string &name, const std::string &cat,
+                  int tid, uint64_t tsMicros, uint64_t durMicros,
+                  const std::string &arg = "");
+
+    /** An instant ('i') event at now() on track @p tid. */
+    void instant(const std::string &name, const std::string &cat,
+                 int tid, const std::string &arg = "");
+
+    size_t size() const;
+
+    /**
+     * The trace as a JSON array of event objects, sorted by (ts, tid),
+     * each with name/cat/ph/ts/dur(X only)/pid/tid and optional args.
+     */
+    Json toJson() const;
+
+    /** Serialize to @p path (pretty-printed). False on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        char ph;
+        int tid;
+        uint64_t ts;
+        uint64_t dur;
+        std::string arg;
+    };
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_OBS_TRACE_H_

@@ -467,4 +467,24 @@ Json::parse(const std::string &text, Json *out)
     return pr.p == pr.end;
 }
 
+bool
+Json::roundTrips(const Json &j)
+{
+    const std::string text = j.dump();
+    Json back;
+    return parse(text, &back) && back.dump() == text;
+}
+
+bool
+writeJsonFile(const std::string &path, const Json &j, int indent)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string text = j.dump(indent) + "\n";
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
 } // namespace mxl

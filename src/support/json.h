@@ -112,6 +112,14 @@ class Json
      *  other trailing content rejected). False on malformed input. */
     static bool parse(const std::string &text, Json *out);
 
+    /**
+     * Dump, reparse, and re-dump @p j, checking the two dumps are
+     * byte-identical — the validity gate every BENCH_*.json artifact
+     * passes through before a bench harness reports it written
+     * (deterministic output makes equality the strongest check).
+     */
+    static bool roundTrips(const Json &j);
+
   private:
     void dumpTo(std::string &out, int indent, int depth) const;
 
@@ -124,6 +132,13 @@ class Json
     std::vector<Json> arr_;
     std::vector<std::pair<std::string, Json>> obj_;
 };
+
+/**
+ * Serialize @p j to @p path (pretty-printed with @p indent, trailing
+ * newline). False on I/O failure. The standard sink for BENCH_*.json
+ * and trace exports.
+ */
+bool writeJsonFile(const std::string &path, const Json &j, int indent = 1);
 
 } // namespace mxl
 

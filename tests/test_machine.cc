@@ -648,5 +648,80 @@ TEST(Machine, ResumeInsideDelaySlotPreservesSquashAndLoadDelay)
     }
 }
 
+// ---- observeIssue(): the one observation point both issue paths use ----
+
+TEST(Machine, TraceHookAndProfilerSeeEveryIssueOnceNeverAnnulled)
+{
+    // Straight-line code, a taken annul-on-taken loop branch (squashed
+    // slots), a taken annul-on-not-taken branch (slots run), and a
+    // load interlock: every way an instruction can issue. The hook and
+    // the profiler's counting path share observeIssue(), so they must
+    // agree with each other, with CycleStats::instructions, and both
+    // must skip annulled slots (charged cycles, never executed).
+    const char *src = R"(
+        main:
+            li r2, 3
+            li r3, 0
+            li r4, 0x100
+        loop:
+            st r2, 0(r4)
+            ld r5, 0(r4)        ; load feeding the add: interlock stall
+            add r3, r3, r5
+            addi r2, r2, -1
+            bne.t r2, r0, loop  ; annul-on-taken: slots squashed
+        slot1:
+            addi r3, r3, 1      ; annulled while looping, runs at exit
+        slot2:
+            addi r3, r3, 2
+            beq.nt r2, r2, done ; taken annul-on-not-taken: slots run
+        ranslot:
+            noop
+            noop
+        done:
+            sys halt, r3
+    )";
+    MRun r(src);
+    std::vector<uint64_t> hookCount(r.prog.code.size(), 0);
+    std::vector<uint64_t> execCount(r.prog.code.size(), 0);
+    std::vector<uint64_t> cycleCount(r.prog.code.size(), 0);
+    uint64_t hookFires = 0;
+    int lastIdx = -1;
+    r.m.traceHook = [&](int idx, const Instruction &) {
+        hookCount[idx]++;
+        hookFires++;
+        lastIdx = idx;
+    };
+    r.m.attachProfile(execCount.data(), cycleCount.data());
+    ASSERT_EQ(r.go(), StopReason::Halted);
+    ASSERT_GT(r.m.stats().squashed, 0u);
+    ASSERT_GT(r.m.stats().loadStalls, 0u);
+
+    // Exactly one hook fire per executed instruction, and the hook and
+    // the counting path observe the identical stream.
+    EXPECT_EQ(hookFires, r.m.stats().instructions);
+    EXPECT_EQ(hookCount, execCount);
+    EXPECT_EQ(lastIdx, r.prog.symbol("done"));
+
+    // Annulled slots never fire; the not-annulled slots of the second
+    // branch and the exit-path run of slot1/slot2 do.
+    const uint64_t iters = 3;
+    EXPECT_EQ(hookCount[r.prog.symbol("slot1")], 1u); // exit pass only
+    EXPECT_EQ(hookCount[r.prog.symbol("slot2")], 1u);
+    EXPECT_EQ(hookCount[r.prog.symbol("ranslot")], 1u);
+    EXPECT_EQ(hookCount[r.prog.symbol("loop")], iters);
+
+    // The cycle histogram still conserves every charged cycle: the
+    // squashed slots' cycles land on their branch's PC, the interlock
+    // stall on the stalled (consuming) instruction.
+    uint64_t cycles = 0;
+    for (uint64_t c : cycleCount)
+        cycles += c;
+    EXPECT_EQ(cycles, r.m.stats().total);
+    EXPECT_EQ(cycleCount[r.prog.symbol("slot1")], 1u); // exit pass only
+    int loadIdx = r.prog.symbol("loop") + 1;
+    EXPECT_EQ(cycleCount[loadIdx], iters);          // the loads alone
+    EXPECT_EQ(cycleCount[loadIdx + 1], iters * 2u); // add + 1 stall each
+}
+
 } // namespace
 } // namespace mxl

@@ -1,0 +1,474 @@
+/**
+ * Tests for the src/obs/ observability layer: the instruction
+ * profiler's sum invariants on every benchmark program, symbolization
+ * against the assembler label table, the metrics registry (including
+ * thread safety under Engine::runGrid — run this binary under
+ * -DMXL_SANITIZE=thread), Chrome trace parse-back, and the
+ * BENCH_*.json comparison used by tools/bench_diff.
+ */
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/run.h"
+#include "obs/bench_compare.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+RunRequest
+request(const std::string &source, Checking checking,
+        const std::string &label)
+{
+    RunRequest req;
+    req.source = source;
+    req.opts = baselineOptions(checking);
+    req.label = label;
+    return req;
+}
+
+/** A hand-built bench cell in the shape runReportJson() produces. */
+Json
+benchCell(const std::string &label, uint64_t total, bool ok = true)
+{
+    Json stats = Json::object();
+    stats.set("total", total);
+    Json c = Json::object();
+    c.set("label", label);
+    c.set("statusOk", ok);
+    c.set("stats", std::move(stats));
+    return c;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Instruction profiler
+// ---------------------------------------------------------------------
+
+TEST(Profiler, SumInvariantsOnEveryBenchmarkProgram)
+{
+    Engine eng;
+    for (Checking chk : {Checking::Off, Checking::Full}) {
+        std::vector<RunRequest> grid = programGrid(baselineOptions(chk));
+        for (RunRequest &req : grid)
+            req.collectProfile = true;
+        std::vector<RunReport> reports = eng.runGrid(grid);
+        ASSERT_EQ(reports.size(), grid.size());
+        for (const RunReport &rep : reports) {
+            ASSERT_TRUE(rep.ok()) << rep.status.message;
+            ASSERT_TRUE(rep.result.profile) << rep.label;
+            const PcProfile &p = *rep.result.profile;
+            EXPECT_EQ(p.totalCycles(), rep.result.stats.total)
+                << rep.label;
+            EXPECT_EQ(p.totalExecuted(), rep.result.stats.instructions)
+                << rep.label;
+        }
+    }
+}
+
+TEST(Profiler, SymbolizationConservesCyclesAndPurposes)
+{
+    Engine eng;
+    std::vector<RunRequest> grid =
+        programGrid(baselineOptions(Checking::Full));
+    for (RunRequest &req : grid)
+        req.collectProfile = true;
+    std::vector<RunReport> reports = eng.runGrid(grid);
+    for (size_t i = 0; i < reports.size(); ++i) {
+        ASSERT_TRUE(reports[i].ok());
+        // Cache hit: the grid above already compiled this cell.
+        auto c = eng.compile(grid[i].source, grid[i].opts);
+        auto funcs = symbolize(c.unit->prog, *reports[i].result.profile);
+        uint64_t cycles = 0, executed = 0, checking = 0;
+        int lastEnd = 0;
+        for (const FunctionProfile &f : funcs) {
+            EXPECT_LT(f.begin, f.end) << f.name;
+            EXPECT_GE(f.begin, lastEnd) << f.name; // address order
+            lastEnd = f.end;
+            uint64_t byPurpose = 0;
+            for (int p = 0; p < numPurposes; ++p)
+                byPurpose += f.byPurpose[p];
+            EXPECT_EQ(byPurpose, f.cycles) << f.name;
+            EXPECT_LE(f.checkingCycles, f.cycles) << f.name;
+            cycles += f.cycles;
+            executed += f.executed;
+            checking += f.checkingCycles;
+        }
+        EXPECT_EQ(cycles, reports[i].result.stats.total)
+            << reports[i].label;
+        EXPECT_EQ(executed, reports[i].result.stats.instructions)
+            << reports[i].label;
+        // Full checking makes *someone* pay the tax on every program.
+        EXPECT_GT(checking, 0u) << reports[i].label;
+    }
+}
+
+TEST(Profiler, SymbolizeMapsKnownLabelToItsPcRange)
+{
+    Engine eng;
+    RunRequest req =
+        request("(de myfun (x) (+ x 1)) (print (myfun 41))",
+                Checking::Full, "myfun");
+    req.collectProfile = true;
+    RunReport rep = eng.run(req);
+    ASSERT_TRUE(rep.ok()) << rep.status.message;
+    ASSERT_TRUE(rep.result.profile);
+
+    auto c = eng.compile(req.source, req.opts);
+    const Program &prog = c.unit->prog;
+    int addr = prog.symbol("fn_myfun");
+    ASSERT_GE(addr, 0);
+
+    auto funcs = symbolize(prog, *rep.result.profile);
+    const FunctionProfile *f = nullptr;
+    for (const FunctionProfile &fp : funcs)
+        if (fp.name == "fn_myfun")
+            f = &fp;
+    ASSERT_NE(f, nullptr) << "fn_myfun missing from symbolization";
+    EXPECT_EQ(f->begin, addr);
+    EXPECT_GT(f->executed, 0u);
+    EXPECT_GT(f->cycles, 0u);
+    // Every cycle the region was charged lives inside [begin, end).
+    uint64_t inRange = 0;
+    for (int pc = f->begin; pc < f->end; ++pc)
+        inRange += rep.result.profile->cycles[pc];
+    EXPECT_EQ(inRange, f->cycles);
+
+    Json j = functionProfileJson(funcs);
+    ASSERT_TRUE(j.isArray());
+    EXPECT_EQ(j.size(), funcs.size());
+    EXPECT_TRUE(Json::roundTrips(j));
+    EXPECT_FALSE(renderCheckingTax(funcs, 4).empty());
+}
+
+TEST(Profiler, ProfileOnlyWhenRequestedAndNotPartOfCacheKey)
+{
+    Engine eng;
+    RunRequest req = request("(print (add1 1))", Checking::Off, "p");
+    RunReport plain = eng.run(req);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.result.profile, nullptr);
+
+    // collectProfile is a run-time accessory: the compiled unit is
+    // shared (cache hit), the profile still gets collected.
+    req.collectProfile = true;
+    RunReport profiled = eng.run(req);
+    ASSERT_TRUE(profiled.ok());
+    EXPECT_TRUE(profiled.cacheHit);
+    ASSERT_TRUE(profiled.result.profile);
+    EXPECT_EQ(profiled.result.profile->totalCycles(),
+              profiled.result.stats.total);
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketsByBitWidth)
+{
+    Histogram h;
+    h.observe(0);    // bit width 0
+    h.observe(1);    // bit width 1
+    h.observe(2);    // bit width 2
+    h.observe(3);    // bit width 2
+    h.observe(1000); // bit width 10
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.bucket(3), 0u);
+    EXPECT_TRUE(Json::roundTrips(h.toJson()));
+}
+
+TEST(Metrics, HandlesAreStableAndKindMismatchPanics)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("x");
+    Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(reg.gauge("x"), MxlError);
+    EXPECT_THROW(reg.histogram("x"), MxlError);
+
+    Gauge &g = reg.gauge("depth");
+    g.set(5);
+    g.add(-2);
+    EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Metrics, SnapshotIsDeterministic)
+{
+    auto build = [] {
+        auto reg = std::make_unique<MetricsRegistry>();
+        reg->counter("b.count").inc(3);
+        reg->counter("a.count").inc(7);
+        reg->gauge("depth").set(-4);
+        reg->histogram("lat").observe(17);
+        return reg;
+    };
+    auto r1 = build(), r2 = build();
+    Json s1 = r1->snapshot(), s2 = r2->snapshot();
+    EXPECT_EQ(s1.dump(), s2.dump());
+    EXPECT_TRUE(Json::roundTrips(s1));
+    const Json *counters = s1.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const Json *a = counters->find("a.count");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->asUint(), 7u);
+}
+
+TEST(Metrics, ExactUnderConcurrentBumpsAndLookups)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("shared.counter");
+    Gauge &g = reg.gauge("shared.gauge");
+    Histogram &h = reg.histogram("shared.hist");
+
+    constexpr int kThreads = 8, kIters = 20'000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            // Concurrent first-use registration of a fresh name...
+            Counter &mine =
+                reg.counter("worker." + std::to_string(t) + ".ops");
+            for (int i = 0; i < kIters; ++i) {
+                c.inc();
+                g.add(1);
+                h.observe(static_cast<uint64_t>(i));
+                mine.inc();
+                // ...and lock-taking lookups racing the hot path.
+                if (i % 1000 == 0)
+                    reg.counter("shared.counter").inc(0);
+            }
+            // Snapshots may race the writers (torn totals are fine;
+            // data races are not — TSan enforces the distinction).
+            Json snap = reg.snapshot();
+            EXPECT_TRUE(snap.isObject());
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    EXPECT_EQ(c.value(), uint64_t(kThreads) * kIters);
+    EXPECT_EQ(g.value(), int64_t(kThreads) * kIters);
+    EXPECT_EQ(h.count(), uint64_t(kThreads) * kIters);
+    for (int t = 0; t < kThreads; ++t) {
+        Counter &mine =
+            reg.counter("worker." + std::to_string(t) + ".ops");
+        EXPECT_EQ(mine.value(), uint64_t(kIters));
+    }
+}
+
+TEST(Metrics, EngineInstrumentsGridRuns)
+{
+    Engine eng(4);
+    std::vector<RunRequest> grid =
+        programGrid(baselineOptions(Checking::Off));
+    std::vector<RunReport> first = eng.runGrid(grid);
+    for (const RunReport &rep : first)
+        ASSERT_TRUE(rep.ok());
+
+    MetricsRegistry &m = eng.metrics();
+    const uint64_t cells = grid.size();
+    EXPECT_EQ(m.counter("engine.runs").value(), cells);
+    EXPECT_EQ(m.counter("engine.cache.misses").value(), cells);
+    EXPECT_EQ(m.counter("engine.cache.hits").value(), 0u);
+    EXPECT_EQ(m.histogram("engine.queue_wait_micros").count(), cells);
+    EXPECT_EQ(m.histogram("engine.cell_micros").count(), cells);
+
+    // Same grid again: all hits, runs double, and the registry view
+    // agrees with the engine's own cache accounting.
+    eng.runGrid(grid);
+    EXPECT_EQ(m.counter("engine.runs").value(), 2 * cells);
+    EXPECT_EQ(m.counter("engine.cache.hits").value(), cells);
+    auto cs = eng.cacheStats();
+    EXPECT_EQ(m.counter("engine.cache.hits").value(), cs.hits);
+    EXPECT_EQ(m.counter("engine.cache.misses").value(), cs.misses);
+
+    // Per-worker utilization counters registered by the pool.
+    Json snap = m.snapshot();
+    const Json *counters = snap.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("engine.worker.1.busy_micros"), nullptr);
+    EXPECT_TRUE(Json::roundTrips(snap));
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+TEST(Trace, MultiThreadedRecordingSortsAndParsesBack)
+{
+    TraceRecorder tr;
+    constexpr int kThreads = 4, kEvents = 50;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kEvents; ++i) {
+                uint64_t t0 = tr.nowMicros();
+                tr.complete("span", "test", t, t0, 1, "cell");
+                tr.instant("mark", "test", t);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    ASSERT_EQ(tr.size(), size_t(kThreads) * kEvents * 2);
+
+    Json j = tr.toJson();
+    ASSERT_TRUE(j.isArray());
+    ASSERT_EQ(j.size(), tr.size());
+    uint64_t lastTs = 0;
+    for (size_t i = 0; i < j.size(); ++i) {
+        const Json &e = j.at(i);
+        ASSERT_TRUE(e.isObject());
+        for (const char *key : {"name", "ph", "ts", "pid", "tid"})
+            EXPECT_NE(e.find(key), nullptr) << key;
+        uint64_t ts = e.find("ts")->asUint();
+        EXPECT_GE(ts, lastTs); // sorted at serialization
+        lastTs = ts;
+        const std::string &ph = e.find("ph")->str();
+        EXPECT_TRUE(ph == "X" || ph == "i") << ph;
+    }
+
+    // The export both reparses with our parser and round-trips.
+    Json parsed;
+    ASSERT_TRUE(Json::parse(j.dump(1), &parsed));
+    EXPECT_EQ(parsed.size(), j.size());
+    EXPECT_TRUE(Json::roundTrips(j));
+}
+
+TEST(Trace, EngineEmitsCompileAndRunSpans)
+{
+    Engine eng(2);
+    TraceRecorder tr;
+    eng.setTrace(&tr);
+
+    std::vector<RunRequest> grid;
+    for (int i = 0; i < 4; ++i)
+        grid.push_back(request("(print " + std::to_string(i) + ")",
+                               Checking::Off,
+                               "cell" + std::to_string(i)));
+    eng.runGrid(grid);
+
+    auto countByName = [&](const std::string &name) {
+        Json j = tr.toJson();
+        size_t n = 0;
+        for (size_t i = 0; i < j.size(); ++i)
+            if (j.at(i).find("name")->str() == name)
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(countByName("compile"), 4u); // one per cache miss
+    EXPECT_EQ(countByName("run"), 4u);     // one per executed cell
+
+    // Warm cache: no new compile spans, four more run spans.
+    eng.runGrid(grid);
+    EXPECT_EQ(countByName("compile"), 4u);
+    EXPECT_EQ(countByName("run"), 8u);
+
+    // Detached recorder sees nothing further.
+    eng.setTrace(nullptr);
+    size_t frozen = tr.size();
+    eng.runGrid(grid);
+    EXPECT_EQ(tr.size(), frozen);
+}
+
+// ---------------------------------------------------------------------
+// Bench comparison (tools/bench_diff's engine)
+// ---------------------------------------------------------------------
+
+TEST(BenchCompare, SelfComparisonIsZeroRegression)
+{
+    Engine eng;
+    std::vector<RunRequest> grid = {
+        request("(print (add1 1))", Checking::Off, "a"),
+        request("(print (add1 2))", Checking::Full, "b"),
+    };
+    std::vector<RunReport> reports = eng.runGrid(grid);
+    Json doc = gridJson(grid, reports);
+
+    std::vector<BenchDelta> cells;
+    ASSERT_TRUE(extractBenchCells(doc, &cells));
+    EXPECT_EQ(cells.size(), 2u);
+
+    BenchComparison cmp = compareBenchJson(doc, doc);
+    ASSERT_EQ(cmp.deltas.size(), 2u);
+    for (const BenchDelta &d : cmp.deltas) {
+        EXPECT_EQ(d.before, d.after);
+        EXPECT_EQ(d.pct(), 0.0);
+    }
+    EXPECT_TRUE(cmp.onlyBefore.empty());
+    EXPECT_TRUE(cmp.onlyAfter.empty());
+    EXPECT_TRUE(cmp.regressions(0.0).empty());
+
+    bool failed = true;
+    std::string rendered = renderComparison(cmp, 0.0, &failed);
+    EXPECT_FALSE(failed);
+    EXPECT_FALSE(rendered.empty());
+}
+
+TEST(BenchCompare, DetectsRegressionsMissingAndNewLabels)
+{
+    Json before = Json::array();
+    before.push(benchCell("a", 100));
+    before.push(benchCell("b", 200));
+    before.push(benchCell("gone", 5));
+    before.push(benchCell("bad", 1, /*ok=*/false)); // skipped
+
+    // The wrapped-object shape the bench harnesses write.
+    Json afterGrid = Json::array();
+    afterGrid.push(benchCell("a", 110));
+    afterGrid.push(benchCell("b", 190));
+    afterGrid.push(benchCell("new", 7));
+    Json after = Json::object();
+    after.set("bench", "synthetic");
+    after.set("grid", std::move(afterGrid));
+
+    BenchComparison cmp = compareBenchJson(before, after);
+    ASSERT_EQ(cmp.deltas.size(), 2u);
+    EXPECT_DOUBLE_EQ(cmp.deltas[0].pct(), 10.0);  // a: 100 -> 110
+    EXPECT_DOUBLE_EQ(cmp.deltas[1].pct(), -5.0);  // b: 200 -> 190
+    // "bad" carries no cycle count and drops out entirely; only the
+    // genuinely removed label is reported missing.
+    EXPECT_EQ(cmp.onlyBefore, std::vector<std::string>{"gone"});
+    EXPECT_EQ(cmp.onlyAfter, std::vector<std::string>{"new"});
+
+    auto bad = cmp.regressions(5.0);
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0].label, "a");
+    EXPECT_TRUE(cmp.regressions(15.0).empty());
+
+    bool failed = false;
+    renderComparison(cmp, 5.0, &failed);
+    EXPECT_TRUE(failed);
+}
+
+TEST(BenchCompare, PctEdgeCases)
+{
+    BenchDelta d;
+    d.before = 0;
+    d.after = 0;
+    EXPECT_EQ(d.pct(), 0.0);
+    d.after = 50;
+    EXPECT_EQ(d.pct(), 100.0);
+    std::vector<BenchDelta> cells;
+    EXPECT_FALSE(extractBenchCells(Json("not a grid"), &cells));
+}
+
+} // namespace mxl

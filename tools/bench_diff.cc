@@ -1,0 +1,99 @@
+/**
+ * @file
+ * bench_diff — compare two BENCH_*.json exports cell by cell.
+ *
+ *     bench_diff [--threshold PCT] BEFORE.json AFTER.json
+ *
+ * Pairs grid cells by label and prints each one's simulated-cycle delta
+ * (stats.total — deterministic per commit, unlike wall time), then a
+ * verdict against the regression threshold (default 0%: any cycle
+ * increase fails). Exit status: 0 when no cell regressed beyond the
+ * threshold, 1 when one did, 2 on usage or input errors — so CI can
+ * gate on `bench_diff baseline.json current.json`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_compare.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold PCT] BEFORE.json "
+                 "AFTER.json\n");
+    return 2;
+}
+
+bool
+loadJson(const std::string &path, mxl::Json *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!mxl::Json::parse(text.str(), out)) {
+        std::fprintf(stderr, "bench_diff: %s is not valid JSON\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double thresholdPct = 0.0;
+    std::string paths[2];
+    int nPaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threshold") {
+            if (++i >= argc)
+                return usage();
+            char *end = nullptr;
+            thresholdPct = std::strtod(argv[i], &end);
+            if (!end || *end != '\0')
+                return usage();
+        } else if (nPaths < 2) {
+            paths[nPaths++] = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (nPaths != 2)
+        return usage();
+
+    mxl::Json before, after;
+    if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
+        return 2;
+    std::vector<mxl::BenchDelta> probe;
+    if (!mxl::extractBenchCells(before, &probe)) {
+        std::fprintf(stderr, "bench_diff: %s has no bench grid\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    probe.clear();
+    if (!mxl::extractBenchCells(after, &probe)) {
+        std::fprintf(stderr, "bench_diff: %s has no bench grid\n",
+                     paths[1].c_str());
+        return 2;
+    }
+
+    mxl::BenchComparison cmp = mxl::compareBenchJson(before, after);
+    bool failed = false;
+    std::fputs(mxl::renderComparison(cmp, thresholdPct, &failed).c_str(),
+               stdout);
+    return failed ? 1 : 0;
+}
