@@ -1,0 +1,178 @@
+/**
+ * Redundant-check elimination: the static claim vs the dynamic savings.
+ *
+ * The tag-flow analyzer (src/analysis/) proves some of the compiler's
+ * full-checking branches can never fail — their checked register
+ * carries an exact compatible tag on every path in. This harness
+ * measures what deleting them (analysis/checkelim.h) is actually
+ * worth, per benchmark program, in the paper's software-checked
+ * baseline configuration (High5 tags, Checking::Full, no hardware):
+ *
+ *   static  — checks eliminated / checks considered, and the fraction
+ *             of the code stream removed (branches, squash pads, and
+ *             orphaned tag-extract feeders);
+ *   dynamic — simulated cycles of the optimized unit vs the golden
+ *             unit, both run through mxl::Engine (the optimized run
+ *             uses RunRequest::unitTransform, so the cached golden
+ *             compilation is shared).
+ *
+ * Soundness is checked, not assumed: every optimized run must produce
+ * byte-identical output, the same exit value, and the same stop reason
+ * as its golden run. Each unit is also linted (analysis/lint.h) and
+ * its finding counts exported through the engine metrics registry as
+ * mxlint.<program>.{errors,warnings,infos} — so tools/bench_diff can
+ * flag a configuration that starts producing violations.
+ *
+ * Results land in BENCH_checkelim.json: one grid cell per program with
+ * the static and dynamic columns above, plus the engine metrics
+ * snapshot.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/checkelim.h"
+#include "analysis/lint.h"
+#include "bench_export.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "programs/programs.h"
+#include "support/json.h"
+
+using namespace mxl;
+
+int
+main()
+{
+    Engine eng;
+    CompilerOptions base = baselineOptions(Checking::Full);
+
+    Json grid = Json::array();
+    bool allIdentical = true, allReduced = true, lintClean = true;
+    uint64_t goldenTotal = 0, optimizedTotal = 0;
+
+    std::printf("%-8s %9s %9s %7s %12s %12s %7s\n", "program", "checks",
+                "removed", "static%", "golden", "optimized", "cycle%");
+    for (const auto &bp : benchmarkPrograms()) {
+        RunRequest req;
+        req.source = bp.source;
+        req.opts = base;
+        req.opts.heapBytes = bp.heapBytes;
+        req.maxCycles = bp.maxCycles;
+        req.label = bp.name;
+
+        // Lint the cached unit; export finding counts as metrics.
+        Engine::CompileOutcome c = eng.compile(req.source, req.opts);
+        if (!c.status.ok()) {
+            std::printf("FAIL  %s does not compile: %s\n",
+                        bp.name.c_str(), c.status.message.c_str());
+            return 1;
+        }
+        LintReport lint = lintUnit(*c.unit);
+        const std::string m = "mxlint." + bp.name + ".";
+        eng.metrics().counter(m + "errors").inc(
+            static_cast<uint64_t>(lint.errors));
+        eng.metrics().counter(m + "warnings").inc(
+            static_cast<uint64_t>(lint.warnings));
+        eng.metrics().counter(m + "infos").inc(
+            static_cast<uint64_t>(lint.infos));
+        if (lint.errors != 0) {
+            lintClean = false;
+            std::fputs(lint.render().c_str(), stdout);
+        }
+
+        RunReport golden = eng.run(req);
+        if (!golden.status.ok()) {
+            std::printf("FAIL  %s golden run: %s\n", bp.name.c_str(),
+                        golden.status.message.c_str());
+            return 1;
+        }
+
+        ElimStats st;
+        RunRequest opt = req;
+        opt.unitTransform =
+            [&st](std::shared_ptr<const CompiledUnit> unit) {
+                return checkElimTransform(unit, &st);
+            };
+        RunReport optimized = eng.run(opt);
+        if (!optimized.status.ok()) {
+            std::printf("FAIL  %s optimized run: %s\n", bp.name.c_str(),
+                        optimized.status.message.c_str());
+            return 1;
+        }
+
+        const bool identical =
+            optimized.result.output == golden.result.output &&
+            optimized.result.exitValue == golden.result.exitValue &&
+            optimized.result.stop == golden.result.stop;
+        if (!identical)
+            allIdentical = false;
+
+        const uint64_t gCycles = golden.result.stats.total;
+        const uint64_t oCycles = optimized.result.stats.total;
+        if (oCycles >= gCycles)
+            allReduced = false;
+        goldenTotal += gCycles;
+        optimizedTotal += oCycles;
+
+        const size_t codeSize = c.unit->prog.code.size();
+        const double staticPct =
+            100.0 * st.instructionsRemoved / static_cast<double>(codeSize);
+        const double cyclePct =
+            gCycles ? 100.0 * (static_cast<double>(gCycles) -
+                               static_cast<double>(oCycles)) /
+                          static_cast<double>(gCycles)
+                    : 0.0;
+        std::printf("%-8s %4d/%4d %9d %6.2f%% %12llu %12llu %6.2f%%%s\n",
+                    bp.name.c_str(), st.checksEliminated,
+                    st.checksConsidered, st.instructionsRemoved, staticPct,
+                    static_cast<unsigned long long>(gCycles),
+                    static_cast<unsigned long long>(oCycles), cyclePct,
+                    identical ? "" : "  OUTPUT DIFFERS");
+
+        Json cell = Json::object();
+        cell.set("program", bp.name);
+        // label + stats.total: the shape obs/bench_compare.h pairs on,
+        // so bench_diff tracks the optimized cycle counts over time.
+        cell.set("label", bp.name);
+        Json stats = Json::object();
+        stats.set("total", static_cast<int64_t>(oCycles));
+        cell.set("stats", std::move(stats));
+        cell.set("checksConsidered", st.checksConsidered);
+        cell.set("checksEliminated", st.checksEliminated);
+        cell.set("instructionsRemoved", st.instructionsRemoved);
+        cell.set("extractsRemoved", st.extractsRemoved);
+        cell.set("padsRemoved", st.padsRemoved);
+        cell.set("codeSize", static_cast<int64_t>(codeSize));
+        cell.set("staticRemovedPct", staticPct);
+        cell.set("goldenCycles", static_cast<int64_t>(gCycles));
+        cell.set("optimizedCycles", static_cast<int64_t>(oCycles));
+        cell.set("cycleReductionPct", cyclePct);
+        cell.set("outputIdentical", identical);
+        cell.set("lintErrors", lint.errors);
+        cell.set("lintWarnings", lint.warnings);
+        grid.push(std::move(cell));
+    }
+
+    const double totalPct =
+        goldenTotal ? 100.0 * (static_cast<double>(goldenTotal) -
+                               static_cast<double>(optimizedTotal)) /
+                          static_cast<double>(goldenTotal)
+                    : 0.0;
+    std::printf("total cycle reduction: %.2f%%\n", totalPct);
+
+    std::printf("%s  optimized output byte-identical to golden on all "
+                "programs\n",
+                allIdentical ? "PASS" : "FAIL");
+    std::printf("%s  optimized units use fewer simulated cycles on all "
+                "programs\n",
+                allReduced ? "PASS" : "FAIL");
+    std::printf("%s  mxlint reports zero errors on every unit\n",
+                lintClean ? "PASS" : "FAIL");
+
+    bool wrote = writeBenchJson("checkelim",
+                                benchDoc("checkelim", std::move(grid),
+                                         &eng));
+    return (allIdentical && allReduced && lintClean && wrote) ? 0 : 1;
+}

@@ -1,0 +1,225 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/format.h"
+
+namespace mxl {
+
+namespace {
+
+bool
+isTrapOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldt:
+      case Opcode::Stt:
+      case Opcode::Addt:
+      case Opcode::Subt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSysStop(const Instruction &inst)
+{
+    return inst.op == Opcode::Sys &&
+           (inst.imm == static_cast<int>(SysCode::Halt) ||
+            inst.imm == static_cast<int>(SysCode::Error));
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Program &prog, const std::vector<int> &extraRoots)
+{
+    Cfg cfg;
+    const int n = static_cast<int>(prog.code.size());
+    cfg.blockOf.assign(n, -1);
+    cfg.slotOf.assign(n, -1);
+    if (n == 0)
+        return cfg;
+
+    // --- Pass 1: delay-slot groups and structural checks. -------------
+    for (int i = 0; i < n; ++i) {
+        const Instruction &x = prog.code[i];
+        if (!isControl(x.op))
+            continue;
+        if (cfg.slotOf[i] != -1) {
+            cfg.malformed.push_back(
+                {i, "control transfer inside a delay slot"});
+            continue; // do not form a nested group
+        }
+        if (i + 2 >= n) {
+            cfg.malformed.push_back(
+                {i, "delay-slot group truncated by end of program"});
+            continue;
+        }
+        for (int s = i + 1; s <= i + 2; ++s) {
+            const Instruction &in = prog.code[s];
+            if (isTrapOp(in.op) || in.op == Opcode::Sys)
+                cfg.malformed.push_back(
+                    {s, strcat("trapping instruction (",
+                               opcodeName(in.op), ") in a delay slot")});
+            // Control instructions in slots are claimed by the group
+            // too, so their own loop iteration reports them (above)
+            // instead of forming a nested group.
+            cfg.slotOf[s] = i;
+        }
+    }
+
+    // --- Pass 2: leaders. ---------------------------------------------
+    std::set<int> leaders;
+    leaders.insert(0);
+    for (const auto &[name, idx] : prog.symbols) {
+        (void)name;
+        if (idx >= 0 && idx < n)
+            leaders.insert(idx);
+    }
+    for (int r : extraRoots) {
+        if (r >= 0 && r < n)
+            leaders.insert(r);
+    }
+    for (int i = 0; i < n; ++i) {
+        const Instruction &x = prog.code[i];
+        if (isControl(x.op) && cfg.slotOf[i] == -1) {
+            if (x.target >= 0 && x.target < n) {
+                if (cfg.slotOf[x.target] != -1)
+                    cfg.malformed.push_back(
+                        {i, strcat("branch target @", x.target,
+                                   " points into a delay slot")});
+                else
+                    leaders.insert(x.target);
+            }
+            if (i + 3 < n)
+                leaders.insert(i + 3);
+        } else if (isSysStop(x) && cfg.slotOf[i] == -1) {
+            if (i + 1 < n)
+                leaders.insert(i + 1);
+        }
+    }
+    // A leader inside a delay slot would split a group; the target-into-
+    // slot case is already flagged, so just drop such leaders. Symbols
+    // never point into slots (labels block the scheduler).
+    for (auto it = leaders.begin(); it != leaders.end();) {
+        if (cfg.slotOf[*it] != -1) {
+            cfg.malformed.push_back(
+                {*it, "block leader inside a delay slot"});
+            it = leaders.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // --- Pass 3: blocks. ----------------------------------------------
+    std::vector<int> starts(leaders.begin(), leaders.end());
+    for (size_t b = 0; b < starts.size(); ++b) {
+        CfgBlock blk;
+        blk.first = starts[b];
+        blk.last = (b + 1 < starts.size() ? starts[b + 1] : n) - 1;
+        // Find the terminator: the first non-slot control transfer or
+        // Sys stop. By leader construction it can only be followed by
+        // its own two slots (control) or nothing (sys stop).
+        for (int i = blk.first; i <= blk.last; ++i) {
+            const Instruction &x = prog.code[i];
+            if (cfg.slotOf[i] != -1)
+                continue;
+            if (isControl(x.op)) {
+                blk.xfer = i;
+                break;
+            }
+            if (isSysStop(x)) {
+                blk.sysStop = true;
+                break;
+            }
+        }
+        int id = static_cast<int>(cfg.blocks.size());
+        for (int i = blk.first; i <= blk.last; ++i)
+            cfg.blockOf[i] = id;
+        cfg.blocks.push_back(blk);
+    }
+
+    // --- Pass 4: edges. -----------------------------------------------
+    auto addEdge = [&](int from, int toPc, CfgEdge::Kind kind,
+                       bool slots) {
+        if (toPc < 0 || toPc >= n)
+            return;
+        int to = cfg.blockOf[toPc];
+        if (to < 0 || cfg.blocks[to].first != toPc)
+            return; // malformed target (into a slot); already flagged
+        cfg.blocks[from].out.push_back({to, kind, slots});
+        cfg.blocks[to].preds.push_back(from);
+    };
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        CfgBlock &blk = cfg.blocks[b];
+        int id = static_cast<int>(b);
+        if (blk.sysStop)
+            continue; // execution stops; no successors
+        if (blk.xfer < 0) {
+            addEdge(id, blk.last + 1, CfgEdge::Kind::Fall, false);
+            continue;
+        }
+        const Instruction &x = prog.code[blk.xfer];
+        const int after = blk.xfer + 3;
+        switch (x.op) {
+          case Opcode::J:
+            addEdge(id, x.target, CfgEdge::Kind::Jump, true);
+            break;
+          case Opcode::Jal:
+          case Opcode::Jalr:
+            // No interprocedural edge: the callee is an exported
+            // symbol and thus a root. The continuation resumes after
+            // the slots with caller-saved registers clobbered
+            // (tagflow applies the call transfer on CallCont edges).
+            addEdge(id, after, CfgEdge::Kind::CallCont, true);
+            break;
+          case Opcode::Jr:
+            break; // return / computed jump: no static successors
+          default: {
+            // Conditional branch with optional squashing.
+            bool slotsOnTaken = x.annul != Annul::OnTaken;
+            bool slotsOnFall = x.annul != Annul::OnNotTaken;
+            addEdge(id, x.target, CfgEdge::Kind::Taken, slotsOnTaken);
+            addEdge(id, after, CfgEdge::Kind::Fall, slotsOnFall);
+            break;
+          }
+        }
+    }
+
+    // --- Pass 5: reachability from the roots. -------------------------
+    cfg.reachable.assign(cfg.blocks.size(), false);
+    std::vector<int> stack;
+    auto mark = [&](int pc) {
+        if (pc < 0 || pc >= n)
+            return;
+        int bId = cfg.blockOf[pc];
+        if (bId >= 0 && !cfg.reachable[bId]) {
+            cfg.reachable[bId] = true;
+            cfg.rootBlocks.push_back(bId);
+            stack.push_back(bId);
+        }
+    };
+    for (const auto &[name, idx] : prog.symbols) {
+        (void)name;
+        mark(idx);
+    }
+    for (int r : extraRoots)
+        mark(r);
+    while (!stack.empty()) {
+        int bId = stack.back();
+        stack.pop_back();
+        for (const CfgEdge &e : cfg.blocks[bId].out) {
+            if (!cfg.reachable[e.to]) {
+                cfg.reachable[e.to] = true;
+                stack.push_back(e.to);
+            }
+        }
+    }
+    return cfg;
+}
+
+} // namespace mxl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Delay-slot- and squash-aware control-flow graph over a linked Program.
+ *
+ * MX control transfers carry two architectural delay slots, optionally
+ * annulled on one branch direction (isa/instruction.h). The CFG keeps
+ * each transfer *group* — [xfer, slot1, slot2] — inside a single basic
+ * block and records, per out-edge, whether the slots execute on that
+ * edge, so a dataflow client (analysis/tagflow.h) can model squashing
+ * exactly:
+ *
+ *   annul Never      -> slots execute on every edge
+ *   annul OnTaken    -> slots execute on the fall-through edge only
+ *   annul OnNotTaken -> slots execute on the taken edge only
+ *
+ * Structural rules the compiler's scheduler guarantees — no control
+ * transfer or trapping instruction inside a delay slot, no branch
+ * target pointing into a slot, no group truncated by the end of the
+ * program — are *verified*, not assumed: violations are recorded in
+ * Cfg::malformed (mxlint reports them as errors, and the check
+ * eliminator refuses to rewrite a malformed unit).
+ */
+
+#ifndef MXLISP_ANALYSIS_CFG_H_
+#define MXLISP_ANALYSIS_CFG_H_
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace mxl {
+
+/** One control-flow edge between basic blocks. */
+struct CfgEdge
+{
+    enum class Kind : uint8_t
+    {
+        Fall,     ///< fall-through (block ends at a leader, or branch
+                  ///< not taken)
+        Taken,    ///< conditional branch taken
+        Jump,     ///< unconditional J
+        CallCont, ///< continuation after a Jal/Jalr returns
+    };
+
+    int to = -1;         ///< successor block id
+    Kind kind = Kind::Fall;
+    /** True if the terminator's delay slots execute on this edge. */
+    bool slots = false;
+};
+
+/** A basic block: instructions [first, last], both inclusive. */
+struct CfgBlock
+{
+    int first = 0;
+    int last = 0;
+    /**
+     * Instruction index of the block's control transfer, or -1 for a
+     * block that simply runs into the next leader (or ends the
+     * program / stops at a Sys halt). When >= 0, the block's last two
+     * instructions are the transfer's delay slots (last == xfer + 2).
+     */
+    int xfer = -1;
+    /** Block ends with Sys Halt/Error: execution stops, no successors. */
+    bool sysStop = false;
+    std::vector<CfgEdge> out;
+    std::vector<int> preds; ///< predecessor block ids (unordered)
+};
+
+/** A structural violation of the delay-slot discipline. */
+struct CfgMalformed
+{
+    int pc = -1;
+    std::string what;
+};
+
+struct Cfg
+{
+    std::vector<CfgBlock> blocks;
+    /** Instruction index -> block id (-1 only for empty programs). */
+    std::vector<int> blockOf;
+    /** Instruction index -> owning transfer index when the instruction
+     *  sits in a delay slot, else -1. */
+    std::vector<int> slotOf;
+    /** Blocks reachable from the root set (entry, exported symbols,
+     *  trap handlers) along CFG edges. Calls need no interprocedural
+     *  edges: every callable function is itself an exported symbol. */
+    std::vector<bool> reachable;
+    /** Block ids of the roots themselves (deduplicated). A dataflow
+     *  client seeds its entry state at exactly these blocks. */
+    std::vector<int> rootBlocks;
+    std::vector<CfgMalformed> malformed;
+
+    bool ok() const { return malformed.empty(); }
+
+    int
+    blockAt(int pc) const
+    {
+        return pc >= 0 && pc < static_cast<int>(blockOf.size())
+                   ? blockOf[pc]
+                   : -1;
+    }
+};
+
+/**
+ * Build the CFG of @p prog. Roots (for reachability) are the exported
+ * symbols plus @p extraRoots (entry point, installed trap handlers);
+ * out-of-range roots are ignored.
+ */
+Cfg buildCfg(const Program &prog, const std::vector<int> &extraRoots = {});
+
+} // namespace mxl
+
+#endif // MXLISP_ANALYSIS_CFG_H_

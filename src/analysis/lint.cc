@@ -1,0 +1,341 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+
+#include "analysis/tagflow.h"
+#include "isa/assembler.h"
+#include "support/format.h"
+
+namespace mxl {
+
+const char *
+lintKindName(LintKind k)
+{
+    switch (k) {
+      case LintKind::MalformedDelayGroup: return "MalformedDelayGroup";
+      case LintKind::UncheckedListAccess: return "UncheckedListAccess";
+      case LintKind::TagClobberInSlot:    return "TagClobberInSlot";
+      case LintKind::UnreachableBlock:    return "UnreachableBlock";
+      case LintKind::CheckAlwaysFails:    return "CheckAlwaysFails";
+      case LintKind::CheckNeverFails:     return "CheckNeverFails";
+      case LintKind::LoadDelayUse:        return "LoadDelayUse";
+    }
+    return "?";
+}
+
+const char *
+lintSeverityName(LintSeverity s)
+{
+    switch (s) {
+      case LintSeverity::Error:   return "error";
+      case LintSeverity::Warning: return "warning";
+      case LintSeverity::Info:    return "info";
+    }
+    return "?";
+}
+
+std::string
+describePc(const Program &prog, int pc)
+{
+    const auto syms = sortedSymbols(prog);
+    const std::pair<int, std::string> *best = nullptr;
+    for (const auto &s : syms) {
+        if (s.first > pc)
+            break;
+        best = &s;
+    }
+    if (!best)
+        return strcat("@", pc);
+    if (best->first == pc)
+        return best->second;
+    return strcat(best->second, "+", pc - best->first);
+}
+
+std::string
+LintFinding::render() const
+{
+    return strcat(lintSeverityName(severity), ": ", lintKindName(kind),
+                  " at ", where, " (@", pc, ": ", text, "): ", message);
+}
+
+int
+LintReport::count(LintKind k) const
+{
+    int n = 0;
+    for (const auto &f : findings)
+        if (f.kind == k)
+            ++n;
+    return n;
+}
+
+std::string
+LintReport::render(bool includeInfo) const
+{
+    std::vector<const LintFinding *> order;
+    for (const auto &f : findings)
+        if (includeInfo || f.severity != LintSeverity::Info)
+            order.push_back(&f);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const LintFinding *a, const LintFinding *b) {
+                         if (a->severity != b->severity)
+                             return a->severity < b->severity;
+                         return a->pc < b->pc;
+                     });
+    std::string out;
+    for (const LintFinding *f : order) {
+        out += f->render();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+bool
+singleTag(uint64_t tags)
+{
+    return tags != 0 && (tags & (tags - 1)) == 0;
+}
+
+std::string
+tagSetText(uint64_t tags)
+{
+    std::string out = "{";
+    bool first = true;
+    for (int t = 0; t < 64; ++t) {
+        if ((tags >> t) & 1) {
+            if (!first)
+                out += ",";
+            out += strcat(t);
+            first = false;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+class Linter
+{
+  public:
+    Linter(const Program &prog, const TagScheme &scheme,
+           const CompilerOptions &opts, const std::vector<int> &roots)
+        : prog_(prog), opts_(opts), cfg_(buildCfg(prog, roots)),
+          flow_(prog, cfg_, scheme)
+    {}
+
+    LintReport
+    run()
+    {
+        for (const CfgMalformed &m : cfg_.malformed)
+            add(LintKind::MalformedDelayGroup, LintSeverity::Error, m.pc,
+                m.what);
+
+        flow_.solve();
+
+        for (size_t b = 0; b < cfg_.blocks.size(); ++b) {
+            if (cfg_.reachable[b])
+                lintBlock(static_cast<int>(b));
+            else
+                lintUnreachable(static_cast<int>(b));
+        }
+        lintLoadDelays();
+        return std::move(rep_);
+    }
+
+  private:
+    void
+    add(LintKind kind, LintSeverity sev, int pc, std::string message)
+    {
+        LintFinding f;
+        f.kind = kind;
+        f.severity = sev;
+        f.pc = pc;
+        f.where = describePc(prog_, pc);
+        if (pc >= 0 && pc < static_cast<int>(prog_.code.size()))
+            f.text = disassemble(prog_.code[pc], &prog_);
+        f.message = std::move(message);
+        switch (sev) {
+          case LintSeverity::Error:   ++rep_.errors; break;
+          case LintSeverity::Warning: ++rep_.warnings; break;
+          case LintSeverity::Info:    ++rep_.infos; break;
+        }
+        rep_.findings.push_back(std::move(f));
+    }
+
+    void
+    lintUnreachable(int b)
+    {
+        const CfgBlock &blk = cfg_.blocks[b];
+        // Dead code in the shadow of a halting Sys (the compiler's
+        // error-path continuations) is dead by construction, not
+        // suspicious: report it as Info, other unreachable code as
+        // Warning.
+        const bool afterStop = b > 0 && cfg_.blocks[b - 1].sysStop &&
+                               cfg_.blocks[b - 1].last + 1 == blk.first;
+        for (int i = blk.first; i <= blk.last; ++i) {
+            if (prog_.code[i].op != Opcode::Noop) {
+                add(LintKind::UnreachableBlock,
+                    afterStop ? LintSeverity::Info : LintSeverity::Warning,
+                    blk.first,
+                    strcat("block @", blk.first, "..@", blk.last,
+                           " is unreachable from every root",
+                           afterStop ? " (error-path shadow)" : ""));
+                return;
+            }
+        }
+    }
+
+    /** Per-instruction checks under the state before it executes. */
+    void
+    visit(int i, const TagState &s)
+    {
+        const Instruction &inst = prog_.code[i];
+        if (opts_.checking == Checking::Full &&
+            (inst.op == Opcode::Ld || inst.op == Opcode::St) &&
+            inst.ann.cat == CheckCat::List) {
+            // A list-class access must be dominated by a compatible
+            // check: its base (or, for high-tag schemes, the value the
+            // base was detagged from) must carry exactly one pointer
+            // tag on every path here.
+            Reg base = inst.rs;
+            uint64_t tags = s.regs[base].tags;
+            if (s.regs[base].prov.kind == Prov::Kind::Detag) {
+                base = s.regs[base].prov.src;
+                tags = s.regs[base].tags;
+            }
+            if (!singleTag(tags) || (tags & ~flow_.pointerTags()) != 0)
+                add(LintKind::UncheckedListAccess, LintSeverity::Error, i,
+                    strcat("base r", int{base}, " has tag-state ",
+                           tagSetText(tags),
+                           ", not a single proven pointer tag"));
+        }
+    }
+
+    void
+    lintBlock(int b)
+    {
+        const CfgBlock &blk = cfg_.blocks[b];
+        TagState s = flow_.blockIn(b);
+        if (!s.reachable)
+            return; // no dataflow path in (all in-edges proven dead)
+        const int stop = blk.xfer >= 0 ? blk.xfer : blk.last + 1;
+        for (int i = blk.first; i < stop; ++i) {
+            visit(i, s);
+            flow_.applyInst(s, prog_.code[i]);
+        }
+        if (blk.xfer < 0)
+            return;
+
+        const int xfer = blk.xfer;
+        const Instruction &x = prog_.code[xfer];
+        if (isCondBranch(x.op) && x.ann.fromChecking) {
+            if (x.ann.purpose == Purpose::TagCheck &&
+                flow_.edgeDead(s, x, /*taken=*/true))
+                add(LintKind::CheckNeverFails, LintSeverity::Info, xfer,
+                    "check provably passes on every path (eliminable)");
+            if (flow_.edgeDead(s, x, /*taken=*/false))
+                add(LintKind::CheckAlwaysFails, LintSeverity::Warning,
+                    xfer, "check provably fails on every path");
+        }
+
+        // Which register did this check branch verify? A clobber of it
+        // in the slots silently invalidates the check downstream.
+        Reg prot = 0;
+        bool haveProt = false;
+        if (isCondBranch(x.op) && x.ann.purpose == Purpose::TagCheck) {
+            const Prov &p = s.regs[x.rs].prov;
+            if (p.kind == Prov::Kind::TagExtract ||
+                p.kind == Prov::Kind::SxtOf) {
+                prot = p.src;
+                haveProt = true;
+            } else if (x.op == Opcode::Btag || x.op == Opcode::Bntag) {
+                prot = x.rs;
+                haveProt = true;
+            }
+        }
+
+        // Slot instructions execute only on the non-annulled edges;
+        // judge them under the matching refined state (the §6.2.1
+        // overlap scheduler puts the protected op in OnTaken slots,
+        // legitimate exactly because the slots only run on fall-through).
+        TagState ss = s;
+        if (isCondBranch(x.op)) {
+            if (x.annul == Annul::OnTaken)
+                flow_.refineEdge(ss, x, /*taken=*/false);
+            else if (x.annul == Annul::OnNotTaken)
+                flow_.refineEdge(ss, x, /*taken=*/true);
+        }
+        flow_.applyInst(ss, x);
+        for (int i = xfer + 1; i <= xfer + 2 && i <= blk.last; ++i) {
+            const Instruction &si = prog_.code[i];
+            if (haveProt && si.writeReg() == int{prot} &&
+                si.ann.cat != x.ann.cat)
+                add(LintKind::TagClobberInSlot, LintSeverity::Warning, i,
+                    strcat("delay slot overwrites r", int{prot},
+                           ", the register verified by the check at @",
+                           xfer));
+            if (ss.reachable) {
+                visit(i, ss);
+                flow_.applyInst(ss, si);
+            }
+        }
+    }
+
+    /** Report loads whose result is consumed in the very next cycle:
+     *  the machine interlocks (one stall cycle), so this is a
+     *  performance note, not a fault. */
+    void
+    lintLoadDelays()
+    {
+        const int n = static_cast<int>(prog_.code.size());
+        for (int i = 0; i + 1 < n; ++i) {
+            const Instruction &ld = prog_.code[i];
+            if (ld.op != Opcode::Ld && ld.op != Opcode::Ldt)
+                continue;
+            if (ld.rd == abi::zero)
+                continue;
+            const int b = cfg_.blockAt(i);
+            if (b < 0 || !cfg_.reachable[b] || cfg_.blockAt(i + 1) != b)
+                continue;
+            Reg reads[3];
+            int nr = 0;
+            prog_.code[i + 1].readRegs(reads, nr);
+            for (int k = 0; k < nr; ++k) {
+                if (reads[k] == ld.rd) {
+                    add(LintKind::LoadDelayUse, LintSeverity::Info, i + 1,
+                        strcat("uses r", int{ld.rd},
+                               " in the load-delay shadow of @", i,
+                               " (one-cycle interlock stall)"));
+                    break;
+                }
+            }
+        }
+    }
+
+    const Program &prog_;
+    const CompilerOptions &opts_;
+    Cfg cfg_;
+    TagFlow flow_;
+    LintReport rep_;
+};
+
+} // namespace
+
+LintReport
+lintProgram(const Program &prog, const TagScheme &scheme,
+            const CompilerOptions &opts, const std::vector<int> &extraRoots)
+{
+    return Linter(prog, scheme, opts, extraRoots).run();
+}
+
+LintReport
+lintUnit(const CompiledUnit &unit)
+{
+    std::vector<int> roots;
+    for (int r : {unit.entry, unit.arithTrap, unit.tagTrap})
+        if (r >= 0)
+            roots.push_back(r);
+    return lintProgram(unit.prog, *unit.scheme, unit.opts, roots);
+}
+
+} // namespace mxl

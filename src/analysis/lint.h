@@ -1,0 +1,100 @@
+/**
+ * @file
+ * mxlint: static verification of tag discipline in compiled MX units.
+ *
+ * Built on the CFG (analysis/cfg.h) and the tag-flow solver
+ * (analysis/tagflow.h), the linter proves properties the dynamic
+ * machinery (obs/) can only sample:
+ *
+ *   Errors   — violations of the discipline the compiler promises:
+ *              structural delay-slot damage (control transfer, trapping
+ *              instruction or branch target inside a slot, truncated
+ *              groups) and, under Checking::Full, a car/cdr-class
+ *              memory access whose base is not proven to carry a single
+ *              compatible pointer tag on every path reaching it.
+ *   Warnings — suspicious but not fatal: unreachable non-empty blocks,
+ *              a delay slot clobbering the very register its check
+ *              branch just verified, and checks that *always* fail.
+ *   Info     — measurements: checks that can never fail (the redundant
+ *              checks analysis/checkelim.h deletes) and uses of a load
+ *              result in the load-delay shadow (a one-cycle interlock
+ *              stall on MX, not a fault).
+ *
+ * Diagnostics carry the instruction index, the nearest symbol + offset
+ * ("fn_foo+12"), and the disassembled instruction.
+ */
+
+#ifndef MXLISP_ANALYSIS_LINT_H_
+#define MXLISP_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "compiler/options.h"
+#include "compiler/unit.h"
+#include "isa/instruction.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+enum class LintSeverity : uint8_t { Error, Warning, Info };
+
+enum class LintKind : uint8_t
+{
+    MalformedDelayGroup, ///< structural violation from Cfg::malformed
+    UncheckedListAccess, ///< checked-category load/store with unproven base
+    TagClobberInSlot,    ///< delay slot overwrites the checked register
+    UnreachableBlock,    ///< non-empty block with no path from any root
+    CheckAlwaysFails,    ///< a check branch provably always traps
+    CheckNeverFails,     ///< a check branch provably never traps
+    LoadDelayUse,        ///< load result used in the next (stall) cycle
+};
+
+const char *lintKindName(LintKind k);
+const char *lintSeverityName(LintSeverity s);
+
+struct LintFinding
+{
+    LintKind kind;
+    LintSeverity severity;
+    int pc = -1;          ///< instruction index
+    std::string where;    ///< "symbol+offset" or "@pc"
+    std::string text;     ///< disassembled instruction
+    std::string message;  ///< what is wrong
+
+    /** "error: UncheckedListAccess at fn_car+3 (@123: ld r1, 0(r10)): ..." */
+    std::string render() const;
+};
+
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+    int errors = 0;
+    int warnings = 0;
+    int infos = 0;
+
+    int count(LintKind k) const;
+    /** All findings, one per line, ordered by severity then pc. */
+    std::string render(bool includeInfo = false) const;
+};
+
+/**
+ * Lint a linked program. @p opts supplies the scheme and checking level
+ * the program was compiled under (UncheckedListAccess only applies at
+ * Checking::Full); @p extraRoots adds reachability roots beyond the
+ * exported symbols (entry point, trap handlers).
+ */
+LintReport lintProgram(const Program &prog, const TagScheme &scheme,
+                       const CompilerOptions &opts,
+                       const std::vector<int> &extraRoots = {});
+
+/** Lint a compiled unit (scheme/options/roots taken from the unit). */
+LintReport lintUnit(const CompiledUnit &unit);
+
+/** "symbol+offset" for @p pc, or "@pc" when no symbol precedes it. */
+std::string describePc(const Program &prog, int pc);
+
+} // namespace mxl
+
+#endif // MXLISP_ANALYSIS_LINT_H_

@@ -1,0 +1,707 @@
+#include "analysis/tagflow.h"
+
+#include <deque>
+
+#include "support/panic.h"
+
+namespace mxl {
+
+namespace {
+
+/** Does this provenance mention register @p r as its source? */
+bool
+provMentionsReg(const Prov &p, Reg r)
+{
+    switch (p.kind) {
+      case Prov::Kind::TagExtract:
+      case Prov::Kind::SxtPartial:
+      case Prov::Kind::SxtOf:
+      case Prov::Kind::Detag:
+        return p.src == r;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+TagFlow::TagFlow(const Program &prog, const Cfg &cfg,
+                 const TagScheme &scheme)
+    : prog_(prog), cfg_(cfg), scheme_(scheme)
+{
+    const unsigned bits = scheme_.tagBits();
+    const uint64_t numTags = 1ull << bits;
+    topTags_ = numTags >= 64 ? ~0ull : (1ull << numTags) - 1;
+    tagMask_ = static_cast<uint32_t>(numTags - 1);
+    high_ = scheme_.placement() == TagPlacement::High;
+    // The tags a fixnum *can* carry: non-negative and negative encodings
+    // may land in different tag values (High5: 0 and 31; Low3: 0 and 4).
+    fixnumTags_ = (1ull << scheme_.primaryTag(scheme_.encodeFixnum(0))) |
+                  (1ull << scheme_.primaryTag(scheme_.encodeFixnum(-1)));
+    pointerTags_ = (1ull << scheme_.pointerTag(TypeId::Pair)) |
+                   (1ull << scheme_.pointerTag(TypeId::Symbol)) |
+                   (1ull << scheme_.pointerTag(TypeId::Vector)) |
+                   (1ull << scheme_.pointerTag(TypeId::String));
+    in_.assign(cfg_.blocks.size(), TagState{});
+}
+
+AbsVal
+TagFlow::topVal() const
+{
+    AbsVal v;
+    v.tags = topTags_;
+    v.fixnum = false;
+    v.prov = {};
+    return v;
+}
+
+TagState
+TagFlow::entryState() const
+{
+    TagState s;
+    s.reachable = true;
+    for (auto &r : s.regs)
+        r = topVal();
+    // ABI invariants that hold at every function entry and at the
+    // program entry (runtime/stubs.cc establishes them in rt_start and
+    // every stub/function preserves them).
+    s.regs[abi::zero].tags = 1ull << scheme_.primaryTag(0);
+    s.regs[abi::zero].fixnum = true;
+    const uint64_t symTag = 1ull << scheme_.pointerTag(TypeId::Symbol);
+    s.regs[abi::treg].tags = symTag;
+    s.regs[abi::nilreg].tags = symTag;
+    if (high_) {
+        // maskreg holds the data-part mask: tag field all-zero, but the
+        // data sign bit is set, so it is *not* a fixnum.
+        s.regs[abi::maskreg].tags = 1ull << 0;
+        s.regs[abi::maskreg].fixnum = false;
+    }
+    // Raw word-aligned addresses: tag field 0 under every scheme (the
+    // stack and heap live in the low part of a <=32MiB image, and are
+    // at least 4-byte aligned; Low3's tag-4 case needs 8-byte alignment
+    // which sp/stkbase keep, while hp may not — leave hp/hl wider).
+    s.regs[abi::sp].tags = 1ull << 0;
+    s.regs[abi::stkbase].tags = 1ull << 0;
+    s.regs[abi::hp].tags = fixnumTags_ | (1ull << 0);
+    s.regs[abi::hl].tags = fixnumTags_ | (1ull << 0);
+    s.spKnown = true;
+    s.spDelta = 0;
+    return s;
+}
+
+// --- state plumbing -----------------------------------------------------
+
+void
+TagFlow::invalidateRegProvs(TagState &s, Reg r) const
+{
+    for (auto &v : s.regs)
+        if (provMentionsReg(v.prov, r))
+            v.prov = {};
+    for (auto &[off, v] : s.slots) {
+        (void)off;
+        if (provMentionsReg(v.prov, r))
+            v.prov = {};
+    }
+}
+
+void
+TagFlow::invalidateSlotProvs(TagState &s, int32_t off) const
+{
+    for (auto &v : s.regs)
+        if (v.prov.kind == Prov::Kind::Slot && v.prov.slot == off)
+            v.prov = {};
+}
+
+void
+TagFlow::writeRegVal(TagState &s, Reg rd, const AbsVal &v) const
+{
+    if (rd == abi::sp) {
+        // Arbitrary sp write: frame tracking is lost (Addi sp,sp,imm is
+        // special-cased in applyInst before calling here).
+        s.spKnown = false;
+        clearSlots(s);
+    }
+    invalidateRegProvs(s, rd);
+    s.regs[rd] = v;
+}
+
+void
+TagFlow::clearSlots(TagState &s) const
+{
+    s.slots.clear();
+    for (auto &v : s.regs)
+        if (v.prov.kind == Prov::Kind::Slot)
+            v.prov = {};
+}
+
+void
+TagFlow::storeToSlot(TagState &s, int32_t off, Reg src) const
+{
+    invalidateSlotProvs(s, off);
+    AbsVal v = s.regs[src];
+    v.prov = {}; // slot facts stand alone; the mirror link lives on the reg
+    auto it = s.slots.find(off);
+    if (it != s.slots.end())
+        it->second = v;
+    else if (s.slots.size() < kMaxSlots)
+        s.slots.emplace(off, v);
+    else
+        return; // at capacity: no slot fact, so no mirror link either
+    if (src != abi::zero)
+        s.regs[src].prov = {Prov::Kind::Slot, 0, 0, off};
+}
+
+void
+TagFlow::refineReg(TagState &s, Reg r,
+                   const std::function<void(AbsVal &)> &f) const
+{
+    f(s.regs[r]);
+    // Low-placement normalization: the tag field *is* the fixnum
+    // discriminator, so tags within the fixnum set prove fixnum-ness.
+    if (!high_ && s.regs[r].tags != 0 &&
+        (s.regs[r].tags & ~fixnumTags_) == 0)
+        s.regs[r].fixnum = true;
+    if (s.regs[r].prov.kind == Prov::Kind::Slot) {
+        const int32_t off = s.regs[r].prov.slot;
+        auto it = s.slots.find(off);
+        if (it == s.slots.end()) {
+            if (s.slots.size() >= kMaxSlots)
+                return;
+            it = s.slots.emplace(off, topVal()).first;
+            it->second.prov = {};
+        }
+        f(it->second);
+        if (!high_ && it->second.tags != 0 &&
+            (it->second.tags & ~fixnumTags_) == 0)
+            it->second.fixnum = true;
+    }
+}
+
+bool
+TagFlow::joinInto(TagState &dst, const TagState &src) const
+{
+    if (!src.reachable)
+        return false;
+    if (!dst.reachable) {
+        dst = src;
+        return true;
+    }
+    bool changed = false;
+    for (int r = 0; r < 32; ++r) {
+        AbsVal &d = dst.regs[r];
+        const AbsVal &s = src.regs[r];
+        uint64_t tags = d.tags | s.tags;
+        bool fixnum = d.fixnum && s.fixnum;
+        Prov prov = (d.prov == s.prov) ? d.prov : Prov{};
+        if (tags != d.tags || fixnum != d.fixnum || prov != d.prov) {
+            d.tags = tags;
+            d.fixnum = fixnum;
+            d.prov = prov;
+            changed = true;
+        }
+    }
+    if (dst.spKnown && (!src.spKnown || src.spDelta != dst.spDelta)) {
+        dst.spKnown = false;
+        clearSlots(dst);
+        changed = true;
+    }
+    for (auto it = dst.slots.begin(); it != dst.slots.end();) {
+        auto sit = src.slots.find(it->first);
+        if (sit == src.slots.end()) {
+            it = dst.slots.erase(it);
+            changed = true;
+            continue;
+        }
+        AbsVal &d = it->second;
+        const AbsVal &s = sit->second;
+        uint64_t tags = d.tags | s.tags;
+        bool fixnum = d.fixnum && s.fixnum;
+        Prov prov = (d.prov == s.prov) ? d.prov : Prov{};
+        if (tags != d.tags || fixnum != d.fixnum || prov != d.prov) {
+            d.tags = tags;
+            d.fixnum = fixnum;
+            d.prov = prov;
+            changed = true;
+        }
+        ++it;
+    }
+    return changed;
+}
+
+// --- transfer function --------------------------------------------------
+
+void
+TagFlow::applyInst(TagState &s, const Instruction &inst) const
+{
+    if (!s.reachable)
+        return;
+    switch (inst.op) {
+      case Opcode::Li: {
+        AbsVal v;
+        const uint32_t w = static_cast<uint32_t>(inst.imm);
+        v.tags = 1ull << scheme_.primaryTag(w);
+        v.fixnum = scheme_.wordIsFixnum(w);
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Mov: {
+        AbsVal v = s.regs[inst.rs];
+        if (provMentionsReg(v.prov, inst.rd))
+            v.prov = {}; // the source location is about to be destroyed
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::And: {
+        AbsVal v = topVal();
+        if (high_) {
+            Reg other = 0;
+            bool detag = false;
+            if (inst.rs == abi::maskreg) {
+                other = inst.rt;
+                detag = true;
+            } else if (inst.rt == abi::maskreg) {
+                other = inst.rs;
+                detag = true;
+            }
+            if (detag && s.regs[abi::maskreg].tags == (1ull << 0) &&
+                !s.regs[abi::maskreg].fixnum) {
+                // And with the data-part mask: tag field cleared.
+                v.tags = 1ull << 0;
+                if (other != inst.rd)
+                    v.prov = {Prov::Kind::Detag, other, 0, 0};
+            }
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Andi: {
+        AbsVal v = topVal();
+        const uint32_t imm = static_cast<uint32_t>(inst.imm);
+        if (!high_ && imm == static_cast<uint32_t>(~tagMask_)) {
+            // Low-scheme detag: clear the tag bits.
+            v.tags = 1ull << 0;
+            v.fixnum = false;
+            if (inst.rs != inst.rd)
+                v.prov = {Prov::Kind::Detag, inst.rs, 0, 0};
+        } else if (imm != 0 && (imm & ~static_cast<uint64_t>(tagMask_)) == 0 &&
+                   !high_) {
+            // Low-scheme tag extraction (Andi t,x,tagMask or Andi t,x,3
+            // for the fixnum test under LowTag3).
+            if (inst.rs != inst.rd)
+                v.prov = {Prov::Kind::TagExtract, inst.rs, imm, 0};
+            // The result is a small non-negative integer: a fixnum under
+            // high schemes; under low schemes only if its own low bits
+            // say so — not worth modeling beyond top tags.
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Srli: {
+        AbsVal v = topVal();
+        if (high_ && inst.imm == static_cast<int64_t>(scheme_.tagShift()) &&
+            inst.rs != inst.rd) {
+            // High-scheme tag extraction.
+            v.prov = {Prov::Kind::TagExtract, inst.rs, tagMask_, 0};
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Slli: {
+        AbsVal v = topVal();
+        if (high_ && inst.imm == static_cast<int64_t>(scheme_.tagBits()) &&
+            inst.rs != inst.rd)
+            v.prov = {Prov::Kind::SxtPartial, inst.rs, 0, 0};
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Srai: {
+        AbsVal v = topVal();
+        const Prov rsProv = s.regs[inst.rs].prov; // read before the kill
+        if (high_ && inst.imm == static_cast<int64_t>(scheme_.tagBits()) &&
+            rsProv.kind == Prov::Kind::SxtPartial && rsProv.src != inst.rd) {
+            // Slli k; Srai k == signExtend(dataBits(x)): the canonical
+            // fixnum image of x. The result itself is always a fixnum.
+            v.prov = {Prov::Kind::SxtOf, rsProv.src, 0, 0};
+            v.tags = fixnumTags_;
+            v.fixnum = true;
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Ld: {
+        AbsVal v = topVal();
+        if (inst.rs == abi::sp && s.spKnown) {
+            const int32_t off =
+                s.spDelta + static_cast<int32_t>(inst.imm);
+            auto it = s.slots.find(off);
+            if (it != s.slots.end()) {
+                v.tags = it->second.tags;
+                v.fixnum = it->second.fixnum;
+            }
+            v.prov = {Prov::Kind::Slot, 0, 0, off};
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Ldt: {
+        writeRegVal(s, inst.rd, topVal());
+        // Past a checked load, the base register's tag is known (else it
+        // would have trapped).
+        if (inst.rs != inst.rd) {
+            const uint64_t bit = 1ull << inst.timm;
+            refineReg(s, inst.rs, [&](AbsVal &a) { a.tags &= bit; });
+        }
+        return;
+      }
+      case Opcode::St:
+      case Opcode::Stt: {
+        if (inst.rs == abi::sp) {
+            if (s.spKnown)
+                storeToSlot(s, s.spDelta + static_cast<int32_t>(inst.imm),
+                            inst.rt);
+            // sp unknown: can't name the slot; the join already dropped
+            // the slot map when tracking was lost.
+        }
+        // Non-sp stores don't invalidate slot facts: compiled code
+        // addresses its own frame only through sp (docs/ANALYSIS.md).
+        if (inst.op == Opcode::Stt) {
+            const uint64_t bit = 1ull << inst.timm;
+            refineReg(s, inst.rs, [&](AbsVal &a) { a.tags &= bit; });
+        }
+        return;
+      }
+      case Opcode::Addi: {
+        if (inst.rd == abi::sp && inst.rs == abi::sp && s.spKnown) {
+            // Frame push/pop: the slot environment survives.
+            s.spDelta += static_cast<int32_t>(inst.imm);
+            invalidateRegProvs(s, abi::sp);
+            AbsVal v = topVal();
+            v.tags = 1ull << 0; // stays a word-aligned stack address
+            s.regs[abi::sp] = v;
+            return;
+        }
+        if (inst.imm == 0) {
+            // Addi rd, rs, 0 is a move.
+            AbsVal v = s.regs[inst.rs];
+            if (provMentionsReg(v.prov, inst.rd))
+                v.prov = {};
+            writeRegVal(s, inst.rd, v);
+            return;
+        }
+        writeRegVal(s, inst.rd, topVal());
+        return;
+      }
+      case Opcode::Ori: {
+        AbsVal v = topVal();
+        const uint32_t imm = static_cast<uint32_t>(inst.imm);
+        const uint32_t fieldMask = tagMask_ << scheme_.tagShift();
+        if (imm != 0 && (imm & ~fieldMask) == 0 &&
+            s.regs[inst.rs].tags == (1ull << 0)) {
+            // Tag insertion onto a clean tag-0 base (e.g. tagging a
+            // fresh heap address): the result carries exactly imm's tag.
+            v.tags = 1ull << scheme_.primaryTag(imm);
+        }
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Addt:
+      case Opcode::Subt:
+        // Result may come back from the bignum slow path: top. The
+        // operands are *not* refined (the trap handler accepts
+        // non-fixnums).
+        writeRegVal(s, inst.rd, topVal());
+        return;
+      case Opcode::Jal:
+      case Opcode::Jalr: {
+        AbsVal v = topVal();
+        v.tags = fixnumTags_ | (1ull << 0); // word-aligned code address
+        writeRegVal(s, inst.rd, v);
+        return;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Beqi:
+      case Opcode::Bnei:
+      case Opcode::Btag:
+      case Opcode::Bntag:
+      case Opcode::J:
+      case Opcode::Jr:
+      case Opcode::Noop:
+      case Opcode::Sys:
+        return; // no register writes
+      default: {
+        // Remaining ALU ops (Add, Sub, Or, Xor, shifts, Mul, Div, Rem,
+        // Xori, ...): result unknown.
+        const int wr = inst.writeReg();
+        if (wr >= 0)
+            writeRegVal(s, static_cast<Reg>(wr), topVal());
+        return;
+      }
+    }
+}
+
+void
+TagFlow::applyCallClobber(TagState &s) const
+{
+    if (!s.reachable)
+        return;
+    TagState entry = entryState();
+    for (int r = 0; r < 32; ++r) {
+        switch (r) {
+          case abi::zero:
+          case abi::treg:
+          case abi::nilreg:
+          case abi::maskreg:
+          case abi::stkbase:
+          case abi::sp: {
+            // Callee-preserved invariants; drop provenance (it may
+            // mention a clobbered register).
+            Prov p = s.regs[r].prov;
+            if (p.kind != Prov::Kind::Slot && p.kind != Prov::Kind::None)
+                s.regs[r].prov = {};
+            break;
+          }
+          case abi::hp:
+          case abi::hl:
+            // Re-established by the callee's allocations.
+            s.regs[r] = entry.regs[r];
+            break;
+          default:
+            s.regs[r] = topVal();
+            break;
+        }
+    }
+    // Slot facts survive (frames below the caller's sp only), but any
+    // provenance into the clobbered registers must not.
+    for (auto &[off, v] : s.slots) {
+        (void)off;
+        if (v.prov.kind != Prov::Kind::None &&
+            v.prov.kind != Prov::Kind::Slot)
+            v.prov = {};
+    }
+}
+
+// --- branch refinement --------------------------------------------------
+
+void
+TagFlow::refineEdge(TagState &s, const Instruction &branch,
+                    bool taken) const
+{
+    if (!s.reachable)
+        return;
+    switch (branch.op) {
+      case Opcode::Beqi:
+      case Opcode::Bnei: {
+        const AbsVal &v = s.regs[branch.rs];
+        if (v.prov.kind != Prov::Kind::TagExtract)
+            return;
+        // Edge on which extracted == imm.
+        const bool eqEdge = (branch.op == Opcode::Beqi) == taken;
+        const uint32_t imm = static_cast<uint32_t>(branch.imm);
+        const uint32_t mask = v.prov.mask;
+        const Reg src = v.prov.src;
+        refineReg(s, src, [&](AbsVal &a) {
+            uint64_t keep = 0;
+            for (uint32_t t = 0; t <= tagMask_; ++t)
+                if ((a.tags >> t) & 1)
+                    if (((t & mask) == imm) == eqEdge)
+                        keep |= 1ull << t;
+            a.tags = keep;
+        });
+        if (s.regs[src].tags == 0)
+            s.reachable = false;
+        return;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne: {
+        // The fixnum-check idiom: Slli t,x,k; Srai t,t,k; Bne t,x —
+        // equal means x survived sign-extension truncation, i.e. fixnum.
+        Reg src;
+        const AbsVal &a = s.regs[branch.rs];
+        const AbsVal &b = s.regs[branch.rt];
+        if (a.prov.kind == Prov::Kind::SxtOf && a.prov.src == branch.rt)
+            src = branch.rt;
+        else if (b.prov.kind == Prov::Kind::SxtOf &&
+                 b.prov.src == branch.rs)
+            src = branch.rs;
+        else
+            return;
+        const bool fixEdge = (branch.op == Opcode::Beq) == taken;
+        if (fixEdge) {
+            refineReg(s, src, [&](AbsVal &x) {
+                x.fixnum = true;
+                x.tags &= fixnumTags_;
+            });
+            if (s.regs[src].tags == 0)
+                s.reachable = false;
+        } else {
+            if (s.regs[src].fixnum)
+                s.reachable = false;
+            else if (!high_) {
+                refineReg(s, src, [&](AbsVal &x) {
+                    x.tags &= ~fixnumTags_;
+                    x.fixnum = false;
+                });
+                if (s.regs[src].tags == 0)
+                    s.reachable = false;
+            }
+        }
+        return;
+      }
+      case Opcode::Btag:
+      case Opcode::Bntag: {
+        const bool eqEdge = (branch.op == Opcode::Btag) == taken;
+        const uint64_t bit = 1ull << branch.timm;
+        refineReg(s, branch.rs, [&](AbsVal &a) {
+            a.tags &= eqEdge ? bit : ~bit;
+        });
+        if (s.regs[branch.rs].tags == 0)
+            s.reachable = false;
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+bool
+TagFlow::edgeDead(const TagState &atXfer, const Instruction &branch,
+                  bool taken) const
+{
+    if (!atXfer.reachable)
+        return true;
+    switch (branch.op) {
+      case Opcode::Beqi:
+      case Opcode::Bnei: {
+        const AbsVal &v = atXfer.regs[branch.rs];
+        if (v.prov.kind != Prov::Kind::TagExtract)
+            return false;
+        const uint64_t tags = atXfer.regs[v.prov.src].tags;
+        if (tags == 0)
+            return true; // source is bottom: edge trivially dead
+        const bool eqEdge = (branch.op == Opcode::Beqi) == taken;
+        const uint32_t imm = static_cast<uint32_t>(branch.imm);
+        const uint32_t mask = v.prov.mask;
+        for (uint32_t t = 0; t <= tagMask_; ++t)
+            if ((tags >> t) & 1)
+                if (((t & mask) == imm) == eqEdge)
+                    return false; // some tag takes this edge
+        return true;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne: {
+        Reg src;
+        const AbsVal &a = atXfer.regs[branch.rs];
+        const AbsVal &b = atXfer.regs[branch.rt];
+        if (a.prov.kind == Prov::Kind::SxtOf && a.prov.src == branch.rt)
+            src = branch.rt;
+        else if (b.prov.kind == Prov::Kind::SxtOf &&
+                 b.prov.src == branch.rs)
+            src = branch.rs;
+        else
+            return false;
+        const AbsVal &x = atXfer.regs[src];
+        const bool fixEdge = (branch.op == Opcode::Beq) == taken;
+        if (fixEdge)
+            // Edge requires x to be a fixnum: impossible when no fixnum
+            // tag remains.
+            return (x.tags & fixnumTags_) == 0;
+        // Edge requires x to *not* be a fixnum: impossible when proven.
+        return x.fixnum;
+      }
+      case Opcode::Btag:
+      case Opcode::Bntag: {
+        const uint64_t tags = atXfer.regs[branch.rs].tags;
+        const uint64_t bit = 1ull << branch.timm;
+        const bool eqEdge = (branch.op == Opcode::Btag) == taken;
+        return eqEdge ? (tags & bit) == 0 : (tags & ~bit) == 0;
+      }
+      default:
+        return false;
+    }
+}
+
+// --- solver -------------------------------------------------------------
+
+TagState
+TagFlow::stateAtXfer(int block) const
+{
+    const CfgBlock &blk = cfg_.blocks[block];
+    TagState s = in_[block];
+    const int stop = blk.xfer >= 0 ? blk.xfer : blk.last + 1;
+    for (int i = blk.first; i < stop; ++i)
+        applyInst(s, prog_.code[i]);
+    return s;
+}
+
+void
+TagFlow::walkBlock(int block,
+                   const std::function<void(int, const TagState &)> &f)
+    const
+{
+    const CfgBlock &blk = cfg_.blocks[block];
+    TagState s = in_[block];
+    for (int i = blk.first; i <= blk.last; ++i) {
+        f(i, s);
+        applyInst(s, prog_.code[i]);
+    }
+}
+
+void
+TagFlow::solve()
+{
+    const size_t n = cfg_.blocks.size();
+    in_.assign(n, TagState{});
+    if (n == 0)
+        return;
+    std::deque<int> wl;
+    std::vector<bool> inWl(n, false);
+    const TagState entry = entryState();
+    for (int b : cfg_.rootBlocks) {
+        joinInto(in_[b], entry);
+        if (!inWl[b]) {
+            inWl[b] = true;
+            wl.push_back(b);
+        }
+    }
+    // The lattice is finite and the transfer monotone, so this
+    // terminates; the guard catches implementation bugs, not inputs.
+    size_t budget = (n + 1) * 2048;
+    while (!wl.empty()) {
+        MXL_ASSERT(budget-- > 0, "tagflow worklist failed to converge");
+        const int b = wl.front();
+        wl.pop_front();
+        inWl[b] = false;
+        const CfgBlock &blk = cfg_.blocks[b];
+        const TagState atXfer = stateAtXfer(b);
+        if (!atXfer.reachable)
+            continue;
+        for (const CfgEdge &e : blk.out) {
+            TagState se = atXfer;
+            if (blk.xfer >= 0) {
+                const Instruction &x = prog_.code[blk.xfer];
+                if (isCondBranch(x.op))
+                    refineEdge(se, x, e.kind == CfgEdge::Kind::Taken);
+                applyInst(se, x); // writes link for Jal/Jalr
+                if (e.slots) {
+                    applyInst(se, prog_.code[blk.xfer + 1]);
+                    applyInst(se, prog_.code[blk.xfer + 2]);
+                }
+            }
+            if (e.kind == CfgEdge::Kind::CallCont)
+                applyCallClobber(se);
+            if (!se.reachable)
+                continue;
+            if (joinInto(in_[e.to], se) && !inWl[e.to]) {
+                inWl[e.to] = true;
+                wl.push_back(e.to);
+            }
+        }
+    }
+}
+
+} // namespace mxl

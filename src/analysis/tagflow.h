@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tag-flow dataflow analysis: a forward worklist solver over the CFG
+ * (analysis/cfg.h) that tracks, per register and per stack slot, which
+ * tag-field values a word may carry.
+ *
+ * The lattice per location is a pair:
+ *
+ *   tags   — a bitset over the scheme's tag-field values. Empty means
+ *            unreachable (bottom), a singleton is an exact tag, the
+ *            full set is top. Every scheme fits in 64 bits (tagBits
+ *            <= 6).
+ *   fixnum — true when the word is *proven* equal to the sign
+ *            extension of its data bits, i.e. proven to be a fixnum.
+ *            This is strictly stronger than "tag in the fixnum tag
+ *            set" for high-tag schemes: a word with tag 0 whose data
+ *            sign bit is set is not a fixnum, so tag membership alone
+ *            never proves fixnum-ness there.
+ *
+ * To connect checks to the values they check, each abstract value also
+ * carries a *provenance*: the check idioms the compiler emits
+ * (compiler/codegen_checks.cc) route through a temp — Srli/Andi tag
+ * extraction, Slli;Srai sign-extension pairs, And-with-maskreg detag —
+ * and the provenance records which source location that temp mirrors.
+ * A conditional branch on such a temp then refines the *source*:
+ * falling through `Srli t,x,27; Bnei t,9,err` proves tag(x) == 9.
+ * Provenance is invalidated eagerly: writing a register clears every
+ * provenance that mentions it, storing to a stack slot clears every
+ * provenance that mirrors that slot, so a surviving provenance always
+ * describes the current value.
+ *
+ * Stack slots matter because compiled locals round-trip through
+ * sp-relative loads/stores on every reference. Slots are keyed by
+ * entry-relative byte offset (sp tracked as a known delta from the
+ * block-entry sp), refined through Prov::Slot when a loaded copy is
+ * checked, and *kept across calls and non-sp stores* under the
+ * compiler's stack discipline: compiled code addresses its own frame
+ * only through sp, callees touch only frames below the caller's, and
+ * the GC rewrites stack words tag-preservingly (forwarding a pointer
+ * never changes its tag class). docs/ANALYSIS.md states and argues
+ * these assumptions.
+ */
+
+#ifndef MXLISP_ANALYSIS_TAGFLOW_H_
+#define MXLISP_ANALYSIS_TAGFLOW_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/instruction.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+/** How a register's value relates to another location (see above). */
+struct Prov
+{
+    enum class Kind : uint8_t
+    {
+        None,
+        TagExtract, ///< reg == (tagField(src) & mask)
+        SxtPartial, ///< reg == src << tagBits (first half of the pair)
+        SxtOf,      ///< reg == signExtend(dataBits(src))
+        Detag,      ///< reg == src with the tag field cleared
+        Slot,       ///< reg mirrors stack slot at entry-relative `slot`
+    };
+
+    Kind kind = Kind::None;
+    Reg src = 0;      ///< source register (all kinds except Slot)
+    uint32_t mask = 0; ///< TagExtract keep-mask over the tag field
+    int32_t slot = 0;  ///< Slot: entry-relative byte offset
+
+    bool
+    operator==(const Prov &o) const
+    {
+        return kind == o.kind && src == o.src && mask == o.mask &&
+               slot == o.slot;
+    }
+    bool operator!=(const Prov &o) const { return !(*this == o); }
+};
+
+/** Abstract value of one register or stack slot. */
+struct AbsVal
+{
+    uint64_t tags = 0;   ///< possible tag-field values (bitset)
+    bool fixnum = false; ///< proven fixnum (see file comment)
+    Prov prov;
+
+    bool
+    sameFacts(const AbsVal &o) const
+    {
+        return tags == o.tags && fixnum == o.fixnum && prov == o.prov;
+    }
+};
+
+/** Abstract machine state at a program point. */
+struct TagState
+{
+    bool reachable = false;
+    std::array<AbsVal, 32> regs;
+    /** sp == entry sp + spDelta, when known. */
+    bool spKnown = false;
+    int32_t spDelta = 0;
+    /** Entry-relative byte offset -> value. Missing key = top. */
+    std::map<int32_t, AbsVal> slots;
+};
+
+class TagFlow
+{
+  public:
+    /** Cap on tracked stack slots per state (beyond it, new slot facts
+     *  are dropped; joins only ever shrink the map). */
+    static constexpr size_t kMaxSlots = 128;
+
+    TagFlow(const Program &prog, const Cfg &cfg, const TagScheme &scheme);
+
+    /** Run the worklist to a fixed point over the reachable blocks. */
+    void solve();
+
+    const TagState &blockIn(int block) const { return in_[block]; }
+
+    /** State after replaying the block body, just before its
+     *  terminator (or after the whole block when it has none). */
+    TagState stateAtXfer(int block) const;
+
+    /**
+     * Replay block @p block, invoking @p f with each instruction index
+     * and the state *before* it. Slot instructions are visited in
+     * program order under the unrefined pre-branch state (sound for
+     * diagnostics; the edge-exact states are what solve() propagates).
+     */
+    void walkBlock(int block,
+                   const std::function<void(int idx, const TagState &before)>
+                       &f) const;
+
+    /** One instruction's transfer function (public for tests). */
+    void applyInst(TagState &s, const Instruction &inst) const;
+
+    /** Apply the condition of @p branch on the taken/fall edge to @p s
+     *  (register refinement through provenance). */
+    void refineEdge(TagState &s, const Instruction &branch,
+                    bool taken) const;
+
+    /**
+     * True when the taken (or fall-through) edge of @p branch is
+     * provably never executed under @p atXfer — the never-taken /
+     * always-taken proof behind CheckNeverFails, CheckAlwaysFails and
+     * the redundant-check eliminator.
+     */
+    bool edgeDead(const TagState &atXfer, const Instruction &branch,
+                  bool taken) const;
+
+    /** Caller-visible effect of a call returning (CallCont edges). */
+    void applyCallClobber(TagState &s) const;
+
+    /** Root entry state: ABI invariants known, everything else top. */
+    TagState entryState() const;
+
+    uint64_t topTags() const { return topTags_; }
+    /** Tag-field values a fixnum can carry under this scheme. */
+    uint64_t fixnumTags() const { return fixnumTags_; }
+    /** Tag values of the four pointer types (singleton => type known). */
+    uint64_t pointerTags() const { return pointerTags_; }
+
+    const Cfg &cfg() const { return cfg_; }
+
+  private:
+    bool joinInto(TagState &dst, const TagState &src) const;
+    void writeRegVal(TagState &s, Reg rd, const AbsVal &v) const;
+    void invalidateRegProvs(TagState &s, Reg r) const;
+    void invalidateSlotProvs(TagState &s, int32_t off) const;
+    void refineReg(TagState &s, Reg r,
+                   const std::function<void(AbsVal &)> &f) const;
+    void storeToSlot(TagState &s, int32_t off, Reg src) const;
+    void clearSlots(TagState &s) const;
+    AbsVal topVal() const;
+
+    const Program &prog_;
+    const Cfg &cfg_;
+    const TagScheme &scheme_;
+
+    uint64_t topTags_ = 0;
+    uint64_t fixnumTags_ = 0;
+    uint64_t pointerTags_ = 0;
+    uint32_t tagMask_ = 0; ///< (1 << tagBits) - 1
+    bool high_ = false;
+
+    std::vector<TagState> in_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_ANALYSIS_TAGFLOW_H_

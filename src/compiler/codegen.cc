@@ -110,16 +110,16 @@ CodeGen::freeTempsAbove(int mark)
 void
 CodeGen::pushReg(Reg r)
 {
-    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, -4);
-    buf_.st(r, abi::sp, 0);
+    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, -4, {Purpose::Useful});
+    buf_.st(r, abi::sp, 0, {Purpose::Useful});
     env_.push();
 }
 
 void
 CodeGen::popTo(Reg r)
 {
-    buf_.ld(r, abi::sp, 0);
-    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4);
+    buf_.ld(r, abi::sp, 0, {Purpose::Useful});
+    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4, {Purpose::Useful});
     env_.pop(1);
 }
 
@@ -128,7 +128,7 @@ CodeGen::dropWords(int n)
 {
     if (n == 0)
         return;
-    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n);
+    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n, {Purpose::Useful});
     env_.pop(n);
 }
 
@@ -182,29 +182,29 @@ CodeGen::containsCall(Sx *e) const
 void
 CodeGen::loadConstant(Sx *quoted, Reg target)
 {
-    buf_.li(target, image_.constWord(quoted));
+    buf_.li(target, image_.constWord(quoted), {Purpose::Useful});
 }
 
 void
 CodeGen::loadVar(Sx *sym, Reg target)
 {
     if (sym->isNil()) {
-        buf_.mov(target, abi::nilreg);
+        buf_.mov(target, abi::nilreg, {Purpose::Useful});
         return;
     }
     if (sym->isSym("t")) {
-        buf_.mov(target, abi::treg);
+        buf_.mov(target, abi::treg, {Purpose::Useful});
         return;
     }
     int off = env_.offsetOf(sym);
     if (off >= 0) {
-        buf_.ld(target, abi::sp, off);
+        buf_.ld(target, abi::sp, off, {Purpose::Useful});
         return;
     }
     // Global: the symbol's value cell, at a link-time-known address.
     Reg s = allocTemp();
-    buf_.li(s, image_.symbolAddr(sym->text));
-    buf_.ld(target, s, symoff::value);
+    buf_.li(s, image_.symbolAddr(sym->text), {Purpose::Useful});
+    buf_.ld(target, s, symoff::value, {Purpose::Useful});
     freeTemp(s);
 }
 
@@ -214,12 +214,12 @@ CodeGen::storeVar(Sx *sym, Reg value)
     MXL_ASSERT(!sym->isNil() && !sym->isSym("t"), "assignment to constant");
     int off = env_.offsetOf(sym);
     if (off >= 0) {
-        buf_.st(value, abi::sp, off);
+        buf_.st(value, abi::sp, off, {Purpose::Useful});
         return;
     }
     Reg s = allocTemp();
-    buf_.li(s, image_.symbolAddr(sym->text));
-    buf_.st(value, s, symoff::value);
+    buf_.li(s, image_.symbolAddr(sym->text), {Purpose::Useful});
+    buf_.st(value, s, symoff::value, {Purpose::Useful});
     freeTemp(s);
 }
 
@@ -312,13 +312,13 @@ CodeGen::compileCallTo(int label, const std::vector<Sx *> &args, Reg target,
         }
         for (int i = 0; i < n; ++i) {
             buf_.ld(static_cast<Reg>(abi::arg0 + i), abi::sp,
-                    4 * (n - 1 - i));
+                    4 * (n - 1 - i), {Purpose::Useful});
         }
         dropWords(n);
     }
     buf_.jal(abi::link, label, callAnn);
     if (target != abi::ret)
-        buf_.mov(target, abi::ret);
+        buf_.mov(target, abi::ret, {Purpose::Useful});
 }
 
 void
@@ -336,7 +336,7 @@ void
 CodeGen::compileBody(Sx *forms, Reg target)
 {
     if (!forms->isPair()) {
-        buf_.mov(target, abi::nilreg);
+        buf_.mov(target, abi::nilreg, {Purpose::Useful});
         return;
     }
     while (forms->cdr->isPair()) {
@@ -355,12 +355,12 @@ CodeGen::formIf(Sx *e, Reg target)
     int lEnd = buf_.newLabel();
     condBranchFalse(parts[0], lElse);
     expr(parts[1], target);
-    buf_.jump(lEnd);
+    buf_.jump(lEnd, {Purpose::Useful});
     buf_.placeLabel(lElse);
     if (parts.size() == 3)
         expr(parts[2], target);
     else
-        buf_.mov(target, abi::nilreg);
+        buf_.mov(target, abi::nilreg, {Purpose::Useful});
     buf_.placeLabel(lEnd);
 }
 
@@ -386,13 +386,13 @@ CodeGen::formCond(Sx *e, Reg target)
         } else {
             // Clause value is the test itself.
             expr(test, target);
-            buf_.branch(Opcode::Beq, target, abi::nilreg, lNext);
+            buf_.branch(Opcode::Beq, target, abi::nilreg, lNext, {Purpose::Useful});
         }
-        buf_.jump(lEnd);
+        buf_.jump(lEnd, {Purpose::Useful});
         buf_.placeLabel(lNext);
     }
     if (!sawDefault)
-        buf_.mov(target, abi::nilreg);
+        buf_.mov(target, abi::nilreg, {Purpose::Useful});
     buf_.placeLabel(lEnd);
 }
 
@@ -452,9 +452,9 @@ CodeGen::formWhile(Sx *e, Reg target)
     condBranchFalse(test, lEnd);
     for (Sx *p = body; p->isPair(); p = p->cdr)
         expr(p->car, abi::ret);
-    buf_.jump(lTop);
+    buf_.jump(lTop, {Purpose::Useful});
     buf_.placeLabel(lEnd);
-    buf_.mov(target, abi::nilreg);
+    buf_.mov(target, abi::nilreg, {Purpose::Useful});
 }
 
 void
@@ -463,9 +463,9 @@ CodeGen::formAndOr(Sx *e, Reg target, bool isAnd)
     auto parts = listElems(e->cdr);
     if (parts.empty()) {
         if (isAnd)
-            buf_.mov(target, abi::treg);
+            buf_.mov(target, abi::treg, {Purpose::Useful});
         else
-            buf_.mov(target, abi::nilreg);
+            buf_.mov(target, abi::nilreg, {Purpose::Useful});
         return;
     }
     int lEnd = buf_.newLabel();
@@ -473,7 +473,7 @@ CodeGen::formAndOr(Sx *e, Reg target, bool isAnd)
         expr(parts[i], target);
         if (i + 1 < parts.size()) {
             buf_.branch(isAnd ? Opcode::Beq : Opcode::Bne, target,
-                        abi::nilreg, lEnd);
+                        abi::nilreg, lEnd, {Purpose::Useful});
         }
     }
     buf_.placeLabel(lEnd);
@@ -491,7 +491,7 @@ CodeGen::condBranchFalse(Sx *cond, int falseLabel)
     int mark = tempMark();
     Reg t = allocTemp();
     expr(cond, t);
-    buf_.branch(Opcode::Beq, t, abi::nilreg, falseLabel);
+    buf_.branch(Opcode::Beq, t, abi::nilreg, falseLabel, {Purpose::Useful});
     freeTempsAbove(mark);
 }
 
@@ -503,7 +503,7 @@ CodeGen::condBranchTrue(Sx *cond, int trueLabel)
     int mark = tempMark();
     Reg t = allocTemp();
     expr(cond, t);
-    buf_.branch(Opcode::Bne, t, abi::nilreg, trueLabel);
+    buf_.branch(Opcode::Bne, t, abi::nilreg, trueLabel, {Purpose::Useful});
     freeTempsAbove(mark);
 }
 
@@ -511,10 +511,10 @@ void
 CodeGen::materializeBool(int trueLabel, Reg target)
 {
     int lEnd = buf_.newLabel();
-    buf_.mov(target, abi::nilreg);
-    buf_.jump(lEnd);
+    buf_.mov(target, abi::nilreg, {Purpose::Useful});
+    buf_.jump(lEnd, {Purpose::Useful});
     buf_.placeLabel(trueLabel);
-    buf_.mov(target, abi::treg);
+    buf_.mov(target, abi::treg, {Purpose::Useful});
     buf_.placeLabel(lEnd);
 }
 
@@ -551,10 +551,10 @@ CodeGen::expr(Sx *e, Reg target)
       case SxKind::Int:
         if (!scheme_.fixnumInRange(e->ival))
             fatal("integer literal out of fixnum range: ", e->ival);
-        buf_.li(target, scheme_.encodeFixnum(e->ival));
+        buf_.li(target, scheme_.encodeFixnum(e->ival), {Purpose::Useful});
         return;
       case SxKind::Str:
-        buf_.li(target, image_.stringWord(e->text));
+        buf_.li(target, image_.stringWord(e->text), {Purpose::Useful});
         return;
       case SxKind::Sym:
         loadVar(e, target);
@@ -641,12 +641,12 @@ CodeGen::compileFunction(Sx *def)
 
     buf_.placeLabel(it->second.label);
     // Prologue: one frame for the return address and the parameters.
-    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * (1 + arity));
-    buf_.st(abi::link, abi::sp, 4 * arity);
+    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * (1 + arity), {Purpose::Useful});
+    buf_.st(abi::link, abi::sp, 4 * arity, {Purpose::Useful});
     env_.push(); // link (a fixnum-coded code address: GC-inert)
     for (int i = 0; i < arity; ++i) {
         buf_.st(static_cast<Reg>(abi::arg0 + i), abi::sp,
-                4 * (arity - 1 - i));
+                4 * (arity - 1 - i), {Purpose::Useful});
         env_.push();
         env_.bind(params[i]);
     }
@@ -656,9 +656,9 @@ CodeGen::compileFunction(Sx *def)
 
     MXL_ASSERT(env_.depth() == 1 + arity, "unbalanced frame in ",
                name->text);
-    buf_.ld(abi::scratch, abi::sp, 4 * arity);
-    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * (1 + arity));
-    buf_.jr(abi::scratch);
+    buf_.ld(abi::scratch, abi::sp, 4 * arity, {Purpose::Useful});
+    buf_.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * (1 + arity), {Purpose::Useful});
+    buf_.jr(abi::scratch, {Purpose::Useful});
 
     flushCold();
     MXL_ASSERT(tempTop_ == 0, "leaked temporaries in ", name->text);
@@ -679,7 +679,7 @@ CodeGen::compileMain(const std::vector<Sx *> &topForms)
     buf_.defineSymbol("main");
     for (Sx *form : topForms)
         expr(form, abi::ret);
-    buf_.sys(SysCode::Halt, abi::ret);
+    buf_.sys(SysCode::Halt, abi::ret, {Purpose::Useful});
     flushCold();
 }
 

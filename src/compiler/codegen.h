@@ -110,7 +110,7 @@ class CodeGen
 
     /** Marshal @p args and call the code at @p label (user or stub). */
     void compileCallTo(int label, const std::vector<Sx *> &args,
-                       Reg target, Annotation callAnn = {});
+                       Reg target, Annotation callAnn = {Purpose::Useful});
 
     /**
      * Evaluate two operands left-to-right into fresh temps. When @p b

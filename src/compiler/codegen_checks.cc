@@ -580,10 +580,10 @@ CodeGen::emitCompare(const std::string &op, Sx *a, Sx *b, Reg target)
     int lFalse = buf_.newLabel();
     int lEnd = buf_.newLabel();
     emitCompareBranchFalse(op, a, b, lFalse);
-    buf_.mov(target, abi::treg);
-    buf_.jump(lEnd);
+    buf_.mov(target, abi::treg, {Purpose::Useful});
+    buf_.jump(lEnd, {Purpose::Useful});
     buf_.placeLabel(lFalse);
-    buf_.mov(target, abi::nilreg);
+    buf_.mov(target, abi::nilreg, {Purpose::Useful});
     buf_.placeLabel(lEnd);
 }
 

@@ -95,12 +95,12 @@ CodeGen::primCondBranch(Sx *e, int label, bool branchIfTrue)
     if (!e->isPair()) {
         if (e->isNil()) {
             if (!branchIfTrue)
-                buf_.jump(label);
+                buf_.jump(label, {Purpose::Useful});
             return true;
         }
         if (e->isInt() || e->isStr() || e->isSym("t")) {
             if (branchIfTrue)
-                buf_.jump(label);
+                buf_.jump(label, {Purpose::Useful});
             return true;
         }
         return false; // variable: generic evaluate-and-test
@@ -114,7 +114,7 @@ CodeGen::primCondBranch(Sx *e, int label, bool branchIfTrue)
     if (n == "quote") {
         bool truthy = !listNth(e, 1)->isNil();
         if (truthy == branchIfTrue)
-            buf_.jump(label);
+            buf_.jump(label, {Purpose::Useful});
         return true;
     }
     if (n == "not" || n == "null") {
@@ -468,7 +468,7 @@ CodeGen::compilePrimitive(const std::string &n,
         if (scheme_.fixnumScale() == 4)
             buf_.opImm(Opcode::Srai, v, v, 2, {Purpose::Useful});
         buf_.sys(SysCode::Error, v, {Purpose::Useful});
-        buf_.mov(target, abi::nilreg);
+        buf_.mov(target, abi::nilreg, {Purpose::Useful});
         freeTempsAbove(mark);
         return true;
     }

@@ -5,7 +5,7 @@
 namespace mxl {
 
 Program
-link(const AsmBuffer &buf)
+link(const AsmBuffer &buf, bool requireAnnotations)
 {
     Program prog;
     prog.labelNames = buf.labelNames();
@@ -17,6 +17,10 @@ link(const AsmBuffer &buf)
                        buf.labelNames()[e.labelId]);
             target[e.labelId] = static_cast<int>(prog.code.size());
         } else {
+            if (requireAnnotations && !e.inst.ann.stamped)
+                fatal("unannotated instruction at index ",
+                      prog.code.size(), " (", opcodeName(e.inst.op),
+                      "): every emitted instruction must state a Purpose");
             prog.code.push_back(e.inst);
         }
     }

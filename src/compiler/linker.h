@@ -12,8 +12,14 @@
 
 namespace mxl {
 
-/** Link @p buf; throws on undefined labels. */
-Program link(const AsmBuffer &buf);
+/**
+ * Link @p buf; throws on undefined labels. With @p requireAnnotations,
+ * also throws if any emitted instruction carries no explicit Purpose
+ * annotation (Annotation::stamped) — the completeness guarantee the
+ * static analyzer (src/analysis/) relies on for idiom recognition. The
+ * compiler links with it on; hand-built test buffers default to off.
+ */
+Program link(const AsmBuffer &buf, bool requireAnnotations = false);
 
 } // namespace mxl
 

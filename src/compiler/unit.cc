@@ -106,7 +106,7 @@ compileUnit(const std::string &userSource, const CompilerOptions &opts)
     cg.compileMain(topForms);
 
     scheduleDelaySlots(buf, opts.fillDelaySlots, opts.overlapChecks);
-    unit.prog = link(buf);
+    unit.prog = link(buf, /*requireAnnotations=*/true);
 
     // Patch symbol function cells so `apply` can reach every compiled
     // function through its symbol.
@@ -115,6 +115,7 @@ compileUnit(const std::string &userSource, const CompilerOptions &opts)
             std::string name = sym.substr(3);
             uint32_t addr = image.symbolAddr(name);
             image.setWord(addr + symoff::fn, Machine::codeAddr(idx));
+            unit.fnCells.emplace_back(sym, addr + symoff::fn);
         }
     }
 

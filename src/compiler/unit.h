@@ -31,6 +31,14 @@ struct CompiledUnit
     int arithTrap = -1;  ///< Addt/Subt trap handler (instruction index)
     int tagTrap = -1;    ///< Ldt/Stt trap handler
 
+    /**
+     * Function cells patched into the image: (program symbol name,
+     * cell byte address). The cell holds Machine::codeAddr of the
+     * symbol's instruction index; a rewriter that renumbers
+     * instructions (analysis/checkelim.h) must re-patch these.
+     */
+    std::vector<std::pair<std::string, uint32_t>> fnCells;
+
     // Table 3 statistics.
     int procedures = 0;
     int objectWords = 0;

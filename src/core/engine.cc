@@ -215,9 +215,15 @@ Engine::execute(const RunRequest &req)
     rep.status = c.status;
     if (c.status.ok()) {
         try {
-            Memory image = expandImage(*c.unit);
+            std::shared_ptr<const CompiledUnit> unit = c.unit;
+            if (req.unitTransform) {
+                unit = req.unitTransform(unit);
+                if (!unit)
+                    fatal("unitTransform returned a null unit");
+            }
+            Memory image = expandImage(*unit);
             if (req.imageMutator)
-                req.imageMutator(image, *c.unit);
+                req.imageMutator(image, *unit);
             RunControls controls;
             controls.maxCycles = req.maxCycles;
             controls.deadlineSeconds = req.deadlineSeconds;
@@ -239,7 +245,7 @@ Engine::execute(const RunRequest &req)
             }
             auto tRun = std::chrono::steady_clock::now();
             uint64_t trR0 = tr ? tr->nowMicros() : 0;
-            rep.result = runUnitOn(*c.unit, std::move(image), controls);
+            rep.result = runUnitOn(*unit, std::move(image), controls);
             mRunMicros_.inc(microsSince(tRun));
             if (tr)
                 tr->complete("run", "engine", tid, trR0,

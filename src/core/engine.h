@@ -132,6 +132,18 @@ struct RunRequest
      * and unprofiled requests share a compilation.
      */
     bool collectProfile = false;
+
+    /**
+     * Applied to the compiled unit after compilation (or a cache hit)
+     * and before the image is expanded: the seam for static rewriters
+     * (analysis/checkelim.h runs here). The transform must return a
+     * new or unchanged unit — the cached unit itself is shared and
+     * immutable; returning null is an InternalError. Not part of the
+     * cache key — transformed and plain requests share a compilation.
+     */
+    std::function<std::shared_ptr<const CompiledUnit>(
+        std::shared_ptr<const CompiledUnit>)>
+        unitTransform;
 };
 
 /** Everything the engine knows about one executed request. */

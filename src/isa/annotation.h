@@ -47,10 +47,19 @@ struct Annotation
      * checking is enabled (the dark-grey component of Figure 1).
      */
     bool fromChecking = false;
+    /**
+     * True if the emitter stated a Purpose explicitly (any annotation
+     * built through the Purpose constructor). A default-constructed
+     * annotation is unstamped; the linker can require completeness
+     * (link(buf, true)) so the static analyzer's idiom recognition
+     * (src/analysis/) can trust that no check or tag operation reached
+     * it unlabeled.
+     */
+    bool stamped = false;
 
     Annotation() = default;
     Annotation(Purpose p, CheckCat c = CheckCat::None, bool f = false)
-        : purpose(p), cat(c), fromChecking(f)
+        : purpose(p), cat(c), fromChecking(f), stamped(true)
     {}
 };
 

@@ -275,8 +275,11 @@ assemble(const std::string &text)
     return prog;
 }
 
+namespace {
+
+/** Render one instruction with the branch target already formatted. */
 std::string
-disassemble(const Instruction &inst, const Program *prog)
+renderInst(const Instruction &inst, const std::string &target)
 {
     std::string annulSuffix;
     if (inst.annul == Annul::OnTaken)
@@ -284,13 +287,7 @@ disassemble(const Instruction &inst, const Program *prog)
     else if (inst.annul == Annul::OnNotTaken)
         annulSuffix = ".nt";
 
-    auto lbl = [&]() -> std::string {
-        if (prog && inst.label >= 0 &&
-            inst.label < static_cast<int>(prog->labelNames.size()) &&
-            !prog->labelNames[inst.label].empty())
-            return prog->labelNames[inst.label];
-        return strcat("@", inst.target);
-    };
+    auto lbl = [&]() -> const std::string & { return target; };
     auto r = [](Reg x) { return strcat("r", int{x}); };
 
     std::string name = opcodeName(inst.op) + annulSuffix;
@@ -349,6 +346,30 @@ disassemble(const Instruction &inst, const Program *prog)
     return "?";
 }
 
+} // namespace
+
+std::string
+disassemble(const Instruction &inst, const Program *prog)
+{
+    std::string target;
+    if (prog && inst.label >= 0 &&
+        inst.label < static_cast<int>(prog->labelNames.size()) &&
+        !prog->labelNames[inst.label].empty()) {
+        target = prog->labelNames[inst.label];
+    } else if (prog && inst.target >= 0) {
+        // Compiled code uses anonymous labels; a program symbol at the
+        // target address names the destination just as well.
+        for (const auto &[name, idx] : prog->symbols) {
+            if (idx == inst.target &&
+                (target.empty() || name < target))
+                target = name;
+        }
+    }
+    if (target.empty())
+        target = strcat("@", inst.target);
+    return renderInst(inst, target);
+}
+
 std::string
 disassemble(const Program &prog)
 {
@@ -365,6 +386,45 @@ disassemble(const Program &prog)
         os << padLeft(strcat(i), 6) << "    "
            << disassemble(prog.code[i], &prog) << '\n';
     }
+    return os.str();
+}
+
+std::string
+disassembleAsm(const Program &prog)
+{
+    // Every branch target needs a label line. Prefer the program's own
+    // symbol names (sortedSymbols dedups deterministically), generate
+    // "L<index>" for anonymous targets.
+    std::map<int, std::string> labelAt;
+    for (const auto &[idx, name] : sortedSymbols(prog))
+        labelAt.emplace(idx, name);
+    for (const auto &inst : prog.code) {
+        if (isControl(inst.op) && inst.target >= 0 &&
+            inst.target <= static_cast<int>(prog.code.size()))
+            labelAt.emplace(inst.target, strcat("L", inst.target));
+    }
+
+    std::ostringstream os;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        auto it = labelAt.find(static_cast<int>(i));
+        if (it != labelAt.end())
+            os << it->second << ":\n";
+        const Instruction &inst = prog.code[i];
+        std::string target;
+        if (isControl(inst.op) && inst.target >= 0) {
+            auto lt = labelAt.find(inst.target);
+            if (lt != labelAt.end())
+                target = lt->second;
+        }
+        if (target.empty())
+            target = strcat("@", inst.target);
+        os << "    " << renderInst(inst, target) << '\n';
+    }
+    // A branch may target one past the last instruction (a fall-off
+    // label); place it so the text still assembles.
+    auto it = labelAt.find(static_cast<int>(prog.code.size()));
+    if (it != labelAt.end())
+        os << it->second << ":\n    noop\n";
     return os.str();
 }
 

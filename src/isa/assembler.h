@@ -38,12 +38,25 @@ namespace mxl {
 /** Assemble MX source text into a linked Program. Throws on errors. */
 Program assemble(const std::string &text);
 
-/** Disassemble one instruction (label names resolved via @p prog). */
+/**
+ * Disassemble one instruction. Branch targets are rendered symbolically
+ * when @p prog is given: the label's name if it has one, else the name
+ * of a program symbol at the target address, else "@index".
+ */
 std::string disassemble(const Instruction &inst,
                         const Program *prog = nullptr);
 
-/** Disassemble a whole program with instruction indices. */
+/** Disassemble a whole program with instruction indices (for humans;
+ *  not reassemblable — use disassembleAsm for that). */
 std::string disassemble(const Program &prog);
+
+/**
+ * Disassemble a whole program as valid assembler input: every branch
+ * target gets a label line (its symbol name, or a generated "L<index>"),
+ * so assemble(disassembleAsm(p)) reproduces p's instruction words
+ * (modulo label ids and scheduling hints, which have no textual form).
+ */
+std::string disassembleAsm(const Program &prog);
 
 } // namespace mxl
 

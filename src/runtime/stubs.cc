@@ -31,9 +31,9 @@ int
 pushRegs(AsmBuffer &buf, const std::vector<Reg> &regs)
 {
     int n = static_cast<int>(regs.size());
-    buf.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * n);
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, -4 * n, {Purpose::Useful});
     for (int i = 0; i < n; ++i)
-        buf.st(regs[i], abi::sp, 4 * (n - 1 - i));
+        buf.st(regs[i], abi::sp, 4 * (n - 1 - i), {Purpose::Useful});
     return n;
 }
 
@@ -42,8 +42,8 @@ popRegs(AsmBuffer &buf, const std::vector<Reg> &regs)
 {
     int n = static_cast<int>(regs.size());
     for (int i = 0; i < n; ++i)
-        buf.ld(regs[i], abi::sp, 4 * (n - 1 - i));
-    buf.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n);
+        buf.ld(regs[i], abi::sp, 4 * (n - 1 - i), {Purpose::Useful});
+    buf.opImm(Opcode::Addi, abi::sp, abi::sp, 4 * n, {Purpose::Useful});
 }
 
 const std::vector<Reg> &
@@ -102,18 +102,18 @@ emitStubs(CodeGen &cg, SxArena &arena)
 
     // ---- undefined function (instruction index 0) ----
     buf.defineSymbol("rt_undef");
-    buf.li(abi::scratch, rtcode::undefinedFunction);
-    buf.sys(SysCode::Error, abi::scratch);
+    buf.li(abi::scratch, rtcode::undefinedFunction, {Purpose::Useful});
+    buf.sys(SysCode::Error, abi::scratch, {Purpose::Useful});
 
     // ---- type/bounds error ----
     out.labels.error = buf.defineSymbol("rt_error");
-    buf.li(abi::scratch, rtcode::typeError);
-    buf.sys(SysCode::Error, abi::scratch);
+    buf.li(abi::scratch, rtcode::typeError, {Purpose::Useful});
+    buf.sys(SysCode::Error, abi::scratch, {Purpose::Useful});
 
     // ---- hardware tag-mismatch trap: same as a type error ----
     out.tagTrap = buf.defineSymbol("rt_tagtrap");
-    buf.li(abi::scratch, rtcode::tagTrap);
-    buf.sys(SysCode::Error, abi::scratch);
+    buf.li(abi::scratch, rtcode::tagTrap, {Purpose::Useful});
+    buf.sys(SysCode::Error, abi::scratch, {Purpose::Useful});
 
     int gcFn = cg.functionLabel(arena.sym("gc-reclaim"), 0);
 
@@ -121,20 +121,20 @@ emitStubs(CodeGen &cg, SxArena &arena)
     {
         out.labels.cons = buf.defineSymbol("rt_cons");
         int lGc = buf.newLabel("rt_cons_gc");
-        buf.opImm(Opcode::Addi, abi::scratch, abi::hp, 8);
-        buf.branch(Opcode::Bgt, abi::scratch, abi::hl, lGc, {},
+        buf.opImm(Opcode::Addi, abi::scratch, abi::hp, 8, {Purpose::Useful});
+        buf.branch(Opcode::Bgt, abi::scratch, abi::hl, lGc, {Purpose::Useful},
                    /*hintFall=*/true);
-        buf.st(abi::arg0, abi::hp, 0);
-        buf.st(abi::arg0 + 1, abi::hp, 4);
+        buf.st(abi::arg0, abi::hp, 0, {Purpose::Useful});
+        buf.st(abi::arg0 + 1, abi::hp, 4, {Purpose::Useful});
         emitTagInsert(buf, scheme, abi::ret, abi::hp, TypeId::Pair);
-        buf.mov(abi::hp, abi::scratch);
-        buf.jr(abi::link);
+        buf.mov(abi::hp, abi::scratch, {Purpose::Useful});
+        buf.jr(abi::link, {Purpose::Useful});
 
         buf.placeLabel(lGc);
         pushRegs(buf, {abi::link, abi::arg0, abi::arg0 + 1});
-        buf.jal(abi::link, gcFn);
+        buf.jal(abi::link, gcFn, {Purpose::Useful});
         popRegs(buf, {abi::link, abi::arg0, abi::arg0 + 1});
-        buf.jump(out.labels.cons); // retry the allocation after the GC
+        buf.jump(out.labels.cons, {Purpose::Useful}); // retry the allocation after the GC
     }
 
     // ---- rt_mkvect / rt_mkstring: length fixnum in r2 -> r1 ----
@@ -147,48 +147,48 @@ emitStubs(CodeGen &cg, SxArena &arena)
 
         // Raw length into r23.
         if (scheme.fixnumScale() == 4)
-            buf.opImm(Opcode::Srai, abi::scratch, abi::arg0, 2);
+            buf.opImm(Opcode::Srai, abi::scratch, abi::arg0, 2, {Purpose::Useful});
         else
-            buf.mov(abi::scratch, abi::arg0);
+            buf.mov(abi::scratch, abi::arg0, {Purpose::Useful});
         // Length cap: keeps headers unmistakable for the collector
         // (len*8 must stay below the heap base; see syslisp.cc).
-        buf.li(abi::trapA, 1 << 18);
+        buf.li(abi::trapA, 1 << 18, {Purpose::Useful});
         buf.branch(Opcode::Bge, abi::scratch, abi::trapA,
-                   out.labels.error, {}, /*hintFall=*/true);
+                   out.labels.error, {Purpose::Useful}, /*hintFall=*/true);
         buf.branch(Opcode::Blt, abi::scratch, abi::zero,
-                   out.labels.error, {}, /*hintFall=*/true);
+                   out.labels.error, {Purpose::Useful}, /*hintFall=*/true);
 
         // Allocation size: ((len+1)*4 + 7) & ~7.
-        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 2);
-        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 11);
-        buf.opImm(Opcode::Andi, abi::trapA, abi::trapA, 0xFFFFFFF8u);
-        buf.op3(Opcode::Add, abi::trapB, abi::hp, abi::trapA);
-        buf.branch(Opcode::Bgt, abi::trapB, abi::hl, lGc, {},
+        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 2, {Purpose::Useful});
+        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 11, {Purpose::Useful});
+        buf.opImm(Opcode::Andi, abi::trapA, abi::trapA, 0xFFFFFFF8u, {Purpose::Useful});
+        buf.op3(Opcode::Add, abi::trapB, abi::hp, abi::trapA, {Purpose::Useful});
+        buf.branch(Opcode::Bgt, abi::trapB, abi::hl, lGc, {Purpose::Useful},
                    /*hintFall=*/true);
 
         // Header: (len << 3) | subtype.
-        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 3);
-        buf.opImm(Opcode::Ori, abi::trapA, abi::trapA, subtype);
-        buf.st(abi::trapA, abi::hp, 0);
+        buf.opImm(Opcode::Slli, abi::trapA, abi::scratch, 3, {Purpose::Useful});
+        buf.opImm(Opcode::Ori, abi::trapA, abi::trapA, subtype, {Purpose::Useful});
+        buf.st(abi::trapA, abi::hp, 0, {Purpose::Useful});
 
         // Fill elements.
-        buf.opImm(Opcode::Addi, abi::trapA, abi::hp, 4);
+        buf.opImm(Opcode::Addi, abi::trapA, abi::hp, 4, {Purpose::Useful});
         buf.placeLabel(lFill);
-        buf.branch(Opcode::Bge, abi::trapA, abi::trapB, lFillEnd);
-        buf.st(fillValue, abi::trapA, 0);
-        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 4);
-        buf.jump(lFill);
+        buf.branch(Opcode::Bge, abi::trapA, abi::trapB, lFillEnd, {Purpose::Useful});
+        buf.st(fillValue, abi::trapA, 0, {Purpose::Useful});
+        buf.opImm(Opcode::Addi, abi::trapA, abi::trapA, 4, {Purpose::Useful});
+        buf.jump(lFill, {Purpose::Useful});
         buf.placeLabel(lFillEnd);
 
         emitTagInsert(buf, scheme, abi::ret, abi::hp, t);
-        buf.mov(abi::hp, abi::trapB);
-        buf.jr(abi::link);
+        buf.mov(abi::hp, abi::trapB, {Purpose::Useful});
+        buf.jr(abi::link, {Purpose::Useful});
 
         buf.placeLabel(lGc);
         pushRegs(buf, {abi::link, abi::arg0});
-        buf.jal(abi::link, gcFn);
+        buf.jal(abi::link, gcFn, {Purpose::Useful});
         popRegs(buf, {abi::link, abi::arg0});
-        buf.jump(label); // retry
+        buf.jump(label, {Purpose::Useful}); // retry
         return label;
     };
     out.labels.mkvect =
@@ -263,33 +263,33 @@ emitStubs(CodeGen &cg, SxArena &arena)
         if (scheme.placement() == TagPlacement::High) {
             buf.op3(Opcode::And, abi::trapB, abi::arg0, abi::maskreg,
                     {Purpose::TagRemove});
-            buf.ld(abi::scratch, abi::trapB, symoff::fn);
+            buf.ld(abi::scratch, abi::trapB, symoff::fn, {Purpose::Useful});
         } else {
             buf.ld(abi::scratch, abi::arg0,
-                   symoff::fn + scheme.offsetAdjust(TypeId::Symbol));
+                   symoff::fn + scheme.offsetAdjust(TypeId::Symbol), {Purpose::Useful});
         }
         // Walk up to 6 list elements into r2..r7. r21 tracks the list.
-        buf.mov(abi::trapA, abi::arg0 + 1);
+        buf.mov(abi::trapA, abi::arg0 + 1, {Purpose::Useful});
         int lCall = buf.newLabel("rt_apply_call");
         for (int i = 0; i < 6; ++i) {
-            buf.branch(Opcode::Beq, abi::trapA, abi::nilreg, lCall);
+            buf.branch(Opcode::Beq, abi::trapA, abi::nilreg, lCall, {Purpose::Useful});
             if (scheme.placement() == TagPlacement::High) {
                 buf.op3(Opcode::And, abi::trapB, abi::trapA, abi::maskreg,
                         {Purpose::TagRemove});
-                buf.ld(static_cast<Reg>(abi::arg0 + i), abi::trapB, 0);
-                buf.ld(abi::trapA, abi::trapB, 4);
+                buf.ld(static_cast<Reg>(abi::arg0 + i), abi::trapB, 0, {Purpose::Useful});
+                buf.ld(abi::trapA, abi::trapB, 4, {Purpose::Useful});
             } else {
                 int adj = scheme.offsetAdjust(TypeId::Pair);
-                buf.mov(abi::trapB, abi::trapA);
+                buf.mov(abi::trapB, abi::trapA, {Purpose::Useful});
                 buf.ld(static_cast<Reg>(abi::arg0 + i), abi::trapB,
-                       0 + adj);
-                buf.ld(abi::trapA, abi::trapB, 4 + adj);
+                       0 + adj, {Purpose::Useful});
+                buf.ld(abi::trapA, abi::trapB, 4 + adj, {Purpose::Useful});
             }
         }
         buf.placeLabel(lCall);
-        buf.jalr(abi::link, abi::scratch);
+        buf.jalr(abi::link, abi::scratch, {Purpose::Useful});
         popRegs(buf, {abi::scratch});
-        buf.jr(abi::scratch);
+        buf.jr(abi::scratch, {Purpose::Useful});
     }
 
     // ---- rt_start: register setup, then main ----
@@ -298,16 +298,16 @@ emitStubs(CodeGen &cg, SxArena &arena)
         uint32_t mask = scheme.placement() == TagPlacement::High
             ? maskBits(0, scheme.dataBits())
             : ~maskBits(0, scheme.tagBits());
-        buf.li(abi::maskreg, mask);
-        buf.li(abi::nilreg, image.symbolWord("nil"));
-        buf.li(abi::treg, image.symbolWord("t"));
-        buf.li(abi::hp, layout.heapABase);
-        buf.li(abi::hl, layout.heapABase + layout.heapBytes);
-        buf.li(abi::sp, layout.stackTop);
-        buf.li(abi::stkbase, layout.stackTop);
-        buf.jal(abi::link, cg.functionLabel(arena.sym("main"), 0));
+        buf.li(abi::maskreg, mask, {Purpose::Useful});
+        buf.li(abi::nilreg, image.symbolWord("nil"), {Purpose::Useful});
+        buf.li(abi::treg, image.symbolWord("t"), {Purpose::Useful});
+        buf.li(abi::hp, layout.heapABase, {Purpose::Useful});
+        buf.li(abi::hl, layout.heapABase + layout.heapBytes, {Purpose::Useful});
+        buf.li(abi::sp, layout.stackTop, {Purpose::Useful});
+        buf.li(abi::stkbase, layout.stackTop, {Purpose::Useful});
+        buf.jal(abi::link, cg.functionLabel(arena.sym("main"), 0), {Purpose::Useful});
         // main halts; if it ever returns, stop cleanly.
-        buf.sys(SysCode::Halt, abi::ret);
+        buf.sys(SysCode::Halt, abi::ret, {Purpose::Useful});
     }
     (void)opts;
     return out;

@@ -94,6 +94,12 @@ class Json
     /** Array element (unchecked index). */
     const Json &at(size_t i) const { return arr_[i]; }
 
+    /** Object entry by index (unchecked; insertion order). */
+    const std::pair<std::string, Json> &entry(size_t i) const
+    {
+        return obj_[i];
+    }
+
     // Scalar accessors; wrong-type access returns the default.
     bool asBool(bool dflt = false) const;
     int64_t asInt(int64_t dflt = 0) const;

@@ -1,0 +1,612 @@
+/**
+ * Tests for src/analysis/: the delay-slot-aware CFG, the tag-flow
+ * dataflow solver, the mxlint verifier, and redundant-check
+ * elimination.
+ *
+ * Hand-assembled programs exercise each layer in isolation (the
+ * assembler emits unstamped annotations, so check idioms are annotated
+ * by hand where a consumer keys on Purpose/CheckCat); the ten benchmark
+ * programs then validate the whole stack: every seed unit lints clean,
+ * and the check eliminator's rewrite is output-identical and
+ * cycle-cheaper on every program, end to end through mxl::Engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/checkelim.h"
+#include "analysis/lint.h"
+#include "analysis/tagflow.h"
+#include "compiler/linker.h"
+#include "compiler/unit.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "isa/assembler.h"
+#include "machine/machine.h"
+#include "programs/programs.h"
+#include "support/panic.h"
+
+namespace mxl {
+namespace {
+
+// High5: 5 tag bits at the top of the word, pair tag 9, shift 27.
+constexpr int kShift = 27;
+constexpr int kPair = 9;
+constexpr int kSymbol = 5;
+constexpr int64_t kPairWord = static_cast<int64_t>(kPair) << kShift;
+constexpr int64_t kSymWord = static_cast<int64_t>(kSymbol) << kShift;
+
+Annotation
+checkAnn(Purpose p)
+{
+    return Annotation(p, CheckCat::List, /*fromChecking=*/true);
+}
+
+/** Stamp the Srli/Bnei pair at @p extract / @p extract+1 as a check. */
+void
+stampCheck(Program &p, int extract)
+{
+    p.code[static_cast<size_t>(extract)].ann =
+        checkAnn(Purpose::TagExtract);
+    p.code[static_cast<size_t>(extract) + 1].ann =
+        checkAnn(Purpose::TagCheck);
+}
+
+// ---------------------------------------------------------------- CFG
+
+TEST(Cfg, GroupsAndEdges)
+{
+    Program p = assemble(R"(
+        f:
+            add r3, r1, r2
+            beq r1, r2, f
+            addi r4, r4, 1
+            addi r5, r5, 1
+            sys halt, r0
+    )");
+    Cfg cfg = buildCfg(p);
+    ASSERT_TRUE(cfg.ok());
+
+    const int b0 = cfg.blockAt(0);
+    const CfgBlock &blk = cfg.blocks[b0];
+    EXPECT_EQ(blk.first, 0);
+    EXPECT_EQ(blk.xfer, 1);
+    EXPECT_EQ(blk.last, 3); // the two slots belong to the group
+    EXPECT_EQ(cfg.slotOf[2], 1);
+    EXPECT_EQ(cfg.slotOf[3], 1);
+    EXPECT_EQ(cfg.slotOf[1], -1);
+
+    ASSERT_EQ(blk.out.size(), 2u);
+    bool sawTaken = false, sawFall = false;
+    for (const CfgEdge &e : blk.out) {
+        if (e.kind == CfgEdge::Kind::Taken) {
+            sawTaken = true;
+            EXPECT_EQ(e.to, b0);
+            EXPECT_TRUE(e.slots); // annul Never: slots on both edges
+        } else if (e.kind == CfgEdge::Kind::Fall) {
+            sawFall = true;
+            EXPECT_EQ(e.to, cfg.blockAt(4));
+            EXPECT_TRUE(e.slots);
+        }
+    }
+    EXPECT_TRUE(sawTaken && sawFall);
+}
+
+TEST(Cfg, SquashEdgesSkipSlots)
+{
+    Program p = assemble(R"(
+        f:  beq.t r1, r2, f
+            addi r4, r4, 1
+            noop
+            beq.nt r1, r2, f
+            addi r5, r5, 1
+            noop
+            sys halt, r0
+    )");
+    Cfg cfg = buildCfg(p);
+    ASSERT_TRUE(cfg.ok());
+    for (const CfgEdge &e : cfg.blocks[cfg.blockAt(0)].out) {
+        // annul OnTaken: slots execute on the fall-through edge only.
+        if (e.kind == CfgEdge::Kind::Taken)
+            EXPECT_FALSE(e.slots);
+        else
+            EXPECT_TRUE(e.slots);
+    }
+    for (const CfgEdge &e : cfg.blocks[cfg.blockAt(3)].out) {
+        // annul OnNotTaken: slots execute on the taken edge only.
+        if (e.kind == CfgEdge::Kind::Taken)
+            EXPECT_TRUE(e.slots);
+        else
+            EXPECT_FALSE(e.slots);
+    }
+}
+
+TEST(Cfg, ControlInDelaySlotIsMalformed)
+{
+    Program p = assemble(R"(
+        f:
+            beq r1, r2, f
+            jal r31, f
+            noop
+            sys halt, r0
+    )");
+    Cfg cfg = buildCfg(p);
+    EXPECT_FALSE(cfg.ok());
+    ASSERT_FALSE(cfg.malformed.empty());
+    EXPECT_EQ(cfg.malformed[0].pc, 1);
+}
+
+TEST(Cfg, UnreachableAfterJr)
+{
+    Program p = assemble(R"(
+        f:
+            jr r31
+            noop
+            noop
+            addi r3, r3, 1
+            sys halt, r0
+    )");
+    Cfg cfg = buildCfg(p);
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_TRUE(cfg.reachable[cfg.blockAt(0)]);
+    EXPECT_FALSE(cfg.reachable[cfg.blockAt(3)]);
+}
+
+// ------------------------------------------------------------ TagFlow
+
+std::unique_ptr<TagScheme>
+high5()
+{
+    return makeScheme(SchemeKind::High5);
+}
+
+TEST(TagFlow, ConstantsGiveExactTags)
+{
+    Program p = assemble("f: sys halt, r0\n");
+    Cfg cfg = buildCfg(p);
+    auto scheme = high5();
+    TagFlow flow(p, cfg, *scheme);
+
+    TagState s = flow.entryState();
+    Instruction li;
+    li.op = Opcode::Li;
+    li.rd = 2;
+    li.imm = scheme->encodeFixnum(5);
+    flow.applyInst(s, li);
+    EXPECT_EQ(s.regs[2].tags, uint64_t{1} << 0);
+    EXPECT_TRUE(s.regs[2].fixnum);
+
+    li.imm = kPairWord;
+    flow.applyInst(s, li);
+    EXPECT_EQ(s.regs[2].tags, uint64_t{1} << kPair);
+    EXPECT_FALSE(s.regs[2].fixnum);
+
+    // A negative fixnum carries the all-ones tag under High5.
+    li.imm = scheme->encodeFixnum(-3);
+    flow.applyInst(s, li);
+    EXPECT_TRUE(s.regs[2].fixnum);
+    EXPECT_EQ(s.regs[2].tags, uint64_t{1} << 31);
+}
+
+TEST(TagFlow, CheckRefinesSourceOnFallEdge)
+{
+    Program p = assemble(R"(
+        f:
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            ld r3, 0(r2)
+            sys halt, r3
+        err:
+            sys error, r0
+    )");
+    const int errIdx = p.symbol("err");
+    // The error label must not be a reachability root (roots get the
+    // all-top entry state joined in, hiding the edge refinement).
+    p.symbols.erase("err");
+    Cfg cfg = buildCfg(p);
+    auto scheme = high5();
+    TagFlow flow(p, cfg, *scheme);
+    flow.solve();
+
+    // Entry: r2 is an argument register, no facts.
+    EXPECT_EQ(flow.blockIn(cfg.blockAt(0)).regs[2].tags, flow.topTags());
+    // Falling past `bnei t, 9` proves tag(r2) == 9.
+    const TagState &fall = flow.blockIn(cfg.blockAt(4));
+    ASSERT_TRUE(fall.reachable);
+    EXPECT_EQ(fall.regs[2].tags, uint64_t{1} << kPair);
+    // The taken side proves the opposite: tag 9 is excluded.
+    const TagState &err = flow.blockIn(cfg.blockAt(errIdx));
+    ASSERT_TRUE(err.reachable);
+    EXPECT_EQ(err.regs[2].tags & (uint64_t{1} << kPair), 0u);
+}
+
+TEST(TagFlow, JoinUnionsTags)
+{
+    Program p = assemble(R"(
+        f:
+            beq r1, r0, a
+            noop
+            noop
+            li r2, 1207959552
+            j m
+            noop
+            noop
+        a:
+            li r2, 671088640
+        m:
+            add r3, r2, r0
+            sys halt, r3
+    )");
+    ASSERT_EQ(p.code[3].imm, kPairWord);
+    ASSERT_EQ(p.code[7].imm, kSymWord);
+    const int mIdx = p.symbol("m");
+    // Interior labels must not be reachability roots (roots get the
+    // all-top entry state joined in).
+    p.symbols.erase("a");
+    p.symbols.erase("m");
+
+    Cfg cfg = buildCfg(p);
+    auto scheme = high5();
+    TagFlow flow(p, cfg, *scheme);
+    flow.solve();
+    const TagState &atM = flow.blockIn(cfg.blockAt(mIdx));
+    ASSERT_TRUE(atM.reachable);
+    EXPECT_EQ(atM.regs[2].tags,
+              (uint64_t{1} << kPair) | (uint64_t{1} << kSymbol));
+}
+
+TEST(TagFlow, SecondCheckEdgeIsDead)
+{
+    Program p = assemble(R"(
+        f:
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            sys halt, r0
+        err:
+            sys error, r0
+    )");
+    Cfg cfg = buildCfg(p);
+    auto scheme = high5();
+    TagFlow flow(p, cfg, *scheme);
+    flow.solve();
+
+    const int b1 = cfg.blockAt(0);
+    const int b2 = cfg.blockAt(4);
+    // First check: r2 unknown, either edge possible.
+    TagState s1 = flow.stateAtXfer(b1);
+    EXPECT_FALSE(flow.edgeDead(s1, p.code[1], /*taken=*/true));
+    EXPECT_FALSE(flow.edgeDead(s1, p.code[1], /*taken=*/false));
+    // Second check: tag(r2) == 9 is already proven, the error edge is
+    // dead.
+    TagState s2 = flow.stateAtXfer(b2);
+    EXPECT_TRUE(flow.edgeDead(s2, p.code[5], /*taken=*/true));
+    EXPECT_FALSE(flow.edgeDead(s2, p.code[5], /*taken=*/false));
+}
+
+// --------------------------------------------------------------- lint
+
+CompilerOptions
+fullChecking()
+{
+    CompilerOptions opts;
+    opts.checking = Checking::Full;
+    return opts;
+}
+
+TEST(Lint, MalformedDelayGroupIsError)
+{
+    Program p = assemble(R"(
+        f:
+            beq r1, r2, f
+            jal r31, f
+            noop
+            sys halt, r0
+    )");
+    auto scheme = high5();
+    LintReport rep = lintProgram(p, *scheme, fullChecking());
+    ASSERT_GE(rep.errors, 1);
+    ASSERT_GE(rep.count(LintKind::MalformedDelayGroup), 1);
+    const LintFinding &f = rep.findings[0];
+    EXPECT_EQ(f.kind, LintKind::MalformedDelayGroup);
+    EXPECT_EQ(f.pc, 1);
+    EXPECT_EQ(f.where, "f+1");
+}
+
+TEST(Lint, UncheckedListAccessCaught)
+{
+    Program p = assemble(R"(
+        f:
+            ld r3, 0(r2)
+            sys halt, r3
+    )");
+    p.code[0].ann = Annotation(Purpose::Useful, CheckCat::List);
+    auto scheme = high5();
+    LintReport rep = lintProgram(p, *scheme, fullChecking());
+    ASSERT_EQ(rep.count(LintKind::UncheckedListAccess), 1);
+    const LintFinding *f = nullptr;
+    for (const auto &x : rep.findings)
+        if (x.kind == LintKind::UncheckedListAccess)
+            f = &x;
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, LintSeverity::Error);
+    EXPECT_EQ(f->pc, 0);
+    EXPECT_EQ(f->where, "f");
+    // The same access is clean under Checking::Off (there is no
+    // promise to verify).
+    CompilerOptions off;
+    off.checking = Checking::Off;
+    EXPECT_EQ(lintProgram(p, *scheme, off).errors, 0);
+}
+
+TEST(Lint, DominatedListAccessIsClean)
+{
+    Program p = assemble(R"(
+        f:
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            ld r3, 0(r2)
+            sys halt, r3
+        err:
+            sys error, r0
+    )");
+    stampCheck(p, 0);
+    p.code[4].ann = Annotation(Purpose::Useful, CheckCat::List);
+    auto scheme = high5();
+    LintReport rep = lintProgram(p, *scheme, fullChecking());
+    EXPECT_EQ(rep.errors, 0);
+    // ...and the ld feeds the sys in the next cycle: the interlock
+    // stall is reported as Info.
+    EXPECT_EQ(rep.count(LintKind::LoadDelayUse), 1);
+}
+
+TEST(Lint, TagClobberInSlotWarns)
+{
+    Program p = assemble(R"(
+        f:
+            srli r10, r2, 27
+            bnei r10, 9, err
+            li r2, 7
+            noop
+            sys halt, r0
+        err:
+            sys error, r0
+    )");
+    stampCheck(p, 0);
+    auto scheme = high5();
+    LintReport rep = lintProgram(p, *scheme, fullChecking());
+    ASSERT_EQ(rep.count(LintKind::TagClobberInSlot), 1);
+    for (const auto &f : rep.findings)
+        if (f.kind == LintKind::TagClobberInSlot) {
+            EXPECT_EQ(f.severity, LintSeverity::Warning);
+            EXPECT_EQ(f.pc, 2);
+            EXPECT_EQ(f.where, "f+2");
+        }
+}
+
+TEST(Lint, CheckOutcomesProven)
+{
+    // r2 is a proven fixnum: a pair check on it always fails, and a
+    // repeat of a passed check never fails.
+    Program p = assemble(R"(
+        f:
+            li r2, 5
+            srli r10, r2, 27
+            bnei r10, 0, err
+            noop
+            noop
+            srli r10, r2, 27
+            bnei r10, 0, err
+            noop
+            noop
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            sys halt, r0
+        err:
+            sys error, r0
+    )");
+    stampCheck(p, 1);
+    stampCheck(p, 5);
+    stampCheck(p, 9);
+    auto scheme = high5();
+    LintReport rep = lintProgram(p, *scheme, fullChecking());
+    // Checks 1 and 2 pass (tag 0), so both are "never fails"; check 3
+    // demands tag 9 and always fails.
+    EXPECT_EQ(rep.count(LintKind::CheckNeverFails), 2);
+    EXPECT_EQ(rep.count(LintKind::CheckAlwaysFails), 1);
+}
+
+TEST(Lint, AllSeedProgramsLintClean)
+{
+    auto lintAt = [](const BenchmarkProgram &bp, Checking checking) {
+        CompilerOptions opts = baselineOptions(checking);
+        opts.heapBytes = bp.heapBytes;
+        CompiledUnit unit = compileUnit(bp.source, opts);
+        LintReport rep = lintUnit(unit);
+        EXPECT_EQ(rep.errors, 0)
+            << bp.name << ": " << rep.render();
+        EXPECT_EQ(rep.warnings, 0)
+            << bp.name << ": " << rep.render();
+    };
+    for (const auto &bp : benchmarkPrograms()) {
+        lintAt(bp, Checking::Full);
+        lintAt(bp, Checking::Off);
+    }
+}
+
+// ---------------------------------------------------- check elimination
+
+/** A unit around @p p with High5 full-checking options. */
+CompiledUnit
+handUnit(Program p)
+{
+    CompiledUnit u;
+    u.entry = p.symbol("f");
+    u.prog = std::move(p);
+    u.memory = Memory(4096);
+    u.scheme = makeScheme(SchemeKind::High5);
+    u.opts.scheme = SchemeKind::High5;
+    u.opts.checking = Checking::Full;
+    return u;
+}
+
+TEST(CheckElim, DeletesProvenChecksAndRelinks)
+{
+    Program p = assemble(R"(
+        f:
+            li r2, 1207959552
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            li r10, 0
+            sys halt, r10
+        err:
+            li r2, 1
+            sys error, r2
+    )");
+    stampCheck(p, 1);
+    stampCheck(p, 5);
+
+    CompiledUnit u = handUnit(p);
+    Machine before(u.prog, Memory(4096), {}, nullptr);
+    before.run(u.entry);
+
+    ElimStats st = eliminateRedundantChecks(u);
+    EXPECT_FALSE(st.skipped);
+    EXPECT_EQ(st.checksConsidered, 2);
+    EXPECT_EQ(st.checksEliminated, 2); // both dominated by the li
+    EXPECT_EQ(st.extractsRemoved, 2);
+    EXPECT_EQ(st.padsRemoved, 4);
+    EXPECT_EQ(st.instructionsRemoved, 8);
+    ASSERT_EQ(u.prog.code.size(), 5u);
+
+    // The err label moved with the renumbering.
+    EXPECT_EQ(u.prog.symbol("err"), 3);
+    EXPECT_EQ(u.prog.symbol("f"), 0);
+    EXPECT_EQ(u.entry, 0);
+
+    Machine after(u.prog, Memory(4096), {}, nullptr);
+    after.run(u.entry);
+    EXPECT_EQ(after.stopReason(), before.stopReason());
+    EXPECT_EQ(after.exitValue(), before.exitValue());
+    EXPECT_EQ(after.output(), before.output());
+    EXPECT_LT(after.stats().total, before.stats().total);
+}
+
+TEST(CheckElim, KeepsUnprovenChecks)
+{
+    // r2 is an argument: nothing is known, the check must stay.
+    Program p = assemble(R"(
+        f:
+            srli r10, r2, 27
+            bnei r10, 9, err
+            noop
+            noop
+            sys halt, r0
+        err:
+            sys error, r0
+    )");
+    stampCheck(p, 0);
+    CompiledUnit u = handUnit(p);
+    const size_t n = u.prog.code.size();
+    ElimStats st = eliminateRedundantChecks(u);
+    EXPECT_EQ(st.checksConsidered, 1);
+    EXPECT_EQ(st.checksEliminated, 0);
+    EXPECT_EQ(u.prog.code.size(), n);
+}
+
+TEST(CheckElim, RefusesMalformedUnits)
+{
+    Program p = assemble(R"(
+        f:
+            beq r1, r2, f
+            jal r31, f
+            noop
+            sys halt, r0
+    )");
+    CompiledUnit u = handUnit(p);
+    ElimStats st = eliminateRedundantChecks(u);
+    EXPECT_TRUE(st.skipped);
+    EXPECT_EQ(st.instructionsRemoved, 0);
+}
+
+TEST(CheckElim, ByteIdenticalAcrossSuite)
+{
+    Engine eng;
+    CompilerOptions base = baselineOptions(Checking::Full);
+    for (const auto &bp : benchmarkPrograms()) {
+        RunRequest req;
+        req.source = bp.source;
+        req.opts = base;
+        req.opts.heapBytes = bp.heapBytes;
+        req.maxCycles = bp.maxCycles;
+        req.label = bp.name;
+        RunReport golden = eng.run(req);
+        ASSERT_TRUE(golden.status.ok()) << bp.name;
+
+        ElimStats st;
+        RunRequest opt = req;
+        opt.unitTransform =
+            [&st](std::shared_ptr<const CompiledUnit> unit) {
+                return checkElimTransform(unit, &st);
+            };
+        RunReport optimized = eng.run(opt);
+        ASSERT_TRUE(optimized.status.ok()) << bp.name;
+
+        EXPECT_GT(st.checksEliminated, 0) << bp.name;
+        EXPECT_EQ(optimized.result.output, golden.result.output)
+            << bp.name;
+        EXPECT_EQ(optimized.result.exitValue, golden.result.exitValue)
+            << bp.name;
+        EXPECT_EQ(optimized.result.stop, golden.result.stop) << bp.name;
+        EXPECT_LT(optimized.result.stats.total, golden.result.stats.total)
+            << bp.name;
+    }
+}
+
+// -------------------------------------------------- linker annotations
+
+TEST(Linker, RequireAnnotationsRejectsUnstamped)
+{
+    AsmBuffer buf;
+    buf.defineSymbol("f");
+    buf.li(abi::ret, 1); // default annotation: unstamped
+    buf.sys(SysCode::Halt, abi::ret, {Purpose::Useful});
+    EXPECT_NO_THROW(link(buf));
+    EXPECT_THROW(link(buf, /*requireAnnotations=*/true), MxlError);
+
+    AsmBuffer ok;
+    ok.defineSymbol("f");
+    ok.li(abi::ret, 1, {Purpose::Useful});
+    ok.sys(SysCode::Halt, abi::ret, {Purpose::Useful});
+    EXPECT_NO_THROW(link(ok, /*requireAnnotations=*/true));
+}
+
+TEST(Linker, CompiledUnitsAreFullyAnnotated)
+{
+    // unit.cc links with requireAnnotations=true; double-check the
+    // stamp survives through scheduling and linking.
+    CompiledUnit u =
+        compileUnit("(print (car '(1 2)))", baselineOptions(Checking::Full));
+    for (size_t i = 0; i < u.prog.code.size(); ++i)
+        ASSERT_TRUE(u.prog.code[i].ann.stamped) << "instruction " << i;
+}
+
+} // namespace
+} // namespace mxl

@@ -230,5 +230,136 @@ TEST(Disassembler, SingleInstruction)
     EXPECT_EQ(disassemble(i), "mov r5, r6");
 }
 
+TEST(Disassembler, BranchTargetsUseSymbolicLabels)
+{
+    Program p = assemble(R"(
+        entry:
+            beq r1, r2, out
+            noop
+            noop
+            jal r31, entry
+            noop
+            noop
+        out:
+            sys halt, r0
+    )");
+    EXPECT_EQ(disassemble(p.code[0], &p), "beq r1, r2, out");
+    EXPECT_EQ(disassemble(p.code[3], &p), "jal r31, entry");
+    // Without the program there is no symbol table to consult.
+    EXPECT_EQ(disassemble(p.code[0]), "beq r1, r2, @6");
+}
+
+/**
+ * assemble -> disassembleAsm -> assemble must reproduce the identical
+ * instruction words (hintFall and annotations have no textual form and
+ * are excluded; both are metadata, not machine state).
+ */
+void
+expectReassemblesIdentically(const char *src)
+{
+    Program p1 = assemble(src);
+    const std::string text = disassembleAsm(p1);
+    SCOPED_TRACE(text);
+    Program p2 = assemble(text);
+    ASSERT_EQ(p2.code.size(), p1.code.size());
+    for (size_t i = 0; i < p1.code.size(); ++i) {
+        const Instruction &a = p1.code[i];
+        const Instruction &b = p2.code[i];
+        EXPECT_EQ(a.op, b.op) << "instruction " << i;
+        EXPECT_EQ(a.rd, b.rd) << "instruction " << i;
+        EXPECT_EQ(a.rs, b.rs) << "instruction " << i;
+        EXPECT_EQ(a.rt, b.rt) << "instruction " << i;
+        EXPECT_EQ(a.imm, b.imm) << "instruction " << i;
+        EXPECT_EQ(a.timm, b.timm) << "instruction " << i;
+        EXPECT_EQ(a.target, b.target) << "instruction " << i;
+        EXPECT_EQ(a.annul, b.annul) << "instruction " << i;
+    }
+}
+
+TEST(Disassembler, ReassembleBranchForms)
+{
+    expectReassemblesIdentically(R"(
+        top:
+            li r2, 5
+            li r3, 0
+        loop:
+            addi r3, r3, 1
+            blt r3, r2, loop
+            noop
+            noop
+            beqi r3, 5, done
+            noop
+            noop
+            bgt r3, r2, top
+            noop
+            noop
+        done:
+            sys halt, r3
+    )");
+}
+
+TEST(Disassembler, ReassembleFilledDelaySlots)
+{
+    // Useful work in the slots, including a backward branch whose
+    // slots re-read the registers the branch tested.
+    expectReassemblesIdentically(R"(
+        f:
+            li r2, 10
+            li r3, 0
+        again:
+            bne r2, r3, again
+            addi r3, r3, 1
+            add r4, r2, r3
+            jal r31, f
+            mov r5, r4
+            noop
+            jr r31
+            noop
+            noop
+    )");
+}
+
+TEST(Disassembler, ReassembleSquashForms)
+{
+    // .t (annul on taken) and .nt (annul on not-taken) survive the
+    // text round trip, as do tag branches and checked memory.
+    expectReassemblesIdentically(R"(
+        g:
+            beq.t r1, r2, g
+            addi r4, r4, 1
+            addi r5, r5, 1
+            bne.nt r1, r2, g
+            addi r6, r6, 1
+            noop
+            btag r2, 9, g
+            noop
+            noop
+            bntag.t r2, 13, g
+            ldt r7, 4(r2), 9
+            stt r7, 8(r2), 13
+            sys halt, r0
+    )");
+}
+
+TEST(Disassembler, ReassembleAnonymousTargets)
+{
+    // A branch target with no user label: disassembleAsm must invent
+    // one (the assembler's own text has none to preserve).
+    Program p1 = assemble(R"(
+        main:
+            beq r1, r2, skip
+            noop
+            noop
+            addi r3, r3, 1
+        skip:
+            sys halt, r0
+    )");
+    p1.symbols.erase("skip");
+    const std::string text = disassembleAsm(p1);
+    Program p2 = assemble(text);
+    ASSERT_EQ(p2.code.size(), p1.code.size());
+    EXPECT_EQ(p2.code[0].target, p1.code[0].target);
+}
+
 } // namespace
 } // namespace mxl

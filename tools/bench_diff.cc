@@ -10,6 +10,11 @@
  * increase fails). Exit status: 0 when no cell regressed beyond the
  * threshold, 1 when one did, 2 on usage or input errors — so CI can
  * gate on `bench_diff baseline.json current.json`.
+ *
+ * Documents that carry an engine metrics snapshot are also checked for
+ * static-verifier regressions: any "mxlint.<unit>.errors" counter that
+ * increased (or appeared nonzero) between BEFORE and AFTER fails the
+ * diff, independent of the cycle threshold.
  */
 
 #include <cstdio>
@@ -47,6 +52,56 @@ loadJson(const std::string &path, mxl::Json *out)
         return false;
     }
     return true;
+}
+
+/** "mxlint.<unit>.errors" counters from a doc's metrics snapshot. */
+std::vector<std::pair<std::string, uint64_t>>
+lintErrorCounters(const mxl::Json &doc)
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    const mxl::Json *metrics = doc.find("metrics");
+    const mxl::Json *counters = metrics ? metrics->find("counters") : nullptr;
+    if (!counters || !counters->isObject())
+        return out;
+    for (size_t i = 0; i < counters->size(); ++i) {
+        const auto &[name, value] = counters->entry(i);
+        if (name.rfind("mxlint.", 0) == 0 &&
+            name.size() > 7 + 7 &&
+            name.compare(name.size() - 7, 7, ".errors") == 0)
+            out.emplace_back(name, value.asUint());
+    }
+    return out;
+}
+
+/**
+ * Flag every mxlint error counter that increased (or appeared nonzero)
+ * in @p after. Prints one line per flagged counter; true when any was
+ * flagged.
+ */
+bool
+diffLintErrors(const mxl::Json &before, const mxl::Json &after)
+{
+    const auto b = lintErrorCounters(before);
+    const auto a = lintErrorCounters(after);
+    auto beforeValue = [&](const std::string &name) -> uint64_t {
+        for (const auto &kv : b)
+            if (kv.first == name)
+                return kv.second;
+        return 0;
+    };
+    bool flagged = false;
+    for (const auto &[name, count] : a) {
+        const uint64_t was = beforeValue(name);
+        if (count > was) {
+            std::printf("LINT  %s: %llu -> %llu error(s) — new "
+                        "tag-discipline violations\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(was),
+                        static_cast<unsigned long long>(count));
+            flagged = true;
+        }
+    }
+    return flagged;
 }
 
 } // namespace
@@ -95,5 +150,7 @@ main(int argc, char **argv)
     bool failed = false;
     std::fputs(mxl::renderComparison(cmp, thresholdPct, &failed).c_str(),
                stdout);
+    if (diffLintErrors(before, after))
+        failed = true;
     return failed ? 1 : 0;
 }

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * mxlint: command-line front end for the static tag-discipline verifier
+ * (analysis/lint.h).
+ *
+ * Compiles the named benchmark programs (default: all ten) under the
+ * requested scheme/checking configuration, runs the linter over each
+ * linked unit, and prints the findings. Exit status is 1 when any unit
+ * produced an Error-severity finding, 0 otherwise — so the tool can
+ * gate a build.
+ *
+ * Usage:
+ *   mxlint [options] [program ...]
+ *     --scheme high5|high6|low2|low3   tag placement (default high5)
+ *     --checking off|full              checking level (default full)
+ *     --info                           also print Info findings
+ *     --elim                           report redundant-check elimination
+ *     --dump                           disassemble each unit after linting
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/checkelim.h"
+#include "analysis/lint.h"
+#include "compiler/unit.h"
+#include "isa/assembler.h"
+#include "programs/programs.h"
+#include "support/panic.h"
+
+using namespace mxl;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--scheme high5|high6|low2|low3] "
+                 "[--checking off|full] [--info] [--elim] [--dump] "
+                 "[program ...]\n",
+                 argv0);
+    return 2;
+}
+
+SchemeKind
+parseScheme(const std::string &s)
+{
+    if (s == "high5")
+        return SchemeKind::High5;
+    if (s == "high6")
+        return SchemeKind::High6;
+    if (s == "low2")
+        return SchemeKind::Low2;
+    if (s == "low3")
+        return SchemeKind::Low3;
+    fatal("unknown scheme: ", s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompilerOptions opts;
+    opts.checking = Checking::Full;
+    bool showInfo = false, elim = false, dump = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--scheme" && i + 1 < argc)
+            opts.scheme = parseScheme(argv[++i]);
+        else if (a == "--checking" && i + 1 < argc)
+            opts.checking =
+                std::strcmp(argv[i + 1], "full") == 0 ? Checking::Full
+                                                      : Checking::Off,
+            ++i;
+        else if (a == "--info")
+            showInfo = true;
+        else if (a == "--elim")
+            elim = true;
+        else if (a == "--dump")
+            dump = true;
+        else if (!a.empty() && a[0] == '-')
+            return usage(argv[0]);
+        else
+            names.push_back(a);
+    }
+    if (names.empty())
+        for (const auto &p : benchmarkPrograms())
+            names.push_back(p.name);
+
+    int exitCode = 0;
+    try {
+        for (const auto &name : names) {
+            const BenchmarkProgram &bp = programByName(name);
+            CompilerOptions po = opts;
+            po.heapBytes = bp.heapBytes;
+            CompiledUnit unit = compileUnit(bp.source, po);
+            LintReport rep = lintUnit(unit);
+            std::printf("%s: %d error(s), %d warning(s), %d info\n",
+                        name.c_str(), rep.errors, rep.warnings, rep.infos);
+            const std::string body = rep.render(showInfo);
+            if (!body.empty())
+                std::fputs(body.c_str(), stdout);
+            if (rep.errors > 0)
+                exitCode = 1;
+
+            if (elim) {
+                ElimStats st = eliminateRedundantChecks(unit);
+                std::printf("%s: elim: %d/%d checks removed "
+                            "(%d instructions: %d branches+pads, "
+                            "%d extracts)%s\n",
+                            name.c_str(), st.checksEliminated,
+                            st.checksConsidered, st.instructionsRemoved,
+                            st.checksEliminated + st.padsRemoved,
+                            st.extractsRemoved,
+                            st.skipped ? " [skipped: malformed CFG]" : "");
+            }
+            if (dump)
+                std::fputs(disassembleAsm(unit.prog).c_str(), stdout);
+        }
+    } catch (const MxlError &e) {
+        std::fprintf(stderr, "mxlint: %s\n", e.what());
+        return 2;
+    }
+    return exitCode;
+}
