@@ -59,7 +59,7 @@ main()
         req.source = bp.source;
         req.opts = base;
         req.opts.heapBytes = bp.heapBytes;
-        req.maxCycles = bp.maxCycles;
+        req.exec.maxCycles = bp.maxCycles;
         req.label = bp.name;
 
         // Lint the cached unit; export finding counts as metrics.
@@ -91,7 +91,7 @@ main()
 
         ElimStats st;
         RunRequest opt = req;
-        opt.unitTransform =
+        opt.hooks.unitTransform =
             [&st](std::shared_ptr<const CompiledUnit> unit) {
                 return checkElimTransform(unit, &st);
             };

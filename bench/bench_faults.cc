@@ -197,7 +197,7 @@ main(int argc, char **argv)
                 RunRequest req;
                 req.source = campaign.programs[p].source;
                 req.opts = campaign.configs[c].opts;
-                req.maxCycles = campaign.programs[p].maxCycles;
+                req.exec.maxCycles = campaign.programs[p].maxCycles;
                 req.label = strcat("golden/", campaign.programs[p].name,
                                    "/", campaign.configs[c].label);
                 goldenReqs.push_back(std::move(req));

@@ -79,7 +79,7 @@ genericAddCycles(Engine &eng, const CompilerOptions &opts,
                   "(let ((i 0)) (while (lessp i 1000)"
                   " (f 3 4) (setq i (add1 i)))) (print 'done)";
     with.opts = opts;
-    with.maxCycles = 100'000'000;
+    with.exec.maxCycles = 100'000'000;
     with.label = "add";
     RunRequest without = with;
     without.source = "(de f (x y) x)"

@@ -1,96 +1,166 @@
 /**
- * google-benchmark microbenchmarks of the substrate itself: simulator
- * dispatch throughput, compilation speed, and GC cost. These are about
- * mxlisp's own performance, not the paper's numbers.
+ * Substrate benchmark: mxlisp's own performance, not the paper's
+ * numbers. The representative workloads of the old google-benchmark
+ * harness (dispatch-bound fib, GC churn at a tight and a roomy heap)
+ * are now one Engine grid, each cell pinned to the interpreter and to
+ * the translated backend (ExecPolicy::backend), so the harness also
+ * reports the substrate-level speedup of the threaded executor and
+ * checks the two backends agree on every simulated cycle. Compilation
+ * speed is measured separately against the engine's cold/warm cache.
+ *
+ * The measurement lands in BENCH_simulator.json (round-trip validated
+ * by bench_export.h), one gridJson cell per (workload, backend).
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
+#include "bench_export.h"
+#include "core/engine.h"
 #include "core/experiment.h"
-#include "core/run.h"
-#include "isa/assembler.h"
+#include "core/report.h"
+#include "support/format.h"
+#include "support/table.h"
 
 using namespace mxl;
 
 namespace {
 
-void
-BM_SimulatorDispatch(benchmark::State &state)
+struct Workload
 {
-    // A tight counted loop: ~6 cycles per iteration.
-    Program p = assemble(R"(
-        main:
-            li r2, 0
-            li r3, 100000
-        loop:
-            addi r2, r2, 1
-            blt r2, r3, loop
-            noop
-            noop
-            sys halt, r2
-    )");
-    for (auto _ : state) {
-        Machine m(p, Memory(4096), {}, nullptr);
-        m.run(p.symbol("main"));
-        benchmark::DoNotOptimize(m.exitValue());
-        state.counters["sim_cycles/s"] = benchmark::Counter(
-            static_cast<double>(m.stats().total),
-            benchmark::Counter::kIsIterationInvariantRate);
-    }
-}
-BENCHMARK(BM_SimulatorDispatch)->Unit(benchmark::kMillisecond);
+    const char *name;
+    const char *source;
+    uint32_t heapBytes; ///< 0 = default
+    Checking checking;
+};
 
-void
-BM_CompileUnit(benchmark::State &state)
-{
-    const std::string src =
-        "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
-        "(print (fib 10))";
-    for (auto _ : state) {
-        CompiledUnit u = compileUnit(src, baselineOptions(Checking::Full));
-        benchmark::DoNotOptimize(u.prog.code.size());
-    }
-}
-BENCHMARK(BM_CompileUnit)->Unit(benchmark::kMillisecond);
+const Workload kWorkloads[] = {
+    {"fib25/off",
+     "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+     "(print (fib 25))",
+     0, Checking::Off},
+    {"fib25/full",
+     "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+     "(print (fib 25))",
+     0, Checking::Full},
+    {"gc/8k",
+     "(de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))"
+     "(let ((i 0)) (while (lessp i 2000) (iota 40) (setq i (add1 i))))"
+     "(print 'done)",
+     8 << 10, Checking::Off},
+    {"gc/64k",
+     "(de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))"
+     "(let ((i 0)) (while (lessp i 2000) (iota 40) (setq i (add1 i))))"
+     "(print 'done)",
+     64 << 10, Checking::Off},
+};
 
-void
-BM_RunFib(benchmark::State &state)
+double
+now()
 {
-    const std::string src =
-        "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
-        "(print (fib 15))";
-    CompiledUnit u = compileUnit(
-        src, baselineOptions(static_cast<Checking>(state.range(0))));
-    for (auto _ : state) {
-        auto r = runUnit(u);
-        benchmark::DoNotOptimize(r.stats.total);
-    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
-BENCHMARK(BM_RunFib)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void
-BM_GarbageCollection(benchmark::State &state)
-{
-    const std::string src = R"(
-        (de iota (n) (if (zerop n) nil (cons n (iota (sub1 n)))))
-        (let ((i 0)) (while (lessp i 200) (iota 40) (setq i (add1 i))))
-        (print 'done)
-    )";
-    CompilerOptions opts = baselineOptions(Checking::Off);
-    opts.heapBytes = static_cast<uint32_t>(state.range(0));
-    CompiledUnit u = compileUnit(src, opts);
-    for (auto _ : state) {
-        auto r = runUnit(u);
-        state.counters["collections"] =
-            static_cast<double>(r.gcCount);
-        benchmark::DoNotOptimize(r.stats.total);
-    }
-}
-BENCHMARK(BM_GarbageCollection)
-    ->Arg(8 << 10)
-    ->Arg(64 << 10)
-    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::printf("substrate benchmark: simulator dispatch, GC cost, "
+                "compile speed\n");
+    std::printf("(engine path; per-cell wall time includes the per-run "
+                "image expansion)\n\n");
+
+    Engine eng;
+
+    // One grid: every workload on both backends, pinned explicitly so
+    // each cell's tier is part of the measurement, not a policy choice.
+    std::vector<RunRequest> reqs;
+    for (const Workload &w : kWorkloads)
+        for (Backend b : {Backend::Interpreter, Backend::Translated}) {
+            RunRequest req;
+            req.source = w.source;
+            req.opts = baselineOptions(w.checking);
+            if (w.heapBytes)
+                req.opts.heapBytes = w.heapBytes;
+            req.exec.backend = b;
+            req.label = strcat(w.name, "/", backendName(b));
+            reqs.push_back(std::move(req));
+        }
+
+    // Warm pass compiles + translates every cell; then best-of-3 timed
+    // passes (the host is noisy, the simulation deterministic).
+    std::vector<RunReport> reports = eng.runGrid(reqs);
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<RunReport> pass = eng.runGrid(reqs);
+        for (size_t i = 0; i < pass.size(); ++i)
+            if (pass[i].wallSeconds < reports[i].wallSeconds)
+                reports[i] = std::move(pass[i]);
+    }
+
+    int failures = 0;
+    TextTable t;
+    t.addRow({"workload", "backend", "cycles", "collections",
+              "sim cycles/s", "speedup"});
+    for (size_t i = 0; i < reports.size(); i += 2) {
+        const RunReport &interp = reports[i];
+        const RunReport &trans = reports[i + 1];
+        for (const RunReport *r : {&interp, &trans}) {
+            if (!r->ok()) {
+                std::printf("FAIL  %s: %s\n", r->label.c_str(),
+                            r->status.message.c_str());
+                ++failures;
+                continue;
+            }
+            double cps = double(r->result.stats.total) / r->wallSeconds;
+            t.addRow({r->label.substr(0, r->label.rfind('/')),
+                      backendName(r->backend),
+                      strcat(r->result.stats.total),
+                      strcat(r->result.gcCount),
+                      strcat(uint64_t(cps / 1e6), "M"),
+                      r == &trans
+                          ? strcat(fixed(interp.wallSeconds /
+                                             trans.wallSeconds,
+                                         2),
+                                   "x")
+                          : std::string("-")});
+        }
+        // The substrate contract: both backends simulate the exact
+        // same cycle count (the backend suite proves full equality;
+        // this keeps the bench honest about what it compares).
+        if (interp.ok() && trans.ok() &&
+            interp.result.stats.total != trans.result.stats.total) {
+            std::printf("FAIL  %s: cycle divergence between backends\n",
+                        interp.label.c_str());
+            ++failures;
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Compile speed, cold vs warm cache (the old BM_CompileUnit).
+    {
+        const std::string src = kWorkloads[0].source;
+        CompilerOptions opts = baselineOptions(Checking::Full);
+        double cold = now();
+        Engine fresh(1);
+        auto c = fresh.compile(src, opts);
+        cold = now() - cold;
+        double warm = now();
+        auto c2 = fresh.compile(src, opts);
+        warm = now() - warm;
+        if (!c.status.ok() || !c2.status.ok() || !c2.cacheHit)
+            ++failures;
+        std::printf("compile: cold %.1fms, warm (cache hit) %.3fms\n\n",
+                    cold * 1e3, warm * 1e3);
+    }
+
+    return writeBenchJson("simulator",
+                          benchDoc("simulator", gridJson(reqs, reports),
+                                   &eng)) &&
+                   failures == 0
+               ? 0
+               : 1;
+}

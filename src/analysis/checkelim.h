@@ -52,7 +52,7 @@ CompiledUnit cloneUnit(const CompiledUnit &unit);
 ElimStats eliminateRedundantChecks(CompiledUnit &unit);
 
 /**
- * Engine::RunRequest::unitTransform adapter: clone @p unit, eliminate,
+ * Hooks::unitTransform adapter (core/engine.h): clone @p unit, eliminate,
  * return the optimized copy. @p stats (optional) receives the counts.
  */
 std::shared_ptr<const CompiledUnit>

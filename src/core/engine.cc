@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "exec/texec.h"
 #include "support/panic.h"
 
 namespace mxl {
@@ -79,12 +80,27 @@ Engine::~Engine()
         w.join();
 }
 
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Auto: return "auto";
+      case Backend::Interpreter: return "interpreter";
+      case Backend::Translated: return "translated";
+    }
+    return "?";
+}
+
 std::string
-Engine::cacheKey(const std::string &source, const CompilerOptions &o)
+Engine::cacheKey(const std::string &source, const CompilerOptions &o,
+                 Backend backend)
 {
     // Fixed field order; every independent variable of the compilation
     // participates. maxCycles is a run parameter, not a compile one.
+    // Auto and Translated share the translated-tier entry (both want
+    // the translation attached); Interpreter entries skip translation.
     std::string k;
+    k += backend == Backend::Interpreter ? "I|" : "T|";
     k += schemeKindName(o.scheme);
     k += '|';
     k += o.checking == Checking::Full ? 'F' : 'O';
@@ -108,9 +124,9 @@ Engine::cacheKey(const std::string &source, const CompilerOptions &o)
 
 Engine::Compiled
 Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
-                     bool *cacheHit)
+                     Backend backend, bool *cacheHit)
 {
-    const std::string key = cacheKey(source, opts);
+    const std::string key = cacheKey(source, opts, backend);
     std::shared_future<Compiled> fut;
     std::promise<Compiled> prom;
     bool owner = false;
@@ -141,6 +157,17 @@ Engine::getOrCompile(const std::string &source, const CompilerOptions &opts,
     Compiled c;
     try {
         auto unit = std::make_shared<CompiledUnit>(compileUnit(source, opts));
+        if (backend != Backend::Interpreter) {
+            // Translated-tier entry: attach the translation (or the
+            // refusal note) to the cached compilation. Translation is a
+            // single linear pass; it is timed separately so sweeps can
+            // see its cost next to engine.compile_micros.
+            auto tT0 = std::chrono::steady_clock::now();
+            TranslateResult tr = translateUnit(*unit);
+            mTranslateMicros_.inc(microsSince(tT0));
+            c.trans = std::move(tr.unit);
+            c.transNote = std::move(tr.note);
+        }
         unit->memory = trimToLivePrefix(unit->memory);
         c.unit = std::move(unit);
     } catch (const MxlError &e) {
@@ -190,7 +217,9 @@ Engine::CompileOutcome
 Engine::compile(const std::string &source, const CompilerOptions &opts)
 {
     CompileOutcome out;
-    Compiled c = getOrCompile(source, opts, &out.cacheHit);
+    // Share the translated-tier entry: a later default (Auto) run of
+    // the same cell then reuses this compilation.
+    Compiled c = getOrCompile(source, opts, Backend::Auto, &out.cacheHit);
     out.unit = c.unit;
     out.status = c.status;
     return out;
@@ -206,7 +235,8 @@ Engine::execute(const RunRequest &req)
     auto t0 = std::chrono::steady_clock::now();
     uint64_t trT0 = tr ? tr->nowMicros() : 0;
 
-    Compiled c = getOrCompile(req.source, req.opts, &rep.cacheHit);
+    const Backend want = req.exec.backend;
+    Compiled c = getOrCompile(req.source, req.opts, want, &rep.cacheHit);
     uint64_t compileUs = microsSince(t0);
     mCompileMicros_.inc(compileUs);
     if (tr && !rep.cacheHit)
@@ -214,52 +244,97 @@ Engine::execute(const RunRequest &req)
                      tr->nowMicros() - trT0, req.label);
     rep.status = c.status;
     if (c.status.ok()) {
-        try {
-            std::shared_ptr<const CompiledUnit> unit = c.unit;
-            if (req.unitTransform) {
-                unit = req.unitTransform(unit);
-                if (!unit)
-                    fatal("unitTransform returned a null unit");
-            }
-            Memory image = expandImage(*unit);
-            if (req.imageMutator)
-                req.imageMutator(image, *unit);
-            RunControls controls;
-            controls.maxCycles = req.maxCycles;
-            controls.deadlineSeconds = req.deadlineSeconds;
-            controls.installUnitTrapHandlers = req.installTrapHandlers;
-            controls.machineSetup = req.machineSetup;
-            controls.pauseAtCycle = req.pauseAtCycle;
-            controls.snapshotHook = req.snapshotHook;
-            controls.collectProfile = req.collectProfile;
-            if (tr && req.snapshotHook) {
-                // Mark the pauseAtCycle pause on this worker's track.
-                auto inner = req.snapshotHook;
-                std::string label = req.label;
-                controls.snapshotHook =
-                    [tr, tid, inner, label](MachineSnapshot &snap,
-                                            const CompiledUnit &unit) {
-                        tr->instant("snapshot", "engine", tid, label);
-                        inner(snap, unit);
-                    };
-            }
-            auto tRun = std::chrono::steady_clock::now();
-            uint64_t trR0 = tr ? tr->nowMicros() : 0;
-            rep.result = runUnitOn(*unit, std::move(image), controls);
-            mRunMicros_.inc(microsSince(tRun));
-            if (tr)
-                tr->complete("run", "engine", tid, trR0,
-                             tr->nowMicros() - trR0, req.label);
-            if (rep.result.timedOut) {
-                rep.status.code = RunStatus::Code::Timeout;
-                rep.status.message =
-                    strcat("deadline of ", req.deadlineSeconds,
-                           "s exceeded after ", rep.result.stats.total,
-                           " cycles");
-            }
-        } catch (const MxlError &e) {
+        // Tier selection: a non-Interpreter request runs translated
+        // when the unit translated and no hook needs the interpreter's
+        // seams. Auto falls back (counted + stamped); an explicit
+        // Translated request that cannot be satisfied is an error.
+        bool useTrans = false;
+        std::string note;
+        if (want != Backend::Interpreter) {
+            if (req.hooks.needsInterpreter())
+                note = "request hooks need the interpreter's seams";
+            else if (!c.trans)
+                note = c.transNote.empty() ? "translation refused"
+                                           : c.transNote;
+            else
+                useTrans = true;
+        }
+        rep.backend = useTrans ? Backend::Translated
+                               : Backend::Interpreter;
+        if (want == Backend::Translated && !useTrans) {
             rep.status.code = RunStatus::Code::InternalError;
-            rep.status.message = e.what();
+            rep.status.message =
+                strcat("translated backend unavailable: ", note);
+        } else {
+            if (want == Backend::Auto && !useTrans) {
+                rep.backendFellBack = true;
+                rep.backendNote = note;
+                mFallbacks_.inc();
+            }
+            try {
+                std::shared_ptr<const CompiledUnit> unit = c.unit;
+                if (req.hooks.unitTransform) {
+                    unit = req.hooks.unitTransform(unit);
+                    if (!unit)
+                        fatal("unitTransform returned a null unit");
+                }
+                Memory image = expandImage(*unit);
+                if (req.hooks.imageMutator)
+                    req.hooks.imageMutator(image, *unit);
+                const char *runCat = useTrans ? "engine/translated"
+                                              : "engine/interpreter";
+                auto tRun = std::chrono::steady_clock::now();
+                uint64_t trR0 = tr ? tr->nowMicros() : 0;
+                if (useTrans) {
+                    TranslatedControls controls;
+                    controls.maxCycles = req.exec.maxCycles;
+                    controls.deadlineSeconds = req.exec.deadlineSeconds;
+                    controls.installTrapHandlers =
+                        req.exec.installTrapHandlers;
+                    rep.result = runTranslated(*unit, *c.trans,
+                                               std::move(image), controls);
+                } else {
+                    RunControls controls;
+                    controls.maxCycles = req.exec.maxCycles;
+                    controls.deadlineSeconds = req.exec.deadlineSeconds;
+                    controls.installUnitTrapHandlers =
+                        req.exec.installTrapHandlers;
+                    controls.machineSetup = req.hooks.machineSetup;
+                    controls.pauseAtCycle = req.hooks.pauseAtCycle;
+                    controls.snapshotHook = req.hooks.snapshotHook;
+                    controls.collectProfile = req.hooks.collectProfile;
+                    if (tr && req.hooks.snapshotHook) {
+                        // Mark the pauseAtCycle pause on this worker's
+                        // track.
+                        auto inner = req.hooks.snapshotHook;
+                        std::string label = req.label;
+                        controls.snapshotHook =
+                            [tr, tid, inner,
+                             label](MachineSnapshot &snap,
+                                    const CompiledUnit &unit) {
+                                tr->instant("snapshot", "engine", tid,
+                                            label);
+                                inner(snap, unit);
+                            };
+                    }
+                    rep.result =
+                        runUnitOn(*unit, std::move(image), controls);
+                }
+                mRunMicros_.inc(microsSince(tRun));
+                if (tr)
+                    tr->complete("run", runCat, tid, trR0,
+                                 tr->nowMicros() - trR0, req.label);
+                if (rep.result.timedOut) {
+                    rep.status.code = RunStatus::Code::Timeout;
+                    rep.status.message =
+                        strcat("deadline of ", req.exec.deadlineSeconds,
+                               "s exceeded after ", rep.result.stats.total,
+                               " cycles");
+                }
+            } catch (const MxlError &e) {
+                rep.status.code = RunStatus::Code::InternalError;
+                rep.status.message = e.what();
+            }
         }
     }
 

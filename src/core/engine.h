@@ -54,6 +54,8 @@
 
 namespace mxl {
 
+struct TranslatedUnit; // exec/texec.h
+
 /** Outcome classification of an Engine request (before run semantics). */
 struct RunStatus
 {
@@ -71,23 +73,50 @@ struct RunStatus
     bool ok() const { return code == Code::Ok; }
 };
 
-/** One cell of the measurement grid. */
-struct RunRequest
+/**
+ * Which execution backend a request runs on.
+ *
+ * `Auto` is the default tier policy: use the translated backend when
+ * the unit translates and the request carries no hook the translated
+ * executor lacks a seam for, otherwise fall back to the interpreter
+ * (counted in `engine.backend.fallbacks`, stamped in
+ * RunReport::backend). `Interpreter` pins the reference
+ * machine/machine.cc path; `Translated` demands the threaded backend
+ * and fails the request with InternalError when it cannot run there.
+ * Both backends produce byte-identical RunResults for every request
+ * the translated tier accepts (tests/test_backend.cc).
+ */
+enum class Backend : uint8_t
 {
-    std::string source;       ///< MX-Lisp top-level forms
-    CompilerOptions opts;
+    Auto,
+    Interpreter,
+    Translated,
+};
+
+const char *backendName(Backend b);
+
+/**
+ * How to execute a cell: budget, deadline, backend tier, and the two
+ * run knobs both backends honor. Everything here is supported by both
+ * execution tiers — a request whose hooks are empty runs translated
+ * under `Auto` whenever its unit translates.
+ */
+struct ExecPolicy
+{
     uint64_t maxCycles = kDefaultMaxCycles;
-    std::string label;        ///< free-form tag, echoed in the report
 
     /**
      * Per-request wall-clock deadline in seconds; 0 means none. The
-     * simulation runs in cycle chunks (RunControls::deadlineSeconds)
-     * and a cell that overruns comes back with
+     * simulation runs in cycle chunks (both backends use the same
+     * chunking) and a cell that overruns comes back with
      * `status.code == Timeout` — one pathological cell cannot stall a
      * campaign. Runs that finish in time are cycle-identical to
      * deadline-free runs.
      */
     double deadlineSeconds = 0;
+
+    /** Backend tier; see Backend. */
+    Backend backend = Backend::Auto;
 
     /**
      * Install the unit's compiled software fallback trap handlers
@@ -95,18 +124,29 @@ struct RunRequest
      * the bare unhandled-trap semantics (machine/machine.h).
      */
     bool installTrapHandlers = true;
+};
 
+/**
+ * The instrumentation and mutation seams of a request. None of these
+ * participate in the compiled-unit cache key — requests that differ
+ * only in hooks share a compilation. Every hook except imageMutator
+ * needs the interpreter's seams, so setting one makes an `Auto`
+ * request fall back (see needsInterpreter()); imageMutator mutates the
+ * per-run image copy, which both backends consume identically.
+ */
+struct Hooks
+{
     /**
      * Applied to the freshly expanded pristine image before execution
      * (the cached compiled unit is never touched). This is the
      * fault-injection seam (src/faults/): memory perturbations happen
-     * on the per-run copy, so cache hits stay sound. Not part of the
-     * compiled-unit cache key — requests that differ only in hooks
-     * share a compilation.
+     * on the per-run copy, so cache hits stay sound. Supported by both
+     * backends.
      */
     std::function<void(Memory &, const CompiledUnit &)> imageMutator;
 
-    /** Forwarded to RunControls::machineSetup (register/hook faults). */
+    /** Forwarded to RunControls::machineSetup (register/hook faults).
+     *  Interpreter-only: the hook touches a live Machine. */
     std::function<void(Machine &, const CompiledUnit &)> machineSetup;
 
     /**
@@ -116,8 +156,8 @@ struct RunRequest
      * the run then resumes from the (mutated) snapshot. 0, or a missing
      * hook, disables the pause. This is the heap-resident fault seam
      * (src/faults/): unlike imageMutator, the hook sees state the
-     * program built at run time, not the pristine image. Not part of
-     * the cache key. See RunControls::pauseAtCycle.
+     * program built at run time, not the pristine image.
+     * Interpreter-only. See RunControls::pauseAtCycle.
      */
     uint64_t pauseAtCycle = 0;
 
@@ -128,8 +168,8 @@ struct RunRequest
     /**
      * Collect the per-PC instruction profile for this cell
      * (RunControls::collectProfile); the histogram comes back in
-     * RunReport::result.profile. Not part of the cache key — profiled
-     * and unprofiled requests share a compilation.
+     * RunReport::result.profile. Interpreter-only: the translated
+     * executor keeps per-index counts in a different shape.
      */
     bool collectProfile = false;
 
@@ -138,12 +178,30 @@ struct RunRequest
      * and before the image is expanded: the seam for static rewriters
      * (analysis/checkelim.h runs here). The transform must return a
      * new or unchanged unit — the cached unit itself is shared and
-     * immutable; returning null is an InternalError. Not part of the
-     * cache key — transformed and plain requests share a compilation.
+     * immutable; returning null is an InternalError. Interpreter-only:
+     * the cached translation describes the untransformed unit.
      */
     std::function<std::shared_ptr<const CompiledUnit>(
         std::shared_ptr<const CompiledUnit>)>
         unitTransform;
+
+    /** True when any hook set here requires the interpreter's seams. */
+    bool needsInterpreter() const
+    {
+        return static_cast<bool>(machineSetup) ||
+               static_cast<bool>(unitTransform) || collectProfile ||
+               (pauseAtCycle > 0 && static_cast<bool>(snapshotHook));
+    }
+};
+
+/** One cell of the measurement grid. */
+struct RunRequest
+{
+    std::string source;       ///< MX-Lisp top-level forms
+    CompilerOptions opts;
+    std::string label;        ///< free-form tag, echoed in the report
+    ExecPolicy exec;          ///< budget / deadline / backend tier
+    Hooks hooks;              ///< instrumentation and mutation seams
 };
 
 /** Everything the engine knows about one executed request. */
@@ -154,6 +212,14 @@ struct RunReport
     RunResult result;        ///< meaningful only when status.ok()
     double wallSeconds = 0;  ///< compile (on miss) + simulation wall time
     bool cacheHit = false;   ///< compiled unit came from the cache
+
+    /** Backend that actually executed the cell (never Auto). */
+    Backend backend = Backend::Interpreter;
+
+    /** True when an Auto request wanted the translated tier but ran on
+     *  the interpreter; backendNote says why. */
+    bool backendFellBack = false;
+    std::string backendNote;
 
     /** Compiled, ran, and halted cleanly. */
     bool ok() const { return status.ok() && result.ok(); }
@@ -262,8 +328,9 @@ class Engine
      * Attach (or detach, with nullptr) a Chrome-trace recorder
      * (obs/trace.h). While attached, every executed request emits a
      * "compile" span (cache misses only) and a "run" span on its
-     * worker's track, plus a "snapshot" instant at a pauseAtCycle
-     * pause. The recorder must outlive all runs made while attached;
+     * worker's track — the run span's category names the backend that
+     * executed it ("engine/interpreter" or "engine/translated") — plus
+     * a "snapshot" instant at a pauseAtCycle pause. The recorder must outlive all runs made while attached;
      * the pointer itself is read atomically, so attaching around a
      * runGrid() call from the calling thread is safe.
      */
@@ -284,12 +351,17 @@ class Engine
     static int currentWorkerId();
 
     /**
-     * Canonical cache key for (source, options): every CompilerOptions
-     * field is serialized in a fixed order, so two option structs that
-     * compare field-wise equal always map to the same key.
+     * Canonical cache key for (source, options, backend tier): every
+     * CompilerOptions field is serialized in a fixed order, so two
+     * option structs that compare field-wise equal always map to the
+     * same key. Entries are keyed per backend *tier*: Interpreter
+     * requests share one entry, Auto and Translated requests share
+     * another (the latter carries the unit's translation alongside the
+     * compilation).
      */
     static std::string cacheKey(const std::string &source,
-                                const CompilerOptions &opts);
+                                const CompilerOptions &opts,
+                                Backend backend = Backend::Interpreter);
 
     /** The process-wide engine behind compileAndRun(). */
     static Engine &defaultEngine();
@@ -299,6 +371,12 @@ class Engine
     {
         std::shared_ptr<const CompiledUnit> unit; ///< trimmed image
         RunStatus status;
+
+        /** Translation for the threaded backend; attempted only for
+         *  translated-tier cache entries. Null with transNote set when
+         *  the translator refused the unit. */
+        std::shared_ptr<const TranslatedUnit> trans;
+        std::string transNote;
     };
 
     struct CacheEntry
@@ -309,7 +387,8 @@ class Engine
     };
 
     Compiled getOrCompile(const std::string &source,
-                          const CompilerOptions &opts, bool *cacheHit);
+                          const CompilerOptions &opts, Backend backend,
+                          bool *cacheHit);
     RunReport execute(const RunRequest &req);
     void evictOverLimits(); ///< caller holds cacheMu_
     void ensureWorkers();
@@ -327,8 +406,11 @@ class Engine
     Counter &mCacheMisses_ = metrics_.counter("engine.cache.misses");
     Counter &mCacheEvictions_ = metrics_.counter("engine.cache.evictions");
     Counter &mCompileMicros_ = metrics_.counter("engine.compile_micros");
+    Counter &mTranslateMicros_ =
+        metrics_.counter("engine.translate_micros");
     Counter &mRunMicros_ = metrics_.counter("engine.run_micros");
     Counter &mRuns_ = metrics_.counter("engine.runs");
+    Counter &mFallbacks_ = metrics_.counter("engine.backend.fallbacks");
     Histogram &mQueueWait_ =
         metrics_.histogram("engine.queue_wait_micros");
     Histogram &mCellMicros_ = metrics_.histogram("engine.cell_micros");

@@ -82,7 +82,7 @@ measureAll(Engine &eng, const CompilerOptions &base,
                         grid[i].label;
     if (collectProfile)
         for (RunRequest &req : grid)
-            req.collectProfile = true;
+            req.hooks.collectProfile = true;
 
     std::vector<RunReport> reports = eng.runGrid(grid);
     auto results = unwrapReports(reports);
@@ -122,7 +122,7 @@ programGrid(const CompilerOptions &base)
         req.source = p.source;
         req.opts = base;
         req.opts.heapBytes = p.heapBytes;
-        req.maxCycles = p.maxCycles;
+        req.exec.maxCycles = p.maxCycles;
         req.label = p.name;
         grid.push_back(std::move(req));
     }
@@ -144,7 +144,7 @@ unwrapReports(const std::vector<RunReport> &reports)
         if (rep.status.code == RunStatus::Code::Timeout)
             fatal("grid cell '", rep.label, "' exceeded its deadline: ",
                   rep.status.message,
-                  " (raise RunRequest::deadlineSeconds or drop it)");
+                  " (raise ExecPolicy::deadlineSeconds or drop it)");
         if (!rep.status.ok())
             fatal("grid cell '", rep.label, "' failed: ",
                   rep.status.message);
@@ -327,6 +327,9 @@ runReportJson(const RunRequest &req, const RunReport &rep)
     j.set("stats", cycleStatsJson(rep.result.stats));
     j.set("wallSeconds", rep.wallSeconds);
     j.set("cacheHit", rep.cacheHit);
+    j.set("backend", backendName(rep.backend));
+    if (rep.backendFellBack)
+        j.set("backendNote", rep.backendNote);
     return j;
 }
 

@@ -120,7 +120,7 @@ compileAndRun(const std::string &source, const CompilerOptions &opts,
     RunRequest req;
     req.source = source;
     req.opts = opts;
-    req.maxCycles = maxCycles;
+    req.exec.maxCycles = maxCycles;
     RunReport rep = Engine::defaultEngine().run(req);
     // Legacy contract: compile/internal failures throw, run errors are
     // encoded in the result (see run.h).

@@ -297,8 +297,8 @@ runCampaign(Engine &engine, const Campaign &campaign,
             req.opts = campaign.configs[c].opts;
             if (campaign.programs[p].heapBytes)
                 req.opts.heapBytes = campaign.programs[p].heapBytes;
-            req.maxCycles = campaign.programs[p].maxCycles;
-            req.deadlineSeconds = campaign.deadlineSeconds;
+            req.exec.maxCycles = campaign.programs[p].maxCycles;
+            req.exec.deadlineSeconds = campaign.deadlineSeconds;
             req.label = strcat("golden/", campaign.programs[p].name, "/",
                                campaign.configs[c].label);
             goldenReqs.push_back(std::move(req));
@@ -451,8 +451,8 @@ runCampaign(Engine &engine, const Campaign &campaign,
         req.opts = campaign.configs[c].opts;
         if (campaign.programs[p].heapBytes)
             req.opts.heapBytes = campaign.programs[p].heapBytes;
-        req.maxCycles = campaign.programs[p].maxCycles;
-        req.deadlineSeconds = campaign.deadlineSeconds;
+        req.exec.maxCycles = campaign.programs[p].maxCycles;
+        req.exec.deadlineSeconds = campaign.deadlineSeconds;
         req.label = strcat(campaign.programs[p].name, "/",
                            campaign.configs[c].label, "/",
                            spec.describe(), "/t", rec.trial);

@@ -250,19 +250,19 @@ armFault(RunRequest &req, const FaultSpec &spec)
 {
     switch (spec.cls) {
       case FaultClass::TagCorrupt:
-        req.imageMutator = [seed = spec.seed](Memory &image,
+        req.hooks.imageMutator = [seed = spec.seed](Memory &image,
                                               const CompiledUnit &unit) {
             injectTagCorrupt(image, unit, seed);
         };
         break;
       case FaultClass::BitFlip:
-        req.imageMutator = [seed = spec.seed](Memory &image,
+        req.hooks.imageMutator = [seed = spec.seed](Memory &image,
                                               const CompiledUnit &unit) {
             injectBitFlip(image, unit, seed);
         };
         break;
       case FaultClass::CallArgType:
-        req.machineSetup = [seed = spec.seed](Machine &m,
+        req.hooks.machineSetup = [seed = spec.seed](Machine &m,
                                               const CompiledUnit &unit) {
             installCallArgFault(m, unit, seed);
         };
@@ -270,8 +270,8 @@ armFault(RunRequest &req, const FaultSpec &spec)
       case FaultClass::HeapTagCorrupt:
         MXL_ASSERT(spec.pauseCycle > 0,
                    "heap-resident faults need FaultSpec::pauseCycle");
-        req.pauseAtCycle = spec.pauseCycle;
-        req.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+        req.hooks.pauseAtCycle = spec.pauseCycle;
+        req.hooks.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
                                               const CompiledUnit &unit) {
             injectHeapTagCorrupt(snap, unit, seed);
         };
@@ -279,8 +279,8 @@ armFault(RunRequest &req, const FaultSpec &spec)
       case FaultClass::HeapBitFlip:
         MXL_ASSERT(spec.pauseCycle > 0,
                    "heap-resident faults need FaultSpec::pauseCycle");
-        req.pauseAtCycle = spec.pauseCycle;
-        req.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+        req.hooks.pauseAtCycle = spec.pauseCycle;
+        req.hooks.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
                                               const CompiledUnit &unit) {
             injectHeapBitFlip(snap, unit, seed);
         };

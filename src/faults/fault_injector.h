@@ -18,7 +18,7 @@
  *    procedure" model of §3's checking discussion.
  *  - HeapTagCorrupt / HeapBitFlip: the same two memory-corruption
  *    models applied to the *live run-time heap* instead of the static
- *    image. The run is paused mid-execution (RunRequest::pauseAtCycle),
+ *    image. The run is paused mid-execution (Hooks::pauseAtCycle),
  *    a MachineSnapshot of the live state is scanned for tagged words
  *    between the from-space base and the heap allocation pointer, one
  *    is perturbed, and the run resumes — corruption of data the program
@@ -27,7 +27,7 @@
  * Everything is derived from FaultSpec::seed with a splitmix64 stream:
  * the same (spec, compiled unit) pair always yields the same injected
  * fault, so campaigns are replayable cell by cell. Faults are applied
- * through RunRequest's imageMutator/machineSetup hooks, i.e. to the
+ * through RunRequest::hooks' imageMutator/machineSetup seams, i.e. to the
  * per-run expanded image and machine — never to the engine's cached
  * compiled unit.
  */
@@ -66,7 +66,7 @@ struct FaultSpec
 
     /**
      * Cycle at which heap-resident faults pause the run and inject
-     * (RunRequest::pauseAtCycle). Required nonzero for the Heap*
+     * (Hooks::pauseAtCycle). Required nonzero for the Heap*
      * classes — campaigns derive it from the golden run's cycle count
      * so the pause lands mid-execution; ignored by the static classes.
      */

@@ -11,6 +11,7 @@
  *     req.source = "(print (+ 1 2))";
  *     req.opts = mxl::CompilerOptions{};    // scheme/checking/hardware
  *     mxl::RunReport rep = eng.run(req);    // rep.status / rep.result
+ *                                           // (rep.backend: which tier ran)
  *
  *     // Grids fan out across the pool, results in request order:
  *     std::vector<mxl::RunReport> reps = eng.runGrid(requests);
@@ -21,6 +22,7 @@
  * Finer-grained layers, top to bottom:
  *  - faults/    fault injection + detection-coverage campaigns (FAULTS.md)
  *  - core/      the Engine, experiment configs, measurement, paper numbers
+ *  - exec/      the translated (directly-threaded) backend (BACKEND.md)
  *  - programs/  the ten Appendix benchmark programs
  *  - compiler/  MX-Lisp -> MX compilation (unit.h is the entry point)
  *  - runtime/   memory image, layout, Lisp-level runtime sources
@@ -40,6 +42,7 @@
 #include "core/paper.h"
 #include "core/report.h"
 #include "core/run.h"
+#include "exec/texec.h"
 #include "faults/campaign.h"
 #include "faults/fault_injector.h"
 #include "isa/assembler.h"

@@ -555,14 +555,14 @@ TEST(CheckElim, ByteIdenticalAcrossSuite)
         req.source = bp.source;
         req.opts = base;
         req.opts.heapBytes = bp.heapBytes;
-        req.maxCycles = bp.maxCycles;
+        req.exec.maxCycles = bp.maxCycles;
         req.label = bp.name;
         RunReport golden = eng.run(req);
         ASSERT_TRUE(golden.status.ok()) << bp.name;
 
         ElimStats st;
         RunRequest opt = req;
-        opt.unitTransform =
+        opt.hooks.unitTransform =
             [&st](std::shared_ptr<const CompiledUnit> unit) {
                 return checkElimTransform(unit, &st);
             };

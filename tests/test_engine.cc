@@ -127,7 +127,7 @@ TEST(Engine, GridIsDeterministicAndOrdered)
     std::vector<RunResult> serial;
     for (const auto &req : grid)
         serial.push_back(runUnit(compileUnit(req.source, req.opts),
-                                 req.maxCycles));
+                                 req.exec.maxCycles));
 
     Engine eng(4);
     auto reports = eng.runGrid(grid);
@@ -202,7 +202,7 @@ TEST(Engine, RunErrorsLandInResultNotStatus)
     EXPECT_EQ(rep.result.stop, StopReason::Errored);
 
     RunRequest limited = request(kLoop, Checking::Off);
-    limited.maxCycles = 100;
+    limited.exec.maxCycles = 100;
     rep = eng.run(limited);
     EXPECT_TRUE(rep.status.ok());
     EXPECT_EQ(rep.result.stop, StopReason::CycleLimit);
@@ -322,7 +322,7 @@ TEST(Engine, DeadlineSurfacesTimeout)
     Engine eng(1);
     RunRequest spin =
         request("(setq i 0) (while t (setq i (add1 i)))", Checking::Off);
-    spin.deadlineSeconds = 0.2;
+    spin.exec.deadlineSeconds = 0.2;
     RunReport rep = eng.run(spin);
     EXPECT_EQ(rep.status.code, RunStatus::Code::Timeout);
     EXPECT_FALSE(rep.ok());
@@ -339,7 +339,7 @@ TEST(Engine, DeadlineRunThatFinishesIsCycleIdentical)
     Engine eng(1);
     RunReport plain = eng.run(request(kLoop, Checking::Full));
     RunRequest limited = request(kLoop, Checking::Full);
-    limited.deadlineSeconds = 30;
+    limited.exec.deadlineSeconds = 30;
     RunReport rep = eng.run(limited);
     ASSERT_TRUE(plain.ok());
     ASSERT_TRUE(rep.ok());
@@ -416,7 +416,7 @@ TEST(Engine, TrapHandlerInstallationIsControllable)
     EXPECT_EQ(handled.result.stop, StopReason::Errored);
     EXPECT_FALSE(isUnhandledTrapCode(handled.result.errorCode));
 
-    req.installTrapHandlers = false;
+    req.exec.installTrapHandlers = false;
     RunReport bare = eng.run(req);
     ASSERT_TRUE(bare.status.ok()) << bare.status.message;
     EXPECT_EQ(bare.result.stop, StopReason::Errored);

@@ -119,13 +119,13 @@ TEST(FaultInjector, TagCorruptIsDeterministicAndTagConfined)
     spec.cls = FaultClass::TagCorrupt;
     spec.seed = 5;
     armFault(req, spec);
-    ASSERT_TRUE(static_cast<bool>(req.imageMutator));
-    ASSERT_FALSE(static_cast<bool>(req.machineSetup));
+    ASSERT_TRUE(static_cast<bool>(req.hooks.imageMutator));
+    ASSERT_FALSE(static_cast<bool>(req.hooks.machineSetup));
 
     Memory a = unit.memory;
     Memory b = unit.memory;
-    req.imageMutator(a, unit);
-    req.imageMutator(b, unit);
+    req.hooks.imageMutator(a, unit);
+    req.hooks.imageMutator(b, unit);
 
     const TagScheme &s = *unit.scheme;
     int diffs = 0;
@@ -158,7 +158,7 @@ TEST(FaultInjector, DistinctSeedsCoverDistinctSites)
         spec.seed = FaultRng::mix(1, seed);
         armFault(req, spec);
         Memory img = unit.memory;
-        req.imageMutator(img, unit);
+        req.hooks.imageMutator(img, unit);
         for (uint32_t i = 0; i < img.size() / 4; ++i)
             if (img.word(i) != unit.memory.word(i)) {
                 bool seen = false;
@@ -183,7 +183,7 @@ TEST(FaultInjector, BitFlipFlipsExactlyOneBit)
     spec.seed = 11;
     armFault(req, spec);
     Memory img = unit.memory;
-    req.imageMutator(img, unit);
+    req.hooks.imageMutator(img, unit);
 
     int flippedBits = 0;
     for (uint32_t i = 0; i < img.size() / 4; ++i) {
@@ -203,8 +203,8 @@ TEST(FaultInjector, CallArgTypeInstallsMachineHook)
     spec.cls = FaultClass::CallArgType;
     spec.seed = 3;
     armFault(req, spec);
-    EXPECT_FALSE(static_cast<bool>(req.imageMutator));
-    EXPECT_TRUE(static_cast<bool>(req.machineSetup));
+    EXPECT_FALSE(static_cast<bool>(req.hooks.imageMutator));
+    EXPECT_TRUE(static_cast<bool>(req.hooks.machineSetup));
 }
 
 // ---- classification ---------------------------------------------------
@@ -403,16 +403,16 @@ TEST(FaultInjector, HeapClassesArmThePauseSeamNotTheImage)
     spec.seed = 17;
     spec.pauseCycle = 5000;
     armFault(req, spec);
-    EXPECT_FALSE(static_cast<bool>(req.imageMutator));
-    EXPECT_FALSE(static_cast<bool>(req.machineSetup));
-    EXPECT_TRUE(static_cast<bool>(req.snapshotHook));
-    EXPECT_EQ(req.pauseAtCycle, 5000u);
+    EXPECT_FALSE(static_cast<bool>(req.hooks.imageMutator));
+    EXPECT_FALSE(static_cast<bool>(req.hooks.machineSetup));
+    EXPECT_TRUE(static_cast<bool>(req.hooks.snapshotHook));
+    EXPECT_EQ(req.hooks.pauseAtCycle, 5000u);
 
     RunRequest flip;
     spec.cls = FaultClass::HeapBitFlip;
     armFault(flip, spec);
-    EXPECT_TRUE(static_cast<bool>(flip.snapshotHook));
-    EXPECT_EQ(flip.pauseAtCycle, 5000u);
+    EXPECT_TRUE(static_cast<bool>(flip.hooks.snapshotHook));
+    EXPECT_EQ(flip.hooks.pauseAtCycle, 5000u);
 }
 
 TEST(FaultInjector, HeapInjectionIsDeterministicThroughTheEngine)

@@ -63,7 +63,7 @@ TEST(Profiler, SumInvariantsOnEveryBenchmarkProgram)
     for (Checking chk : {Checking::Off, Checking::Full}) {
         std::vector<RunRequest> grid = programGrid(baselineOptions(chk));
         for (RunRequest &req : grid)
-            req.collectProfile = true;
+            req.hooks.collectProfile = true;
         std::vector<RunReport> reports = eng.runGrid(grid);
         ASSERT_EQ(reports.size(), grid.size());
         for (const RunReport &rep : reports) {
@@ -84,7 +84,7 @@ TEST(Profiler, SymbolizationConservesCyclesAndPurposes)
     std::vector<RunRequest> grid =
         programGrid(baselineOptions(Checking::Full));
     for (RunRequest &req : grid)
-        req.collectProfile = true;
+        req.hooks.collectProfile = true;
     std::vector<RunReport> reports = eng.runGrid(grid);
     for (size_t i = 0; i < reports.size(); ++i) {
         ASSERT_TRUE(reports[i].ok());
@@ -121,7 +121,7 @@ TEST(Profiler, SymbolizeMapsKnownLabelToItsPcRange)
     RunRequest req =
         request("(de myfun (x) (+ x 1)) (print (myfun 41))",
                 Checking::Full, "myfun");
-    req.collectProfile = true;
+    req.hooks.collectProfile = true;
     RunReport rep = eng.run(req);
     ASSERT_TRUE(rep.ok()) << rep.status.message;
     ASSERT_TRUE(rep.result.profile);
@@ -163,7 +163,7 @@ TEST(Profiler, ProfileOnlyWhenRequestedAndNotPartOfCacheKey)
 
     // collectProfile is a run-time accessory: the compiled unit is
     // shared (cache hit), the profile still gets collected.
-    req.collectProfile = true;
+    req.hooks.collectProfile = true;
     RunReport profiled = eng.run(req);
     ASSERT_TRUE(profiled.ok());
     EXPECT_TRUE(profiled.cacheHit);

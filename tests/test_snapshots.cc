@@ -257,10 +257,10 @@ TEST(Snapshot, EnginePauseWithIdentityHookIsInvisible)
     EXPECT_FALSE(base.result.snapshotTaken);
 
     RunRequest paused = plain;
-    paused.pauseAtCycle = base.result.stats.total / 2;
+    paused.hooks.pauseAtCycle = base.result.stats.total / 2;
     bool hookRan = false;
     uint64_t hookCycle = 0;
-    paused.snapshotHook = [&](MachineSnapshot &snap,
+    paused.hooks.snapshotHook = [&](MachineSnapshot &snap,
                               const CompiledUnit &) {
         hookRan = true;
         hookCycle = snap.stats.total;
@@ -269,7 +269,7 @@ TEST(Snapshot, EnginePauseWithIdentityHookIsInvisible)
     ASSERT_TRUE(rep.ok()) << rep.status.message;
     EXPECT_TRUE(hookRan);
     EXPECT_TRUE(rep.result.snapshotTaken);
-    EXPECT_GE(hookCycle, paused.pauseAtCycle);
+    EXPECT_GE(hookCycle, paused.hooks.pauseAtCycle);
     EXPECT_TRUE(rep.result.stats == base.result.stats);
     EXPECT_EQ(rep.result.output, base.result.output);
 }
@@ -279,9 +279,9 @@ TEST(Snapshot, EnginePauseAfterHaltNeverFiresHook)
     RunRequest req;
     req.source = "(print 11)";
     req.opts = baselineOptions(Checking::Off);
-    req.pauseAtCycle = 1u << 30; // far past the program's halt
+    req.hooks.pauseAtCycle = 1u << 30; // far past the program's halt
     bool hookRan = false;
-    req.snapshotHook = [&](MachineSnapshot &, const CompiledUnit &) {
+    req.hooks.snapshotHook = [&](MachineSnapshot &, const CompiledUnit &) {
         hookRan = true;
     };
     Engine eng(1);
@@ -307,8 +307,8 @@ TEST(Snapshot, EngineHookMutationPerturbsTheRun)
     // diverge (wrong output, error, or crash) yet stay a classified
     // simulation outcome — never a host failure.
     RunRequest mutated = req;
-    mutated.pauseAtCycle = base.result.stats.total / 2;
-    mutated.snapshotHook = [](MachineSnapshot &snap,
+    mutated.hooks.pauseAtCycle = base.result.stats.total / 2;
+    mutated.hooks.snapshotHook = [](MachineSnapshot &snap,
                               const CompiledUnit &unit) {
         uint32_t lo =
             snap.memory[unit.layout.cellAddr(Cell::FromLo) / 4] / 4;

@@ -3,13 +3,22 @@
  * bench_diff — compare two BENCH_*.json exports cell by cell.
  *
  *     bench_diff [--threshold PCT] BEFORE.json AFTER.json
+ *     bench_diff --backends FILE.json
  *
- * Pairs grid cells by label and prints each one's simulated-cycle delta
- * (stats.total — deterministic per commit, unlike wall time), then a
- * verdict against the regression threshold (default 0%: any cycle
- * increase fails). Exit status: 0 when no cell regressed beyond the
- * threshold, 1 when one did, 2 on usage or input errors — so CI can
- * gate on `bench_diff baseline.json current.json`.
+ * Two-file mode pairs grid cells by label and prints each one's
+ * simulated-cycle delta (stats.total — deterministic per commit,
+ * unlike wall time), then a verdict against the regression threshold
+ * (default 0%: any cycle increase fails). Exit status: 0 when no cell
+ * regressed beyond the threshold, 1 when one did, 2 on usage or input
+ * errors — so CI can gate on `bench_diff baseline.json current.json`.
+ *
+ * --backends mode reads ONE export whose grid carries both execution
+ * backends (labels ending "/interpreter" and "/translated", as
+ * bench_backend and bench_simulator write) and reports each pair's
+ * wall-time speedup plus the aggregate. Any pair whose cycle counts
+ * diverge between backends fails the diff — wall time may move with
+ * the host, but the two backends simulating a different cycle count is
+ * an equivalence bug, never noise.
  *
  * Documents that carry an engine metrics snapshot are also checked for
  * static-verifier regressions: any "mxlint.<unit>.errors" counter that
@@ -32,7 +41,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: bench_diff [--threshold PCT] BEFORE.json "
-                 "AFTER.json\n");
+                 "AFTER.json\n"
+                 "       bench_diff --backends FILE.json\n");
     return 2;
 }
 
@@ -104,17 +114,126 @@ diffLintErrors(const mxl::Json &before, const mxl::Json &after)
     return flagged;
 }
 
+/** One backend-paired cell in --backends mode. */
+struct BackendPair
+{
+    std::string stem;
+    uint64_t interpCycles = 0, transCycles = 0;
+    double interpWall = 0, transWall = 0;
+    bool haveInterp = false, haveTrans = false;
+};
+
+/**
+ * Pair a single document's "<stem>/interpreter" and "<stem>/translated"
+ * cells, print per-pair wall-time speedups, and fail on any cycle
+ * divergence or unpaired cell. Exit-status semantics match main().
+ */
+int
+diffBackends(const mxl::Json &doc)
+{
+    const mxl::Json *grid = doc.find("grid");
+    if (!grid)
+        grid = doc.find("goldens");
+    if (!grid && doc.isArray())
+        grid = &doc;
+    if (!grid || !grid->isArray()) {
+        std::fprintf(stderr, "bench_diff: document has no bench grid\n");
+        return 2;
+    }
+
+    std::vector<BackendPair> pairs;
+    auto pairFor = [&](const std::string &stem) -> BackendPair & {
+        for (BackendPair &p : pairs)
+            if (p.stem == stem)
+                return p;
+        pairs.push_back({stem});
+        return pairs.back();
+    };
+    for (size_t i = 0; i < grid->size(); ++i) {
+        const mxl::Json &cell = grid->at(i);
+        const mxl::Json *label = cell.find("label");
+        const mxl::Json *stats = cell.find("stats");
+        const mxl::Json *ok = cell.find("statusOk");
+        if (!label || !label->isString() || !stats ||
+            (ok && !ok->asBool()))
+            continue;
+        const std::string &l = label->str();
+        size_t slash = l.rfind('/');
+        if (slash == std::string::npos)
+            continue;
+        const std::string backend = l.substr(slash + 1);
+        if (backend != "interpreter" && backend != "translated")
+            continue;
+        BackendPair &p = pairFor(l.substr(0, slash));
+        const mxl::Json *total = stats->find("total");
+        const mxl::Json *wall = cell.find("wallSeconds");
+        if (backend == "interpreter") {
+            p.haveInterp = true;
+            p.interpCycles = total ? total->asUint() : 0;
+            p.interpWall = wall ? wall->asReal() : 0;
+        } else {
+            p.haveTrans = true;
+            p.transCycles = total ? total->asUint() : 0;
+            p.transWall = wall ? wall->asReal() : 0;
+        }
+    }
+    if (pairs.empty()) {
+        std::fprintf(stderr, "bench_diff: no */interpreter or "
+                             "*/translated cells in the grid\n");
+        return 2;
+    }
+
+    bool failed = false;
+    double interpSum = 0, transSum = 0;
+    for (const BackendPair &p : pairs) {
+        if (!p.haveInterp || !p.haveTrans) {
+            std::printf("FAIL  %s: only the %s cell is present\n",
+                        p.stem.c_str(),
+                        p.haveInterp ? "interpreter" : "translated");
+            failed = true;
+            continue;
+        }
+        if (p.interpCycles != p.transCycles) {
+            std::printf("FAIL  %s: cycle divergence — interpreter %llu, "
+                        "translated %llu\n",
+                        p.stem.c_str(),
+                        static_cast<unsigned long long>(p.interpCycles),
+                        static_cast<unsigned long long>(p.transCycles));
+            failed = true;
+            continue;
+        }
+        interpSum += p.interpWall;
+        transSum += p.transWall;
+        std::printf("OK    %-24s %12llu cycles   %8.2fms -> %8.2fms   "
+                    "%.2fx\n",
+                    p.stem.c_str(),
+                    static_cast<unsigned long long>(p.interpCycles),
+                    p.interpWall * 1e3, p.transWall * 1e3,
+                    p.transWall > 0 ? p.interpWall / p.transWall : 0.0);
+    }
+    if (transSum > 0)
+        std::printf("\naggregate wall-time speedup: %.2fx over %zu "
+                    "pair(s)\n",
+                    interpSum / transSum, pairs.size());
+    std::printf("%s  backend cycle equivalence\n",
+                failed ? "FAIL" : "PASS");
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     double thresholdPct = 0.0;
+    bool backendsMode = false;
     std::string paths[2];
     int nPaths = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--threshold") {
+        if (arg == "--backends") {
+            backendsMode = true;
+        } else if (arg == "--threshold") {
             if (++i >= argc)
                 return usage();
             char *end = nullptr;
@@ -126,6 +245,14 @@ main(int argc, char **argv)
         } else {
             return usage();
         }
+    }
+    if (backendsMode) {
+        if (nPaths != 1)
+            return usage();
+        mxl::Json doc;
+        if (!loadJson(paths[0], &doc))
+            return 2;
+        return diffBackends(doc);
     }
     if (nPaths != 2)
         return usage();
