@@ -3,50 +3,69 @@
  * support actually catch?
  *
  * The paper (and bench_table2) measures what checking costs; this
- * harness measures what it buys. A fixed-seed campaign injects five
+ * harness measures what it buys. A fixed-seed campaign injects seven
  * fault classes — static tag-field corruption, single-bit flips in the
- * pristine image, ill-typed call arguments, and the two heap-resident
- * variants (tag corruption / bit flip applied to the *live* heap of a
- * run paused mid-execution via MachineSnapshot) — into the full
- * ten-program benchmark suite, and runs every (config × class × trial)
- * cell through mxl::Engine under a Table-2-style hardware ladder:
+ * pristine image, ill-typed call arguments, and the heap- and
+ * stack-resident variants (tag corruption / bit flip applied to the
+ * *live* heap or control stack of a run paused mid-execution via
+ * MachineSnapshot) — into the full ten-program benchmark suite, and
+ * runs every (config × class × trial) cell through mxl::Engine under a
+ * Table-2-style hardware ladder:
  *
  *   unchecked      the §2.1 high-tag implementation, no checking;
  *   software       the same, with full compiled software checks;
  *   lowtag-sw      LowTag3 software checking (§5.2);
  *   hw-traps       full checking on branch-on-tag + generic-arith +
  *                  checked-memory(All) hardware (Table 2 row 7 flavor);
- *   spur-like      the §7 combination: lists-only checked loads.
+ *   spur-like      the §7 combination: lists-only checked loads;
+ *   memtag         LowTag3 with NO compiled checks but MTE-style
+ *                  lock-and-key memory tagging — detection purely from
+ *                  the memory system, zero instruction overhead.
  *
  * Per-program cycle budgets are derived from a fault-free pre-pass
  * (golden cycles × margin), so a runaway faulted run is cut off a few
  * golden-run-lengths in rather than at the global 800M-cycle guard.
  *
+ * Faulted trials run process-isolated by default (faults/sandbox.h):
+ * forked children execute batches of trials, a watchdog kills hung
+ * children, and abnormal deaths are retried with backoff, so a trial
+ * that crashes the simulator itself cannot take the campaign down. To
+ * prove it, the harness injects its own chaos — two child SIGSEGVs and
+ * one hang, first attempt only — and checks the campaign still
+ * completes with every trial classified. --no-sandbox runs in-process.
+ *
  * The campaign is durable: every classified trial is appended to a
  * JSONL journal (default BENCH_faults.jsonl). Kill the process at any
  * point and rerun with `--resume <journal>` — already-journaled trials
  * are skipped and the campaign converges on the identical coverage
- * matrix. The machine-readable outputs land in BENCH_faults.json
- * (golden grid in core/report.h's JSON schema + the coverage matrix).
+ * matrix. (The resume acceptance check replays half the journal
+ * in-process, which doubles as a sandbox-vs-in-process differential.)
+ * The machine-readable outputs land in BENCH_faults.json: golden grid
+ * in core/report.h's JSON schema + the coverage matrix, where every
+ * cell carries detection coverage with a Wilson 95% interval and cycle
+ * percentiles (faults/stats.h) — the statistics bench_diff --coverage
+ * gates on.
  *
- * Output is the detection-coverage matrix (campaign.h's taxonomy) plus
- * acceptance checks: the run is deterministic, the full checked-memory
- * configuration detects strictly more injected tag corruptions than the
- * unchecked baseline (for both the static and the heap-resident class),
- * a journal truncated mid-campaign resumes to a byte-identical matrix,
- * and no fault ever escapes the simulator.
+ * --trials N scales the campaign (default 3 per cell ≈ 1.3k trials;
+ * 250 ≈ 100k+ trials for a soak run — same seed, same per-trial
+ * faults, just more of the population).
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "faults/campaign.h"
+#include "faults/stats.h"
 #include "programs/programs.h"
 #include "support/format.h"
 #include "support/json.h"
@@ -75,6 +94,14 @@ configLadder()
     spur.hw.genericArith = true;
     spur.hw.checkedMemory = CheckedMem::Lists;
     configs.push_back({"spur-like", spur});
+
+    // Memory tagging wants bases that stay pointer-tagged at access
+    // time, which the low-tag scheme gives for free; Checking::Off
+    // isolates the memory system's contribution — every detection in
+    // this row is a lock/key mismatch trap, none a compiled check.
+    CompilerOptions memtag = lowTagSoftwareOptions(Checking::Off);
+    memtag.hw.memTagging = true;
+    configs.push_back({"memtag", memtag});
     return configs;
 }
 
@@ -106,7 +133,7 @@ measureBudgets(Engine &eng)
 }
 
 Campaign
-buildCampaign(const std::vector<uint64_t> &budgets)
+buildCampaign(const std::vector<uint64_t> &budgets, int trials)
 {
     Campaign c;
     const auto &progs = benchmarkPrograms();
@@ -114,10 +141,11 @@ buildCampaign(const std::vector<uint64_t> &budgets)
         c.programs.push_back({progs[i].name, progs[i].source, budgets[i],
                               progs[i].heapBytes});
     c.configs = configLadder();
-    c.classes = {FaultClass::TagCorrupt, FaultClass::BitFlip,
-                 FaultClass::CallArgType, FaultClass::HeapTagCorrupt,
-                 FaultClass::HeapBitFlip};
-    c.trials = 3;
+    c.classes = {FaultClass::TagCorrupt,      FaultClass::BitFlip,
+                 FaultClass::CallArgType,     FaultClass::HeapTagCorrupt,
+                 FaultClass::HeapBitFlip,     FaultClass::StackTagCorrupt,
+                 FaultClass::StackBitFlip};
+    c.trials = trials;
     c.seed = 19870401; // fixed: the matrix below is reproducible
     c.deadlineSeconds = 30;
     return c;
@@ -130,16 +158,30 @@ main(int argc, char **argv)
 {
     std::string journalPath = "BENCH_faults.jsonl";
     bool resume = false;
+    bool sandbox = sandboxSupported();
+    int trials = 3;
+    int procs = 0; // 0 = hardware_concurrency
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
             journalPath = argv[++i];
             resume = true;
+        } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+            trials = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+            procs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--no-sandbox") == 0) {
+            sandbox = false;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--resume <journal.jsonl>]\n",
+                         "usage: %s [--resume <journal.jsonl>] "
+                         "[--trials N] [--procs N] [--no-sandbox]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (trials <= 0) {
+        std::fprintf(stderr, "--trials must be positive\n");
+        return 2;
     }
 
     std::printf("Fault-injection campaign: detection coverage by degree "
@@ -151,18 +193,41 @@ main(int argc, char **argv)
     std::printf("per-program cycle budgets (golden x 6, floor 2M):\n");
     std::vector<uint64_t> budgets = measureBudgets(eng);
 
-    Campaign campaign = buildCampaign(budgets);
+    Campaign campaign = buildCampaign(budgets, trials);
     std::printf("\n(%zu programs x %zu configs x %zu fault classes x %d "
-                "trials, seed %llu)\n",
+                "trials, seed %llu, backend %s)\n",
                 campaign.programs.size(), campaign.configs.size(),
                 campaign.classes.size(), campaign.trials,
-                static_cast<unsigned long long>(campaign.seed));
-    std::printf("journal: %s%s\n\n", journalPath.c_str(),
-                resume ? " (resuming)" : "");
+                static_cast<unsigned long long>(campaign.seed),
+                backendName(campaign.backend));
+    std::printf("journal: %s%s, trials %s\n\n", journalPath.c_str(),
+                resume ? " (resuming)" : "",
+                sandbox ? "sandboxed (forked children)" : "in-process");
 
     CampaignRunOptions options;
     options.journalPath = journalPath;
     options.resume = resume;
+    options.sandbox.enabled = sandbox;
+    options.sandbox.procs = procs;
+    options.sandbox.batchTrials = 64;
+    // Above the per-trial deadline: the watchdog exists for children
+    // that stop making progress entirely, not for slow trials.
+    options.sandbox.watchdogSeconds = campaign.deadlineSeconds + 10;
+    // Self-inflicted chaos (first attempt only): two trials whose child
+    // dies by SIGSEGV and one that hangs until the watchdog kills it.
+    // The retry runs them clean, so the matrix is unaffected — the
+    // acceptance checks below prove the parent contained all three.
+    if (sandbox) {
+        options.sandbox.childFaultHook = [](size_t ordinal, int attempt) {
+            if (attempt > 0)
+                return;
+            if (ordinal == 101 || ordinal == 707)
+                raise(SIGSEGV);
+            if (ordinal == 404)
+                for (;;)
+                    std::this_thread::sleep_for(std::chrono::seconds(1));
+        };
+    }
     size_t completed = 0;
     const size_t total = campaign.programs.size() *
                          campaign.configs.size() *
@@ -198,10 +263,20 @@ main(int argc, char **argv)
                 req.source = campaign.programs[p].source;
                 req.opts = campaign.configs[c].opts;
                 req.exec.maxCycles = campaign.programs[p].maxCycles;
+                req.exec.backend = campaign.backend;
                 req.label = strcat("golden/", campaign.programs[p].name,
                                    "/", campaign.configs[c].label);
                 goldenReqs.push_back(std::move(req));
             }
+        // Per-cell cycle samples (skipped trials carry no run).
+        std::vector<std::vector<uint64_t>> cellCycles(r.configCount *
+                                                      r.classCount);
+        for (const TrialRecord &rec : r.trials)
+            if (rec.outcome != Outcome::Skipped)
+                cellCycles[static_cast<size_t>(rec.config) * r.classCount +
+                           static_cast<size_t>(rec.cls)]
+                    .push_back(rec.cycles);
+
         Json matrix = Json::array();
         for (size_t c = 0; c < r.configCount; ++c)
             for (size_t k = 0; k < r.classCount; ++k) {
@@ -217,6 +292,27 @@ main(int argc, char **argv)
                        static_cast<int64_t>(cell.hardwareTraps));
                 jc.set("softwareChecks",
                        static_cast<int64_t>(cell.softwareChecks));
+                // Detection coverage with its Wilson 95% interval —
+                // what bench_diff --coverage gates on.
+                CoverageCell cov;
+                cov.config = r.configLabels[c];
+                cov.cls = r.classLabels[k];
+                cov.detected = cell.detected();
+                cov.total = cell.total();
+                cov.skipped = cell.count(Outcome::Skipped);
+                finishCoverageCell(&cov);
+                jc.set("total", static_cast<int64_t>(cov.total));
+                jc.set("coverage", cov.coverage);
+                jc.set("ci_lo", cov.ci.lo);
+                jc.set("ci_hi", cov.ci.hi);
+                // Cycle percentiles over the cell's faulted runs.
+                PercentileSummary cyc =
+                    percentileSummary(cellCycles[c * r.classCount + k]);
+                jc.set("cyc_min", cyc.min);
+                jc.set("cyc_p50", cyc.p50);
+                jc.set("cyc_p90", cyc.p90);
+                jc.set("cyc_p99", cyc.p99);
+                jc.set("cyc_max", cyc.max);
                 matrix.push(std::move(jc));
             }
         faultsDoc = Json::object();
@@ -235,8 +331,9 @@ main(int argc, char **argv)
     };
 
     // Class order: TagCorrupt=0, BitFlip=1, CallArgType=2,
-    // HeapTagCorrupt=3, HeapBitFlip=4. unchecked is config 0,
-    // hw-traps config 3.
+    // HeapTagCorrupt=3, HeapBitFlip=4, StackTagCorrupt=5,
+    // StackBitFlip=6. Config order: unchecked=0, software=1,
+    // lowtag-sw=2, hw-traps=3, spur-like=4, memtag=5.
     int uncheckedDet = r.cell(0, 0).detected();
     int hwDet = r.cell(3, 0).detected();
     check(hwDet > uncheckedDet,
@@ -256,13 +353,48 @@ main(int argc, char **argv)
                  "unchecked (",
                  hwHeapDet, " > ", uncheckedHeapDet, ")"));
 
+    // Memory tagging: no compiled checks at all, yet the lock/key
+    // memory system catches live-data corruption the unchecked
+    // baseline misses — and every one of its catches is a trap.
+    {
+        int memtagLive = r.cell(5, 3).detected() + r.cell(5, 5).detected();
+        int uncheckedLive =
+            r.cell(0, 3).detected() + r.cell(0, 5).detected();
+        check(memtagLive > uncheckedLive,
+              strcat("memtag detects more live heap+stack tag corruption "
+                     "than unchecked (",
+                     memtagLive, " > ", uncheckedLive, ")"));
+        int memtagTraps = 0;
+        for (size_t k = 0; k < r.classCount; ++k)
+            memtagTraps += r.cell(5, k).hardwareTraps;
+        check(memtagTraps > 0,
+              strcat("memtag detections arrive as hardware traps (",
+                     memtagTraps, ")"));
+    }
+
     // Zero host crashes: every trial came back classified.
     check(r.trials.size() == total,
           strcat("every fault classified, none escaped the simulator (",
                  r.trials.size(), "/", total, ")"));
 
+    // The sandbox contained the injected chaos: two child SIGSEGVs and
+    // one hang (killed by the watchdog), all retried clean — and the
+    // campaign parent never noticed beyond the stats.
+    if (sandbox && !resume && total - r.journaled > 707) {
+        check(r.sandbox.deaths >= 3 && r.sandbox.watchdogKills >= 1,
+              strcat("sandbox contained the injected chaos (",
+                     r.sandbox.deaths, " child deaths, ",
+                     r.sandbox.watchdogKills, " watchdog kills, ",
+                     r.sandbox.requeues, " requeues)"));
+        check(!r.sandbox.degraded && r.sandbox.abandoned == 0,
+              "chaos trials all recovered on retry (no abandonment, "
+              "no degradation)");
+    }
+
     // Durability: truncate the journal to half its trial lines and
-    // resume — the matrix must come back byte-identical.
+    // resume — the matrix must come back byte-identical. The resume
+    // runs in-process, so when the main pass was sandboxed this is
+    // also a sandbox-vs-in-process differential over half the matrix.
     {
         std::ifstream in(journalPath);
         std::vector<std::string> lines;

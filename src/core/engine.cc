@@ -109,6 +109,7 @@ Engine::cacheKey(const std::string &source, const CompilerOptions &o,
     k += o.hw.branchOnTag ? '1' : '0';
     k += o.hw.genericArith ? '1' : '0';
     k += static_cast<char>('0' + static_cast<int>(o.hw.checkedMemory));
+    k += o.hw.memTagging ? '1' : '0';
     k += o.fillDelaySlots ? '1' : '0';
     k += o.overlapChecks ? '1' : '0';
     k += '|';
@@ -352,10 +353,30 @@ Engine::run(const RunRequest &req)
     return execute(req);
 }
 
+void
+Engine::postFork()
+{
+    trace_.store(nullptr, std::memory_order_release);
+    forked_.store(true, std::memory_order_release);
+}
+
 std::vector<RunReport>
 Engine::runGrid(const std::vector<RunRequest> &reqs,
                 const GridProgress &progress)
 {
+    if (forked_.load(std::memory_order_acquire)) {
+        // Child process after postFork(): the worker threads recorded
+        // in workers_ died in the fork, so queueing would hang forever.
+        std::vector<RunReport> out(reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            out[i].label = reqs[i].label;
+            out[i].status.code = RunStatus::Code::InternalError;
+            out[i].status.message =
+                "runGrid() called in a forked child (postFork); only "
+                "inline run() is available there";
+        }
+        return out;
+    }
     if (tlsWorkerOwner == this) {
         // Re-entrant call from one of our own workers: blocking on the
         // pool here would deadlock (the calling worker can never drain

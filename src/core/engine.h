@@ -296,6 +296,20 @@ class Engine
     CompileOutcome compile(const std::string &source,
                            const CompilerOptions &opts);
 
+    /**
+     * Make this engine safe for inline use in a child process created
+     * by fork() (the trial sandbox, src/faults/sandbox.h). Call it once
+     * in the child, immediately after the fork: it detaches the trace
+     * recorder (which lives in, and keeps writing for, the parent) and
+     * marks the engine forked so runGrid() refuses instead of blocking
+     * on a worker pool whose threads did not survive the fork. run()
+     * stays fully usable and keeps the parent's warm compiled-unit
+     * cache (copy-on-write). Contract: fork only while no grid is in
+     * flight (every cached compile future completed), and leave the
+     * child via _exit() so the engine's destructor never runs there.
+     */
+    void postFork();
+
     struct CacheStats
     {
         uint64_t hits = 0;    ///< lookups served from the cache
@@ -431,6 +445,7 @@ class Engine
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     bool stopping_ = false;
+    std::atomic<bool> forked_{false}; ///< postFork() was called (child)
 };
 
 } // namespace mxl

@@ -61,6 +61,8 @@ translateUnit(const CompiledUnit &unit)
 
     const TagScheme &scheme = *unit.scheme;
     const HardwareConfig &hw = unit.opts.hw;
+    if (hw.memTagging)
+        return refuse("memory-tagging hardware is interpreter-only");
     const bool lowTags = scheme.placement() == TagPlacement::Low;
 
     auto tu = std::make_shared<TranslatedUnit>();

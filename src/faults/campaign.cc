@@ -30,11 +30,11 @@ trialSeed(const Campaign &c, int prog, int cls, int trial)
 }
 
 /**
- * Pause cycle for a heap-resident trial: a seed-derived fraction in
- * [5%, 95%) of the configuration's golden run length. The *fraction*
- * comes from the configuration-independent fault seed (shared fault
- * population in spirit); the absolute cycle necessarily scales with
- * each configuration's own execution time.
+ * Pause cycle for a pause-based (heap- or stack-resident) trial: a
+ * seed-derived fraction in [5%, 95%) of the configuration's golden run
+ * length. The *fraction* comes from the configuration-independent
+ * fault seed (shared fault population in spirit); the absolute cycle
+ * necessarily scales with each configuration's own execution time.
  */
 uint64_t
 heapPauseCycle(uint64_t faultSeed, uint64_t goldenTotal)
@@ -73,6 +73,7 @@ campaignHeader(const Campaign &c)
     h.set("mxl-campaign", uint64_t{1});
     h.set("seed", c.seed);
     h.set("trials", static_cast<int64_t>(c.trials));
+    h.set("backend", backendName(c.backend));
     h.set("programs", std::move(programs));
     h.set("configs", std::move(configs));
     h.set("classes", std::move(classes));
@@ -94,6 +95,8 @@ trialLine(const TrialRecord &r)
     j.set("channel", detectChannelName(r.channel));
     j.set("error", r.errorCode);
     j.set("fault", static_cast<int64_t>(r.faultIndex));
+    j.set("cyc", r.cycles);
+    j.set("backend", backendName(r.backend));
     return j;
 }
 
@@ -105,6 +108,44 @@ lineInt(const Json &j, const char *key, const std::string &line)
     if (!v || !v->isNumber())
         fatal("campaign journal line missing '", key, "': ", line);
     return v->asInt();
+}
+
+/** Inverse of backendName (journal parsing). */
+bool
+backendFromName(const std::string &name, Backend *out)
+{
+    for (Backend b : {Backend::Auto, Backend::Interpreter,
+                      Backend::Translated})
+        if (name == backendName(b)) {
+            *out = b;
+            return true;
+        }
+    return false;
+}
+
+/**
+ * Restore a TrialRecord's classification fields from its journal line
+ * (the coordinate fields p/c/k/t/seed/pause are the caller's; they are
+ * recomputed, not trusted). False on unknown outcome/channel names.
+ */
+bool
+parseTrialFields(const Json &j, const std::string &line, TrialRecord *rec)
+{
+    const Json *outcome = j.find("outcome");
+    const Json *channel = j.find("channel");
+    if (!outcome || !outcome->isString() ||
+        !outcomeFromName(outcome->str(), &rec->outcome) || !channel ||
+        !channel->isString() ||
+        !detectChannelFromName(channel->str(), &rec->channel))
+        return false;
+    rec->errorCode = lineInt(j, "error", line);
+    rec->faultIndex = static_cast<int>(lineInt(j, "fault", line));
+    rec->cycles = static_cast<uint64_t>(lineInt(j, "cyc", line));
+    const Json *backend = j.find("backend");
+    if (!backend || !backend->isString() ||
+        !backendFromName(backend->str(), &rec->backend))
+        return false;
+    return true;
 }
 
 } // namespace
@@ -299,6 +340,7 @@ runCampaign(Engine &engine, const Campaign &campaign,
                 req.opts.heapBytes = campaign.programs[p].heapBytes;
             req.exec.maxCycles = campaign.programs[p].maxCycles;
             req.exec.deadlineSeconds = campaign.deadlineSeconds;
+            req.exec.backend = campaign.backend;
             req.label = strcat("golden/", campaign.programs[p].name, "/",
                                campaign.configs[c].label);
             goldenReqs.push_back(std::move(req));
@@ -320,7 +362,7 @@ runCampaign(Engine &engine, const Campaign &campaign,
                     rec.faultSeed = trialSeed(campaign, static_cast<int>(p),
                                               static_cast<int>(k), t);
                     const RunReport &g = goldens[p * nCfg + c];
-                    if (faultClassIsHeap(campaign.classes[k]) && g.ok())
+                    if (faultClassNeedsPause(campaign.classes[k]) && g.ok())
                         rec.pauseCycle = heapPauseCycle(
                             rec.faultSeed, g.result.stats.total);
                     records.push_back(rec);
@@ -344,11 +386,29 @@ runCampaign(Engine &engine, const Campaign &campaign,
             if (first) {
                 first = false;
                 journalHasHeader = true;
-                if (j.dump() != headerLine)
+                if (j.dump() != headerLine) {
+                    // Backend-only mismatch gets a targeted message:
+                    // same campaign, wrong execution tier.
+                    const Json *jb = j.find("backend");
+                    Backend jBackend;
+                    if (jb && jb->isString() &&
+                        backendFromName(jb->str(), &jBackend)) {
+                        Campaign probe = campaign;
+                        probe.backend = jBackend;
+                        if (campaignHeader(probe).dump() == j.dump())
+                            fatal("campaign journal ", options.journalPath,
+                                  " was written under backend tier '",
+                                  jb->str(),
+                                  "' but this campaign requests '",
+                                  backendName(campaign.backend),
+                                  "'; trial outcomes are not comparable "
+                                  "across tiers — use a fresh journal");
+                    }
                     fatal("campaign journal ", options.journalPath,
                           " was written by a different campaign\n",
                           "  journal:  ", j.dump(), "\n",
                           "  campaign: ", headerLine);
+                }
                 continue;
             }
             int64_t p = lineInt(j, "p", line);
@@ -366,17 +426,9 @@ runCampaign(Engine &engine, const Campaign &campaign,
                                     static_cast<size_t>(t));
             if (done[idx])
                 continue; // duplicate line (e.g. crash between flushes)
-            TrialRecord &rec = records[idx];
-            const Json *outcome = j.find("outcome");
-            const Json *channel = j.find("channel");
-            if (!outcome || !outcome->isString() ||
-                !outcomeFromName(outcome->str(), &rec.outcome) ||
-                !channel || !channel->isString() ||
-                !detectChannelFromName(channel->str(), &rec.channel))
+            if (!parseTrialFields(j, line, &records[idx]))
                 fatal("campaign journal line with unknown outcome: ",
                       line);
-            rec.errorCode = lineInt(j, "error", line);
-            rec.faultIndex = static_cast<int>(lineInt(j, "fault", line));
             done[idx] = 1;
             ++journaled;
         }
@@ -453,6 +505,7 @@ runCampaign(Engine &engine, const Campaign &campaign,
             req.opts.heapBytes = campaign.programs[p].heapBytes;
         req.exec.maxCycles = campaign.programs[p].maxCycles;
         req.exec.deadlineSeconds = campaign.deadlineSeconds;
+        req.exec.backend = campaign.backend;
         req.label = strcat(campaign.programs[p].name, "/",
                            campaign.configs[c].label, "/",
                            spec.describe(), "/t", rec.trial);
@@ -462,29 +515,104 @@ runCampaign(Engine &engine, const Campaign &campaign,
         reqRecord.push_back(idx);
     }
 
-    // Classification happens in the per-cell completion callback so the
-    // journal always reflects exactly the finished trials: a campaign
-    // killed mid-grid resumes from the last flushed line.
-    auto onCell = [&](size_t i, const RunReport &finished) {
+    // Classify one finished trial into its record: timeout retries
+    // first (a loaded host must not turn scheduling jitter into
+    // coverage noise), then outcome classification against the golden.
+    // Shared verbatim by the in-process grid path and the sandboxed
+    // children, so the two paths cannot diverge semantically.
+    auto classifyTrial = [&](size_t i, const RunReport &finished,
+                             TrialRecord &rec) {
         const RunReport *rep = &finished;
         RunReport retried;
         for (int r = options.timeoutRetries;
              r > 0 && rep->status.code == RunStatus::Code::Timeout; --r) {
-            // Inline re-run on this worker (engine.run() is safe from
-            // workers; only nested grids are refused).
+            // Inline re-run (engine.run() is safe from workers and from
+            // forked children; only nested grids are refused).
             retried = engine.run(reqs[i]);
             rep = &retried;
         }
-        TrialRecord &rec = records[reqRecord[i]];
         const RunReport &golden =
             goldens[static_cast<size_t>(rec.program) * nCfg +
                     static_cast<size_t>(rec.config)];
         rec.outcome = classifyOutcome(*rep, golden, &rec.channel);
         rec.errorCode = rep->result.errorCode;
         rec.faultIndex = rep->result.faultIndex;
-        emitTrial(rec);
+        rec.cycles = rep->result.stats.total;
+        rec.backend = rep->backend;
     };
-    engine.runGrid(reqs, onCell);
+
+    SandboxStats sandboxStats;
+    bool sandboxed = options.sandbox.enabled && sandboxSupported() &&
+                     !reqs.empty();
+    if (sandboxed) {
+        // ---- process-isolated path (sandbox.h) ----
+        // done/records indices here are request ordinals, not trial
+        // indices: the sandbox only sees the pending trials.
+        std::vector<char> sandboxDone(reqs.size(), 0);
+        SandboxJob job;
+        job.count = reqs.size();
+        job.engine = &engine;
+        job.runTrial = [&](size_t i, int) {
+            // CHILD: run + classify into a scratch copy, serialize.
+            TrialRecord rec = records[reqRecord[i]];
+            classifyTrial(i, engine.run(reqs[i]), rec);
+            return trialLine(rec).dump();
+        };
+        job.onDone = [&](size_t i, const std::string &payload) {
+            TrialRecord &rec = records[reqRecord[i]];
+            Json j;
+            if (!Json::parse(payload, &j) || !j.isObject() ||
+                !parseTrialFields(j, payload, &rec))
+                fatal("malformed sandbox trial payload: ", payload);
+            emitTrial(rec);
+        };
+        job.onAbandoned = [&](size_t i, bool watchdogKill, int termSignal) {
+            // The trial killed its child maxAttempts times; classify
+            // from the death itself. Our hang-kill is a deadline by
+            // another name; a fatal signal is the simulator losing
+            // control — exactly CrashIllegalAccess's meaning.
+            TrialRecord &rec = records[reqRecord[i]];
+            if (watchdogKill) {
+                rec.outcome = Outcome::CycleLimit;
+                rec.errorCode = 0;
+            } else {
+                rec.outcome = Outcome::CrashIllegalAccess;
+                rec.errorCode = -termSignal;
+            }
+            rec.channel = DetectChannel::None;
+            rec.cycles = 0;
+            rec.backend = campaign.backend == Backend::Interpreter
+                              ? Backend::Interpreter
+                              : Backend::Auto;
+            emitTrial(rec);
+        };
+        sandboxStats = runSandboxed(job, options.sandbox, sandboxDone);
+        if (sandboxStats.degraded) {
+            // Fork exhaustion: finish the leftovers in-process.
+            std::vector<RunRequest> rest;
+            std::vector<size_t> restIdx;
+            for (size_t i = 0; i < reqs.size(); ++i)
+                if (!sandboxDone[i]) {
+                    rest.push_back(reqs[i]);
+                    restIdx.push_back(i);
+                }
+            engine.runGrid(rest, [&](size_t i, const RunReport &finished) {
+                TrialRecord &rec = records[reqRecord[restIdx[i]]];
+                classifyTrial(restIdx[i], finished, rec);
+                emitTrial(rec);
+            });
+        }
+    } else {
+        // ---- in-process path: one grid batch ----
+        // Classification happens in the per-cell completion callback so
+        // the journal always reflects exactly the finished trials: a
+        // campaign killed mid-grid resumes from the last flushed line.
+        engine.runGrid(reqs, [&](size_t i, const RunReport &finished) {
+            TrialRecord &rec = records[reqRecord[i]];
+            classifyTrial(i, finished, rec);
+            emitTrial(rec);
+        });
+    }
 
     // ---- aggregate ----
     CampaignResult result;
@@ -509,6 +637,7 @@ runCampaign(Engine &engine, const Campaign &campaign,
     result.trials = std::move(records);
     result.goldens = std::move(goldens);
     result.journaled = journaled;
+    result.sandbox = sandboxStats;
     return result;
 }
 

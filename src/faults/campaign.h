@@ -52,6 +52,7 @@
 
 #include "core/engine.h"
 #include "faults/fault_injector.h"
+#include "faults/sandbox.h"
 
 namespace mxl {
 
@@ -108,6 +109,15 @@ struct Campaign
     int trials = 20;           ///< faulted trials per (prog, config, class)
     uint64_t seed = 1;         ///< root of every per-trial fault seed
     double deadlineSeconds = 0; ///< per-trial wall-clock guard (0 = none)
+
+    /**
+     * Execution tier every golden and faulted trial requests
+     * (ExecPolicy::backend). Part of the campaign's identity: the
+     * journal header records it and resume refuses a journal written
+     * under a different tier — trial outcomes are only comparable
+     * within one tier's semantics.
+     */
+    Backend backend = Backend::Auto;
 };
 
 /** One classified trial. */
@@ -123,6 +133,10 @@ struct TrialRecord
     DetectChannel channel = DetectChannel::None;
     int64_t errorCode = 0;  ///< RunResult::errorCode of the faulted run
     int faultIndex = -1;    ///< faulting instruction index, when known
+    uint64_t cycles = 0;    ///< cycles the faulted run executed
+    /** Tier that actually ran the trial (RunReport::backend; the
+     *  interpreter when the campaign's Auto request fell back). */
+    Backend backend = Backend::Interpreter;
 };
 
 /** Aggregated counts for one (config, class) matrix cell. */
@@ -162,6 +176,9 @@ struct CampaignResult
 
     /** Trials restored from the resume journal instead of re-run. */
     size_t journaled = 0;
+
+    /** What the sandbox observed (zeroed when trials ran in-process). */
+    SandboxStats sandbox;
 
     const RunReport &
     golden(size_t program, size_t config) const
@@ -228,9 +245,25 @@ struct CampaignRunOptions
     /**
      * Invoked once per classified trial, on the worker thread that ran
      * it (completion order), under the journal lock — the campaign's
-     * progress hook. Also invoked for Skipped trials.
+     * progress hook. Also invoked for Skipped trials. Under the
+     * sandbox it runs on the parent's campaign thread.
      */
     std::function<void(const TrialRecord &)> onTrial;
+
+    /**
+     * Process isolation for the faulted trials (sandbox.h). With
+     * sandbox.enabled on a supported platform, pending trials run in
+     * forked child processes instead of the engine's worker grid:
+     * goldens, classification semantics, journaling, and the resulting
+     * matrix are identical, but a trial that crashes or hangs the
+     * simulator kills only its child, is retried with backoff, and
+     * after SandboxOptions::maxAttempts is classified from its death
+     * (hang-kill -> CycleLimit; fatal signal -> CrashIllegalAccess
+     * with errorCode = -signal). Ignored where sandboxSupported() is
+     * false, and degrades back to in-process execution if fork fails
+     * persistently.
+     */
+    SandboxOptions sandbox;
 };
 
 /**

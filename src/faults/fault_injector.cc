@@ -180,6 +180,90 @@ injectHeapBitFlip(MachineSnapshot &snap, const CompiledUnit &unit,
     snap.memory[idx] ^= 1u << rng.below(32);
 }
 
+/**
+ * The live stack of a paused run, as word indices into the snapshot's
+ * memory: [sp, stackTop). The stack grows down from stackTop and sp is
+ * a raw byte address, so every word in this range is a live slot —
+ * saved registers, spilled values, return addresses.
+ */
+void
+liveStackRange(const MachineSnapshot &snap, const CompiledUnit &unit,
+               uint32_t *lo, uint32_t *hi)
+{
+    uint32_t sp = snap.regs[abi::sp];
+    uint32_t words = static_cast<uint32_t>(snap.memory.size());
+    *lo = std::min(sp / 4, words);
+    *hi = std::min(unit.layout.stackTop / 4, words);
+    if (*hi < *lo)
+        *hi = *lo;
+}
+
+/**
+ * Candidate slots for StackTagCorrupt: stack words carrying a
+ * pair-typed pointer into the heap or static area — saved list values.
+ * Fallback: any nonzero slot (return addresses, fixnums), where a tag
+ * corruption turns a datum into something pointer-shaped.
+ */
+std::vector<uint32_t>
+stackPairPointerWords(const MachineSnapshot &snap, const CompiledUnit &unit)
+{
+    const TagScheme &s = *unit.scheme;
+    uint32_t lo, hi;
+    liveStackRange(snap, unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi; ++i) {
+        uint32_t w = snap.memory[i];
+        if (w == 0 || s.primaryTag(w) != s.pointerTag(TypeId::Pair))
+            continue;
+        uint32_t a = s.detagAddr(w);
+        if (a >= unit.layout.staticBase && a < unit.layout.stackTop)
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** All nonzero live stack slots (StackBitFlip targets, fallback sites). */
+std::vector<uint32_t>
+stackNonzeroWords(const MachineSnapshot &snap, const CompiledUnit &unit)
+{
+    uint32_t lo, hi;
+    liveStackRange(snap, unit, &lo, &hi);
+    std::vector<uint32_t> out;
+    for (uint32_t i = lo; i < hi; ++i)
+        if (snap.memory[i] != 0)
+            out.push_back(i);
+    return out;
+}
+
+void
+injectStackTagCorrupt(MachineSnapshot &snap, const CompiledUnit &unit,
+                      uint64_t seed)
+{
+    FaultRng rng(seed);
+    const TagScheme &s = *unit.scheme;
+    std::vector<uint32_t> sites = stackPairPointerWords(snap, unit);
+    if (sites.empty())
+        sites = stackNonzeroWords(snap, unit);
+    if (sites.empty())
+        return; // empty stack at the pause point: trial classifies Masked
+    uint32_t idx = sites[rng.below(sites.size())];
+    uint32_t tagMask = (1u << s.tagBits()) - 1u;
+    uint32_t delta = 1u + static_cast<uint32_t>(rng.below(tagMask));
+    snap.memory[idx] ^= delta << s.tagShift();
+}
+
+void
+injectStackBitFlip(MachineSnapshot &snap, const CompiledUnit &unit,
+                   uint64_t seed)
+{
+    FaultRng rng(seed);
+    std::vector<uint32_t> sites = stackNonzeroWords(snap, unit);
+    if (sites.empty())
+        return;
+    uint32_t idx = sites[rng.below(sites.size())];
+    snap.memory[idx] ^= 1u << rng.below(32);
+}
+
 void
 installCallArgFault(Machine &m, const CompiledUnit &unit, uint64_t seed)
 {
@@ -225,6 +309,10 @@ faultClassName(FaultClass cls)
         return "heap-tag-corrupt";
       case FaultClass::HeapBitFlip:
         return "heap-bit-flip";
+      case FaultClass::StackTagCorrupt:
+        return "stack-tag-corrupt";
+      case FaultClass::StackBitFlip:
+        return "stack-bit-flip";
     }
     return "?";
 }
@@ -236,10 +324,23 @@ faultClassIsHeap(FaultClass cls)
            cls == FaultClass::HeapBitFlip;
 }
 
+bool
+faultClassIsStack(FaultClass cls)
+{
+    return cls == FaultClass::StackTagCorrupt ||
+           cls == FaultClass::StackBitFlip;
+}
+
+bool
+faultClassNeedsPause(FaultClass cls)
+{
+    return faultClassIsHeap(cls) || faultClassIsStack(cls);
+}
+
 std::string
 FaultSpec::describe() const
 {
-    if (faultClassIsHeap(cls))
+    if (faultClassNeedsPause(cls))
         return strcat(faultClassName(cls), "(seed=", seed,
                       ",pause=", pauseCycle, ")");
     return strcat(faultClassName(cls), "(seed=", seed, ")");
@@ -283,6 +384,24 @@ armFault(RunRequest &req, const FaultSpec &spec)
         req.hooks.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
                                               const CompiledUnit &unit) {
             injectHeapBitFlip(snap, unit, seed);
+        };
+        break;
+      case FaultClass::StackTagCorrupt:
+        MXL_ASSERT(spec.pauseCycle > 0,
+                   "stack-resident faults need FaultSpec::pauseCycle");
+        req.hooks.pauseAtCycle = spec.pauseCycle;
+        req.hooks.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+                                              const CompiledUnit &unit) {
+            injectStackTagCorrupt(snap, unit, seed);
+        };
+        break;
+      case FaultClass::StackBitFlip:
+        MXL_ASSERT(spec.pauseCycle > 0,
+                   "stack-resident faults need FaultSpec::pauseCycle");
+        req.hooks.pauseAtCycle = spec.pauseCycle;
+        req.hooks.snapshotHook = [seed = spec.seed](MachineSnapshot &snap,
+                                              const CompiledUnit &unit) {
+            injectStackBitFlip(snap, unit, seed);
         };
         break;
     }

@@ -23,6 +23,12 @@
  *    between the from-space base and the heap allocation pointer, one
  *    is perturbed, and the run resumes — corruption of data the program
  *    built itself, the case static-image injection cannot model.
+ *  - StackTagCorrupt / StackBitFlip: the paused-run models applied to
+ *    the *live control/value stack*, [sp, stackTop). Stack slots hold
+ *    saved argument registers, spilled temporaries, and return
+ *    addresses (naturally fixnums), so this class measures how checking
+ *    fares when corruption hits control state rather than data
+ *    structure — the region where tag checking has the least leverage.
  *
  * Everything is derived from FaultSpec::seed with a splitmix64 stream:
  * the same (spec, compiled unit) pair always yields the same injected
@@ -48,14 +54,24 @@ enum class FaultClass
     TagCorrupt,     ///< corrupt the tag field of a static pointer word
     BitFlip,        ///< flip one data bit in the pristine image
     CallArgType,    ///< ill-typed argument substitution at a call boundary
-    HeapTagCorrupt, ///< corrupt the tag of a live heap word mid-run
-    HeapBitFlip     ///< flip one bit of a live heap word mid-run
+    HeapTagCorrupt,  ///< corrupt the tag of a live heap word mid-run
+    HeapBitFlip,     ///< flip one bit of a live heap word mid-run
+    StackTagCorrupt, ///< corrupt the tag of a live stack slot mid-run
+    StackBitFlip     ///< flip one bit of a live stack slot mid-run
 };
 
 const char *faultClassName(FaultClass cls);
 
 /** True for the classes injected into a paused run's live heap. */
 bool faultClassIsHeap(FaultClass cls);
+
+/** True for the classes injected into a paused run's live stack. */
+bool faultClassIsStack(FaultClass cls);
+
+/** True for every class that needs a mid-run pause + snapshot mutation
+ *  (heap- and stack-resident faults); these require a nonzero
+ *  FaultSpec::pauseCycle. */
+bool faultClassNeedsPause(FaultClass cls);
 
 /** One fully specified fault: class plus the seed that selects the
  *  injection site. */
@@ -65,10 +81,11 @@ struct FaultSpec
     uint64_t seed = 0;
 
     /**
-     * Cycle at which heap-resident faults pause the run and inject
-     * (Hooks::pauseAtCycle). Required nonzero for the Heap*
-     * classes — campaigns derive it from the golden run's cycle count
-     * so the pause lands mid-execution; ignored by the static classes.
+     * Cycle at which pause-based faults stop the run and inject
+     * (Hooks::pauseAtCycle). Required nonzero for the Heap* and
+     * Stack* classes — campaigns derive it from the golden run's cycle
+     * count so the pause lands mid-execution; ignored by the static
+     * classes.
      */
     uint64_t pauseCycle = 0;
 

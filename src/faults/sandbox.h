@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Process-isolated trial execution for fault campaigns.
+ *
+ * A faulted trial is, by construction, a run of corrupted machine
+ * state. The interpreter contains the damage in the common case, but a
+ * million-trial campaign must survive the uncommon ones too: a fault
+ * that drives the simulator itself into undefined behavior, an
+ * allocation blow-up, or a pathological run that never reaches its
+ * cycle budget. The sandbox runs batches of trials in forked child
+ * processes, so the worst a trial can do is kill its child — the
+ * parent observes the death, classifies it, and keeps going.
+ *
+ * Mechanics (POSIX; sandboxSupported() is false elsewhere and callers
+ * fall back to in-process execution):
+ *
+ *  - The parent forks up to SandboxOptions::procs children, each given
+ *    a contiguous batch of pending trial ordinals and one pipe. A
+ *    child calls Engine::postFork() on the inherited engine (the warm
+ *    compiled-unit cache arrives by copy-on-write, so children never
+ *    recompile), runs its trials inline, writes one "ordinal payload"
+ *    line per classified trial, and _exit(0)s.
+ *  - The parent multiplexes the pipes with poll(), crediting each
+ *    complete line as trial progress. A child that makes no progress
+ *    for SandboxOptions::watchdogSeconds is presumed hung and killed.
+ *  - A child that dies abnormally (signal, nonzero exit, watchdog
+ *    kill) indicts the first trial it never reported — the culprit.
+ *    The culprit's attempt count increments and the culprit plus the
+ *    batch remainder requeue, after a bounded exponential backoff on
+ *    the slot (transient failures — a loaded host, a racy OOM — get
+ *    breathing room; deterministic killers don't spin). A culprit that
+ *    exhausts SandboxOptions::maxAttempts is abandoned and reported
+ *    through SandboxJob::onAbandoned with its death evidence.
+ *  - If fork() itself fails persistently, the sandbox gives up cleanly
+ *    (SandboxStats::degraded) and the caller runs the remaining trials
+ *    in-process — a campaign on a fork-exhausted host degrades to the
+ *    old behavior instead of dying.
+ *
+ * The parent loop is single-threaded; determinism comes from the
+ * trials themselves (seeded faults), not from scheduling. A campaign
+ * run through the sandbox converges on the same coverage matrix as an
+ * in-process run, modulo trials whose children genuinely die — and
+ * those are exactly the trials the sandbox exists to report instead of
+ * crash on.
+ */
+
+#ifndef MXLISP_FAULTS_SANDBOX_H_
+#define MXLISP_FAULTS_SANDBOX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mxl {
+
+class Engine;
+
+/** Tuning for runSandboxed(). */
+struct SandboxOptions
+{
+    bool enabled = false; ///< campaigns: route trials through the sandbox
+
+    /** Concurrent child processes; 0 = hardware_concurrency(). */
+    int procs = 0;
+
+    /** Trials handed to one child per fork (amortizes fork cost;
+     *  bounds how much work one abnormal death requeues). */
+    int batchTrials = 64;
+
+    /** Times a culprit trial is re-run in a fresh child before it is
+     *  abandoned to SandboxJob::onAbandoned. */
+    int maxAttempts = 3;
+
+    /** A child reporting no trial for this long is killed (presumed
+     *  hung). 0 disables the watchdog. Size it above the campaign's
+     *  own per-trial deadline so legitimate slow trials survive. */
+    double watchdogSeconds = 0;
+
+    /** Slot backoff after an abnormal death: base * 2^(attempt-1),
+     *  capped. The slot simply isn't refilled before the deadline —
+     *  the parent never sleeps while other children have output. */
+    int backoffBaseMs = 50;
+    int backoffCapMs = 2000;
+
+    /**
+     * Test chaos seam, invoked IN THE CHILD before each trial runs.
+     * Tests use it to crash or hang specific (ordinal, attempt) pairs
+     * and assert the parent's containment behavior. Null in production.
+     */
+    std::function<void(size_t ordinal, int attempt)> childFaultHook;
+};
+
+/** What the parent observed across one runSandboxed() call. */
+struct SandboxStats
+{
+    int spawns = 0;        ///< children forked
+    int deaths = 0;        ///< abnormal child exits (signal / nonzero)
+    int watchdogKills = 0; ///< children we killed for lack of progress
+    int requeues = 0;      ///< trials sent back to the queue after a death
+    int abandoned = 0;     ///< trials that exhausted maxAttempts
+    bool degraded = false; ///< fork failed persistently; caller must run
+                           ///< the remaining (not-done) trials itself
+};
+
+/** The work to sandbox: @p count trials plus the three callbacks. */
+struct SandboxJob
+{
+    size_t count = 0;
+
+    /** Engine whose postFork() the child calls. Required. */
+    Engine *engine = nullptr;
+
+    /**
+     * CHILD SIDE: run trial @p ordinal (attempt @p attempt) and return
+     * its result serialized as a single line WITHOUT newline (the
+     * campaign uses the trial's journal JSON). Must not touch the
+     * parent's journal or metrics — the line is the only channel out.
+     */
+    std::function<std::string(size_t ordinal, int attempt)> runTrial;
+
+    /** PARENT SIDE: trial @p ordinal completed with @p payload. */
+    std::function<void(size_t ordinal, const std::string &payload)> onDone;
+
+    /**
+     * PARENT SIDE: trial @p ordinal abandoned after maxAttempts.
+     * @p watchdogKill true when the last death was our hang-kill;
+     * otherwise @p termSignal is the signal that killed the child
+     * (0 for a plain nonzero exit).
+     */
+    std::function<void(size_t ordinal, bool watchdogKill, int termSignal)>
+        onAbandoned;
+};
+
+/** True when the platform can fork/pipe/poll (POSIX). */
+bool sandboxSupported();
+
+/**
+ * Run every trial in [0, job.count) through sandboxed children.
+ * @p done must have job.count entries; trials already marked done are
+ * skipped, and every completed or abandoned trial is marked done. On a
+ * degraded return (fork exhaustion) the not-done entries are the
+ * trials the caller still owes.
+ */
+SandboxStats runSandboxed(const SandboxJob &job, const SandboxOptions &options,
+                          std::vector<char> &done);
+
+} // namespace mxl
+
+#endif // MXLISP_FAULTS_SANDBOX_H_

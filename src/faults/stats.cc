@@ -1,0 +1,221 @@
+#include "faults/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/format.h"
+#include "support/table.h"
+
+namespace mxl {
+
+Interval
+wilsonInterval(int successes, int n, double z)
+{
+    Interval iv;
+    if (n <= 0) {
+        iv.lo = 0;
+        iv.hi = 1;
+        return iv;
+    }
+    double nn = static_cast<double>(n);
+    double p = static_cast<double>(successes) / nn;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / nn;
+    double center = p + z2 / (2.0 * nn);
+    double margin =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    iv.lo = std::max(0.0, (center - margin) / denom);
+    iv.hi = std::min(1.0, (center + margin) / denom);
+    return iv;
+}
+
+namespace {
+
+/** Nearest-rank: smallest element with at least ceil(q*count) at or
+ *  below it. @p sorted must be nonempty and ascending. */
+uint64_t
+nearestRank(const std::vector<uint64_t> &sorted, double q)
+{
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+PercentileSummary
+percentileSummary(const std::vector<uint64_t> &sample)
+{
+    PercentileSummary s;
+    if (sample.empty())
+        return s;
+    std::vector<uint64_t> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p50 = nearestRank(sorted, 0.50);
+    s.p90 = nearestRank(sorted, 0.90);
+    s.p99 = nearestRank(sorted, 0.99);
+    return s;
+}
+
+void
+CycleHistogram::add(uint64_t v)
+{
+    size_t b = 0;
+    while (v != 0) {
+        v >>= 1;
+        ++b;
+    }
+    ++buckets[b];
+    ++count;
+}
+
+uint64_t
+CycleHistogram::quantileBound(double q) const
+{
+    if (count == 0)
+        return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+    }
+    return ~uint64_t{0};
+}
+
+void
+finishCoverageCell(CoverageCell *cell)
+{
+    int ran = cell->total - cell->skipped;
+    cell->coverage =
+        ran > 0 ? static_cast<double>(cell->detected) / ran : 0.0;
+    cell->ci = wilsonInterval(cell->detected, ran);
+}
+
+Json
+coverageCellJson(const CoverageCell &cell)
+{
+    Json j = Json::object();
+    j.set("config", cell.config);
+    j.set("class", cell.cls);
+    j.set("detected", static_cast<int64_t>(cell.detected));
+    j.set("total", static_cast<int64_t>(cell.total));
+    j.set("skipped", static_cast<int64_t>(cell.skipped));
+    j.set("coverage", cell.coverage);
+    j.set("ci_lo", cell.ci.lo);
+    j.set("ci_hi", cell.ci.hi);
+    return j;
+}
+
+bool
+extractCoverageCells(const Json &doc, std::vector<CoverageCell> *out,
+                     std::string *err)
+{
+    out->clear();
+    const Json *matrix = doc.find("matrix");
+    if (!matrix || !matrix->isArray()) {
+        *err = "document has no top-level \"matrix\" array";
+        return false;
+    }
+    for (size_t i = 0; i < matrix->size(); ++i) {
+        const Json &e = matrix->at(i);
+        if (!e.isObject())
+            continue;
+        const Json *config = e.find("config");
+        const Json *cls = e.find("class");
+        const Json *detected = e.find("detected");
+        const Json *total = e.find("total");
+        if (!config || !config->isString() || !cls || !cls->isString() ||
+            !detected || !detected->isNumber() || !total ||
+            !total->isNumber())
+            continue;
+        CoverageCell cell;
+        cell.config = config->str();
+        cell.cls = cls->str();
+        cell.detected = static_cast<int>(detected->asInt());
+        cell.total = static_cast<int>(total->asInt());
+        if (const Json *skipped = e.find("skipped"))
+            cell.skipped = static_cast<int>(skipped->asInt());
+        // Recompute rather than trust the file: the gate must hold even
+        // against a hand-edited or stale "coverage" field.
+        finishCoverageCell(&cell);
+        out->push_back(std::move(cell));
+    }
+    if (out->empty()) {
+        *err = "\"matrix\" array has no coverage cells "
+               "(config/class/detected/total keys)";
+        return false;
+    }
+    return true;
+}
+
+bool
+compareCoverage(const std::vector<CoverageCell> &before,
+                const std::vector<CoverageCell> &after,
+                std::string *report)
+{
+    auto pct = [](double v) {
+        return strcat(static_cast<uint64_t>(v * 1000 + 0.5) / 10, ".",
+                      static_cast<uint64_t>(v * 1000 + 0.5) % 10, "%");
+    };
+    bool ok = true;
+    TextTable t;
+    t.addRow({"config", "class", "before", "after", "ci(after)", "note"});
+    for (const CoverageCell &b : before) {
+        const CoverageCell *a = nullptr;
+        for (const CoverageCell &c : after)
+            if (c.config == b.config && c.cls == b.cls) {
+                a = &c;
+                break;
+            }
+        std::vector<std::string> row{b.config, b.cls, pct(b.coverage)};
+        if (!a) {
+            ok = false;
+            row.push_back("-");
+            row.push_back("-");
+            row.push_back("FAIL: cell disappeared");
+        } else {
+            row.push_back(pct(a->coverage));
+            row.push_back(
+                strcat("[", pct(a->ci.lo), ", ", pct(a->ci.hi), "]"));
+            if (a->skipped > b.skipped) {
+                ok = false;
+                row.push_back(strcat("FAIL: skipped ", b.skipped, " -> ",
+                                     a->skipped));
+            } else if (a->ci.hi < b.ci.lo) {
+                ok = false;
+                row.push_back(strcat("FAIL: below before-ci lo ",
+                                     pct(b.ci.lo)));
+            } else if (a->coverage < b.coverage) {
+                row.push_back("lower, within noise");
+            } else {
+                row.push_back("ok");
+            }
+        }
+        t.addRow(std::move(row));
+    }
+    for (const CoverageCell &a : after) {
+        bool known = false;
+        for (const CoverageCell &b : before)
+            known |= b.config == a.config && b.cls == a.cls;
+        if (!known)
+            t.addRow({a.config, a.cls, "-", pct(a.coverage),
+                      strcat("[", pct(a.ci.lo), ", ", pct(a.ci.hi), "]"),
+                      "new cell"});
+    }
+    *report += t.render();
+    return ok;
+}
+
+} // namespace mxl

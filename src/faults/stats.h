@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Campaign statistics: confidence intervals, cycle percentiles, and
+ * interval-aware coverage comparison.
+ *
+ * A detection-coverage number from a finite campaign is an estimate,
+ * and gating a CI on raw point estimates turns sampling noise into
+ * build failures. This module gives every matrix cell a Wilson score
+ * interval (the binomial interval that stays honest at the extremes —
+ * 0/N and N/N cells get intervals that actually contain the truth,
+ * where the naive normal interval collapses to a point), summarizes
+ * per-trial cycle counts as percentiles, and defines the regression
+ * gate bench_diff --coverage applies: a cell regresses only when the
+ * after-interval lies entirely below the before-interval — i.e. the
+ * data is inconsistent with "coverage is unchanged" — or when trials
+ * silently vanished into Skipped.
+ *
+ * Everything here is shared between the campaign bench (which writes
+ * the statistics into BENCH_faults.json) and tools/bench_diff (which
+ * reads two such files and gates), so the two sides can never disagree
+ * about what an interval means.
+ */
+
+#ifndef MXLISP_FAULTS_STATS_H_
+#define MXLISP_FAULTS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace mxl {
+
+/** A closed real interval [lo, hi]. */
+struct Interval
+{
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * Wilson score interval for @p successes detections in @p n trials at
+ * confidence z (1.96 = 95%). n == 0 returns [0, 1] — no data restricts
+ * nothing.
+ */
+Interval wilsonInterval(int successes, int n, double z = 1.96);
+
+/** Nearest-rank percentile summary of a sample of cycle counts. */
+struct PercentileSummary
+{
+    uint64_t count = 0;
+    uint64_t min = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+};
+
+/** Exact nearest-rank percentiles (sorts a copy of @p sample). */
+PercentileSummary percentileSummary(const std::vector<uint64_t> &sample);
+
+/**
+ * Power-of-two bucket histogram for cycle counts: value v lands in
+ * bucket floor(log2(v)) + 1 (0 for v == 0). O(1) memory regardless of
+ * campaign size — the streaming alternative to percentileSummary()
+ * when keeping every sample is too much, at the cost of quantiles
+ * quantized to bucket upper bounds.
+ */
+struct CycleHistogram
+{
+    std::array<uint64_t, 65> buckets{};
+    uint64_t count = 0;
+
+    void add(uint64_t v);
+
+    /** Upper bound of the bucket holding the q-quantile (q in [0, 1]);
+     *  0 when empty. */
+    uint64_t quantileBound(double q) const;
+};
+
+/** One (config, class) cell's coverage statistics, as exported to and
+ *  re-read from BENCH_faults.json. */
+struct CoverageCell
+{
+    std::string config;
+    std::string cls;
+    int detected = 0;
+    int total = 0;   ///< all trials, including skipped
+    int skipped = 0;
+    double coverage = 0; ///< detected / (total - skipped); 0 if no data
+    Interval ci;         ///< Wilson 95% on the same ratio
+};
+
+/** Compute the derived fields (coverage, ci) from the counts. */
+void finishCoverageCell(CoverageCell *cell);
+
+/** The cell's JSON form inside the bench matrix (flat keys: config,
+ *  class, detected, total, skipped, coverage, ci_lo, ci_hi). */
+Json coverageCellJson(const CoverageCell &cell);
+
+/**
+ * Extract coverage cells from a BENCH_faults.json document: every
+ * entry of the top-level "matrix" array carrying the coverageCellJson
+ * keys. Entries without them are ignored. Returns false (and sets
+ * @p err) when the document has no usable matrix at all.
+ */
+bool extractCoverageCells(const Json &doc, std::vector<CoverageCell> *out,
+                          std::string *err);
+
+/**
+ * The --coverage gate: compare @p after against @p before cell by cell
+ * (matched on config + class). A cell FAILS when
+ *
+ *   - after.ci.hi < before.ci.lo (the intervals are disjoint with
+ *     after below: a statistically unambiguous coverage drop), or
+ *   - after.skipped > before.skipped (trials quietly stopped running —
+ *     a masked regression no interval can see), or
+ *   - the cell disappeared from @p after.
+ *
+ * Cells new in @p after are reported but never fail. Appends a
+ * human-readable table to @p report; returns true when no cell failed.
+ */
+bool compareCoverage(const std::vector<CoverageCell> &before,
+                     const std::vector<CoverageCell> &after,
+                     std::string *report);
+
+} // namespace mxl
+
+#endif // MXLISP_FAULTS_STATS_H_

@@ -22,6 +22,8 @@ HardwareConfig::describe() const
         s += "checked-mem(lists) ";
     else if (checkedMemory == CheckedMem::All)
         s += "checked-mem(all) ";
+    if (memTagging)
+        s += "mem-tagging ";
     if (s.empty())
         s = "none";
     else
@@ -34,10 +36,46 @@ Machine::Machine(const Program &prog, Memory mem, HardwareConfig hw,
     : prog_(prog), mem_(std::move(mem)), hw_(hw), scheme_(scheme)
 {
     if ((hw_.ignoreTagOnMemory || hw_.branchOnTag || hw_.genericArith ||
-         hw_.checkedMemory != CheckedMem::None) &&
+         hw_.checkedMemory != CheckedMem::None || hw_.memTagging) &&
         !scheme_) {
         panic("tag hardware enabled without a tag scheme");
     }
+    if (hw_.memTagging)
+        memLocks_.assign(mem_.size() / 4, kMemTagUnpainted);
+}
+
+bool
+Machine::memTagAccess(uint32_t baseWord, uint32_t addr, bool isStore,
+                      int idx)
+{
+    uint32_t w = addr / 4;
+    if (w >= memLocks_.size())
+        return true; // bounds were already checked; be permissive
+    if (scheme_->wordIsFixnum(baseWord)) {
+        // Raw access (allocator, GC, stack frames addressed via sp):
+        // a raw store releases the word's lock; a raw load bypasses.
+        if (isStore)
+            memLocks_[w] = kMemTagUnpainted;
+        return true;
+    }
+    uint8_t key = static_cast<uint8_t>(scheme_->primaryTag(baseWord));
+    if (isStore) {
+        // Write-repaint: a keyed store claims the word for its key.
+        memLocks_[w] = key;
+        return true;
+    }
+    uint8_t lock = memLocks_[w];
+    if (lock == kMemTagUnpainted) {
+        memLocks_[w] = key; // first keyed read paints
+        return true;
+    }
+    if (lock != key) {
+        regs_[abi::trapA] = baseWord;
+        regs_[abi::trapB] = lock;
+        trap(TrapKind::TagMismatch, idx);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -225,6 +263,8 @@ Machine::execute(const Instruction &inst, int idx)
             illegalAccess(a, idx);
             return;
         }
+        if (hw_.memTagging && !memTagAccess(rs(), a, false, idx))
+            return;
         wr(mem_.load(a));
         pendingLoadReg_ = inst.rd;
         break;
@@ -235,6 +275,8 @@ Machine::execute(const Instruction &inst, int idx)
             illegalAccess(a, idx);
             return;
         }
+        if (hw_.memTagging && !memTagAccess(rs(), a, true, idx))
+            return;
         mem_.store(a, rt());
         break;
       }
@@ -252,6 +294,8 @@ Machine::execute(const Instruction &inst, int idx)
             illegalAccess(a, idx);
             return;
         }
+        if (hw_.memTagging && !memTagAccess(rs(), a, false, idx))
+            return;
         wr(mem_.load(a));
         pendingLoadReg_ = inst.rd;
         break;
@@ -270,6 +314,8 @@ Machine::execute(const Instruction &inst, int idx)
             illegalAccess(a, idx);
             return;
         }
+        if (hw_.memTagging && !memTagAccess(rs(), a, true, idx))
+            return;
         mem_.store(a, rt());
         break;
       }
@@ -347,6 +393,7 @@ Machine::snapshot() const
     std::copy(std::begin(trapHandler_), std::end(trapHandler_),
               std::begin(s.trapHandler));
     s.memory = mem_.words();
+    s.memTagLocks = memLocks_;
     s.pendingLoadReg = pendingLoadReg_;
     s.slotsRemaining = slotsRemaining_;
     s.branchTaken = branchTaken_;
@@ -370,6 +417,7 @@ Machine::restore(const MachineSnapshot &s)
     std::copy(std::begin(s.trapHandler), std::end(s.trapHandler),
               std::begin(trapHandler_));
     mem_.setWords(s.memory);
+    memLocks_ = s.memTagLocks;
     pendingLoadReg_ = s.pendingLoadReg;
     slotsRemaining_ = s.slotsRemaining;
     branchTaken_ = s.branchTaken;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "isa/instruction.h"
 #include "machine/cycle_stats.h"
@@ -43,6 +44,22 @@ struct HardwareConfig
     bool genericArith = false;
     /** Rows 5/6: Ldt/Stt check the operand tag during the access. */
     CheckedMem checkedMemory = CheckedMem::None;
+
+    /**
+     * MTE-style lock-and-key memory tagging (Serebryany et al.): every
+     * memory word carries a lock; a load through a pointer-tagged base
+     * register checks the pointer's tag (the key) against the word's
+     * lock and traps (TrapKind::TagMismatch) on mismatch. Stores
+     * through a tagged base (re)paint the word's lock with the key;
+     * stores through a raw (fixnum-looking) base unpaint it — the
+     * allocator and GC write through raw addresses, so recycled memory
+     * never keeps a stale lock. An unpainted word is painted by its
+     * first keyed access. Orthogonal to checkedMemory: this checks
+     * every Ld/St/Ldt/Stt, needs no compiled checks, and works with
+     * Checking::Off code as long as the scheme keeps base registers
+     * tagged at access time (low-tag schemes; see tags/low_tag.cc).
+     */
+    bool memTagging = false;
 
     std::string describe() const;
 };
@@ -216,6 +233,20 @@ class Machine
         profCycles_ = cycleCounts;
     }
 
+    /** memTagging: the lock value of a word no key has claimed. */
+    static constexpr uint8_t kMemTagUnpainted = 0xff;
+
+    /**
+     * memTagging lock byte for memory word index @p w (kMemTagUnpainted
+     * when unpainted or the feature is off). Exposed for tests and for
+     * snapshot carry.
+     */
+    uint8_t
+    memTagLock(uint32_t w) const
+    {
+        return w < memLocks_.size() ? memLocks_[w] : kMemTagUnpainted;
+    }
+
   private:
     StopReason runGuarded(uint64_t maxCycles);
     StopReason runLoop(uint64_t maxCycles);
@@ -226,6 +257,15 @@ class Machine
     void trap(TrapKind kind, int idx);
     void illegalAccess(uint32_t addr, int idx);
     uint32_t effAddr(const Instruction &inst, bool checked) const;
+
+    /**
+     * memTagging lock-and-key check for an access to in-bounds byte
+     * address @p addr through base-register word @p baseWord. Returns
+     * false when the access trapped (the caller must return without
+     * performing it).
+     */
+    bool memTagAccess(uint32_t baseWord, uint32_t addr, bool isStore,
+                      int idx);
     void chargeAndCount(const Instruction &inst, int idx);
 
     /**
@@ -265,6 +305,7 @@ class Machine
     StopReason stop_ = StopReason::Running;
     int faultIndex_ = -1;
     int pendingLoadReg_ = -1;  ///< load-delay interlock tracking
+    std::vector<uint8_t> memLocks_; ///< memTagging per-word locks
     uint64_t *profExec_ = nullptr;   ///< attachProfile issue counts
     uint64_t *profCycles_ = nullptr; ///< attachProfile cycle counts
 

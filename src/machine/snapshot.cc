@@ -8,7 +8,8 @@ namespace {
 
 // Fixed-order little-endian encoding. The format is versioned so a
 // journal of serialized snapshots stays readable across changes.
-const char kMagic[8] = {'M', 'X', 'S', 'N', 'A', 'P', '0', '1'};
+// 02 appended the memTagLocks vector after the memory words.
+const char kMagic[8] = {'M', 'X', 'S', 'N', 'A', 'P', '0', '2'};
 
 void
 putU32(std::string &s, uint32_t v)
@@ -164,6 +165,9 @@ MachineSnapshot::serialize() const
     putU64(s, memory.size());
     for (uint32_t w : memory)
         putU32(s, w);
+    putU64(s, memTagLocks.size());
+    s.append(reinterpret_cast<const char *>(memTagLocks.data()),
+             memTagLocks.size());
     return s;
 }
 
@@ -207,6 +211,12 @@ MachineSnapshot::deserialize(const std::string &bytes, MachineSnapshot *out)
     s.memory.resize(words);
     for (uint64_t i = 0; i < words; ++i)
         s.memory[i] = c.u32();
+    uint64_t locks = c.u64();
+    if (!c.ok || c.pos + locks > bytes.size())
+        return false;
+    s.memTagLocks.resize(locks);
+    if (locks > 0 && !c.take(s.memTagLocks.data(), locks))
+        return false;
     if (!c.ok || c.pos != bytes.size())
         return false;
     *out = std::move(s);

@@ -41,6 +41,9 @@ struct MachineSnapshot
     int trapHandler[3] = {-1, -1, -1};
     std::vector<uint32_t> memory; ///< full image, word-indexed
 
+    /** memTagging per-word locks; empty when the feature is off. */
+    std::vector<uint8_t> memTagLocks;
+
     // Pipeline state (machine.h's in-flight branch fields).
     int pendingLoadReg = -1;
     int slotsRemaining = 0;

@@ -18,6 +18,7 @@
 #include "core/experiment.h"
 #include "faults/campaign.h"
 #include "faults/fault_injector.h"
+#include "faults/stats.h"
 #include "runtime/stubs.h"
 #include "support/json.h"
 #include "support/panic.h"
@@ -676,4 +677,500 @@ TEST(Campaign, OutcomeNamesRoundTrip)
     }
     DetectChannel junkCh;
     EXPECT_FALSE(detectChannelFromName("not-a-channel", &junkCh));
+}
+
+// ---- stack-resident fault classes -------------------------------------
+
+TEST(FaultSpec, StackClassesArePauseBased)
+{
+    EXPECT_STREQ(faultClassName(FaultClass::StackTagCorrupt),
+                 "stack-tag-corrupt");
+    EXPECT_STREQ(faultClassName(FaultClass::StackBitFlip),
+                 "stack-bit-flip");
+
+    EXPECT_TRUE(faultClassIsStack(FaultClass::StackTagCorrupt));
+    EXPECT_TRUE(faultClassIsStack(FaultClass::StackBitFlip));
+    EXPECT_FALSE(faultClassIsStack(FaultClass::HeapTagCorrupt));
+    EXPECT_FALSE(faultClassIsStack(FaultClass::TagCorrupt));
+
+    // needsPause is exactly heap-or-stack.
+    for (FaultClass cls : {FaultClass::TagCorrupt, FaultClass::BitFlip,
+                           FaultClass::CallArgType,
+                           FaultClass::HeapTagCorrupt,
+                           FaultClass::HeapBitFlip,
+                           FaultClass::StackTagCorrupt,
+                           FaultClass::StackBitFlip})
+        EXPECT_EQ(faultClassNeedsPause(cls),
+                  faultClassIsHeap(cls) || faultClassIsStack(cls));
+
+    FaultSpec spec;
+    spec.cls = FaultClass::StackTagCorrupt;
+    spec.seed = 9;
+    spec.pauseCycle = 777;
+    EXPECT_EQ(spec.describe(), "stack-tag-corrupt(seed=9,pause=777)");
+}
+
+TEST(FaultInjector, StackClassesArmThePauseSeamNotTheImage)
+{
+    for (FaultClass cls :
+         {FaultClass::StackTagCorrupt, FaultClass::StackBitFlip}) {
+        RunRequest req;
+        FaultSpec spec;
+        spec.cls = cls;
+        spec.seed = 21;
+        spec.pauseCycle = 4000;
+        armFault(req, spec);
+        EXPECT_FALSE(static_cast<bool>(req.hooks.imageMutator));
+        EXPECT_FALSE(static_cast<bool>(req.hooks.machineSetup));
+        EXPECT_TRUE(static_cast<bool>(req.hooks.snapshotHook));
+        EXPECT_EQ(req.hooks.pauseAtCycle, 4000u);
+    }
+}
+
+TEST(FaultInjector, StackInjectionIsDeterministicThroughTheEngine)
+{
+    Engine eng(2);
+    RunRequest golden;
+    golden.source = kRev;
+    golden.opts = checkedAllOpts();
+    RunReport goldenRep = eng.run(golden);
+    ASSERT_TRUE(goldenRep.ok()) << goldenRep.status.message;
+
+    FaultSpec spec;
+    spec.cls = FaultClass::StackTagCorrupt;
+    spec.seed = FaultRng::mix(2026, 9);
+    spec.pauseCycle = goldenRep.result.stats.total / 2;
+
+    RunRequest a = golden, b = golden;
+    armFault(a, spec);
+    armFault(b, spec);
+    RunReport ra = eng.run(a);
+    Engine eng2(1);
+    RunReport rb = eng2.run(b);
+    ASSERT_TRUE(ra.ok()) << ra.status.message;
+    EXPECT_TRUE(ra.result.snapshotTaken);
+    EXPECT_EQ(ra.result.stop, rb.result.stop);
+    EXPECT_EQ(ra.result.output, rb.result.output);
+    EXPECT_EQ(ra.result.errorCode, rb.result.errorCode);
+    EXPECT_EQ(ra.result.stats.total, rb.result.stats.total);
+}
+
+TEST(Campaign, StackClassesGetMidRunPauseCycles)
+{
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.classes = {FaultClass::TagCorrupt, FaultClass::StackTagCorrupt,
+                 FaultClass::StackBitFlip};
+    c.trials = 5;
+    CampaignResult r = runCampaign(eng, c);
+
+    for (const TrialRecord &t : r.trials) {
+        const RunReport &g = r.golden(t.program, t.config);
+        ASSERT_TRUE(g.ok());
+        if (faultClassIsStack(c.classes[t.cls])) {
+            EXPECT_GT(t.pauseCycle, 0u);
+            EXPECT_LT(t.pauseCycle, g.result.stats.total);
+        } else {
+            EXPECT_EQ(t.pauseCycle, 0u);
+        }
+    }
+    const int perCell = static_cast<int>(c.programs.size()) * c.trials;
+    for (size_t cfg = 0; cfg < r.configCount; ++cfg)
+        for (size_t cls = 0; cls < r.classCount; ++cls)
+            EXPECT_EQ(r.cell(cfg, cls).total(), perCell);
+}
+
+// ---- classification edge cases ----------------------------------------
+
+TEST(Classify, UnhandledTrapCodeBoundaries)
+{
+    RunReport golden = goldenReport();
+    DetectChannel ch;
+
+    auto errored = [&](int64_t code) {
+        RunReport r = goldenReport();
+        r.result.stop = StopReason::Errored;
+        r.result.errorCode = code;
+        return r;
+    };
+
+    // The unhandled-trap range is [base + stride, base + 3*stride):
+    // kinds ArithFail(1) and TagMismatch(2). Exactly on the lower
+    // boundary is a hardware trap; just below it is not.
+    const int64_t lo = kUnhandledTrapBase + kUnhandledTrapStride;
+    const int64_t hi = kUnhandledTrapBase + 3 * kUnhandledTrapStride;
+    EXPECT_EQ(classifyOutcome(errored(lo), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::HardwareTrap);
+    EXPECT_EQ(classifyOutcome(errored(hi - 1), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::HardwareTrap);
+
+    // Below and above the trap range, an unknown error code is a
+    // software-side detection (the runtime's own `error` path).
+    EXPECT_EQ(classifyOutcome(errored(lo - 1), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::SoftwareCheck);
+    EXPECT_EQ(classifyOutcome(errored(hi), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::SoftwareCheck);
+}
+
+TEST(Classify, ErrorCodeCollisions)
+{
+    // Codes adjacent to the divide-by-zero sentinel must not inherit
+    // its crash classification, and the tag-trap software fallback
+    // code must stay a hardware-channel detection even though it
+    // numerically neighbors the software type-error code.
+    RunReport golden = goldenReport();
+    DetectChannel ch;
+
+    auto errored = [&](int64_t code) {
+        RunReport r = goldenReport();
+        r.result.stop = StopReason::Errored;
+        r.result.errorCode = code;
+        return r;
+    };
+
+    EXPECT_EQ(classifyOutcome(errored(kDivideByZeroCode), golden, &ch),
+              Outcome::CrashIllegalAccess);
+    EXPECT_EQ(ch, DetectChannel::None);
+    EXPECT_EQ(classifyOutcome(errored(kDivideByZeroCode - 1), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(classifyOutcome(errored(kDivideByZeroCode + 1), golden, &ch),
+              Outcome::Detected);
+
+    EXPECT_EQ(classifyOutcome(errored(rtcode::tagTrap), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::HardwareTrap);
+    EXPECT_EQ(classifyOutcome(errored(rtcode::typeError), golden, &ch),
+              Outcome::Detected);
+    EXPECT_EQ(ch, DetectChannel::SoftwareCheck);
+}
+
+TEST(Campaign, GoldenCycleLimitSkipsThatCellsTrials)
+{
+    // A golden that exhausts its cycle budget (the analogue of a golden
+    // wall-clock timeout: not ok(), but not a compile error either)
+    // must Skip its trials, while a faulted run hitting the same
+    // budget classifies CycleLimit — the two timeouts are distinct.
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 2;
+    c.programs = {{"starved", kSumList, 100}}; // golden can't finish
+    CampaignResult r = runCampaign(eng, c);
+
+    for (size_t cfg = 0; cfg < c.configs.size(); ++cfg) {
+        EXPECT_FALSE(r.golden(0, cfg).ok());
+        EXPECT_EQ(r.golden(0, cfg).result.stop, StopReason::CycleLimit);
+    }
+    for (const TrialRecord &t : r.trials) {
+        EXPECT_EQ(t.outcome, Outcome::Skipped);
+        EXPECT_EQ(t.channel, DetectChannel::None);
+        EXPECT_EQ(t.cycles, 0u);
+    }
+}
+
+// ---- campaign statistics (faults/stats.h) ------------------------------
+
+TEST(FaultStats, WilsonIntervalProperties)
+{
+    // No data restricts nothing.
+    Interval empty = wilsonInterval(0, 0);
+    EXPECT_EQ(empty.lo, 0.0);
+    EXPECT_EQ(empty.hi, 1.0);
+
+    // 0/N and N/N stay honest: nondegenerate intervals inside [0, 1].
+    Interval zero = wilsonInterval(0, 20);
+    EXPECT_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+    EXPECT_LT(zero.hi, 0.5);
+    Interval full = wilsonInterval(20, 20);
+    EXPECT_NEAR(full.hi, 1.0, 1e-9);
+    EXPECT_LT(full.lo, 1.0);
+    EXPECT_GT(full.lo, 0.5);
+
+    // The interval contains the point estimate and narrows with N.
+    Interval half = wilsonInterval(10, 20);
+    EXPECT_LT(half.lo, 0.5);
+    EXPECT_GT(half.hi, 0.5);
+    Interval bigger = wilsonInterval(100, 200);
+    EXPECT_GT(bigger.lo, half.lo);
+    EXPECT_LT(bigger.hi, half.hi);
+}
+
+TEST(FaultStats, PercentileSummaryNearestRank)
+{
+    EXPECT_EQ(percentileSummary({}).count, 0u);
+
+    std::vector<uint64_t> sample;
+    for (uint64_t v = 100; v >= 1; --v)
+        sample.push_back(v); // 100..1, unsorted on purpose
+    PercentileSummary s = percentileSummary(sample);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.p50, 50u);
+    EXPECT_EQ(s.p90, 90u);
+    EXPECT_EQ(s.p99, 99u);
+    EXPECT_EQ(s.max, 100u);
+
+    PercentileSummary one = percentileSummary({42});
+    EXPECT_EQ(one.min, 42u);
+    EXPECT_EQ(one.p50, 42u);
+    EXPECT_EQ(one.max, 42u);
+}
+
+TEST(FaultStats, CycleHistogramQuantileBounds)
+{
+    CycleHistogram h;
+    EXPECT_EQ(h.quantileBound(0.5), 0u);
+
+    std::vector<uint64_t> sample;
+    for (uint64_t i = 0; i < 1000; ++i)
+        sample.push_back(i * 37 + 1);
+    for (uint64_t v : sample)
+        h.add(v);
+    EXPECT_EQ(h.count, sample.size());
+
+    // The bucket bound is an upper bound on the exact quantile and at
+    // most one power of two above it.
+    PercentileSummary exact = percentileSummary(sample);
+    uint64_t bound = h.quantileBound(0.5);
+    EXPECT_GE(bound, exact.p50);
+    EXPECT_LE(bound, exact.p50 * 2);
+    EXPECT_GE(h.quantileBound(0.99), exact.p99);
+    EXPECT_GE(h.quantileBound(1.0), exact.max);
+}
+
+TEST(FaultStats, CoverageCellJsonRoundTripRecomputes)
+{
+    CoverageCell cell;
+    cell.config = "checked";
+    cell.cls = "tag-corrupt";
+    cell.detected = 17;
+    cell.total = 30;
+    cell.skipped = 0;
+    finishCoverageCell(&cell);
+    EXPECT_NEAR(cell.coverage, 17.0 / 30.0, 1e-9);
+    EXPECT_LT(cell.ci.lo, cell.coverage);
+    EXPECT_GT(cell.ci.hi, cell.coverage);
+
+    Json doc = Json::object();
+    Json matrix = Json::array();
+    Json tampered = coverageCellJson(cell);
+    tampered.set("coverage", 0.99); // a lie the extractor must ignore
+    matrix.push(std::move(tampered));
+    doc.set("matrix", std::move(matrix));
+
+    std::vector<CoverageCell> cells;
+    std::string err;
+    ASSERT_TRUE(extractCoverageCells(doc, &cells, &err)) << err;
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].config, "checked");
+    EXPECT_EQ(cells[0].cls, "tag-corrupt");
+    EXPECT_NEAR(cells[0].coverage, 17.0 / 30.0, 1e-9);
+    EXPECT_NEAR(cells[0].ci.lo, cell.ci.lo, 1e-9);
+    EXPECT_NEAR(cells[0].ci.hi, cell.ci.hi, 1e-9);
+
+    // Skipped trials shrink the denominator.
+    CoverageCell holey = cell;
+    holey.skipped = 10;
+    finishCoverageCell(&holey);
+    EXPECT_NEAR(holey.coverage, 17.0 / 20.0, 1e-9);
+
+    // A document without a matrix is an error, not an empty result.
+    Json bare = Json::object();
+    EXPECT_FALSE(extractCoverageCells(bare, &cells, &err));
+}
+
+namespace {
+
+CoverageCell
+fixtureCell(const char *config, const char *cls, int detected, int total,
+            int skipped = 0)
+{
+    CoverageCell c;
+    c.config = config;
+    c.cls = cls;
+    c.detected = detected;
+    c.total = total;
+    c.skipped = skipped;
+    finishCoverageCell(&c);
+    return c;
+}
+
+} // namespace
+
+TEST(FaultStats, CompareCoverageGate)
+{
+    std::vector<CoverageCell> before = {
+        fixtureCell("checked", "tag-corrupt", 17, 30),
+        fixtureCell("checked", "bit-flip", 3, 30),
+    };
+    std::string report;
+
+    // Identical coverage passes.
+    EXPECT_TRUE(compareCoverage(before, before, &report));
+
+    // A drop within the noise band passes (intervals overlap).
+    std::vector<CoverageCell> noisy = {
+        fixtureCell("checked", "tag-corrupt", 15, 30),
+        fixtureCell("checked", "bit-flip", 3, 30),
+    };
+    report.clear();
+    EXPECT_TRUE(compareCoverage(before, noisy, &report));
+
+    // A statistically unambiguous drop fails: after.hi < before.lo.
+    std::vector<CoverageCell> dropped = {
+        fixtureCell("checked", "tag-corrupt", 1, 30),
+        fixtureCell("checked", "bit-flip", 3, 30),
+    };
+    report.clear();
+    EXPECT_FALSE(compareCoverage(before, dropped, &report));
+    EXPECT_NE(report.find("FAIL"), std::string::npos);
+
+    // Growing the skipped count fails even with identical coverage.
+    std::vector<CoverageCell> skippedGrew = {
+        fixtureCell("checked", "tag-corrupt", 17, 30, 5),
+        fixtureCell("checked", "bit-flip", 3, 30),
+    };
+    report.clear();
+    EXPECT_FALSE(compareCoverage(before, skippedGrew, &report));
+    EXPECT_NE(report.find("skipped"), std::string::npos);
+
+    // A cell disappearing fails.
+    std::vector<CoverageCell> vanished = {
+        fixtureCell("checked", "tag-corrupt", 17, 30),
+    };
+    report.clear();
+    EXPECT_FALSE(compareCoverage(before, vanished, &report));
+    EXPECT_NE(report.find("disappeared"), std::string::npos);
+
+    // A new cell is reported but never fails.
+    std::vector<CoverageCell> extra = before;
+    extra.push_back(fixtureCell("memtag", "stack-tag-corrupt", 6, 30));
+    report.clear();
+    EXPECT_TRUE(compareCoverage(before, extra, &report));
+    EXPECT_NE(report.find("new cell"), std::string::npos);
+}
+
+// ---- execution backend tier -------------------------------------------
+
+TEST(Campaign, JournalHeaderStampsBackendTier)
+{
+    const std::string path = tempJournal("journal_backend.jsonl");
+    std::remove(path.c_str());
+
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 2;
+    c.backend = Backend::Interpreter;
+    CampaignRunOptions options;
+    options.journalPath = path;
+    CampaignResult r = runCampaign(eng, c, options);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u);
+    Json header;
+    ASSERT_TRUE(Json::parse(lines[0], &header));
+    const Json *backend = header.find("backend");
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->str(), "interpreter");
+
+    // Every trial line records the tier that actually ran it.
+    for (size_t i = 1; i < lines.size(); ++i) {
+        Json trial;
+        ASSERT_TRUE(Json::parse(lines[i], &trial));
+        const Json *tb = trial.find("backend");
+        ASSERT_NE(tb, nullptr) << lines[i];
+        EXPECT_EQ(tb->str(), "interpreter");
+        EXPECT_NE(trial.find("cyc"), nullptr) << lines[i];
+    }
+    (void)r;
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeRefusesJournalFromDifferentBackendTier)
+{
+    const std::string path = tempJournal("journal_tier.jsonl");
+    std::remove(path.c_str());
+
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 2;
+    c.backend = Backend::Interpreter;
+    CampaignRunOptions options;
+    options.journalPath = path;
+    runCampaign(eng, c, options);
+
+    Campaign other = c;
+    other.backend = Backend::Auto;
+    try {
+        resumeCampaign(eng, other, path);
+        FAIL() << "resume accepted a journal from a different tier";
+    } catch (const MxlError &e) {
+        // The tier-only mismatch gets the targeted diagnostic, not the
+        // generic "different campaign" dump.
+        EXPECT_NE(std::string(e.what()).find("backend tier"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, TrialRecordsCarryCyclesAndResolvedBackend)
+{
+    Engine eng(2);
+    Campaign c = smallCampaign();
+    c.trials = 3;
+    CampaignResult r = runCampaign(eng, c);
+    for (const TrialRecord &t : r.trials) {
+        ASSERT_NE(t.outcome, Outcome::Skipped);
+        EXPECT_GT(t.cycles, 0u);
+        // The stamped tier is the one that ran, never the Auto request.
+        EXPECT_NE(t.backend, Backend::Auto);
+    }
+}
+
+TEST(Campaign, AutoTierMatchesInterpreterTier)
+{
+    // The satellite regression: a campaign run under Backend::Auto
+    // (translated where possible, interpreter where a hook demands it)
+    // must produce golden and faulted classifications identical to an
+    // interpreter-only run — tier selection is a performance decision,
+    // never a semantic one.
+    Campaign c = smallCampaign();
+    c.classes = {FaultClass::TagCorrupt, FaultClass::BitFlip,
+                 FaultClass::StackTagCorrupt};
+    c.trials = 4;
+
+    Campaign interp = c;
+    interp.backend = Backend::Interpreter;
+    Campaign autoTier = c;
+    autoTier.backend = Backend::Auto;
+
+    Engine e1(2), e2(2);
+    CampaignResult ri = runCampaign(e1, interp);
+    CampaignResult ra = runCampaign(e2, autoTier);
+
+    ASSERT_EQ(ri.goldens.size(), ra.goldens.size());
+    for (size_t g = 0; g < ri.goldens.size(); ++g) {
+        EXPECT_EQ(ri.goldens[g].result.output, ra.goldens[g].result.output);
+        EXPECT_EQ(ri.goldens[g].result.stats.total,
+                  ra.goldens[g].result.stats.total);
+    }
+    ASSERT_EQ(ri.trials.size(), ra.trials.size());
+    int translated = 0;
+    for (size_t i = 0; i < ri.trials.size(); ++i) {
+        EXPECT_EQ(ri.trials[i].outcome, ra.trials[i].outcome) << i;
+        EXPECT_EQ(ri.trials[i].channel, ra.trials[i].channel) << i;
+        EXPECT_EQ(ri.trials[i].errorCode, ra.trials[i].errorCode) << i;
+        EXPECT_EQ(ri.trials[i].cycles, ra.trials[i].cycles) << i;
+        EXPECT_EQ(ri.trials[i].backend, Backend::Interpreter);
+        translated += ra.trials[i].backend == Backend::Translated;
+    }
+    EXPECT_EQ(ri.renderMatrix(), ra.renderMatrix());
+    // The differential has teeth only if Auto actually promoted some
+    // trials (image-mutator classes carry no interpreter-only hook).
+    EXPECT_GT(translated, 0);
 }

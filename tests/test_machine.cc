@@ -7,6 +7,7 @@
 
 #include "isa/assembler.h"
 #include "machine/machine.h"
+#include "machine/snapshot.h"
 #include "support/panic.h"
 #include "tags/tag_scheme.h"
 
@@ -721,6 +722,152 @@ TEST(Machine, TraceHookAndProfilerSeeEveryIssueOnceNeverAnnulled)
     int loadIdx = r.prog.symbol("loop") + 1;
     EXPECT_EQ(cycleCount[loadIdx], iters);          // the loads alone
     EXPECT_EQ(cycleCount[loadIdx + 1], iters * 2u); // add + 1 stall each
+}
+
+// ---- MTE-style memory tagging (lock and key) --------------------------
+//
+// A low-tag scheme keeps pointer tags in the low address bits, so a
+// keyed access and a raw access to the same word use base registers
+// that differ only in those bits (word-addressed memory drops them).
+// Pair (001) and symbol (010) pointers to base 0x200 both address word
+// 0x80, with keys 1 and 2.
+
+TEST(Machine, MemTaggingKeyedStoreAndLoadRoundTrip)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    HardwareConfig hw;
+    hw.memTagging = true;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            li r3, 1234
+            st r3, 0(r2)
+            ld r4, 0(r2)
+            sys halt, r4
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::Halted);
+    EXPECT_EQ(m.exitValue(), 1234u);
+    // The keyed store painted the word's lock with the pointer's tag.
+    EXPECT_EQ(m.memTagLock(0x200 / 4), scheme->primaryTag(pairWord));
+}
+
+TEST(Machine, MemTaggingTrapsOnKeyMismatch)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    HardwareConfig hw;
+    hw.memTagging = true;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x200);
+    uint32_t symWord = scheme->encodePointer(TypeId::Symbol, 0x200);
+    std::string src = strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            li r3, 1234
+            st r3, 0(r2)
+            li r5, )", symWord, R"(
+            ld r4, 0(r5)        ; wrong key: traps
+            sys halt, r4
+        handler:
+            li r1, 55
+            sys halt, r1
+    )");
+
+    // Without a handler the trap stops the run with the encoded
+    // unhandled-TagMismatch error code.
+    Program p = assemble(src);
+    Machine bare(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(bare.run(p.symbol("main")), StopReason::Errored);
+    EXPECT_TRUE(isUnhandledTrapCode(bare.errorCode()));
+    EXPECT_EQ(unhandledTrapKind(bare.errorCode()), TrapKind::TagMismatch);
+
+    // With a handler it vectors, latching the key and the lock.
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.setTrapHandler(TrapKind::TagMismatch, p.symbol("handler"));
+    m.run(p.symbol("main"));
+    EXPECT_EQ(m.exitValue(), 55u);
+    EXPECT_EQ(m.reg(abi::trapA), symWord);
+    EXPECT_EQ(m.reg(abi::trapB), scheme->primaryTag(pairWord));
+}
+
+TEST(Machine, MemTaggingRawStoreUnpaintsRawLoadBypasses)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    HardwareConfig hw;
+    hw.memTagging = true;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x200);
+    uint32_t symWord = scheme->encodePointer(TypeId::Symbol, 0x200);
+    // Paint with the pair key, read raw (fixnum base: the allocator's
+    // and GC's view), then recycle the word with a raw store and claim
+    // it under the symbol key — the memory-reuse lifecycle.
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            li r3, 1234
+            st r3, 0(r2)
+            li r6, 0x200
+            ld r4, 0(r6)        ; raw load bypasses the lock
+            li r7, 77
+            st r7, 0(r6)        ; raw store unpaints
+            li r5, )", symWord, R"(
+            ld r8, 0(r5)        ; first keyed read repaints: no trap
+            sys halt, r8
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::Halted);
+    EXPECT_EQ(m.exitValue(), 77u);
+    EXPECT_EQ(m.memTagLock(0x200 / 4), scheme->primaryTag(symWord));
+}
+
+TEST(Machine, MemTaggingFirstKeyedReadPaintsUnclaimedWords)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    HardwareConfig hw;
+    hw.memTagging = true;
+    uint32_t symWord = scheme->encodePointer(TypeId::Symbol, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r5, )", symWord, R"(
+            ld r4, 0(r5)
+            sys halt, r4
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    EXPECT_EQ(m.memTagLock(0x200 / 4), Machine::kMemTagUnpainted);
+    EXPECT_EQ(m.run(p.symbol("main")), StopReason::Halted);
+    EXPECT_EQ(m.memTagLock(0x200 / 4), scheme->primaryTag(symWord));
+}
+
+TEST(Machine, SnapshotRoundTripCarriesMemTagLocks)
+{
+    auto scheme = makeScheme(SchemeKind::Low3);
+    HardwareConfig hw;
+    hw.memTagging = true;
+    uint32_t pairWord = scheme->encodePointer(TypeId::Pair, 0x200);
+    Program p = assemble(strcat(R"(
+        main:
+            li r2, )", pairWord, R"(
+            li r3, 1234
+            st r3, 0(r2)
+            sys halt, r0
+    )"));
+    Machine m(p, Memory(4096), hw, scheme.get());
+    m.run(p.symbol("main"));
+    ASSERT_EQ(m.memTagLock(0x200 / 4), scheme->primaryTag(pairWord));
+
+    MachineSnapshot snap = m.snapshot();
+    ASSERT_EQ(snap.memTagLocks.size(), 4096u / 4);
+
+    // The serialized form (MXSNAP02) round-trips the lock vector.
+    std::string bytes = snap.serialize();
+    MachineSnapshot back;
+    ASSERT_TRUE(MachineSnapshot::deserialize(bytes, &back));
+    EXPECT_EQ(back.memTagLocks, snap.memTagLocks);
+
+    // Restoring into a fresh machine restores the locks: a mismatched
+    // access after restore still traps.
+    Machine m2(p, Memory(4096), hw, scheme.get());
+    m2.restore(back);
+    EXPECT_EQ(m2.memTagLock(0x200 / 4), scheme->primaryTag(pairWord));
 }
 
 } // namespace

@@ -1,0 +1,295 @@
+/**
+ * Process-isolation tests for fault campaigns (faults/sandbox.h): the
+ * sandboxed execution path must produce the same coverage matrix as
+ * the in-process path, contain injected child crashes and hangs
+ * without losing the parent, classify abandoned culprits from their
+ * death evidence, and interoperate with the resume journal. The suite
+ * forks real children, so it carries its own ctest label (`sandbox`)
+ * and should also be run under -DMXL_SANITIZE=address to check the
+ * parent's pipe bookkeeping.
+ */
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "faults/campaign.h"
+#include "faults/sandbox.h"
+#include "support/json.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace mxl;
+
+namespace {
+
+/** Small campaign shared by the equivalence tests: 2 configs x 3
+ *  classes x 8 trials of one list-heavy program = 48 trials. */
+Campaign
+smallCampaign()
+{
+    Campaign c;
+    CampaignProgram rev;
+    rev.name = "rev";
+    rev.source =
+        "(de rev (l acc) (if (null l) acc (rev (cdr l) (cons (car l) acc))))"
+        "(de iota (n) (if (eq n 0) (quote ()) (cons n (iota (- n 1)))))"
+        "(print (rev (iota 30) (quote ())))";
+    c.programs.push_back(rev);
+    c.configs = {{"unchecked", lowTagSoftwareOptions(Checking::Off)},
+                 {"checked", lowTagSoftwareOptions(Checking::Full)}};
+    c.classes = {FaultClass::TagCorrupt, FaultClass::HeapTagCorrupt,
+                 FaultClass::StackTagCorrupt};
+    c.trials = 8;
+    c.seed = 2026;
+    c.deadlineSeconds = 10;
+    return c;
+}
+
+/** Per-trial classification fingerprint, for matrix equality checks. */
+std::string
+matrixKey(const CampaignResult &r)
+{
+    std::string s;
+    for (const TrialRecord &t : r.trials) {
+        s += outcomeName(t.outcome);
+        s += '/';
+        s += detectChannelName(t.channel);
+        s += ';';
+    }
+    return s;
+}
+
+CampaignRunOptions
+sandboxOptions()
+{
+    CampaignRunOptions o;
+    o.sandbox.enabled = true;
+    o.sandbox.procs = 2;
+    o.sandbox.batchTrials = 6; // several batches, several spawns
+    o.sandbox.watchdogSeconds = 20;
+    o.sandbox.backoffBaseMs = 10; // keep retry tests fast
+    o.sandbox.backoffCapMs = 50;
+    return o;
+}
+
+} // namespace
+
+TEST(Sandbox, SupportedOnThisPlatform)
+{
+    // The rest of the suite forks; this pins the gate it relies on.
+    ASSERT_TRUE(sandboxSupported());
+}
+
+TEST(Sandbox, RunSandboxedRoutesPayloadsAndSkipsDoneTrials)
+{
+    Engine eng(1);
+    SandboxJob job;
+    job.count = 9;
+    job.engine = &eng;
+    job.runTrial = [](size_t ordinal, int attempt) {
+        return "payload-" + std::to_string(ordinal) + "-" +
+               std::to_string(attempt);
+    };
+    std::vector<std::string> payloads(job.count);
+    job.onDone = [&](size_t ordinal, const std::string &payload) {
+        payloads[ordinal] = payload;
+    };
+    job.onAbandoned = [](size_t, bool, int) { FAIL(); };
+
+    std::vector<char> done(job.count, 0);
+    done[3] = 1; // pre-marked (e.g. restored from a journal): skipped
+    SandboxOptions opts = sandboxOptions().sandbox;
+    SandboxStats stats = runSandboxed(job, opts, done);
+
+    EXPECT_GT(stats.spawns, 0);
+    EXPECT_EQ(stats.deaths, 0);
+    EXPECT_EQ(stats.abandoned, 0);
+    EXPECT_FALSE(stats.degraded);
+    for (size_t i = 0; i < job.count; ++i) {
+        EXPECT_EQ(done[i], 1) << i;
+        if (i == 3)
+            EXPECT_EQ(payloads[i], ""); // never ran
+        else
+            EXPECT_EQ(payloads[i],
+                      "payload-" + std::to_string(i) + "-0");
+    }
+}
+
+TEST(Sandbox, CampaignMatrixMatchesInProcess)
+{
+    Campaign c = smallCampaign();
+    Engine e1(2);
+    CampaignResult inproc = runCampaign(e1, c);
+
+    Engine e2(2);
+    CampaignResult sandboxed = runCampaign(e2, c, sandboxOptions());
+
+    EXPECT_GT(sandboxed.sandbox.spawns, 1);
+    EXPECT_EQ(sandboxed.sandbox.deaths, 0);
+    EXPECT_EQ(matrixKey(sandboxed), matrixKey(inproc));
+    EXPECT_EQ(sandboxed.renderMatrix(), inproc.renderMatrix());
+    ASSERT_EQ(sandboxed.trials.size(), inproc.trials.size());
+    for (size_t i = 0; i < inproc.trials.size(); ++i) {
+        EXPECT_EQ(sandboxed.trials[i].errorCode, inproc.trials[i].errorCode)
+            << i;
+        EXPECT_EQ(sandboxed.trials[i].cycles, inproc.trials[i].cycles) << i;
+    }
+}
+
+TEST(Sandbox, ContainsChildCrashAndHangThenConverges)
+{
+    Campaign c = smallCampaign();
+    Engine e1(2);
+    CampaignResult inproc = runCampaign(e1, c);
+
+    // Chaos: one trial SIGSEGVs its child and one hangs it, first
+    // attempt only — both must classify normally on retry, and the
+    // parent must survive both deaths.
+    Engine e2(2);
+    CampaignRunOptions chaos = sandboxOptions();
+    chaos.sandbox.watchdogSeconds = 3;
+    chaos.sandbox.childFaultHook = [](size_t ordinal, int attempt) {
+        if (attempt > 0)
+            return;
+        if (ordinal == 5)
+            raise(SIGSEGV);
+        if (ordinal == 11)
+            for (;;)
+                sleep(1);
+    };
+    CampaignResult r = runCampaign(e2, c, chaos);
+
+    EXPECT_GE(r.sandbox.deaths, 2); // the SEGV and the hang-kill
+    // >=, not ==: under a sanitizer's slowdown innocent batches can
+    // trip the short progress watchdog too; retries absorb those.
+    EXPECT_GE(r.sandbox.watchdogKills, 1);
+    EXPECT_GT(r.sandbox.requeues, 0);
+    EXPECT_EQ(r.sandbox.abandoned, 0);
+    EXPECT_FALSE(r.sandbox.degraded);
+    EXPECT_EQ(matrixKey(r), matrixKey(inproc));
+}
+
+TEST(Sandbox, PersistentCrashIsAbandonedAsItsDeathEvidence)
+{
+    Campaign c = smallCampaign();
+    Engine e1(2);
+    CampaignResult inproc = runCampaign(e1, c);
+
+    Engine e2(2);
+    CampaignRunOptions opts = sandboxOptions();
+    opts.sandbox.maxAttempts = 2;
+    // SIGKILL, not SIGSEGV: sanitizer runtimes intercept SEGV and turn
+    // the death into a plain exit, which would hide the signal number.
+    opts.sandbox.childFaultHook = [](size_t ordinal, int) {
+        if (ordinal == 3)
+            raise(SIGKILL); // every attempt: a deterministic killer
+    };
+    CampaignResult r = runCampaign(e2, c, opts);
+
+    // The culprit classifies from its death: a fatal signal is a
+    // crash, with the signal number preserved in the error code.
+    const TrialRecord &culprit = r.trials[3];
+    EXPECT_EQ(culprit.outcome, Outcome::CrashIllegalAccess);
+    EXPECT_EQ(culprit.errorCode, -SIGKILL);
+    EXPECT_EQ(culprit.channel, DetectChannel::None);
+    EXPECT_EQ(culprit.cycles, 0u);
+    EXPECT_EQ(r.sandbox.abandoned, 1);
+    EXPECT_GE(r.sandbox.deaths, opts.sandbox.maxAttempts);
+
+    // Only the culprit diverges from the in-process matrix.
+    ASSERT_EQ(r.trials.size(), inproc.trials.size());
+    for (size_t i = 0; i < r.trials.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_EQ(r.trials[i].outcome, inproc.trials[i].outcome) << i;
+        EXPECT_EQ(r.trials[i].channel, inproc.trials[i].channel) << i;
+    }
+}
+
+TEST(Sandbox, HangExhaustsRetriesThenClassifiesCycleLimit)
+{
+    // Retry-exhaustion ordering for hangs: the watchdog must kill the
+    // hung child once per attempt — maxAttempts kills, then
+    // abandonment as CycleLimit (a hang is a budget problem, not a
+    // crash).
+    Campaign c = smallCampaign();
+    c.trials = 2; // 12 trials: keep the two watchdog periods cheap
+    Engine e1(2);
+    CampaignResult inproc = runCampaign(e1, c);
+    Engine eng(2);
+    CampaignRunOptions opts = sandboxOptions();
+    opts.sandbox.maxAttempts = 2;
+    opts.sandbox.watchdogSeconds = 2;
+    opts.sandbox.childFaultHook = [](size_t ordinal, int) {
+        if (ordinal == 1)
+            for (;;)
+                sleep(1); // hangs every attempt
+    };
+    CampaignResult r = runCampaign(eng, c, opts);
+
+    const TrialRecord &culprit = r.trials[1];
+    EXPECT_EQ(culprit.outcome, Outcome::CycleLimit);
+    EXPECT_EQ(culprit.errorCode, 0);
+    EXPECT_EQ(culprit.channel, DetectChannel::None);
+    EXPECT_EQ(r.sandbox.watchdogKills, opts.sandbox.maxAttempts);
+    EXPECT_EQ(r.sandbox.abandoned, 1);
+    ASSERT_EQ(r.trials.size(), inproc.trials.size());
+    for (size_t i = 0; i < r.trials.size(); ++i) {
+        if (i != 1)
+            EXPECT_EQ(r.trials[i].outcome, inproc.trials[i].outcome) << i;
+    }
+}
+
+TEST(Sandbox, SandboxJournalResumesInProcess)
+{
+    // The journal is backend-of-execution agnostic: a campaign whose
+    // first half ran sandboxed must resume in-process (and vice versa)
+    // and converge on the same matrix.
+    const std::string path = testing::TempDir() + "sandbox_resume.jsonl";
+    std::remove(path.c_str());
+
+    Campaign c = smallCampaign();
+    Engine e1(2);
+    CampaignRunOptions opts = sandboxOptions();
+    opts.journalPath = path;
+    CampaignResult full = runCampaign(e1, c, opts);
+    EXPECT_GT(full.sandbox.spawns, 0);
+
+    // Keep the header plus the first half of the trial lines.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 3u);
+    const size_t keep = (lines.size() - 1) / 2;
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (size_t i = 0; i <= keep; ++i)
+            out << lines[i] << "\n";
+    }
+
+    Engine e2(2);
+    CampaignRunOptions resume; // sandbox disabled: in-process remainder
+    resume.journalPath = path;
+    resume.resume = true;
+    CampaignResult resumed = runCampaign(e2, c, resume);
+
+    EXPECT_EQ(resumed.journaled, keep);
+    EXPECT_EQ(resumed.sandbox.spawns, 0);
+    EXPECT_EQ(matrixKey(resumed), matrixKey(full));
+    EXPECT_EQ(resumed.renderMatrix(), full.renderMatrix());
+    std::remove(path.c_str());
+}

@@ -4,6 +4,7 @@
  *
  *     bench_diff [--threshold PCT] BEFORE.json AFTER.json
  *     bench_diff --backends FILE.json
+ *     bench_diff --coverage BEFORE.json AFTER.json
  *
  * Two-file mode pairs grid cells by label and prints each one's
  * simulated-cycle delta (stats.total — deterministic per commit,
@@ -20,6 +21,15 @@
  * the host, but the two backends simulating a different cycle count is
  * an equivalence bug, never noise.
  *
+ * --coverage mode compares two BENCH_faults.json exports' detection
+ * coverage matrices interval-aware (faults/stats.h): a cell fails only
+ * when its after-interval lies entirely below its before-interval — a
+ * statistically unambiguous coverage drop, not trial noise — or when
+ * its skipped count grew (trials silently stopped running). Coverage
+ * and Wilson intervals are recomputed from the raw detected/total
+ * counts, so a stale or hand-edited "coverage" field cannot fool the
+ * gate.
+ *
  * Documents that carry an engine metrics snapshot are also checked for
  * static-verifier regressions: any "mxlint.<unit>.errors" counter that
  * increased (or appeared nonzero) between BEFORE and AFTER fails the
@@ -32,6 +42,7 @@
 #include <sstream>
 #include <string>
 
+#include "faults/stats.h"
 #include "obs/bench_compare.h"
 
 namespace {
@@ -42,7 +53,8 @@ usage()
     std::fprintf(stderr,
                  "usage: bench_diff [--threshold PCT] BEFORE.json "
                  "AFTER.json\n"
-                 "       bench_diff --backends FILE.json\n");
+                 "       bench_diff --backends FILE.json\n"
+                 "       bench_diff --coverage BEFORE.json AFTER.json\n");
     return 2;
 }
 
@@ -220,6 +232,35 @@ diffBackends(const mxl::Json &doc)
     return failed ? 1 : 0;
 }
 
+/**
+ * --coverage mode: interval-aware detection-coverage gate between two
+ * BENCH_faults.json documents. Exit-status semantics match main().
+ */
+int
+diffCoverage(const mxl::Json &before, const mxl::Json &after,
+             const std::string &beforePath, const std::string &afterPath)
+{
+    std::vector<mxl::CoverageCell> b, a;
+    std::string err;
+    if (!mxl::extractCoverageCells(before, &b, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", beforePath.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    if (!mxl::extractCoverageCells(after, &a, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", afterPath.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    std::string report;
+    bool ok = mxl::compareCoverage(b, a, &report);
+    std::fputs(report.c_str(), stdout);
+    std::printf("\n%s  detection coverage (Wilson 95%% interval gate, "
+                "%zu cell(s))\n",
+                ok ? "PASS" : "FAIL", b.size());
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -227,12 +268,15 @@ main(int argc, char **argv)
 {
     double thresholdPct = 0.0;
     bool backendsMode = false;
+    bool coverageMode = false;
     std::string paths[2];
     int nPaths = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--backends") {
             backendsMode = true;
+        } else if (arg == "--coverage") {
+            coverageMode = true;
         } else if (arg == "--threshold") {
             if (++i >= argc)
                 return usage();
@@ -247,7 +291,7 @@ main(int argc, char **argv)
         }
     }
     if (backendsMode) {
-        if (nPaths != 1)
+        if (nPaths != 1 || coverageMode)
             return usage();
         mxl::Json doc;
         if (!loadJson(paths[0], &doc))
@@ -256,6 +300,12 @@ main(int argc, char **argv)
     }
     if (nPaths != 2)
         return usage();
+    if (coverageMode) {
+        mxl::Json before, after;
+        if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
+            return 2;
+        return diffCoverage(before, after, paths[0], paths[1]);
+    }
 
     mxl::Json before, after;
     if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
