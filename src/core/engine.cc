@@ -326,6 +326,7 @@ Engine::execute(const RunRequest &req)
                     tr->complete("run", runCat, tid, trR0,
                                  tr->nowMicros() - trR0, req.label);
                 if (rep.result.timedOut) {
+                    mTimeouts_.inc();
                     rep.status.code = RunStatus::Code::Timeout;
                     rep.status.message =
                         strcat("deadline of ", req.exec.deadlineSeconds,

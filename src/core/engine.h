@@ -329,6 +329,7 @@ class Engine
      * This engine's metrics registry (obs/metrics.h). The engine itself
      * maintains: engine.cache.{hits,misses,evictions} and
      * engine.{compile,run}_micros counters, engine.runs,
+     * engine.timeouts (deadline expiries), engine.backend.fallbacks,
      * engine.queue_wait_micros and engine.cell_micros histograms, and
      * one engine.worker.<n>.busy_micros counter per started worker
      * (utilization = busy_micros / grid wall time). Callers (bench
@@ -424,6 +425,7 @@ class Engine
         metrics_.counter("engine.translate_micros");
     Counter &mRunMicros_ = metrics_.counter("engine.run_micros");
     Counter &mRuns_ = metrics_.counter("engine.runs");
+    Counter &mTimeouts_ = metrics_.counter("engine.timeouts");
     Counter &mFallbacks_ = metrics_.counter("engine.backend.fallbacks");
     Histogram &mQueueWait_ =
         metrics_.histogram("engine.queue_wait_micros");

@@ -128,6 +128,16 @@ class MetricsRegistry
      */
     Json snapshot() const;
 
+    /**
+     * snapshot() serialized to its compact single-line JSON text —
+     * the health endpoint's wire payload (serve/server.h). Sorted
+     * metric names plus support/json's insertion-ordered objects make
+     * the text deterministic: equal metric populations produce
+     * byte-identical strings, and the text reparses to a Json that
+     * re-dumps identically (round-trip tested in tests/test_obs.cc).
+     */
+    std::string snapshotJson() const { return snapshot().dump(); }
+
   private:
     enum class Kind { Counter, Gauge, Histogram };
 

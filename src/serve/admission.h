@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Admission control for the measurement service: a bounded FIFO of
+ * pending cells with load-shedding at the door.
+ *
+ * The server admits a grid request only if ALL of its cells fit under
+ * the queue cap — partial admission would force the client to reason
+ * about which half of its grid ran. An over-cap request is shed
+ * immediately with an "overloaded" terminal response carrying a
+ * retry-after hint, which is backpressure a client can act on (queue
+ * depth is a better load signal than connection refusal, and shedding
+ * at admission is cheaper than timing out after queuing — the
+ * canonical argument from the overload literature).
+ *
+ * The retry-after hint is proportional to the backlog: queued cells
+ * times the observed mean cell service time (EWMA, seeded
+ * pessimistically), divided by the worker parallelism. It is a hint,
+ * not a reservation — the server makes no promise beyond "retrying
+ * sooner than this is probably wasted".
+ *
+ * Single-threaded like the rest of the server loop; no locking.
+ */
+
+#ifndef MXLISP_SERVE_ADMISSION_H_
+#define MXLISP_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace mxl {
+
+class AdmissionQueue
+{
+  public:
+    /** @p capacity: max queued cells; @p workers: pool parallelism
+     *  used to scale the retry-after hint. */
+    AdmissionQueue(size_t capacity, int workers)
+        : capacity_(capacity), workers_(workers < 1 ? 1 : workers)
+    {
+    }
+
+    /** Would a request of @p cells cells fit right now? */
+    bool canAdmit(size_t cells) const
+    {
+        return queue_.size() + cells <= capacity_;
+    }
+
+    /** Admit one cell (caller checked canAdmit for the whole
+     *  request). @p taskId keys the server's task table. */
+    void push(uint64_t taskId)
+    {
+        queue_.push_back(taskId);
+        ++admitted_;
+    }
+
+    /** Record a shed request of @p cells cells. */
+    void shed(size_t cells)
+    {
+        ++shedRequests_;
+        shedCells_ += cells;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    size_t depth() const { return queue_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Next cell to dispatch (FIFO). Caller checks !empty(). */
+    uint64_t front() const { return queue_.front(); }
+    void pop() { queue_.pop_front(); }
+
+    /** Remove a cancelled task wherever it sits in the queue. */
+    void erase(uint64_t taskId)
+    {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it)
+            if (*it == taskId) {
+                queue_.erase(it);
+                return;
+            }
+    }
+
+    /** Fold one completed cell's wall time into the service-time
+     *  estimate (EWMA, alpha 1/8). */
+    void observeServiceSeconds(double seconds)
+    {
+        if (seconds < 0)
+            return;
+        meanServiceSeconds_ =
+            meanServiceSeconds_ * 0.875 + seconds * 0.125;
+    }
+
+    /**
+     * Backlog-proportional retry hint for a shed request of
+     * @p cells cells: time to drain the queue plus the request
+     * itself, floored at 50ms so clients never busy-spin.
+     */
+    int64_t retryAfterMs(size_t cells) const
+    {
+        double backlog =
+            static_cast<double>(queue_.size() + cells) *
+            meanServiceSeconds_ / static_cast<double>(workers_);
+        int64_t ms = static_cast<int64_t>(backlog * 1000.0);
+        return ms < 50 ? 50 : ms;
+    }
+
+    uint64_t admittedCells() const { return admitted_; }
+    uint64_t shedRequests() const { return shedRequests_; }
+    uint64_t shedCells() const { return shedCells_; }
+
+  private:
+    size_t capacity_;
+    int workers_;
+    std::deque<uint64_t> queue_;
+    double meanServiceSeconds_ = 0.05; // pessimistic seed: 50ms/cell
+    uint64_t admitted_ = 0;
+    uint64_t shedRequests_ = 0;
+    uint64_t shedCells_ = 0;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_SERVE_ADMISSION_H_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Blocking client for the measurement service (serve/wire.h).
+ *
+ * One connection, one request in flight at a time — the shape every
+ * caller here needs (mxl_client, tests, and bench_serve, which gets
+ * its concurrency from many clients, not a multiplexing one). Cell
+ * results stream through the onCell callback as the server produces
+ * them; runGrid() returns when the request's single terminal response
+ * arrives, classified into GridOutcome::Kind. Transport failures
+ * (refused, reset, malformed frames) come back as Kind::Transport —
+ * a client-side conclusion, distinct from the server saying "error".
+ */
+
+#ifndef MXLISP_SERVE_CLIENT_H_
+#define MXLISP_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/wire.h"
+#include "support/json.h"
+
+namespace mxl {
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    ServeClient(ServeClient &&other) noexcept
+        : fd_(other.fd_), in_(std::move(other.in_))
+    {
+        other.fd_ = -1;
+    }
+
+    ServeClient &
+    operator=(ServeClient &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            in_ = std::move(other.in_);
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    bool connectUnix(const std::string &path, std::string *err);
+    bool connectTcp(const std::string &host, int port, std::string *err);
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** How a grid request concluded (exactly one per request). */
+    struct GridOutcome
+    {
+        enum class Kind
+        {
+            Done,       ///< server "done": all cells resolved
+            Overloaded, ///< shed at admission; see retryAfterMs
+            Error,      ///< server terminal "error"; see message
+            Transport,  ///< connection-level failure; see message
+        };
+
+        Kind kind = Kind::Transport;
+        size_t cells = 0;        ///< Done: cells resolved
+        size_t failed = 0;       ///< Done: cells with statusOk=false
+        int64_t retryAfterMs = 0; ///< Overloaded: backoff hint
+        std::string message;     ///< Error/Transport diagnostic
+    };
+
+    /** Invoked per streamed cell result, in completion order. */
+    using CellFn = std::function<void(size_t index, const Json &report)>;
+
+    /**
+     * Send a grid request of @p cells (wire CELL objects) under
+     * @p requestId and block until its terminal response.
+     * @p deadlineMs > 0 propagates to the server (and bounds the
+     * cells' execution); the client itself waits without limit — the
+     * server's watchdogs are the timeout authority.
+     */
+    GridOutcome runGrid(const std::string &requestId,
+                        const std::vector<Json> &cells,
+                        int64_t deadlineMs, const CellFn &onCell);
+
+    /** One health round-trip; false with @p err on failure. */
+    bool health(Json *out, std::string *err);
+
+    /** One ping/pong round-trip. */
+    bool ping(std::string *err);
+
+  private:
+    bool sendPayload(const std::string &payload, std::string *err);
+    bool readFrame(Json *out, std::string *err);
+
+    int fd_ = -1;
+    FrameReader in_;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_SERVE_CLIENT_H_

@@ -1,0 +1,548 @@
+#include "serve/pool.h"
+
+#include "serve/wire.h"
+#include "support/format.h"
+#include "support/panic.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MXL_SERVE_POSIX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#endif
+
+#include <chrono>
+
+namespace mxl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t
+millisUntil(Clock::time_point when)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               when - Clock::now())
+        .count();
+}
+
+} // namespace
+
+/**
+ * One pool slot. Lifecycle: Dead --spawn--> Idle <--> Busy, with any
+ * abnormal exit returning to Dead plus a backoff gate (notBefore).
+ */
+struct WorkerPool::Worker
+{
+    enum class State { Dead, Idle, Busy };
+
+    State state = State::Dead;
+    int pid = -1;
+    int taskFd = -1;   ///< parent -> child task frames (blocking)
+    int resultFd = -1; ///< child -> parent result frames (nonblocking)
+    FrameReader frames;
+
+    // In-flight task (Busy only).
+    uint64_t taskId = 0;
+    Clock::time_point watchdog{};
+    bool killedByWatchdog = false;
+
+    // Respawn backoff (Dead only).
+    int consecutiveDeaths = 0;
+    Clock::time_point notBefore{};
+};
+
+WorkerPool::WorkerPool(WorkerPoolOptions options, ResultFn onResult,
+                       FailureFn onFailure)
+    : options_(std::move(options)), onResult_(std::move(onResult)),
+      onFailure_(std::move(onFailure))
+{
+    MXL_ASSERT(options_.runCell && onResult_ && onFailure_,
+               "WorkerPool needs runCell/onResult/onFailure");
+    if (options_.workers < 1)
+        options_.workers = 1;
+    workers_.resize(static_cast<size_t>(options_.workers));
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown(0);
+}
+
+#if MXL_SERVE_POSIX
+
+namespace {
+
+/**
+ * Child main: read task frames off the pipe, run each cell, write the
+ * result frame back. EOF on the task pipe is the orderly shutdown
+ * signal. Exit codes mirror procpool's children: 2 = task machinery
+ * threw, 3 = result pipe broke.
+ */
+[[noreturn]] void
+workerChildMain(const WorkerPoolOptions &options, int taskFd,
+                int resultFd)
+{
+    if (options.childInit)
+        options.childInit();
+    // The parent enforces deadlines from outside; a worker blocked in
+    // read() between tasks must die quietly when the pipe closes.
+    ::signal(SIGPIPE, SIG_DFL);
+    FrameReader frames;
+    std::string payload;
+    char buf[4096];
+    for (;;) {
+        while (frames.next(&payload)) {
+            std::string out;
+            Json task;
+            if (!Json::parse(payload, &task))
+                _exit(2);
+            const Json *cell = task.find("cell");
+            if (!cell)
+                _exit(2);
+            uint64_t id = 0;
+            double deadlineSeconds = 0;
+            if (const Json *t = task.find("t"))
+                id = t->asUint(0);
+            if (const Json *d = task.find("deadlineMs"))
+                deadlineSeconds =
+                    static_cast<double>(d->asUint(0)) / 1000.0;
+            try {
+                std::string report =
+                    options.runCell(*cell, deadlineSeconds);
+                out = strcat("{\"t\":", id, ",\"report\":", report, "}");
+            } catch (...) {
+                _exit(2);
+            }
+            if (!writeAllFd(resultFd, encodeFrame(out)))
+                _exit(3);
+        }
+        if (frames.error())
+            _exit(2);
+        ssize_t n = ::read(taskFd, buf, sizeof buf);
+        if (n == 0)
+            _exit(0); // parent closed the task pipe: drain complete
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            _exit(2);
+        }
+        frames.feed(buf, static_cast<size_t>(n));
+    }
+}
+
+} // namespace
+
+bool
+WorkerPool::spawn(Worker &w)
+{
+    if (options_.disableFork) {
+        ++stats_.spawnFailures;
+        ++consecutiveSpawnFailures_;
+        return false;
+    }
+    int down[2]; // parent -> child
+    int up[2];   // child -> parent
+    if (::pipe(down) != 0) {
+        ++stats_.spawnFailures;
+        ++consecutiveSpawnFailures_;
+        return false;
+    }
+    if (::pipe(up) != 0) {
+        ::close(down[0]);
+        ::close(down[1]);
+        ++stats_.spawnFailures;
+        ++consecutiveSpawnFailures_;
+        return false;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(down[0]);
+        ::close(down[1]);
+        ::close(up[0]);
+        ::close(up[1]);
+        ++stats_.spawnFailures;
+        ++consecutiveSpawnFailures_;
+        return false;
+    }
+    if (pid == 0) {
+        ::close(down[1]);
+        ::close(up[0]);
+        workerChildMain(options_, down[0], up[1]);
+    }
+    ::close(down[0]);
+    ::close(up[1]);
+    ::fcntl(up[0], F_SETFL, O_NONBLOCK);
+    w.state = Worker::State::Idle;
+    w.pid = pid;
+    w.taskFd = down[1];
+    w.resultFd = up[0];
+    w.frames = FrameReader();
+    w.killedByWatchdog = false;
+    ++stats_.spawns;
+    if (stats_.spawns > options_.workers)
+        ++stats_.respawns;
+    consecutiveSpawnFailures_ = 0;
+    return true;
+}
+
+void
+WorkerPool::killWorker(Worker &w)
+{
+    if (w.pid > 0)
+        ::kill(w.pid, SIGKILL);
+}
+
+/**
+ * A worker's result pipe hit EOF (or the watchdog fired): collect the
+ * exit evidence, fail any in-flight task, and gate the slot's respawn
+ * behind exponential backoff.
+ */
+void
+WorkerPool::reap(Worker &w, bool viaWatchdog)
+{
+    if (w.pid > 0) {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        int termSignal =
+            WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        bool hadTask = w.state == Worker::State::Busy;
+        if (hadTask || !clean)
+            ++stats_.deaths;
+        if (viaWatchdog || w.killedByWatchdog)
+            ++stats_.hangKills;
+        if (hadTask)
+            onFailure_(w.taskId, viaWatchdog || w.killedByWatchdog,
+                       termSignal);
+    }
+    if (w.taskFd >= 0)
+        ::close(w.taskFd);
+    if (w.resultFd >= 0)
+        ::close(w.resultFd);
+    w.taskFd = w.resultFd = -1;
+    w.pid = -1;
+    w.state = Worker::State::Dead;
+    ++w.consecutiveDeaths;
+    w.notBefore =
+        Clock::now() + std::chrono::milliseconds(backoffMillis(
+                           options_.backoffBaseMs, options_.backoffCapMs,
+                           w.consecutiveDeaths));
+}
+
+void
+WorkerPool::start()
+{
+    if (shutdown_)
+        return;
+    for (Worker &w : workers_) {
+        if (!spawn(w) &&
+            consecutiveSpawnFailures_ >= options_.maxSpawnFailures) {
+            breakerOpen_ = true;
+            stats_.breakerOpen = true;
+            break;
+        }
+    }
+}
+
+bool
+WorkerPool::dispatch(uint64_t taskId, const std::string &cellJson,
+                     double deadlineSeconds)
+{
+    if (breakerOpen_ || shutdown_)
+        return false;
+    for (Worker &w : workers_) {
+        if (w.state != Worker::State::Idle)
+            continue;
+        double watchdogSeconds =
+            (deadlineSeconds > 0 ? deadlineSeconds
+                                 : options_.defaultTaskSeconds) +
+            static_cast<double>(options_.watchdogGraceMs) / 1000.0;
+        uint64_t deadlineMs = deadlineSeconds > 0
+                                  ? static_cast<uint64_t>(
+                                        deadlineSeconds * 1000.0)
+                                  : 0;
+        std::string frame = encodeFrame(
+            strcat("{\"t\":", taskId, ",\"deadlineMs\":", deadlineMs,
+                   ",\"cell\":", cellJson, "}"));
+        // At most one task is in flight per worker and the child reads
+        // between tasks, so this blocking write cannot deadlock; a
+        // write failure means the child died and EOF handling follows.
+        if (!writeAllFd(w.taskFd, frame)) {
+            reap(w, /*viaWatchdog=*/false);
+            continue;
+        }
+        w.state = Worker::State::Busy;
+        w.taskId = taskId;
+        w.killedByWatchdog = false;
+        w.watchdog = Clock::now() +
+                     std::chrono::milliseconds(static_cast<int64_t>(
+                         watchdogSeconds * 1000.0));
+        return true;
+    }
+    return false;
+}
+
+void
+WorkerPool::collectFds(std::vector<struct pollfd> &out) const
+{
+    for (const Worker &w : workers_)
+        if (w.resultFd >= 0)
+            out.push_back({w.resultFd, POLLIN, 0});
+}
+
+void
+WorkerPool::onReadable()
+{
+    for (Worker &w : workers_) {
+        if (w.resultFd < 0)
+            continue;
+        char buf[4096];
+        bool eof = false;
+        for (;;) {
+            ssize_t n = ::read(w.resultFd, buf, sizeof buf);
+            if (n > 0) {
+                w.frames.feed(buf, static_cast<size_t>(n));
+                continue;
+            }
+            if (n == 0)
+                eof = true;
+            else if (errno == EINTR)
+                continue;
+            break; // EAGAIN (no more data) or EOF or error
+        }
+        std::string payload;
+        while (w.frames.next(&payload)) {
+            uint64_t id = w.taskId;
+            std::string report;
+            Json env;
+            if (Json::parse(payload, &env)) {
+                if (const Json *t = env.find("t"))
+                    id = t->asUint(id);
+                if (const Json *rep = env.find("report"))
+                    report = rep->dump();
+            }
+            if (w.state == Worker::State::Busy && id == w.taskId) {
+                w.state = Worker::State::Idle;
+                w.consecutiveDeaths = 0;
+                if (!report.empty())
+                    onResult_(id, report);
+                else
+                    onFailure_(id, /*hang=*/false, /*termSignal=*/0);
+            }
+        }
+        if (w.frames.error() && w.state != Worker::State::Dead) {
+            killWorker(w);
+            reap(w, /*viaWatchdog=*/false);
+            continue;
+        }
+        if (eof)
+            reap(w, /*viaWatchdog=*/false);
+    }
+}
+
+void
+WorkerPool::tick()
+{
+    if (shutdown_)
+        return;
+    Clock::time_point now = Clock::now();
+    for (Worker &w : workers_) {
+        if (w.state == Worker::State::Busy && now >= w.watchdog &&
+            !w.killedByWatchdog) {
+            // Presumed hung: SIGKILL now; the EOF on its result pipe
+            // routes through reap() with the hang evidence.
+            w.killedByWatchdog = true;
+            killWorker(w);
+        }
+        if (w.state == Worker::State::Dead && !breakerOpen_ &&
+            now >= w.notBefore) {
+            if (!spawn(w) &&
+                consecutiveSpawnFailures_ >= options_.maxSpawnFailures) {
+                breakerOpen_ = true;
+                stats_.breakerOpen = true;
+            }
+        }
+    }
+}
+
+int
+WorkerPool::nextDeadlineMs(int cap) const
+{
+    int64_t best = cap;
+    for (const Worker &w : workers_) {
+        int64_t ms = -1;
+        if (w.state == Worker::State::Busy)
+            ms = millisUntil(w.watchdog);
+        else if (w.state == Worker::State::Dead && !breakerOpen_ &&
+                 !shutdown_)
+            ms = millisUntil(w.notBefore);
+        else
+            continue;
+        if (ms < 0)
+            ms = 0;
+        if (ms < best)
+            best = ms;
+    }
+    return static_cast<int>(best);
+}
+
+std::vector<int>
+WorkerPool::workerPids() const
+{
+    std::vector<int> pids;
+    for (const Worker &w : workers_)
+        if (w.pid > 0)
+            pids.push_back(w.pid);
+    return pids;
+}
+
+void
+WorkerPool::shutdown(int waitMs)
+{
+    if (shutdown_)
+        return;
+    shutdown_ = true;
+    // Close task pipes: idle workers exit on EOF immediately; busy
+    // workers finish their task first (their result still streams).
+    for (Worker &w : workers_) {
+        if (w.taskFd >= 0)
+            ::close(w.taskFd);
+        w.taskFd = -1;
+    }
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(waitMs);
+    for (;;) {
+        std::vector<struct pollfd> fds;
+        collectFds(fds);
+        if (fds.empty())
+            break;
+        int64_t remaining = millisUntil(deadline);
+        if (remaining < 0)
+            remaining = 0;
+        int rc = ::poll(fds.data(), fds.size(),
+                        static_cast<int>(remaining > 100 ? 100
+                                                         : remaining));
+        if (rc < 0 && errno != EINTR)
+            break;
+        onReadable();
+        if (Clock::now() >= deadline)
+            break;
+    }
+    // Stragglers did not finish within the drain bound: kill them and
+    // report their tasks as hangs so no request is left dangling.
+    for (Worker &w : workers_) {
+        if (w.pid > 0) {
+            bool busy = w.state == Worker::State::Busy;
+            if (busy)
+                w.killedByWatchdog = true;
+            killWorker(w);
+            reap(w, /*viaWatchdog=*/busy);
+        }
+    }
+}
+
+bool
+WorkerPool::degraded() const
+{
+    return breakerOpen_;
+}
+
+#else // !MXL_SERVE_POSIX
+
+bool
+WorkerPool::spawn(Worker &)
+{
+    return false;
+}
+
+void
+WorkerPool::reap(Worker &, bool)
+{
+}
+
+void
+WorkerPool::killWorker(Worker &)
+{
+}
+
+void
+WorkerPool::start()
+{
+    breakerOpen_ = true;
+    stats_.breakerOpen = true;
+}
+
+bool
+WorkerPool::dispatch(uint64_t, const std::string &, double)
+{
+    return false;
+}
+
+void
+WorkerPool::collectFds(std::vector<struct pollfd> &) const
+{
+}
+
+void
+WorkerPool::onReadable()
+{
+}
+
+void
+WorkerPool::tick()
+{
+}
+
+int
+WorkerPool::nextDeadlineMs(int cap) const
+{
+    return cap;
+}
+
+std::vector<int>
+WorkerPool::workerPids() const
+{
+    return {};
+}
+
+void
+WorkerPool::shutdown(int)
+{
+    shutdown_ = true;
+}
+
+bool
+WorkerPool::degraded() const
+{
+    return true;
+}
+
+#endif // MXL_SERVE_POSIX
+
+int
+WorkerPool::idleWorkers() const
+{
+    int n = 0;
+    for (const Worker &w : workers_)
+        if (w.state == Worker::State::Idle)
+            ++n;
+    return n;
+}
+
+int
+WorkerPool::busyWorkers() const
+{
+    int n = 0;
+    for (const Worker &w : workers_)
+        if (w.state == Worker::State::Busy)
+            ++n;
+    return n;
+}
+
+} // namespace mxl

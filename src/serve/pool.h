@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The measurement service's crash-isolated worker pool.
+ *
+ * Where the campaign sandbox (faults/sandbox.h, support/procpool.h)
+ * hands each forked child a fixed batch of trials, the serving pool
+ * keeps N long-lived forked workers and feeds them tasks one at a
+ * time over a bidirectional pipe pair, because a server's work
+ * arrives dynamically and each task already carries its own deadline.
+ * The containment obligations are the same, and met the same way:
+ *
+ *  - a worker executes exactly one task at a time; the parent writes
+ *    the task as a wire frame (serve/wire.h) to the worker's stdin
+ *    pipe and polls its stdout pipe for the one result frame;
+ *  - a worker that dies mid-task (signal, _exit, OOM kill) is
+ *    detected by pipe EOF, reaped, and its in-flight task reported
+ *    through onFailure with the death evidence (signal number, or
+ *    hang when the kill was ours) — a task is never silently lost;
+ *  - a worker that stops answering past its task's watchdog deadline
+ *    is SIGKILLed (evidence: hang) — one stuck request cannot pin a
+ *    pool slot forever;
+ *  - dead slots respawn with bounded exponential backoff (a
+ *    crash-looping host gets breathing room, a one-off death gets a
+ *    fresh worker immediately); respawned workers inherit the
+ *    parent engine's compiled-unit cache copy-on-write via childInit
+ *    (Engine::postFork), so they come up warm;
+ *  - when fork itself fails maxSpawnFailures times in a row the
+ *    circuit breaker opens (degraded() == true) and stays open: the
+ *    server stops dispatching here and executes tasks in-process —
+ *    graceful degradation instead of a spin of doomed forks.
+ *
+ * The pool owns no threads. It is driven by the server's poll loop:
+ * collectFds() contributes the worker pipes to the poll set,
+ * onReadable() consumes results, tick() runs the watchdog/respawn
+ * clock, and nextDeadlineMs() bounds the poll timeout.
+ */
+
+#ifndef MXLISP_SERVE_POOL_H_
+#define MXLISP_SERVE_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/procpool.h"
+
+struct pollfd; // <poll.h>
+
+namespace mxl {
+
+struct WorkerPoolOptions
+{
+    int workers = 2;
+
+    /** CHILD SIDE: once after fork, before any task (Engine::postFork). */
+    std::function<void()> childInit;
+
+    /**
+     * CHILD SIDE: execute one task. @p cell is the wire CELL object;
+     * @p deadlineSeconds the effective per-cell deadline (0 = none).
+     * Returns the result payload (a report JSON text) to stream back.
+     * Anything thrown exits the child abnormally — the parent reports
+     * the death, never a dropped task.
+     */
+    std::function<std::string(const Json &cell, double deadlineSeconds)>
+        runCell;
+
+    /** Respawn backoff after a worker death: base * 2^(n-1), capped. */
+    int backoffBaseMs = 50;
+    int backoffCapMs = 2000;
+
+    /** Consecutive spawn (fork/pipe) failures before the circuit
+     *  breaker opens permanently (degraded()). */
+    int maxSpawnFailures = 3;
+
+    /** Watchdog slack added to each task's deadline before the worker
+     *  is presumed hung and killed. */
+    int watchdogGraceMs = 2000;
+
+    /** Watchdog for tasks with no deadline of their own. */
+    double defaultTaskSeconds = 300;
+
+    /** Test seam: every spawn fails, as if fork were exhausted. */
+    bool disableFork = false;
+};
+
+/** Pool observability counters (also mirrored into server metrics). */
+struct WorkerPoolStats
+{
+    int spawns = 0;         ///< workers forked (incl. respawns)
+    int respawns = 0;       ///< spawns after the initial complement
+    int deaths = 0;         ///< abnormal worker exits
+    int hangKills = 0;      ///< workers we killed past a task watchdog
+    int spawnFailures = 0;  ///< fork/pipe failures
+    bool breakerOpen = false; ///< degraded(): fork exhausted
+};
+
+class WorkerPool
+{
+  public:
+    /** Task @p taskId finished; @p payload is the child's result line
+     *  (report JSON text). */
+    using ResultFn =
+        std::function<void(uint64_t taskId, const std::string &payload)>;
+
+    /** Task @p taskId's worker died. @p hang: our watchdog kill;
+     *  otherwise @p termSignal killed it (0 = plain nonzero exit). */
+    using FailureFn =
+        std::function<void(uint64_t taskId, bool hang, int termSignal)>;
+
+    WorkerPool(WorkerPoolOptions options, ResultFn onResult,
+               FailureFn onFailure);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Fork the initial worker complement. Safe to call when
+     *  unsupported (pool just reports degraded). */
+    void start();
+
+    /** Circuit breaker state: true once fork is exhausted (or the
+     *  platform cannot fork at all) — dispatch() will always refuse. */
+    bool degraded() const;
+
+    /** Workers alive and not running a task. */
+    int idleWorkers() const;
+
+    /** Workers currently executing a task. */
+    int busyWorkers() const;
+
+    /**
+     * Hand @p cellJson (compact text of the wire CELL object) to an
+     * idle worker. @p deadlineSeconds is the effective cell deadline
+     * (0 = none; the watchdog then uses defaultTaskSeconds). False
+     * when no idle worker is available (caller keeps the task queued)
+     * or the breaker is open.
+     */
+    bool dispatch(uint64_t taskId, const std::string &cellJson,
+                  double deadlineSeconds);
+
+    /** Append the worker result fds to the server's poll set. */
+    void collectFds(std::vector<struct pollfd> &out) const;
+
+    /** Drain any readable worker pipes after a poll round. */
+    void onReadable();
+
+    /** Watchdog + reap + respawn clock; call once per loop iteration. */
+    void tick();
+
+    /** Milliseconds until the nearest watchdog/backoff deadline, or
+     *  @p cap when none is sooner. */
+    int nextDeadlineMs(int cap) const;
+
+    /** Live worker pids (bench chaos: kill them mid-flight). */
+    std::vector<int> workerPids() const;
+
+    /**
+     * Graceful shutdown: close task pipes (idle workers exit on EOF),
+     * wait up to @p waitMs for busy workers to finish (results still
+     * delivered), then SIGKILL stragglers — their tasks report back
+     * through onFailure as hangs. Idempotent.
+     */
+    void shutdown(int waitMs);
+
+    WorkerPoolStats stats() const { return stats_; }
+
+  private:
+    struct Worker;
+
+    bool spawn(Worker &w);
+    void reap(Worker &w, bool viaWatchdog);
+    void killWorker(Worker &w);
+
+    WorkerPoolOptions options_;
+    ResultFn onResult_;
+    FailureFn onFailure_;
+    std::vector<Worker> workers_;
+    WorkerPoolStats stats_;
+    int consecutiveSpawnFailures_ = 0;
+    bool breakerOpen_ = false;
+    bool shutdown_ = false;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_SERVE_POOL_H_

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The measurement service's wire protocol: length-prefixed JSONL
+ * frames and the grid-cell codec.
+ *
+ * Every message between a client and mxl-served — and between the
+ * server and its forked workers — is one frame:
+ *
+ *     <decimal byte length of payload> '\n' <payload> '\n'
+ *
+ * where the payload is a single-line JSON object (the same compact
+ * dump the campaign journal uses, support/json.h). The explicit
+ * length keeps framing robust against payloads of any size and lets a
+ * reader reject runaway input before buffering it; the trailing
+ * newline keeps captured streams greppable and JSONL-toolable.
+ *
+ * Client requests ("type" selects the verb):
+ *
+ *   {"type":"grid","id":<string>,"deadlineMs":<int>,"cells":[CELL...]}
+ *       Run a measurement grid. Per-cell results stream back as they
+ *       finish; the terminal response is "done" (or "overloaded" /
+ *       "error" — every request gets exactly one terminal response).
+ *       deadlineMs (optional) propagates into each cell's
+ *       ExecPolicy::deadlineSeconds and bounds the whole request.
+ *   {"type":"health"}
+ *       One "health" response: the server's MetricsRegistry snapshot
+ *       plus pool/queue state.
+ *   {"type":"ping"}    -> {"type":"pong"}
+ *
+ * Server responses:
+ *
+ *   {"type":"cell","id":...,"index":i,"report":{...}}   one per cell
+ *   {"type":"done","id":...,"cells":n,"failed":m}       terminal
+ *   {"type":"overloaded","id":...,"retryAfterMs":n,...} terminal
+ *   {"type":"error","id":...,"message":...}             terminal
+ *   {"type":"health","metrics":{...},...}
+ *
+ * A CELL object names one RunRequest:
+ *
+ *   {"label":...,               echoed in the cell's report
+ *    "source":"(print ...)" |   MX-Lisp top-level forms, or
+ *    "program":"boyer",         a built-in benchmark by name
+ *    "options":{...},           compilerOptionsJson fields (all
+ *                               optional; defaults = CompilerOptions)
+ *    "maxCycles":n, "deadlineMs":n, "backend":"auto|interpreter|
+ *    "translated", "installTrapHandlers":b,
+ *    "fault":{"class":...,"seed":...,"pause":...}}  optional fault
+ *                               injection (campaign traffic: the
+ *                               client classifies against its golden)
+ *
+ * parseCell() is the single decoder both the server's admission path
+ * and the forked workers use, so a cell that admits always parses in
+ * the worker too.
+ */
+
+#ifndef MXLISP_SERVE_WIRE_H_
+#define MXLISP_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "support/json.h"
+
+namespace mxl {
+
+/** Frames larger than this are a protocol error (runaway guard). */
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/** Encode @p payload as one wire frame. */
+std::string encodeFrame(const std::string &payload);
+
+/** Json convenience: encodeFrame(j.dump()). */
+std::string encodeFrame(const Json &j);
+
+/**
+ * Incremental frame decoder. Feed raw bytes; next() yields complete
+ * payloads in arrival order. A malformed prefix (non-digit length,
+ * oversized frame, missing terminator) poisons the reader — error()
+ * stays set and next() returns false forever; the connection owning
+ * the stream must be dropped.
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, size_t n);
+    void feed(const std::string &s) { feed(s.data(), s.size()); }
+
+    /** Pop the next complete payload; false when none (or error). */
+    bool next(std::string *payload);
+
+    bool error() const { return error_; }
+    const std::string &errorText() const { return errorText_; }
+
+    /** Bytes buffered but not yet consumed (tests). */
+    size_t pendingBytes() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+    bool error_ = false;
+    std::string errorText_;
+};
+
+/** Decoded form of one wire CELL object (see file comment). */
+struct WireCell
+{
+    RunRequest request;
+    bool hasFault = false; ///< request.hooks carries an armed fault
+};
+
+/**
+ * Decode a CELL object into a RunRequest (label, source, options,
+ * exec policy, optional armed fault). False with @p err set on a
+ * malformed cell — unknown program/scheme/class names, missing
+ * source, non-object input. Unknown keys are ignored (forward
+ * compatibility).
+ */
+bool parseCell(const Json &cell, WireCell *out, std::string *err);
+
+/** Re-encode @p cell for the worker pipe: the cell JSON is forwarded
+ *  verbatim between admission and execution, so this is the identity
+ *  the server stores alongside each admitted task. */
+Json cellToJson(const RunRequest &req);
+
+/**
+ * The per-cell report object inside a "cell" response: statusOk,
+ * status/stop/errorCode/exitValue, stats totals, backend, wall time.
+ * A worker-death report is synthesized with statusOk=false and a
+ * "workerDeath" object instead (serve/pool.h).
+ */
+Json reportToJson(const RunReport &rep);
+
+} // namespace mxl
+
+#endif // MXLISP_SERVE_WIRE_H_

@@ -1,0 +1,399 @@
+#include "support/procpool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MXL_PROCPOOL_POSIX 1
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "support/panic.h"
+
+namespace mxl {
+
+bool
+procPoolSupported()
+{
+#ifdef MXL_PROCPOOL_POSIX
+    return true;
+#else
+    return false;
+#endif
+}
+
+int64_t
+backoffMillis(int baseMs, int capMs, int attempt)
+{
+    int64_t ms = baseMs;
+    for (int i = 1; i < attempt && ms < capMs; ++i)
+        ms *= 2;
+    return std::min<int64_t>(ms, capMs);
+}
+
+bool
+LineBuffer::nextLine(std::string *line)
+{
+    size_t nl = buf_.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    line->assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+}
+
+#ifndef MXL_PROCPOOL_POSIX
+
+bool
+writeAllFd(int, const std::string &)
+{
+    return false;
+}
+
+bool
+drainFd(int, LineBuffer &)
+{
+    return true;
+}
+
+ProcBatchStats
+runProcBatch(const ProcBatchJob &, const ProcBatchOptions &,
+             std::vector<char> &)
+{
+    fatal("runProcBatch() called on a platform without fork(); "
+          "check procPoolSupported() first");
+}
+
+#else // MXL_PROCPOOL_POSIX
+
+bool
+writeAllFd(int fd, const std::string &s)
+{
+    size_t off = 0;
+    while (off < s.size()) {
+        ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+drainFd(int fd, LineBuffer &buf)
+{
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            buf.append(chunk, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false; // EAGAIN or a real error: treated as drained
+    }
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Consecutive fork() failures tolerated (with backoff between) before
+ *  the batch degrades to the caller's in-process path. */
+constexpr int kForkRetries = 3;
+
+/** One child process and the batch it owns. */
+struct Slot
+{
+    bool active = false;
+    pid_t pid = -1;
+    int fd = -1;                    ///< read end of the child's pipe
+    LineBuffer buf;                 ///< partial-line accumulator
+    std::vector<size_t> batch;      ///< ordinals, in execution order
+    std::vector<char> reported;     ///< parallel to batch
+    bool killedByWatchdog = false;
+    Clock::time_point lastProgress; ///< spawn or last complete line
+    Clock::time_point notBefore;    ///< idle slots: earliest refill time
+};
+
+std::chrono::milliseconds
+backoffDelay(const ProcBatchOptions &o, int attempt)
+{
+    return std::chrono::milliseconds(
+        backoffMillis(o.backoffBaseMs, o.backoffCapMs, attempt));
+}
+
+/** The child's whole life: run the batch, stream lines, _exit. Never
+ *  returns. Anything thrown here would unwind into the parent's stack
+ *  frames in a forked address space, so tasks crash the child via
+ *  _exit(2) instead. */
+[[noreturn]] void
+childMain(const ProcBatchJob &job, const ProcBatchOptions &options,
+          int writeFd, const std::vector<size_t> &batch,
+          const std::vector<int> &attempts)
+{
+    if (job.childInit)
+        job.childInit();
+    for (size_t i = 0; i < batch.size(); ++i) {
+        std::string line;
+        try {
+            if (options.childTaskHook)
+                options.childTaskHook(batch[i], attempts[i]);
+            line = job.runTask(batch[i], attempts[i]);
+        } catch (...) {
+            ::_exit(2);
+        }
+        std::string out = std::to_string(batch[i]);
+        out += ' ';
+        out += line;
+        out += '\n';
+        if (!writeAllFd(writeFd, out))
+            ::_exit(3);
+    }
+    ::_exit(0);
+}
+
+} // namespace
+
+ProcBatchStats
+runProcBatch(const ProcBatchJob &job, const ProcBatchOptions &options,
+             std::vector<char> &done)
+{
+    MXL_ASSERT(job.runTask && job.onDone && job.onAbandoned,
+               "incomplete ProcBatchJob");
+    MXL_ASSERT(done.size() == job.count, "done vector size mismatch");
+
+    ProcBatchStats stats;
+    int procs = options.procs > 0
+                    ? options.procs
+                    : static_cast<int>(std::max(
+                          1u, std::thread::hardware_concurrency()));
+    int batchMax = std::max(1, options.batchTasks);
+
+    std::deque<size_t> pending;
+    for (size_t i = 0; i < job.count; ++i)
+        if (!done[i])
+            pending.push_back(i);
+    std::vector<int> attempts(job.count, 0);
+    std::vector<Slot> slots(static_cast<size_t>(procs));
+    for (Slot &s : slots)
+        s.notBefore = Clock::now();
+    int consecutiveForkFailures = 0;
+
+    auto reap = [&](Slot &slot) {
+        ::close(slot.fd);
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        size_t firstUnreported = slot.batch.size();
+        for (size_t i = 0; i < slot.batch.size(); ++i)
+            if (!slot.reported[i]) {
+                firstUnreported = i;
+                break;
+            }
+        if (firstUnreported == slot.batch.size()) {
+            // Everything reported; any exit status is moot.
+            slot.active = false;
+            slot.notBefore = Clock::now();
+            return;
+        }
+        // Abnormal: the first unreported task is the culprit.
+        ++stats.deaths;
+        int termSignal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        size_t culprit = slot.batch[firstUnreported];
+        int att = ++attempts[culprit];
+        size_t requeueFrom = firstUnreported;
+        if (att >= options.maxAttempts) {
+            job.onAbandoned(culprit, slot.killedByWatchdog, termSignal);
+            done[culprit] = 1;
+            ++stats.abandoned;
+            ++requeueFrom;
+        }
+        // Requeue the batch remainder at the front, preserving order.
+        for (size_t i = slot.batch.size(); i-- > requeueFrom;)
+            if (!slot.reported[i] && !done[slot.batch[i]]) {
+                pending.push_front(slot.batch[i]);
+                ++stats.requeues;
+            }
+        slot.active = false;
+        slot.notBefore = Clock::now() + backoffDelay(options, att);
+    };
+
+    auto drainLines = [&](Slot &slot) {
+        std::string line;
+        while (slot.buf.nextLine(&line)) {
+            size_t sp = line.find(' ');
+            if (sp == std::string::npos)
+                continue; // torn line; its task stays unreported
+            size_t ordinal;
+            try {
+                ordinal = std::stoull(line.substr(0, sp));
+            } catch (...) {
+                continue;
+            }
+            for (size_t i = 0; i < slot.batch.size(); ++i)
+                if (slot.batch[i] == ordinal && !slot.reported[i]) {
+                    slot.reported[i] = 1;
+                    done[ordinal] = 1;
+                    slot.lastProgress = Clock::now();
+                    job.onDone(ordinal, line.substr(sp + 1));
+                    break;
+                }
+        }
+    };
+
+    auto spawn = [&](Slot &slot) -> bool {
+        std::vector<size_t> batch;
+        while (batch.size() < static_cast<size_t>(batchMax) &&
+               !pending.empty()) {
+            batch.push_back(pending.front());
+            pending.pop_front();
+        }
+        if (batch.empty())
+            return true;
+        std::vector<int> batchAttempts;
+        for (size_t ord : batch)
+            batchAttempts.push_back(attempts[ord]);
+        int fds[2];
+        if (::pipe(fds) != 0) {
+            for (size_t i = batch.size(); i-- > 0;)
+                pending.push_front(batch[i]);
+            return false;
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            for (size_t i = batch.size(); i-- > 0;)
+                pending.push_front(batch[i]);
+            return false;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            childMain(job, options, fds[1], batch, batchAttempts);
+        }
+        ::close(fds[1]);
+        ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+        ++stats.spawns;
+        slot.active = true;
+        slot.pid = pid;
+        slot.fd = fds[0];
+        slot.buf.clear();
+        slot.batch = std::move(batch);
+        slot.reported.assign(slot.batch.size(), 0);
+        slot.killedByWatchdog = false;
+        slot.lastProgress = Clock::now();
+        return true;
+    };
+
+    for (;;) {
+        Clock::time_point now = Clock::now();
+
+        // ---- refill idle slots ----
+        for (Slot &slot : slots) {
+            if (slot.active || pending.empty() || now < slot.notBefore)
+                continue;
+            if (spawn(slot)) {
+                consecutiveForkFailures = 0;
+            } else {
+                ++consecutiveForkFailures;
+                slot.notBefore =
+                    now + backoffDelay(options, consecutiveForkFailures);
+            }
+        }
+
+        bool anyActive = false;
+        for (const Slot &slot : slots)
+            anyActive |= slot.active;
+        if (!anyActive && pending.empty())
+            break;
+        if (!anyActive) {
+            if (consecutiveForkFailures >= kForkRetries) {
+                // Nothing running and fork keeps failing: hand the
+                // remaining tasks back to the caller.
+                stats.degraded = true;
+                break;
+            }
+            // Everything is in backoff; sleep to the nearest deadline.
+            Clock::time_point wake = now + std::chrono::milliseconds(50);
+            for (const Slot &slot : slots)
+                if (!slot.active)
+                    wake = std::min(wake, slot.notBefore);
+            std::this_thread::sleep_until(std::max(wake, now));
+            continue;
+        }
+
+        // ---- wait for output, bounded by watchdog/backoff deadlines ----
+        std::vector<pollfd> pfds;
+        std::vector<Slot *> pfdSlot;
+        for (Slot &slot : slots)
+            if (slot.active) {
+                pfds.push_back(pollfd{slot.fd, POLLIN, 0});
+                pfdSlot.push_back(&slot);
+            }
+        int timeoutMs = 200;
+        if (options.watchdogSeconds > 0) {
+            for (Slot *slot : pfdSlot) {
+                auto deadline =
+                    slot->lastProgress +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            options.watchdogSeconds));
+                auto ms = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline - now)
+                              .count();
+                timeoutMs = std::max(
+                    0, std::min(timeoutMs, static_cast<int>(ms)));
+            }
+        }
+        int rc = ::poll(pfds.data(), pfds.size(), timeoutMs);
+        if (rc < 0 && errno != EINTR)
+            fatal("procpool poll() failed: ", errno);
+
+        now = Clock::now();
+        for (size_t i = 0; i < pfds.size(); ++i) {
+            Slot &slot = *pfdSlot[i];
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            // The read end is O_NONBLOCK: drain until EAGAIN or EOF.
+            bool eof = drainFd(slot.fd, slot.buf);
+            drainLines(slot);
+            if (eof)
+                reap(slot);
+        }
+
+        // ---- watchdog: kill children that stopped reporting ----
+        if (options.watchdogSeconds > 0) {
+            for (Slot &slot : slots) {
+                if (!slot.active || slot.killedByWatchdog)
+                    continue;
+                std::chrono::duration<double> idle = now - slot.lastProgress;
+                if (idle.count() > options.watchdogSeconds) {
+                    slot.killedByWatchdog = true;
+                    ++stats.watchdogKills;
+                    ::kill(slot.pid, SIGKILL);
+                    // The pipe EOF arrives next iteration; reap() then
+                    // classifies the culprit.
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+#endif // MXL_PROCPOOL_POSIX
+
+} // namespace mxl

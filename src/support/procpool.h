@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared fork/pipe/watchdog process-pool core.
+ *
+ * Two subsystems run untrusted work in forked child processes: the
+ * fault-campaign sandbox (faults/sandbox.h), whose trials are runs of
+ * deliberately corrupted machine state, and the measurement service's
+ * worker pool (serve/pool.h), which must survive any request a client
+ * throws at it. Both need the same containment machinery — fork a
+ * child, stream line-framed results back over a pipe, watch for
+ * progress, kill hangs, classify deaths, retry with bounded
+ * exponential backoff, and degrade cleanly when fork itself is
+ * exhausted. This file is that machinery, factored so the two callers
+ * cannot drift apart:
+ *
+ *  - runProcBatch(): the batch engine behind runSandboxed(). Children
+ *    are handed a contiguous batch of task ordinals at fork time, run
+ *    them inline, and write one result line per task; a child that
+ *    dies indicts the first task it never reported.
+ *  - The low-level primitives (writeAllFd, LineBuffer, backoffMillis,
+ *    drainFd) that serve/pool.cc's persistent bidirectional workers
+ *    are built from.
+ *
+ * Everything here is Engine-agnostic: callers inject process-global
+ * setup (e.g. Engine::postFork) through ProcBatchJob::childInit.
+ */
+
+#ifndef MXLISP_SUPPORT_PROCPOOL_H_
+#define MXLISP_SUPPORT_PROCPOOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mxl {
+
+/** True when the platform can fork/pipe/poll (POSIX). */
+bool procPoolSupported();
+
+/** Tuning for runProcBatch(); field semantics match SandboxOptions. */
+struct ProcBatchOptions
+{
+    /** Concurrent child processes; 0 = hardware_concurrency(). */
+    int procs = 0;
+
+    /** Tasks handed to one child per fork (amortizes fork cost;
+     *  bounds how much work one abnormal death requeues). */
+    int batchTasks = 64;
+
+    /** Times a culprit task is re-run in a fresh child before it is
+     *  abandoned to ProcBatchJob::onAbandoned. */
+    int maxAttempts = 3;
+
+    /** A child reporting no task for this long is killed (presumed
+     *  hung). 0 disables the watchdog. */
+    double watchdogSeconds = 0;
+
+    /** Slot backoff after an abnormal death: base * 2^(attempt-1),
+     *  capped. The slot simply isn't refilled before the deadline —
+     *  the parent never sleeps while other children have output. */
+    int backoffBaseMs = 50;
+    int backoffCapMs = 2000;
+
+    /**
+     * Test chaos seam, invoked IN THE CHILD before each task runs.
+     * Tests use it to crash or hang specific (ordinal, attempt) pairs
+     * and assert the parent's containment behavior. Null in production.
+     */
+    std::function<void(size_t ordinal, int attempt)> childTaskHook;
+};
+
+/** What the parent observed across one runProcBatch() call. */
+struct ProcBatchStats
+{
+    int spawns = 0;        ///< children forked
+    int deaths = 0;        ///< abnormal child exits (signal / nonzero)
+    int watchdogKills = 0; ///< children we killed for lack of progress
+    int requeues = 0;      ///< tasks sent back to the queue after a death
+    int abandoned = 0;     ///< tasks that exhausted maxAttempts
+    bool degraded = false; ///< fork failed persistently; caller must run
+                           ///< the remaining (not-done) tasks itself
+};
+
+/** The work to run: @p count tasks plus the callbacks. */
+struct ProcBatchJob
+{
+    size_t count = 0;
+
+    /** CHILD SIDE: run once immediately after fork, before any task
+     *  (e.g. Engine::postFork). Optional. */
+    std::function<void()> childInit;
+
+    /**
+     * CHILD SIDE: run task @p ordinal (attempt @p attempt) and return
+     * its result serialized as a single line WITHOUT newline. Must not
+     * touch parent-side state — the line is the only channel out.
+     */
+    std::function<std::string(size_t ordinal, int attempt)> runTask;
+
+    /** PARENT SIDE: task @p ordinal completed with @p payload. */
+    std::function<void(size_t ordinal, const std::string &payload)> onDone;
+
+    /**
+     * PARENT SIDE: task @p ordinal abandoned after maxAttempts.
+     * @p watchdogKill true when the last death was our hang-kill;
+     * otherwise @p termSignal is the signal that killed the child
+     * (0 for a plain nonzero exit).
+     */
+    std::function<void(size_t ordinal, bool watchdogKill, int termSignal)>
+        onAbandoned;
+};
+
+/**
+ * Run every task in [0, job.count) through forked children. @p done
+ * must have job.count entries; tasks already marked done are skipped,
+ * and every completed or abandoned task is marked done. On a degraded
+ * return (fork exhaustion) the not-done entries are the tasks the
+ * caller still owes.
+ */
+ProcBatchStats runProcBatch(const ProcBatchJob &job,
+                            const ProcBatchOptions &options,
+                            std::vector<char> &done);
+
+// ---- primitives shared with the persistent serve pool -----------------
+
+/** Bounded exponential backoff: base * 2^(attempt-1) ms, capped. */
+int64_t backoffMillis(int baseMs, int capMs, int attempt);
+
+/** Write all of @p s to @p fd, retrying on EINTR. False on error. */
+bool writeAllFd(int fd, const std::string &s);
+
+/**
+ * Accumulates pipe/socket reads and hands back complete '\n'-terminated
+ * lines (the newline stripped). A torn trailing line stays buffered.
+ */
+class LineBuffer
+{
+  public:
+    void append(const char *data, size_t n) { buf_.append(data, n); }
+
+    /** Pop the next complete line into @p line; false when none. */
+    bool nextLine(std::string *line);
+
+    const std::string &pending() const { return buf_; }
+    void clear() { buf_.clear(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Drain a nonblocking fd into @p buf until EAGAIN, EOF, or error.
+ * Returns true when EOF was reached (the peer closed its end).
+ */
+bool drainFd(int fd, LineBuffer &buf);
+
+} // namespace mxl
+
+#endif // MXLISP_SUPPORT_PROCPOOL_H_

@@ -1,0 +1,96 @@
+# Exit-code and diagnostic tests for bench_diff's artifact loading:
+# a missing, directory, empty, or unparseable artifact path must exit 2
+# with a diagnostic naming the path, in every mode (default, --coverage,
+# --backends) — never exit 0 and never masquerade as a bench verdict.
+#
+# ctest can assert PASS/FAIL but not specific exit codes, so this runs
+# as a -P script:
+#   cmake -DBENCH_DIFF=<path-to-binary> -P bench_diff_errors.cmake
+
+if(NOT DEFINED BENCH_DIFF)
+  message(FATAL_ERROR "pass -DBENCH_DIFF=<path to bench_diff>")
+endif()
+
+set(workdir "${CMAKE_CURRENT_BINARY_DIR}/bench_diff_errors.tmp")
+file(REMOVE_RECURSE "${workdir}")
+file(MAKE_DIRECTORY "${workdir}")
+
+file(WRITE "${workdir}/empty.json" "")
+file(WRITE "${workdir}/garbage.json" "this is { not json")
+file(WRITE "${workdir}/valid.json"
+     "{\"grid\": [{\"label\": \"x\", \"statusOk\": true, "
+     "\"stats\": {\"total\": 100}, \"wallSeconds\": 0.5}]}")
+file(MAKE_DIRECTORY "${workdir}/a_directory")
+
+set(failures 0)
+
+# expect_case(<name> <expected-rc> <stderr-substring> <args...>)
+function(expect_case name expected_rc expected_text)
+  execute_process(
+    COMMAND "${BENCH_DIFF}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(NOT rc EQUAL ${expected_rc})
+    set(ok FALSE)
+    message(WARNING "${name}: exit ${rc}, expected ${expected_rc}")
+  endif()
+  if(NOT "${expected_text}" STREQUAL "" AND
+     NOT "${err}${out}" MATCHES "${expected_text}")
+    set(ok FALSE)
+    message(WARNING
+            "${name}: diagnostic missing \"${expected_text}\";\n"
+            "stderr was: ${err}")
+  endif()
+  if(ok)
+    message(STATUS "PASS  ${name}")
+  else()
+    math(EXPR n "${failures} + 1")
+    set(failures ${n} PARENT_SCOPE)
+  endif()
+endfunction()
+
+set(missing "${workdir}/does_not_exist.json")
+set(valid "${workdir}/valid.json")
+
+# Missing artifact path, every mode.
+expect_case(default_missing_before 2 "does_not_exist"
+            "${missing}" "${valid}")
+expect_case(default_missing_after 2 "does_not_exist"
+            "${valid}" "${missing}")
+expect_case(coverage_missing 2 "does_not_exist"
+            --coverage "${missing}" "${valid}")
+expect_case(backends_missing 2 "does_not_exist"
+            --backends "${missing}")
+
+# A directory is not an artifact (and must not read as "invalid JSON").
+expect_case(default_directory 2 "not a regular file"
+            "${workdir}/a_directory" "${valid}")
+expect_case(backends_directory 2 "not a regular file"
+            --backends "${workdir}/a_directory")
+
+# Empty and unparseable artifacts, distinctly diagnosed.
+expect_case(default_empty 2 "is empty"
+            "${workdir}/empty.json" "${valid}")
+expect_case(coverage_empty 2 "is empty"
+            --coverage "${workdir}/empty.json" "${valid}")
+expect_case(default_garbage 2 "not valid JSON"
+            "${workdir}/garbage.json" "${valid}")
+expect_case(backends_garbage 2 "not valid JSON"
+            --backends "${workdir}/garbage.json")
+
+# Usage errors keep exiting 2.
+expect_case(no_arguments 2 "usage")
+expect_case(too_many_paths 2 "usage" a b c)
+
+# Sanity: a well-formed pair still succeeds (exit 0), so the error
+# paths above are not just a tool that always fails.
+expect_case(valid_self_diff 0 "" "${valid}" "${valid}")
+
+file(REMOVE_RECURSE "${workdir}")
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} bench_diff error-path case(s) failed")
+endif()
+message(STATUS "all bench_diff error-path cases passed")

@@ -335,6 +335,39 @@ TEST(Backend, RefusalsAreDiagnosed)
     EXPECT_NE(r2.note.find("entry"), std::string::npos) << r2.note;
 }
 
+TEST(Backend, DeadlineExpiresUnderTranslatedBackend)
+{
+    // The translated executor shares the interpreter's chunked
+    // wall-clock deadline (kDeadlineChunkCycles in both run loops): a
+    // pinned-Translated spin must time out there, not fall back, and
+    // come back with the same Timeout encoding the interpreter uses.
+    Engine eng(1);
+    RunRequest spin;
+    spin.source = "(setq i 0) (while t (setq i (add1 i)))";
+    spin.opts = baselineOptions(Checking::Off);
+    spin.exec.backend = Backend::Translated;
+    spin.exec.deadlineSeconds = 0.2;
+    spin.exec.maxCycles = ~0ull; // the deadline, not the budget, stops it
+    RunReport rep = eng.run(spin);
+    EXPECT_EQ(rep.backend, Backend::Translated);
+    EXPECT_FALSE(rep.backendFellBack);
+    EXPECT_EQ(rep.status.code, RunStatus::Code::Timeout);
+    EXPECT_TRUE(rep.result.timedOut);
+    EXPECT_EQ(rep.result.stop, StopReason::CycleLimit);
+    EXPECT_EQ(eng.metrics().counter("engine.timeouts").value(), 1u);
+
+    // The engine is not wedged: the same source under a generous
+    // deadline completes normally on the translated tier.
+    RunRequest fine = spin;
+    fine.source = kLoop;
+    fine.exec.maxCycles = kDefaultMaxCycles;
+    fine.exec.deadlineSeconds = 60;
+    RunReport ok = eng.run(fine);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.backend, Backend::Translated);
+    EXPECT_FALSE(ok.result.timedOut);
+}
+
 TEST(Backend, BackendNamesAreStable)
 {
     EXPECT_STREQ(backendName(Backend::Auto), "auto");

@@ -348,6 +348,42 @@ TEST(Engine, DeadlineRunThatFinishesIsCycleIdentical)
     EXPECT_EQ(plain.result.output, rep.result.output);
 }
 
+TEST(Engine, GridOfExpiringCellsCancelsEveryCellAndFreesWorkers)
+{
+    // Mid-runGrid cancellation: more spinning cells than workers, each
+    // with a short deadline. Every cell must come back Timeout (no
+    // cell is silently dropped, none runs forever), and the pool must
+    // come out of it reusable — a wedged worker would hang the next
+    // grid.
+    Engine eng(2);
+    const char *spin = "(setq i 0) (while t (setq i (add1 i)))";
+    std::vector<RunRequest> reqs;
+    for (int i = 0; i < 5; ++i) {
+        RunRequest r = request(spin, Checking::Off);
+        r.label = "spin" + std::to_string(i);
+        r.exec.deadlineSeconds = 0.15;
+        reqs.push_back(std::move(r));
+    }
+    std::vector<RunReport> reports = eng.runGrid(reqs);
+    ASSERT_EQ(reports.size(), reqs.size());
+    for (size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(reports[i].status.code, RunStatus::Code::Timeout)
+            << "cell " << i;
+        EXPECT_TRUE(reports[i].result.timedOut) << "cell " << i;
+        EXPECT_EQ(reports[i].label, reqs[i].label);
+    }
+    EXPECT_EQ(eng.metrics().counter("engine.timeouts").value(),
+              reqs.size());
+
+    // The workers survived the cancellations: a normal grid on the
+    // same engine completes with correct results.
+    std::vector<RunRequest> after(3, request(kLoop, Checking::Off));
+    std::vector<RunReport> ok = eng.runGrid(after);
+    ASSERT_EQ(ok.size(), 3u);
+    for (const RunReport &rep : ok)
+        EXPECT_TRUE(rep.ok());
+}
+
 TEST(Engine, NestedRunGridFromWorkerIsRefused)
 {
     // runGrid() from one of the engine's own workers (reachable through

@@ -232,6 +232,33 @@ TEST(Metrics, SnapshotIsDeterministic)
     EXPECT_EQ(a->asUint(), 7u);
 }
 
+TEST(Metrics, SnapshotJsonRoundTripsByteIdentically)
+{
+    // snapshotJson() is the health-endpoint export (serve/server.cc):
+    // it must be exactly snapshot().dump() — parseable, and re-dumping
+    // the parse reproduces the text byte for byte, so two scrapes of
+    // an unchanged registry compare equal as strings.
+    MetricsRegistry reg;
+    reg.counter("serve.requests").inc(12);
+    reg.counter("engine.runs").inc(5);
+    reg.gauge("serve.queue.depth").set(3);
+    reg.histogram("serve.cell_micros").observe(1024);
+
+    std::string text = reg.snapshotJson();
+    EXPECT_EQ(text, reg.snapshot().dump());
+
+    Json parsed;
+    ASSERT_TRUE(Json::parse(text, &parsed));
+    EXPECT_EQ(parsed.dump(), text);
+    EXPECT_EQ(parsed.find("counters")->find("serve.requests")->asUint(),
+              12u);
+    EXPECT_EQ(parsed.find("gauges")->find("serve.queue.depth")->asInt(),
+              3);
+
+    // Unchanged registry, second scrape: identical text.
+    EXPECT_EQ(reg.snapshotJson(), text);
+}
+
 TEST(Metrics, ExactUnderConcurrentBumpsAndLookups)
 {
     MetricsRegistry reg;

@@ -36,11 +36,15 @@
  * diff, independent of the cycle threshold.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <sys/stat.h>
 
 #include "faults/stats.h"
 #include "obs/bench_compare.h"
@@ -58,18 +62,55 @@ usage()
     return 2;
 }
 
+/**
+ * Load one BENCH_*.json artifact, diagnosing each failure mode
+ * distinctly: a missing path, a directory (which ifstream happily
+ * "opens" and then reads nothing from, turning into a misleading
+ * parse error), an empty/truncated file, and malformed JSON. Every
+ * caller turns `false` into exit status 2 — in all modes, a bad
+ * artifact path must never look like a bench verdict.
+ */
 bool
 loadJson(const std::string &path, mxl::Json *out)
 {
-    std::ifstream in(path);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        return false;
+    }
+    if (!S_ISREG(st.st_mode)) {
+        std::fprintf(stderr,
+                     "bench_diff: %s is not a regular file (expected a "
+                     "BENCH_*.json artifact)\n",
+                     path.c_str());
+        return false;
+    }
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+        std::fprintf(stderr, "bench_diff: cannot open %s: %s\n",
+                     path.c_str(), std::strerror(errno));
         return false;
     }
     std::ostringstream text;
     text << in.rdbuf();
-    if (!mxl::Json::parse(text.str(), out)) {
-        std::fprintf(stderr, "bench_diff: %s is not valid JSON\n",
+    if (in.bad()) {
+        std::fprintf(stderr, "bench_diff: read error on %s\n",
+                     path.c_str());
+        return false;
+    }
+    const std::string body = text.str();
+    if (body.find_first_not_of(" \t\r\n") == std::string::npos) {
+        std::fprintf(stderr,
+                     "bench_diff: %s is empty (expected a BENCH_*.json "
+                     "artifact — did the bench run finish?)\n",
+                     path.c_str());
+        return false;
+    }
+    if (!mxl::Json::parse(body, out)) {
+        std::fprintf(stderr,
+                     "bench_diff: %s is not valid JSON (truncated or "
+                     "not a BENCH_*.json artifact)\n",
                      path.c_str());
         return false;
     }

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * mxl-client: command-line client for mxl-served (serve/client.h).
+ *
+ * Sends one request and prints the responses as JSONL, one line per
+ * streamed cell report plus a final summary line. Exit status: 0 on
+ * "done" with no failed cells, 3 on "done" with failures, 4 when shed
+ * ("overloaded"), 1 on server error or transport failure.
+ *
+ * Usage:
+ *   mxl-client --socket PATH [options] [verb]
+ *     verbs: health | ping | grid (default grid)
+ *     --socket PATH       connect over the Unix-domain socket
+ *     --tcp HOST:PORT     connect over TCP instead
+ *     --program NAME      add a cell running a built-in benchmark
+ *                         (repeatable; default one 'inter' cell)
+ *     --source LISP       add a cell running the given forms
+ *     --scheme NAME       tag scheme for subsequent cells
+ *     --checking off|full checking level for subsequent cells
+ *     --deadline-ms N     request deadline, propagated server-side
+ *     --id STRING         request id echoed in responses
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+using namespace mxl;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--socket PATH | --tcp HOST:PORT) [--program NAME]* "
+        "[--source LISP]* [--scheme NAME] [--checking off|full] "
+        "[--deadline-ms N] [--id STR] [health|ping|grid]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath, tcpHost, id = "cli";
+    int tcpPort = 0;
+    int64_t deadlineMs = 0;
+    std::string verb = "grid";
+    std::string scheme, checking;
+    std::vector<Json> cells;
+
+    auto makeCell = [&](const char *key, const std::string &value) {
+        Json cell = Json::object();
+        cell.set(key, value);
+        if (!scheme.empty() || !checking.empty()) {
+            Json o = Json::object();
+            if (!scheme.empty())
+                o.set("scheme", scheme);
+            if (!checking.empty())
+                o.set("checking", checking);
+            cell.set("options", std::move(o));
+        }
+        cells.push_back(std::move(cell));
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socketPath = value();
+        else if (arg == "--tcp") {
+            std::string hp = value();
+            size_t colon = hp.rfind(':');
+            if (colon == std::string::npos)
+                return usage(argv[0]);
+            tcpHost = hp.substr(0, colon);
+            tcpPort = std::atoi(hp.c_str() + colon + 1);
+        } else if (arg == "--program")
+            makeCell("program", value());
+        else if (arg == "--source")
+            makeCell("source", value());
+        else if (arg == "--scheme")
+            scheme = value();
+        else if (arg == "--checking")
+            checking = value();
+        else if (arg == "--deadline-ms")
+            deadlineMs = std::atol(value());
+        else if (arg == "--id")
+            id = value();
+        else if (arg == "health" || arg == "ping" || arg == "grid")
+            verb = arg;
+        else
+            return usage(argv[0]);
+    }
+    if (socketPath.empty() && tcpHost.empty())
+        return usage(argv[0]);
+
+    ServeClient client;
+    std::string err;
+    bool ok = socketPath.empty()
+                  ? client.connectTcp(tcpHost, tcpPort, &err)
+                  : client.connectUnix(socketPath, &err);
+    if (!ok) {
+        std::fprintf(stderr, "mxl-client: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (verb == "ping") {
+        if (!client.ping(&err)) {
+            std::fprintf(stderr, "mxl-client: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("{\"type\":\"pong\"}\n");
+        return 0;
+    }
+    if (verb == "health") {
+        Json health;
+        if (!client.health(&health, &err)) {
+            std::fprintf(stderr, "mxl-client: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("%s\n", health.dump().c_str());
+        return 0;
+    }
+
+    if (cells.empty()) {
+        Json cell = Json::object();
+        cell.set("program", "inter");
+        cells.push_back(std::move(cell));
+    }
+    ServeClient::GridOutcome outcome = client.runGrid(
+        id, cells, deadlineMs, [](size_t index, const Json &report) {
+            std::printf("{\"index\":%zu,\"report\":%s}\n", index,
+                        report.dump().c_str());
+        });
+    switch (outcome.kind) {
+    case ServeClient::GridOutcome::Kind::Done:
+        std::printf("{\"type\":\"done\",\"cells\":%zu,\"failed\":%zu}\n",
+                    outcome.cells, outcome.failed);
+        return outcome.failed == 0 ? 0 : 3;
+    case ServeClient::GridOutcome::Kind::Overloaded:
+        std::printf("{\"type\":\"overloaded\",\"retryAfterMs\":%lld}\n",
+                    static_cast<long long>(outcome.retryAfterMs));
+        return 4;
+    case ServeClient::GridOutcome::Kind::Error:
+        std::fprintf(stderr, "mxl-client: server error: %s\n",
+                     outcome.message.c_str());
+        return 1;
+    case ServeClient::GridOutcome::Kind::Transport:
+        break;
+    }
+    std::fprintf(stderr, "mxl-client: %s\n", outcome.message.c_str());
+    return 1;
+}

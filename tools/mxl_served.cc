@@ -1,0 +1,102 @@
+/**
+ * @file
+ * mxl-served: the long-running measurement server (serve/server.h).
+ *
+ * Serves grid/health/ping requests over a Unix-domain socket (and an
+ * optional loopback TCP listener) on a pool of forked crash-isolated
+ * workers. SIGTERM/SIGINT trigger a graceful drain: in-flight cells
+ * finish (bounded by --drain-ms), every open request gets its
+ * terminal response, then the process exits 0.
+ *
+ * Usage:
+ *   mxl-served --socket PATH [options]
+ *     --socket PATH       Unix-domain socket to serve on (required)
+ *     --tcp PORT          also listen on 127.0.0.1:PORT (0 = ephemeral)
+ *     --workers N         forked worker complement (default 2)
+ *     --queue N           admission queue capacity, cells (default 256)
+ *     --drain-ms N        graceful-drain bound (default 10000)
+ *     --max-cell-s N      watchdog for deadline-less cells (default 300)
+ *     --warm              precompile built-in benchmarks before forking
+ *     --chaos             honor __chaos:* cell labels (bench/test only)
+ *     --no-fork           test seam: degrade to in-process execution
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.h"
+
+using namespace mxl;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--tcp PORT] [--workers N] "
+                 "[--queue N] [--drain-ms N] [--max-cell-s N] [--warm] "
+                 "[--chaos] [--no-fork]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            options.unixPath = value();
+        else if (arg == "--tcp") {
+            int port = std::atoi(value());
+            options.tcpPort = port == 0 ? -1 : port; // 0: ephemeral
+        }
+        else if (arg == "--workers")
+            options.workers = std::atoi(value());
+        else if (arg == "--queue")
+            options.queueCapacity =
+                static_cast<size_t>(std::atol(value()));
+        else if (arg == "--drain-ms")
+            options.drainMs = std::atoi(value());
+        else if (arg == "--max-cell-s")
+            options.maxCellSeconds = std::atof(value());
+        else if (arg == "--warm")
+            options.warmCache = true;
+        else if (arg == "--chaos")
+            options.enableChaosCells = true;
+        else if (arg == "--no-fork")
+            options.disableFork = true;
+        else
+            return usage(argv[0]);
+    }
+    if (options.unixPath.empty())
+        return usage(argv[0]);
+
+    Server server(std::move(options));
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "mxl-served: %s\n", err.c_str());
+        return 1;
+    }
+    server.installSignalHandlers();
+    std::fprintf(stderr, "mxl-served: listening (workers ready)\n");
+    if (server.boundTcpPort() > 0)
+        std::fprintf(stderr, "mxl-served: tcp 127.0.0.1:%d\n",
+                     server.boundTcpPort());
+    server.serve();
+    std::fprintf(stderr, "mxl-served: drained, exiting\n");
+    return 0;
+}
