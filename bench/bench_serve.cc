@@ -26,7 +26,14 @@
  * post-chaos golden request's per-cell reports, whose simulated cycle
  * counts are deterministic) plus service-level results — throughput,
  * request-latency p50/p99, shed / worker-death / hang-kill / respawn
- * counts, and the measured drain time.
+ * counts, and the measured drain time. The embedded metrics snapshot
+ * carries the four service latency histograms (gate them with
+ * `bench_diff --latency`) and the engine counters merged home from
+ * the workers' per-result metric deltas. The server also runs with
+ * --trace and --log equivalents on: BENCH_serve_trace.json must be a
+ * valid merged Perfetto trace with one lane per worker and the
+ * sampled requests' trace ids on its spans, and
+ * BENCH_serve_events.jsonl a parseable structured event log.
  */
 
 #include <algorithm>
@@ -36,8 +43,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -93,7 +103,11 @@ struct LoadLedger
     uint64_t transportErrors = 0;
     uint64_t serverErrors = 0;
     std::vector<double> latencies; ///< seconds, done requests only
+    std::vector<std::string> traceIds; ///< done requests (sampled)
 };
+
+/** How many done-request trace ids to sample for trace validation. */
+constexpr size_t kTraceIdSample = 64;
 
 struct LoadConfig
 {
@@ -132,6 +146,17 @@ clientMain(const LoadConfig &cfg, int clientIndex,
                 "r" + std::to_string(seq) + "c" + std::to_string(c),
                 "(print (+ " + std::to_string(seq % 7) + " " +
                     std::to_string(c) + "))"));
+        // Every 4th request also runs a precompiled benchmark program:
+        // the parent warmed it before forking, so the worker's first
+        // use is a copy-on-write cache hit — the load that proves the
+        // workers' engine counters (nonzero engine.cache.hits) merge
+        // home through the per-result metric deltas.
+        if (seq % 4 == 0) {
+            Json warm = Json::object();
+            warm.set("label", "r" + std::to_string(seq) + "warm");
+            warm.set("program", "inter");
+            cells.push_back(std::move(warm));
+        }
         const bool withHang =
             cfg.hangEvery > 0 && seq % cfg.hangEvery == 0;
         if (withHang)
@@ -169,6 +194,8 @@ clientMain(const LoadConfig &cfg, int clientIndex,
             if (out.kind == ServeClient::GridOutcome::Kind::Done) {
                 ledger->completed++;
                 ledger->failedCells += out.failed;
+                if (ledger->traceIds.size() < kTraceIdSample)
+                    ledger->traceIds.push_back(out.traceId);
                 if (reports.size() != cells.size())
                     ledger->missingCells +=
                         cells.size() - reports.size();
@@ -260,6 +287,12 @@ main(int argc, char **argv)
 
     cfg.socketPath = "/tmp/mxl_bench_serve_" +
                      std::to_string(::getpid()) + ".sock";
+    const std::string tracePath = "BENCH_serve_trace.json";
+    const std::string eventLogPath = "BENCH_serve_events.jsonl";
+    // The event log appends; a stale file from a previous run would
+    // pollute this one's validation.
+    ::unlink(tracePath.c_str());
+    ::unlink(eventLogPath.c_str());
     ServerOptions options;
     options.unixPath = cfg.socketPath;
     options.workers = workers;
@@ -271,6 +304,8 @@ main(int argc, char **argv)
     options.backoffCapMs = 200;
     options.drainMs = drainBoundMs;
     options.maxCellSeconds = 30;
+    options.tracePath = tracePath;
+    options.eventLogPath = eventLogPath;
 
     Server server(std::move(options));
     std::string err;
@@ -396,6 +431,132 @@ main(int argc, char **argv)
     double drainSeconds = secondsSince(drainStart);
     ::unlink(cfg.socketPath.c_str());
 
+    // --------------------------------------- observability artifacts
+    // The refreshed health snapshot must carry the four service
+    // latency histograms (bench_diff --latency gates on them) and
+    // engine counters the parent process never increments itself —
+    // cache hits and runs happen inside forked workers, so nonzero
+    // values prove the per-result metric deltas merged home.
+    auto metricsSection = [&](const char *kind) -> const Json * {
+        const Json *m = health.find("metrics");
+        const Json *s = m ? m->find(kind) : nullptr;
+        return s && s->isObject() ? s : nullptr;
+    };
+    bool latencyHistogramsOk = true;
+    {
+        const Json *hists = metricsSection("histograms");
+        for (const char *name :
+             {"serve.admission_wait_micros", "serve.queue_micros",
+              "serve.exec_micros", "serve.e2e_micros"}) {
+            const Json *h = hists ? hists->find(name) : nullptr;
+            const Json *count = h ? h->find("count") : nullptr;
+            if (!count || count->asUint() == 0) {
+                latencyHistogramsOk = false;
+                std::fprintf(stderr,
+                             "bench_serve: histogram %s missing or "
+                             "empty in health metrics\n",
+                             name);
+            }
+        }
+    }
+    bool workerCountersOk = false;
+    {
+        const Json *counters = metricsSection("counters");
+        auto counterValue = [&](const char *name) -> uint64_t {
+            const Json *c = counters ? counters->find(name) : nullptr;
+            return c ? c->asUint() : 0;
+        };
+        workerCountersOk = counterValue("engine.cache.hits") > 0 &&
+                           counterValue("engine.runs") > 0;
+    }
+
+    // The merged Perfetto trace, written when the drain finished:
+    // every event well-formed, at least two lanes (server + a
+    // worker), and the sampled done-requests' trace ids present.
+    bool traceOk = false;
+    {
+        std::ifstream in(tracePath, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        Json tdoc;
+        if (in && Json::parse(text.str(), &tdoc) && tdoc.isArray() &&
+            tdoc.size() > 0) {
+            bool shaped = true;
+            std::set<int64_t> lanes;
+            std::set<std::string> tracedIds;
+            for (size_t i = 0; i < tdoc.size(); ++i) {
+                const Json &e = tdoc.at(i);
+                const Json *pid = e.find("pid");
+                if (!e.isObject() || !e.find("name") ||
+                    !e.find("ph") || !e.find("ts") || !pid ||
+                    !e.find("tid")) {
+                    shaped = false;
+                    break;
+                }
+                lanes.insert(pid->asInt(0));
+                const Json *args = e.find("args");
+                const Json *tid = args ? args->find("traceId") : nullptr;
+                if (tid && tid->isString())
+                    tracedIds.insert(tid->str());
+            }
+            size_t sampledFound = 0;
+            for (const std::string &id : ledger.traceIds)
+                if (tracedIds.count(id))
+                    ++sampledFound;
+            traceOk = shaped && lanes.size() >= 2 &&
+                      !ledger.traceIds.empty() &&
+                      sampledFound == ledger.traceIds.size();
+            if (!traceOk)
+                std::fprintf(stderr,
+                             "bench_serve: trace check: shaped=%d "
+                             "lanes=%zu sampled=%zu/%zu\n",
+                             shaped ? 1 : 0, lanes.size(),
+                             sampledFound, ledger.traceIds.size());
+        } else {
+            std::fprintf(stderr,
+                         "bench_serve: %s missing or not a JSON "
+                         "array\n",
+                         tracePath.c_str());
+        }
+    }
+
+    // The structured event log: every line parses, and the lifecycle
+    // events the load phase must have produced are present.
+    bool eventLogOk = false;
+    {
+        std::ifstream in(eventLogPath);
+        std::string line;
+        bool parsed = in.good();
+        uint64_t doneEvents = 0, startEvents = 0, drainEvents = 0;
+        while (parsed && std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Json e;
+            if (!Json::parse(line, &e) || !e.isObject() ||
+                !e.find("ts") || !e.find("level") || !e.find("event")) {
+                parsed = false;
+                break;
+            }
+            const std::string &name = e.find("event")->str();
+            if (name == "request.done")
+                ++doneEvents;
+            else if (name == "server.start")
+                ++startEvents;
+            else if (name == "server.drain.end")
+                ++drainEvents;
+        }
+        eventLogOk = parsed && startEvents == 1 && drainEvents == 1 &&
+                     doneEvents >= ledger.completed;
+        if (!eventLogOk)
+            std::fprintf(stderr,
+                         "bench_serve: event log check: parsed=%d "
+                         "start=%llu drain=%llu done=%llu\n",
+                         parsed ? 1 : 0,
+                         static_cast<unsigned long long>(startEvents),
+                         static_cast<unsigned long long>(drainEvents),
+                         static_cast<unsigned long long>(doneEvents));
+    }
+
     // ------------------------------------------------------- verdicts
     std::sort(ledger.latencies.begin(), ledger.latencies.end());
     double p50 = percentile(ledger.latencies, 0.50) * 1e3;
@@ -438,6 +599,15 @@ main(int argc, char **argv)
     verdict(goldenOk, "pool recovered: clean post-chaos golden grid");
     verdict(drainSeconds * 1e3 <= drainBoundMs + 2000,
             "SIGTERM drain completed within bound");
+    verdict(latencyHistogramsOk,
+            "health exports the four service latency histograms");
+    verdict(workerCountersOk,
+            "worker engine counters merged home (cache hits, runs)");
+    verdict(traceOk,
+            "merged Perfetto trace has per-worker lanes and the "
+            "sampled trace ids");
+    verdict(eventLogOk,
+            "structured event log parses with full lifecycle events");
 
     // ------------------------------------------------------- artifact
     Json doc = benchDoc("serve", std::move(grid));

@@ -1,0 +1,101 @@
+#include "obs/log.h"
+
+#include <chrono>
+
+namespace mxl {
+
+const char *
+EventLog::levelName(Level level)
+{
+    switch (level) {
+      case Level::Debug:
+        return "debug";
+      case Level::Info:
+        return "info";
+      case Level::Warn:
+        return "warn";
+      case Level::Error:
+        return "error";
+    }
+    return "info";
+}
+
+EventLog::~EventLog()
+{
+    close();
+}
+
+bool
+EventLog::openFile(const std::string &path, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+        if (err != nullptr)
+            *err = "cannot open event log '" + path + "'";
+        return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (f_ != nullptr)
+        std::fclose(f_);
+    f_ = f;
+    return true;
+}
+
+void
+EventLog::close()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (f_ != nullptr) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+bool
+EventLog::enabled() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return f_ != nullptr;
+}
+
+void
+EventLog::setMinLevel(Level level)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    min_ = level;
+}
+
+void
+EventLog::event(Level level, const std::string &name, const Json &fields)
+{
+    uint64_t ts = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    Json line = Json::object();
+    line.set("ts", ts);
+    line.set("level", levelName(level));
+    line.set("event", name);
+    if (fields.isObject()) {
+        for (size_t i = 0; i < fields.size(); ++i) {
+            const auto &[key, value] = fields.entry(i);
+            line.set(key, value);
+        }
+    }
+    std::string text = line.dump();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (f_ == nullptr || level < min_)
+        return;
+    std::fprintf(f_, "%s\n", text.c_str());
+    std::fflush(f_);
+    ++emitted_;
+}
+
+uint64_t
+EventLog::emitted() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return emitted_;
+}
+
+} // namespace mxl

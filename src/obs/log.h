@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured JSONL event log for the measurement service.
+ *
+ * One event per line, compact support/json.h dump — the same
+ * greppable shape as the campaign journal and the wire frames, so one
+ * set of tools reads all three. Every line carries:
+ *
+ *   {"ts":<micros since Unix epoch>,"level":"info","event":"<name>",
+ *    ...caller fields...}
+ *
+ * Caller fields are request-scoped by convention: server paths attach
+ * requestId/traceId/label so a request's whole story greps out of the
+ * log by its trace id (docs/SERVICE.md lists the event vocabulary:
+ * server.start, request.shed, request.error, request.done,
+ * request.slow, worker.death, server.drain.begin, server.drain.end).
+ *
+ * Threading: event() is safe from any thread (one mutex, one
+ * fprintf+fflush per line — the flush makes the log crash-honest;
+ * this is an events log, not a hot-path logger). Forked children
+ * inherit the FILE* but never log through it — worker evidence is
+ * logged parent-side where it is classified — and child _exit()
+ * bypasses stdio flushing, so a COW buffer copy can't double-write.
+ * Levels below the minimum are dropped before formatting.
+ */
+
+#ifndef MXLISP_OBS_LOG_H_
+#define MXLISP_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "support/json.h"
+
+namespace mxl {
+
+class EventLog
+{
+  public:
+    enum class Level
+    {
+        Debug = 0,
+        Info = 1,
+        Warn = 2,
+        Error = 3,
+    };
+
+    static const char *levelName(Level level);
+
+    EventLog() = default;
+    ~EventLog();
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** Open @p path in append mode as the sink. False (with @p err
+     *  set) when the file cannot be opened; the log stays disabled. */
+    bool openFile(const std::string &path, std::string *err);
+
+    /** Close the sink; subsequent events are dropped. */
+    void close();
+
+    /** True when a sink is open — callers can skip building fields. */
+    bool enabled() const;
+
+    /** Drop events below @p level (default Level::Debug: keep all). */
+    void setMinLevel(Level level);
+
+    /**
+     * Emit one line: ts/level/event followed by @p fields' entries in
+     * their insertion order. No-op when disabled or below the minimum
+     * level. @p fields must be an object (or null for none).
+     */
+    void event(Level level, const std::string &name,
+               const Json &fields = Json());
+
+    /** Lines actually written (post-filter). */
+    uint64_t emitted() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::FILE *f_ = nullptr;
+    Level min_ = Level::Debug;
+    uint64_t emitted_ = 0;
+};
+
+} // namespace mxl
+
+#endif // MXLISP_OBS_LOG_H_

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cmath>
+#include <cstdlib>
 
 #include "support/panic.h"
 
@@ -25,6 +27,70 @@ Histogram::mean() const
     return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
 }
 
+uint64_t
+Histogram::percentile(double p) const
+{
+    uint64_t n = count();
+    if (n == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += bucket(i);
+        if (seen >= rank) {
+            // Upper bound of bit-width bucket i: widths i >= 1 cover
+            // [2^(i-1), 2^i - 1]; width 0 is the value 0. Clamp to
+            // the exact observed max so the tail bucket never reports
+            // past reality.
+            uint64_t hi = i == 0 ? 0
+                          : i >= 64
+                              ? ~uint64_t{0}
+                              : (uint64_t{1} << i) - 1;
+            uint64_t mx = max();
+            return hi < mx ? hi : mx;
+        }
+    }
+    // Concurrent observe() can leave the bucket sum transiently below
+    // count; the observed max is the honest upper bound then.
+    return max();
+}
+
+void
+Histogram::mergeDelta(const Json &delta)
+{
+    if (const Json *c = delta.find("count"))
+        count_.fetch_add(c->asUint(0), std::memory_order_relaxed);
+    if (const Json *s = delta.find("sum"))
+        sum_.fetch_add(s->asUint(0), std::memory_order_relaxed);
+    if (const Json *m = delta.find("max")) {
+        uint64_t v = m->asUint(0);
+        uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (v > seen && !max_.compare_exchange_weak(
+                               seen, v, std::memory_order_relaxed))
+            ;
+    }
+    const Json *b = delta.find("buckets");
+    if (b == nullptr || !b->isObject())
+        return;
+    for (size_t i = 0; i < b->size(); ++i) {
+        const auto &[lo, n] = b->entry(i);
+        uint64_t loVal = std::strtoull(lo.c_str(), nullptr, 10);
+        int idx = loVal == 0 ? 0 : static_cast<int>(std::bit_width(loVal));
+        if (idx < kBuckets)
+            buckets_[idx].fetch_add(n.asUint(0),
+                                    std::memory_order_relaxed);
+    }
+}
+
 Json
 Histogram::toJson() const
 {
@@ -33,6 +99,9 @@ Histogram::toJson() const
     j.set("sum", sum());
     j.set("max", max());
     j.set("mean", mean());
+    j.set("p50", percentile(0.50));
+    j.set("p95", percentile(0.95));
+    j.set("p99", percentile(0.99));
     Json b = Json::object();
     for (int i = 0; i < kBuckets; ++i) {
         uint64_t n = bucket(i);
@@ -116,6 +185,127 @@ MetricsRegistry::snapshot() const
     j.set("gauges", std::move(gauges));
     j.set("histograms", std::move(histograms));
     return j;
+}
+
+namespace {
+
+const Json *
+sectionOf(const Json *doc, const char *name)
+{
+    if (doc == nullptr || !doc->isObject())
+        return nullptr;
+    const Json *s = doc->find(name);
+    return s != nullptr && s->isObject() ? s : nullptr;
+}
+
+/** Histogram delta between two toJson() entries: bucket/count/sum
+ *  increments, max absolute. Returns a Null Json when nothing grew. */
+Json
+histogramDelta(const Json &cur, const Json *old)
+{
+    uint64_t curCount =
+        cur.find("count") ? cur.find("count")->asUint(0) : 0;
+    uint64_t oldCount = 0;
+    if (old != nullptr && old->find("count"))
+        oldCount = old->find("count")->asUint(0);
+    if (curCount <= oldCount)
+        return Json();
+    Json d = Json::object();
+    d.set("count", curCount - oldCount);
+    uint64_t curSum = cur.find("sum") ? cur.find("sum")->asUint(0) : 0;
+    uint64_t oldSum = 0;
+    if (old != nullptr && old->find("sum"))
+        oldSum = old->find("sum")->asUint(0);
+    d.set("sum", curSum >= oldSum ? curSum - oldSum : 0);
+    d.set("max", cur.find("max") ? cur.find("max")->asUint(0) : 0);
+    Json buckets = Json::object();
+    const Json *curB = sectionOf(&cur, "buckets");
+    const Json *oldB = old != nullptr ? sectionOf(old, "buckets") : nullptr;
+    if (curB != nullptr) {
+        for (size_t i = 0; i < curB->size(); ++i) {
+            const auto &[lo, n] = curB->entry(i);
+            uint64_t curN = n.asUint(0);
+            uint64_t oldN = 0;
+            if (oldB != nullptr && oldB->find(lo))
+                oldN = oldB->find(lo)->asUint(0);
+            if (curN > oldN)
+                buckets.set(lo, curN - oldN);
+        }
+    }
+    d.set("buckets", std::move(buckets));
+    return d;
+}
+
+} // namespace
+
+Json
+MetricsRegistry::deltaJson(Json *baseline) const
+{
+    Json cur = snapshot();
+    const Json *bC = sectionOf(baseline, "counters");
+    const Json *bG = sectionOf(baseline, "gauges");
+    const Json *bH = sectionOf(baseline, "histograms");
+
+    Json dCounters = Json::object();
+    const Json *cC = cur.find("counters");
+    for (size_t i = 0; i < cC->size(); ++i) {
+        const auto &[name, v] = cC->entry(i);
+        uint64_t now = v.asUint(0);
+        uint64_t then = 0;
+        if (bC != nullptr && bC->find(name))
+            then = bC->find(name)->asUint(0);
+        if (now > then)
+            dCounters.set(name, now - then);
+    }
+
+    Json dGauges = Json::object();
+    const Json *cG = cur.find("gauges");
+    for (size_t i = 0; i < cG->size(); ++i) {
+        const auto &[name, v] = cG->entry(i);
+        const Json *old = bG != nullptr ? bG->find(name) : nullptr;
+        if (old == nullptr || old->asInt(0) != v.asInt(0))
+            dGauges.set(name, v);
+    }
+
+    Json dHists = Json::object();
+    const Json *cH = cur.find("histograms");
+    for (size_t i = 0; i < cH->size(); ++i) {
+        const auto &[name, v] = cH->entry(i);
+        Json d = histogramDelta(v, bH != nullptr ? bH->find(name) : nullptr);
+        if (!d.isNull())
+            dHists.set(name, std::move(d));
+    }
+
+    Json delta = Json::object();
+    delta.set("counters", std::move(dCounters));
+    delta.set("gauges", std::move(dGauges));
+    delta.set("histograms", std::move(dHists));
+    if (baseline != nullptr)
+        *baseline = std::move(cur);
+    return delta;
+}
+
+void
+MetricsRegistry::merge(const Json &delta)
+{
+    if (const Json *c = sectionOf(&delta, "counters")) {
+        for (size_t i = 0; i < c->size(); ++i) {
+            const auto &[name, v] = c->entry(i);
+            counter(name).inc(v.asUint(0));
+        }
+    }
+    if (const Json *g = sectionOf(&delta, "gauges")) {
+        for (size_t i = 0; i < g->size(); ++i) {
+            const auto &[name, v] = g->entry(i);
+            gauge(name).set(v.asInt(0));
+        }
+    }
+    if (const Json *h = sectionOf(&delta, "histograms")) {
+        for (size_t i = 0; i < h->size(); ++i) {
+            const auto &[name, v] = h->entry(i);
+            histogram(name).mergeDelta(v);
+        }
+    }
 }
 
 } // namespace mxl

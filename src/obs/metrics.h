@@ -91,9 +91,28 @@ class Histogram
         return buckets_[i].load(std::memory_order_relaxed);
     }
 
-    /** {count, sum, max, mean, buckets:{"<lo>": n, ...}} with empty
-     *  buckets omitted; bucket keys are the range's lower bound. */
+    /**
+     * Nearest-rank percentile over the power-of-two buckets: the
+     * value returned is the UPPER bound of the bucket holding the
+     * ceil(p * count)-th smallest observation, clamped to the exact
+     * observed max — an upper-bound estimate (within 2x of the true
+     * rank value) that never understates a latency. @p p is in
+     * [0, 1]; an empty histogram reports 0.
+     */
+    uint64_t percentile(double p) const;
+
+    /** {count, sum, max, mean, p50, p95, p99,
+     *  buckets:{"<lo>": n, ...}} with empty buckets omitted; bucket
+     *  keys are the range's lower bound. */
     Json toJson() const;
+
+    /**
+     * Fold a relayed delta (the count/sum/max/buckets shape toJson
+     * emits, with counts as increments and max absolute) into this
+     * histogram. Missing fields are treated as zero; unknown bucket
+     * keys are ignored. Safe against concurrent observe().
+     */
+    void mergeDelta(const Json &delta);
 
   private:
     std::atomic<uint64_t> count_{0};
@@ -137,6 +156,31 @@ class MetricsRegistry
      * re-dumps identically (round-trip tested in tests/test_obs.cc).
      */
     std::string snapshotJson() const { return snapshot().dump(); }
+
+    /**
+     * The change since @p *baseline (a prior snapshot(); pass an
+     * empty/null Json for "everything"), in snapshot() shape:
+     * counters and histogram buckets/count/sum carry *increments*,
+     * gauges and histogram max carry current absolutes. Entries that
+     * did not change are omitted. @p *baseline is advanced to the
+     * current snapshot, so successive calls relay disjoint deltas —
+     * the worker side of the fork-boundary metrics relay
+     * (serve/pool.h): each result batch carries only what happened
+     * since the previous one.
+     */
+    Json deltaJson(Json *baseline) const;
+
+    /**
+     * Fold a deltaJson() document into this registry: counters are
+     * incremented, gauges set, histograms accumulated via
+     * Histogram::mergeDelta. Registers names on first sight; a name
+     * already registered as a different kind panics (same contract as
+     * direct lookup). Merging is associative across delta groupings
+     * and merging an empty delta is the identity, so relays can be
+     * batched or replayed in any grouping that preserves per-source
+     * order (tests/test_obs.cc).
+     */
+    void merge(const Json &delta);
 
   private:
     enum class Kind { Counter, Gauge, Histogram };

@@ -15,22 +15,58 @@ TraceRecorder::nowMicros() const
 }
 
 void
-TraceRecorder::complete(const std::string &name, const std::string &cat,
-                        int tid, uint64_t tsMicros, uint64_t durMicros,
-                        const std::string &arg)
+TraceRecorder::setLane(int64_t lane)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    events_.push_back(
-        Event{name, cat, 'X', tid, tsMicros, durMicros, arg});
+    lane_ = lane;
+}
+
+int64_t
+TraceRecorder::lane() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lane_;
+}
+
+void
+TraceRecorder::alignEpoch(const TraceRecorder &other)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_ = other.epoch_;
+}
+
+void
+TraceRecorder::nameLane(int64_t lane, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &[l, n] : laneNames_) {
+        if (l == lane) {
+            n = name;
+            return;
+        }
+    }
+    laneNames_.emplace_back(lane, name);
+}
+
+void
+TraceRecorder::complete(const std::string &name, const std::string &cat,
+                        int tid, uint64_t tsMicros, uint64_t durMicros,
+                        const std::string &arg, const std::string &traceId)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(Event{name, cat, 'X', lane_, tid, tsMicros,
+                            durMicros, arg, traceId});
 }
 
 void
 TraceRecorder::instant(const std::string &name, const std::string &cat,
-                       int tid, const std::string &arg)
+                       int tid, const std::string &arg,
+                       const std::string &traceId)
 {
     uint64_t ts = nowMicros();
     std::lock_guard<std::mutex> lk(mu_);
-    events_.push_back(Event{name, cat, 'i', tid, ts, 0, arg});
+    events_.push_back(
+        Event{name, cat, 'i', lane_, tid, ts, 0, arg, traceId});
 }
 
 size_t
@@ -41,21 +77,105 @@ TraceRecorder::size() const
 }
 
 Json
+TraceRecorder::drainJson(const std::string &fillTraceId)
+{
+    std::vector<Event> drained;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        drained.swap(events_);
+    }
+    Json arr = Json::array();
+    for (Event &e : drained) {
+        if (e.trace.empty())
+            e.trace = fillTraceId;
+        Json j = Json::object();
+        j.set("name", e.name);
+        j.set("cat", e.cat);
+        j.set("ph", std::string(1, e.ph));
+        j.set("lane", e.lane);
+        j.set("tid", static_cast<int64_t>(e.tid));
+        j.set("ts", e.ts);
+        if (e.dur != 0)
+            j.set("dur", e.dur);
+        if (!e.arg.empty())
+            j.set("arg", e.arg);
+        if (!e.trace.empty())
+            j.set("trace", e.trace);
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+void
+TraceRecorder::importJson(const Json &events)
+{
+    if (!events.isArray())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &j = events.at(i);
+        if (!j.isObject())
+            continue;
+        Event e;
+        const Json *f = j.find("name");
+        e.name = f != nullptr ? f->str() : "";
+        f = j.find("cat");
+        e.cat = f != nullptr ? f->str() : "";
+        f = j.find("ph");
+        e.ph = f != nullptr && !f->str().empty() ? f->str()[0] : 'X';
+        f = j.find("lane");
+        e.lane = f != nullptr ? f->asInt(1) : 1;
+        f = j.find("tid");
+        e.tid = f != nullptr ? static_cast<int>(f->asInt(0)) : 0;
+        f = j.find("ts");
+        e.ts = f != nullptr ? f->asUint(0) : 0;
+        f = j.find("dur");
+        e.dur = f != nullptr ? f->asUint(0) : 0;
+        f = j.find("arg");
+        e.arg = f != nullptr ? f->str() : "";
+        f = j.find("trace");
+        e.trace = f != nullptr ? f->str() : "";
+        events_.push_back(std::move(e));
+    }
+}
+
+Json
 TraceRecorder::toJson() const
 {
     std::vector<Event> sorted;
+    std::vector<std::pair<int64_t, std::string>> lanes;
     {
         std::lock_guard<std::mutex> lk(mu_);
         sorted = events_;
+        lanes = laneNames_;
     }
     std::stable_sort(sorted.begin(), sorted.end(),
                      [](const Event &a, const Event &b) {
                          if (a.ts != b.ts)
                              return a.ts < b.ts;
+                         if (a.lane != b.lane)
+                             return a.lane < b.lane;
                          return a.tid < b.tid;
+                     });
+    std::stable_sort(lanes.begin(), lanes.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
                      });
 
     Json arr = Json::array();
+    for (const auto &[lane, name] : lanes) {
+        Json j = Json::object();
+        j.set("name", "process_name");
+        j.set("cat", "__metadata");
+        j.set("ph", "M");
+        j.set("ts", uint64_t{0});
+        j.set("pid", lane);
+        j.set("tid", int64_t{0});
+        Json args = Json::object();
+        args.set("name", name);
+        j.set("args", std::move(args));
+        arr.push(std::move(j));
+    }
     for (const Event &e : sorted) {
         Json j = Json::object();
         j.set("name", e.name);
@@ -64,13 +184,16 @@ TraceRecorder::toJson() const
         j.set("ts", e.ts);
         if (e.ph == 'X')
             j.set("dur", e.dur);
-        j.set("pid", uint64_t{1});
+        j.set("pid", e.lane);
         j.set("tid", static_cast<int64_t>(e.tid));
         if (e.ph == 'i')
             j.set("s", "t"); // instant scope: thread
-        if (!e.arg.empty()) {
+        if (!e.arg.empty() || !e.trace.empty()) {
             Json args = Json::object();
-            args.set("label", e.arg);
+            if (!e.arg.empty())
+                args.set("label", e.arg);
+            if (!e.trace.empty())
+                args.set("traceId", e.trace);
             j.set("args", std::move(args));
         }
         arr.push(std::move(j));

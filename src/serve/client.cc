@@ -146,9 +146,11 @@ ServeClient::runGrid(const std::string &requestId,
                      const CellFn &onCell)
 {
     GridOutcome out;
+    out.traceId = makeTraceId();
     Json req = Json::object();
     req.set("type", "grid");
     req.set("id", requestId);
+    req.set("traceId", out.traceId);
     if (deadlineMs > 0)
         req.set("deadlineMs", static_cast<uint64_t>(deadlineMs));
     Json arr = Json::array();

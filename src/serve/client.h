@@ -74,6 +74,9 @@ class ServeClient
         size_t failed = 0;       ///< Done: cells with statusOk=false
         int64_t retryAfterMs = 0; ///< Overloaded: backoff hint
         std::string message;     ///< Error/Transport diagnostic
+        std::string traceId;     ///< id stamped on the request's wire
+                                 ///< frame (makeTraceId) — the handle
+                                 ///< to its spans and log events
     };
 
     /** Invoked per streamed cell result, in completion order. */

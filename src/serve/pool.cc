@@ -42,6 +42,7 @@ struct WorkerPool::Worker
     enum class State { Dead, Idle, Busy };
 
     State state = State::Dead;
+    int slot = 0; ///< index in workers_ (the trace-lane namespace)
     int pid = -1;
     int taskFd = -1;   ///< parent -> child task frames (blocking)
     int resultFd = -1; ///< child -> parent result frames (nonblocking)
@@ -58,15 +59,17 @@ struct WorkerPool::Worker
 };
 
 WorkerPool::WorkerPool(WorkerPoolOptions options, ResultFn onResult,
-                       FailureFn onFailure)
+                       FailureFn onFailure, AuxFn onAux)
     : options_(std::move(options)), onResult_(std::move(onResult)),
-      onFailure_(std::move(onFailure))
+      onFailure_(std::move(onFailure)), onAux_(std::move(onAux))
 {
     MXL_ASSERT(options_.runCell && onResult_ && onFailure_,
                "WorkerPool needs runCell/onResult/onFailure");
     if (options_.workers < 1)
         options_.workers = 1;
     workers_.resize(static_cast<size_t>(options_.workers));
+    for (size_t i = 0; i < workers_.size(); ++i)
+        workers_[i].slot = static_cast<int>(i);
 }
 
 WorkerPool::~WorkerPool()
@@ -85,11 +88,11 @@ namespace {
  * threw, 3 = result pipe broke.
  */
 [[noreturn]] void
-workerChildMain(const WorkerPoolOptions &options, int taskFd,
+workerChildMain(const WorkerPoolOptions &options, int slot, int taskFd,
                 int resultFd)
 {
     if (options.childInit)
-        options.childInit();
+        options.childInit(slot);
     // The parent enforces deadlines from outside; a worker blocked in
     // read() between tasks must die quietly when the pipe closes.
     ::signal(SIGPIPE, SIG_DFL);
@@ -107,15 +110,25 @@ workerChildMain(const WorkerPoolOptions &options, int taskFd,
                 _exit(2);
             uint64_t id = 0;
             double deadlineSeconds = 0;
+            std::string traceId;
             if (const Json *t = task.find("t"))
                 id = t->asUint(0);
             if (const Json *d = task.find("deadlineMs"))
                 deadlineSeconds =
                     static_cast<double>(d->asUint(0)) / 1000.0;
+            if (const Json *tr = task.find("trace"))
+                traceId = tr->str();
             try {
                 std::string report =
-                    options.runCell(*cell, deadlineSeconds);
-                out = strcat("{\"t\":", id, ",\"report\":", report, "}");
+                    options.runCell(*cell, deadlineSeconds, traceId);
+                std::string aux;
+                if (options.childCollect) {
+                    Json collected = options.childCollect(traceId);
+                    if (collected.isObject() && collected.size() > 0)
+                        aux = strcat(",\"aux\":", collected.dump());
+                }
+                out = strcat("{\"t\":", id, aux,
+                             ",\"report\":", report, "}");
             } catch (...) {
                 _exit(2);
             }
@@ -173,7 +186,7 @@ WorkerPool::spawn(Worker &w)
     if (pid == 0) {
         ::close(down[1]);
         ::close(up[0]);
-        workerChildMain(options_, down[0], up[1]);
+        workerChildMain(options_, w.slot, down[0], up[1]);
     }
     ::close(down[0]);
     ::close(up[1]);
@@ -252,7 +265,8 @@ WorkerPool::start()
 
 bool
 WorkerPool::dispatch(uint64_t taskId, const std::string &cellJson,
-                     double deadlineSeconds)
+                     double deadlineSeconds, const std::string &traceId,
+                     int *slotOut)
 {
     if (breakerOpen_ || shutdown_)
         return false;
@@ -267,9 +281,12 @@ WorkerPool::dispatch(uint64_t taskId, const std::string &cellJson,
                                   ? static_cast<uint64_t>(
                                         deadlineSeconds * 1000.0)
                                   : 0;
+        std::string trace =
+            traceId.empty() ? std::string()
+                            : strcat(",\"trace\":", Json(traceId).dump());
         std::string frame = encodeFrame(
             strcat("{\"t\":", taskId, ",\"deadlineMs\":", deadlineMs,
-                   ",\"cell\":", cellJson, "}"));
+                   trace, ",\"cell\":", cellJson, "}"));
         // At most one task is in flight per worker and the child reads
         // between tasks, so this blocking write cannot deadlock; a
         // write failure means the child died and EOF handling follows.
@@ -283,6 +300,8 @@ WorkerPool::dispatch(uint64_t taskId, const std::string &cellJson,
         w.watchdog = Clock::now() +
                      std::chrono::milliseconds(static_cast<int64_t>(
                          watchdogSeconds * 1000.0));
+        if (slotOut != nullptr)
+            *slotOut = w.slot;
         return true;
     }
     return false;
@@ -320,16 +339,22 @@ WorkerPool::onReadable()
         while (w.frames.next(&payload)) {
             uint64_t id = w.taskId;
             std::string report;
+            const Json *aux = nullptr;
             Json env;
             if (Json::parse(payload, &env)) {
                 if (const Json *t = env.find("t"))
                     id = t->asUint(id);
                 if (const Json *rep = env.find("report"))
                     report = rep->dump();
+                aux = env.find("aux");
             }
             if (w.state == Worker::State::Busy && id == w.taskId) {
                 w.state = Worker::State::Idle;
                 w.consecutiveDeaths = 0;
+                // Relay first: merged metrics and imported spans must
+                // be visible before the report is delivered.
+                if (aux != nullptr && onAux_)
+                    onAux_(w.slot, *aux);
                 if (!report.empty())
                     onResult_(id, report);
                 else
@@ -479,7 +504,8 @@ WorkerPool::start()
 }
 
 bool
-WorkerPool::dispatch(uint64_t, const std::string &, double)
+WorkerPool::dispatch(uint64_t, const std::string &, double,
+                     const std::string &, int *)
 {
     return false;
 }

@@ -54,18 +54,33 @@ struct WorkerPoolOptions
 {
     int workers = 2;
 
-    /** CHILD SIDE: once after fork, before any task (Engine::postFork). */
-    std::function<void()> childInit;
+    /** CHILD SIDE: once after fork, before any task (Engine::postFork,
+     *  trace-lane setup, metrics baseline). @p slot is the worker's
+     *  pool-slot index (0-based) — the lane namespace for its spans. */
+    std::function<void(int slot)> childInit;
 
     /**
      * CHILD SIDE: execute one task. @p cell is the wire CELL object;
-     * @p deadlineSeconds the effective per-cell deadline (0 = none).
-     * Returns the result payload (a report JSON text) to stream back.
-     * Anything thrown exits the child abnormally — the parent reports
-     * the death, never a dropped task.
+     * @p deadlineSeconds the effective per-cell deadline (0 = none);
+     * @p traceId the request trace id carried in the task frame
+     * (possibly empty). Returns the result payload (a report JSON
+     * text) to stream back. Anything thrown exits the child
+     * abnormally — the parent reports the death, never a dropped task.
      */
-    std::function<std::string(const Json &cell, double deadlineSeconds)>
+    std::function<std::string(const Json &cell, double deadlineSeconds,
+                              const std::string &traceId)>
         runCell;
+
+    /**
+     * CHILD SIDE (optional): after each task, collect the relay
+     * payload that rides back with the result — the engine metrics
+     * delta since the previous task and the spans recorded during
+     * this one. A non-empty returned object is embedded in the result
+     * envelope as "aux" and handed to the parent's aux handler; the
+     * fork boundary is how it gets home, the result batch is the only
+     * scheduled crossing.
+     */
+    std::function<Json(const std::string &traceId)> childCollect;
 
     /** Respawn backoff after a worker death: base * 2^(n-1), capped. */
     int backoffBaseMs = 50;
@@ -110,8 +125,14 @@ class WorkerPool
     using FailureFn =
         std::function<void(uint64_t taskId, bool hang, int termSignal)>;
 
+    /** PARENT SIDE: a result envelope carried an "aux" relay object
+     *  (childCollect's return). @p slot is the producing worker's
+     *  pool slot. Invoked before the task's ResultFn so merged
+     *  metrics are visible when the report is delivered. */
+    using AuxFn = std::function<void(int slot, const Json &aux)>;
+
     WorkerPool(WorkerPoolOptions options, ResultFn onResult,
-               FailureFn onFailure);
+               FailureFn onFailure, AuxFn onAux = AuxFn());
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
@@ -134,12 +155,16 @@ class WorkerPool
     /**
      * Hand @p cellJson (compact text of the wire CELL object) to an
      * idle worker. @p deadlineSeconds is the effective cell deadline
-     * (0 = none; the watchdog then uses defaultTaskSeconds). False
-     * when no idle worker is available (caller keeps the task queued)
-     * or the breaker is open.
+     * (0 = none; the watchdog then uses defaultTaskSeconds);
+     * @p traceId rides in the task frame to the worker. False when no
+     * idle worker is available (caller keeps the task queued) or the
+     * breaker is open; on success @p slotOut (when non-null) receives
+     * the chosen worker's slot index.
      */
     bool dispatch(uint64_t taskId, const std::string &cellJson,
-                  double deadlineSeconds);
+                  double deadlineSeconds,
+                  const std::string &traceId = std::string(),
+                  int *slotOut = nullptr);
 
     /** Append the worker result fds to the server's poll set. */
     void collectFds(std::vector<struct pollfd> &out) const;
@@ -177,6 +202,7 @@ class WorkerPool
     WorkerPoolOptions options_;
     ResultFn onResult_;
     FailureFn onFailure_;
+    AuxFn onAux_;
     std::vector<Worker> workers_;
     WorkerPoolStats stats_;
     int consecutiveSpawnFailures_ = 0;

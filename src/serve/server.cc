@@ -17,6 +17,7 @@
 #include <cstring>
 #endif
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace mxl {
@@ -99,9 +100,30 @@ Server::makePoolOptions()
     po.watchdogGraceMs = options_.watchdogGraceMs;
     po.defaultTaskSeconds = options_.maxCellSeconds;
     po.disableFork = options_.disableFork;
-    po.childInit = [this] { engine_.postFork(); };
-    po.runCell = [this](const Json &cell, double deadlineSeconds) {
-        return runCellPayload(cell, deadlineSeconds, /*inWorker=*/true);
+    po.childInit = [this](int slot) {
+        // postFork detaches the parent's trace recorder; the worker
+        // records into workerTrace_ instead, on its own lane, and
+        // baselines the COW-inherited metrics so deltas relay only
+        // what this worker does from here on.
+        engine_.postFork();
+        if (traceEnabled_) {
+            workerTrace_.setLane(2 + slot);
+            engine_.setTrace(&workerTrace_);
+        }
+        workerMetricsBaseline_ = engine_.metrics().snapshot();
+    };
+    po.runCell = [this](const Json &cell, double deadlineSeconds,
+                        const std::string &traceId) {
+        return runCellPayload(cell, deadlineSeconds, /*inWorker=*/true,
+                              traceId);
+    };
+    po.childCollect = [this](const std::string &traceId) {
+        Json aux = Json::object();
+        aux.set("metrics",
+                engine_.metrics().deltaJson(&workerMetricsBaseline_));
+        if (traceEnabled_)
+            aux.set("spans", workerTrace_.drainJson(traceId));
+        return aux;
     };
     return po;
 }
@@ -114,6 +136,22 @@ Server::Server(ServerOptions options)
             },
             [this](uint64_t id, bool hang, int termSignal) {
                 mWorkerDeathCells_.inc();
+                if (log_.enabled()) {
+                    Json f = Json::object();
+                    f.set("taskId", id);
+                    auto ti = tasks_.find(id);
+                    if (ti != tasks_.end()) {
+                        f.set("label", ti->second.label);
+                        f.set("traceId", ti->second.traceId);
+                        auto ri = requests_.find(ti->second.requestKey);
+                        if (ri != requests_.end())
+                            f.set("requestId", ri->second.id);
+                    }
+                    f.set("kind", hang ? "hang" : "signal");
+                    f.set("signal", static_cast<int64_t>(termSignal));
+                    log_.event(EventLog::Level::Error, "worker.death",
+                               f);
+                }
                 synthesizeFailure(
                     id, hang ? "hang" : "signal", termSignal,
                     hang ? "worker killed by watchdog (hang)"
@@ -121,6 +159,14 @@ Server::Server(ServerOptions options)
                                   ")"),
                     hang ? RunStatus::Code::Timeout
                          : RunStatus::Code::InternalError);
+            },
+            [this](int slot, const Json &aux) {
+                (void)slot;
+                if (const Json *m = aux.find("metrics"))
+                    engine_.metrics().merge(*m);
+                if (const Json *spans = aux.find("spans"))
+                    if (traceEnabled_)
+                        trace_.importJson(*spans);
             }),
       admission_(options_.queueCapacity, options_.workers),
       mRequests_(engine_.metrics().counter("serve.requests")),
@@ -133,8 +179,17 @@ Server::Server(ServerOptions options)
       mErrors_(engine_.metrics().counter("serve.errors")),
       gQueueDepth_(engine_.metrics().gauge("serve.queue.depth")),
       gDegraded_(engine_.metrics().gauge("serve.degraded")),
-      gConns_(engine_.metrics().gauge("serve.conns"))
+      gConns_(engine_.metrics().gauge("serve.conns")),
+      hAdmissionWait_(
+          engine_.metrics().histogram("serve.admission_wait_micros")),
+      hQueue_(engine_.metrics().histogram("serve.queue_micros")),
+      hExec_(engine_.metrics().histogram("serve.exec_micros")),
+      hE2e_(engine_.metrics().histogram("serve.e2e_micros"))
 {
+    traceEnabled_ = !options_.tracePath.empty();
+    // One timeline: worker recorders are COW copies of workerTrace_,
+    // so their timestamps land directly on the parent trace's clock.
+    workerTrace_.alignEpoch(trace_);
 }
 
 Server::~Server()
@@ -237,6 +292,18 @@ Server::start(std::string *err)
     setNonBlocking(stopPipe_[0]);
     if (!listenUnix(err) || !listenTcp(err))
         return false;
+    if (!options_.eventLogPath.empty() &&
+        !log_.openFile(options_.eventLogPath, err))
+        return false;
+    if (traceEnabled_) {
+        trace_.nameLane(1, "mxl-served");
+        for (int slot = 0; slot < options_.workers; ++slot)
+            trace_.nameLane(2 + slot, strcat("worker ", slot));
+        // Parent-side engine activity (warm-up compiles, degraded
+        // inline runs) records on lane 1; workers re-attach their own
+        // recorder after postFork's detach.
+        engine_.setTrace(&trace_);
+    }
     if (options_.warmCache)
         for (const BenchmarkProgram &p : benchmarkPrograms()) {
             CompilerOptions o;
@@ -246,6 +313,15 @@ Server::start(std::string *err)
     pool_.start();
     gDegraded_.set(pool_.degraded() ? 1 : 0);
     refreshPidMirror();
+    if (log_.enabled()) {
+        Json f = Json::object();
+        f.set("socket", options_.unixPath);
+        f.set("workers", static_cast<int64_t>(options_.workers));
+        f.set("queueCapacity",
+              static_cast<uint64_t>(options_.queueCapacity));
+        f.set("degraded", pool_.degraded());
+        log_.event(EventLog::Level::Info, "server.start", f);
+    }
     return true;
 }
 
@@ -432,12 +508,24 @@ Server::sendHealth(Conn &conn)
 void
 Server::handleGrid(Conn &conn, const Json &j)
 {
+    uint64_t receivedMicros = trace_.nowMicros();
     const Json *idj = j.find("id");
     std::string id =
         idj && idj->isString() ? idj->str() : std::string();
     std::string idText = Json(id).dump();
+    const Json *tj = j.find("traceId");
+    std::string traceId = tj && tj->isString() && !tj->str().empty()
+                              ? tj->str()
+                              : makeTraceId();
     auto terminalError = [&](const std::string &msg) {
         mErrors_.inc();
+        if (log_.enabled()) {
+            Json f = Json::object();
+            f.set("requestId", id);
+            f.set("traceId", traceId);
+            f.set("message", msg);
+            log_.event(EventLog::Level::Warn, "request.error", f);
+        }
         queuePayload(conn.fd,
                      strcat("{\"type\":\"error\",\"id\":", idText,
                             ",\"message\":", Json(msg).dump(), "}"));
@@ -475,6 +563,15 @@ Server::handleGrid(Conn &conn, const Json &j)
         admission_.shed(n);
         mShedRequests_.inc();
         mShedCells_.inc(n);
+        if (log_.enabled()) {
+            Json f = Json::object();
+            f.set("requestId", id);
+            f.set("traceId", traceId);
+            f.set("cells", static_cast<uint64_t>(n));
+            f.set("retryAfterMs",
+                  static_cast<uint64_t>(admission_.retryAfterMs(n)));
+            log_.event(EventLog::Level::Warn, "request.shed", f);
+        }
         queuePayload(
             conn.fd,
             strcat("{\"type\":\"overloaded\",\"id\":", idText,
@@ -483,11 +580,14 @@ Server::handleGrid(Conn &conn, const Json &j)
                    ",\"queueCapacity\":", admission_.capacity(), "}"));
         return;
     }
+    hAdmissionWait_.observe(trace_.nowMicros() - receivedMicros);
 
     Request r;
     r.key = nextRequestKey_++;
     r.connFd = conn.fd;
     r.id = id;
+    r.traceId = traceId;
+    r.receivedMicros = receivedMicros;
     r.cells = n;
     uint64_t deadlineMs = fieldMs(j, "deadlineMs");
     if (deadlineMs > 0) {
@@ -507,6 +607,8 @@ Server::handleGrid(Conn &conn, const Json &j)
         t.requestKey = key;
         t.index = i;
         t.label = cellLabel(cj);
+        t.traceId = traceId;
+        t.queuedMicros = trace_.nowMicros();
         t.cellText = cj.dump();
         uint64_t cellMs = fieldMs(cj, "deadlineMs");
         t.cellDeadlineSeconds =
@@ -539,7 +641,7 @@ Server::effectiveDeadlineSeconds(const Task &t, const Request &r,
 
 std::string
 Server::runCellPayload(const Json &cell, double deadlineSeconds,
-                       bool inWorker)
+                       bool inWorker, const std::string &traceId)
 {
     std::string label = cell.isObject() ? cellLabel(cell) : "";
     if (label.rfind("__chaos:", 0) == 0) {
@@ -569,7 +671,16 @@ Server::runCellPayload(const Json &cell, double deadlineSeconds,
                                 req.exec.deadlineSeconds >
                                     deadlineSeconds))
         req.exec.deadlineSeconds = deadlineSeconds;
+    // Worker-side "cell" span: wraps the engine's own compile/run
+    // spans on this worker's lane; drained home with the result.
+    uint64_t t0 = (inWorker && traceEnabled_)
+                      ? workerTrace_.nowMicros()
+                      : 0;
     RunReport rep = engine_.run(req);
+    if (inWorker && traceEnabled_)
+        workerTrace_.complete("cell", "serve/worker", 0, t0,
+                              workerTrace_.nowMicros() - t0, label,
+                              traceId);
     return reportToJson(rep).dump();
 }
 
@@ -580,7 +691,8 @@ Server::execCellInline(const Task &t, double deadlineSeconds)
     if (!Json::parse(t.cellText, &cell))
         return failureReport(t.label, RunStatus::Code::InternalError,
                              "stored cell failed to reparse", "", 0);
-    return runCellPayload(cell, deadlineSeconds, /*inWorker=*/false);
+    return runCellPayload(cell, deadlineSeconds, /*inWorker=*/false,
+                          t.traceId);
 }
 
 void
@@ -608,13 +720,20 @@ Server::pump()
             continue;
         }
         if (!pool_.degraded()) {
-            if (!pool_.dispatch(taskId, t.cellText, dl))
+            int slot = -1;
+            if (!pool_.dispatch(taskId, t.cellText, dl, t.traceId,
+                                &slot))
                 break; // no idle worker; poll loop will pump again
+            t.slot = slot;
             t.dispatchedAt = Clock::now();
+            t.dispatchedMicros = trace_.nowMicros();
+            hQueue_.observe(t.dispatchedMicros - t.queuedMicros);
             admission_.pop();
         } else {
             admission_.pop();
             t.dispatchedAt = Clock::now();
+            t.dispatchedMicros = trace_.nowMicros();
+            hQueue_.observe(t.dispatchedMicros - t.queuedMicros);
             mInlineCells_.inc();
             std::string report = execCellInline(t, dl);
             deliverReport(taskId, report, /*synthesized=*/false);
@@ -640,6 +759,16 @@ Server::deliverReport(uint64_t taskId, const std::string &reportText,
     if (!synthesized)
         admission_.observeServiceSeconds(
             secondsUntil(t.dispatchedAt) * -1.0);
+
+    if (t.dispatchedMicros > 0) {
+        uint64_t nowM = trace_.nowMicros();
+        hExec_.observe(nowM - t.dispatchedMicros);
+        if (traceEnabled_)
+            trace_.complete(
+                "exec", synthesized ? "serve/synthesized" : "serve/cell",
+                t.slot >= 0 ? 1 + t.slot : 1000, t.dispatchedMicros,
+                nowM - t.dispatchedMicros, t.label, t.traceId);
+    }
 
     bool failed = true;
     Json rep;
@@ -677,6 +806,30 @@ Server::finishRequestIfDone(Request &r)
 {
     if (r.completed < r.cells)
         return;
+    uint64_t nowM = trace_.nowMicros();
+    uint64_t e2e =
+        r.receivedMicros > 0 ? nowM - r.receivedMicros : 0;
+    hE2e_.observe(e2e);
+    if (traceEnabled_ && r.receivedMicros > 0)
+        trace_.complete("request", "serve/request", 0, r.receivedMicros,
+                        e2e, r.id, r.traceId);
+    if (log_.enabled()) {
+        uint64_t wallMs = e2e / 1000;
+        Json f = Json::object();
+        f.set("requestId", r.id);
+        f.set("traceId", r.traceId);
+        f.set("cells", static_cast<uint64_t>(r.cells));
+        f.set("failed", static_cast<uint64_t>(r.failed));
+        f.set("wallMs", wallMs);
+        log_.event(EventLog::Level::Info, "request.done", f);
+        if (options_.slowRequestMs > 0 &&
+            wallMs >
+                static_cast<uint64_t>(options_.slowRequestMs)) {
+            f.set("slowRequestMs",
+                  static_cast<uint64_t>(options_.slowRequestMs));
+            log_.event(EventLog::Level::Warn, "request.slow", f);
+        }
+    }
     queuePayload(r.connFd,
                  strcat("{\"type\":\"done\",\"id\":", Json(r.id).dump(),
                         ",\"cells\":", r.cells, ",\"failed\":", r.failed,
@@ -690,6 +843,13 @@ Server::beginDrain()
     if (draining_)
         return;
     draining_ = true;
+    if (log_.enabled()) {
+        Json f = Json::object();
+        f.set("queued",
+              static_cast<uint64_t>(admission_.depth()));
+        f.set("inFlight", static_cast<uint64_t>(tasks_.size()));
+        log_.event(EventLog::Level::Info, "server.drain.begin", f);
+    }
     drainDeadline_ =
         Clock::now() + std::chrono::milliseconds(options_.drainMs);
     if (unixFd_ >= 0) {
@@ -761,6 +921,14 @@ Server::finishDrain()
     gConns_.set(0);
     running_ = false;
     stopped_ = true;
+    if (log_.enabled()) {
+        Json f = Json::object();
+        WorkerPoolStats ps = pool_.stats();
+        f.set("workerDeaths", static_cast<int64_t>(ps.deaths));
+        f.set("hangKills", static_cast<int64_t>(ps.hangKills));
+        log_.event(EventLog::Level::Info, "server.drain.end", f);
+    }
+    writeTraceIfConfigured();
 }
 
 void
@@ -985,11 +1153,24 @@ Server::workerPids() const
 }
 
 std::string
-Server::runCellPayload(const Json &, double, bool)
+Server::runCellPayload(const Json &, double, bool,
+                       const std::string &)
 {
     return std::string();
 }
 
 #endif // MXL_SERVER_POSIX
+
+// Platform-neutral: the trace is an in-memory structure either way.
+void
+Server::writeTraceIfConfigured()
+{
+    if (!traceEnabled_)
+        return;
+    if (!trace_.writeFile(options_.tracePath))
+        std::fprintf(stderr,
+                     "mxl-served: failed to write trace to %s\n",
+                     options_.tracePath.c_str());
+}
 
 } // namespace mxl

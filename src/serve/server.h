@@ -54,6 +54,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/pool.h"
 #include "serve/wire.h"
@@ -105,6 +107,22 @@ struct ServerOptions
     int watchdogGraceMs = 2000;
 
     int listenBacklog = 64;
+
+    /**
+     * Nonempty: record a service trace — parent request/exec spans
+     * plus the compile/run spans each forked worker records and
+     * relays home — and write the merged Perfetto JSON here when the
+     * drain finishes (mxl-served --trace).
+     */
+    std::string tracePath;
+
+    /** Nonempty: append structured JSONL events here (obs/log.h;
+     *  mxl-served --log). */
+    std::string eventLogPath;
+
+    /** Requests slower end-to-end than this log a "request.slow"
+     *  event (warn). <= 0 disables the check. */
+    int slowRequestMs = 1000;
 };
 
 class Server
@@ -152,11 +170,13 @@ class Server
         uint64_t key = 0;
         int connFd = -1; ///< -1 once the client disconnects
         std::string id;  ///< client-chosen, echoed in every response
+        std::string traceId; ///< client-stamped (or server-minted)
         size_t cells = 0;
         size_t completed = 0;
         size_t failed = 0;
         bool hasDeadline = false;
         std::chrono::steady_clock::time_point deadline{};
+        uint64_t receivedMicros = 0; ///< trace_ clock at arrival
     };
 
     struct Task
@@ -164,9 +184,13 @@ class Server
         uint64_t requestKey = 0;
         size_t index = 0;
         std::string label;
+        std::string traceId;
         std::string cellText; ///< client cell JSON, forwarded verbatim
         double cellDeadlineSeconds = 0; ///< cell-level only; 0 = none
         std::chrono::steady_clock::time_point dispatchedAt{};
+        uint64_t queuedMicros = 0;     ///< trace_ clock at admission
+        uint64_t dispatchedMicros = 0; ///< trace_ clock at dispatch
+        int slot = -1;                 ///< worker slot (-1 = inline)
     };
 
     WorkerPoolOptions makePoolOptions();
@@ -195,10 +219,12 @@ class Server
     void beginDrain();
     void finishDrain();
     void refreshPidMirror();
+    void writeTraceIfConfigured();
 
     /** CHILD SIDE (and degraded inline): run one wire cell. */
     std::string runCellPayload(const Json &cell, double deadlineSeconds,
-                               bool inWorker);
+                               bool inWorker,
+                               const std::string &traceId);
 
     ServerOptions options_;
     Engine engine_;
@@ -224,6 +250,16 @@ class Server
     mutable std::mutex pidMutex_;
     std::vector<int> pidMirror_;
 
+    // Observability: the service trace (lane 1 = this process;
+    // workerTrace_ is the recorder forked workers record into on lane
+    // 2 + slot, drained back over the result pipe), the structured
+    // event log, and the child-side metrics baseline for delta relays.
+    bool traceEnabled_ = false;
+    TraceRecorder trace_;
+    TraceRecorder workerTrace_;
+    Json workerMetricsBaseline_; ///< child-side state only
+    EventLog log_;
+
     // Metrics (engine_'s registry, exported by the health endpoint).
     Counter &mRequests_;
     Counter &mCells_;
@@ -235,6 +271,10 @@ class Server
     Gauge &gQueueDepth_;
     Gauge &gDegraded_;
     Gauge &gConns_;
+    Histogram &hAdmissionWait_; ///< request arrival -> admission
+    Histogram &hQueue_;         ///< cell admission -> dispatch
+    Histogram &hExec_;          ///< cell dispatch -> report
+    Histogram &hE2e_;           ///< request arrival -> terminal
 };
 
 } // namespace mxl

@@ -1,12 +1,35 @@
 #include "serve/wire.h"
 
+#include <atomic>
 #include <cctype>
+#include <cstdio>
+#include <random>
 
 #include "faults/fault_injector.h"
 #include "programs/programs.h"
 #include "support/format.h"
 
 namespace mxl {
+
+std::string
+makeTraceId()
+{
+    // Per-process random base so forked/parallel clients don't
+    // collide; a golden-ratio stride walks the 64-bit space without
+    // repeating per call.
+    static const uint64_t base = [] {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    }();
+    static std::atomic<uint64_t> seq{0};
+    uint64_t n =
+        base ^ ((seq.fetch_add(1, std::memory_order_relaxed) + 1) *
+                0x9e3779b97f4a7c15ull);
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "t%016llx",
+                  static_cast<unsigned long long>(n));
+    return buf;
+}
 
 namespace {
 

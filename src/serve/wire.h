@@ -16,12 +16,19 @@
  *
  * Client requests ("type" selects the verb):
  *
- *   {"type":"grid","id":<string>,"deadlineMs":<int>,"cells":[CELL...]}
+ *   {"type":"grid","id":<string>,"traceId":<string>,
+ *    "deadlineMs":<int>,"cells":[CELL...]}
  *       Run a measurement grid. Per-cell results stream back as they
  *       finish; the terminal response is "done" (or "overloaded" /
  *       "error" — every request gets exactly one terminal response).
  *       deadlineMs (optional) propagates into each cell's
  *       ExecPolicy::deadlineSeconds and bounds the whole request.
+ *       traceId (optional; ServeClient stamps one via makeTraceId()
+ *       when the caller doesn't) names the request in the service
+ *       trace: the server threads it through admission, dispatch and
+ *       the worker task frames, so every span the request produces —
+ *       parent-side and inside the forked worker — carries it
+ *       (args.traceId in the merged Perfetto trace, docs/SERVICE.md).
  *   {"type":"health"}
  *       One "health" response: the server's MetricsRegistry snapshot
  *       plus pool/queue state.
@@ -67,6 +74,14 @@ namespace mxl {
 
 /** Frames larger than this are a protocol error (runaway guard). */
 inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/**
+ * A fresh request trace id: "t" + 16 hex digits, unique across
+ * processes and calls (per-process random base XOR a golden-ratio
+ * stride per call). Stamped by ServeClient on every grid request and
+ * by the server for requests that arrive without one.
+ */
+std::string makeTraceId();
 
 /** Encode @p payload as one wire frame. */
 std::string encodeFrame(const std::string &payload);

@@ -1,0 +1,143 @@
+# Exit-code and diagnostic tests for bench_diff --latency: the p95/p99
+# gate over BENCH_serve.json service histograms must keep the tool's
+# exit contract (0 pass, 1 regression, 2 bad input/usage) and diagnose
+# each bad-input shape distinctly — a missing artifact, a document with
+# no service histograms, and a malformed histogram entry are three
+# different operator mistakes and must read as such.
+#
+# ctest can assert PASS/FAIL but not specific exit codes, so this runs
+# as a -P script:
+#   cmake -DBENCH_DIFF=<path-to-binary> -P bench_diff_latency_errors.cmake
+
+if(NOT DEFINED BENCH_DIFF)
+  message(FATAL_ERROR "pass -DBENCH_DIFF=<path to bench_diff>")
+endif()
+
+set(workdir "${CMAKE_CURRENT_BINARY_DIR}/bench_diff_latency_errors.tmp")
+file(REMOVE_RECURSE "${workdir}")
+file(MAKE_DIRECTORY "${workdir}")
+
+file(WRITE "${workdir}/empty.json" "")
+file(WRITE "${workdir}/garbage.json" "this is { not json")
+file(MAKE_DIRECTORY "${workdir}/a_directory")
+
+# A healthy artifact: p95/p99 land in the 8192-lower-bound bucket,
+# clamped to the observed max of 9000us.
+file(WRITE "${workdir}/base.json" [=[
+{"metrics": {"histograms": {
+  "serve.e2e_micros": {"count": 100, "sum": 500000, "max": 9000,
+                       "buckets": {"1024": 90, "8192": 10}},
+  "serve.exec_micros": {"count": 100, "sum": 400000, "max": 7000,
+                        "buckets": {"1024": 95, "4096": 5}}}}}
+]=])
+
+# The same shape with tail latency blown out ~200x.
+file(WRITE "${workdir}/regressed.json" [=[
+{"metrics": {"histograms": {
+  "serve.e2e_micros": {"count": 100, "sum": 99000000, "max": 2000000,
+                       "buckets": {"1048576": 100}},
+  "serve.exec_micros": {"count": 100, "sum": 400000, "max": 7000,
+                        "buckets": {"1024": 95, "4096": 5}}}}}
+]=])
+
+# Valid JSON that simply is not a BENCH_serve export.
+file(WRITE "${workdir}/no_metrics.json" [=[
+{"grid": [{"label": "x", "statusOk": true}]}
+]=])
+
+# metrics.histograms present but none of the serve.*_micros names.
+file(WRITE "${workdir}/no_serve_hists.json" [=[
+{"metrics": {"histograms": {"engine.run_micros":
+  {"count": 5, "sum": 50, "max": 20, "buckets": {"16": 5}}}}}
+]=])
+
+# Two malformed-entry shapes, each with its own diagnostic.
+file(WRITE "${workdir}/bad_count.json" [=[
+{"metrics": {"histograms": {"serve.e2e_micros":
+  {"count": "nope", "buckets": {}}}}}
+]=])
+file(WRITE "${workdir}/bad_bucket_key.json" [=[
+{"metrics": {"histograms": {"serve.e2e_micros":
+  {"count": 1, "max": 3, "buckets": {"abc": 1}}}}}
+]=])
+
+set(failures 0)
+
+# expect_case(<name> <expected-rc> <output-substring> <args...>)
+function(expect_case name expected_rc expected_text)
+  execute_process(
+    COMMAND "${BENCH_DIFF}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(NOT rc EQUAL ${expected_rc})
+    set(ok FALSE)
+    message(WARNING "${name}: exit ${rc}, expected ${expected_rc}")
+  endif()
+  if(NOT "${expected_text}" STREQUAL "" AND
+     NOT "${err}${out}" MATCHES "${expected_text}")
+    set(ok FALSE)
+    message(WARNING
+            "${name}: diagnostic missing \"${expected_text}\";\n"
+            "output was: ${err}${out}")
+  endif()
+  if(ok)
+    message(STATUS "PASS  ${name}")
+  else()
+    math(EXPR n "${failures} + 1")
+    set(failures ${n} PARENT_SCOPE)
+  endif()
+endfunction()
+
+set(missing "${workdir}/does_not_exist.json")
+set(base "${workdir}/base.json")
+
+# Artifact-loading failures keep their existing distinct diagnostics.
+expect_case(latency_missing_before 2 "does_not_exist"
+            --latency "${missing}" "${base}")
+expect_case(latency_missing_after 2 "does_not_exist"
+            --latency "${base}" "${missing}")
+expect_case(latency_directory 2 "not a regular file"
+            --latency "${workdir}/a_directory" "${base}")
+expect_case(latency_empty 2 "is empty"
+            --latency "${workdir}/empty.json" "${base}")
+expect_case(latency_garbage 2 "not valid JSON"
+            --latency "${workdir}/garbage.json" "${base}")
+
+# Valid JSON without service histograms: named as such, never a verdict.
+expect_case(latency_no_metrics 2 "no service latency histograms"
+            --latency "${workdir}/no_metrics.json" "${base}")
+expect_case(latency_no_serve_hists 2 "no service latency histograms"
+            --latency "${workdir}/no_serve_hists.json" "${base}")
+
+# Malformed entries are diagnosed per-field, not as a parse error.
+expect_case(latency_bad_count 2 "'count' is not a number"
+            --latency "${workdir}/bad_count.json" "${base}")
+expect_case(latency_bad_bucket_key 2 "not a decimal lower bound"
+            --latency "${workdir}/bad_bucket_key.json" "${base}")
+
+# Usage errors: --latency needs exactly two paths and composes with
+# neither --coverage nor --backends.
+expect_case(latency_one_path 2 "usage" --latency "${base}")
+expect_case(latency_with_coverage 2 "usage"
+            --latency --coverage "${base}" "${base}")
+expect_case(latency_with_backends 2 "usage"
+            --latency --backends "${base}")
+
+# Verdict sanity: self-diff passes, a blown-out tail fails even at a
+# 50% threshold, and an absurd threshold waves the same pair through.
+expect_case(latency_self_diff 0 "PASS" --latency "${base}" "${base}")
+expect_case(latency_regression 1 "FAIL"
+            --latency --threshold 50 "${base}" "${workdir}/regressed.json")
+expect_case(latency_huge_threshold 0 "PASS"
+            --latency --threshold 10000000
+            "${base}" "${workdir}/regressed.json")
+
+file(REMOVE_RECURSE "${workdir}")
+
+if(failures GREATER 0)
+  message(FATAL_ERROR
+          "${failures} bench_diff --latency error-path case(s) failed")
+endif()
+message(STATUS "all bench_diff --latency error-path cases passed")

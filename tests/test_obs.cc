@@ -3,14 +3,20 @@
  * profiler's sum invariants on every benchmark program, symbolization
  * against the assembler label table, the metrics registry (including
  * thread safety under Engine::runGrid — run this binary under
- * -DMXL_SANITIZE=thread), Chrome trace parse-back, and the
- * BENCH_*.json comparison used by tools/bench_diff.
+ * -DMXL_SANITIZE=thread), histogram percentiles and the cross-process
+ * delta/merge relay, Chrome trace parse-back and the fork-boundary
+ * drain/import path, the structured event log, and the BENCH_*.json
+ * comparison used by tools/bench_diff.
  */
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -19,6 +25,7 @@
 #include "core/report.h"
 #include "core/run.h"
 #include "obs/bench_compare.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -335,6 +342,129 @@ TEST(Metrics, EngineInstrumentsGridRuns)
     EXPECT_TRUE(Json::roundTrips(snap));
 }
 
+TEST(Metrics, HistogramPercentileIsNearestRankBucketUpperBound)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.50), 0u); // empty
+    // 10 observations: nine of value 3 (bucket [2,3]) and one of 1000
+    // (bucket [512,1023]).
+    for (int i = 0; i < 9; ++i)
+        h.observe(3);
+    h.observe(1000);
+    // Ranks 1..9 land in the [2,3] bucket: upper bound 3.
+    EXPECT_EQ(h.percentile(0.50), 3u);
+    EXPECT_EQ(h.percentile(0.90), 3u);
+    // Rank 10 lands in the tail bucket, whose upper bound 1023 is
+    // clamped to the exact observed max.
+    EXPECT_EQ(h.percentile(0.95), 1000u);
+    EXPECT_EQ(h.percentile(0.99), 1000u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    // Out-of-range p clamps rather than misbehaving.
+    EXPECT_EQ(h.percentile(-1.0), 3u);
+    EXPECT_EQ(h.percentile(2.0), 1000u);
+
+    // Zero-only histogram: bucket 0's upper bound is 0.
+    Histogram z;
+    z.observe(0);
+    EXPECT_EQ(z.percentile(0.99), 0u);
+}
+
+TEST(Metrics, SnapshotExportsPercentilesAndStillRoundTrips)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("serve.e2e_micros");
+    for (uint64_t v : {10u, 20u, 30u, 4000u})
+        h.observe(v);
+    Json snap = reg.snapshot();
+    const Json *hj = snap.find("histograms")->find("serve.e2e_micros");
+    ASSERT_NE(hj, nullptr);
+    for (const char *key : {"p50", "p95", "p99"})
+        ASSERT_NE(hj->find(key), nullptr) << key;
+    EXPECT_EQ(hj->find("p50")->asUint(), h.percentile(0.50));
+    EXPECT_EQ(hj->find("p99")->asUint(), h.percentile(0.99));
+    // Percentiles are uint64 bucket bounds — the byte-identical
+    // round-trip guarantee of the health export is preserved.
+    EXPECT_TRUE(Json::roundTrips(snap));
+}
+
+TEST(Metrics, DeltaJsonCapturesOnlyGrowthAndAdvancesBaseline)
+{
+    MetricsRegistry reg;
+    reg.counter("engine.runs").inc(3);
+    reg.gauge("depth").set(7);
+    reg.histogram("lat").observe(100);
+
+    // First delta against an empty baseline: everything appears.
+    Json baseline;
+    Json d1 = reg.deltaJson(&baseline);
+    EXPECT_EQ(d1.find("counters")->find("engine.runs")->asUint(), 3u);
+    EXPECT_EQ(d1.find("gauges")->find("depth")->asInt(), 7);
+    EXPECT_EQ(
+        d1.find("histograms")->find("lat")->find("count")->asUint(),
+        1u);
+
+    // Nothing changed: the next delta is empty in every section.
+    Json d2 = reg.deltaJson(&baseline);
+    EXPECT_EQ(d2.find("counters")->size(), 0u);
+    EXPECT_EQ(d2.find("gauges")->size(), 0u);
+    EXPECT_EQ(d2.find("histograms")->size(), 0u);
+
+    // Partial change: only the moved metric appears, with the
+    // increment (not the absolute) for counters and histograms.
+    reg.counter("engine.runs").inc(2);
+    reg.histogram("lat").observe(50);
+    Json d3 = reg.deltaJson(&baseline);
+    EXPECT_EQ(d3.find("counters")->find("engine.runs")->asUint(), 2u);
+    EXPECT_EQ(d3.find("gauges")->size(), 0u);
+    const Json *lat = d3.find("histograms")->find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asUint(), 1u);
+    EXPECT_EQ(lat->find("sum")->asUint(), 50u);
+
+    // Merging an empty delta is the identity.
+    MetricsRegistry other;
+    other.merge(d1);
+    std::string before = other.snapshotJson();
+    other.merge(d2);
+    EXPECT_EQ(other.snapshotJson(), before);
+}
+
+TEST(Metrics, MergeIsOrderIndependentAcrossWorkerDeltas)
+{
+    // Two "workers" produce deltas; the parent may receive them in
+    // any order. Counter and histogram merges are additive (max is a
+    // join), so the final snapshots must be byte-identical.
+    auto workerDelta = [](uint64_t runs, uint64_t lat) {
+        MetricsRegistry w;
+        w.counter("engine.runs").inc(runs);
+        w.histogram("serve.exec_micros").observe(lat);
+        Json baseline;
+        return w.deltaJson(&baseline);
+    };
+    Json d1 = workerDelta(3, 100);
+    Json d2 = workerDelta(5, 9000);
+
+    MetricsRegistry a, b;
+    a.merge(d1);
+    a.merge(d2);
+    b.merge(d2);
+    b.merge(d1);
+    EXPECT_EQ(a.snapshotJson(), b.snapshotJson());
+    EXPECT_EQ(a.counter("engine.runs").value(), 8u);
+    EXPECT_EQ(a.histogram("serve.exec_micros").count(), 2u);
+    EXPECT_EQ(a.histogram("serve.exec_micros").max(), 9000u);
+
+    // Merging both deltas at once (a relay that batched them) equals
+    // merging them one by one — the delta composition the wire relies
+    // on when a worker's aux rides multiple results.
+    MetricsRegistry src, c;
+    src.merge(d1);
+    src.merge(d2);
+    Json baseline;
+    c.merge(src.deltaJson(&baseline));
+    EXPECT_EQ(c.snapshotJson(), a.snapshotJson());
+}
+
 // ---------------------------------------------------------------------
 // Chrome trace export
 // ---------------------------------------------------------------------
@@ -414,6 +544,142 @@ TEST(Trace, EngineEmitsCompileAndRunSpans)
     size_t frozen = tr.size();
     eng.runGrid(grid);
     EXPECT_EQ(tr.size(), frozen);
+}
+
+TEST(Trace, DrainImportRoundTripsLaneTidAndTraceId)
+{
+    // The fork-boundary relay: a worker-side recorder drains its
+    // events to JSON, the parent imports them verbatim.
+    TraceRecorder worker;
+    worker.setLane(5);
+    uint64_t t0 = worker.nowMicros();
+    worker.complete("cell", "serve/worker", 0, t0, 42, "labelA",
+                    "t123");
+    worker.complete("compile", "engine", 2, t0, 7, "labelB");
+    Json drained = worker.drainJson("tFill");
+    EXPECT_EQ(worker.size(), 0u); // drain removes
+    ASSERT_EQ(drained.size(), 2u);
+
+    TraceRecorder parent; // stays on lane 1; imports keep lane 5
+    parent.complete("request", "serve/request", 0, 0, 100, "req",
+                    "t123");
+    parent.importJson(drained);
+    Json j = parent.toJson();
+
+    size_t lane5 = 0, filled = 0, kept = 0;
+    for (size_t i = 0; i < j.size(); ++i) {
+        const Json &e = j.at(i);
+        if (e.find("cat") &&
+            e.find("cat")->str() == "__metadata")
+            continue;
+        if (e.find("pid")->asInt() == 5) {
+            ++lane5;
+            const Json *args = e.find("args");
+            const Json *tid = args ? args->find("traceId") : nullptr;
+            ASSERT_NE(tid, nullptr);
+            // The span recorded with a trace id keeps it; the one
+            // without got the drain-time fill (workers run one cell
+            // at a time, so everything drained belongs to it).
+            if (tid->str() == "t123")
+                ++kept;
+            else if (tid->str() == "tFill")
+                ++filled;
+        }
+    }
+    EXPECT_EQ(lane5, 2u);
+    EXPECT_EQ(kept, 1u);
+    EXPECT_EQ(filled, 1u);
+    EXPECT_TRUE(Json::roundTrips(j));
+}
+
+TEST(Trace, LaneNamespacingKeepsWorkerTracksDistinct)
+{
+    // Two workers record on engine tid 0 in their own processes; the
+    // serve layer gives each a distinct lane (2 + slot), so after the
+    // merge the (pid, tid) pairs — Perfetto tracks — stay distinct.
+    TraceRecorder w0, w1, parent;
+    w0.alignEpoch(parent);
+    w1.alignEpoch(parent);
+    w0.setLane(2);
+    w1.setLane(3);
+    w0.complete("cell", "serve/worker", 0, 10, 5, "a", "tA");
+    w1.complete("cell", "serve/worker", 0, 12, 5, "b", "tB");
+    parent.nameLane(1, "mxl-served");
+    parent.nameLane(2, "worker 0");
+    parent.nameLane(3, "worker 1");
+    parent.importJson(w0.drainJson());
+    parent.importJson(w1.drainJson());
+
+    Json j = parent.toJson();
+    std::vector<std::pair<int64_t, int64_t>> tracks;
+    size_t nameRecords = 0;
+    for (size_t i = 0; i < j.size(); ++i) {
+        const Json &e = j.at(i);
+        if (e.find("cat") &&
+            e.find("cat")->str() == "__metadata") {
+            EXPECT_EQ(e.find("name")->str(), "process_name");
+            ++nameRecords;
+            continue;
+        }
+        tracks.emplace_back(e.find("pid")->asInt(),
+                            e.find("tid")->asInt());
+    }
+    EXPECT_EQ(nameRecords, 3u);
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_NE(tracks[0], tracks[1]); // same tid, different lanes
+}
+
+// ---------------------------------------------------------------------
+// Structured event log
+// ---------------------------------------------------------------------
+
+TEST(EventLog, SchemaRoundTripsAndLevelsFilter)
+{
+    std::string path = "/tmp/mxl_test_events_" +
+                       std::to_string(::getpid()) + ".jsonl";
+    ::unlink(path.c_str());
+    {
+        EventLog log;
+        EXPECT_FALSE(log.enabled()); // no sink: events are dropped
+        log.event(EventLog::Level::Error, "dropped");
+
+        std::string err;
+        ASSERT_TRUE(log.openFile(path, &err)) << err;
+        EXPECT_TRUE(log.enabled());
+        log.setMinLevel(EventLog::Level::Info);
+
+        Json f = Json::object();
+        f.set("requestId", "r1");
+        f.set("traceId", "t42");
+        f.set("cells", static_cast<uint64_t>(3));
+        log.event(EventLog::Level::Info, "request.done", f);
+        log.event(EventLog::Level::Debug, "noise"); // below min level
+        log.event(EventLog::Level::Error, "worker.death", f);
+        EXPECT_EQ(log.emitted(), 2u);
+    }
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<Json> lines;
+    while (std::getline(in, line)) {
+        Json e;
+        ASSERT_TRUE(Json::parse(line, &e)) << line;
+        EXPECT_TRUE(Json::roundTrips(e));
+        lines.push_back(std::move(e));
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    // Fixed envelope first (ts, level, event), request-scoped fields
+    // after, in the order the caller set them.
+    EXPECT_EQ(lines[0].entry(0).first, "ts");
+    EXPECT_GT(lines[0].find("ts")->asUint(), 0u);
+    EXPECT_EQ(lines[0].find("level")->str(), "info");
+    EXPECT_EQ(lines[0].find("event")->str(), "request.done");
+    EXPECT_EQ(lines[0].find("requestId")->str(), "r1");
+    EXPECT_EQ(lines[0].find("traceId")->str(), "t42");
+    EXPECT_EQ(lines[0].find("cells")->asUint(), 3u);
+    EXPECT_EQ(lines[1].find("level")->str(), "error");
+    EXPECT_EQ(lines[1].find("event")->str(), "worker.death");
+    ::unlink(path.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -23,10 +23,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +67,37 @@ TEST(Wire, FrameRoundTripsThroughByteAtATimeFeed)
     EXPECT_EQ(got[1], "{\"y\":\"two\"}");
     EXPECT_FALSE(reader.error());
     EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(Wire, MakeTraceIdIsUniqueAndWellFormed)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::string id = makeTraceId();
+        ASSERT_EQ(id.size(), 17u) << id;
+        ASSERT_EQ(id[0], 't');
+        for (size_t c = 1; c < id.size(); ++c)
+            ASSERT_TRUE(std::isxdigit(
+                static_cast<unsigned char>(id[c])))
+                << id;
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate " << id;
+    }
+}
+
+TEST(Wire, TraceIdRidesTheGridFrameAndUnknownKeysStayIgnored)
+{
+    // The grid request schema gained "traceId"; parseCell must keep
+    // ignoring keys it doesn't model so traced and untraced peers
+    // interoperate (the cell decoder sees request-level keys only via
+    // forwarding mistakes — either way, unknown keys never reject).
+    Json cell = Json::object();
+    cell.set("label", "x");
+    cell.set("source", "(exit 0)");
+    cell.set("traceId", "t0123456789abcdef");
+    WireCell wc;
+    std::string err;
+    ASSERT_TRUE(parseCell(cell, &wc, &err)) << err;
+    EXPECT_EQ(wc.request.label, "x");
 }
 
 TEST(Wire, FrameReaderPoisonsOnGarbagePrefix)
@@ -575,6 +609,147 @@ TEST_F(ServeTest, MalformedFramingDropsOnlyTheOffendingConnection)
     ServeClient fine = connect();
     std::string err;
     EXPECT_TRUE(fine.ping(&err)) << err;
+}
+
+TEST_F(ServeTest, TraceAndMetricsRelayHomeAcrossTheForkBoundary)
+{
+    std::string tracePath = "/tmp/mxl_serve_trace_" +
+                            std::to_string(::getpid()) + ".json";
+    ::unlink(tracePath.c_str());
+    ServerOptions options;
+    options.workers = 1;
+    options.warmCache = true; // workers inherit a warm cache COW
+    options.tracePath = tracePath;
+    startServer(options);
+    ServeClient client = connect();
+
+    // A warmed program cell (COW cache hit inside the worker) plus a
+    // source cell; both run in the forked worker.
+    Json warm = Json::object();
+    warm.set("label", "warm");
+    warm.set("program", "inter");
+    std::vector<Json> cells{warm, sourceCell("src", "(print 3)")};
+    ServeClient::GridOutcome outcome =
+        client.runGrid("traced", cells, 0, nullptr);
+    ASSERT_EQ(outcome.kind, ServeClient::GridOutcome::Kind::Done);
+    EXPECT_EQ(outcome.failed, 0u);
+    ASSERT_FALSE(outcome.traceId.empty());
+
+    // The health snapshot must aggregate worker-side engine counters:
+    // the parent process never ran a cell, so nonzero runs (and the
+    // COW cache hit) prove the per-result metric deltas merged home.
+    Json health;
+    std::string err;
+    ASSERT_TRUE(client.health(&health, &err)) << err;
+    const Json *counters = health.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->find("engine.runs")->asUint(0), 2u);
+    ASSERT_NE(counters->find("engine.cache.hits"), nullptr);
+    EXPECT_GE(counters->find("engine.cache.hits")->asUint(0), 1u);
+    const Json *hists = health.find("metrics")->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    for (const char *name :
+         {"serve.admission_wait_micros", "serve.queue_micros",
+          "serve.exec_micros", "serve.e2e_micros"}) {
+        const Json *h = hists->find(name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_GE(h->find("count")->asUint(0), 1u) << name;
+    }
+
+    // Drain writes the merged trace; every span of the completed
+    // request carries its trace id, and the worker's engine spans
+    // landed on the worker's own lane (2 + slot = 2), not the
+    // server's.
+    server_->requestStop();
+    loop_.join();
+
+    std::ifstream in(tracePath);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Json tdoc;
+    ASSERT_TRUE(Json::parse(text, &tdoc));
+    ASSERT_TRUE(tdoc.isArray());
+    std::set<std::string> spanNames;
+    size_t tracedSpans = 0, workerLaneSpans = 0;
+    for (size_t i = 0; i < tdoc.size(); ++i) {
+        const Json &e = tdoc.at(i);
+        if (e.find("cat") && e.find("cat")->str() == "__metadata")
+            continue;
+        const Json *args = e.find("args");
+        const Json *tid = args ? args->find("traceId") : nullptr;
+        if (tid && tid->str() == outcome.traceId) {
+            ++tracedSpans;
+            spanNames.insert(e.find("name")->str());
+            if (e.find("pid")->asInt() == 2)
+                ++workerLaneSpans;
+        }
+    }
+    // Parent request + per-cell exec spans; worker cell + engine
+    // compile/run spans, all stamped with the request's trace id.
+    EXPECT_EQ(spanNames.count("request"), 1u);
+    EXPECT_EQ(spanNames.count("exec"), 1u);
+    EXPECT_EQ(spanNames.count("cell"), 1u);
+    EXPECT_EQ(spanNames.count("run"), 1u);
+    EXPECT_GE(tracedSpans, 5u); // request + 2 exec + 2 cell at least
+    EXPECT_GE(workerLaneSpans, 2u);
+    ::unlink(tracePath.c_str());
+}
+
+TEST_F(ServeTest, WorkerDeathAppearsExactlyOnceInTheStructuredLog)
+{
+    std::string logPath = "/tmp/mxl_serve_events_" +
+                          std::to_string(::getpid()) + ".jsonl";
+    ::unlink(logPath.c_str());
+    ServerOptions options;
+    options.workers = 1;
+    options.enableChaosCells = true;
+    options.eventLogPath = logPath;
+    startServer(options);
+    ServeClient client = connect();
+
+    // A crash cell between two healthy cells: the worker dies exactly
+    // once, and so must the worker.death event — the log is evidence,
+    // not a repeating alarm.
+    std::vector<Json> cells{sourceCell("before", "(print 1)"),
+                            sourceCell("__chaos:crash", "(exit 0)"),
+                            sourceCell("after", "(print 2)")};
+    ServeClient::GridOutcome outcome =
+        client.runGrid("chaos-log", cells, 0, nullptr);
+    ASSERT_EQ(outcome.kind, ServeClient::GridOutcome::Kind::Done);
+    EXPECT_EQ(outcome.failed, 1u);
+    ASSERT_FALSE(outcome.traceId.empty());
+
+    server_->requestStop();
+    loop_.join();
+
+    std::ifstream in(logPath);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    size_t deaths = 0, dones = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Json e;
+        ASSERT_TRUE(Json::parse(line, &e)) << line;
+        const std::string &name = e.find("event")->str();
+        if (name == "worker.death") {
+            ++deaths;
+            EXPECT_EQ(e.find("level")->str(), "error");
+            EXPECT_EQ(e.find("kind")->str(), "signal");
+            EXPECT_EQ(e.find("signal")->asInt(0), SIGABRT);
+            ASSERT_NE(e.find("traceId"), nullptr);
+            EXPECT_EQ(e.find("traceId")->str(), outcome.traceId);
+            EXPECT_EQ(e.find("requestId")->str(), "chaos-log");
+            EXPECT_EQ(e.find("label")->str(), "__chaos:crash");
+        } else if (name == "request.done") {
+            ++dones;
+            EXPECT_EQ(e.find("traceId")->str(), outcome.traceId);
+        }
+    }
+    EXPECT_EQ(deaths, 1u);
+    EXPECT_EQ(dones, 1u);
+    ::unlink(logPath.c_str());
 }
 
 } // namespace

@@ -5,6 +5,7 @@
  *     bench_diff [--threshold PCT] BEFORE.json AFTER.json
  *     bench_diff --backends FILE.json
  *     bench_diff --coverage BEFORE.json AFTER.json
+ *     bench_diff --latency [--threshold PCT] BEFORE.json AFTER.json
  *
  * Two-file mode pairs grid cells by label and prints each one's
  * simulated-cycle delta (stats.total — deterministic per commit,
@@ -30,19 +31,35 @@
  * counts, so a stale or hand-edited "coverage" field cannot fool the
  * gate.
  *
+ * --latency mode compares the measurement service's four latency
+ * histograms (serve.admission_wait_micros, serve.queue_micros,
+ * serve.exec_micros, serve.e2e_micros) between two BENCH_serve.json
+ * exports. p95 and p99 are recomputed nearest-rank from the raw
+ * power-of-two bucket counts — a stale or hand-edited "p95" field
+ * cannot fool the gate — and a histogram fails when its after
+ * percentile exceeds before by more than the threshold percentage
+ * (plus a 100µs absolute floor, so a 0µs-vs-3µs admission wait is not
+ * a regression). Bucketed percentiles are upper bounds: the gate
+ * compares like against like, both sides quantized the same way.
+ *
  * Documents that carry an engine metrics snapshot are also checked for
  * static-verifier regressions: any "mxlint.<unit>.errors" counter that
  * increased (or appeared nonzero) between BEFORE and AFTER fails the
  * diff, independent of the cycle threshold.
  */
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <sys/stat.h>
 
@@ -58,7 +75,9 @@ usage()
                  "usage: bench_diff [--threshold PCT] BEFORE.json "
                  "AFTER.json\n"
                  "       bench_diff --backends FILE.json\n"
-                 "       bench_diff --coverage BEFORE.json AFTER.json\n");
+                 "       bench_diff --coverage BEFORE.json AFTER.json\n"
+                 "       bench_diff --latency [--threshold PCT] "
+                 "BEFORE.json AFTER.json\n");
     return 2;
 }
 
@@ -302,6 +321,193 @@ diffCoverage(const mxl::Json &before, const mxl::Json &after,
     return ok ? 0 : 1;
 }
 
+/** The service latency histograms --latency gates, in export order. */
+const char *const kLatencyHistograms[] = {
+    "serve.admission_wait_micros",
+    "serve.queue_micros",
+    "serve.exec_micros",
+    "serve.e2e_micros",
+};
+
+/** Regressions smaller than this many microseconds never fail the
+ *  gate, whatever the percentage: near-zero baselines would otherwise
+ *  flag scheduler noise. */
+constexpr uint64_t kLatencyFloorMicros = 100;
+
+/** One parsed service latency histogram: raw bucket counts keyed by
+ *  lower bound, plus the exact observed max. */
+struct LatencyHist
+{
+    uint64_t count = 0;
+    uint64_t max = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> buckets; ///< (lo, n)
+};
+
+/**
+ * Parse one "histograms" entry. False (with a diagnostic naming the
+ * histogram and file) on a malformed entry — a count that is not a
+ * number, buckets missing or non-object, a bucket key that is not a
+ * decimal lower bound.
+ */
+bool
+parseLatencyHist(const mxl::Json &h, const std::string &name,
+                 const std::string &path, LatencyHist *out)
+{
+    auto malformed = [&](const char *what) {
+        std::fprintf(stderr,
+                     "bench_diff: %s: histogram '%s' is malformed "
+                     "(%s)\n",
+                     path.c_str(), name.c_str(), what);
+        return false;
+    };
+    if (!h.isObject())
+        return malformed("not an object");
+    const mxl::Json *count = h.find("count");
+    if (!count || !count->isNumber())
+        return malformed("'count' is not a number");
+    out->count = count->asUint(0);
+    const mxl::Json *max = h.find("max");
+    out->max = max && max->isNumber() ? max->asUint(0) : 0;
+    const mxl::Json *buckets = h.find("buckets");
+    if (!buckets || !buckets->isObject())
+        return malformed("'buckets' is not an object");
+    for (size_t i = 0; i < buckets->size(); ++i) {
+        const auto &[lo, n] = buckets->entry(i);
+        char *end = nullptr;
+        uint64_t loVal = std::strtoull(lo.c_str(), &end, 10);
+        if (lo.empty() || !end || *end != '\0')
+            return malformed("bucket key is not a decimal lower bound");
+        if (!n.isNumber())
+            return malformed("bucket count is not a number");
+        out->buckets.emplace_back(loVal, n.asUint(0));
+    }
+    std::sort(out->buckets.begin(), out->buckets.end());
+    return true;
+}
+
+/**
+ * Nearest-rank percentile recomputed from the raw buckets, matching
+ * Histogram::percentile: the answer is the covering bucket's upper
+ * bound (lo == 0 ? 0 : 2*lo - 1), clamped to the observed max.
+ */
+uint64_t
+latencyPercentile(const LatencyHist &h, double p)
+{
+    if (h.count == 0)
+        return 0;
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(h.count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > h.count)
+        rank = h.count;
+    uint64_t seen = 0;
+    for (const auto &[lo, n] : h.buckets) {
+        seen += n;
+        if (seen >= rank) {
+            uint64_t hi = lo == 0 ? 0
+                          : lo > (~uint64_t{0} - 1) / 2
+                              ? ~uint64_t{0}
+                              : 2 * lo - 1;
+            return h.max > 0 && hi > h.max ? h.max : hi;
+        }
+    }
+    return h.max;
+}
+
+/**
+ * --latency mode: p95/p99 regression gate over the service latency
+ * histograms. Exit-status semantics match main(): 0 pass, 1 when a
+ * percentile regressed beyond the threshold, 2 when either document
+ * carries no service latency histograms or one is malformed.
+ */
+int
+diffLatency(const mxl::Json &before, const mxl::Json &after,
+            const std::string &beforePath, const std::string &afterPath,
+            double thresholdPct)
+{
+    auto extract = [](const mxl::Json &doc, const std::string &path,
+                      std::vector<std::pair<std::string, LatencyHist>> *out)
+        -> int {
+        const mxl::Json *metrics = doc.find("metrics");
+        const mxl::Json *hists =
+            metrics ? metrics->find("histograms") : nullptr;
+        if (!hists || !hists->isObject()) {
+            std::fprintf(stderr,
+                         "bench_diff: %s has no service latency "
+                         "histograms (expected metrics.histograms in a "
+                         "BENCH_serve.json export)\n",
+                         path.c_str());
+            return 2;
+        }
+        for (const char *name : kLatencyHistograms) {
+            const mxl::Json *h = hists->find(name);
+            if (!h)
+                continue;
+            LatencyHist parsed;
+            if (!parseLatencyHist(*h, name, path, &parsed))
+                return 2;
+            out->emplace_back(name, std::move(parsed));
+        }
+        if (out->empty()) {
+            std::fprintf(stderr,
+                         "bench_diff: %s has no service latency "
+                         "histograms (none of the serve.*_micros "
+                         "histograms present)\n",
+                         path.c_str());
+            return 2;
+        }
+        return 0;
+    };
+    std::vector<std::pair<std::string, LatencyHist>> b, a;
+    if (int rc = extract(before, beforePath, &b))
+        return rc;
+    if (int rc = extract(after, afterPath, &a))
+        return rc;
+    auto beforeHist = [&](const std::string &name) -> const LatencyHist * {
+        for (const auto &kv : b)
+            if (kv.first == name)
+                return &kv.second;
+        return nullptr;
+    };
+
+    bool failed = false;
+    for (const auto &[name, ah] : a) {
+        const LatencyHist *bh = beforeHist(name);
+        if (!bh) {
+            std::printf("NEW   %-28s (no before data; not gated)\n",
+                        name.c_str());
+            continue;
+        }
+        for (double p : {0.95, 0.99}) {
+            uint64_t was = latencyPercentile(*bh, p);
+            uint64_t now = latencyPercentile(ah, p);
+            double limit = static_cast<double>(was) *
+                           (1.0 + thresholdPct / 100.0);
+            bool regressed =
+                static_cast<double>(now) > limit &&
+                now > was + kLatencyFloorMicros;
+            double pctDelta =
+                was > 0 ? (static_cast<double>(now) /
+                               static_cast<double>(was) -
+                           1.0) * 100.0
+                        : 0.0;
+            std::printf("%s  %-28s p%-2d %10lluus -> %10lluus "
+                        "(%+.1f%%)\n",
+                        regressed ? "FAIL" : "OK  ", name.c_str(),
+                        static_cast<int>(p * 100),
+                        static_cast<unsigned long long>(was),
+                        static_cast<unsigned long long>(now), pctDelta);
+            failed = failed || regressed;
+        }
+    }
+    std::printf("%s  service latency (p95/p99 gate, threshold %.1f%%, "
+                "floor %lluus)\n",
+                failed ? "FAIL" : "PASS", thresholdPct,
+                static_cast<unsigned long long>(kLatencyFloorMicros));
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -310,6 +516,7 @@ main(int argc, char **argv)
     double thresholdPct = 0.0;
     bool backendsMode = false;
     bool coverageMode = false;
+    bool latencyMode = false;
     std::string paths[2];
     int nPaths = 0;
     for (int i = 1; i < argc; ++i) {
@@ -318,6 +525,8 @@ main(int argc, char **argv)
             backendsMode = true;
         } else if (arg == "--coverage") {
             coverageMode = true;
+        } else if (arg == "--latency") {
+            latencyMode = true;
         } else if (arg == "--threshold") {
             if (++i >= argc)
                 return usage();
@@ -332,20 +541,27 @@ main(int argc, char **argv)
         }
     }
     if (backendsMode) {
-        if (nPaths != 1 || coverageMode)
+        if (nPaths != 1 || coverageMode || latencyMode)
             return usage();
         mxl::Json doc;
         if (!loadJson(paths[0], &doc))
             return 2;
         return diffBackends(doc);
     }
-    if (nPaths != 2)
+    if (nPaths != 2 || (coverageMode && latencyMode))
         return usage();
     if (coverageMode) {
         mxl::Json before, after;
         if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
             return 2;
         return diffCoverage(before, after, paths[0], paths[1]);
+    }
+    if (latencyMode) {
+        mxl::Json before, after;
+        if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
+            return 2;
+        return diffLatency(before, after, paths[0], paths[1],
+                           thresholdPct);
     }
 
     mxl::Json before, after;

@@ -149,8 +149,12 @@ main(int argc, char **argv)
         });
     switch (outcome.kind) {
     case ServeClient::GridOutcome::Kind::Done:
-        std::printf("{\"type\":\"done\",\"cells\":%zu,\"failed\":%zu}\n",
-                    outcome.cells, outcome.failed);
+        // traceId is the handle to this request's spans in the server's
+        // --trace output and its lines in the --log event stream.
+        std::printf("{\"type\":\"done\",\"cells\":%zu,\"failed\":%zu,"
+                    "\"traceId\":%s}\n",
+                    outcome.cells, outcome.failed,
+                    Json(outcome.traceId).dump().c_str());
         return outcome.failed == 0 ? 0 : 3;
     case ServeClient::GridOutcome::Kind::Overloaded:
         std::printf("{\"type\":\"overloaded\",\"retryAfterMs\":%lld}\n",

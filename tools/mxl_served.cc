@@ -19,6 +19,13 @@
  *     --warm              precompile built-in benchmarks before forking
  *     --chaos             honor __chaos:* cell labels (bench/test only)
  *     --no-fork           test seam: degrade to in-process execution
+ *     --trace PATH        record a service trace (parent + worker
+ *                         spans) and write merged Perfetto JSON at
+ *                         drain
+ *     --log PATH          append structured JSONL events (request
+ *                         lifecycle, worker deaths, drain)
+ *     --slow-ms N         log request.slow above this end-to-end wall
+ *                         time (default 1000; 0 = off)
  */
 
 #include <cstdio>
@@ -38,7 +45,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--workers N] "
                  "[--queue N] [--drain-ms N] [--max-cell-s N] [--warm] "
-                 "[--chaos] [--no-fork]\n",
+                 "[--chaos] [--no-fork] [--trace PATH] [--log PATH] "
+                 "[--slow-ms N]\n",
                  argv0);
     return 2;
 }
@@ -79,6 +87,12 @@ main(int argc, char **argv)
             options.enableChaosCells = true;
         else if (arg == "--no-fork")
             options.disableFork = true;
+        else if (arg == "--trace")
+            options.tracePath = value();
+        else if (arg == "--log")
+            options.eventLogPath = value();
+        else if (arg == "--slow-ms")
+            options.slowRequestMs = std::atoi(value());
         else
             return usage(argv[0]);
     }
