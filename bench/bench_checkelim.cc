@@ -1,31 +1,38 @@
 /**
- * Redundant-check elimination: the static claim vs the dynamic savings.
+ * Check placement vs elimination vs baseline: a three-rung ladder.
  *
- * The tag-flow analyzer (src/analysis/) proves some of the compiler's
- * full-checking branches can never fail — their checked register
- * carries an exact compatible tag on every path in. This harness
- * measures what deleting them (analysis/checkelim.h) is actually
- * worth, per benchmark program, in the paper's software-checked
- * baseline configuration (High5 tags, Checking::Full, no hardware):
+ * PR 5's tag-flow analyzer proved some full-checking branches
+ * redundant and deleted them (analysis/checkelim.h). The placement
+ * engine (analysis/checkplace.h) goes further: it hoists
+ * loop-invariant checks to preheaders, lets the slot fact flowing
+ * around the back edge make the in-loop copies provably redundant,
+ * then removes cross-block dead extract feeders and error paths
+ * orphaned by deleted checks. This harness measures all three rungs
+ * per benchmark program in the paper's software-checked baseline
+ * configuration (High5 tags, Checking::Full, no hardware):
  *
- *   static  — checks eliminated / checks considered, and the fraction
- *             of the code stream removed (branches, squash pads, and
- *             orphaned tag-extract feeders);
- *   dynamic — simulated cycles of the optimized unit vs the golden
- *             unit, both run through mxl::Engine (the optimized run
- *             uses RunRequest::unitTransform, so the cached golden
- *             compilation is shared).
+ *   baseline — the golden unit as compiled;
+ *   elim     — redundant-check elimination only (PR 5's transform);
+ *   place    — the full placement engine (hoist + eliminate + sink).
  *
- * Soundness is checked, not assumed: every optimized run must produce
- * byte-identical output, the same exit value, and the same stop reason
- * as its golden run. Each unit is also linted (analysis/lint.h) and
- * its finding counts exported through the engine metrics registry as
- * mxlint.<program>.{errors,warnings,infos} — so tools/bench_diff can
- * flag a configuration that starts producing violations.
+ * Soundness is checked three ways, not assumed: every transformed run
+ * must produce byte-identical output, the same exit value, and the
+ * same stop reason as its golden run; every placement-transformed
+ * unit must be accepted by the independent load-time verifier
+ * (analysis/verify.h) — the engine also verifies transformed units on
+ * its own, so a verifier rejection fails the run outright; and each
+ * unit is linted with finding counts exported through the metrics
+ * registry as mxlint.<program>.{errors,warnings,infos}.
  *
- * Results land in BENCH_checkelim.json: one grid cell per program with
- * the static and dynamic columns above, plus the engine metrics
- * snapshot.
+ * Self-gates (the bench fails if placement regresses):
+ *   - >=1 loop-invariant hoist on at least 4 of the ten programs;
+ *   - total place cycles strictly below total elim cycles;
+ *   - verifier accepts every transformed unit.
+ *
+ * Results land in BENCH_checkelim.json: one grid cell per program
+ * with per-rung cycles, hoist counts, and verifier-proven check
+ * counts; tools/bench_diff --checks gates on provenChecks and the
+ * place-rung cycle totals.
  */
 
 #include <cstdio>
@@ -33,7 +40,9 @@
 #include <vector>
 
 #include "analysis/checkelim.h"
+#include "analysis/checkplace.h"
 #include "analysis/lint.h"
+#include "analysis/verify.h"
 #include "bench_export.h"
 #include "core/engine.h"
 #include "core/experiment.h"
@@ -50,10 +59,13 @@ main()
 
     Json grid = Json::array();
     bool allIdentical = true, allReduced = true, lintClean = true;
-    uint64_t goldenTotal = 0, optimizedTotal = 0;
+    bool allVerified = true;
+    int programsWithHoists = 0;
+    uint64_t goldenTotal = 0, elimTotal = 0, placeTotal = 0;
 
-    std::printf("%-8s %9s %9s %7s %12s %12s %7s\n", "program", "checks",
-                "removed", "static%", "golden", "optimized", "cycle%");
+    std::printf("%-8s %9s %6s %6s %12s %12s %12s %7s\n", "program",
+                "checks", "hoist", "sunk", "golden", "elim", "place",
+                "place%");
     for (const auto &bp : benchmarkPrograms()) {
         RunRequest req;
         req.source = bp.source;
@@ -89,90 +101,147 @@ main()
             return 1;
         }
 
-        ElimStats st;
-        RunRequest opt = req;
-        opt.hooks.unitTransform =
-            [&st](std::shared_ptr<const CompiledUnit> unit) {
-                return checkElimTransform(unit, &st);
+        // Rung 2: elimination only.
+        ElimStats est;
+        RunRequest elim = req;
+        elim.hooks.unitTransform =
+            [&est](std::shared_ptr<const CompiledUnit> unit) {
+                return checkElimTransform(unit, &est);
             };
-        RunReport optimized = eng.run(opt);
-        if (!optimized.status.ok()) {
-            std::printf("FAIL  %s optimized run: %s\n", bp.name.c_str(),
-                        optimized.status.message.c_str());
+        RunReport elimRun = eng.run(elim);
+        if (!elimRun.status.ok()) {
+            std::printf("FAIL  %s elim run: %s\n", bp.name.c_str(),
+                        elimRun.status.message.c_str());
             return 1;
         }
 
+        // Rung 3: full placement. Keep the transformed unit so the
+        // independent verifier's verdict can be reported here too (the
+        // engine already gates on it internally).
+        PlaceStats pst;
+        std::shared_ptr<const CompiledUnit> placed;
+        RunRequest place = req;
+        place.hooks.unitTransform =
+            [&pst, &placed](std::shared_ptr<const CompiledUnit> unit) {
+                placed = checkPlaceTransform(unit, &pst);
+                return placed;
+            };
+        RunReport placeRun = eng.run(place);
+        if (!placeRun.status.ok()) {
+            std::printf("FAIL  %s place run: %s\n", bp.name.c_str(),
+                        placeRun.status.message.c_str());
+            return 1;
+        }
+        VerifyResult ver = placed ? verifyUnit(*placed) : VerifyResult{};
+        if (!ver.ok()) {
+            allVerified = false;
+            std::printf("FAIL  %s verifier: %s\n", bp.name.c_str(),
+                        ver.render().c_str());
+        }
+
         const bool identical =
-            optimized.result.output == golden.result.output &&
-            optimized.result.exitValue == golden.result.exitValue &&
-            optimized.result.stop == golden.result.stop;
+            elimRun.result.output == golden.result.output &&
+            elimRun.result.exitValue == golden.result.exitValue &&
+            elimRun.result.stop == golden.result.stop &&
+            placeRun.result.output == golden.result.output &&
+            placeRun.result.exitValue == golden.result.exitValue &&
+            placeRun.result.stop == golden.result.stop;
         if (!identical)
             allIdentical = false;
 
         const uint64_t gCycles = golden.result.stats.total;
-        const uint64_t oCycles = optimized.result.stats.total;
-        if (oCycles >= gCycles)
+        const uint64_t eCycles = elimRun.result.stats.total;
+        const uint64_t pCycles = placeRun.result.stats.total;
+        if (pCycles >= gCycles)
             allReduced = false;
+        if (pst.hoisted > 0)
+            ++programsWithHoists;
         goldenTotal += gCycles;
-        optimizedTotal += oCycles;
+        elimTotal += eCycles;
+        placeTotal += pCycles;
 
         const size_t codeSize = c.unit->prog.code.size();
-        const double staticPct =
-            100.0 * st.instructionsRemoved / static_cast<double>(codeSize);
-        const double cyclePct =
+        const double placePct =
             gCycles ? 100.0 * (static_cast<double>(gCycles) -
-                               static_cast<double>(oCycles)) /
+                               static_cast<double>(pCycles)) /
                           static_cast<double>(gCycles)
                     : 0.0;
-        std::printf("%-8s %4d/%4d %9d %6.2f%% %12llu %12llu %6.2f%%%s\n",
-                    bp.name.c_str(), st.checksEliminated,
-                    st.checksConsidered, st.instructionsRemoved, staticPct,
+        std::printf("%-8s %4d/%4d %6d %6d %12llu %12llu %12llu %6.2f%%%s\n",
+                    bp.name.c_str(), pst.elim.checksEliminated,
+                    pst.elim.checksConsidered, pst.hoisted,
+                    pst.sunkInstructions,
                     static_cast<unsigned long long>(gCycles),
-                    static_cast<unsigned long long>(oCycles), cyclePct,
+                    static_cast<unsigned long long>(eCycles),
+                    static_cast<unsigned long long>(pCycles), placePct,
                     identical ? "" : "  OUTPUT DIFFERS");
 
         Json cell = Json::object();
         cell.set("program", bp.name);
         // label + stats.total: the shape obs/bench_compare.h pairs on,
-        // so bench_diff tracks the optimized cycle counts over time.
+        // so bench_diff tracks the place-rung cycle counts over time.
         cell.set("label", bp.name);
         Json stats = Json::object();
-        stats.set("total", static_cast<int64_t>(oCycles));
+        stats.set("total", static_cast<int64_t>(pCycles));
         cell.set("stats", std::move(stats));
-        cell.set("checksConsidered", st.checksConsidered);
-        cell.set("checksEliminated", st.checksEliminated);
-        cell.set("instructionsRemoved", st.instructionsRemoved);
-        cell.set("extractsRemoved", st.extractsRemoved);
-        cell.set("padsRemoved", st.padsRemoved);
+        cell.set("checksConsidered", pst.elim.checksConsidered);
+        cell.set("checksEliminated", pst.elim.checksEliminated);
+        cell.set("instructionsRemoved", pst.elim.instructionsRemoved);
+        cell.set("extractsRemoved", pst.elim.extractsRemoved);
+        cell.set("padsRemoved", pst.elim.padsRemoved);
+        cell.set("loopsFound", pst.loopsFound);
+        cell.set("hoistCandidates", pst.hoistCandidates);
+        cell.set("hoists", pst.hoisted);
+        cell.set("hoistInstructions", pst.hoistInstructions);
+        cell.set("feedersRemoved", pst.feedersRemoved);
+        cell.set("sunkInstructions", pst.sunkInstructions);
+        cell.set("provenChecks", ver.accessesProven);
+        cell.set("verifierAccepts", ver.ok());
         cell.set("codeSize", static_cast<int64_t>(codeSize));
-        cell.set("staticRemovedPct", staticPct);
         cell.set("goldenCycles", static_cast<int64_t>(gCycles));
-        cell.set("optimizedCycles", static_cast<int64_t>(oCycles));
-        cell.set("cycleReductionPct", cyclePct);
+        cell.set("elimCycles", static_cast<int64_t>(eCycles));
+        cell.set("placeCycles", static_cast<int64_t>(pCycles));
+        cell.set("optimizedCycles", static_cast<int64_t>(pCycles));
+        cell.set("cycleReductionPct", placePct);
         cell.set("outputIdentical", identical);
         cell.set("lintErrors", lint.errors);
         cell.set("lintWarnings", lint.warnings);
         grid.push(std::move(cell));
     }
 
-    const double totalPct =
-        goldenTotal ? 100.0 * (static_cast<double>(goldenTotal) -
-                               static_cast<double>(optimizedTotal)) /
-                          static_cast<double>(goldenTotal)
-                    : 0.0;
-    std::printf("total cycle reduction: %.2f%%\n", totalPct);
+    auto pct = [](uint64_t golden, uint64_t opt) {
+        return golden ? 100.0 * (static_cast<double>(golden) -
+                                 static_cast<double>(opt)) /
+                            static_cast<double>(golden)
+                      : 0.0;
+    };
+    const double elimPct = pct(goldenTotal, elimTotal);
+    const double placePct = pct(goldenTotal, placeTotal);
+    std::printf("total cycle reduction: elim %.2f%%, place %.2f%%\n",
+                elimPct, placePct);
 
-    std::printf("%s  optimized output byte-identical to golden on all "
+    const bool enoughHoists = programsWithHoists >= 4;
+    const bool beatsElim = placeTotal < elimTotal;
+    std::printf("%s  transformed output byte-identical to golden on all "
                 "programs\n",
                 allIdentical ? "PASS" : "FAIL");
-    std::printf("%s  optimized units use fewer simulated cycles on all "
-                "programs\n",
+    std::printf("%s  placement uses fewer simulated cycles than baseline "
+                "on all programs\n",
                 allReduced ? "PASS" : "FAIL");
+    std::printf("%s  >=1 loop-invariant hoist on >=4 programs (%d/10)\n",
+                enoughHoists ? "PASS" : "FAIL", programsWithHoists);
+    std::printf("%s  placement beats elimination-only in total cycles\n",
+                beatsElim ? "PASS" : "FAIL");
+    std::printf("%s  independent verifier accepts every transformed "
+                "unit\n",
+                allVerified ? "PASS" : "FAIL");
     std::printf("%s  mxlint reports zero errors on every unit\n",
                 lintClean ? "PASS" : "FAIL");
 
     bool wrote = writeBenchJson("checkelim",
                                 benchDoc("checkelim", std::move(grid),
                                          &eng));
-    return (allIdentical && allReduced && lintClean && wrote) ? 0 : 1;
+    return (allIdentical && allReduced && enoughHoists && beatsElim &&
+            allVerified && lintClean && wrote)
+               ? 0
+               : 1;
 }

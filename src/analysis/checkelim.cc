@@ -3,6 +3,7 @@
 #include "analysis/cfg.h"
 #include "analysis/tagflow.h"
 #include "machine/machine.h"
+#include "support/format.h"
 #include "support/panic.h"
 
 namespace mxl {
@@ -102,6 +103,10 @@ eliminateRedundantChecks(CompiledUnit &unit)
     Cfg cfg = buildCfg(prog, unitRoots(unit));
     if (!cfg.ok()) {
         st.skipped = true;
+        st.diagnostic = strcat("malformed CFG (", cfg.malformed.size(),
+                               " structural violation(s)); first at pc ",
+                               cfg.malformed.front().pc, ": ",
+                               cfg.malformed.front().what);
         return st;
     }
     TagFlow flow(prog, cfg, *unit.scheme);
@@ -157,6 +162,27 @@ eliminateRedundantChecks(CompiledUnit &unit)
     }
     if (st.instructionsRemoved == 0)
         return st;
+
+    // Refuse a unit whose trap-handler table points at an instruction
+    // this rewrite would delete: silently renumbering the handler to
+    // the next kept instruction would change what runs on a trap.
+    // (Branch targets and symbols are safe under that renumbering —
+    // execution continues at the next kept instruction either way —
+    // but a trap handler entry is an architectural contract.)
+    for (const auto &[what, idx] :
+         {std::pair<const char *, int>{"entry", unit.entry},
+          {"arith trap handler", unit.arithTrap},
+          {"tag trap handler", unit.tagTrap}}) {
+        if (idx >= 0 && idx < n && remove[idx]) {
+            st = ElimStats{};
+            st.skipped = true;
+            st.diagnostic =
+                strcat(what, " at pc ", idx,
+                       " references an instruction the rewrite would "
+                       "delete; unit refused");
+            return st;
+        }
+    }
 
     // Renumber: every target/symbol maps to the first kept instruction
     // at or after its old index.

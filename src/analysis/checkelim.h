@@ -27,6 +27,7 @@
 #define MXLISP_ANALYSIS_CHECKELIM_H_
 
 #include <memory>
+#include <string>
 
 #include "compiler/unit.h"
 
@@ -39,7 +40,10 @@ struct ElimStats
     int instructionsRemoved = 0; ///< total instructions deleted
     int extractsRemoved = 0;    ///< feeder tag-extract instructions
     int padsRemoved = 0;        ///< Noop delay-slot pads
-    bool skipped = false;       ///< malformed CFG: unit left untouched
+    /** Unit refused and left untouched: malformed CFG, or the trap
+     *  table referenced an instruction the rewrite would delete. */
+    bool skipped = false;
+    std::string diagnostic;     ///< why the unit was refused
 };
 
 /** Deep-copy a compiled unit (the scheme is re-made from opts). */

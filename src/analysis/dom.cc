@@ -1,0 +1,192 @@
+#include "analysis/dom.h"
+
+#include <algorithm>
+
+namespace mxl {
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (a < 0 || b < 0)
+        return false;
+    // Climb b's idom chain until a is found or the chain rises above
+    // a's depth (dominators only get shallower).
+    while (b != -1 && depth[b] >= depth[a]) {
+        if (b == a)
+            return true;
+        b = idom[b];
+    }
+    return false;
+}
+
+DomTree
+computeDominators(const Cfg &cfg)
+{
+    const int n = static_cast<int>(cfg.blocks.size());
+    DomTree dt;
+    dt.idom.assign(n, -1);
+    dt.depth.assign(n, -1);
+    if (n == 0)
+        return dt;
+
+    // Postorder DFS from the roots over reachable blocks.
+    std::vector<int> post;
+    post.reserve(n);
+    std::vector<uint8_t> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, size_t>> stack;
+    for (int r : cfg.rootBlocks) {
+        if (state[r] != 0)
+            continue;
+        stack.emplace_back(r, 0);
+        state[r] = 1;
+        while (!stack.empty()) {
+            auto &[b, i] = stack.back();
+            const auto &out = cfg.blocks[b].out;
+            if (i < out.size()) {
+                int to = out[i++].to;
+                if (state[to] == 0) {
+                    state[to] = 1;
+                    stack.emplace_back(to, 0);
+                }
+            } else {
+                state[b] = 2;
+                post.push_back(b);
+                stack.pop_back();
+            }
+        }
+    }
+    dt.rpo.assign(post.rbegin(), post.rend());
+    std::vector<int> rpoNum(n, -1);
+    for (size_t i = 0; i < dt.rpo.size(); ++i)
+        rpoNum[dt.rpo[i]] = static_cast<int>(i);
+
+    // Cooper–Harvey–Kennedy with a virtual entry node `n` that has an
+    // edge to every root, so multi-rooted programs get a proper tree.
+    const int kVirtual = n;
+    std::vector<int> idom(n + 1, -1);
+    idom[kVirtual] = kVirtual;
+    std::vector<bool> isRoot(n, false);
+    for (int r : cfg.rootBlocks)
+        isRoot[r] = true;
+
+    auto rnum = [&](int b) {
+        // Virtual entry orders before every real block.
+        return b == kVirtual ? -1 : rpoNum[b];
+    };
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rnum(a) > rnum(b))
+                a = idom[a];
+            while (rnum(b) > rnum(a))
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : dt.rpo) {
+            int newIdom = isRoot[b] ? kVirtual : -1;
+            for (int p : cfg.blocks[b].preds) {
+                if (rpoNum[p] < 0 || idom[p] == -1)
+                    continue; // unreachable or not yet processed
+                newIdom = newIdom == -1 ? p : intersect(p, newIdom);
+            }
+            if (newIdom != -1 && idom[b] != newIdom) {
+                idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    for (int b : dt.rpo)
+        dt.idom[b] = idom[b] == kVirtual ? -1 : idom[b];
+    // Depths in RPO order: an idom always precedes its children in RPO.
+    for (int b : dt.rpo)
+        dt.depth[b] = dt.idom[b] == -1 ? 0 : dt.depth[dt.idom[b]] + 1;
+    return dt;
+}
+
+LoopForest
+findLoops(const Cfg &cfg, const DomTree &dom)
+{
+    const int n = static_cast<int>(cfg.blocks.size());
+    LoopForest lf;
+    lf.innermost.assign(n, -1);
+
+    // Collect back edges grouped by header.
+    std::vector<std::pair<int, int>> backEdges; // (latch, header)
+    for (int u = 0; u < n; ++u) {
+        if (!cfg.reachable[u])
+            continue;
+        for (const CfgEdge &e : cfg.blocks[u].out)
+            if (dom.dominates(e.to, u))
+                backEdges.emplace_back(u, e.to);
+    }
+    std::sort(backEdges.begin(), backEdges.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second ||
+                         (a.second == b.second && a.first < b.first);
+              });
+
+    for (size_t i = 0; i < backEdges.size();) {
+        const int header = backEdges[i].second;
+        NaturalLoop loop;
+        loop.header = header;
+        std::vector<bool> inLoop(n, false);
+        inLoop[header] = true;
+        std::vector<int> work;
+        for (; i < backEdges.size() && backEdges[i].second == header; ++i) {
+            const int latch = backEdges[i].first;
+            loop.latches.push_back(latch);
+            if (!inLoop[latch]) {
+                inLoop[latch] = true;
+                work.push_back(latch);
+            }
+        }
+        // Backward flood from the latches, stopping at the header.
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            for (int p : cfg.blocks[b].preds) {
+                if (cfg.reachable[p] && !inLoop[p]) {
+                    inLoop[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        for (int b = 0; b < n; ++b)
+            if (inLoop[b])
+                loop.blocks.push_back(b);
+        lf.loops.push_back(std::move(loop));
+    }
+
+    // Nest depth by containment; innermost = deepest containing loop.
+    for (size_t a = 0; a < lf.loops.size(); ++a) {
+        for (size_t b = 0; b < lf.loops.size(); ++b) {
+            if (a == b)
+                continue;
+            const NaturalLoop &outer = lf.loops[b];
+            if (outer.blocks.size() > lf.loops[a].blocks.size() &&
+                outer.contains(lf.loops[a].header) &&
+                std::includes(outer.blocks.begin(), outer.blocks.end(),
+                              lf.loops[a].blocks.begin(),
+                              lf.loops[a].blocks.end()))
+                ++lf.loops[a].depth;
+        }
+    }
+    for (int b = 0; b < n; ++b) {
+        int best = -1;
+        for (size_t k = 0; k < lf.loops.size(); ++k) {
+            if (!lf.loops[k].contains(b))
+                continue;
+            if (best == -1 || lf.loops[k].depth > lf.loops[best].depth)
+                best = static_cast<int>(k);
+        }
+        lf.innermost[b] = best;
+    }
+    return lf;
+}
+
+} // namespace mxl

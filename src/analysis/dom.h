@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dominator tree and natural-loop nest over the CFG (analysis/cfg.h).
+ *
+ * The CFG has multiple roots (every exported symbol plus the entry and
+ * trap handlers), so dominance is computed against a virtual entry
+ * node with an edge to each root: a block dominates another when every
+ * path from *any* root passes through it. The iterative algorithm is
+ * Cooper–Harvey–Kennedy over a reverse postorder of the reachable
+ * blocks.
+ *
+ * Natural loops are discovered from back edges (an edge u -> h where h
+ * dominates u): the loop body is everything that reaches the latch u
+ * without passing through the header h. Loops sharing a header are
+ * merged. The loop nest feeds the check-placement optimizer
+ * (analysis/checkplace.h): a check inside a loop whose operand is
+ * loop-invariant can be hoisted to run once before the header.
+ */
+
+#ifndef MXLISP_ANALYSIS_DOM_H_
+#define MXLISP_ANALYSIS_DOM_H_
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace mxl {
+
+/** Dominator tree over the reachable blocks of a Cfg. */
+struct DomTree
+{
+    /**
+     * Immediate dominator per block id. A root block's idom is the
+     * virtual entry, recorded as -1; unreachable blocks are also -1
+     * (distinguish via Cfg::reachable).
+     */
+    std::vector<int> idom;
+    /** Depth in the dominator tree (roots at 0, unreachable -1). */
+    std::vector<int> depth;
+    /** Reverse postorder of the reachable blocks. */
+    std::vector<int> rpo;
+
+    /** Does block @p a dominate block @p b (reflexively)? */
+    bool dominates(int a, int b) const;
+};
+
+/** One natural loop. */
+struct NaturalLoop
+{
+    int header = -1;
+    /** Block ids in the loop, header included, sorted ascending. */
+    std::vector<int> blocks;
+    /** Blocks with a back edge to the header. */
+    std::vector<int> latches;
+    /** Nest depth: 1 for an outermost loop. */
+    int depth = 1;
+
+    bool
+    contains(int block) const
+    {
+        for (int b : blocks)
+            if (b == block)
+                return true;
+        return false;
+    }
+};
+
+/** The loop forest of a CFG. */
+struct LoopForest
+{
+    std::vector<NaturalLoop> loops;
+    /** Block id -> index of its innermost containing loop, or -1. */
+    std::vector<int> innermost;
+};
+
+/** Compute the dominator tree of @p cfg's reachable blocks. */
+DomTree computeDominators(const Cfg &cfg);
+
+/** Find the natural loops of @p cfg under @p dom. */
+LoopForest findLoops(const Cfg &cfg, const DomTree &dom);
+
+} // namespace mxl
+
+#endif // MXLISP_ANALYSIS_DOM_H_

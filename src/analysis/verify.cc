@@ -1,0 +1,803 @@
+#include "analysis/verify.h"
+
+#include <deque>
+#include <map>
+
+#include "support/format.h"
+#include "support/panic.h"
+
+namespace mxl {
+
+const char *
+verifyCodeName(VerifyCode c)
+{
+    switch (c) {
+      case VerifyCode::Ok:                 return "Ok";
+      case VerifyCode::MalformedUnit:      return "MalformedUnit";
+      case VerifyCode::UnguardedAccess:    return "UnguardedAccess";
+      case VerifyCode::GuardWrongRegister: return "GuardWrongRegister";
+      case VerifyCode::GuardClobbered:     return "GuardClobbered";
+      case VerifyCode::GuardNotDominating: return "GuardNotDominating";
+    }
+    return "?";
+}
+
+std::string
+VerifyResult::render() const
+{
+    if (ok())
+        return "";
+    return strcat("rejected [", verifyCodeName(code), "] at @", pc, ": ",
+                  detail);
+}
+
+namespace {
+
+constexpr int kNoTag = -1;
+
+/** How a once-proven fact was lost (rejection-diagnostic telemetry;
+ *  best-effort — not part of the convergence criterion). */
+enum class Loss : uint8_t
+{
+    None,
+    Join,   ///< fact held on some but not all joined paths
+    Killed, ///< the register was overwritten
+};
+
+/** Minimal provenance: which check idiom output this register is. */
+enum class PKind : uint8_t
+{
+    None,
+    Extract, ///< reg == full tag field of src
+    Sxt1,    ///< reg == src << tagBits (first half of the fixnum pair)
+    Detag,   ///< reg == src with the tag field cleared
+    Slot,    ///< reg mirrors the stack slot at entry-relative `slot`
+};
+
+struct VReg
+{
+    int tag = kNoTag;     ///< exact tag-field value, or kNoTag
+    bool byCheck = false; ///< proven by an executed check (not ABI/const)
+    Loss lost = Loss::None;
+    int lossPc = -1;
+    PKind prov = PKind::None;
+    Reg src = 0;
+    int32_t slot = 0;
+
+    bool
+    sameFacts(const VReg &o) const
+    {
+        return tag == o.tag && byCheck == o.byCheck && prov == o.prov &&
+               src == o.src && slot == o.slot;
+    }
+};
+
+struct VSlot
+{
+    int tag = kNoTag;
+    bool byCheck = false;
+};
+
+struct VState
+{
+    bool present = false;
+    VReg regs[32];
+    bool spKnown = false;
+    int32_t spDelta = 0;
+    std::map<int32_t, VSlot> slots;
+};
+
+class Verifier
+{
+  public:
+    Verifier(const Program &prog, const TagScheme &scheme,
+             const CompilerOptions &opts, const std::vector<int> &roots)
+        : prog_(prog), scheme_(scheme), opts_(opts), roots_(roots),
+          n_(static_cast<int>(prog.code.size()))
+    {
+        tagMask_ = (1u << scheme.tagBits()) - 1u;
+        high_ = scheme.placement() == TagPlacement::High;
+        for (TypeId t : {TypeId::Pair, TypeId::Symbol, TypeId::Vector,
+                         TypeId::String})
+            pointerTags_ |= 1ull << scheme.pointerTag(t);
+    }
+
+    VerifyResult
+    run()
+    {
+        if (!scanStructure())
+            return res_;
+        solve();
+        if (opts_.checking == Checking::Full)
+            judgeAll();
+        return res_;
+    }
+
+  private:
+    // --- structure ------------------------------------------------------
+
+    bool
+    trapping(Opcode op) const
+    {
+        return op == Opcode::Sys || op == Opcode::Ldt ||
+               op == Opcode::Stt || op == Opcode::Addt ||
+               op == Opcode::Subt;
+    }
+
+    /** Mark delay slots and check the structural rules the machine's
+     *  squash semantics depend on. Independent of analysis/cfg.cc. */
+    bool
+    scanStructure()
+    {
+        isSlot_.assign(static_cast<size_t>(n_), false);
+        for (int i = 0; i < n_; ++i) {
+            if (!isControl(prog_.code[i].op))
+                continue;
+            if (i + 2 >= n_)
+                return reject(VerifyCode::MalformedUnit, i,
+                              "delay group truncated by end of program");
+            for (int s = i + 1; s <= i + 2; ++s) {
+                const Opcode sop = prog_.code[s].op;
+                if (isControl(sop) || trapping(sop))
+                    return reject(VerifyCode::MalformedUnit, s,
+                                  strcat(opcodeName(sop),
+                                         " inside a delay slot of @", i));
+                isSlot_[s] = true;
+            }
+            i += 2;
+        }
+        for (int i = 0; i < n_; ++i) {
+            const Instruction &q = prog_.code[i];
+            if (!isControl(q.op) || q.op == Opcode::Jr ||
+                q.op == Opcode::Jalr)
+                continue;
+            if (q.target < 0 || q.target >= n_)
+                return reject(VerifyCode::MalformedUnit, i,
+                              strcat("branch target ", q.target,
+                                     " out of range"));
+            if (isSlot_[q.target])
+                return reject(VerifyCode::MalformedUnit, i,
+                              strcat("branch target @", q.target,
+                                     " lands inside a delay slot"));
+        }
+        return true;
+    }
+
+    // --- abstract domain ------------------------------------------------
+
+    bool
+    isPointerTag(int tag) const
+    {
+        return tag >= 0 && ((pointerTags_ >> tag) & 1) != 0;
+    }
+
+    VState
+    entryState() const
+    {
+        VState s;
+        s.present = true;
+        s.regs[abi::zero].tag = static_cast<int>(scheme_.primaryTag(0));
+        const int symTag =
+            static_cast<int>(scheme_.pointerTag(TypeId::Symbol));
+        s.regs[abi::treg].tag = symTag;
+        s.regs[abi::nilreg].tag = symTag;
+        if (high_)
+            s.regs[abi::maskreg].tag = 0;
+        s.regs[abi::sp].tag = 0;
+        s.regs[abi::stkbase].tag = 0;
+        s.spKnown = true;
+        s.spDelta = 0;
+        return s;
+    }
+
+    void
+    dropProvsOn(VState &s, Reg r) const
+    {
+        for (auto &v : s.regs)
+            if (v.prov != PKind::None && v.prov != PKind::Slot &&
+                v.src == r)
+                v.prov = PKind::None;
+    }
+
+    void
+    dropSlotMirrors(VState &s, int32_t off) const
+    {
+        for (auto &v : s.regs)
+            if (v.prov == PKind::Slot && v.slot == off)
+                v.prov = PKind::None;
+    }
+
+    /** A write to sp by anything but the Addi frame push/pop loses
+     *  slot tracking entirely. */
+    void
+    loseSpTracking(VState &s, Reg rd) const
+    {
+        if (rd == abi::sp) {
+            s.spKnown = false;
+            s.slots.clear();
+        }
+    }
+
+    /** Overwrite @p rd, recording the loss of a proven pointer fact. */
+    void
+    kill(VState &s, Reg rd, int pc) const
+    {
+        if (rd == abi::zero)
+            return;
+        dropProvsOn(s, rd);
+        loseSpTracking(s, rd);
+        VReg fresh;
+        if (s.regs[rd].byCheck && isPointerTag(s.regs[rd].tag)) {
+            fresh.lost = Loss::Killed;
+            fresh.lossPc = pc;
+        } else {
+            fresh.lost = s.regs[rd].lost;
+            fresh.lossPc = s.regs[rd].lossPc;
+        }
+        s.regs[rd] = fresh;
+    }
+
+    void
+    setReg(VState &s, Reg rd, VReg v) const
+    {
+        if (rd == abi::zero)
+            return;
+        // A provenance naming the register being written is stale.
+        if (v.prov != PKind::None && v.prov != PKind::Slot && v.src == rd)
+            v.prov = PKind::None;
+        dropProvsOn(s, rd);
+        loseSpTracking(s, rd);
+        s.regs[rd] = v;
+    }
+
+    /** Prove a tag on @p r (and write the fact through a slot mirror). */
+    void
+    prove(VState &s, Reg r, int tag) const
+    {
+        if (r == abi::zero)
+            return;
+        s.regs[r].tag = tag;
+        s.regs[r].byCheck = true;
+        s.regs[r].lost = Loss::None;
+        s.regs[r].lossPc = -1;
+        if (s.regs[r].prov == PKind::Slot)
+            s.slots[s.regs[r].slot] = VSlot{tag, true};
+    }
+
+    void
+    apply(VState &s, const Instruction &q, int pc) const
+    {
+        switch (q.op) {
+          case Opcode::Li: {
+            VReg v;
+            v.tag = static_cast<int>(
+                scheme_.primaryTag(static_cast<uint32_t>(q.imm)));
+            setReg(s, q.rd, v);
+            return;
+          }
+          case Opcode::Mov: {
+            VReg v = s.regs[q.rs];
+            v.lost = Loss::None;
+            v.lossPc = -1;
+            setReg(s, q.rd, v);
+            return;
+          }
+          case Opcode::Addi:
+            if (q.rd == abi::sp && q.rs == abi::sp) {
+                if (s.spKnown)
+                    s.spDelta += static_cast<int32_t>(q.imm);
+                return; // sp keeps its tag-0 fact
+            }
+            if (q.imm == 0) {
+                VReg v = s.regs[q.rs];
+                v.lost = Loss::None;
+                v.lossPc = -1;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          case Opcode::And:
+            // And with the data-part mask register is a detag — but
+            // only while maskreg provably still holds the mask.
+            if (high_ && (q.rs == abi::maskreg || q.rt == abi::maskreg) &&
+                s.regs[abi::maskreg].tag == 0 &&
+                s.regs[abi::maskreg].prov == PKind::None) {
+                const Reg other = q.rs == abi::maskreg ? q.rt : q.rs;
+                VReg v;
+                v.tag = 0; // tag field masked off
+                v.prov = PKind::Detag;
+                v.src = other;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          case Opcode::Andi: {
+            const uint32_t imm = static_cast<uint32_t>(q.imm);
+            if (!high_ && imm == ~tagMask_ && q.rd != q.rs) {
+                VReg v;
+                v.tag = 0;
+                v.prov = PKind::Detag;
+                v.src = q.rs;
+                setReg(s, q.rd, v);
+                return;
+            }
+            if (imm == tagMask_ && !high_ && q.rd != q.rs) {
+                VReg v;
+                v.prov = PKind::Extract;
+                v.src = q.rs;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          }
+          case Opcode::Srli:
+            if (high_ && q.imm == static_cast<int64_t>(scheme_.tagShift()) &&
+                q.rd != q.rs) {
+                VReg v;
+                v.prov = PKind::Extract;
+                v.src = q.rs;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          case Opcode::Slli:
+            if (q.imm == static_cast<int64_t>(scheme_.tagBits()) &&
+                q.rd != q.rs) {
+                VReg v;
+                v.prov = PKind::Sxt1;
+                v.src = q.rs;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          case Opcode::Ld:
+            if (q.rs == abi::sp && s.spKnown) {
+                const int32_t off =
+                    s.spDelta + static_cast<int32_t>(q.imm);
+                VReg v;
+                auto it = s.slots.find(off);
+                if (it != s.slots.end()) {
+                    v.tag = it->second.tag;
+                    v.byCheck = it->second.byCheck;
+                }
+                v.prov = PKind::Slot;
+                v.slot = off;
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          case Opcode::Ldt:
+            kill(s, q.rd, pc);
+            prove(s, q.rs, static_cast<int>(q.timm));
+            return;
+          case Opcode::St:
+          case Opcode::Stt:
+            if (q.rs == abi::sp && s.spKnown) {
+                const int32_t off =
+                    s.spDelta + static_cast<int32_t>(q.imm);
+                dropSlotMirrors(s, off);
+                s.slots[off] =
+                    VSlot{s.regs[q.rt].tag, s.regs[q.rt].byCheck};
+                if (q.rt != abi::zero) {
+                    s.regs[q.rt].prov = PKind::Slot;
+                    s.regs[q.rt].slot = off;
+                }
+            }
+            // Non-sp stores never touch the verified frame's slots
+            // (the compiler's stack discipline; docs/ANALYSIS.md).
+            if (q.op == Opcode::Stt)
+                prove(s, q.rs, static_cast<int>(q.timm));
+            return;
+          case Opcode::Ori: {
+            // Tag insertion onto a clean tag-0 base (tagging a fresh
+            // heap address): the result carries exactly imm's tag.
+            const uint32_t imm = static_cast<uint32_t>(q.imm);
+            const uint32_t fieldMask = tagMask_ << scheme_.tagShift();
+            if (imm != 0 && (imm & ~fieldMask) == 0 &&
+                s.regs[q.rs].tag == 0) {
+                VReg v;
+                v.tag = static_cast<int>(scheme_.primaryTag(imm));
+                setReg(s, q.rd, v);
+                return;
+            }
+            kill(s, q.rd, pc);
+            return;
+          }
+          case Opcode::Srai:
+          default: {
+            // Srai completing a sign-extension pair proves nothing the
+            // list verifier needs (fixnum facts feed arithmetic checks
+            // only), so it and every remaining op just kill their
+            // destination.
+            const int wr = q.writeReg();
+            if (wr >= 0)
+                kill(s, static_cast<Reg>(wr), pc);
+            return;
+          }
+        }
+    }
+
+    /** Branch-condition refinement on one outgoing direction. */
+    void
+    refine(VState &s, const Instruction &x, bool taken) const
+    {
+        switch (x.op) {
+          case Opcode::Beqi:
+          case Opcode::Bnei: {
+            const VReg &v = s.regs[x.rs];
+            if (v.prov != PKind::Extract)
+                return;
+            const bool eqEdge = (x.op == Opcode::Beqi) == taken;
+            if (eqEdge)
+                prove(s, v.src,
+                      static_cast<int>(static_cast<uint32_t>(x.imm) &
+                                       tagMask_));
+            return;
+          }
+          case Opcode::Btag:
+          case Opcode::Bntag: {
+            const bool eqEdge = (x.op == Opcode::Btag) == taken;
+            if (eqEdge)
+                prove(s, x.rs, static_cast<int>(x.timm));
+            return;
+          }
+          default:
+            return;
+        }
+    }
+
+    /** Caller-visible effect of a call returning. */
+    void
+    clobber(VState &s, int pc) const
+    {
+        const VState entry = entryState();
+        for (int r = 0; r < 32; ++r) {
+            switch (r) {
+              case abi::zero:
+              case abi::treg:
+              case abi::nilreg:
+              case abi::maskreg:
+              case abi::stkbase:
+              case abi::sp:
+                if (s.regs[r].prov != PKind::None &&
+                    s.regs[r].prov != PKind::Slot)
+                    s.regs[r].prov = PKind::None;
+                break;
+              default:
+                kill(s, static_cast<Reg>(r), pc);
+                s.regs[r].tag = entry.regs[r].tag;
+                break;
+            }
+        }
+        // Slot facts survive: callees only touch frames below the
+        // caller's sp, and the GC forwards pointers tag-preservingly.
+    }
+
+    // --- join and propagation -------------------------------------------
+
+    /** Join @p src into @p dst; true if dst's *facts* changed (loss
+     *  telemetry is carried along but never drives the worklist). */
+    bool
+    joinInto(VState &dst, const VState &src, int pc) const
+    {
+        if (!src.present)
+            return false;
+        if (!dst.present) {
+            dst = src;
+            return true;
+        }
+        bool changed = false;
+        for (int r = 0; r < 32; ++r) {
+            VReg &d = dst.regs[r];
+            const VReg &o = src.regs[r];
+            VReg m = d;
+            if (d.tag != o.tag)
+                m.tag = kNoTag;
+            m.byCheck = d.byCheck && o.byCheck && m.tag != kNoTag;
+            if (!(d.prov == o.prov && d.src == o.src && d.slot == o.slot))
+                m.prov = PKind::None;
+            const bool dProven = isPointerTag(d.tag) && d.byCheck;
+            const bool oProven = isPointerTag(o.tag) && o.byCheck;
+            if ((dProven || oProven) &&
+                !(isPointerTag(m.tag) && m.byCheck)) {
+                // A proof that held on either side but not after the
+                // merge was path-dependent — remember where it died.
+                m.lost = Loss::Join;
+                m.lossPc = pc;
+            } else if (m.lost == Loss::None && o.lost != Loss::None) {
+                m.lost = o.lost;
+                m.lossPc = o.lossPc;
+            }
+            if (!m.sameFacts(d))
+                changed = true;
+            d = m;
+        }
+        if (dst.spKnown && (!src.spKnown || dst.spDelta != src.spDelta)) {
+            dst.spKnown = false;
+            dst.slots.clear();
+            changed = true;
+        } else if (dst.spKnown) {
+            for (auto it = dst.slots.begin(); it != dst.slots.end();) {
+                auto o = src.slots.find(it->first);
+                if (o == src.slots.end() ||
+                    o->second.tag != it->second.tag) {
+                    it = dst.slots.erase(it);
+                    changed = true;
+                } else {
+                    if (it->second.byCheck && !o->second.byCheck) {
+                        it->second.byCheck = false;
+                        changed = true;
+                    }
+                    ++it;
+                }
+            }
+        }
+        return changed;
+    }
+
+    void
+    propagate(int pc, const VState &s)
+    {
+        if (pc < 0 || pc >= n_ || !s.present)
+            return;
+        if (joinInto(in_[pc], s, pc) && !inWl_[pc]) {
+            inWl_[pc] = true;
+            wl_.push_back(pc);
+        }
+    }
+
+    bool
+    slotsExecute(const Instruction &x, bool taken) const
+    {
+        if (!isCondBranch(x.op))
+            return true;
+        switch (x.annul) {
+          case Annul::Never:      return true;
+          case Annul::OnTaken:    return !taken;
+          case Annul::OnNotTaken: return taken;
+        }
+        return true;
+    }
+
+    /** Step a control-transfer group [pc, pc+2] from @p s0, invoking
+     *  @p sink(destPc, state) per outgoing direction (destPc -1 = path
+     *  ends) and @p judge(slotPc, state) per executed slot. */
+    template <typename Sink, typename Judge>
+    void
+    stepGroup(int pc, const VState &s0, Sink &&sink, Judge &&judge) const
+    {
+        const Instruction &x = prog_.code[pc];
+        auto runSlots = [&](VState &s, bool taken) {
+            if (!slotsExecute(x, taken))
+                return;
+            for (int si = pc + 1; si <= pc + 2; ++si) {
+                judge(si, s);
+                apply(s, prog_.code[si], si);
+            }
+        };
+        if (isCondBranch(x.op)) {
+            for (bool taken : {true, false}) {
+                VState s = s0;
+                refine(s, x, taken);
+                runSlots(s, taken);
+                sink(taken ? x.target : pc + 3, s);
+            }
+            return;
+        }
+        VState s = s0;
+        apply(s, x, pc); // Jal/Jalr write the link register
+        runSlots(s, /*taken=*/true);
+        switch (x.op) {
+          case Opcode::J:
+            sink(x.target, s);
+            return;
+          case Opcode::Jal:
+          case Opcode::Jalr:
+            clobber(s, pc);
+            sink(pc + 3, s);
+            return;
+          case Opcode::Jr:
+          default:
+            sink(-1, s); // return: path ends here
+            return;
+        }
+    }
+
+    void
+    solve()
+    {
+        in_.assign(static_cast<size_t>(n_), VState{});
+        inWl_.assign(static_cast<size_t>(n_), false);
+        const VState entry = entryState();
+        std::vector<int> rootPcs = roots_;
+        for (const auto &[name, idx] : prog_.symbols) {
+            (void)name;
+            rootPcs.push_back(idx);
+        }
+        for (int r : rootPcs) {
+            if (r < 0 || r >= n_ || isSlot_[r])
+                continue;
+            propagate(r, entry);
+        }
+        // Exact tags only descend (known -> unknown), slot maps only
+        // shrink, so the per-pc lattice is finite and this converges;
+        // the budget guards against implementation bugs.
+        size_t budget = static_cast<size_t>(n_ + 1) * 4096;
+        while (!wl_.empty()) {
+            MXL_ASSERT(budget-- > 0,
+                       "verifier worklist failed to converge");
+            const int pc = wl_.front();
+            wl_.pop_front();
+            inWl_[pc] = false;
+            const VState s0 = in_[pc];
+            if (!s0.present)
+                continue;
+            const Instruction &q = prog_.code[pc];
+            if (isControl(q.op)) {
+                stepGroup(
+                    pc, s0,
+                    [&](int dest, const VState &s) { propagate(dest, s); },
+                    [&](int, const VState &) {});
+                continue;
+            }
+            if (q.op == Opcode::Sys &&
+                (q.imm == static_cast<int64_t>(SysCode::Halt) ||
+                 q.imm == static_cast<int64_t>(SysCode::Error)))
+                continue; // execution stops
+            VState s = s0;
+            apply(s, q, pc);
+            propagate(pc + 1, s);
+        }
+    }
+
+    // --- judgment -------------------------------------------------------
+
+    std::string
+    pcName(int pc) const
+    {
+        const auto syms = sortedSymbols(prog_);
+        const std::pair<int, std::string> *best = nullptr;
+        for (const auto &s : syms) {
+            if (s.first > pc)
+                break;
+            best = &s;
+        }
+        if (!best)
+            return strcat("@", pc);
+        if (best->first == pc)
+            return best->second;
+        return strcat(best->second, "+", pc - best->first);
+    }
+
+    bool
+    reject(VerifyCode code, int pc, std::string detail)
+    {
+        if (!res_.ok())
+            return false; // keep the first (lowest-pc) rejection
+        res_.code = code;
+        res_.pc = pc;
+        res_.detail = strcat(detail, " [", pcName(pc), "]");
+        return false;
+    }
+
+    void
+    judgeAccess(const VState &s, int pc)
+    {
+        const Instruction &q = prog_.code[pc];
+        if (q.op == Opcode::Ldt || q.op == Opcode::Stt) {
+            if (q.ann.cat == CheckCat::List)
+                ++res_.accessesTrusted;
+            return;
+        }
+        if ((q.op != Opcode::Ld && q.op != Opcode::St) ||
+            q.ann.cat != CheckCat::List)
+            return;
+        // sp-relative accesses address the frame, not the heap: they
+        // are stack-discipline territory (slot spills/reloads — e.g. a
+        // hoisted check's slot read carries the check's category), not
+        // list accesses needing a pointer-tag guard.
+        if (q.rs == abi::sp)
+            return;
+        const Reg base = q.rs;
+        Reg eff = base;
+        if (s.regs[base].prov == PKind::Detag)
+            eff = s.regs[base].src;
+        const VReg &v = s.regs[eff];
+        if (isPointerTag(v.tag)) {
+            ++res_.accessesProven;
+            return;
+        }
+        if (v.lost == Loss::Killed) {
+            reject(VerifyCode::GuardClobbered, pc,
+                   strcat("guard on r", int{eff},
+                          " was overwritten at @", v.lossPc,
+                          " before this access"));
+            return;
+        }
+        if (v.lost == Loss::Join) {
+            reject(VerifyCode::GuardNotDominating, pc,
+                   strcat("guard on r", int{eff},
+                          " does not hold on every path (lost at join "
+                          "@", v.lossPc, ")"));
+            return;
+        }
+        for (int r = 0; r < 32; ++r) {
+            if (r == int{eff} || r == int{base})
+                continue;
+            if (s.regs[r].byCheck && isPointerTag(s.regs[r].tag)) {
+                reject(VerifyCode::GuardWrongRegister, pc,
+                       strcat("base r", int{eff}, " is unproven, but a "
+                              "live guard proves r", r,
+                              " — guard on the wrong register"));
+                return;
+            }
+        }
+        reject(VerifyCode::UnguardedAccess, pc,
+               strcat("no tag guard proves base r", int{eff},
+                      " on any path to this access"));
+    }
+
+    void
+    judgeAll()
+    {
+        for (int pc = 0; pc < n_ && res_.ok(); ++pc) {
+            if (isSlot_[pc] || !in_[pc].present)
+                continue;
+            const Instruction &q = prog_.code[pc];
+            if (isControl(q.op)) {
+                // Delay slots are judged under the per-direction state
+                // they actually execute in (squash-aware).
+                stepGroup(
+                    pc, in_[pc], [&](int, const VState &) {},
+                    [&](int si, const VState &s) { judgeAccess(s, si); });
+                continue;
+            }
+            judgeAccess(in_[pc], pc);
+        }
+    }
+
+    const Program &prog_;
+    const TagScheme &scheme_;
+    const CompilerOptions &opts_;
+    std::vector<int> roots_;
+    const int n_;
+
+    uint32_t tagMask_ = 0;
+    bool high_ = false;
+    uint64_t pointerTags_ = 0;
+
+    std::vector<bool> isSlot_;
+    std::vector<VState> in_;
+    std::vector<bool> inWl_;
+    std::deque<int> wl_;
+
+    VerifyResult res_;
+};
+
+} // namespace
+
+VerifyResult
+verifyProgram(const Program &prog, const TagScheme &scheme,
+              const CompilerOptions &opts,
+              const std::vector<int> &extraRoots)
+{
+    return Verifier(prog, scheme, opts, extraRoots).run();
+}
+
+VerifyResult
+verifyUnit(const CompiledUnit &unit)
+{
+    std::vector<int> roots;
+    for (int r : {unit.entry, unit.arithTrap, unit.tagTrap})
+        if (r >= 0)
+            roots.push_back(r);
+    return verifyProgram(unit.prog, *unit.scheme, unit.opts, roots);
+}
+
+} // namespace mxl

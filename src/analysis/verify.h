@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Load-time tag-discipline verifier: an independent abstract
+ * interpreter that re-proves, from nothing but the linked instruction
+ * stream, that every list-class memory access in a unit is tag-guarded
+ * on every path.
+ *
+ * This is deliberately NOT shared code with the optimizer stack
+ * (analysis/tagflow.h, analysis/checkplace.h): the optimizer is
+ * untrusted and its output is re-proven here, so the two cannot share a
+ * bug. The verifier is the trusted computing base and is kept simpler
+ * than the optimizer on every axis:
+ *
+ *   - It runs at instruction granularity (no basic-block layer; delay
+ *     groups are stepped atomically per branch direction, mirroring
+ *     the machine's squash semantics directly).
+ *   - Its domain is an *exact* tag per register (known value or
+ *     unknown), not the optimizer's tag *bitsets*; plus the minimal
+ *     provenance needed to connect the compiler's check idioms to the
+ *     values they prove, and the same entry-relative stack-slot facts
+ *     the optimizer's soundness argument rests on (docs/ANALYSIS.md).
+ *   - It only ever *weakens* facts at joins and kills; there is no
+ *     never-taken-edge pruning, no redundancy reasoning, no rewriting.
+ *
+ * Rejections carry a structured code chosen by *why* the proof failed
+ * at the offending access: the guarded fact was overwritten
+ * (GuardClobbered, e.g. a check clobbered in a delay slot), the fact
+ * held on some but not all paths (GuardNotDominating, e.g. a hoisted
+ * check that no longer dominates its use), a live guard proves a
+ * different register (GuardWrongRegister), or no guard exists at all
+ * (UnguardedAccess).
+ */
+
+#ifndef MXLISP_ANALYSIS_VERIFY_H_
+#define MXLISP_ANALYSIS_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "compiler/options.h"
+#include "compiler/unit.h"
+#include "isa/instruction.h"
+#include "tags/tag_scheme.h"
+
+namespace mxl {
+
+enum class VerifyCode
+{
+    Ok,
+    MalformedUnit,      ///< delay-group/target structure is broken
+    UnguardedAccess,    ///< no guard for the access's base on any path
+    GuardWrongRegister, ///< a live guard exists, on a different register
+    GuardClobbered,     ///< the guarded fact was overwritten before use
+    GuardNotDominating, ///< the guard covers only some paths to the use
+};
+
+const char *verifyCodeName(VerifyCode c);
+
+struct VerifyResult
+{
+    VerifyCode code = VerifyCode::Ok;
+    int pc = -1;         ///< offending instruction (rejections)
+    std::string detail;  ///< human-readable diagnostic
+
+    int accessesProven = 0;  ///< list accesses proven software-guarded
+    int accessesTrusted = 0; ///< hardware-checked (Ldt/Stt) accesses
+
+    bool ok() const { return code == VerifyCode::Ok; }
+    /** "rejected [Code] at pc: detail" (empty when ok). */
+    std::string render() const;
+};
+
+/**
+ * Verify @p prog under @p scheme / @p opts. Roots are the exported
+ * symbols plus @p extraRoots (entry point and trap handlers when
+ * verifying an installed unit). Under Checking::Off only the
+ * structural rules are enforced (no guards exist to prove).
+ */
+VerifyResult verifyProgram(const Program &prog, const TagScheme &scheme,
+                           const CompilerOptions &opts,
+                           const std::vector<int> &extraRoots = {});
+
+/** Verify a compiled unit (roots: entry and installed trap handlers). */
+VerifyResult verifyUnit(const CompiledUnit &unit);
+
+} // namespace mxl
+
+#endif // MXLISP_ANALYSIS_VERIFY_H_

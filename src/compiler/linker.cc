@@ -1,11 +1,13 @@
 #include "compiler/linker.h"
 
+#include "analysis/verify.h"
 #include "support/panic.h"
 
 namespace mxl {
 
 Program
-link(const AsmBuffer &buf, bool requireAnnotations)
+link(const AsmBuffer &buf, bool requireAnnotations,
+     const LinkVerify *verify)
 {
     Program prog;
     prog.labelNames = buf.labelNames();
@@ -41,6 +43,14 @@ link(const AsmBuffer &buf, bool requireAnnotations)
                        buf.labelNames()[id]);
             prog.symbols[buf.labelNames()[id]] = target[id];
         }
+    }
+
+    if (verify && verify->scheme && verify->opts) {
+        VerifyResult res =
+            verifyProgram(prog, *verify->scheme, *verify->opts);
+        if (!res.ok())
+            fatal("linked program rejected by tag-discipline verifier: ",
+                  res.render());
     }
     return prog;
 }

@@ -12,14 +12,34 @@
 
 namespace mxl {
 
+class TagScheme;
+struct CompilerOptions;
+
+/**
+ * Optional load-time verification gate for link(). When supplied, the
+ * linked program is handed to the independent tag-discipline verifier
+ * (analysis/verify.h) rooted at its exported symbols, and link()
+ * throws on rejection — the compiled binary never reaches execution
+ * with an unguarded list access. Enabled from compileUnit() by
+ * CompilerOptions::verifyLinked.
+ */
+struct LinkVerify
+{
+    const TagScheme *scheme = nullptr;
+    const CompilerOptions *opts = nullptr;
+};
+
 /**
  * Link @p buf; throws on undefined labels. With @p requireAnnotations,
  * also throws if any emitted instruction carries no explicit Purpose
  * annotation (Annotation::stamped) — the completeness guarantee the
  * static analyzer (src/analysis/) relies on for idiom recognition. The
  * compiler links with it on; hand-built test buffers default to off.
+ * With @p verify, the linked program must additionally pass the
+ * tag-discipline verifier (see LinkVerify).
  */
-Program link(const AsmBuffer &buf, bool requireAnnotations = false);
+Program link(const AsmBuffer &buf, bool requireAnnotations = false,
+             const LinkVerify *verify = nullptr);
 
 } // namespace mxl
 

@@ -59,6 +59,17 @@ struct CompilerOptions
      */
     bool overlapChecks = false;
 
+    /**
+     * Gate linking on the independent load-time tag-discipline
+     * verifier (analysis/verify.h): link() re-proves from the final
+     * instruction stream that every list access is tag-guarded and
+     * throws on rejection, so a codegen/scheduler bug fails the
+     * compile instead of producing a silently unguarded binary. Off by
+     * default; the same verifier also re-proves every
+     * Hooks::unitTransform result inside the Engine.
+     */
+    bool verifyLinked = false;
+
     /** Memory layout parameters (bytes). */
     uint32_t memBytes = 32u << 20;
     uint32_t staticBytes = 4u << 20;

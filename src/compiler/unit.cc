@@ -106,7 +106,9 @@ compileUnit(const std::string &userSource, const CompilerOptions &opts)
     cg.compileMain(topForms);
 
     scheduleDelaySlots(buf, opts.fillDelaySlots, opts.overlapChecks);
-    unit.prog = link(buf, /*requireAnnotations=*/true);
+    const LinkVerify gate{unit.scheme.get(), &opts};
+    unit.prog = link(buf, /*requireAnnotations=*/true,
+                     opts.verifyLinked ? &gate : nullptr);
 
     // Patch symbol function cells so `apply` can reach every compiled
     // function through its symbol.

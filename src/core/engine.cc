@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "analysis/verify.h"
 #include "exec/texec.h"
 #include "support/panic.h"
 
@@ -112,6 +113,7 @@ Engine::cacheKey(const std::string &source, const CompilerOptions &o,
     k += o.hw.memTagging ? '1' : '0';
     k += o.fillDelaySlots ? '1' : '0';
     k += o.overlapChecks ? '1' : '0';
+    k += o.verifyLinked ? '1' : '0';
     k += '|';
     k += std::to_string(o.memBytes);
     k += ',';
@@ -278,6 +280,13 @@ Engine::execute(const RunRequest &req)
                     unit = req.hooks.unitTransform(unit);
                     if (!unit)
                         fatal("unitTransform returned a null unit");
+                    if (req.hooks.verifyTransformed && unit != c.unit) {
+                        VerifyResult ver = verifyUnit(*unit);
+                        if (!ver.ok())
+                            fatal("transformed unit rejected by "
+                                  "load-time verifier: ",
+                                  ver.render());
+                    }
                 }
                 Memory image = expandImage(*unit);
                 if (req.hooks.imageMutator)

@@ -185,6 +185,18 @@ struct Hooks
         std::shared_ptr<const CompiledUnit>)>
         unitTransform;
 
+    /**
+     * Re-prove tag discipline on whatever unitTransform returns before
+     * it executes (analysis/verify.h). The transform is untrusted code
+     * by design — the independent verifier is the trusted base — so a
+     * rewriter bug surfaces as a structured InternalError ("transformed
+     * unit rejected by load-time verifier: ...") instead of a silently
+     * wrong simulation. On by default; meaningless without a
+     * unitTransform. Skipped when the transform returns the cached
+     * unit unchanged.
+     */
+    bool verifyTransformed = true;
+
     /** True when any hook set here requires the interpreter's seams. */
     bool needsInterpreter() const
     {

@@ -1,0 +1,124 @@
+# Verdict and exit-code tests for bench_diff --checks, the
+# check-placement regression gate over BENCH_checkelim.json exports:
+#   exit 0  — proven checks held, verifier still accepts, cycles within
+#             the threshold
+#   exit 1  — proven-check regression, lost verifier acceptance, or
+#             place-cycle growth beyond the threshold
+#   exit 2  — document without check-placement cells (a BENCH_*.json
+#             from another bench must never pass an empty gate)
+#
+# ctest can assert PASS/FAIL but not specific exit codes, so this runs
+# as a -P script:
+#   cmake -DBENCH_DIFF=<path-to-binary> -P bench_diff_checks.cmake
+
+if(NOT DEFINED BENCH_DIFF)
+  message(FATAL_ERROR "pass -DBENCH_DIFF=<path to bench_diff>")
+endif()
+
+set(workdir "${CMAKE_CURRENT_BINARY_DIR}/bench_diff_checks.tmp")
+file(REMOVE_RECURSE "${workdir}")
+file(MAKE_DIRECTORY "${workdir}")
+
+# Two-program baseline: the shape bench_checkelim writes.
+function(write_doc path p1_proven p1_cycles p1_ver p2_proven p2_cycles)
+  file(WRITE "${path}"
+       "{\"grid\": ["
+       "{\"program\": \"alpha\", \"label\": \"alpha\", "
+       "\"stats\": {\"total\": ${p1_cycles}}, "
+       "\"provenChecks\": ${p1_proven}, "
+       "\"placeCycles\": ${p1_cycles}, "
+       "\"verifierAccepts\": ${p1_ver}}, "
+       "{\"program\": \"beta\", \"label\": \"beta\", "
+       "\"stats\": {\"total\": ${p2_cycles}}, "
+       "\"provenChecks\": ${p2_proven}, "
+       "\"placeCycles\": ${p2_cycles}, "
+       "\"verifierAccepts\": true}"
+       "]}")
+endfunction()
+
+write_doc("${workdir}/before.json"      150 1000000 true  80 2000000)
+write_doc("${workdir}/same.json"        150 1000000 true  80 2000000)
+# +0.5% cycles: inside the default 1% tolerance.
+write_doc("${workdir}/jitter.json"      150 1005000 true  80 2000000)
+# +2% cycles on alpha: a real place-cycle regression.
+write_doc("${workdir}/slower.json"      150 1020000 true  80 2000000)
+# alpha proves fewer checks than before.
+write_doc("${workdir}/fewer.json"       140 1000000 true  80 2000000)
+# alpha's transformed unit no longer verifies.
+write_doc("${workdir}/unverified.json"  150 1000000 false 80 2000000)
+
+# A valid bench export from a different harness: grid, but no
+# provenChecks anywhere.
+file(WRITE "${workdir}/other_bench.json"
+     "{\"grid\": [{\"label\": \"x\", \"stats\": {\"total\": 100}}]}")
+
+set(failures 0)
+
+# expect_case(<name> <expected-rc> <output-substring> <args...>)
+function(expect_case name expected_rc expected_text)
+  execute_process(
+    COMMAND "${BENCH_DIFF}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(NOT rc EQUAL ${expected_rc})
+    set(ok FALSE)
+    message(WARNING "${name}: exit ${rc}, expected ${expected_rc}")
+  endif()
+  if(NOT "${expected_text}" STREQUAL "" AND
+     NOT "${err}${out}" MATCHES "${expected_text}")
+    set(ok FALSE)
+    message(WARNING
+            "${name}: output missing \"${expected_text}\";\n"
+            "output was: ${err}${out}")
+  endif()
+  if(ok)
+    message(STATUS "PASS  ${name}")
+  else()
+    math(EXPR n "${failures} + 1")
+    set(failures ${n} PARENT_SCOPE)
+  endif()
+endfunction()
+
+set(before "${workdir}/before.json")
+
+# Identical and within-tolerance documents pass.
+expect_case(checks_self_diff 0 "PASS"
+            --checks "${before}" "${workdir}/same.json")
+expect_case(checks_jitter_within_threshold 0 "PASS"
+            --checks "${before}" "${workdir}/jitter.json")
+
+# Each regression class fails with its own wording.
+expect_case(checks_cycle_regression 1 "place-cycle regression"
+            --checks "${before}" "${workdir}/slower.json")
+expect_case(checks_proven_regression 1 "proven-check regression"
+            --checks "${before}" "${workdir}/fewer.json")
+expect_case(checks_verifier_rejection 1 "verifier no longer accepts"
+            --checks "${before}" "${workdir}/unverified.json")
+
+# A tighter threshold turns tolerated jitter into a failure; a looser
+# one forgives the 2% growth.
+expect_case(checks_tight_threshold 1 "place-cycle regression"
+            --checks --threshold 0.1
+            "${before}" "${workdir}/jitter.json")
+expect_case(checks_loose_threshold 0 "PASS"
+            --checks --threshold 5
+            "${before}" "${workdir}/slower.json")
+
+# A grid without check-placement cells is an input error, not a pass.
+expect_case(checks_wrong_bench 2 "no check-placement cells"
+            --checks "${workdir}/other_bench.json" "${before}")
+expect_case(checks_wrong_bench_after 2 "no check-placement cells"
+            --checks "${before}" "${workdir}/other_bench.json")
+
+# Mode exclusivity keeps exiting 2.
+expect_case(checks_and_coverage 2 "usage"
+            --checks --coverage "${before}" "${before}")
+
+file(REMOVE_RECURSE "${workdir}")
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} bench_diff --checks case(s) failed")
+endif()
+message(STATUS "all bench_diff --checks cases passed")

@@ -6,6 +6,7 @@
  *     bench_diff --backends FILE.json
  *     bench_diff --coverage BEFORE.json AFTER.json
  *     bench_diff --latency [--threshold PCT] BEFORE.json AFTER.json
+ *     bench_diff --checks [--threshold PCT] BEFORE.json AFTER.json
  *
  * Two-file mode pairs grid cells by label and prints each one's
  * simulated-cycle delta (stats.total — deterministic per commit,
@@ -42,6 +43,16 @@
  * a regression). Bucketed percentiles are upper bounds: the gate
  * compares like against like, both sides quantized the same way.
  *
+ * --checks mode compares two BENCH_checkelim.json exports from the
+ * check-placement ladder (bench/bench_checkelim.cc), pairing cells by
+ * program. A cell fails when its verifier-proven check count
+ * ("provenChecks") dropped — the placement engine stopped proving
+ * guards it used to prove — when the independent verifier stopped
+ * accepting its transformed unit, or when its place-rung cycle count
+ * ("placeCycles") grew by more than the threshold (default 1%, not the
+ * two-file mode's 0%: placement interacts with the scheduler, so a
+ * little cycle jitter is expected but a real regression is not).
+ *
  * Documents that carry an engine metrics snapshot are also checked for
  * static-verifier regressions: any "mxlint.<unit>.errors" counter that
  * increased (or appeared nonzero) between BEFORE and AFTER fails the
@@ -77,6 +88,8 @@ usage()
                  "       bench_diff --backends FILE.json\n"
                  "       bench_diff --coverage BEFORE.json AFTER.json\n"
                  "       bench_diff --latency [--threshold PCT] "
+                 "BEFORE.json AFTER.json\n"
+                 "       bench_diff --checks [--threshold PCT] "
                  "BEFORE.json AFTER.json\n");
     return 2;
 }
@@ -508,15 +521,149 @@ diffLatency(const mxl::Json &before, const mxl::Json &after,
     return failed ? 1 : 0;
 }
 
+/** One check-placement cell parsed from a BENCH_checkelim.json grid. */
+struct CheckCell
+{
+    std::string name;
+    uint64_t proven = 0;      ///< verifier-proven guarded accesses
+    uint64_t placeCycles = 0; ///< place-rung simulated cycles
+    bool verifierAccepts = true;
+};
+
+/**
+ * Extract the check-placement cells of @p doc (cells carrying a
+ * "provenChecks" field). False with a diagnostic when the document has
+ * no grid or no such cell — a BENCH_*.json from another bench must
+ * exit 2, not pass an empty gate.
+ */
+bool
+extractCheckCells(const mxl::Json &doc, const std::string &path,
+                  std::vector<CheckCell> *out)
+{
+    const mxl::Json *grid = doc.find("grid");
+    if (!grid && doc.isArray())
+        grid = &doc;
+    if (!grid || !grid->isArray()) {
+        std::fprintf(stderr, "bench_diff: %s has no bench grid\n",
+                     path.c_str());
+        return false;
+    }
+    for (size_t i = 0; i < grid->size(); ++i) {
+        const mxl::Json &cell = grid->at(i);
+        const mxl::Json *proven = cell.find("provenChecks");
+        if (!proven || !proven->isNumber())
+            continue;
+        CheckCell c;
+        const mxl::Json *name = cell.find("program");
+        if (!name)
+            name = cell.find("label");
+        if (!name || !name->isString())
+            continue;
+        c.name = name->str();
+        c.proven = proven->asUint();
+        const mxl::Json *cycles = cell.find("placeCycles");
+        if (!cycles) {
+            const mxl::Json *stats = cell.find("stats");
+            cycles = stats ? stats->find("total") : nullptr;
+        }
+        c.placeCycles = cycles && cycles->isNumber() ? cycles->asUint() : 0;
+        const mxl::Json *ver = cell.find("verifierAccepts");
+        c.verifierAccepts = !ver || ver->asBool();
+        out->push_back(std::move(c));
+    }
+    if (out->empty()) {
+        std::fprintf(stderr,
+                     "bench_diff: %s has no check-placement cells "
+                     "(expected provenChecks in a BENCH_checkelim.json "
+                     "export)\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * --checks mode: proven-check and place-cycle regression gate between
+ * two BENCH_checkelim.json documents. Exit-status semantics match
+ * main(): 0 pass, 1 when a program lost proven checks, lost verifier
+ * acceptance, or grew its place cycles beyond the threshold, 2 on a
+ * document without check-placement cells.
+ */
+int
+diffChecks(const mxl::Json &before, const mxl::Json &after,
+           const std::string &beforePath, const std::string &afterPath,
+           double thresholdPct)
+{
+    std::vector<CheckCell> b, a;
+    if (!extractCheckCells(before, beforePath, &b) ||
+        !extractCheckCells(after, afterPath, &a))
+        return 2;
+    auto beforeCell = [&](const std::string &name) -> const CheckCell * {
+        for (const CheckCell &c : b)
+            if (c.name == name)
+                return &c;
+        return nullptr;
+    };
+
+    bool failed = false;
+    for (const CheckCell &ac : a) {
+        const CheckCell *bc = beforeCell(ac.name);
+        if (!bc) {
+            std::printf("NEW   %-10s %6llu proven (no before data; not "
+                        "gated)\n",
+                        ac.name.c_str(),
+                        static_cast<unsigned long long>(ac.proven));
+            continue;
+        }
+        bool bad = false;
+        std::string why;
+        if (!ac.verifierAccepts) {
+            bad = true;
+            why = "verifier no longer accepts the transformed unit";
+        } else if (ac.proven < bc->proven) {
+            bad = true;
+            why = "proven-check regression";
+        }
+        const double limit = static_cast<double>(bc->placeCycles) *
+                             (1.0 + thresholdPct / 100.0);
+        const double cyclePct =
+            bc->placeCycles
+                ? (static_cast<double>(ac.placeCycles) /
+                       static_cast<double>(bc->placeCycles) -
+                   1.0) * 100.0
+                : 0.0;
+        if (!bad && bc->placeCycles > 0 &&
+            static_cast<double>(ac.placeCycles) > limit) {
+            bad = true;
+            why = "place-cycle regression";
+        }
+        std::printf("%s  %-10s proven %4llu -> %4llu   cycles %10llu -> "
+                    "%10llu (%+.2f%%)%s%s\n",
+                    bad ? "FAIL" : "OK  ", ac.name.c_str(),
+                    static_cast<unsigned long long>(bc->proven),
+                    static_cast<unsigned long long>(ac.proven),
+                    static_cast<unsigned long long>(bc->placeCycles),
+                    static_cast<unsigned long long>(ac.placeCycles),
+                    cyclePct, bad ? " — " : "", why.c_str());
+        failed = failed || bad;
+    }
+    std::printf("%s  check placement (proven-check + cycle gate, "
+                "threshold %.1f%%)\n",
+                failed ? "FAIL" : "PASS", thresholdPct);
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     double thresholdPct = 0.0;
+    bool thresholdSet = false;
     bool backendsMode = false;
     bool coverageMode = false;
     bool latencyMode = false;
+    bool checksMode = false;
     std::string paths[2];
     int nPaths = 0;
     for (int i = 1; i < argc; ++i) {
@@ -527,6 +674,8 @@ main(int argc, char **argv)
             coverageMode = true;
         } else if (arg == "--latency") {
             latencyMode = true;
+        } else if (arg == "--checks") {
+            checksMode = true;
         } else if (arg == "--threshold") {
             if (++i >= argc)
                 return usage();
@@ -534,6 +683,7 @@ main(int argc, char **argv)
             thresholdPct = std::strtod(argv[i], &end);
             if (!end || *end != '\0')
                 return usage();
+            thresholdSet = true;
         } else if (nPaths < 2) {
             paths[nPaths++] = arg;
         } else {
@@ -541,14 +691,15 @@ main(int argc, char **argv)
         }
     }
     if (backendsMode) {
-        if (nPaths != 1 || coverageMode || latencyMode)
+        if (nPaths != 1 || coverageMode || latencyMode || checksMode)
             return usage();
         mxl::Json doc;
         if (!loadJson(paths[0], &doc))
             return 2;
         return diffBackends(doc);
     }
-    if (nPaths != 2 || (coverageMode && latencyMode))
+    if (nPaths != 2 ||
+        (coverageMode + latencyMode + checksMode) > 1)
         return usage();
     if (coverageMode) {
         mxl::Json before, after;
@@ -562,6 +713,15 @@ main(int argc, char **argv)
             return 2;
         return diffLatency(before, after, paths[0], paths[1],
                            thresholdPct);
+    }
+    if (checksMode) {
+        mxl::Json before, after;
+        if (!loadJson(paths[0], &before) || !loadJson(paths[1], &after))
+            return 2;
+        // Placement interacts with the delay-slot scheduler, so the
+        // check gate tolerates 1% cycle jitter unless told otherwise.
+        return diffChecks(before, after, paths[0], paths[1],
+                          thresholdSet ? thresholdPct : 1.0);
     }
 
     mxl::Json before, after;

@@ -15,6 +15,17 @@
  *     --checking off|full              checking level (default full)
  *     --info                           also print Info findings
  *     --elim                           report redundant-check elimination
+ *     --fix                            insert provably-missing checks
+ *                                      (analysis/checkplace.h), re-lint
+ *                                      and re-verify the fixed unit;
+ *                                      exit status reflects the fixed
+ *                                      unit
+ *     --json                           machine output: one JSON object
+ *                                      per finding on stdout (stable
+ *                                      schema: tool, program, kind,
+ *                                      severity, pc, where, text,
+ *                                      message), plus one fix-summary
+ *                                      object per program under --fix
  *     --dump                           disassemble each unit after linting
  */
 
@@ -24,10 +35,13 @@
 #include <vector>
 
 #include "analysis/checkelim.h"
+#include "analysis/checkplace.h"
 #include "analysis/lint.h"
+#include "analysis/verify.h"
 #include "compiler/unit.h"
 #include "isa/assembler.h"
 #include "programs/programs.h"
+#include "support/json.h"
 #include "support/panic.h"
 
 using namespace mxl;
@@ -39,10 +53,26 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--scheme high5|high6|low2|low3] "
-                 "[--checking off|full] [--info] [--elim] [--dump] "
-                 "[program ...]\n",
+                 "[--checking off|full] [--info] [--elim] [--fix] "
+                 "[--json] [--dump] [program ...]\n",
                  argv0);
     return 2;
+}
+
+/** One finding as a single-line JSON object (the --json schema). */
+void
+printFindingJson(const std::string &program, const LintFinding &f)
+{
+    Json j = Json::object();
+    j.set("tool", "mxlint");
+    j.set("program", program);
+    j.set("kind", lintKindName(f.kind));
+    j.set("severity", lintSeverityName(f.severity));
+    j.set("pc", f.pc);
+    j.set("where", f.where);
+    j.set("text", f.text);
+    j.set("message", f.message);
+    std::printf("%s\n", j.dump().c_str());
 }
 
 SchemeKind
@@ -67,6 +97,7 @@ main(int argc, char **argv)
     CompilerOptions opts;
     opts.checking = Checking::Full;
     bool showInfo = false, elim = false, dump = false;
+    bool fix = false, json = false;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -82,6 +113,10 @@ main(int argc, char **argv)
             showInfo = true;
         else if (a == "--elim")
             elim = true;
+        else if (a == "--fix")
+            fix = true;
+        else if (a == "--json")
+            json = true;
         else if (a == "--dump")
             dump = true;
         else if (!a.empty() && a[0] == '-')
@@ -101,13 +136,60 @@ main(int argc, char **argv)
             po.heapBytes = bp.heapBytes;
             CompiledUnit unit = compileUnit(bp.source, po);
             LintReport rep = lintUnit(unit);
-            std::printf("%s: %d error(s), %d warning(s), %d info\n",
-                        name.c_str(), rep.errors, rep.warnings, rep.infos);
-            const std::string body = rep.render(showInfo);
-            if (!body.empty())
-                std::fputs(body.c_str(), stdout);
-            if (rep.errors > 0)
+            if (json) {
+                for (const LintFinding &f : rep.findings)
+                    printFindingJson(name, f);
+            } else {
+                std::printf("%s: %d error(s), %d warning(s), %d info\n",
+                            name.c_str(), rep.errors, rep.warnings,
+                            rep.infos);
+                const std::string body = rep.render(showInfo);
+                if (!body.empty())
+                    std::fputs(body.c_str(), stdout);
+            }
+            if (rep.errors > 0 && !fix)
                 exitCode = 1;
+
+            if (fix) {
+                // Insert provably-missing checks, then hold the fixed
+                // unit to the same two bars as compiler output: a clean
+                // re-lint and the independent verifier. Exit status
+                // reflects the *fixed* unit.
+                FixStats fst = insertMissingChecks(unit);
+                LintReport after = lintUnit(unit);
+                VerifyResult ver = verifyUnit(unit);
+                if (json) {
+                    Json j = Json::object();
+                    j.set("tool", "mxlint-fix");
+                    j.set("program", name);
+                    j.set("unproven", fst.unproven);
+                    j.set("inserted", fst.inserted);
+                    j.set("unfixable", fst.unfixable);
+                    j.set("instructionsInserted",
+                          fst.instructionsInserted);
+                    j.set("skipped", fst.skipped);
+                    j.set("errorsBefore", rep.errors);
+                    j.set("errorsAfter", after.errors);
+                    j.set("verifierAccepts", ver.ok());
+                    if (!ver.ok())
+                        j.set("verifierDiagnostic", ver.render());
+                    std::printf("%s\n", j.dump().c_str());
+                } else {
+                    std::printf("%s: fix: %d unproven, %d guard(s) "
+                                "inserted (%d instructions), %d "
+                                "unfixable%s; re-lint %d error(s); "
+                                "verifier %s\n",
+                                name.c_str(), fst.unproven, fst.inserted,
+                                fst.instructionsInserted, fst.unfixable,
+                                fst.skipped ? " [skipped: malformed CFG]"
+                                            : "",
+                                after.errors,
+                                ver.ok() ? "accepts"
+                                         : ver.render().c_str());
+                }
+                if (after.errors > 0 || !ver.ok())
+                    exitCode = 1;
+            }
 
             if (elim) {
                 ElimStats st = eliminateRedundantChecks(unit);
